@@ -1,0 +1,89 @@
+// Adaptive ablation (§4.1 / §8 future work): static cost estimates vs
+// profile-guided (measured) decomposition, evaluated on real runs of the
+// four applications; plus the wall-time cost of profiling itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/app_configs.h"
+#include "driver/adaptive.h"
+#include "driver/simulate.h"
+
+namespace {
+
+using namespace cgp;
+
+CompileOptions options_for(const apps::AppConfig& config) {
+  CompileOptions options;
+  options.env = EnvironmentSpec::paper_cluster(1);
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.n_packets = config.n_packets;
+  return options;
+}
+
+void print_table() {
+  std::printf("=== Static vs profile-guided decomposition (width 1) ===\n");
+  std::printf("%-28s %-14s %-14s %12s %12s\n", "app", "static place",
+              "guided place", "static(s)", "guided(s)");
+  for (const apps::AppConfig& config :
+       {apps::tiny_config(8192, 16), apps::knn_config(3),
+        apps::vmscope_config(true),
+        apps::isosurface_zbuffer_config(false)}) {
+    CompileOptions options = options_for(config);
+    CompileResult result = compile_pipeline(config.source, options);
+    if (!result.ok) {
+      std::fprintf(stderr, "%s: %s\n", config.name.c_str(),
+                   result.diagnostics.c_str());
+      continue;
+    }
+    DecompositionInput measured = profile_decomposition_input(
+        result.model, result.decomp_input, config.runtime_constants, 3);
+    DecompositionResult guided = decompose_bruteforce(
+        measured, Objective::PipelineTotal, config.n_packets);
+    // Evaluate BOTH placements with real runs + simulation.
+    PipelineRunResult run_static =
+        result.make_runner(result.decomposition.placement, options.env).run();
+    PipelineRunResult run_guided =
+        result.make_runner(guided.placement, options.env).run();
+    auto brief = [](const Placement& p) {
+      std::string out;
+      for (int u : p.unit_of_filter) out += std::to_string(u + 1);
+      return out;
+    };
+    std::printf("%-28s %-14s %-14s %12.5f %12.5f\n", config.name.c_str(),
+                brief(result.decomposition.placement).c_str(),
+                brief(guided.placement).c_str(),
+                simulate_run(run_static, options.env),
+                simulate_run(run_guided, options.env));
+  }
+  std::printf("\n(guided <= static whenever the static op/selectivity "
+              "estimates misjudge a stage)\n\n");
+}
+
+void BM_ProfileRun(benchmark::State& state) {
+  apps::AppConfig config = apps::knn_config(3);
+  CompileOptions options = options_for(config);
+  CompileResult result = compile_pipeline(config.source, options);
+  if (!result.ok) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    DecompositionInput measured = profile_decomposition_input(
+        result.model, result.decomp_input, config.runtime_constants,
+        static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(measured.task_ops[0]);
+  }
+}
+BENCHMARK(BM_ProfileRun)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

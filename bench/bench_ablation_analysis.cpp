@@ -1,0 +1,118 @@
+// Communication-analysis ablation (§4.2): "the entire analysis ... can be
+// performed using only a single pass over the program. Though our current
+// implementation is in an off-line compiler, the analysis of the type
+// described here is likely to be implemented in Just-In-Time compilers.
+// Therefore, the efficiency of analysis is important."
+//
+// Measures wall time of the full pipeline-model build (fission +
+// segmentation + one-pass Gen/Cons + ReqComm) as the number of pipeline
+// stages in a generated program grows, and reports the number of
+// interprocedural contexts analyzed.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/pipeline_model.h"
+#include "parser/parser.h"
+
+namespace {
+
+using namespace cgp;
+
+/// Generates a dialect program whose PipelinedLoop body has `stages`
+/// consecutive foreach stages, each reading the previous stage's array
+/// through a helper method (forcing interprocedural work).
+std::string synthetic_program(int stages) {
+  std::ostringstream out;
+  out << "interface Reducinterface { }\n";
+  out << "class Acc implements Reducinterface {\n"
+         "  double total;\n"
+         "  Acc() { total = 0.0; }\n"
+         "  void add(double v) { total = total + v; }\n"
+         "  void merge(Acc other) { total = total + other.total; }\n"
+         "}\n";
+  out << "class App {\n";
+  out << "  double step(double v, double k) { return v * k + 1.0; }\n";
+  out << "  void main() {\n";
+  out << "    int n = runtime_define_n;\n";
+  out << "    int npackets = runtime_define_num_packets;\n";
+  out << "    int psize = n / npackets;\n";
+  out << "    double[] a0 = new double[n];\n";
+  out << "    foreach (i in [0 : n - 1]) { a0[i] = i * 0.5; }\n";
+  out << "    Acc acc = new Acc();\n";
+  out << "    PipelinedLoop (p in [0 : npackets - 1]) {\n";
+  out << "      int base = p * psize;\n";
+  out << "      double[] b0 = new double[psize];\n";
+  out << "      foreach (i in [base : base + psize - 1]) {\n";
+  out << "        b0[i - base] = step(a0[i], 1.5);\n";
+  out << "      }\n";
+  for (int s = 1; s < stages; ++s) {
+    out << "      double[] b" << s << " = new double[psize];\n";
+    out << "      foreach (j in [0 : psize - 1]) {\n";
+    out << "        b" << s << "[j] = step(b" << s - 1 << "[j], " << s
+        << ".5);\n";
+    out << "      }\n";
+  }
+  out << "      foreach (j in [0 : psize - 1]) { acc.add(b" << stages - 1
+      << "[j]); }\n";
+  out << "    }\n";
+  out << "    double result = acc.total;\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+void print_table() {
+  std::printf("=== One-pass analysis scalability ===\n");
+  std::printf("%-8s %10s %12s %14s\n", "stages", "filters", "boundaries",
+              "ipa contexts");
+  for (int stages : {2, 4, 8, 16, 32}) {
+    std::string source = synthetic_program(stages);
+    DiagnosticEngine diags;
+    auto program = Parser::parse(source, diags);
+    PipelineModel model = build_pipeline_model(*program, diags);
+    if (diags.has_errors()) {
+      std::fprintf(stderr, "%s\n", diags.render().c_str());
+      std::exit(1);
+    }
+    std::printf("%-8d %10zu %12d %14zu\n", stages, model.filters.size(),
+                model.boundary_count(), model.analysis_contexts);
+  }
+  std::printf("\n");
+}
+
+void BM_BuildPipelineModel(benchmark::State& state) {
+  std::string source = synthetic_program(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto program = Parser::parse(source, diags);
+    PipelineModel model = build_pipeline_model(*program, diags);
+    benchmark::DoNotOptimize(model.filters.size());
+  }
+}
+BENCHMARK(BM_BuildPipelineModel)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParseOnly(benchmark::State& state) {
+  std::string source = synthetic_program(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto program = Parser::parse(source, diags);
+    benchmark::DoNotOptimize(program->classes.size());
+  }
+}
+BENCHMARK(BM_ParseOnly)->Arg(2)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Decomposition ablation (§4.4).
+//
+// 1. DP (Figure 3) vs brute force: identical optima on the per-packet
+//    latency objective, with O(n*m) vs exponential work (cells evaluated
+//    and wall time measured).
+// 2. Objective choice: the Figure 3 DP minimizes per-packet latency; the
+//    paper's stated goal is total pipeline time (formulas (1)/(2)). The
+//    table shows how much total time the latency-optimal placement gives
+//    up on random instances.
+// 3. Figure 3 verbatim (T[0][j] = 0, input movement free) vs the corrected
+//    initialization that charges moving the raw input.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "decomp/decompose.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace cgp;
+
+DecompositionInput random_input(Rng& rng, int n_filters, int stages) {
+  DecompositionInput input;
+  for (int i = 0; i < n_filters; ++i) {
+    input.task_ops.push_back(rng.next_double(1e3, 1e6));
+    input.boundary_bytes.push_back(rng.next_double(1e2, 1e5));
+  }
+  input.input_bytes = rng.next_double(1e3, 1e6);
+  input.source_io_ops = input.input_bytes * 0.5;
+  input.env = EnvironmentSpec::uniform(stages, 350e6, 60e6, 20e-6);
+  return input;
+}
+
+void print_tables() {
+  std::printf("=== Decomposition ablation ===\n\n");
+
+  // --- optimality + work ---
+  std::printf("%-10s %-8s %14s %16s %10s\n", "filters", "stages", "DP cells",
+              "brute placements", "agree");
+  Rng rng(42);
+  for (int n : {4, 8, 12, 16, 24}) {
+    DecompositionInput input = random_input(rng, n, 3);
+    DecompositionResult dp = decompose_dp(input);
+    DecompositionResult brute =
+        decompose_bruteforce(input, Objective::PerPacketLatency);
+    bool agree = std::abs(dp.cost - brute.cost) <= 1e-9 * brute.cost;
+    std::printf("%-10d %-8d %14zu %16zu %10s\n", n, 3, dp.cells_evaluated,
+                brute.cells_evaluated, agree ? "yes" : "NO");
+  }
+
+  // --- objective gap ---
+  std::printf("\nLatency-optimal vs total-time-optimal (N = 64 packets):\n");
+  std::printf("%-8s %16s %16s %10s\n", "trial", "latency-opt tot",
+              "total-opt tot", "ratio");
+  for (int trial = 0; trial < 8; ++trial) {
+    DecompositionInput input = random_input(rng, 10, 3);
+    DecompositionResult latency = decompose_dp(input);
+    DecompositionResult total =
+        decompose_bruteforce(input, Objective::PipelineTotal, 64);
+    double t_latency = full_pipeline_time(input, latency.placement, 64);
+    double t_total = full_pipeline_time(input, total.placement, 64);
+    std::printf("%-8d %16.6f %16.6f %9.2fx\n", trial, t_latency, t_total,
+                t_latency / t_total);
+  }
+
+  // --- Figure 3 verbatim vs corrected input charging ---
+  std::printf("\nFigure 3 verbatim (input free) vs corrected:\n");
+  std::printf("%-8s %16s %16s\n", "trial", "verbatim tot", "corrected tot");
+  for (int trial = 0; trial < 6; ++trial) {
+    DecompositionInput corrected = random_input(rng, 8, 3);
+    DecompositionInput verbatim = corrected;
+    verbatim.input_bytes = 0.0;
+    Placement p_verbatim = decompose_dp(verbatim).placement;
+    Placement p_corrected = decompose_dp(corrected).placement;
+    // Evaluate both on the TRUE (corrected) cost structure.
+    std::printf("%-8d %16.6f %16.6f\n", trial,
+                full_pipeline_time(corrected, p_verbatim, 64),
+                full_pipeline_time(corrected, p_corrected, 64));
+  }
+  std::printf("\n");
+}
+
+void BM_DecomposeDp(benchmark::State& state) {
+  Rng rng(7);
+  DecompositionInput input =
+      random_input(rng, static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_dp(input).cost);
+  }
+}
+BENCHMARK(BM_DecomposeDp)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DecomposeDpRolling(benchmark::State& state) {
+  Rng rng(7);
+  DecompositionInput input =
+      random_input(rng, static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_dp_cost_only(input));
+  }
+}
+BENCHMARK(BM_DecomposeDpRolling)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DecomposeBruteForce(benchmark::State& state) {
+  Rng rng(7);
+  DecompositionInput input =
+      random_input(rng, static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        decompose_bruteforce(input, Objective::PerPacketLatency).cost);
+  }
+}
+BENCHMARK(BM_DecomposeBruteForce)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

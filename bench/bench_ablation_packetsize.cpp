@@ -1,0 +1,64 @@
+// Packet-size ablation (§8 lists "automatically choosing the packet size"
+// as future work). Sweeps the number of packets the same dataset is split
+// into and reports simulated pipeline time: few packets = poor overlap and
+// ramp domination; many packets = per-buffer overhead domination.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/app_configs.h"
+#include "driver/compiler.h"
+#include "driver/simulate.h"
+
+namespace {
+
+using namespace cgp;
+
+double run_cell(std::int64_t items, std::int64_t packets) {
+  apps::AppConfig config = apps::tiny_config(items, packets);
+  EnvironmentSpec env = EnvironmentSpec::paper_cluster(2);
+  CompileOptions options;
+  options.env = env;
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.n_packets = config.n_packets;
+  CompileResult result = compile_pipeline(config.source, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s\n", result.diagnostics.c_str());
+    std::exit(1);
+  }
+  PipelineRunResult run =
+      result.make_runner(result.decomposition.placement, env).run();
+  return simulate_run(run, env);
+}
+
+void print_table() {
+  const std::int64_t items = 1 << 15;
+  std::printf("=== Packet-size ablation (tiny app, %lld items, width 2) ===\n",
+              static_cast<long long>(items));
+  std::printf("%-10s %-12s %14s\n", "packets", "packet size", "sim time(s)");
+  for (std::int64_t packets : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    double t = run_cell(items, packets);
+    std::printf("%-10lld %-12lld %14.5f\n", static_cast<long long>(packets),
+                static_cast<long long>(items / packets), t);
+  }
+  std::printf("\n");
+}
+
+void BM_EndToEnd(benchmark::State& state) {
+  const std::int64_t packets = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cell(1 << 13, packets));
+  }
+}
+BENCHMARK(BM_EndToEnd)->Arg(4)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

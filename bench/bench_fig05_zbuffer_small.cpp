@@ -1,0 +1,15 @@
+// Figure 5: z-buffer isosurface, small dataset — Default vs Decomp at
+// pipeline widths 1/2/4.
+#include "bench/figure_common.h"
+
+int main(int argc, char** argv) {
+  cgp::bench::FigureSpec spec;
+  spec.figure = "Figure 5";
+  spec.title = "isosurface z-buffer, small dataset, widths 1/2/4";
+  spec.config = cgp::apps::isosurface_zbuffer_config(/*large=*/false);
+  spec.paper_notes =
+      "Decomp ~20% faster than Default on all widths; Decomp speedups "
+      "x1.92 (width 2), x3.34 (width 4)";
+  cgp::bench::run_figure(spec);
+  return cgp::bench::run_benchmark_suite(spec, argc, argv);
+}

@@ -1,0 +1,13 @@
+// Figure 6: isosurface z-buffer, large dataset, widths 1/2/4 — reproduction bench.
+#include "bench/figure_common.h"
+
+int main(int argc, char** argv) {
+  cgp::bench::FigureSpec spec;
+  spec.figure = "Figure 6";
+  spec.title = "isosurface z-buffer, large dataset, widths 1/2/4";
+  spec.config = cgp::apps::isosurface_zbuffer_config(/*large=*/true);
+  spec.paper_notes =
+      "Decomp 20-25% faster than Default; Decomp speedups x1.99 (width 2), x3.82 (width 4)";
+  cgp::bench::run_figure(spec);
+  return cgp::bench::run_benchmark_suite(spec, argc, argv);
+}

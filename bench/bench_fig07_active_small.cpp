@@ -1,0 +1,13 @@
+// Figure 7: isosurface active-pixels, small dataset, widths 1/2/4 — reproduction bench.
+#include "bench/figure_common.h"
+
+int main(int argc, char** argv) {
+  cgp::bench::FigureSpec spec;
+  spec.figure = "Figure 7";
+  spec.title = "isosurface active-pixels, small dataset, widths 1/2/4";
+  spec.config = cgp::apps::isosurface_active_pixels_config(/*large=*/false);
+  spec.paper_notes =
+      "Decomp 15-25% faster than Default; near-linear width speedups";
+  cgp::bench::run_figure(spec);
+  return cgp::bench::run_benchmark_suite(spec, argc, argv);
+}

@@ -1,0 +1,15 @@
+// Figure 9: k-nearest neighbors, k = 3, widths 1/2/4 — reproduction bench.
+#include "bench/figure_common.h"
+#include "apps/manual_filters.h"
+
+int main(int argc, char** argv) {
+  cgp::bench::FigureSpec spec;
+  spec.figure = "Figure 9";
+  spec.title = "k-nearest neighbors, k = 3, widths 1/2/4";
+  spec.config = cgp::apps::knn_config(3);
+  spec.manual = cgp::apps::run_knn_manual;
+  spec.paper_notes =
+      "Decomp ~150% faster than Default; no significant Comp-vs-Manual difference";
+  cgp::bench::run_figure(spec);
+  return cgp::bench::run_benchmark_suite(spec, argc, argv);
+}

@@ -1,0 +1,15 @@
+// Figure 11: virtual microscope, small query, widths 1/2/4 — reproduction bench.
+#include "bench/figure_common.h"
+#include "apps/manual_filters.h"
+
+int main(int argc, char** argv) {
+  cgp::bench::FigureSpec spec;
+  spec.figure = "Figure 11";
+  spec.title = "virtual microscope, small query, widths 1/2/4";
+  spec.config = cgp::apps::vmscope_config(/*large_query=*/false);
+  spec.manual = cgp::apps::run_vmscope_manual;
+  spec.paper_notes =
+      "load imbalance limits speedups; Manual ~20% faster than Comp; Comp ~40% faster than Default";
+  cgp::bench::run_figure(spec);
+  return cgp::bench::run_benchmark_suite(spec, argc, argv);
+}

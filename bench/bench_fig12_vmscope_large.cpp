@@ -1,0 +1,15 @@
+// Figure 12: virtual microscope, large query, widths 1/2/4 — reproduction bench.
+#include "bench/figure_common.h"
+#include "apps/manual_filters.h"
+
+int main(int argc, char** argv) {
+  cgp::bench::FigureSpec spec;
+  spec.figure = "Figure 12";
+  spec.title = "virtual microscope, large query, widths 1/2/4";
+  spec.config = cgp::apps::vmscope_config(/*large_query=*/true);
+  spec.manual = cgp::apps::run_vmscope_manual;
+  spec.paper_notes =
+      "good speedups; Comp ~40% faster than Default; Manual faster than Comp by 10-50%";
+  cgp::bench::run_figure(spec);
+  return cgp::bench::run_benchmark_suite(spec, argc, argv);
+}

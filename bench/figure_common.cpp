@@ -1,0 +1,124 @@
+#include "bench/figure_common.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "driver/simulate.h"
+
+namespace cgp::bench {
+
+namespace {
+
+CompileResult compile_for(const apps::AppConfig& config,
+                          const EnvironmentSpec& env) {
+  CompileOptions options;
+  options.env = env;
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.n_packets = config.n_packets;
+  return compile_pipeline(config.source, options);
+}
+
+}  // namespace
+
+double run_figure(const FigureSpec& spec) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", spec.figure.c_str(), spec.title.c_str());
+  std::printf("app: %s, packets: %lld\n", spec.config.name.c_str(),
+              static_cast<long long>(spec.config.n_packets));
+  if (!spec.paper_notes.empty()) {
+    std::printf("paper: %s\n", spec.paper_notes.c_str());
+  }
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("%-8s %-15s %12s %14s %14s\n", "width", "version", "sim time(s)",
+              "link0 bytes", "link1 bytes");
+
+  std::map<std::pair<int, std::string>, double> times;
+  for (int width : {1, 2, 4}) {
+    EnvironmentSpec env = EnvironmentSpec::paper_cluster(width);
+    CompileResult result = compile_for(spec.config, env);
+    if (!result.ok) {
+      std::fprintf(stderr, "compile failed for %s:\n%s\n",
+                   spec.config.name.c_str(), result.diagnostics.c_str());
+      std::exit(1);
+    }
+    struct Cell {
+      std::string name;
+      std::optional<Placement> placement;
+    };
+    std::vector<Cell> cells = {{"Default", result.baseline},
+                               {"Decomp-Comp", result.decomposition.placement}};
+    if (spec.manual) cells.push_back({"Decomp-Manual", std::nullopt});
+
+    for (const Cell& cell : cells) {
+      PipelineRunResult run =
+          cell.placement
+              ? result.make_runner(*cell.placement, env).run()
+              : spec.manual(spec.config.runtime_constants, env);
+      double sim_time = simulate_run(run, env);
+      times[{width, cell.name}] = sim_time;
+      std::printf("%-8d %-15s %12.4f %14lld %14lld\n", width,
+                  cell.name.c_str(), sim_time,
+                  static_cast<long long>(run.link_packet_bytes.size() > 0
+                                             ? run.link_packet_bytes[0]
+                                             : 0),
+                  static_cast<long long>(run.link_packet_bytes.size() > 1
+                                             ? run.link_packet_bytes[1]
+                                             : 0));
+    }
+  }
+
+  std::printf("--------------------------------------------------------------\n");
+  auto ratio = [&](int width, const char* a, const char* b) {
+    auto ia = times.find({width, a});
+    auto ib = times.find({width, b});
+    if (ia == times.end() || ib == times.end() || ib->second <= 0.0)
+      return 0.0;
+    return ia->second / ib->second;
+  };
+  for (int width : {1, 2, 4}) {
+    double improvement = (ratio(width, "Default", "Decomp-Comp") - 1.0) * 100.0;
+    std::printf("width %d: Decomp-Comp faster than Default by %6.1f%%", width,
+                improvement);
+    if (spec.manual) {
+      double gap = (ratio(width, "Decomp-Comp", "Decomp-Manual") - 1.0) * 100.0;
+      std::printf(" | Manual faster than Comp by %6.1f%%", gap);
+    }
+    std::printf("\n");
+  }
+  double s2 = times[{1, "Decomp-Comp"}] / times[{2, "Decomp-Comp"}];
+  double s4 = times[{1, "Decomp-Comp"}] / times[{4, "Decomp-Comp"}];
+  std::printf("Decomp speedups vs width 1: x%.2f (width 2), x%.2f (width 4)\n",
+              s2, s4);
+  std::printf("==============================================================\n\n");
+  return times[{1, "Decomp-Comp"}];
+}
+
+int run_benchmark_suite(const FigureSpec& spec, int argc, char** argv) {
+  const apps::AppConfig& config = spec.config;
+  benchmark::RegisterBenchmark(
+      (spec.figure + "/decomp_width1_end_to_end").c_str(),
+      [config](benchmark::State& state) {
+        EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+        CompileResult result = compile_for(config, env);
+        if (!result.ok) {
+          state.SkipWithError("compile failed");
+          return;
+        }
+        for (auto _ : state) {
+          PipelineRunResult run =
+              result.make_runner(result.decomposition.placement, env).run();
+          benchmark::DoNotOptimize(run.packets);
+        }
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace cgp::bench

@@ -1,0 +1,45 @@
+// Shared harness for the figure-reproduction benches (§6).
+//
+// Every bench binary reproduces one figure of the paper's evaluation: it
+// compiles the application, runs each version (Default / Decomp-Comp /
+// Decomp-Manual) for pipeline widths 1, 2 and 4 on the DataCutter runtime
+// (measuring real per-packet ops and exact communicated bytes), then times
+// the run on the paper's cluster model with the discrete-event simulator
+// and prints the figure's series plus the derived ratios the paper quotes
+// (Decomp vs Default improvement, width speedups). A google-benchmark suite
+// afterwards measures real wall time of one end-to-end compiled run.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/app_configs.h"
+#include "codegen/compiled_pipeline.h"
+#include "cost/environment.h"
+
+namespace cgp::bench {
+
+using ManualRunner = std::function<PipelineRunResult(
+    const std::map<std::string, std::int64_t>&, const EnvironmentSpec&)>;
+
+struct FigureSpec {
+  std::string figure;       // "Figure 5"
+  std::string title;        // "z-buffer isosurface, small dataset"
+  apps::AppConfig config;
+  ManualRunner manual;      // optional Decomp-Manual runner
+  /// Paper-reported shape targets, printed alongside measurements.
+  std::string paper_notes;
+};
+
+/// Runs the figure's full sweep and prints the table; returns the simulated
+/// time of the width-1 Decomp cell (handy for the google-benchmark hook).
+/// Exits non-zero on compile failure.
+double run_figure(const FigureSpec& spec);
+
+/// Registers a google-benchmark measuring the real wall time of one
+/// compiled Decomp run at width 1 and runs the benchmark suite.
+int run_benchmark_suite(const FigureSpec& spec, int argc, char** argv);
+
+}  // namespace cgp::bench

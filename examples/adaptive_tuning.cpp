@@ -1,0 +1,59 @@
+// Future-work extensions demo (§8): profile-guided decomposition and
+// automatic packet-size selection, on the knn application.
+#include <cstdio>
+
+#include "apps/app_configs.h"
+#include "driver/adaptive.h"
+#include "driver/simulate.h"
+
+int main() {
+  using namespace cgp;
+  apps::AppConfig config = apps::knn_config(3);
+  EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+  CompileOptions options;
+  options.env = env;
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.n_packets = config.n_packets;
+
+  CompileResult result = compile_pipeline(config.source, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "compile failed:\n%s\n", result.diagnostics.c_str());
+    return 1;
+  }
+
+  std::printf("=== Profile-guided decomposition (knn, k=3) ===\n");
+  std::printf("static estimate:   ");
+  for (std::size_t i = 0; i < result.decomp_input.task_ops.size(); ++i) {
+    std::printf("f%zu=%.3g ", i + 1, result.decomp_input.task_ops[i]);
+  }
+  std::printf("\n");
+  DecompositionInput measured = profile_decomposition_input(
+      result.model, result.decomp_input, config.runtime_constants, 4);
+  std::printf("profiled (4 pkts): ");
+  for (std::size_t i = 0; i < measured.task_ops.size(); ++i) {
+    std::printf("f%zu=%.3g ", i + 1, measured.task_ops[i]);
+  }
+  std::printf("\n");
+  DecompositionResult guided =
+      decompose_bruteforce(measured, Objective::PipelineTotal,
+                           config.n_packets);
+  std::printf("static placement:  %s\n",
+              result.decomposition.placement.to_string().c_str());
+  std::printf("guided placement:  %s\n", guided.placement.to_string().c_str());
+  std::printf("predicted total (measured costs): static %.5f s, guided %.5f s\n\n",
+              full_pipeline_time(measured, result.decomposition.placement,
+                                 config.n_packets),
+              full_pipeline_time(measured, guided.placement, config.n_packets));
+
+  std::printf("=== Automatic packet-size selection ===\n");
+  PacketSizeChoice choice = choose_packet_count(
+      config.source, options, "runtime_define_num_packets",
+      {2, 6, 12, 24, 48, 96, 384, 1536});
+  std::printf("%-10s %14s\n", "packets", "predicted (s)");
+  for (const auto& [count, t] : choice.table) {
+    std::printf("%-10lld %14.6f%s\n", static_cast<long long>(count), t,
+                count == choice.best_count ? "   <-- chosen" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Virtual microscope example (§6.5): small vs large query, compiler vs
+// manual subsampling, pipeline widths.
+#include <cstdio>
+
+#include "apps/app_configs.h"
+#include "apps/manual_filters.h"
+#include "driver/compiler.h"
+#include "driver/simulate.h"
+
+
+
+int main() {
+  using namespace cgp;
+  for (bool large : {false, true}) {
+    apps::AppConfig config = apps::vmscope_config(large);
+    std::printf("--- %s ---\n", config.name.c_str());
+    for (int width : {1, 2, 4}) {
+      EnvironmentSpec env = EnvironmentSpec::paper_cluster(width);
+      CompileOptions options;
+      options.env = env;
+      options.runtime_constants = config.runtime_constants;
+      options.size_bindings = config.size_bindings;
+      options.n_packets = config.n_packets;
+      CompileResult result = compile_pipeline(config.source, options);
+      if (!result.ok) {
+        std::fprintf(stderr, "compile failed:\n%s\n",
+                     result.diagnostics.c_str());
+        return 1;
+      }
+      PipelineRunResult fallback =
+          result.make_runner(result.baseline, env).run();
+      PipelineRunResult decomp =
+          result.make_runner(result.decomposition.placement, env).run();
+      PipelineRunResult manual =
+          apps::run_vmscope_manual(config.runtime_constants, env);
+      std::printf(
+          "  width %d: Default %8.4f s | Decomp-Comp %8.4f s | "
+          "Decomp-Manual %8.4f s\n",
+          width, cgp::simulate_run(fallback, env), cgp::simulate_run(decomp, env),
+          cgp::simulate_run(manual, env));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

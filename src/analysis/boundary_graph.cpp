@@ -1,0 +1,93 @@
+#include "analysis/boundary_graph.h"
+
+#include <functional>
+
+namespace cgp {
+
+CandidateBoundaryGraph::CandidateBoundaryGraph() {
+  labels_.push_back("start");
+  edges_.emplace_back();
+}
+
+int CandidateBoundaryGraph::add_boundary(std::string label) {
+  labels_.push_back(std::move(label));
+  edges_.emplace_back();
+  return node_count() - 1;
+}
+
+void CandidateBoundaryGraph::set_end() {
+  labels_.push_back("end");
+  edges_.emplace_back();
+  end_ = node_count() - 1;
+}
+
+void CandidateBoundaryGraph::add_edge(int from, int to) {
+  edges_[static_cast<std::size_t>(from)].push_back(to);
+}
+
+bool CandidateBoundaryGraph::is_acyclic() const {
+  enum class Mark { White, Grey, Black };
+  std::vector<Mark> marks(static_cast<std::size_t>(node_count()), Mark::White);
+  bool cycle = false;
+  std::function<void(int)> visit = [&](int node) {
+    auto& mark = marks[static_cast<std::size_t>(node)];
+    if (mark == Mark::Grey) {
+      cycle = true;
+      return;
+    }
+    if (mark == Mark::Black) return;
+    mark = Mark::Grey;
+    for (int next : successors(node)) visit(next);
+    marks[static_cast<std::size_t>(node)] = Mark::Black;
+  };
+  for (int n = 0; n < node_count() && !cycle; ++n) visit(n);
+  return !cycle;
+}
+
+std::vector<std::vector<int>> CandidateBoundaryGraph::flow_paths() const {
+  std::vector<std::vector<int>> paths;
+  if (end_ < 0) return paths;
+  std::vector<int> current{kStart};
+  std::function<void(int)> walk = [&](int node) {
+    if (node == end_) {
+      paths.push_back(current);
+      return;
+    }
+    for (int next : successors(node)) {
+      current.push_back(next);
+      walk(next);
+      current.pop_back();
+    }
+  };
+  walk(kStart);
+  return paths;
+}
+
+bool CandidateBoundaryGraph::is_chain() const {
+  if (end_ < 0) return false;
+  int node = kStart;
+  std::size_t visited = 1;
+  while (node != end_) {
+    const std::vector<int>& next = successors(node);
+    if (next.size() != 1) return false;
+    node = next[0];
+    ++visited;
+  }
+  return visited == static_cast<std::size_t>(node_count());
+}
+
+CandidateBoundaryGraph CandidateBoundaryGraph::chain(
+    const std::vector<std::string>& labels) {
+  CandidateBoundaryGraph graph;
+  int prev = kStart;
+  for (const std::string& label : labels) {
+    int node = graph.add_boundary(label);
+    graph.add_edge(prev, node);
+    prev = node;
+  }
+  graph.set_end();
+  graph.add_edge(prev, graph.end_node());
+  return graph;
+}
+
+}  // namespace cgp

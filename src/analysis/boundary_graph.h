@@ -1,0 +1,59 @@
+// Candidate filter boundary graph (§4.1).
+//
+// Nodes are candidate filter boundaries plus a distinguished start node
+// (pre-dominating all others) and end node (post-dominating all others).
+// An edge connects two boundaries that are adjacent: control can flow from
+// the first to the second without crossing another candidate boundary.
+// With loop fission applied and non-foreach loops confined to single
+// filters, the graph is always acyclic; a flow path is any start->end path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace cgp {
+
+class CandidateBoundaryGraph {
+ public:
+  static constexpr int kStart = 0;
+
+  CandidateBoundaryGraph();
+
+  /// Adds a candidate boundary node; returns its id.
+  int add_boundary(std::string label);
+  /// Finalizes the end node (call after all boundaries are added).
+  void set_end();
+  int end_node() const { return end_; }
+
+  void add_edge(int from, int to);
+
+  int node_count() const { return static_cast<int>(labels_.size()); }
+  const std::string& label(int node) const {
+    return labels_[static_cast<std::size_t>(node)];
+  }
+  const std::vector<int>& successors(int node) const {
+    return edges_[static_cast<std::size_t>(node)];
+  }
+
+  bool is_acyclic() const;
+
+  /// All flow paths from start to end (each path lists node ids including
+  /// start and end). Exponential in general; intended for the small graphs
+  /// the compiler builds.
+  std::vector<std::vector<int>> flow_paths() const;
+
+  /// True when the graph is a single chain start -> b1 -> ... -> bn -> end.
+  bool is_chain() const;
+
+  /// Builds the common case: a linear chain over n candidate boundaries.
+  static CandidateBoundaryGraph chain(const std::vector<std::string>& labels);
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::vector<int>> edges_;
+  int end_ = -1;
+};
+
+}  // namespace cgp

@@ -1,0 +1,184 @@
+// One-pass Gen/Cons analysis (paper §4.2, Figure 2).
+//
+// For a code segment b between two candidate filter boundaries:
+//   Gen(b)  = values defined in b and still live at the end of b
+//   Cons(b) = values used in b and not defined in b
+//
+// The analyzer walks the statement sequence of a segment in REVERSE order,
+// exactly once:
+//   * assignment: LHS joins Gen under must-alias discipline and removes
+//     covered Cons entries; RHS uses join Cons under may-alias discipline;
+//   * conditional: the guarded block is analyzed independently; its Cons
+//     joins Cons(b) but its Gen does NOT join Gen(b);
+//   * loop: the body is analyzed independently; accesses indexed by a
+//     function of the loop variable are widened to rectilinear sections
+//     derived from the loop bounds (loops are assumed to run at least one
+//     iteration), then Gen(s)/Cons(s) join the segment sets;
+//   * calls are handled interprocedurally and context-sensitively: the
+//     callee body is re-analyzed per call site with formals renamed to
+//     actual locations (including `this` -> receiver) and callee locals
+//     alpha-renamed away.
+//
+// Soundness conventions beyond the paper's prose (documented in DESIGN.md):
+//   * runtime_define_* constants and loop indices are configuration, not
+//     data, and are excluded from Cons;
+//   * all symbolic quantities (sizes, indices, runtime constants) are
+//     assumed nonnegative when deciding monotonicity of affine bounds;
+//   * imprecise writes (unresolvable target) never enter Gen; imprecise
+//     reads widen to the whole location in Cons.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/value_set.h"
+#include "ast/ast.h"
+#include "sema/registry.h"
+#include "support/diagnostics.h"
+
+namespace cgp {
+
+struct SegmentSets {
+  ValueSet gen;
+  ValueSet cons;
+  /// Reduction objects (classes implementing Reducinterface) touched by the
+  /// segment. They are excluded from Gen/Cons: per §3 their updates are
+  /// associative+commutative, so the runtime replicates them per filter
+  /// copy and merges replicas at end of stream instead of shipping them
+  /// with every packet.
+  std::set<std::string> reductions;
+  /// Top-level integral locals this segment defines with an affine value
+  /// (e.g. `int base = p * psize`). ReqComm propagation substitutes these
+  /// into section bounds when crossing the defining segment, so upstream
+  /// boundaries see sections in terms of symbols that exist upstream.
+  std::map<std::string, SymPoly> scalar_defs;
+};
+
+/// Substitutes `symbol := value` inside every section bound of the set.
+void substitute_symbol(ValueSet& set, const std::string& symbol,
+                       const SymPoly& value);
+
+/// A resolved reference to an abstract storage location, produced by
+/// abstract evaluation of an lvalue/rvalue expression.
+struct LocRef {
+  bool valid = false;  // false: expression does not name a trackable location
+  ValueId id;
+  std::optional<RectSection> section;  // applies to the "[]" step
+  TypePtr type;
+  /// True when the reference denotes exactly this location (must-alias);
+  /// false when it may touch more than recorded (e.g. unresolvable index).
+  bool precise = true;
+  /// True when the path is rooted at a reduction object (§3).
+  bool reduction_root = false;
+};
+
+class GenConsAnalyzer {
+ public:
+  GenConsAnalyzer(const ClassRegistry& registry, DiagnosticEngine& diags)
+      : registry_(registry), diags_(diags) {}
+
+  /// Analyzes one code segment: a consecutive run of top-level statements
+  /// from the PipelinedLoop body. `enclosing_class` provides unqualified
+  /// field resolution; may be null for static contexts.
+  SegmentSets analyze_segment(const std::vector<const Stmt*>& stmts,
+                              const ClassInfo* enclosing_class = nullptr);
+
+  /// Number of interprocedural context analyses performed (for the
+  /// analysis-scalability ablation).
+  std::size_t contexts_analyzed() const { return contexts_analyzed_; }
+
+  /// Declares the loop-global reduction variables (reduction-class objects
+  /// declared BEFORE the PipelinedLoop): accesses rooted at them are
+  /// excluded from Gen/Cons and recorded in SegmentSets::reductions.
+  /// Reduction-class objects declared inside the loop body are ordinary
+  /// per-packet data and are NOT affected.
+  void set_reduction_globals(std::set<std::string> names) {
+    reduction_globals_ = std::move(names);
+  }
+
+ private:
+  struct IterBinding {
+    bool element_of = false;  // iterating elements of a collection
+    LocRef collection;        // element_of only
+    std::string symbol;       // unique symbol for index iteration
+  };
+
+  struct Context {
+    const ClassInfo* current_class = nullptr;
+    bool rename_decls = false;  // alpha-rename declared locals (non-top scope)
+    std::map<std::string, LocRef> renames;     // formal/local -> location
+    std::map<std::string, SymPoly> scalar_renames;  // int var -> poly value
+    std::map<std::string, RectSection> domain_bindings;  // rectdomain vars
+    std::map<std::string, IterBinding> iters;  // loop var -> binding
+    std::set<std::string> locals;  // canonical names to strip at scope exit
+    /// Reference-typed locals bound as aliases of outer storage (e.g.
+    /// `Tri t = tris[j]`): reads/writes through them are attributed to the
+    /// aliased location, and their declarations have no Gen effect. The
+    /// binding assumes the underlying location is not re-assigned while the
+    /// alias is live (guaranteed for the foreach-element idiom).
+    std::set<std::string> alias_decls;
+    bool saw_jump = false;  // break/continue at this loop level
+  };
+
+  // Reverse one-pass over a statement sequence, accumulating into `sets`.
+  void analyze_stmts_reverse(const std::vector<const Stmt*>& stmts,
+                             Context& ctx, SegmentSets& sets);
+  void prescan_decls(const std::vector<const Stmt*>& stmts, Context& ctx);
+  void analyze_stmt_reverse(const Stmt& stmt, Context& ctx, SegmentSets& sets);
+
+  // Sub-analyses per Figure 2.
+  void analyze_conditional(const IfStmt& stmt, Context& ctx,
+                           SegmentSets& sets);
+  /// Analyzes a loop body and performs loop-variable section substitution;
+  /// merges results into `sets` honoring must/may rules.
+  void analyze_loop(const Stmt& body, const std::string& loop_var,
+                    const std::optional<Interval>& bounds,
+                    const std::optional<LocRef>& collection, Context& ctx,
+                    SegmentSets& sets);
+
+  // Effects of individual constructs.
+  void record_assign(const AssignExpr& assign, Context& ctx, SegmentSets& sets);
+  void record_uses(const Expr& expr, Context& ctx, SegmentSets& sets);
+  void record_use_of_loc(const LocRef& loc, SegmentSets& sets);
+  void record_def(const LocRef& loc, SegmentSets& sets);
+  void record_call_effects(const CallExpr& call, Context& ctx,
+                           SegmentSets& sets);
+  void record_ctor_effects(const NewObjectExpr& alloc,
+                           const std::optional<LocRef>& target, Context& ctx,
+                           SegmentSets& sets);
+
+  SegmentSets analyze_callee(const ClassInfo& cls, const MethodDecl& method,
+                             const std::optional<LocRef>& receiver,
+                             const std::vector<LocRef>& actual_locs,
+                             const std::vector<std::optional<SymPoly>>&
+                                 actual_polys,
+                             Context& caller_ctx);
+
+  LocRef resolve_loc(const Expr& expr, Context& ctx) const;
+  std::optional<SymPoly> to_poly(const Expr& expr, Context& ctx) const;
+  std::optional<Interval> domain_interval(const Expr& domain,
+                                          Context& ctx) const;
+
+  static void substitute_loop_var(SegmentSets& sets, const std::string& symbol,
+                                  const SymPoly& lo, const SymPoly& hi);
+  /// Post-loop cleanup: entries whose sections mention `bad_symbols` are
+  /// widened to whole in Cons and dropped from Gen.
+  static void widen_unstable(SegmentSets& sets,
+                             const std::set<std::string>& bad_symbols);
+  static void strip_locals(SegmentSets& sets,
+                           const std::set<std::string>& locals);
+
+  std::string fresh_name(const std::string& base) const;
+
+  const ClassRegistry& registry_;
+  DiagnosticEngine& diags_;
+  std::set<std::string> reduction_globals_;
+  std::vector<std::string> call_stack_;  // "Class::method" recursion guard
+  std::size_t contexts_analyzed_ = 0;
+  mutable int fresh_counter_ = 0;
+};
+
+}  // namespace cgp

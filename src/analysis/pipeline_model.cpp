@@ -1,0 +1,230 @@
+#include "analysis/pipeline_model.h"
+
+#include <functional>
+
+#include "analysis/fission.h"
+#include "sema/sema.h"
+
+namespace cgp {
+
+namespace {
+
+struct LoopSite {
+  ClassDecl* owner = nullptr;
+  MethodDecl* method = nullptr;
+  PipelinedLoopStmt* loop = nullptr;
+  /// Statements lexically preceding/following the loop inside the method.
+  std::vector<const Stmt*> before;
+  std::vector<const Stmt*> after;
+};
+
+/// Finds the first PipelinedLoop in the program, plus the statements that
+/// precede and follow it on the path back up to the method body.
+LoopSite find_pipelined_loop(Program& program) {
+  LoopSite site;
+  std::function<bool(Stmt&)> search = [&](Stmt& stmt) -> bool {
+    switch (stmt.kind) {
+      case NodeKind::PipelinedLoopStmt:
+        site.loop = &static_cast<PipelinedLoopStmt&>(stmt);
+        return true;
+      case NodeKind::Block: {
+        auto& block = static_cast<BlockStmt&>(stmt);
+        for (std::size_t i = 0; i < block.statements.size(); ++i) {
+          if (search(*block.statements[i])) {
+            // Everything before/after position i brackets the loop. Outer
+            // levels prepend (they execute before inner preceding code).
+            std::vector<const Stmt*> level_before;
+            for (std::size_t j = 0; j < i; ++j)
+              level_before.push_back(block.statements[j].get());
+            site.before.insert(site.before.begin(), level_before.begin(),
+                               level_before.end());
+            for (std::size_t j = i + 1; j < block.statements.size(); ++j)
+              site.after.push_back(block.statements[j].get());
+            return true;
+          }
+        }
+        return false;
+      }
+      case NodeKind::IfStmt: {
+        auto& if_stmt = static_cast<IfStmt&>(stmt);
+        if (search(*if_stmt.then_branch)) return true;
+        if (if_stmt.else_branch && search(*if_stmt.else_branch)) return true;
+        return false;
+      }
+      default:
+        return false;
+    }
+  };
+  for (auto& cls : program.classes) {
+    for (auto& method : cls->methods) {
+      if (!method->body) continue;
+      site.before.clear();
+      site.after.clear();
+      if (search(*method->body)) {
+        site.owner = cls.get();
+        site.method = method.get();
+        return site;
+      }
+    }
+  }
+  return site;
+}
+
+std::string filter_label(const Stmt& first, std::size_t index) {
+  switch (first.kind) {
+    case NodeKind::ForeachStmt: {
+      const auto& fe = static_cast<const ForeachStmt&>(first);
+      return "foreach:" + fe.var + "#" + std::to_string(fe.loop_id);
+    }
+    case NodeKind::IfStmt:
+      return "cond@" + std::to_string(first.location.line);
+    default:
+      return "seq#" + std::to_string(index);
+  }
+}
+
+}  // namespace
+
+PipelineModel build_pipeline_model(Program& program, DiagnosticEngine& diags,
+                                   const PipelineBuildOptions& options) {
+  PipelineModel model;
+
+  {
+    Sema sema(program, diags);
+    SemaResult result = sema.run();
+    if (!result.ok) {
+      diags.error({}, "analysis", "type checking failed; no pipeline model");
+      return model;
+    }
+  }
+
+  LoopSite site = find_pipelined_loop(program);
+  if (!site.loop) {
+    diags.error({}, "analysis", "no PipelinedLoop found in program");
+    return model;
+  }
+
+  if (options.apply_fission) {
+    FissionStats stats = fission_pipelined_body(*site.loop, diags);
+    if (stats.loops_fissioned > 0) {
+      // New nodes lack types; re-check the whole program.
+      Sema sema(program, diags);
+      SemaResult result = sema.run();
+      if (!result.ok) {
+        diags.error({}, "analysis", "re-type-check after fission failed");
+        return model;
+      }
+    }
+  }
+
+  // Re-run sema one more time to obtain a registry (Sema results are
+  // move-only snapshots; keep the final one).
+  Sema sema(program, diags);
+  SemaResult sr = sema.run();
+  if (!sr.ok) return model;
+  model.registry = std::move(sr.registry);
+  const ClassRegistry& registry = model.registry;
+
+  model.owner_class = site.owner;
+  model.method = site.method;
+  model.loop = site.loop;
+  model.loop_var = site.loop->var;
+  model.before = site.before;
+  model.after = site.after;
+
+  // Loop-global reduction variables: reduction-class decls before the loop.
+  for (const Stmt* s : site.before) {
+    if (s->kind != NodeKind::VarDeclStmt) continue;
+    const auto& decl = static_cast<const VarDeclStmt&>(*s);
+    if (!decl.declared_type || !decl.declared_type->is_class()) continue;
+    const ClassInfo* cls = registry.find(decl.declared_type->class_name());
+    if (cls && cls->is_reduction) {
+      model.reduction_decls[decl.name] = &decl;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Segmentation: partition top-level statements into atomic filters.
+  // ------------------------------------------------------------------
+  std::vector<const Stmt*> top;
+  if (site.loop->body->kind == NodeKind::Block) {
+    for (const StmtPtr& s :
+         static_cast<const BlockStmt&>(*site.loop->body).statements)
+      top.push_back(s.get());
+  } else {
+    top.push_back(site.loop->body.get());
+  }
+
+  for (const Stmt* s : top) {
+    const bool own_filter =
+        s->kind == NodeKind::ForeachStmt || s->kind == NodeKind::IfStmt;
+    const bool last_own =
+        !model.filters.empty() &&
+        (model.filters.back().stmts.front()->kind == NodeKind::ForeachStmt ||
+         model.filters.back().stmts.front()->kind == NodeKind::IfStmt);
+    if (own_filter || model.filters.empty() || last_own) {
+      AtomicFilter filter;
+      filter.stmts.push_back(s);
+      filter.label = filter_label(*s, model.filters.size());
+      model.filters.push_back(std::move(filter));
+    } else {
+      model.filters.back().stmts.push_back(s);
+    }
+  }
+  if (model.filters.empty()) {
+    diags.error(site.loop->location, "analysis", "empty PipelinedLoop body");
+    return model;
+  }
+
+  // ------------------------------------------------------------------
+  // Gen/Cons per atomic filter (§4.2, Figure 2).
+  // ------------------------------------------------------------------
+  const ClassInfo* enclosing = registry.find(site.owner->name);
+  GenConsAnalyzer analyzer(registry, diags);
+  {
+    std::set<std::string> reduction_names;
+    for (const auto& [name, decl] : model.reduction_decls)
+      reduction_names.insert(name);
+    analyzer.set_reduction_globals(std::move(reduction_names));
+  }
+  for (const AtomicFilter& filter : model.filters) {
+    model.sets.push_back(analyzer.analyze_segment(filter.stmts, enclosing));
+  }
+
+  // ------------------------------------------------------------------
+  // ReqComm propagation (§4.2, eqn 1), seeded with the final-result set.
+  // ------------------------------------------------------------------
+  SegmentSets after_sets = analyzer.analyze_segment(site.after, enclosing);
+  model.after_reductions = after_sets.reductions;
+  const std::size_t n_filters = model.filters.size();
+  model.req_comm.resize(n_filters);
+  model.req_comm[n_filters - 1] = after_sets.cons;
+  for (std::size_t i = n_filters - 1; i > 0; --i) {
+    model.req_comm[i - 1] = ValueSet::req_comm(
+        model.req_comm[i], model.sets[i].gen, model.sets[i].cons);
+    // Crossing the defining segment: rewrite its scalar definitions into
+    // upstream-visible symbols (e.g. base -> p * psize).
+    for (const auto& [name, poly] : model.sets[i].scalar_defs) {
+      substitute_symbol(model.req_comm[i - 1], name, poly);
+    }
+  }
+  model.input_req = ValueSet::req_comm(model.req_comm[0], model.sets[0].gen,
+                                       model.sets[0].cons);
+  for (const auto& [name, poly] : model.sets[0].scalar_defs) {
+    substitute_symbol(model.input_req, name, poly);
+  }
+  model.analysis_contexts = analyzer.contexts_analyzed();
+
+  // ------------------------------------------------------------------
+  // Candidate boundary graph (chain after segmentation).
+  // ------------------------------------------------------------------
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i + 1 < n_filters; ++i) {
+    labels.push_back("after:" + model.filters[i].label);
+  }
+  model.graph = CandidateBoundaryGraph::chain(labels);
+
+  return model;
+}
+
+}  // namespace cgp

@@ -1,0 +1,80 @@
+// Pipeline model: the compiler's view of one PipelinedLoop after boundary
+// identification, fission, segmentation, Gen/Cons analysis and ReqComm
+// propagation (§4.1–4.2). This is the input to the cost model (§4.3) and
+// the filter decomposition (§4.4), and to code generation (§5).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/boundary_graph.h"
+#include "analysis/gencons.h"
+#include "ast/ast.h"
+#include "sema/registry.h"
+#include "support/diagnostics.h"
+
+namespace cgp {
+
+/// One atomic filter: a maximal run of PipelinedLoop-body statements with
+/// no candidate boundary inside.
+struct AtomicFilter {
+  std::vector<const Stmt*> stmts;
+  std::string label;
+};
+
+struct PipelineModel {
+  const ClassDecl* owner_class = nullptr;
+  const MethodDecl* method = nullptr;
+  const PipelinedLoopStmt* loop = nullptr;
+  std::string loop_var;
+
+  /// Statements of the enclosing method before/after the PipelinedLoop.
+  /// `before` runs once on the data stage (input setup); `after` runs once
+  /// on the view stage (result consumption).
+  std::vector<const Stmt*> before;
+  std::vector<const Stmt*> after;
+
+  /// Loop-global reduction variables: name -> declaring statement. These
+  /// are replicated per filter copy and merged at end of stream (§3).
+  std::map<std::string, const VarDeclStmt*> reduction_decls;
+  /// Reduction variables consumed by the post-loop code.
+  std::set<std::string> after_reductions;
+
+  /// n+1 atomic filters f_1..f_{n+1} separated by n candidate boundaries.
+  std::vector<AtomicFilter> filters;
+  /// Gen/Cons per atomic filter (same indexing as `filters`).
+  std::vector<SegmentSets> sets;
+  /// req_comm[i] = values that must cross a boundary placed right AFTER
+  /// filter i. req_comm.back() is the final-result set (Cons of the code
+  /// following the PipelinedLoop — a generalization of the paper's
+  /// "initialized to the null set" covering the result handoff to C_m).
+  std::vector<ValueSet> req_comm;
+  /// Values that must be available BEFORE the first filter (the input data).
+  ValueSet input_req;
+
+  CandidateBoundaryGraph graph;
+  std::size_t analysis_contexts = 0;
+
+  /// Class registry from the final Sema run (types, field layouts).
+  ClassRegistry registry;
+
+  int boundary_count() const { return static_cast<int>(filters.size()) - 1; }
+};
+
+struct PipelineBuildOptions {
+  bool apply_fission = true;
+};
+
+/// Locates the first PipelinedLoop in the program, applies loop fission,
+/// segments the body into atomic filters, and runs the communication
+/// analysis. The program is mutated (fission) and MUST be re-type-checked
+/// by the caller before building when apply_fission is set; this function
+/// does that internally via the provided re-check callback-free contract:
+/// it re-runs Sema itself when fission changed anything.
+PipelineModel build_pipeline_model(Program& program,
+                                   DiagnosticEngine& diags,
+                                   const PipelineBuildOptions& options = {});
+
+}  // namespace cgp

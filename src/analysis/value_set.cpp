@@ -1,0 +1,126 @@
+#include "analysis/value_set.h"
+
+#include <sstream>
+
+namespace cgp {
+
+std::string ValueId::to_string() const {
+  std::string out = base;
+  for (const std::string& s : steps) {
+    if (s == kElemStep) {
+      out += "[]";
+    } else {
+      out += "." + s;
+    }
+  }
+  return out;
+}
+
+bool operator==(const ValueEntry& a, const ValueEntry& b) {
+  if (!same_type(a.type, b.type)) return false;
+  if (a.section.has_value() != b.section.has_value()) return false;
+  if (a.section && !(*a.section == *b.section)) return false;
+  return true;
+}
+
+void ValueSet::add(const ValueId& id, ValueEntry entry) {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    items_.emplace(id, std::move(entry));
+    return;
+  }
+  ValueEntry& existing = it->second;
+  if (existing.whole()) return;  // already widest
+  if (entry.whole()) {
+    existing.section.reset();
+    return;
+  }
+  std::optional<RectSection> hull =
+      RectSection::hull(*existing.section, *entry.section);
+  if (hull) {
+    existing.section = std::move(*hull);
+  } else {
+    // Incomparable symbolic bounds: widen conservatively to the whole
+    // location (sound for a may-set).
+    existing.section.reset();
+  }
+}
+
+void ValueSet::remove_covered(const ValueId& gen_id,
+                              const ValueEntry& gen_entry) {
+  for (auto it = items_.begin(); it != items_.end();) {
+    const ValueId& id = it->first;
+    const ValueEntry& recorded = it->second;
+    bool covered = false;
+    if (gen_id.is_prefix_of(id)) {
+      if (gen_entry.whole()) {
+        covered = true;
+      } else if (!recorded.whole() && gen_id == id) {
+        covered = gen_entry.section->covers(*recorded.section);
+      } else if (!recorded.whole() && gen_id.steps.size() < id.steps.size()) {
+        // Sectioned def of a prefix (e.g. tris[0:n] covering tris[].x[0:k])
+        // only covers when the element sections align; require the gen
+        // section to cover the access section at the shared "[]" step.
+        covered = gen_entry.section->covers(*recorded.section);
+      }
+    }
+    if (covered) {
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ValueSet::add_all(const ValueSet& other) {
+  for (const auto& [id, entry] : other.items_) add(id, entry);
+}
+
+void ValueSet::remove_covered_all(const ValueSet& gen) {
+  for (const auto& [id, entry] : gen.items_) remove_covered(id, entry);
+}
+
+ValueSet ValueSet::req_comm(const ValueSet& req_comm_next, const ValueSet& gen,
+                            const ValueSet& cons) {
+  ValueSet result = req_comm_next;
+  result.remove_covered_all(gen);
+  result.add_all(cons);
+  return result;
+}
+
+void ValueSet::normalize() {
+  for (auto it = items_.begin(); it != items_.end();) {
+    bool subsumed = false;
+    for (const auto& [other_id, other_entry] : items_) {
+      if (other_id == it->first) continue;
+      if (!other_id.is_prefix_of(it->first)) continue;
+      if (other_entry.whole()) {
+        subsumed = true;
+        break;
+      }
+      if (it->second.section &&
+          (*other_entry.section == *it->second.section ||
+           other_entry.section->covers(*it->second.section))) {
+        subsumed = true;
+        break;
+      }
+    }
+    it = subsumed ? items_.erase(it) : std::next(it);
+  }
+}
+
+std::string ValueSet::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [id, entry] : items_) {
+    if (!first) out << ", ";
+    first = false;
+    out << id.to_string();
+    if (entry.section) out << entry.section->to_string();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace cgp

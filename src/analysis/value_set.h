@@ -1,0 +1,120 @@
+// Value sets for the communication analysis (§4.2).
+//
+// A ValueId names an abstract storage location the pipeline may communicate.
+// It is a base variable plus a path of steps, where a step is either a field
+// name or the reserved element marker "[]" (per-element access into a
+// collection). Examples:
+//   x                 — {base:"x", steps:{}}
+//   zbuf.data         — {base:"zbuf", steps:{"data"}}
+//   cubes[].v0        — {base:"cubes", steps:{"[]", "v0"}}
+//   scene.tris[].x    — {base:"scene", steps:{"tris", "[]", "x"}}
+//
+// Gen/Cons/ReqComm are ValueSets: ValueId -> (type, optional section). A
+// missing section means "the whole location". Sections apply to the "[]"
+// step and carry symbolic bounds (SymPoly), so packet-relative extents like
+// [p*sz : p*sz + sz - 1] survive until the cost model binds the runtime
+// constants. At most one "[]" step per path is supported; deeper nesting is
+// widened conservatively by the analyzer.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/type.h"
+#include "support/section.h"
+
+namespace cgp {
+
+/// Reserved path step marking per-element access into a collection.
+inline constexpr const char* kElemStep = "[]";
+
+struct ValueId {
+  std::string base;
+  std::vector<std::string> steps;
+
+  bool elementwise() const {
+    for (const std::string& s : steps)
+      if (s == kElemStep) return true;
+    return false;
+  }
+
+  /// True when this id is a (non-strict) path prefix of `other`.
+  bool is_prefix_of(const ValueId& other) const {
+    if (base != other.base) return false;
+    if (steps.size() > other.steps.size()) return false;
+    for (std::size_t i = 0; i < steps.size(); ++i)
+      if (steps[i] != other.steps[i]) return false;
+    return true;
+  }
+
+  bool operator<(const ValueId& o) const {
+    if (base != o.base) return base < o.base;
+    return steps < o.steps;
+  }
+  bool operator==(const ValueId& o) const {
+    return base == o.base && steps == o.steps;
+  }
+  std::string to_string() const;
+};
+
+struct ValueEntry {
+  TypePtr type;  // type of the accessed leaf
+  std::optional<RectSection> section;  // nullopt = whole location
+
+  bool whole() const { return !section.has_value(); }
+};
+
+bool operator==(const ValueEntry& a, const ValueEntry& b);
+
+/// Ordered map from ValueId to access description, with the set algebra the
+/// one-pass analysis needs.
+class ValueSet {
+ public:
+  using Map = std::map<ValueId, ValueEntry>;
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  const Map& items() const { return items_; }
+  Map& items_mutable() { return items_; }
+  bool contains(const ValueId& id) const { return items_.count(id) > 0; }
+  const ValueEntry* find(const ValueId& id) const {
+    auto it = items_.find(id);
+    return it == items_.end() ? nullptr : &it->second;
+  }
+
+  /// May-style insert: widens the recorded section to the hull (or the whole
+  /// location when the hull cannot be formed symbolically).
+  void add(const ValueId& id, ValueEntry entry);
+
+  /// Must-style removal used for `Cons -= Gen` and `ReqComm -= Gen`: drops
+  /// every entry that `gen_id` provably covers. A gen entry covers a
+  /// recorded entry when gen's path is a prefix of the entry's path AND
+  /// gen's section covers the entry's access (a whole-location def covers
+  /// every access under that path).
+  void remove_covered(const ValueId& gen_id, const ValueEntry& gen_entry);
+
+  void add_all(const ValueSet& other);
+  void remove_covered_all(const ValueSet& gen);
+
+  /// ReqComm(f1) = ReqComm(f2) - Gen(b) + Cons(b)   (§4.2, eqn 1)
+  static ValueSet req_comm(const ValueSet& req_comm_next, const ValueSet& gen,
+                           const ValueSet& cons);
+
+  /// Removes entries subsumed by a shorter-path entry: when A's path is a
+  /// proper prefix of B's and A covers B's access (A is whole, or their
+  /// sections match / A's covers B's), B is dropped. Keeps volumes and
+  /// packing free of double counting (e.g. `cubes[]` whole elements plus
+  /// `cubes[].v0`).
+  void normalize();
+
+  bool operator==(const ValueSet& o) const { return items_ == o.items_; }
+
+  std::string to_string() const;
+
+ private:
+  Map items_;
+};
+
+}  // namespace cgp

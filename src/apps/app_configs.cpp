@@ -1,0 +1,142 @@
+#include "apps/app_configs.h"
+
+#include "apps/dialect_sources.h"
+
+namespace cgp::apps {
+
+AppConfig tiny_config(std::int64_t items, std::int64_t packets) {
+  AppConfig config;
+  config.name = "tiny";
+  config.source = tiny_pipeline_source();
+  config.runtime_constants = {
+      {"runtime_define_num_items", items},
+      {"runtime_define_num_packets", packets},
+  };
+  const std::int64_t psize = items / packets;
+  config.size_bindings = {
+      {"n", items}, {"npackets", packets}, {"psize", psize},
+      {"base", 0},  {"len(data)", items},  {"len(sq)", psize},
+  };
+  config.n_packets = packets;
+  return config;
+}
+
+AppConfig isosurface_zbuffer_config(bool large) {
+  AppConfig config;
+  config.name = large ? "isosurface-zbuffer-large" : "isosurface-zbuffer-small";
+  config.source = isosurface_zbuffer_source();
+  const std::int64_t dim = large ? 45 : 29;
+  const std::int64_t ncubes_raw = dim * dim * dim;
+  const std::int64_t packets = 64;
+  const std::int64_t ncubes = (ncubes_raw / packets) * packets;
+  const std::int64_t psize = ncubes / packets;
+  const std::int64_t screen = 48;
+  config.runtime_constants = {
+      {"runtime_define_num_cubes", ncubes},
+      {"runtime_define_num_packets", packets},
+      {"runtime_define_screen", screen},
+      {"runtime_define_grid_dim", dim},
+      {"runtime_define_iso_mille", 500},
+  };
+  // Selectivity estimate for the compile-time cost model: roughly half the
+  // cubes cross a mid-range isovalue of this smooth field.
+  const std::int64_t nsel = (psize * 45) / 100;
+  config.size_bindings = {
+      {"ncubes", ncubes},   {"npackets", packets}, {"psize", psize},
+      {"screen", screen},   {"dim", dim},          {"base", 0},
+      {"nsel", nsel},       {"len(cubes)", ncubes},
+      {"len(sel)", nsel},   {"len(tris)", nsel},
+      {"ww", screen},       {"hh", screen},
+      {"w", screen},        {"h", screen},
+      {"zbuf.w", screen},   {"zbuf.h", screen},
+      {"pz.w", screen},     {"pz.h", screen},
+      {"len(depth)", screen * screen},
+      {"len(color)", screen * screen},
+      {"len(pz.depth)", screen * screen},
+      {"len(pz.color)", screen * screen},
+  };
+  config.n_packets = packets;
+  return config;
+}
+
+AppConfig isosurface_active_pixels_config(bool large) {
+  AppConfig config = isosurface_zbuffer_config(large);
+  config.name = large ? "isosurface-active-large" : "isosurface-active-small";
+  config.source = isosurface_active_pixels_source();
+  const std::int64_t psize = config.size_bindings.at("psize");
+  config.size_bindings["npix"] = psize;  // ~4 pixels per crossing cube
+  config.size_bindings["len(pix)"] = psize;
+  config.size_bindings["nsel"] = (psize * 45) / 100;
+  config.size_bindings["half"] = config.size_bindings.at("screen") / 2;
+  return config;
+}
+
+AppConfig knn_config(std::int64_t k) {
+  AppConfig config;
+  config.name = "knn-k" + std::to_string(k);
+  config.source = knn_source();
+  const std::int64_t npoints = 49152;  // paper: 4.5M, scaled ~90x
+  const std::int64_t packets = 24;
+  const std::int64_t psize = npoints / packets;
+  config.runtime_constants = {
+      {"runtime_define_num_points", npoints},
+      {"runtime_define_num_packets", packets},
+      {"runtime_define_k", k},
+      {"runtime_define_qx_mille", 400},
+      {"runtime_define_qy_mille", 550},
+      {"runtime_define_qz_mille", 600},
+  };
+  config.size_bindings = {
+      {"npoints", npoints}, {"npackets", packets}, {"psize", psize},
+      {"k", k},             {"kk", k},             {"base", 0},
+      {"len(pts)", npoints}, {"len(dists)", psize}, {"len(dist)", k},
+  };
+  config.n_packets = packets;
+  return config;
+}
+
+AppConfig vmscope_config(bool large_query) {
+  AppConfig config;
+  config.name = large_query ? "vmscope-large" : "vmscope-small";
+  config.source = vmscope_source();
+  const std::int64_t imgw = 1024;
+  const std::int64_t imgh = 768;
+  const std::int64_t packets = 16;
+  // Small query: a narrow region, subsample 2 (hard to balance: only a few
+  // bands intersect it). Large query: most of the slide, subsample 8.
+  const std::int64_t qx0 = large_query ? 32 : 384;
+  const std::int64_t qx1 = large_query ? 991 : 543;
+  const std::int64_t qy0 = large_query ? 48 : 312;
+  const std::int64_t qy1 = large_query ? 719 : 407;
+  const std::int64_t sub = large_query ? 8 : 2;
+  config.runtime_constants = {
+      {"runtime_define_img_w", imgw},   {"runtime_define_img_h", imgh},
+      {"runtime_define_num_packets", packets},
+      {"runtime_define_qx0", qx0},      {"runtime_define_qx1", qx1},
+      {"runtime_define_qy0", qy0},      {"runtime_define_qy1", qy1},
+      {"runtime_define_subsample", sub},
+  };
+  const std::int64_t rowsper = (qy1 - qy0 + 1) / packets;
+  const std::int64_t bandw = qx1 - qx0 + 1;
+  const std::int64_t outw = (qx1 - qx0 + sub) / sub;
+  const std::int64_t outh = (qy1 - qy0 + sub) / sub;
+  const std::int64_t band_pixels = rowsper * bandw;
+  config.size_bindings = {
+      {"imgw", imgw},     {"imgh", imgh},      {"npackets", packets},
+      {"rowsper", rowsper}, {"row0", 0},       {"qx0", qx0},
+      {"qx1", qx1},       {"qy0", qy0},        {"qy1", qy1},
+      {"sub", sub},       {"bandw", bandw},    {"outw", outw},
+      {"outh", outh},     {"nk", band_pixels / (sub * sub) + 1},
+      {"len(img)", imgw * imgh},
+      {"len(band)", band_pixels},
+      {"len(keep)", band_pixels + 1},
+      {"len(kpos)", band_pixels + 1},
+      {"ww", outw},       {"hh", outh},
+      {"w", outw},        {"h", outh},
+      {"len(data)", outw * outh},
+  };
+  config.n_packets = packets;
+  return config;
+}
+
+}  // namespace cgp::apps

@@ -1,0 +1,40 @@
+// Experiment configurations for the paper's applications (§6), scaled to
+// this container. Each config carries the dialect source, the runtime
+// constants that parameterize it, and the size bindings the static cost
+// model uses (collection lengths, loop-bound scalars, selectivity
+// estimates). Scale factors relative to the paper are recorded in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cgp::apps {
+
+struct AppConfig {
+  std::string name;
+  std::string source;
+  std::map<std::string, std::int64_t> runtime_constants;
+  std::map<std::string, std::int64_t> size_bindings;
+  std::int64_t n_packets = 0;
+};
+
+AppConfig tiny_config(std::int64_t items = 4096, std::int64_t packets = 16);
+
+/// Isosurface z-buffer, small (150 MB/timestep in the paper) or large
+/// (600 MB/timestep) dataset, scaled down ~1000x.
+AppConfig isosurface_zbuffer_config(bool large);
+
+/// Isosurface active-pixels, same datasets.
+AppConfig isosurface_active_pixels_config(bool large);
+
+/// k-nearest neighbors over pseudo-random 3-D points (paper: 4.5M points,
+/// k = 3 and k = 200).
+AppConfig knn_config(std::int64_t k);
+
+/// Virtual microscope: small query (hard to load-balance) or large query
+/// with a larger subsampling factor (§6.5).
+AppConfig vmscope_config(bool large_query);
+
+}  // namespace cgp::apps

@@ -1,0 +1,682 @@
+#include "apps/dialect_sources.h"
+
+namespace cgp::apps {
+
+std::string tiny_pipeline_source() {
+  return R"dialect(
+interface Reducinterface { }
+
+class Acc implements Reducinterface {
+  double total;
+  Acc() { total = 0.0; }
+  void add(double v) { total = total + v; }
+  void merge(Acc other) { total = total + other.total; }
+}
+
+class Tiny {
+  void main() {
+    int n = runtime_define_num_items;
+    int npackets = runtime_define_num_packets;
+    int psize = n / npackets;
+    double[] data = new double[n];
+    foreach (i in [0 : n - 1]) {
+      data[i] = i * 0.5;
+    }
+    Acc acc = new Acc();
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      double[] sq = new double[psize];
+      foreach (i in [base : base + psize - 1]) {
+        sq[i - base] = data[i] * data[i];
+      }
+      foreach (j in [0 : psize - 1]) {
+        acc.add(sq[j]);
+      }
+    }
+    double result = acc.total;
+  }
+}
+)dialect";
+}
+
+std::string isosurface_zbuffer_source() {
+  return R"dialect(
+interface Reducinterface { }
+
+class Cube {
+  float x; float y; float z;
+  float v0; float v1; float v2; float v3;
+  float v4; float v5; float v6; float v7;
+}
+
+class Tri {
+  float x0; float y0; float z0;
+  float x1; float y1; float z1;
+  float x2; float y2; float z2;
+  float val;
+}
+
+class ZBuffer implements Reducinterface {
+  int w; int h;
+  float[] depth;
+  float[] color;
+  ZBuffer(int ww, int hh) {
+    w = ww;
+    h = hh;
+    depth = new float[ww * hh];
+    color = new float[ww * hh];
+    foreach (i in [0 : ww * hh - 1]) {
+      depth[i] = 1000000.0;
+      color[i] = 0.0;
+    }
+  }
+  void put(int px, int py, float d, float c) {
+    if (px >= 0 && px < w && py >= 0 && py < h) {
+      int idx = py * w + px;
+      if (d < depth[idx]) {
+        depth[idx] = d;
+        color[idx] = c;
+      }
+    }
+  }
+  void splat(float x, float y, float z, float c) {
+    float zz = z + 8.0;
+    if (zz > 0.1) {
+      int px = x * 64.0 / zz + w / 2;
+      int py = y * 64.0 / zz + h / 2;
+      put(px, py, zz, c);
+    }
+  }
+  void merge(ZBuffer other) {
+    foreach (i in [0 : w * h - 1]) {
+      if (other.depth[i] < depth[i]) {
+        depth[i] = other.depth[i];
+        color[i] = other.color[i];
+      }
+    }
+  }
+}
+
+class IsoZBuffer {
+  float field(int x, int y, int z) {
+    float fx = x * 0.37;
+    float fy = y * 0.23;
+    float fz = z * 0.31;
+    return 0.5 + 0.35 * sin(fx) * cos(fy) + 0.15 * sin(fz + 1.0);
+  }
+
+  void main() {
+    int ncubes = runtime_define_num_cubes;
+    int npackets = runtime_define_num_packets;
+    int psize = ncubes / npackets;
+    int screen = runtime_define_screen;
+    int dim = runtime_define_grid_dim;
+    float isoval = runtime_define_iso_mille * 0.001;
+
+    // Input dataset: a smooth synthetic scalar field sampled on a grid
+    // (stands in for the ParSSim simulation snapshots).
+    Cube[] cubes = new Cube[ncubes];
+    foreach (i in [0 : ncubes - 1]) {
+      Cube c = new Cube();
+      int xi = i % dim;
+      int yi = (i / dim) % dim;
+      int zi = i / (dim * dim);
+      c.x = xi * 0.1 - dim * 0.05;
+      c.y = yi * 0.1 - dim * 0.05;
+      c.z = zi * 0.1 - dim * 0.05;
+      c.v0 = field(xi, yi, zi);
+      c.v1 = field(xi + 1, yi, zi);
+      c.v2 = field(xi, yi + 1, zi);
+      c.v3 = field(xi + 1, yi + 1, zi);
+      c.v4 = field(xi, yi, zi + 1);
+      c.v5 = field(xi + 1, yi, zi + 1);
+      c.v6 = field(xi, yi + 1, zi + 1);
+      c.v7 = field(xi + 1, yi + 1, zi + 1);
+      cubes[i] = c;
+    }
+
+    ZBuffer zbuf = new ZBuffer(screen, screen);
+
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      // --- stage: select crossing cubes (preprocessing the compiler can
+      // place on the data nodes) ---
+      Cube[] sel = new Cube[psize];
+      int nsel = 0;
+      for (int i = base; i <= base + psize - 1; i++) {
+        Cube c = cubes[i];
+        float lo = min(min(min(c.v0, c.v1), min(c.v2, c.v3)),
+                       min(min(c.v4, c.v5), min(c.v6, c.v7)));
+        float hi = max(max(max(c.v0, c.v1), max(c.v2, c.v3)),
+                       max(max(c.v4, c.v5), max(c.v6, c.v7)));
+        if (lo <= isoval && isoval <= hi) {
+          sel[nsel] = c;
+          nsel = nsel + 1;
+        }
+      }
+      // --- stage: extract one triangle per crossing cube ---
+      Tri[] tris = new Tri[nsel + 1];
+      foreach (j in [0 : nsel - 1]) {
+        Cube c = sel[j];
+        Tri t = new Tri();
+        float f0 = (isoval - c.v0) / (c.v1 - c.v0 + 0.0001);
+        float f1 = (isoval - c.v0) / (c.v2 - c.v0 + 0.0001);
+        float f2 = (isoval - c.v0) / (c.v4 - c.v0 + 0.0001);
+        t.x0 = c.x + f0 * 0.1;
+        t.y0 = c.y;
+        t.z0 = c.z;
+        t.x1 = c.x;
+        t.y1 = c.y + f1 * 0.1;
+        t.z1 = c.z;
+        t.x2 = c.x;
+        t.y2 = c.y;
+        t.z2 = c.z + f2 * 0.1;
+        t.val = (c.v0 + c.v7) * 0.5;
+        tris[j] = t;
+      }
+      // --- stage: transform to viewing coordinates ---
+      float ca = 0.8;
+      float sa = 0.6;
+      float cb = 0.9238;
+      float sb = 0.3827;
+      foreach (j in [0 : nsel - 1]) {
+        Tri t = tris[j];
+        float ax0 = ca * t.x0 - sa * t.y0;
+        float ay0 = sa * t.x0 + ca * t.y0;
+        float by0 = cb * ay0 - sb * t.z0;
+        float bz0 = sb * ay0 + cb * t.z0;
+        t.x0 = ax0;
+        t.y0 = by0;
+        t.z0 = bz0;
+        float ax1 = ca * t.x1 - sa * t.y1;
+        float ay1 = sa * t.x1 + ca * t.y1;
+        float by1 = cb * ay1 - sb * t.z1;
+        float bz1 = sb * ay1 + cb * t.z1;
+        t.x1 = ax1;
+        t.y1 = by1;
+        t.z1 = bz1;
+        float ax2 = ca * t.x2 - sa * t.y2;
+        float ay2 = sa * t.x2 + ca * t.y2;
+        float by2 = cb * ay2 - sb * t.z2;
+        float bz2 = sb * ay2 + cb * t.z2;
+        t.x2 = ax2;
+        t.y2 = by2;
+        t.z2 = bz2;
+      }
+      // --- stage: project and accumulate onto a per-packet z-buffer ---
+      ZBuffer pz = new ZBuffer(screen, screen);
+      foreach (j in [0 : nsel - 1]) {
+        Tri t = tris[j];
+        pz.splat(t.x0, t.y0, t.z0, t.val);
+        pz.splat(t.x1, t.y1, t.z1, t.val);
+        pz.splat(t.x2, t.y2, t.z2, t.val);
+        float cx = (t.x0 + t.x1 + t.x2) * 0.3333;
+        float cy = (t.y0 + t.y1 + t.y2) * 0.3333;
+        float cz = (t.z0 + t.z1 + t.z2) * 0.3333;
+        pz.splat(cx, cy, cz, t.val);
+      }
+      zbuf.merge(pz);
+    }
+
+    // View stage: checksum the final image.
+    double checksum = 0.0;
+    int lit = 0;
+    for (int i = 0; i < screen * screen; i++) {
+      checksum = checksum + zbuf.color[i];
+      if (zbuf.depth[i] < 999999.0) {
+        lit = lit + 1;
+      }
+    }
+  }
+}
+)dialect";
+}
+
+std::string isosurface_active_pixels_source() {
+  return R"dialect(
+interface Reducinterface { }
+
+class Cube {
+  float x; float y; float z;
+  float v0; float v1; float v2; float v3;
+  float v4; float v5; float v6; float v7;
+}
+
+class Tri {
+  float x0; float y0; float z0;
+  float x1; float y1; float z1;
+  float x2; float y2; float z2;
+  float val;
+}
+
+class Pixel {
+  int idx;
+  float d;
+  float c;
+}
+
+class ZBuffer implements Reducinterface {
+  int w; int h;
+  float[] depth;
+  float[] color;
+  ZBuffer(int ww, int hh) {
+    w = ww;
+    h = hh;
+    depth = new float[ww * hh];
+    color = new float[ww * hh];
+    foreach (i in [0 : ww * hh - 1]) {
+      depth[i] = 1000000.0;
+      color[i] = 0.0;
+    }
+  }
+  void putIdx(int idx, float d, float c) {
+    if (idx >= 0 && idx < w * h) {
+      if (d < depth[idx]) {
+        depth[idx] = d;
+        color[idx] = c;
+      }
+    }
+  }
+  void merge(ZBuffer other) {
+    foreach (i in [0 : w * h - 1]) {
+      if (other.depth[i] < depth[i]) {
+        depth[i] = other.depth[i];
+        color[i] = other.color[i];
+      }
+    }
+  }
+}
+
+class IsoActivePixels {
+  float field(int x, int y, int z) {
+    float fx = x * 0.37;
+    float fy = y * 0.23;
+    float fz = z * 0.31;
+    return 0.5 + 0.35 * sin(fx) * cos(fy) + 0.15 * sin(fz + 1.0);
+  }
+
+  int projectPix(float a, float zz, int half) {
+    return a * 64.0 / zz + half;
+  }
+
+  void main() {
+    int ncubes = runtime_define_num_cubes;
+    int npackets = runtime_define_num_packets;
+    int psize = ncubes / npackets;
+    int screen = runtime_define_screen;
+    int dim = runtime_define_grid_dim;
+    float isoval = runtime_define_iso_mille * 0.001;
+
+    Cube[] cubes = new Cube[ncubes];
+    foreach (i in [0 : ncubes - 1]) {
+      Cube c = new Cube();
+      int xi = i % dim;
+      int yi = (i / dim) % dim;
+      int zi = i / (dim * dim);
+      c.x = xi * 0.1 - dim * 0.05;
+      c.y = yi * 0.1 - dim * 0.05;
+      c.z = zi * 0.1 - dim * 0.05;
+      c.v0 = field(xi, yi, zi);
+      c.v1 = field(xi + 1, yi, zi);
+      c.v2 = field(xi, yi + 1, zi);
+      c.v3 = field(xi + 1, yi + 1, zi);
+      c.v4 = field(xi, yi, zi + 1);
+      c.v5 = field(xi + 1, yi, zi + 1);
+      c.v6 = field(xi, yi + 1, zi + 1);
+      c.v7 = field(xi + 1, yi + 1, zi + 1);
+      cubes[i] = c;
+    }
+
+    ZBuffer zbuf = new ZBuffer(screen, screen);
+
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      // --- select crossing cubes (data nodes) ---
+      Cube[] sel = new Cube[psize];
+      int nsel = 0;
+      for (int i = base; i <= base + psize - 1; i++) {
+        Cube c = cubes[i];
+        float lo = min(min(min(c.v0, c.v1), min(c.v2, c.v3)),
+                       min(min(c.v4, c.v5), min(c.v6, c.v7)));
+        float hi = max(max(max(c.v0, c.v1), max(c.v2, c.v3)),
+                       max(max(c.v4, c.v5), max(c.v6, c.v7)));
+        if (lo <= isoval && isoval <= hi) {
+          sel[nsel] = c;
+          nsel = nsel + 1;
+        }
+      }
+      // --- extract + transform triangles ---
+      Tri[] tris = new Tri[nsel + 1];
+      float ca = 0.8;
+      float sa = 0.6;
+      float cb = 0.9238;
+      float sb = 0.3827;
+      foreach (j in [0 : nsel - 1]) {
+        Cube c = sel[j];
+        Tri t = new Tri();
+        float f0 = (isoval - c.v0) / (c.v1 - c.v0 + 0.0001);
+        float f1 = (isoval - c.v0) / (c.v2 - c.v0 + 0.0001);
+        float f2 = (isoval - c.v0) / (c.v4 - c.v0 + 0.0001);
+        float px0 = c.x + f0 * 0.1;
+        float py0 = c.y;
+        float pz0 = c.z;
+        float px1 = c.x;
+        float py1 = c.y + f1 * 0.1;
+        float pz1 = c.z;
+        float px2 = c.x;
+        float py2 = c.y;
+        float pz2 = c.z + f2 * 0.1;
+        t.x0 = ca * px0 - sa * py0;
+        float ay0 = sa * px0 + ca * py0;
+        t.y0 = cb * ay0 - sb * pz0;
+        t.z0 = sb * ay0 + cb * pz0;
+        t.x1 = ca * px1 - sa * py1;
+        float ay1 = sa * px1 + ca * py1;
+        t.y1 = cb * ay1 - sb * pz1;
+        t.z1 = sb * ay1 + cb * pz1;
+        t.x2 = ca * px2 - sa * py2;
+        float ay2 = sa * px2 + ca * py2;
+        t.y2 = cb * ay2 - sb * pz2;
+        t.z2 = sb * ay2 + cb * pz2;
+        t.val = (c.v0 + c.v7) * 0.5;
+        tris[j] = t;
+      }
+      // --- project to a sparse ACTIVE PIXEL list (no dense per-packet
+      // z-buffer is allocated, initialized or communicated) ---
+      Pixel[] pix = new Pixel[4 * nsel + 1];
+      int npix = 0;
+      int half = screen / 2;
+      for (int j = 0; j <= nsel - 1; j++) {
+        Tri t = tris[j];
+        float zz0 = t.z0 + 8.0;
+        if (zz0 > 0.1) {
+          int ax = projectPix(t.x0, zz0, half);
+          int ay = projectPix(t.y0, zz0, half);
+          if (ax >= 0 && ax < screen && ay >= 0 && ay < screen) {
+            Pixel q = new Pixel();
+            q.idx = ay * screen + ax;
+            q.d = zz0;
+            q.c = t.val;
+            pix[npix] = q;
+            npix = npix + 1;
+          }
+        }
+        float zz1 = t.z1 + 8.0;
+        if (zz1 > 0.1) {
+          int bx = projectPix(t.x1, zz1, half);
+          int by = projectPix(t.y1, zz1, half);
+          if (bx >= 0 && bx < screen && by >= 0 && by < screen) {
+            Pixel q = new Pixel();
+            q.idx = by * screen + bx;
+            q.d = zz1;
+            q.c = t.val;
+            pix[npix] = q;
+            npix = npix + 1;
+          }
+        }
+        float zz2 = t.z2 + 8.0;
+        if (zz2 > 0.1) {
+          int cx = projectPix(t.x2, zz2, half);
+          int cy = projectPix(t.y2, zz2, half);
+          if (cx >= 0 && cx < screen && cy >= 0 && cy < screen) {
+            Pixel q = new Pixel();
+            q.idx = cy * screen + cx;
+            q.d = zz2;
+            q.c = t.val;
+            pix[npix] = q;
+            npix = npix + 1;
+          }
+        }
+        float mx = (t.x0 + t.x1 + t.x2) * 0.3333;
+        float my = (t.y0 + t.y1 + t.y2) * 0.3333;
+        float mz = (t.z0 + t.z1 + t.z2) * 0.3333;
+        float zz3 = mz + 8.0;
+        if (zz3 > 0.1) {
+          int dx = projectPix(mx, zz3, half);
+          int dy = projectPix(my, zz3, half);
+          if (dx >= 0 && dx < screen && dy >= 0 && dy < screen) {
+            Pixel q = new Pixel();
+            q.idx = dy * screen + dx;
+            q.d = zz3;
+            q.c = t.val;
+            pix[npix] = q;
+            npix = npix + 1;
+          }
+        }
+      }
+      // --- accumulate the active pixels into the global z-buffer ---
+      foreach (m in [0 : npix - 1]) {
+        Pixel q = pix[m];
+        zbuf.putIdx(q.idx, q.d, q.c);
+      }
+    }
+
+    double checksum = 0.0;
+    int lit = 0;
+    for (int i = 0; i < screen * screen; i++) {
+      checksum = checksum + zbuf.color[i];
+      if (zbuf.depth[i] < 999999.0) {
+        lit = lit + 1;
+      }
+    }
+  }
+}
+)dialect";
+}
+
+std::string knn_source() {
+  return R"dialect(
+interface Reducinterface { }
+
+class Point3 {
+  float x; float y; float z;
+}
+
+class KnnResult implements Reducinterface {
+  int k;
+  float worst;
+  float[] dist;
+  KnnResult(int kk) {
+    k = kk;
+    worst = 1.0e30;
+    dist = new float[kk];
+    foreach (i in [0 : kk - 1]) {
+      dist[i] = 1.0e30;
+    }
+  }
+  void insert(float d) {
+    if (d < worst) {
+      int mi = 0;
+      float mv = dist[0];
+      for (int i = 1; i < k; i++) {
+        if (dist[i] > mv) {
+          mv = dist[i];
+          mi = i;
+        }
+      }
+      dist[mi] = d;
+      float nw = dist[0];
+      for (int i = 1; i < k; i++) {
+        if (dist[i] > nw) {
+          nw = dist[i];
+        }
+      }
+      worst = nw;
+    }
+  }
+  void merge(KnnResult other) {
+    for (int i = 0; i < other.k; i++) {
+      insert(other.dist[i]);
+    }
+  }
+}
+
+class Knn {
+  void main() {
+    int npoints = runtime_define_num_points;
+    int npackets = runtime_define_num_packets;
+    int psize = npoints / npackets;
+    int k = runtime_define_k;
+    float qx = runtime_define_qx_mille * 0.001;
+    float qy = runtime_define_qy_mille * 0.001;
+    float qz = runtime_define_qz_mille * 0.001;
+
+    // Input dataset: pseudo-random 3-D points (LCG), standing in for the
+    // paper's 108 MB / 4.5M point dataset at reduced scale.
+    Point3[] pts = new Point3[npoints];
+    int seed = 123456789;
+    for (int i = 0; i < npoints; i++) {
+      Point3 q = new Point3();
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      q.x = (seed % 10000) * 0.0001;
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      q.y = (seed % 10000) * 0.0001;
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      q.z = (seed % 10000) * 0.0001;
+      pts[i] = q;
+    }
+
+    KnnResult res = new KnnResult(k);
+
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      // --- stage: compute distances (placed on data nodes by Decomp:
+      // 4 bytes/point cross the link instead of 12) ---
+      float[] dists = new float[psize];
+      foreach (i in [base : base + psize - 1]) {
+        Point3 pt = pts[i];
+        float dx = pt.x - qx;
+        float dy = pt.y - qy;
+        float dz = pt.z - qz;
+        dists[i - base] = dx * dx + dy * dy + dz * dz;
+      }
+      // --- stage: fold into the k-best reduction ---
+      foreach (j in [0 : psize - 1]) {
+        res.insert(dists[j]);
+      }
+    }
+
+    float kth = 0.0;
+    double dsum = 0.0;
+    for (int i = 0; i < k; i++) {
+      float d = res.dist[i];
+      dsum = dsum + d;
+      if (d > kth && d < 1.0e29) {
+        kth = d;
+      }
+    }
+  }
+}
+)dialect";
+}
+
+std::string vmscope_source() {
+  return R"dialect(
+interface Reducinterface { }
+
+class VMImage implements Reducinterface {
+  int w; int h;
+  int[] data;
+  VMImage(int ww, int hh) {
+    w = ww;
+    h = hh;
+    data = new int[ww * hh];
+  }
+  void set(int pos, int v) {
+    if (pos >= 0 && pos < w * h) {
+      data[pos] = v;
+    }
+  }
+  void merge(VMImage other) {
+    foreach (i in [0 : w * h - 1]) {
+      if (other.data[i] > 0) {
+        data[i] = other.data[i];
+      }
+    }
+  }
+}
+
+class VMScope {
+  void main() {
+    int imgw = runtime_define_img_w;
+    int imgh = runtime_define_img_h;
+    int npackets = runtime_define_num_packets;
+    int qx0 = runtime_define_qx0;
+    int qx1 = runtime_define_qx1;
+    int qy0 = runtime_define_qy0;
+    int qy1 = runtime_define_qy1;
+    int sub = runtime_define_subsample;
+    // Packets cover the query's rows: the runtime reads only the image
+    // chunks a query intersects (DataCutter's indexed-chunk model).
+    int rowsper = (qy1 - qy0 + 1) / npackets;
+
+    // Input dataset: a synthetic digitized slide (deterministic texture).
+    byte[] img = new byte[imgw * imgh];
+    foreach (i in [0 : imgw * imgh - 1]) {
+      img[i] = (i * 31 + (i / imgw) * 17) % 127;
+    }
+
+    int bandw = qx1 - qx0 + 1;
+    int outw = (qx1 - qx0 + sub) / sub;
+    int outh = (qy1 - qy0 + sub) / sub;
+    VMImage result = new VMImage(outw, outh);
+
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int row0 = qy0 + p * rowsper;
+      // --- stage: clip this band of rows to the query region (data
+      // nodes); +1 so that 0 marks pixels outside the query ---
+      byte[] band = new byte[rowsper * bandw];
+      foreach (r in [row0 : row0 + rowsper - 1]) {
+        if (r >= qy0 && r <= qy1) {
+          for (int cc = qx0; cc <= qx1; cc++) {
+            band[(r - row0) * bandw + (cc - qx0)] = img[r * imgw + cc] + 1;
+          }
+        }
+      }
+      // --- stage: subsample + enhance. The compiler-generated code walks
+      // every clipped pixel and tests divisibility (the conditional the
+      // paper contrasts with the manual stride version, §6.5) ---
+      int[] keep = new int[rowsper * bandw + 1];
+      int[] kpos = new int[rowsper * bandw + 1];
+      int nk = 0;
+      if (row0 <= qy1 && row0 + rowsper - 1 >= qy0) {
+        for (int j = 0; j <= rowsper * bandw - 1; j++) {
+          int v = band[j];
+          if (v > 0) {
+            int xr = j % bandw;
+            if (xr % sub == 0) {
+              int yr = j / bandw + row0 - qy0;
+              if (yr % sub == 0) {
+                int sv = (v - 1) * 2;
+                if (sv > 255) {
+                  sv = 255;
+                }
+                keep[nk] = sv + 1;
+                kpos[nk] = (yr / sub) * outw + (xr / sub);
+                nk = nk + 1;
+              }
+            }
+          }
+        }
+      }
+      // --- stage: place into the global output image (view node) ---
+      foreach (m in [0 : nk - 1]) {
+        result.set(kpos[m], keep[m]);
+      }
+    }
+
+    long total = 0;
+    int filled = 0;
+    for (int i = 0; i < outw * outh; i++) {
+      int v = result.data[i];
+      total = total + v;
+      if (v > 0) {
+        filled = filled + 1;
+      }
+    }
+  }
+}
+)dialect";
+}
+
+}  // namespace cgp::apps

@@ -1,0 +1,33 @@
+// Dialect source programs for the paper's four applications (§6.1) plus a
+// minimal tutorial pipeline. Each returns a complete program in the cgpipe
+// Java dialect; runtime_define_* constants parameterize dataset scale.
+#pragma once
+
+#include <string>
+
+namespace cgp::apps {
+
+/// Minimal pipeline used by tests and the quickstart example: square each
+/// input element on one stage, sum on another.
+std::string tiny_pipeline_source();
+
+/// Isosurface rendering via z-buffer (§3, §6.3).
+/// runtime constants: num_cubes, num_packets, screen, grid_dim, iso_mille
+/// (isovalue in thousandths).
+std::string isosurface_zbuffer_source();
+
+/// Isosurface rendering via active pixels (§6.3): sparse per-packet pixel
+/// lists instead of dense per-packet z-buffers.
+std::string isosurface_active_pixels_source();
+
+/// k-nearest-neighbor search (§6.4).
+/// runtime constants: num_points, num_packets, k, qx_mille, qy_mille,
+/// qz_mille (query point in thousandths).
+std::string knn_source();
+
+/// Virtual microscope (§6.5): clip + subsample digitized image chunks.
+/// runtime constants: img_w, img_h, num_packets, qx0, qx1, qy0, qy1,
+/// subsample.
+std::string vmscope_source();
+
+}  // namespace cgp::apps

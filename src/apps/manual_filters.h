@@ -1,0 +1,32 @@
+// Hand-written DataCutter filter pipelines (Decomp-Manual, §6.2).
+//
+// The paper compares compiler-generated decompositions against manually
+// written DataCutter code for knn and vmscope. These native filters apply
+// the same decomposition (distance/clip work on the data nodes) but iterate
+// buffers directly — in vmscope with a stride instead of the per-pixel
+// divisibility conditional the compiler emits (§6.5). Results are
+// bit-compatible with the compiled versions (asserted by tests); abstract
+// op counts use the same weights as the interpreter so simulated times are
+// comparable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "codegen/compiled_pipeline.h"
+#include "cost/environment.h"
+
+namespace cgp::apps {
+
+/// Runs the manual knn pipeline; finals: "kth", "dsum".
+PipelineRunResult run_knn_manual(
+    const std::map<std::string, std::int64_t>& constants,
+    const EnvironmentSpec& env);
+
+/// Runs the manual vmscope pipeline; finals: "total", "filled".
+PipelineRunResult run_vmscope_manual(
+    const std::map<std::string, std::int64_t>& constants,
+    const EnvironmentSpec& env);
+
+}  // namespace cgp::apps

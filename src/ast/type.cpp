@@ -1,0 +1,119 @@
+#include "ast/type.h"
+
+namespace cgp {
+
+std::size_t prim_size_bytes(PrimKind kind) {
+  switch (kind) {
+    case PrimKind::Int: return 4;
+    case PrimKind::Long: return 8;
+    case PrimKind::Float: return 4;
+    case PrimKind::Double: return 8;
+    case PrimKind::Boolean: return 1;
+    case PrimKind::Byte: return 1;
+    case PrimKind::Void: return 0;
+  }
+  return 0;
+}
+
+const char* prim_name(PrimKind kind) {
+  switch (kind) {
+    case PrimKind::Int: return "int";
+    case PrimKind::Long: return "long";
+    case PrimKind::Float: return "float";
+    case PrimKind::Double: return "double";
+    case PrimKind::Boolean: return "boolean";
+    case PrimKind::Byte: return "byte";
+    case PrimKind::Void: return "void";
+  }
+  return "?";
+}
+
+namespace {
+TypePtr make_type(Type&& t) { return std::make_shared<const Type>(t); }
+}  // namespace
+
+TypePtr Type::primitive(PrimKind p) {
+  Type t;
+  t.kind_ = Kind::Primitive;
+  t.prim_ = p;
+  return make_type(std::move(t));
+}
+
+TypePtr Type::class_type(std::string name) {
+  Type t;
+  t.kind_ = Kind::Class;
+  t.class_name_ = std::move(name);
+  return make_type(std::move(t));
+}
+
+TypePtr Type::array_of(TypePtr element) {
+  Type t;
+  t.kind_ = Kind::Array;
+  t.element_ = std::move(element);
+  return make_type(std::move(t));
+}
+
+TypePtr Type::rectdomain(int rank) {
+  Type t;
+  t.kind_ = Kind::Rectdomain;
+  t.rank_ = rank;
+  return make_type(std::move(t));
+}
+
+TypePtr Type::point(int rank) {
+  Type t;
+  t.kind_ = Kind::Point;
+  t.rank_ = rank;
+  return make_type(std::move(t));
+}
+
+TypePtr Type::string_type() {
+  Type t;
+  t.kind_ = Kind::String;
+  return make_type(std::move(t));
+}
+
+TypePtr Type::null_type() {
+  Type t;
+  t.kind_ = Kind::Null;
+  return make_type(std::move(t));
+}
+
+TypePtr Type::error_type() {
+  Type t;
+  t.kind_ = Kind::Error;
+  return make_type(std::move(t));
+}
+
+bool Type::equals(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::Primitive: return prim_ == other.prim_;
+    case Kind::Class: return class_name_ == other.class_name_;
+    case Kind::Array: return element_ && other.element_ &&
+                             element_->equals(*other.element_);
+    case Kind::Rectdomain:
+    case Kind::Point: return rank_ == other.rank_;
+    case Kind::String:
+    case Kind::Null:
+    case Kind::Error: return true;
+  }
+  return false;
+}
+
+std::string Type::to_string() const {
+  switch (kind_) {
+    case Kind::Primitive: return prim_name(prim_);
+    case Kind::Class: return class_name_;
+    case Kind::Array: return element_->to_string() + "[]";
+    case Kind::Rectdomain:
+      return "Rectdomain<" + std::to_string(rank_) + ">";
+    case Kind::Point: return "Point<" + std::to_string(rank_) + ">";
+    case Kind::String: return "String";
+    case Kind::Null: return "null";
+    case Kind::Error: return "<error>";
+  }
+  return "?";
+}
+
+}  // namespace cgp

@@ -1,0 +1,104 @@
+// Type representation for the cgpipe dialect.
+//
+// The dialect's types are: Java primitives, classes/interfaces, 1-D arrays
+// of either, `Rectdomain<k>` index domains, and `Point<k>` iteration
+// indices (borrowed from Titanium, §3). Types are small value objects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cgp {
+
+enum class PrimKind : std::uint8_t {
+  Int,
+  Long,
+  Float,
+  Double,
+  Boolean,
+  Byte,
+  Void,
+};
+
+/// Byte width used for communication-volume accounting (§4.3). Matches
+/// Java's storage sizes.
+std::size_t prim_size_bytes(PrimKind kind);
+const char* prim_name(PrimKind kind);
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+class Type {
+ public:
+  enum class Kind : std::uint8_t {
+    Primitive,
+    Class,       // named class or interface
+    Array,       // element[] — element may itself be an array
+    Rectdomain,  // Rectdomain<rank>
+    Point,       // Point<rank>
+    String,
+    Null,   // type of the `null` literal
+    Error,  // produced after a reported sema error; absorbs all checks
+  };
+
+  static TypePtr primitive(PrimKind p);
+  static TypePtr class_type(std::string name);
+  static TypePtr array_of(TypePtr element);
+  static TypePtr rectdomain(int rank);
+  static TypePtr point(int rank);
+  static TypePtr string_type();
+  static TypePtr null_type();
+  static TypePtr error_type();
+  static TypePtr void_type() { return primitive(PrimKind::Void); }
+
+  Kind kind() const { return kind_; }
+  PrimKind prim() const { return prim_; }
+  const std::string& class_name() const { return class_name_; }
+  const TypePtr& element() const { return element_; }
+  int rank() const { return rank_; }
+
+  bool is_primitive() const { return kind_ == Kind::Primitive; }
+  bool is_numeric() const {
+    return is_primitive() && prim_ != PrimKind::Boolean &&
+           prim_ != PrimKind::Void;
+  }
+  bool is_integral() const {
+    return is_primitive() && (prim_ == PrimKind::Int ||
+                              prim_ == PrimKind::Long ||
+                              prim_ == PrimKind::Byte);
+  }
+  bool is_floating() const {
+    return is_primitive() &&
+           (prim_ == PrimKind::Float || prim_ == PrimKind::Double);
+  }
+  bool is_boolean() const {
+    return is_primitive() && prim_ == PrimKind::Boolean;
+  }
+  bool is_void() const { return is_primitive() && prim_ == PrimKind::Void; }
+  bool is_class() const { return kind_ == Kind::Class; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_rectdomain() const { return kind_ == Kind::Rectdomain; }
+  bool is_point() const { return kind_ == Kind::Point; }
+  bool is_error() const { return kind_ == Kind::Error; }
+  bool is_reference() const {
+    return is_class() || is_array() || kind_ == Kind::String ||
+           kind_ == Kind::Null;
+  }
+
+  bool equals(const Type& other) const;
+  std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::Error;
+  PrimKind prim_ = PrimKind::Void;
+  std::string class_name_;
+  TypePtr element_;
+  int rank_ = 0;
+};
+
+inline bool same_type(const TypePtr& a, const TypePtr& b) {
+  return a && b && a->equals(*b);
+}
+
+}  // namespace cgp

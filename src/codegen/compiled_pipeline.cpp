@@ -1,0 +1,752 @@
+#include "codegen/compiled_pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "codegen/serialize.h"
+
+namespace cgp {
+
+namespace {
+
+enum class BufferKind : std::uint8_t { Packet = 0, Replica = 1 };
+
+/// Collects base names of variables written (assigned / inc-dec'd,
+/// directly or as an index/field store target) below a statement.
+void collect_written_bases(const Expr& expr, std::set<std::string>& out) {
+  switch (expr.kind) {
+    case NodeKind::Assign: {
+      const auto& assign = static_cast<const AssignExpr&>(expr);
+      const Expr* target = assign.target.get();
+      while (target) {
+        if (target->kind == NodeKind::VarRef) {
+          out.insert(static_cast<const VarRef*>(target)->name);
+          break;
+        }
+        if (target->kind == NodeKind::FieldAccess) {
+          target = static_cast<const FieldAccess*>(target)->base.get();
+        } else if (target->kind == NodeKind::Index) {
+          target = static_cast<const IndexExpr*>(target)->base.get();
+        } else {
+          break;
+        }
+      }
+      collect_written_bases(*assign.value, out);
+      break;
+    }
+    case NodeKind::Unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      if ((unary.op == UnaryOp::PreInc || unary.op == UnaryOp::PreDec ||
+           unary.op == UnaryOp::PostInc || unary.op == UnaryOp::PostDec) &&
+          unary.operand->kind == NodeKind::VarRef) {
+        out.insert(static_cast<const VarRef&>(*unary.operand).name);
+      }
+      collect_written_bases(*unary.operand, out);
+      break;
+    }
+    case NodeKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      collect_written_bases(*binary.lhs, out);
+      collect_written_bases(*binary.rhs, out);
+      break;
+    }
+    case NodeKind::Call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      if (call.base) collect_written_bases(*call.base, out);
+      for (const ExprPtr& a : call.args) collect_written_bases(*a, out);
+      break;
+    }
+    case NodeKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      collect_written_bases(*cond.cond, out);
+      collect_written_bases(*cond.then_value, out);
+      collect_written_bases(*cond.else_value, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void collect_written_bases(const Stmt& stmt, std::set<std::string>& out) {
+  switch (stmt.kind) {
+    case NodeKind::VarDeclStmt: {
+      const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+      if (decl.init) collect_written_bases(*decl.init, out);
+      break;
+    }
+    case NodeKind::ExprStmt:
+      collect_written_bases(*static_cast<const ExprStmt&>(stmt).expr, out);
+      break;
+    case NodeKind::Block:
+      for (const StmtPtr& s : static_cast<const BlockStmt&>(stmt).statements)
+        collect_written_bases(*s, out);
+      break;
+    case NodeKind::IfStmt: {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      collect_written_bases(*if_stmt.cond, out);
+      collect_written_bases(*if_stmt.then_branch, out);
+      if (if_stmt.else_branch) collect_written_bases(*if_stmt.else_branch, out);
+      break;
+    }
+    case NodeKind::WhileStmt: {
+      const auto& loop = static_cast<const WhileStmt&>(stmt);
+      collect_written_bases(*loop.cond, out);
+      collect_written_bases(*loop.body, out);
+      break;
+    }
+    case NodeKind::ForStmt: {
+      const auto& loop = static_cast<const ForStmt&>(stmt);
+      if (loop.init) collect_written_bases(*loop.init, out);
+      if (loop.cond) collect_written_bases(*loop.cond, out);
+      if (loop.step) collect_written_bases(*loop.step, out);
+      collect_written_bases(*loop.body, out);
+      break;
+    }
+    case NodeKind::ForeachStmt:
+      collect_written_bases(*static_cast<const ForeachStmt&>(stmt).body, out);
+      break;
+    case NodeKind::ReturnStmt: {
+      const auto& ret = static_cast<const ReturnStmt&>(stmt);
+      if (ret.value) collect_written_bases(*ret.value, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void collect_var_refs(const Expr& expr, std::set<std::string>& out) {
+  switch (expr.kind) {
+    case NodeKind::VarRef:
+      out.insert(static_cast<const VarRef&>(expr).name);
+      return;
+    case NodeKind::FieldAccess:
+      collect_var_refs(*static_cast<const FieldAccess&>(expr).base, out);
+      return;
+    case NodeKind::Index: {
+      const auto& index = static_cast<const IndexExpr&>(expr);
+      collect_var_refs(*index.base, out);
+      for (const ExprPtr& i : index.indices) collect_var_refs(*i, out);
+      return;
+    }
+    case NodeKind::Unary:
+      collect_var_refs(*static_cast<const UnaryExpr&>(expr).operand, out);
+      return;
+    case NodeKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      collect_var_refs(*binary.lhs, out);
+      collect_var_refs(*binary.rhs, out);
+      return;
+    }
+    case NodeKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      collect_var_refs(*cond.cond, out);
+      collect_var_refs(*cond.then_value, out);
+      collect_var_refs(*cond.else_value, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// True for expressions free of calls/allocations/writes.
+bool scalar_pure(const Expr& expr) {
+  switch (expr.kind) {
+    case NodeKind::Call:
+    case NodeKind::NewObject:
+    case NodeKind::NewArray:
+    case NodeKind::Assign:
+      return false;
+    case NodeKind::Unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      if (unary.op != UnaryOp::Neg && unary.op != UnaryOp::Not) return false;
+      return scalar_pure(*unary.operand);
+    }
+    case NodeKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      return scalar_pure(*binary.lhs) && scalar_pure(*binary.rhs);
+    }
+    case NodeKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      return scalar_pure(*cond.cond) && scalar_pure(*cond.then_value) &&
+             scalar_pure(*cond.else_value);
+    }
+    case NodeKind::FieldAccess:
+    case NodeKind::Index:
+      return false;  // may touch data unavailable off the source stage
+    default:
+      return true;  // literals, VarRef
+  }
+}
+
+/// Names a packing layout binds on the receiving side.
+std::set<std::string> layout_bound_names(const PackingLayout& layout) {
+  std::set<std::string> out;
+  for (const PackedItem& item : layout.header) out.insert(item.id.base);
+  for (const PackGroup& group : layout.groups) {
+    std::string base = group.collection;
+    std::size_t dot = base.find('.');
+    if (dot != std::string::npos) base = base.substr(0, dot);
+    out.insert(base);
+  }
+  return out;
+}
+
+void write_string(dc::Buffer& out, const std::string& s) {
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+  out.write_bytes(s.data(), s.size());
+}
+
+std::string read_string(dc::Buffer& in) {
+  std::uint32_t n = in.read<std::uint32_t>();
+  std::string s(n, '\0');
+  in.read_bytes(s.data(), n);
+  return s;
+}
+
+/// Resolves path "a.b.c" against an Env (for len() symbols).
+std::optional<Value> lookup_path(Env& env, const ClassRegistry& registry,
+                                 const std::string& path) {
+  std::string base;
+  std::vector<std::string> steps;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= path.size()) {
+    std::size_t dot = path.find('.', start);
+    std::string part = dot == std::string::npos
+                           ? path.substr(start)
+                           : path.substr(start, dot - start);
+    if (first) {
+      base = part;
+      first = false;
+    } else {
+      steps.push_back(part);
+    }
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  if (!env.has(base)) return std::nullopt;
+  Value current = env.get(base);
+  for (const std::string& step : steps) {
+    auto* obj = std::get_if<std::shared_ptr<Object>>(&current);
+    if (!obj || !*obj) return std::nullopt;
+    const ClassInfo* cls = registry.find((*obj)->class_name);
+    const FieldInfo* field = cls ? cls->find_field(step) : nullptr;
+    if (!field) return std::nullopt;
+    current = (*obj)->fields[static_cast<std::size_t>(field->index)];
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<double> PipelineRunResult::mean_stage_ops() const {
+  std::vector<double> out(stage_ops.size(), 0.0);
+  if (packets <= 0) return out;
+  for (std::size_t i = 0; i < stage_ops.size(); ++i)
+    out[i] = stage_ops[i] / static_cast<double>(packets);
+  return out;
+}
+
+std::vector<double> PipelineRunResult::mean_link_bytes() const {
+  std::vector<double> out(link_packet_bytes.size(), 0.0);
+  if (packets <= 0) return out;
+  for (std::size_t i = 0; i < link_packet_bytes.size(); ++i)
+    out[i] = static_cast<double>(link_packet_bytes[i]) /
+             static_cast<double>(packets);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+struct PipelineCompiler::Shared {
+  std::mutex mutex;
+  PipelineRunResult result;
+  const ClassRegistry* registry = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Stage filter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class StageFilter : public dc::Filter {
+ public:
+  StageFilter(const PipelineModel& model, const StagePlan& plan,
+              const std::map<std::string, std::int64_t>& runtime_constants,
+              const PackCost& pack_cost, int n_stages,
+              std::shared_ptr<PipelineCompiler::Shared> shared)
+      : model_(model),
+        plan_(plan),
+        pack_cost_(pack_cost),
+        n_stages_(n_stages),
+        shared_(std::move(shared)),
+        interp_(model.registry, runtime_constants),
+        codec_(model.registry, plan.output_layout) {}
+
+  void init(dc::FilterContext& ctx) override;
+  void process(dc::FilterContext& ctx) override;
+  void finalize(dc::FilterContext& ctx) override;
+
+  void set_input_layout(const PackingLayout& layout) {
+    input_codec_.emplace(model_.registry, layout);
+  }
+
+ private:
+  bool is_source() const { return plan_.stage == 0; }
+  bool is_sink() const { return plan_.stage == n_stages_ - 1; }
+
+  void emit_packet(dc::FilterContext& ctx, Env& env);
+  void handle_replica_buffer(dc::Buffer& in, dc::FilterContext& ctx);
+  SymbolResolver make_resolver(Env& env, std::int64_t packet);
+
+  const PipelineModel& model_;
+  const StagePlan& plan_;
+  PackCost pack_cost_;
+  int n_stages_;
+  std::shared_ptr<PipelineCompiler::Shared> shared_;
+  Interpreter interp_;
+  PacketCodec codec_;
+  std::optional<PacketCodec> input_codec_;
+  Env env_;
+  RectDomainVal packet_domain_;
+  std::int64_t current_packet_ = 0;
+  std::vector<std::string> replica_names_;  // owned replicas in decl order
+  double packet_ops_ = 0.0;
+  double replica_ops_ = 0.0;
+  std::int64_t sent_packet_bytes_ = 0;
+  std::int64_t sent_replica_bytes_ = 0;
+  std::int64_t packets_seen_ = 0;
+};
+
+void StageFilter::init(dc::FilterContext& ctx) {
+  (void)ctx;
+  if (is_source()) {
+    // Pre-loop setup: input data materialization on the data host.
+    interp_.exec_stmts(model_.before, env_);
+    Value dom = [&] {
+      Env& env = env_;
+      // Evaluate the packet domain in the setup environment.
+      return interp_.eval(*model_.loop->domain, env);
+    }();
+    if (auto* d = std::get_if<RectDomainVal>(&dom)) {
+      packet_domain_ = *d;
+    } else {
+      throw std::runtime_error("PipelinedLoop domain is not a rectdomain");
+    }
+  }
+  // Scalar preamble on non-source stages (runtime-constant-derived values
+  // replica constructors and pack sections may reference).
+  for (const VarDeclStmt* decl : plan_.preamble) {
+    if (!env_.has(decl->name)) interp_.exec_stmt(*decl, env_);
+  }
+  // Replica accumulators (on the source they already exist via `before`).
+  for (const Stmt* s : model_.before) {
+    if (s->kind != NodeKind::VarDeclStmt) continue;
+    const auto& decl = static_cast<const VarDeclStmt&>(*s);
+    if (std::find(plan_.replicas.begin(), plan_.replicas.end(), decl.name) ==
+        plan_.replicas.end())
+      continue;
+    replica_names_.push_back(decl.name);
+    if (!env_.has(decl.name)) interp_.exec_stmt(decl, env_);
+  }
+  // Setup cost (dataset synthesis stands in for the disk read) is not
+  // charged as pipeline compute.
+  interp_.reset_ops();
+}
+
+SymbolResolver StageFilter::make_resolver(Env& env, std::int64_t packet) {
+  return [this, &env, packet](
+             const std::string& sym) -> std::optional<std::int64_t> {
+    if (sym == model_.loop_var) return packet;
+    if (sym.rfind("len(", 0) == 0 && sym.back() == ')') {
+      std::string path = sym.substr(4, sym.size() - 5);
+      std::optional<Value> v =
+          lookup_path(env, model_.registry, path);
+      if (!v) return std::nullopt;
+      if (auto* arr = std::get_if<std::shared_ptr<ArrayVal>>(&*v)) {
+        if (!*arr) return std::nullopt;
+        return (*arr)->base_index +
+               static_cast<std::int64_t>((*arr)->elems.size());
+      }
+      return std::nullopt;
+    }
+    if (env.has(sym)) {
+      const Value& v = env.get(sym);
+      if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+      return std::nullopt;
+    }
+    // Dotted symbols are field paths (e.g. "zbuf.w").
+    if (sym.find('.') != std::string::npos) {
+      std::optional<Value> v = lookup_path(env, model_.registry, sym);
+      if (v) {
+        if (const auto* i = std::get_if<std::int64_t>(&*v)) return *i;
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  };
+}
+
+void StageFilter::emit_packet(dc::FilterContext& ctx, Env& env) {
+  dc::Buffer out;
+  out.write<std::uint8_t>(static_cast<std::uint8_t>(BufferKind::Packet));
+  codec_.pack(env, make_resolver(env, current_packet_), out);
+  const double pack_ops = pack_cost_.ops_per_buffer +
+                          pack_cost_.ops_per_byte *
+                              static_cast<double>(out.size());
+  interp_.add_external_ops(pack_ops);
+  sent_packet_bytes_ += static_cast<std::int64_t>(out.size());
+  ctx.emit(std::move(out));
+}
+
+void StageFilter::handle_replica_buffer(dc::Buffer& in,
+                                        dc::FilterContext& ctx) {
+  const double before_ops = interp_.ops();
+  std::uint32_t count = in.read<std::uint32_t>();
+  std::vector<std::pair<std::string, Value>> incoming;
+  incoming.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = read_string(in);
+    incoming.emplace_back(std::move(name), read_value(in));
+  }
+  for (auto& [name, value] : incoming) {
+    if (env_.has(name)) {
+      Value& mine = env_.slot(name);
+      auto* obj = std::get_if<std::shared_ptr<Object>>(&mine);
+      if (obj && *obj) {
+        interp_.call_method((*obj)->class_name, "merge", *obj, {value});
+        continue;
+      }
+      mine = std::move(value);
+    } else {
+      env_.declare_global(name, std::move(value));
+      if (std::find(replica_names_.begin(), replica_names_.end(), name) ==
+          replica_names_.end()) {
+        replica_names_.push_back(name);
+      }
+    }
+  }
+  (void)ctx;
+  replica_ops_ += interp_.ops() - before_ops;
+}
+
+void StageFilter::process(dc::FilterContext& ctx) {
+  if (is_source()) {
+    const std::int64_t lo = packet_domain_.lo;
+    const std::int64_t hi = packet_domain_.hi;
+    for (std::int64_t p = lo; p <= hi; ++p) {
+      if ((p - lo) % ctx.copy_count() != ctx.copy_index()) continue;
+      current_packet_ = p;
+      env_.push();
+      env_.declare(model_.loop_var, p);
+      interp_.add_external_ops(pack_cost_.source_io_ops);  // storage read
+      interp_.exec_stmts(plan_.stmts, env_);
+      if (ctx.has_output()) emit_packet(ctx, env_);
+      env_.pop();
+      ++packets_seen_;
+    }
+    packet_ops_ = interp_.ops() - replica_ops_;
+    return;
+  }
+
+  // Consuming stages.
+  while (auto buffer = ctx.read()) {
+    dc::Buffer in = std::move(*buffer);
+    const std::size_t in_size = in.size();
+    std::uint8_t kind = in.read<std::uint8_t>();
+    if (kind == static_cast<std::uint8_t>(BufferKind::Replica)) {
+      if (plan_.relay) {
+        sent_replica_bytes_ += static_cast<std::int64_t>(in_size);
+        in.seek(0);
+        ctx.emit(std::move(in));
+        continue;
+      }
+      handle_replica_buffer(in, ctx);
+      continue;
+    }
+    if (plan_.relay) {
+      sent_packet_bytes_ += static_cast<std::int64_t>(in_size);
+      ++packets_seen_;
+      in.seek(0);
+      ctx.emit(std::move(in));
+      continue;
+    }
+    ++packets_seen_;
+    interp_.add_external_ops(pack_cost_.ops_per_buffer +
+                             pack_cost_.ops_per_byte *
+                                 static_cast<double>(in_size));
+    env_.push();
+    // The upstream codec for OUR input is the upstream stage's output
+    // codec; decode with our input layout.
+    input_codec_->unpack(in, env_);
+    // Bind the packet id when transmitted.
+    if (env_.has(model_.loop_var)) {
+      const Value& v = env_.get(model_.loop_var);
+      if (const auto* i = std::get_if<std::int64_t>(&v)) current_packet_ = *i;
+    }
+    // Recreate dead-in allocations this stage overwrites, and grow
+    // received partial slices to their declared allocation size.
+    for (const VarDeclStmt* decl : plan_.materialize) {
+      if (!env_.has(decl->name)) {
+        interp_.exec_stmt(*decl, env_);
+        continue;
+      }
+      if (!decl->init || decl->init->kind != NodeKind::NewArray) continue;
+      Value& bound = env_.slot(decl->name);
+      auto* arr = std::get_if<std::shared_ptr<ArrayVal>>(&bound);
+      if (!arr || !*arr || (*arr)->base_index != 0) continue;
+      const auto& alloc = static_cast<const NewArrayExpr&>(*decl->init);
+      const std::int64_t want = as_int(interp_.eval(*alloc.length, env_));
+      if (static_cast<std::int64_t>((*arr)->elems.size()) < want) {
+        (*arr)->elems.resize(static_cast<std::size_t>(want),
+                             Interpreter::default_value(alloc.element_type));
+      }
+    }
+    interp_.exec_stmts(plan_.stmts, env_);
+    if (ctx.has_output()) emit_packet(ctx, env_);
+    if (is_sink()) {
+      // Persist values the post-loop code needs.
+      for (const std::string& name : plan_.carry) {
+        if (env_.has(name)) env_.declare_global(name, env_.get(name));
+      }
+    }
+    env_.pop();
+  }
+  packet_ops_ = interp_.ops() - replica_ops_;
+}
+
+void StageFilter::finalize(dc::FilterContext& ctx) {
+  if (!is_sink() && !plan_.relay && ctx.has_output() &&
+      !replica_names_.empty()) {
+    const double before_ops = interp_.ops();
+    dc::Buffer out;
+    out.write<std::uint8_t>(static_cast<std::uint8_t>(BufferKind::Replica));
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(replica_names_.size()));
+    for (const std::string& name : replica_names_) {
+      write_string(out, name);
+      write_value(out, env_.get(name));
+    }
+    interp_.add_external_ops(pack_cost_.ops_per_buffer +
+                             pack_cost_.ops_per_byte *
+                                 static_cast<double>(out.size()));
+    sent_replica_bytes_ += static_cast<std::int64_t>(out.size());
+    ctx.emit(std::move(out));
+    replica_ops_ += interp_.ops() - before_ops;
+  }
+  if (is_sink()) {
+    const double before_ops = interp_.ops();
+    interp_.exec_stmts(model_.after, env_);
+    replica_ops_ += interp_.ops() - before_ops;
+  }
+
+  // Publish telemetry (and sink results).
+  std::lock_guard lock(shared_->mutex);
+  PipelineRunResult& r = shared_->result;
+  const std::size_t stage = static_cast<std::size_t>(plan_.stage);
+  r.stage_ops[stage] += packet_ops_;
+  r.stage_replica_ops[stage] += replica_ops_;
+  if (plan_.stage < n_stages_ - 1) {
+    r.link_packet_bytes[stage] += sent_packet_bytes_;
+    r.link_replica_bytes[stage] += sent_replica_bytes_;
+  }
+  if (is_source()) r.packets += packets_seen_;
+  if (is_sink()) {
+    for (auto& [name, value] : env_.flatten()) r.finals[name] = value;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+PipelineCompiler::PipelineCompiler(
+    const PipelineModel& model, const Placement& placement,
+    const EnvironmentSpec& env,
+    std::map<std::string, std::int64_t> runtime_constants, PackCost pack_cost)
+    : model_(model),
+      placement_(placement),
+      env_(env),
+      runtime_constants_(std::move(runtime_constants)),
+      pack_cost_(pack_cost) {
+  const int m = env_.stages();
+  const int n_filters = static_cast<int>(model_.filters.size());
+  if (static_cast<int>(placement_.unit_of_filter.size()) != n_filters)
+    throw std::invalid_argument("placement/filter arity mismatch");
+
+  // Per-stage cons sets (for packing planning).
+  std::vector<ValueSet> stage_cons(static_cast<std::size_t>(m));
+  for (int f = 0; f < n_filters; ++f) {
+    int s = placement_.unit_of_filter[static_cast<std::size_t>(f)];
+    stage_cons[static_cast<std::size_t>(s)].add_all(
+        model_.sets[static_cast<std::size_t>(f)].cons);
+  }
+  // The view stage also consumes the post-loop set.
+  stage_cons[static_cast<std::size_t>(m - 1)].add_all(model_.req_comm.back());
+
+  std::vector<int> cuts = placement_.cuts(m);
+  plans_.resize(static_cast<std::size_t>(m));
+  for (int s = 0; s < m; ++s) {
+    StagePlan& plan = plans_[static_cast<std::size_t>(s)];
+    plan.stage = s;
+    for (int f = 0; f < n_filters; ++f) {
+      if (placement_.unit_of_filter[static_cast<std::size_t>(f)] != s) continue;
+      plan.filter_indices.push_back(f);
+      const AtomicFilter& filter = model_.filters[static_cast<std::size_t>(f)];
+      plan.stmts.insert(plan.stmts.end(), filter.stmts.begin(),
+                        filter.stmts.end());
+      for (const std::string& red :
+           model_.sets[static_cast<std::size_t>(f)].reductions) {
+        if (std::find(plan.replicas.begin(), plan.replicas.end(), red) ==
+            plan.replicas.end())
+          plan.replicas.push_back(red);
+      }
+    }
+    plan.relay = plan.filter_indices.empty() && s > 0 && s < m - 1;
+    if (s == m - 1) {
+      for (const std::string& red : model_.after_reductions) {
+        if (std::find(plan.replicas.begin(), plan.replicas.end(), red) ==
+            plan.replicas.end())
+          plan.replicas.push_back(red);
+      }
+      for (const auto& [id, entry] : model_.req_comm.back().items()) {
+        plan.carry.push_back(id.base);
+      }
+    }
+    if (s < m - 1) {
+      const ValueSet& boundary =
+          cuts[static_cast<std::size_t>(s)] >= 0
+              ? model_.req_comm[static_cast<std::size_t>(
+                    cuts[static_cast<std::size_t>(s)])]
+              : model_.input_req;
+      std::vector<ValueSet> downstream;
+      for (int t = s + 1; t < m; ++t)
+        downstream.push_back(stage_cons[static_cast<std::size_t>(t)]);
+      plan.output_layout = plan_packing(boundary, downstream, model_.registry);
+    }
+  }
+  // Input layout for each consuming stage = output layout of the nearest
+  // non-relay upstream stage. Relays forward verbatim, so the effective
+  // input layout of stage s is the output layout of stage s-1 (relay output
+  // layout is a copy of its input's).
+  for (int s = 1; s < m - 1; ++s) {
+    if (plans_[static_cast<std::size_t>(s)].relay) {
+      plans_[static_cast<std::size_t>(s)].output_layout =
+          plans_[static_cast<std::size_t>(s - 1)].output_layout;
+    }
+  }
+
+  // Scalar preamble: pre-loop decls computable from runtime constants and
+  // earlier preamble scalars alone; re-run on non-source stages.
+  std::vector<const VarDeclStmt*> preamble;
+  {
+    std::set<std::string> available;
+    for (const Stmt* s : model_.before) {
+      if (s->kind != NodeKind::VarDeclStmt) continue;
+      const auto* decl = static_cast<const VarDeclStmt*>(s);
+      if (!decl->declared_type || !decl->declared_type->is_primitive())
+        continue;
+      if (!decl->init || !scalar_pure(*decl->init)) continue;
+      std::set<std::string> refs;
+      collect_var_refs(*decl->init, refs);
+      bool ok = true;
+      for (const std::string& name : refs) {
+        if (available.count(name)) continue;
+        if (name.rfind("runtime_define_", 0) == 0) continue;
+        ok = false;
+        break;
+      }
+      if (!ok) continue;
+      preamble.push_back(decl);
+      available.insert(decl->name);
+    }
+  }
+  for (int s = 1; s < m; ++s) {
+    plans_[static_cast<std::size_t>(s)].preamble = preamble;
+  }
+
+  // Materialization: loop-body declarations whose storage a stage writes
+  // but neither declares nor receives (their contents are dead-in, so
+  // ReqComm correctly omits them; only the allocation is recreated).
+  for (int s = 1; s < m; ++s) {
+    StagePlan& plan = plans_[static_cast<std::size_t>(s)];
+    if (plan.relay || plan.stmts.empty()) continue;
+    std::set<std::string> written;
+    for (const Stmt* stmt : plan.stmts) collect_written_bases(*stmt, written);
+    std::set<std::string> declared;
+    for (const Stmt* stmt : plan.stmts) {
+      if (stmt->kind == NodeKind::VarDeclStmt)
+        declared.insert(static_cast<const VarDeclStmt*>(stmt)->name);
+    }
+    std::set<std::string> received = layout_bound_names(
+        plans_[static_cast<std::size_t>(s - 1)].output_layout);
+    for (const AtomicFilter& filter : model_.filters) {
+      for (const Stmt* stmt : filter.stmts) {
+        if (stmt->kind != NodeKind::VarDeclStmt) continue;
+        const auto* decl = static_cast<const VarDeclStmt*>(stmt);
+        // Received names still qualify: the unpacked slice may be smaller
+        // than the declared allocation this stage writes into.
+        (void)received;
+        if (!written.count(decl->name) || declared.count(decl->name))
+          continue;
+        if (std::find(plan.stmts.begin(), plan.stmts.end(), stmt) !=
+            plan.stmts.end())
+          continue;
+        plan.materialize.push_back(decl);
+      }
+    }
+  }
+}
+
+std::vector<dc::FilterGroup> PipelineCompiler::build_groups(
+    std::shared_ptr<Shared> shared) {
+  std::vector<dc::FilterGroup> groups;
+  const int m = env_.stages();
+  for (int s = 0; s < m; ++s) {
+    const StagePlan& plan = plans_[static_cast<std::size_t>(s)];
+    const StagePlan* input_plan =
+        s > 0 ? &plans_[static_cast<std::size_t>(s - 1)] : nullptr;
+    dc::FilterGroup group;
+    group.name = "stage" + std::to_string(s);
+    group.stage = s;
+    group.copies = env_.units[static_cast<std::size_t>(s)].copies;
+    const PipelineModel* model = &model_;
+    const std::map<std::string, std::int64_t>* constants =
+        &runtime_constants_;
+    PackCost pack_cost = pack_cost_;
+    group.factory = [model, plan_ptr = &plan, input_plan, constants,
+                     pack_cost, m, shared]() -> std::unique_ptr<dc::Filter> {
+      auto filter = std::make_unique<StageFilter>(*model, *plan_ptr,
+                                                  *constants, pack_cost, m,
+                                                  shared);
+      if (input_plan) filter->set_input_layout(input_plan->output_layout);
+      return filter;
+    };
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+PipelineRunResult PipelineCompiler::run() {
+  auto shared = std::make_shared<Shared>();
+  shared->registry = &model_.registry;
+  const int m = env_.stages();
+  shared->result.stage_ops.assign(static_cast<std::size_t>(m), 0.0);
+  shared->result.stage_replica_ops.assign(static_cast<std::size_t>(m), 0.0);
+  shared->result.link_packet_bytes.assign(static_cast<std::size_t>(m - 1), 0);
+  shared->result.link_replica_bytes.assign(static_cast<std::size_t>(m - 1), 0);
+
+  dc::PipelineRunner runner(build_groups(shared));
+  dc::RunStats stats = runner.run();
+  shared->result.wall_seconds = stats.wall_seconds;
+  return shared->result;
+}
+
+}  // namespace cgp

@@ -1,0 +1,104 @@
+// Executable code generation (§5).
+//
+// Given a PipelineModel and a Placement, builds one DataCutter filter per
+// pipeline stage:
+//   * stage 0 (data): runs the pre-loop setup once, then iterates its
+//     round-robin share of packets, executes its atomic filters, packs the
+//     boundary's ReqComm per the §5 layout, and emits;
+//   * middle stages: unpack -> execute -> pack -> emit (or pure relay when
+//     no atomic filter is placed on the stage);
+//   * last stage (view): unpack -> execute; at end of stream it merges the
+//     reduction replicas cascaded from upstream copies and runs the
+//     post-loop code.
+//
+// Reduction variables (loop-global Reducinterface objects) are replicated
+// per filter copy; each copy accumulates locally and forwards its replica
+// at finalize; downstream merges replicas via the class's `merge` method.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "analysis/pipeline_model.h"
+#include "codegen/packing.h"
+#include "cost/environment.h"
+#include "datacutter/runner.h"
+#include "decomp/decompose.h"
+
+namespace cgp {
+
+/// Per-stage compiled plan (also consumed by the source emitter).
+struct StagePlan {
+  int stage = 0;
+  std::vector<int> filter_indices;     // atomic filters placed here
+  std::vector<const Stmt*> stmts;      // their statements, in order
+  PackingLayout output_layout;         // empty for the last stage
+  std::vector<std::string> replicas;   // reduction vars this stage updates
+  std::vector<std::string> carry;      // values the post-loop code reads
+  /// Pure scalar pre-loop declarations (computable from runtime constants)
+  /// re-executed at init on non-source stages, so replica constructors and
+  /// section bounds can reference them.
+  std::vector<const VarDeclStmt*> preamble;
+  /// Loop-body declarations re-executed at packet start on this stage:
+  /// collections written here but declared on an earlier stage and fully
+  /// regenerated (dead-in), so ReqComm rightly does not ship their
+  /// contents — only the allocation must be recreated locally.
+  std::vector<const VarDeclStmt*> materialize;
+  bool relay = false;                  // no filters: forward buffers
+};
+
+/// Shared sink-side results and measured telemetry.
+struct PipelineRunResult {
+  std::map<std::string, Value> finals;  // sink bindings after post-loop code
+  // Measured per-run telemetry (for the simulator).
+  std::int64_t packets = 0;
+  std::vector<double> stage_ops;          // total packet ops per stage
+  std::vector<std::int64_t> link_packet_bytes;
+  std::vector<std::int64_t> link_replica_bytes;
+  std::vector<double> stage_replica_ops;  // end-of-run merge/setup ops
+  double wall_seconds = 0.0;
+
+  /// Uniform per-packet trace + epilogue for the pipeline simulator.
+  std::vector<double> mean_stage_ops() const;
+  std::vector<double> mean_link_bytes() const;
+};
+
+/// Extra ops charged for buffer handling, emulating the DataCutter copy /
+/// packing overhead on both sides of a link.
+struct PackCost {
+  double ops_per_byte = 0.25;
+  double ops_per_buffer = 400.0;
+  /// Per-packet storage-read work charged to the source stage (disk read
+  /// of the raw input), in abstract ops.
+  double source_io_ops = 0.0;
+};
+
+class PipelineCompiler {
+ public:
+  PipelineCompiler(const PipelineModel& model, const Placement& placement,
+                   const EnvironmentSpec& env,
+                   std::map<std::string, std::int64_t> runtime_constants,
+                   PackCost pack_cost = {});
+
+  const std::vector<StagePlan>& plans() const { return plans_; }
+
+  /// Runs the compiled pipeline on the threaded DataCutter runtime with the
+  /// environment's copy counts and returns results + telemetry.
+  PipelineRunResult run();
+
+  struct Shared;  // internal telemetry/result aggregation (public for the
+                  // generated filters)
+
+ private:
+  std::vector<dc::FilterGroup> build_groups(std::shared_ptr<Shared> shared);
+
+  const PipelineModel& model_;
+  Placement placement_;
+  EnvironmentSpec env_;
+  std::map<std::string, std::int64_t> runtime_constants_;
+  PackCost pack_cost_;
+  std::vector<StagePlan> plans_;
+};
+
+}  // namespace cgp

@@ -1,0 +1,26 @@
+// DataCutter C++ source emitter (§5, Figure 4).
+//
+// Renders the compiled pipeline as human-readable DataCutter filter code:
+// one filter class per stage with init/process/finalize, reduced element
+// structs containing only the communicated fields, and unpack/pack loops in
+// the instance-wise / field-wise arrangements the packing planner chose.
+// This output is what the paper's offline compiler would write to disk; our
+// executable path interprets the same plans directly.
+#pragma once
+
+#include <string>
+
+#include "codegen/compiled_pipeline.h"
+
+namespace cgp {
+
+/// Emits the complete filter file for a compiled pipeline.
+std::string emit_datacutter_source(const PipelineModel& model,
+                                   const std::vector<StagePlan>& plans);
+
+/// Emits the reduced struct ("T-hat") for one collection's packed fields.
+std::string emit_reduced_struct(const std::string& struct_name,
+                                const PackingLayout& layout,
+                                const std::string& collection);
+
+}  // namespace cgp

@@ -1,0 +1,629 @@
+#include "codegen/packing.h"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "codegen/serialize.h"
+
+namespace cgp {
+
+namespace {
+
+bool ids_overlap(const ValueId& a, const ValueId& b) {
+  return a.is_prefix_of(b) || b.is_prefix_of(a);
+}
+
+int first_consumer_stage(const ValueId& id,
+                         const std::vector<ValueSet>& downstream_cons) {
+  for (std::size_t k = 0; k < downstream_cons.size(); ++k) {
+    for (const auto& [cons_id, entry] : downstream_cons[k].items()) {
+      if (ids_overlap(id, cons_id)) return static_cast<int>(k);
+    }
+  }
+  return INT_MAX;
+}
+
+/// Splits an elementwise id at its "[]" step.
+void split_elementwise(const ValueId& id, std::string& collection_path,
+                       std::vector<std::string>& field_path) {
+  ValueId prefix{id.base, {}};
+  std::size_t i = 0;
+  while (i < id.steps.size() && id.steps[i] != kElemStep) {
+    prefix.steps.push_back(id.steps[i]);
+    ++i;
+  }
+  collection_path = prefix.to_string();
+  ++i;  // skip "[]"
+  field_path.assign(id.steps.begin() + static_cast<std::ptrdiff_t>(i),
+                    id.steps.end());
+}
+
+void write_string(dc::Buffer& out, const std::string& s) {
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+  out.write_bytes(s.data(), s.size());
+}
+
+std::string read_string(dc::Buffer& in) {
+  std::uint32_t n = in.read<std::uint32_t>();
+  std::string s(n, '\0');
+  in.read_bytes(s.data(), n);
+  return s;
+}
+
+}  // namespace
+
+std::string PackingLayout::to_string() const {
+  std::ostringstream out;
+  out << "header{";
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out << ", ";
+    out << header[i].id.to_string();
+  }
+  out << "}";
+  for (const PackGroup& g : groups) {
+    out << " " << (g.instancewise ? "instance" : "field") << "-wise("
+        << g.collection << ")[";
+    for (std::size_t i = 0; i < g.items.size(); ++i) {
+      if (i) out << ", ";
+      // render only the trailing field path for brevity
+      std::string full = g.items[i].id.to_string();
+      auto pos = full.find("[]");
+      out << (pos == std::string::npos ? full : full.substr(pos + 2));
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Expands a whole-element item into one raw item per primitive field of
+/// the element class (recursively through nested classes). Returns false
+/// when the class has fields that cannot be expanded (arrays / unknowns).
+bool expand_element_fields(const ClassRegistry& registry,
+                           const PackedItem& whole, const std::string& cls_name,
+                           std::vector<PackedItem>& out, int depth = 0) {
+  const ClassInfo* cls = registry.find(cls_name);
+  if (!cls || depth > 4) return false;
+  for (const FieldInfo& field : cls->fields) {
+    if (field.type->is_primitive()) {
+      PackedItem item = whole;
+      item.id.steps.push_back(field.name);
+      item.type = field.type;
+      out.push_back(std::move(item));
+    } else if (field.type->is_class()) {
+      PackedItem nested = whole;
+      nested.id.steps.push_back(field.name);
+      if (!expand_element_fields(registry, nested, field.type->class_name(),
+                                 out, depth + 1))
+        return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PackingLayout plan_packing(const ValueSet& req_comm,
+                           const std::vector<ValueSet>& downstream_cons,
+                           const ClassRegistry& registry) {
+  PackingLayout layout;
+  ValueSet normalized = req_comm;
+  normalized.normalize();
+
+  // collection path -> items
+  std::map<std::string, std::vector<PackedItem>> by_collection;
+  // header roots that must be collapsed (field paths on plain objects)
+  std::map<std::string, std::vector<PackedItem>> header_by_base;
+
+  for (const auto& [id, entry] : normalized.items()) {
+    PackedItem item;
+    item.id = id;
+    item.type = entry.type;
+    item.section = entry.section;
+    item.first_consumer = first_consumer_stage(id, downstream_cons);
+    if (id.elementwise()) {
+      std::string collection;
+      std::vector<std::string> fields;
+      split_elementwise(id, collection, fields);
+      if (collection.find('.') != std::string::npos) {
+        // Collection reached through a field path (e.g. pz.depth[]): ship
+        // the whole root object once instead.
+        PackedItem root = item;
+        root.id = ValueId{id.base, {}};
+        root.type = nullptr;
+        root.section.reset();
+        header_by_base[id.base].push_back(std::move(root));
+        continue;
+      }
+      if (fields.empty() && item.type && item.type->is_class()) {
+        // Whole elements: expand into the reduced per-field layout.
+        std::vector<PackedItem> expanded;
+        PackedItem base = item;
+        if (expand_element_fields(registry, base, item.type->class_name(),
+                                  expanded)) {
+          for (PackedItem& e : expanded)
+            by_collection[collection].push_back(std::move(e));
+          continue;
+        }
+      }
+      by_collection[collection].push_back(std::move(item));
+    } else {
+      // `x.length` pseudo-entries: lengths are reconstructed from group
+      // counts on the receiving side.
+      if (!id.steps.empty() && id.steps.back() == "length") continue;
+      header_by_base[id.base].push_back(std::move(item));
+    }
+  }
+
+  // Collapse rooted header items: if any item of a base has a field path,
+  // ship the whole root once (self-describing) instead.
+  for (auto& [base, items] : header_by_base) {
+    bool rooted = false;
+    for (const PackedItem& item : items) {
+      if (!item.id.steps.empty()) rooted = true;
+    }
+    if (!rooted) {
+      std::set<std::string> seen;
+      for (PackedItem& item : items) {
+        if (!seen.insert(item.id.to_string()).second) continue;
+        layout.header.push_back(std::move(item));
+      }
+      continue;
+    }
+    PackedItem root;
+    root.id = ValueId{base, {}};
+    root.type = nullptr;  // self-describing tagged value
+    root.first_consumer = items.front().first_consumer;
+    for (const PackedItem& item : items)
+      root.first_consumer = std::min(root.first_consumer, item.first_consumer);
+    layout.header.push_back(std::move(root));
+  }
+
+  std::stable_sort(layout.header.begin(), layout.header.end(),
+                   [](const PackedItem& a, const PackedItem& b) {
+                     if (a.first_consumer != b.first_consumer)
+                       return a.first_consumer < b.first_consumer;
+                     return a.id < b.id;
+                   });
+
+  for (auto& [collection, items] : by_collection) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const PackedItem& a, const PackedItem& b) {
+                       if (a.first_consumer != b.first_consumer)
+                         return a.first_consumer < b.first_consumer;
+                       return a.id < b.id;
+                     });
+    // Instance-wise group: all fields first consumed by the receiving
+    // stage (consumer 0). Field-wise: one group per later-consumed field,
+    // in first-read order (the sort above).
+    PackGroup instance;
+    instance.collection = collection;
+    instance.instancewise = true;
+    for (PackedItem& item : items) {
+      if (item.first_consumer == 0) {
+        if (!instance.section) {
+          instance.section = item.section;
+        } else if (item.section) {
+          auto hull = RectSection::hull(*instance.section, *item.section);
+          if (hull) {
+            instance.section = *hull;
+          } else {
+            instance.section.reset();  // widen to whole
+          }
+        } else {
+          instance.section.reset();
+        }
+        instance.items.push_back(std::move(item));
+      } else {
+        PackGroup fieldwise;
+        fieldwise.collection = collection;
+        fieldwise.instancewise = false;
+        fieldwise.section = item.section;
+        fieldwise.items.push_back(std::move(item));
+        layout.groups.push_back(std::move(fieldwise));
+      }
+    }
+    if (!instance.items.empty()) {
+      layout.groups.insert(layout.groups.begin(), std::move(instance));
+    }
+  }
+  return layout;
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+void PacketCodec::write_leaf(dc::Buffer& out, const TypePtr& type,
+                             const Value& v) const {
+  if (type && type->is_primitive()) {
+    switch (type->prim()) {
+      case PrimKind::Int:
+        out.write<std::int32_t>(static_cast<std::int32_t>(as_int(v)));
+        return;
+      case PrimKind::Long:
+        out.write<std::int64_t>(as_int(v));
+        return;
+      case PrimKind::Float:
+        out.write<float>(static_cast<float>(as_double(v)));
+        return;
+      case PrimKind::Double:
+        out.write<double>(as_double(v));
+        return;
+      case PrimKind::Boolean:
+        out.write<std::uint8_t>(as_bool(v) ? 1 : 0);
+        return;
+      case PrimKind::Byte:
+        out.write<std::int8_t>(static_cast<std::int8_t>(as_int(v)));
+        return;
+      case PrimKind::Void:
+        return;
+    }
+  }
+  // Reference leaf: self-describing.
+  write_value(out, v);
+}
+
+Value PacketCodec::read_leaf(dc::Buffer& in, const TypePtr& type) const {
+  if (type && type->is_primitive()) {
+    switch (type->prim()) {
+      case PrimKind::Int:
+        return static_cast<std::int64_t>(in.read<std::int32_t>());
+      case PrimKind::Long:
+        return in.read<std::int64_t>();
+      case PrimKind::Float:
+        return static_cast<double>(in.read<float>());
+      case PrimKind::Double:
+        return in.read<double>();
+      case PrimKind::Boolean:
+        return in.read<std::uint8_t>() != 0;
+      case PrimKind::Byte:
+        return static_cast<std::int64_t>(in.read<std::int8_t>());
+      case PrimKind::Void:
+        return std::monostate{};
+    }
+  }
+  return read_value(in);
+}
+
+Value PacketCodec::read_path(Env& env, const ValueId& id,
+                             std::int64_t elem_index) const {
+  Value current = env.get(id.base);
+  for (const std::string& step : id.steps) {
+    if (step == kElemStep) {
+      auto* arr = std::get_if<std::shared_ptr<ArrayVal>>(&current);
+      if (!arr || !*arr)
+        throw std::runtime_error("pack: '" + id.to_string() +
+                                 "' path crosses null array");
+      std::int64_t local = elem_index - (*arr)->base_index;
+      if (local < 0 ||
+          local >= static_cast<std::int64_t>((*arr)->elems.size())) {
+        throw std::runtime_error("pack: element index out of range for '" +
+                                 id.to_string() + "'");
+      }
+      current = (*arr)->elems[static_cast<std::size_t>(local)];
+    } else {
+      auto* obj = std::get_if<std::shared_ptr<Object>>(&current);
+      if (!obj || !*obj)
+        throw std::runtime_error("pack: '" + id.to_string() +
+                                 "' path crosses null object");
+      const ClassInfo* cls = registry_->find((*obj)->class_name);
+      const FieldInfo* field = cls ? cls->find_field(step) : nullptr;
+      if (!field)
+        throw std::runtime_error("pack: no field '" + step + "' on '" +
+                                 (*obj)->class_name + "'");
+      current = (*obj)->fields[static_cast<std::size_t>(field->index)];
+    }
+  }
+  return current;
+}
+
+namespace {
+
+/// Evaluates a section (rank 1) with the resolver; nullopt when symbols are
+/// unresolvable.
+std::optional<std::pair<std::int64_t, std::int64_t>> eval_section(
+    const RectSection& section, const SymbolResolver& resolve) {
+  if (section.rank() != 1) return std::nullopt;
+  const Interval& iv = section.dims()[0];
+  std::map<std::string, std::int64_t> bindings;
+  for (const SymPoly* poly : {&iv.lo, &iv.hi}) {
+    for (const std::string& sym : poly->symbols()) {
+      if (bindings.count(sym)) continue;
+      std::optional<std::int64_t> v = resolve(sym);
+      if (!v) return std::nullopt;
+      bindings[sym] = *v;
+    }
+  }
+  std::optional<std::int64_t> lo = iv.lo.evaluate(bindings);
+  std::optional<std::int64_t> hi = iv.hi.evaluate(bindings);
+  if (!lo || !hi) return std::nullopt;
+  return std::make_pair(*lo, *hi);
+}
+
+/// Parses "a.b.c" into base + field steps.
+void parse_path(const std::string& path, std::string& base,
+                std::vector<std::string>& steps) {
+  steps.clear();
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= path.size()) {
+    std::size_t dot = path.find('.', start);
+    std::string part = dot == std::string::npos
+                           ? path.substr(start)
+                           : path.substr(start, dot - start);
+    if (first) {
+      base = part;
+      first = false;
+    } else {
+      steps.push_back(part);
+    }
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+}
+
+}  // namespace
+
+void PacketCodec::pack(Env& env, const SymbolResolver& resolve,
+                       dc::Buffer& out) const {
+  // ---- header ------------------------------------------------------------
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(layout_.header.size()));
+  for (const PackedItem& item : layout_.header) {
+    Value v = read_path(env, item.id, -1);
+    write_value(out, v);  // tagged: whole values / scalars
+  }
+  // ---- element groups ------------------------------------------------------
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(layout_.groups.size()));
+  for (const PackGroup& group : layout_.groups) {
+    // Resolve the element range.
+    std::string base_name;
+    std::vector<std::string> steps;
+    parse_path(group.collection, base_name, steps);
+    ValueId coll_id{base_name, steps};
+    Value coll = read_path(env, coll_id, -1);
+    auto* arr = std::get_if<std::shared_ptr<ArrayVal>>(&coll);
+    if (!arr || !*arr)
+      throw std::runtime_error("pack: collection '" + group.collection +
+                               "' is not an array");
+    std::int64_t lo = (*arr)->base_index;
+    std::int64_t hi = lo + static_cast<std::int64_t>((*arr)->elems.size()) - 1;
+    if (group.section) {
+      auto range = eval_section(*group.section, resolve);
+      if (range) {
+        lo = std::max(lo, range->first);
+        hi = std::min(hi, range->second);
+      }
+    }
+    const std::int64_t count = hi >= lo ? hi - lo + 1 : 0;
+
+    // Element class name: from the first element (reduced-object recreation
+    // on the receiving side).
+    std::string elem_class;
+    if (count > 0) {
+      const Value& first =
+          (*arr)->elems[static_cast<std::size_t>(lo - (*arr)->base_index)];
+      if (const auto* obj = std::get_if<std::shared_ptr<Object>>(&first)) {
+        if (*obj) elem_class = (*obj)->class_name;
+      }
+    }
+
+    // Group header, preceded by a byte-size slot (the paper's unpacking
+    // offset: a receiver can skip a group it does not consume).
+    std::size_t size_slot = out.reserve_slot<std::uint64_t>();
+    const std::size_t group_start = out.size();
+    write_string(out, group.collection);
+    write_string(out, elem_class);
+    out.write<std::uint8_t>(group.instancewise ? 1 : 0);
+    out.write<std::int64_t>(lo);
+    out.write<std::int64_t>(count);
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(group.items.size()));
+
+    if (group.instancewise) {
+      for (std::int64_t i = lo; i < lo + count; ++i) {
+        for (const PackedItem& item : group.items) {
+          write_leaf(out, item.type, read_path(env, item.id, i));
+        }
+      }
+    } else {
+      for (const PackedItem& item : group.items) {
+        for (std::int64_t i = lo; i < lo + count; ++i) {
+          write_leaf(out, item.type, read_path(env, item.id, i));
+        }
+      }
+    }
+    out.patch_slot<std::uint64_t>(size_slot,
+                                  static_cast<std::uint64_t>(out.size() -
+                                                             group_start));
+  }
+}
+
+void PacketCodec::unpack(dc::Buffer& in, Env& env) const {
+  // ---- header ------------------------------------------------------------
+  std::uint32_t n_header = in.read<std::uint32_t>();
+  if (n_header != layout_.header.size())
+    throw std::runtime_error("unpack: header arity mismatch");
+  for (const PackedItem& item : layout_.header) {
+    Value v = read_value(in);
+    if (item.id.steps.empty()) {
+      env.declare(item.id.base, std::move(v));
+    } else {
+      // Nested header path: materialize skeleton objects along the way.
+      if (!env.has(item.id.base)) {
+        // Without the base object's class we cannot build a skeleton; the
+        // planner avoids this by packing whole roots, but guard anyway.
+        throw std::runtime_error("unpack: missing skeleton for '" +
+                                 item.id.to_string() + "'");
+      }
+      Value* current = &env.slot(item.id.base);
+      for (std::size_t s = 0; s + 1 < item.id.steps.size(); ++s) {
+        auto* obj = std::get_if<std::shared_ptr<Object>>(current);
+        if (!obj || !*obj)
+          throw std::runtime_error("unpack: null path for '" +
+                                   item.id.to_string() + "'");
+        const ClassInfo* cls = registry_->find((*obj)->class_name);
+        const FieldInfo* field =
+            cls ? cls->find_field(item.id.steps[s]) : nullptr;
+        if (!field)
+          throw std::runtime_error("unpack: bad path for '" +
+                                   item.id.to_string() + "'");
+        current = &(*obj)->fields[static_cast<std::size_t>(field->index)];
+      }
+      auto* obj = std::get_if<std::shared_ptr<Object>>(current);
+      if (!obj || !*obj)
+        throw std::runtime_error("unpack: null leaf parent for '" +
+                                 item.id.to_string() + "'");
+      const ClassInfo* cls = registry_->find((*obj)->class_name);
+      const FieldInfo* field =
+          cls ? cls->find_field(item.id.steps.back()) : nullptr;
+      if (!field)
+        throw std::runtime_error("unpack: bad leaf for '" +
+                                 item.id.to_string() + "'");
+      (*obj)->fields[static_cast<std::size_t>(field->index)] = std::move(v);
+    }
+  }
+
+  // ---- element groups -----------------------------------------------------
+  std::uint32_t n_groups = in.read<std::uint32_t>();
+  if (n_groups != layout_.groups.size())
+    throw std::runtime_error("unpack: group arity mismatch");
+  for (const PackGroup& group : layout_.groups) {
+    in.read<std::uint64_t>();  // group byte size (skip offset)
+    std::string collection = read_string(in);
+    std::string elem_class = read_string(in);
+    std::uint8_t instancewise = in.read<std::uint8_t>();
+    std::int64_t lo = in.read<std::int64_t>();
+    std::int64_t count = in.read<std::int64_t>();
+    std::uint32_t n_items = in.read<std::uint32_t>();
+    if (collection != group.collection ||
+        n_items != group.items.size() ||
+        (instancewise != 0) != group.instancewise)
+      throw std::runtime_error("unpack: layout mismatch for group '" +
+                               group.collection + "'");
+
+    // Get or create the (possibly reduced-element) collection binding.
+    std::string base_name;
+    std::vector<std::string> steps;
+    parse_path(group.collection, base_name, steps);
+    if (!steps.empty())
+      throw std::runtime_error(
+          "unpack: nested collection paths are packed as whole roots");
+    std::shared_ptr<ArrayVal> arr;
+    if (env.has(base_name)) {
+      if (auto* existing =
+              std::get_if<std::shared_ptr<ArrayVal>>(&env.slot(base_name))) {
+        arr = *existing;
+      }
+    }
+    if (!arr) {
+      arr = std::make_shared<ArrayVal>();
+      arr->base_index = lo;
+      env.declare(base_name, arr);
+    }
+    // Extend coverage if this group's range exceeds the current array.
+    std::int64_t cur_lo = arr->base_index;
+    std::int64_t cur_hi =
+        cur_lo + static_cast<std::int64_t>(arr->elems.size()) - 1;
+    std::int64_t new_lo = arr->elems.empty() ? lo : std::min(cur_lo, lo);
+    std::int64_t new_hi =
+        arr->elems.empty() ? lo + count - 1 : std::max(cur_hi, lo + count - 1);
+    if (new_lo != cur_lo ||
+        new_hi - new_lo + 1 != static_cast<std::int64_t>(arr->elems.size())) {
+      std::vector<Value> resized(
+          static_cast<std::size_t>(std::max<std::int64_t>(0, new_hi - new_lo + 1)));
+      for (std::size_t i = 0; i < arr->elems.size(); ++i) {
+        resized[static_cast<std::size_t>(cur_lo - new_lo) + i] =
+            std::move(arr->elems[i]);
+      }
+      arr->elems = std::move(resized);
+      arr->base_index = new_lo;
+    }
+    // Materialize reduced element objects.
+    auto element_at = [&](std::int64_t index) -> std::shared_ptr<Object> {
+      Value& slot =
+          arr->elems[static_cast<std::size_t>(index - arr->base_index)];
+      if (auto* obj = std::get_if<std::shared_ptr<Object>>(&slot)) {
+        if (*obj) return *obj;
+      }
+      auto obj = std::make_shared<Object>();
+      obj->class_name = elem_class;
+      if (const ClassInfo* cls = registry_->find(elem_class)) {
+        obj->fields.resize(cls->fields.size());
+        for (const FieldInfo& f : cls->fields) {
+          obj->fields[static_cast<std::size_t>(f.index)] =
+              Interpreter::default_value(f.type);
+        }
+      }
+      slot = obj;
+      return obj;
+    };
+    auto set_field = [&](std::int64_t index, const PackedItem& item, Value v) {
+      // Field path after the "[]" step.
+      std::vector<std::string> fields;
+      {
+        std::string coll_path_unused;
+        split_elementwise(item.id, coll_path_unused, fields);
+      }
+      if (fields.empty()) {
+        // Whole element transmitted (tagged).
+        arr->elems[static_cast<std::size_t>(index - arr->base_index)] =
+            std::move(v);
+        return;
+      }
+      std::shared_ptr<Object> obj = element_at(index);
+      Value* current_slot = nullptr;
+      std::shared_ptr<Object> current_obj = obj;
+      for (std::size_t s = 0; s < fields.size(); ++s) {
+        const ClassInfo* cls = registry_->find(current_obj->class_name);
+        const FieldInfo* field = cls ? cls->find_field(fields[s]) : nullptr;
+        if (!field)
+          throw std::runtime_error("unpack: bad element field '" + fields[s] +
+                                   "'");
+        current_slot =
+            &current_obj->fields[static_cast<std::size_t>(field->index)];
+        if (s + 1 < fields.size()) {
+          auto* next = std::get_if<std::shared_ptr<Object>>(current_slot);
+          if (!next || !*next) {
+            // Materialize nested skeleton.
+            auto nested = std::make_shared<Object>();
+            nested->class_name = field->type->class_name();
+            if (const ClassInfo* ncls = registry_->find(nested->class_name)) {
+              nested->fields.resize(ncls->fields.size());
+              for (const FieldInfo& f : ncls->fields) {
+                nested->fields[static_cast<std::size_t>(f.index)] =
+                    Interpreter::default_value(f.type);
+              }
+            }
+            *current_slot = nested;
+            current_obj = nested;
+          } else {
+            current_obj = *next;
+          }
+        }
+      }
+      *current_slot = std::move(v);
+    };
+
+    if (group.instancewise) {
+      for (std::int64_t i = lo; i < lo + count; ++i) {
+        for (const PackedItem& item : group.items) {
+          set_field(i, item, read_leaf(in, item.type));
+        }
+      }
+    } else {
+      for (const PackedItem& item : group.items) {
+        for (std::int64_t i = lo; i < lo + count; ++i) {
+          set_field(i, item, read_leaf(in, item.type));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cgp

@@ -1,0 +1,97 @@
+// Packing layouts for inter-filter packets (§5).
+//
+// At a boundary, the ReqComm entries split into:
+//   * header items — scalars and whole values, serialized tagged;
+//   * element groups — per-element fields of collections.
+//
+// "For each filter that has an output stream, we sort the fields of classes
+// by the first filter whose Cons set they belong to. The fields that are
+// used for the first time in the same filter are packed in the instance-wise
+// fashion. For the fields that are used for the first time in different
+// filters, we use the field-wise fashion, sorting by the order in which they
+// are first read."
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/value_set.h"
+#include "codegen/interp.h"
+#include "datacutter/buffer.h"
+#include "sema/registry.h"
+
+namespace cgp {
+
+struct PackedItem {
+  ValueId id;
+  TypePtr type;  // leaf type
+  std::optional<RectSection> section;
+  /// Downstream stage (0 = immediately receiving stage) that first consumes
+  /// this item; INT_MAX when never directly consumed (kept for safety).
+  int first_consumer = 0;
+};
+
+struct PackGroup {
+  /// Path of the collection (the id rendered up to, excluding, "[]").
+  std::string collection;
+  /// Field steps after "[]" for each item (parallel with items).
+  std::vector<PackedItem> items;
+  bool instancewise = true;
+  std::optional<RectSection> section;  // union section for the group
+};
+
+struct PackingLayout {
+  std::vector<PackedItem> header;  // scalars / whole values
+  std::vector<PackGroup> groups;
+
+  bool empty() const { return header.empty() && groups.empty(); }
+  std::string to_string() const;
+};
+
+/// Plans the §5 layout for one boundary. `downstream_cons[k]` is the merged
+/// Cons set of the k-th stage after this boundary. The registry expands
+/// whole-element entries into per-field raw items (the reduced class T-hat)
+/// when the element class has only primitive / nested-class fields.
+/// Planner normalizations beyond the paper's text:
+///   * `x.length` pseudo-entries are dropped (the receiver reconstructs
+///     lengths from the transmitted group counts);
+///   * header entries that name fields of a root object (e.g. `pz.depth`)
+///     are collapsed into one whole-root item so the receiver can rebuild
+///     the object without a pre-existing skeleton.
+PackingLayout plan_packing(const ValueSet& req_comm,
+                           const std::vector<ValueSet>& downstream_cons,
+                           const ClassRegistry& registry);
+
+/// Resolves symbols in section bounds at pack time: the packet-loop
+/// variable, runtime_define constants, collection lengths, and in-scope
+/// integral locals.
+using SymbolResolver =
+    std::function<std::optional<std::int64_t>(const std::string&)>;
+
+/// Serializes/deserializes environments along a PackingLayout.
+class PacketCodec {
+ public:
+  PacketCodec(const ClassRegistry& registry, PackingLayout layout)
+      : registry_(&registry), layout_(std::move(layout)) {}
+
+  const PackingLayout& layout() const { return layout_; }
+
+  /// Packs values from `env` into `out`; section bounds are evaluated with
+  /// `resolve`. Throws InterpError on missing bindings.
+  void pack(Env& env, const SymbolResolver& resolve, dc::Buffer& out) const;
+
+  /// Unpacks a buffer into `env` (declaring bindings in the current scope).
+  void unpack(dc::Buffer& in, Env& env) const;
+
+ private:
+  Value read_path(Env& env, const ValueId& id, std::int64_t elem_index) const;
+  void write_leaf(dc::Buffer& out, const TypePtr& type, const Value& v) const;
+  Value read_leaf(dc::Buffer& in, const TypePtr& type) const;
+
+  const ClassRegistry* registry_;
+  PackingLayout layout_;
+};
+
+}  // namespace cgp

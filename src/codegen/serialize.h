@@ -1,0 +1,23 @@
+// Self-describing value serialization for buffers that carry whole values
+// (scalar header entries and end-of-run reduction replicas). Bulk element
+// fields use the raw packing layouts of packing.h instead.
+#pragma once
+
+#include "codegen/value.h"
+#include "datacutter/buffer.h"
+#include "sema/registry.h"
+
+namespace cgp {
+
+/// Writes a tagged value. Arrays of primitives are written as compact raw
+/// blocks; objects carry their class name and field values.
+void write_value(dc::Buffer& out, const Value& value);
+
+/// Reads a tagged value written by write_value.
+Value read_value(dc::Buffer& in);
+
+/// Deep structural equality (objects compared field-by-field) — used by
+/// tests to compare pipeline results across placements and widths.
+bool value_equal(const Value& a, const Value& b, double float_tol = 0.0);
+
+}  // namespace cgp

@@ -1,0 +1,358 @@
+#include "cost/opcount.h"
+
+#include <algorithm>
+
+namespace cgp {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  int_ops += o.int_ops;
+  float_ops += o.float_ops;
+  mem_ops += o.mem_ops;
+  branch_ops += o.branch_ops;
+  return *this;
+}
+
+OpCounts OpCounts::operator*(double k) const {
+  OpCounts out = *this;
+  out.int_ops *= k;
+  out.float_ops *= k;
+  out.mem_ops *= k;
+  out.branch_ops *= k;
+  return out;
+}
+
+OpCounter::OpCounter(const ClassRegistry& registry, const SizeEnv& sizes,
+                     OpCountOptions options)
+    : registry_(registry), sizes_(sizes), options_(options) {}
+
+std::optional<double> OpCounter::eval_number(const Expr& expr) const {
+  switch (expr.kind) {
+    case NodeKind::IntLit:
+      return static_cast<double>(static_cast<const IntLit&>(expr).value);
+    case NodeKind::FloatLit:
+      return static_cast<const FloatLit&>(expr).value;
+    case NodeKind::VarRef: {
+      const auto& ref = static_cast<const VarRef&>(expr);
+      auto it = sizes_.bindings().find(ref.name);
+      if (it == sizes_.bindings().end()) return std::nullopt;
+      return static_cast<double>(it->second);
+    }
+    case NodeKind::FieldAccess: {
+      const auto& access = static_cast<const FieldAccess&>(expr);
+      if (access.field != "length") return std::nullopt;
+      // Render the base as a path for length lookup.
+      std::string path;
+      const Expr* node = access.base.get();
+      std::vector<std::string> parts;
+      while (node) {
+        if (node->kind == NodeKind::VarRef) {
+          parts.push_back(static_cast<const VarRef*>(node)->name);
+          node = nullptr;
+        } else if (node->kind == NodeKind::FieldAccess) {
+          const auto* fa = static_cast<const FieldAccess*>(node);
+          parts.push_back(fa->field);
+          node = fa->base.get();
+        } else {
+          return std::nullopt;
+        }
+      }
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        if (!path.empty()) path += ".";
+        path += *it;
+      }
+      auto found = sizes_.bindings().find("len(" + path + ")");
+      if (found == sizes_.bindings().end()) return std::nullopt;
+      return static_cast<double>(found->second);
+    }
+    case NodeKind::Unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      if (unary.op != UnaryOp::Neg) return std::nullopt;
+      auto inner = eval_number(*unary.operand);
+      if (!inner) return std::nullopt;
+      return -*inner;
+    }
+    case NodeKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      auto lhs = eval_number(*binary.lhs);
+      auto rhs = eval_number(*binary.rhs);
+      if (!lhs || !rhs) return std::nullopt;
+      switch (binary.op) {
+        case BinaryOp::Add: return *lhs + *rhs;
+        case BinaryOp::Sub: return *lhs - *rhs;
+        case BinaryOp::Mul: return *lhs * *rhs;
+        case BinaryOp::Div: return *rhs == 0.0 ? std::nullopt
+                                               : std::optional(*lhs / *rhs);
+        default: return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+double OpCounter::trip_count(const Expr& domain) const {
+  if (domain.kind == NodeKind::RectdomainLit) {
+    const auto& lit = static_cast<const RectdomainLit&>(domain);
+    double total = 1.0;
+    for (const auto& dim : lit.dims) {
+      auto lo = eval_number(*dim.lo);
+      auto hi = eval_number(*dim.hi);
+      if (!lo || !hi) return options_.unknown_trip_count;
+      total *= std::max(0.0, *hi - *lo + 1.0);
+    }
+    return total;
+  }
+  if (domain.type && domain.type->is_array()) {
+    // Element iteration: length of the collection.
+    auto fake_len = [&]() -> std::optional<double> {
+      if (domain.kind != NodeKind::VarRef) return std::nullopt;
+      const auto& ref = static_cast<const VarRef&>(domain);
+      auto it = sizes_.bindings().find("len(" + ref.name + ")");
+      if (it == sizes_.bindings().end()) return std::nullopt;
+      return static_cast<double>(it->second);
+    }();
+    if (fake_len) return *fake_len;
+  }
+  return options_.unknown_trip_count;
+}
+
+OpCounts OpCounter::count_stmts(const std::vector<const Stmt*>& stmts) {
+  OpCounts total;
+  for (const Stmt* s : stmts) total += count_stmt(*s);
+  return total;
+}
+
+OpCounts OpCounter::count_stmt(const Stmt& stmt) {
+  OpCounts counts;
+  switch (stmt.kind) {
+    case NodeKind::VarDeclStmt: {
+      const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+      counts.mem_ops += 1.0;
+      if (decl.init) counts += count_expr(*decl.init);
+      break;
+    }
+    case NodeKind::ExprStmt:
+      counts += count_expr(*static_cast<const ExprStmt&>(stmt).expr);
+      break;
+    case NodeKind::Block:
+      for (const StmtPtr& s : static_cast<const BlockStmt&>(stmt).statements)
+        counts += count_stmt(*s);
+      break;
+    case NodeKind::IfStmt: {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      counts += count_expr(*if_stmt.cond);
+      counts.branch_ops += 1.0;
+      counts += count_stmt(*if_stmt.then_branch) *
+                options_.branch_selectivity;
+      if (if_stmt.else_branch) {
+        counts += count_stmt(*if_stmt.else_branch) *
+                  (1.0 - options_.branch_selectivity);
+      }
+      break;
+    }
+    case NodeKind::WhileStmt: {
+      const auto& loop = static_cast<const WhileStmt&>(stmt);
+      double trips = options_.unknown_trip_count;
+      OpCounts iter = count_expr(*loop.cond);
+      iter += count_stmt(*loop.body);
+      iter.branch_ops += 1.0;
+      counts += iter * trips;
+      break;
+    }
+    case NodeKind::ForStmt: {
+      const auto& loop = static_cast<const ForStmt&>(stmt);
+      // Canonical bounds when evaluable; otherwise the unknown default.
+      double trips = options_.unknown_trip_count;
+      if (loop.init && loop.cond && loop.cond->kind == NodeKind::Binary) {
+        const auto& cond = static_cast<const BinaryExpr&>(*loop.cond);
+        const Expr* lo_expr = nullptr;
+        if (loop.init->kind == NodeKind::VarDeclStmt) {
+          lo_expr = static_cast<const VarDeclStmt&>(*loop.init).init.get();
+        }
+        if (lo_expr &&
+            (cond.op == BinaryOp::Lt || cond.op == BinaryOp::Le)) {
+          auto lo = eval_number(*lo_expr);
+          auto hi = eval_number(*cond.rhs);
+          if (lo && hi) {
+            trips = std::max(0.0, *hi - *lo + (cond.op == BinaryOp::Le
+                                                   ? 1.0
+                                                   : 0.0));
+          }
+        }
+      }
+      OpCounts iter;
+      if (loop.cond) iter += count_expr(*loop.cond);
+      if (loop.step) iter += count_expr(*loop.step);
+      iter += count_stmt(*loop.body);
+      iter.branch_ops += 1.0;
+      counts += iter * trips;
+      if (loop.init) counts += count_stmt(*loop.init);
+      break;
+    }
+    case NodeKind::ForeachStmt: {
+      const auto& loop = static_cast<const ForeachStmt&>(stmt);
+      double trips = trip_count(*loop.domain);
+      OpCounts iter = count_stmt(*loop.body);
+      iter.branch_ops += 1.0;
+      iter.mem_ops += 1.0;  // element/index load per iteration
+      counts += iter * trips;
+      break;
+    }
+    case NodeKind::PipelinedLoopStmt: {
+      const auto& loop = static_cast<const PipelinedLoopStmt&>(stmt);
+      counts += count_stmt(*loop.body) * trip_count(*loop.domain);
+      break;
+    }
+    case NodeKind::ReturnStmt: {
+      const auto& ret = static_cast<const ReturnStmt&>(stmt);
+      if (ret.value) counts += count_expr(*ret.value);
+      break;
+    }
+    default:
+      break;
+  }
+  return counts;
+}
+
+OpCounts OpCounter::count_expr(const Expr& expr) {
+  OpCounts counts;
+  switch (expr.kind) {
+    case NodeKind::IntLit:
+    case NodeKind::FloatLit:
+    case NodeKind::BoolLit:
+    case NodeKind::StringLit:
+    case NodeKind::NullLit:
+    case NodeKind::VarRef:
+      break;
+    case NodeKind::FieldAccess:
+      counts += count_expr(*static_cast<const FieldAccess&>(expr).base);
+      counts.mem_ops += 1.0;
+      break;
+    case NodeKind::Index: {
+      const auto& index = static_cast<const IndexExpr&>(expr);
+      counts += count_expr(*index.base);
+      for (const ExprPtr& i : index.indices) counts += count_expr(*i);
+      counts.mem_ops += 1.0;
+      counts.int_ops += 1.0;  // address arithmetic
+      break;
+    }
+    case NodeKind::Unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      counts += count_expr(*unary.operand);
+      const bool floating = unary.type && unary.type->is_floating();
+      (floating ? counts.float_ops : counts.int_ops) += 1.0;
+      break;
+    }
+    case NodeKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      counts += count_expr(*binary.lhs);
+      counts += count_expr(*binary.rhs);
+      const bool floating =
+          (binary.lhs->type && binary.lhs->type->is_floating()) ||
+          (binary.rhs->type && binary.rhs->type->is_floating());
+      if (is_comparison(binary.op) || is_logical(binary.op)) {
+        counts.branch_ops += 1.0;
+        if (floating) counts.float_ops += 1.0;
+      } else if (binary.op == BinaryOp::Div || binary.op == BinaryOp::Mod) {
+        // float division is slow; integer div/mod strength-reduces.
+        if (floating) {
+          counts.float_ops += 8.0;
+        } else {
+          counts.int_ops += 3.0;
+        }
+      } else {
+        (floating ? counts.float_ops : counts.int_ops) += 1.0;
+      }
+      break;
+    }
+    case NodeKind::Assign: {
+      const auto& assign = static_cast<const AssignExpr&>(expr);
+      counts += count_expr(*assign.target);
+      counts += count_expr(*assign.value);
+      counts.mem_ops += 1.0;
+      if (assign.op != AssignOp::Assign) {
+        const bool floating = assign.type && assign.type->is_floating();
+        (floating ? counts.float_ops : counts.int_ops) += 1.0;
+      }
+      break;
+    }
+    case NodeKind::Call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      if (call.base) counts += count_expr(*call.base);
+      for (const ExprPtr& arg : call.args) counts += count_expr(*arg);
+      if (call.is_intrinsic) {
+        // Latency table for math intrinsics on the target hardware class.
+        double flops = 1.0;
+        if (call.callee == "sqrt") flops = 15.0;
+        else if (call.callee == "pow" || call.callee == "exp" ||
+                 call.callee == "log" || call.callee == "sin" ||
+                 call.callee == "cos" || call.callee == "atan2")
+          flops = 30.0;
+        else if (call.callee == "abs" || call.callee == "min" ||
+                 call.callee == "max" || call.callee == "floor" ||
+                 call.callee == "ceil")
+          flops = 2.0;
+        counts.float_ops += flops;
+        break;
+      }
+      const ClassInfo* cls = registry_.find(call.resolved_class);
+      const MethodDecl* method = cls ? cls->find_method(call.callee) : nullptr;
+      if (method && method->body &&
+          static_cast<int>(call_stack_.size()) < options_.max_call_depth &&
+          std::find(call_stack_.begin(), call_stack_.end(), method) ==
+              call_stack_.end()) {
+        call_stack_.push_back(method);
+        counts += count_stmt(*method->body);
+        call_stack_.pop_back();
+        counts.branch_ops += 2.0;  // call/return overhead
+      } else {
+        counts.branch_ops += 2.0;
+      }
+      break;
+    }
+    case NodeKind::NewObject: {
+      const auto& alloc = static_cast<const NewObjectExpr&>(expr);
+      for (const ExprPtr& arg : alloc.args) counts += count_expr(*arg);
+      counts.mem_ops += 4.0;  // allocation
+      const ClassInfo* cls = registry_.find(alloc.class_name);
+      const MethodDecl* ctor = cls ? cls->constructor() : nullptr;
+      if (ctor && ctor->body &&
+          static_cast<int>(call_stack_.size()) < options_.max_call_depth &&
+          std::find(call_stack_.begin(), call_stack_.end(), ctor) ==
+              call_stack_.end()) {
+        call_stack_.push_back(ctor);
+        counts += count_stmt(*ctor->body);
+        call_stack_.pop_back();
+      }
+      break;
+    }
+    case NodeKind::NewArray: {
+      const auto& alloc = static_cast<const NewArrayExpr&>(expr);
+      counts += count_expr(*alloc.length);
+      auto len = eval_number(*alloc.length);
+      counts.mem_ops += 4.0 + (len ? *len * 0.25 : 0.0);  // alloc + clear
+      break;
+    }
+    case NodeKind::RectdomainLit: {
+      for (const auto& dim : static_cast<const RectdomainLit&>(expr).dims) {
+        counts += count_expr(*dim.lo);
+        counts += count_expr(*dim.hi);
+      }
+      break;
+    }
+    case NodeKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      counts += count_expr(*cond.cond);
+      counts.branch_ops += 1.0;
+      counts += count_expr(*cond.then_value) * options_.branch_selectivity;
+      counts += count_expr(*cond.else_value) *
+                (1.0 - options_.branch_selectivity);
+      break;
+    }
+    default:
+      break;
+  }
+  return counts;
+}
+
+}  // namespace cgp

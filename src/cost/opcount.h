@@ -1,0 +1,60 @@
+// Static per-packet operation counting (§4.3): "computation time is
+// determined using the number of floating point and integer operations in
+// the code and the processing power available."
+//
+// Loops multiply their body counts by trip counts evaluated from symbolic
+// bounds under the SizeEnv bindings; conditionals weight their branches by
+// a selectivity estimate; calls are counted interprocedurally.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ast/ast.h"
+#include "cost/volume.h"
+#include "sema/registry.h"
+
+namespace cgp {
+
+struct OpCounts {
+  double int_ops = 0.0;
+  double float_ops = 0.0;
+  double mem_ops = 0.0;
+  double branch_ops = 0.0;
+
+  /// Single scalar consumed by cost_comp. Weights reflect the relative
+  /// latencies on the paper's hardware class.
+  double total() const {
+    return int_ops + 2.0 * float_ops + 1.5 * mem_ops + branch_ops;
+  }
+
+  OpCounts& operator+=(const OpCounts& o);
+  OpCounts operator*(double k) const;
+};
+
+struct OpCountOptions {
+  double branch_selectivity = 0.5;  // fraction of iterations taking `then`
+  double unknown_trip_count = 1.0;  // trip count when bounds do not evaluate
+  int max_call_depth = 16;
+};
+
+class OpCounter {
+ public:
+  OpCounter(const ClassRegistry& registry, const SizeEnv& sizes,
+            OpCountOptions options = {});
+
+  OpCounts count_stmts(const std::vector<const Stmt*>& stmts);
+  OpCounts count_stmt(const Stmt& stmt);
+  OpCounts count_expr(const Expr& expr);
+
+ private:
+  std::optional<double> eval_number(const Expr& expr) const;
+  double trip_count(const Expr& domain) const;
+
+  const ClassRegistry& registry_;
+  const SizeEnv& sizes_;
+  OpCountOptions options_;
+  std::vector<const MethodDecl*> call_stack_;
+};
+
+}  // namespace cgp

@@ -1,0 +1,89 @@
+#include "cost/volume.h"
+
+#include <set>
+
+namespace cgp {
+
+namespace {
+
+double class_payload_bytes(const ClassRegistry& registry,
+                           const std::string& name,
+                           std::set<std::string>& visiting) {
+  const ClassInfo* info = registry.find(name);
+  if (!info || visiting.count(name)) return 0.0;
+  visiting.insert(name);
+  double total = 0.0;
+  for (const FieldInfo& field : info->fields) {
+    if (field.type->is_primitive()) {
+      total += static_cast<double>(prim_size_bytes(field.type->prim()));
+    } else if (field.type->is_class()) {
+      total += class_payload_bytes(registry, field.type->class_name(),
+                                   visiting);
+    }
+    // Array fields: sized only when the analysis tracks them as their own
+    // ReqComm entries (e.g. "zbuf.data" with a bound length).
+  }
+  visiting.erase(name);
+  return total;
+}
+
+}  // namespace
+
+double SizeEnv::bytes_of_type(const TypePtr& type) const {
+  if (!type) return 0.0;
+  if (type->is_primitive())
+    return static_cast<double>(prim_size_bytes(type->prim()));
+  if (type->is_class()) {
+    std::set<std::string> visiting;
+    return class_payload_bytes(*registry_, type->class_name(), visiting);
+  }
+  if (type->is_array()) {
+    // Caller multiplies by the collection length; element payload here.
+    return bytes_of_type(type->element());
+  }
+  return 0.0;
+}
+
+double SizeEnv::bytes_of_entry(const ValueId& id, const ValueEntry& entry,
+                               std::int64_t default_extent) const {
+  // Element count along the "[]" step.
+  double count = 1.0;
+  const bool elementwise = id.elementwise();
+  if (entry.section) {
+    std::optional<std::int64_t> n =
+        entry.section->element_count().evaluate(symbols_);
+    count = static_cast<double>(n ? std::max<std::int64_t>(*n, 0)
+                                  : default_extent);
+  } else if (elementwise) {
+    // Whole collection: use the bound length of the prefix path before "[]".
+    ValueId prefix = id;
+    while (!prefix.steps.empty() && prefix.steps.back() != kElemStep)
+      prefix.steps.pop_back();
+    if (!prefix.steps.empty()) prefix.steps.pop_back();  // drop "[]"
+    auto it = symbols_.find("len(" + prefix.to_string() + ")");
+    count = static_cast<double>(it != symbols_.end() ? it->second
+                                                     : default_extent);
+  }
+
+  double unit = bytes_of_type(entry.type);
+  if (entry.type && entry.type->is_array() && !elementwise) {
+    // A whole array communicated as a single entry: length lookup.
+    auto it = symbols_.find("len(" + id.to_string() + ")");
+    unit *= static_cast<double>(it != symbols_.end() ? it->second
+                                                     : default_extent);
+  }
+  return unit * count;
+}
+
+double SizeEnv::bytes_of(const ValueSet& set,
+                         std::int64_t default_extent) const {
+  ValueSet normalized = set;
+  normalized.normalize();
+  double total = 0.0;
+  for (const auto& [id, entry] : normalized.items()) {
+    total += bytes_of_entry(id, entry, default_extent);
+  }
+  return total;
+}
+
+}  // namespace cgp

@@ -1,0 +1,53 @@
+// Communication volume of a ReqComm set (§4.3): "the communication time is
+// determined using the volume of the data communicated and the bandwidth
+// available." Symbolic section extents and collection lengths are bound by
+// a SizeEnv before evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/value_set.h"
+#include "sema/registry.h"
+
+namespace cgp {
+
+class SizeEnv {
+ public:
+  explicit SizeEnv(const ClassRegistry& registry) : registry_(&registry) {}
+
+  /// Binds a symbol (runtime_define constant, loop variable, scalar).
+  void bind(const std::string& symbol, std::int64_t value) {
+    symbols_[symbol] = value;
+  }
+  /// Binds the element count of a collection path, e.g. "cubes" or
+  /// "scene.tris" (the id rendered without the "[]" suffix).
+  void bind_length(const std::string& collection_path, std::int64_t count) {
+    symbols_["len(" + collection_path + ")"] = count;
+  }
+
+  const std::map<std::string, std::int64_t>& bindings() const {
+    return symbols_;
+  }
+
+  /// Bytes of one value of `type`; class payloads are the recursive sum of
+  /// primitive fields (arrays inside classes are accounted only when the
+  /// analysis records them as their own entries).
+  double bytes_of_type(const TypePtr& type) const;
+
+  /// Bytes contributed by one entry of a ReqComm set. Unbound symbols fall
+  /// back to `default_extent` elements (conservative, reported by the
+  /// caller when exactness matters).
+  double bytes_of_entry(const ValueId& id, const ValueEntry& entry,
+                        std::int64_t default_extent = 1) const;
+
+  /// Total bytes of a ReqComm set.
+  double bytes_of(const ValueSet& set, std::int64_t default_extent = 1) const;
+
+ private:
+  const ClassRegistry* registry_;
+  std::map<std::string, std::int64_t> symbols_;
+};
+
+}  // namespace cgp

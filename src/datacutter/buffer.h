@@ -1,0 +1,91 @@
+// Buffer abstraction of the DataCutter filter-stream model (§2.2): "a
+// contiguous memory region containing useful data"; all transfers to and
+// from streams go through buffers. Typed accessors implement the packing
+// layouts of §5 (instance-wise / field-wise).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace cgp::dc {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const std::byte* data() const { return data_.data(); }
+
+  // ---- writing -----------------------------------------------------------
+  template <typename T>
+  void write(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t offset = data_.size();
+    data_.resize(offset + sizeof(T));
+    std::memcpy(data_.data() + offset, &value, sizeof(T));
+  }
+  void write_bytes(const void* src, std::size_t n) {
+    const std::size_t offset = data_.size();
+    data_.resize(offset + n);
+    std::memcpy(data_.data() + offset, src, n);
+  }
+  /// Reserves a slot (e.g. a field-wise offset header) to patch later.
+  template <typename T>
+  std::size_t reserve_slot() {
+    const std::size_t offset = data_.size();
+    data_.resize(offset + sizeof(T));
+    return offset;
+  }
+  template <typename T>
+  void patch_slot(std::size_t offset, T value) {
+    if (offset + sizeof(T) > data_.size())
+      throw std::out_of_range("Buffer::patch_slot past end");
+    std::memcpy(data_.data() + offset, &value, sizeof(T));
+  }
+
+  // ---- reading -----------------------------------------------------------
+  template <typename T>
+  T read() {
+    T value = peek_at<T>(read_pos_);
+    read_pos_ += sizeof(T);
+    return value;
+  }
+  template <typename T>
+  T peek_at(std::size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset + sizeof(T) > data_.size())
+      throw std::out_of_range("Buffer::read past end");
+    T value;
+    std::memcpy(&value, data_.data() + offset, sizeof(T));
+    return value;
+  }
+  void read_bytes(void* dst, std::size_t n) {
+    if (read_pos_ + n > data_.size())
+      throw std::out_of_range("Buffer::read_bytes past end");
+    std::memcpy(dst, data_.data() + read_pos_, n);
+    read_pos_ += n;
+  }
+  std::size_t read_pos() const { return read_pos_; }
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw std::out_of_range("Buffer::seek past end");
+    read_pos_ = pos;
+  }
+  std::size_t remaining() const { return data_.size() - read_pos_; }
+  bool exhausted() const { return read_pos_ >= data_.size(); }
+
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace cgp::dc

@@ -1,0 +1,78 @@
+// Filter interface of the DataCutter model (§2.2): init / process /
+// finalize over stream-connected buffers, with transparent copies.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "datacutter/stream.h"
+
+namespace cgp::dc {
+
+/// Execution context handed to each filter instance. In our chain model a
+/// filter has at most one input stream (absent for the source filter) and
+/// one output stream (absent for the sink), matching §5: "each filter has
+/// one input stream, with the exception of the filter that reads from the
+/// data source itself."
+class FilterContext {
+ public:
+  FilterContext(Stream* input, Stream* output, int copy_index, int copy_count)
+      : input_(input),
+        output_(output),
+        copy_index_(copy_index),
+        copy_count_(copy_count) {}
+
+  bool has_input() const { return input_ != nullptr; }
+  bool has_output() const { return output_ != nullptr; }
+
+  /// Blocking read; nullopt = upstream finished.
+  std::optional<Buffer> read() {
+    return input_ ? input_->pop() : std::nullopt;
+  }
+  void emit(Buffer&& buffer) {
+    if (output_) output_->push(std::move(buffer));
+  }
+
+  int copy_index() const { return copy_index_; }
+  int copy_count() const { return copy_count_; }
+
+  /// Instrumentation: abstract operations this instance performed (used by
+  /// the pipeline simulator to time the run on a configured environment).
+  void add_ops(double n) { ops_ += n; }
+  double ops() const { return ops_; }
+
+ private:
+  Stream* input_;
+  Stream* output_;
+  int copy_index_;
+  int copy_count_;
+  double ops_ = 0.0;
+};
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  /// Pre-allocate resources for the unit of work.
+  virtual void init(FilterContext& ctx) { (void)ctx; }
+  /// Main loop: read buffers, compute, emit buffers. Called once; the
+  /// filter drains its input until end-of-stream.
+  virtual void process(FilterContext& ctx) = 0;
+  /// Release resources / flush accumulated state downstream.
+  virtual void finalize(FilterContext& ctx) { (void)ctx; }
+};
+
+using FilterFactory = std::function<std::unique_ptr<Filter>()>;
+
+/// A logical filter: a factory plus its transparent-copy count and the
+/// pipeline stage it is placed on.
+struct FilterGroup {
+  std::string name;
+  FilterFactory factory;
+  int copies = 1;
+  int stage = 0;  // index into the EnvironmentSpec units
+};
+
+}  // namespace cgp::dc

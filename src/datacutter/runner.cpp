@@ -1,0 +1,83 @@
+#include "datacutter/runner.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace cgp::dc {
+
+PipelineRunner::PipelineRunner(std::vector<FilterGroup> groups,
+                               std::size_t stream_capacity)
+    : groups_(std::move(groups)), stream_capacity_(stream_capacity) {
+  if (groups_.empty())
+    throw std::invalid_argument("PipelineRunner: empty pipeline");
+  for (const FilterGroup& g : groups_) {
+    if (!g.factory)
+      throw std::invalid_argument("PipelineRunner: group '" + g.name +
+                                  "' has no factory");
+    if (g.copies < 1)
+      throw std::invalid_argument("PipelineRunner: group '" + g.name +
+                                  "' has non-positive copy count");
+  }
+}
+
+RunStats PipelineRunner::run() {
+  const std::size_t n_groups = groups_.size();
+  std::vector<std::unique_ptr<Stream>> streams;
+  streams.reserve(n_groups - 1);
+  for (std::size_t i = 0; i + 1 < n_groups; ++i) {
+    auto stream = std::make_unique<Stream>(stream_capacity_);
+    stream->set_producers(groups_[i].copies);
+    streams.push_back(std::move(stream));
+  }
+
+  RunStats stats;
+  stats.group_ops.assign(n_groups, 0.0);
+  for (const FilterGroup& g : groups_) stats.group_names.push_back(g.name);
+
+  std::mutex ops_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::size_t gi = 0; gi < n_groups; ++gi) {
+    Stream* input = gi == 0 ? nullptr : streams[gi - 1].get();
+    Stream* output = gi + 1 < n_groups ? streams[gi].get() : nullptr;
+    for (int copy = 0; copy < groups_[gi].copies; ++copy) {
+      threads.emplace_back([&, gi, input, output, copy] {
+        std::unique_ptr<Filter> filter = groups_[gi].factory();
+        FilterContext ctx(input, output, copy, groups_[gi].copies);
+        try {
+          filter->init(ctx);
+          filter->process(ctx);
+          filter->finalize(ctx);
+        } catch (...) {
+          {
+            std::lock_guard lock(ops_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Tear down every stream so no peer blocks on backpressure or
+          // waits for buffers that will never come.
+          for (const auto& stream : streams) stream->abort();
+        }
+        if (output) output->close();
+        std::lock_guard lock(ops_mutex);
+        stats.group_ops[gi] += ctx.ops();
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  stats.wall_seconds = std::chrono::duration<double>(end - start).count();
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const auto& stream : streams) {
+    stats.link_buffers.push_back(stream->buffers_pushed());
+    stats.link_bytes.push_back(stream->bytes_pushed());
+  }
+  return stats;
+}
+
+}  // namespace cgp::dc

@@ -1,0 +1,39 @@
+// Pipeline runner: places a chain of logical filters, creates the streams
+// between consecutive groups, spawns one thread per transparent copy, and
+// runs the DataCutter work cycle (init -> process -> finalize) to
+// completion. Instrumented: per-link buffer/byte counts and per-group
+// operation counts feed the pipeline simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datacutter/filter.h"
+
+namespace cgp::dc {
+
+struct RunStats {
+  /// Indexed by link (between consecutive groups).
+  std::vector<std::int64_t> link_buffers;
+  std::vector<std::int64_t> link_bytes;
+  /// Indexed by group: total abstract ops across copies.
+  std::vector<double> group_ops;
+  std::vector<std::string> group_names;
+  double wall_seconds = 0.0;
+};
+
+class PipelineRunner {
+ public:
+  explicit PipelineRunner(std::vector<FilterGroup> groups,
+                          std::size_t stream_capacity = 16);
+
+  /// Runs the pipeline to completion on real threads.
+  RunStats run();
+
+ private:
+  std::vector<FilterGroup> groups_;
+  std::size_t stream_capacity_;
+};
+
+}  // namespace cgp::dc

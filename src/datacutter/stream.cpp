@@ -1,0 +1,40 @@
+#include "datacutter/stream.h"
+
+namespace cgp::dc {
+
+void Stream::push(Buffer&& buffer) {
+  std::unique_lock lock(mutex_);
+  can_push_.wait(lock, [&] { return queue_.size() < capacity_ || aborted_; });
+  if (aborted_) return;  // dropped: the pipeline is tearing down
+  ++buffers_pushed_;
+  bytes_pushed_ += static_cast<std::int64_t>(buffer.size());
+  queue_.push_back(std::move(buffer));
+  can_pop_.notify_one();
+}
+
+std::optional<Buffer> Stream::pop() {
+  std::unique_lock lock(mutex_);
+  can_pop_.wait(lock, [&] {
+    return !queue_.empty() || closed_producers_ >= producers_ || aborted_;
+  });
+  if (aborted_ || queue_.empty()) return std::nullopt;
+  Buffer buffer = std::move(queue_.front());
+  queue_.pop_front();
+  can_push_.notify_one();
+  return buffer;
+}
+
+void Stream::close() {
+  std::unique_lock lock(mutex_);
+  ++closed_producers_;
+  if (closed_producers_ >= producers_) can_pop_.notify_all();
+}
+
+void Stream::abort() {
+  std::unique_lock lock(mutex_);
+  aborted_ = true;
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+}  // namespace cgp::dc

@@ -1,0 +1,51 @@
+// Stream abstraction (§2.2): the logical point-to-point channel between a
+// producer filter and a consumer filter, preserved as a single logical
+// stream when either side is transparently copied. Implemented as a bounded
+// MPMC queue of buffers with producer-count close semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "datacutter/buffer.h"
+
+namespace cgp::dc {
+
+class Stream {
+ public:
+  explicit Stream(std::size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Declares the number of producer instances; the stream closes when all
+  /// of them have called close().
+  void set_producers(int n) { producers_ = n; }
+
+  void push(Buffer&& buffer);
+  /// Blocks until a buffer is available or the stream is closed and
+  /// drained; nullopt signals end-of-stream.
+  std::optional<Buffer> pop();
+  /// One producer instance is done; the last close wakes all consumers.
+  void close();
+  /// Emergency teardown (a filter failed): unblocks every producer and
+  /// consumer; subsequent pushes are dropped, pops return end-of-stream.
+  void abort();
+
+  std::int64_t buffers_pushed() const { return buffers_pushed_; }
+  std::int64_t bytes_pushed() const { return bytes_pushed_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<Buffer> queue_;
+  std::size_t capacity_;
+  int producers_ = 1;
+  int closed_producers_ = 0;
+  bool aborted_ = false;
+  std::int64_t buffers_pushed_ = 0;
+  std::int64_t bytes_pushed_ = 0;
+};
+
+}  // namespace cgp::dc

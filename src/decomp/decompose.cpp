@@ -1,0 +1,281 @@
+#include "decomp/decompose.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace cgp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<int> Placement::cuts(int stages) const {
+  // cut[k] = last filter placed on stages <= k (i.e. complete before link k
+  // is crossed); -1 when link k carries the raw input.
+  std::vector<int> result(static_cast<std::size_t>(stages - 1), -1);
+  for (std::size_t i = 0; i < unit_of_filter.size(); ++i) {
+    for (int k = unit_of_filter[i]; k < stages - 1; ++k) {
+      result[static_cast<std::size_t>(k)] = static_cast<int>(i);
+    }
+  }
+  return result;
+}
+
+std::string Placement::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < unit_of_filter.size(); ++i) {
+    if (i) out << " ";
+    out << "f" << i + 1 << "->C" << unit_of_filter[i] + 1;
+  }
+  out << "]";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// DP (Figure 3, with input movement charged on L_k before the first filter)
+// ---------------------------------------------------------------------------
+
+DecompositionResult decompose_dp(const DecompositionInput& input) {
+  assert(input.valid());
+  const int F = input.filter_count();   // n+1 atomic filters
+  const int M = input.env.stages();     // m computing units
+
+  // T[i][j]: filters 0..i-1 complete, current data resident on unit j.
+  // i = 0 means raw input resident on unit j.
+  std::vector<std::vector<double>> T(
+      static_cast<std::size_t>(F + 1),
+      std::vector<double>(static_cast<std::size_t>(M), kInf));
+  // choice[i][j]: true = "computed here" (came from T[i-1][j]).
+  std::vector<std::vector<bool>> from_comp(
+      static_cast<std::size_t>(F + 1),
+      std::vector<bool>(static_cast<std::size_t>(M), false));
+  std::size_t cells = 0;
+
+  T[0][0] = cost_comp(input.env.units[0], input.source_io_ops);
+  for (int j = 1; j < M; ++j) {
+    T[0][static_cast<std::size_t>(j)] =
+        T[0][static_cast<std::size_t>(j - 1)] +
+        cost_comm(input.env.links[static_cast<std::size_t>(j - 1)],
+                  input.input_bytes);
+    ++cells;
+  }
+
+  for (int i = 1; i <= F; ++i) {
+    const double task = input.task_ops[static_cast<std::size_t>(i - 1)];
+    const double vol = input.boundary_bytes[static_cast<std::size_t>(i - 1)];
+    for (int j = 0; j < M; ++j) {
+      double via_comp =
+          T[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(j)];
+      if (via_comp < kInf) {
+        via_comp +=
+            cost_comp(input.env.units[static_cast<std::size_t>(j)], task);
+      }
+      double via_comm = kInf;
+      if (j > 0) {
+        double prev =
+            T[static_cast<std::size_t>(i)][static_cast<std::size_t>(j - 1)];
+        if (prev < kInf) {
+          via_comm = prev + cost_comm(
+                                input.env.links[static_cast<std::size_t>(j - 1)],
+                                vol);
+        }
+      }
+      const bool comp_wins = via_comp <= via_comm;
+      T[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          comp_wins ? via_comp : via_comm;
+      from_comp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          comp_wins;
+      ++cells;
+    }
+  }
+
+  DecompositionResult result;
+  result.cost = T[static_cast<std::size_t>(F)][static_cast<std::size_t>(M - 1)];
+  result.cells_evaluated = cells;
+  result.placement.unit_of_filter.assign(static_cast<std::size_t>(F), 0);
+  // Backtrack.
+  int i = F;
+  int j = M - 1;
+  while (i > 0) {
+    if (from_comp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) {
+      result.placement.unit_of_filter[static_cast<std::size_t>(i - 1)] = j;
+      --i;
+    } else {
+      --j;
+      assert(j >= 0);
+    }
+  }
+  return result;
+}
+
+double decompose_dp_cost_only(const DecompositionInput& input) {
+  assert(input.valid());
+  const int F = input.filter_count();
+  const int M = input.env.stages();
+  // Rolling row: O(m) live cells (§4.4 closing remark).
+  std::vector<double> row(static_cast<std::size_t>(M), kInf);
+  row[0] = cost_comp(input.env.units[0], input.source_io_ops);
+  for (int j = 1; j < M; ++j) {
+    row[static_cast<std::size_t>(j)] =
+        row[static_cast<std::size_t>(j - 1)] +
+        cost_comm(input.env.links[static_cast<std::size_t>(j - 1)],
+                  input.input_bytes);
+  }
+  for (int i = 1; i <= F; ++i) {
+    const double task = input.task_ops[static_cast<std::size_t>(i - 1)];
+    const double vol = input.boundary_bytes[static_cast<std::size_t>(i - 1)];
+    for (int j = 0; j < M; ++j) {
+      double via_comp = row[static_cast<std::size_t>(j)];
+      if (via_comp < kInf) {
+        via_comp +=
+            cost_comp(input.env.units[static_cast<std::size_t>(j)], task);
+      }
+      double via_comm = kInf;
+      if (j > 0) {
+        // row[j-1] already holds T[i][j-1] (updated this sweep).
+        double prev = row[static_cast<std::size_t>(j - 1)];
+        if (prev < kInf) {
+          via_comm = prev + cost_comm(
+                                input.env.links[static_cast<std::size_t>(j - 1)],
+                                vol);
+        }
+      }
+      row[static_cast<std::size_t>(j)] = std::min(via_comp, via_comm);
+    }
+  }
+  return row[static_cast<std::size_t>(M - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// Placement evaluation
+// ---------------------------------------------------------------------------
+
+void placement_times(const DecompositionInput& input,
+                     const Placement& placement,
+                     std::vector<double>& unit_times,
+                     std::vector<double>& link_times) {
+  const int M = input.env.stages();
+  unit_times.assign(static_cast<std::size_t>(M), 0.0);
+  link_times.assign(static_cast<std::size_t>(M - 1), 0.0);
+  unit_times[0] = cost_comp(input.env.units[0], input.source_io_ops);
+  for (std::size_t i = 0; i < placement.unit_of_filter.size(); ++i) {
+    int unit = placement.unit_of_filter[i];
+    unit_times[static_cast<std::size_t>(unit)] +=
+        cost_comp(input.env.units[static_cast<std::size_t>(unit)],
+                  input.task_ops[i]);
+  }
+  std::vector<int> cut = placement.cuts(M);
+  for (int k = 0; k < M - 1; ++k) {
+    double bytes = cut[static_cast<std::size_t>(k)] >= 0
+                       ? input.boundary_bytes[static_cast<std::size_t>(
+                             cut[static_cast<std::size_t>(k)])]
+                       : input.input_bytes;
+    link_times[static_cast<std::size_t>(k)] =
+        cost_comm(input.env.links[static_cast<std::size_t>(k)], bytes);
+  }
+}
+
+double placement_latency(const DecompositionInput& input,
+                         const Placement& placement) {
+  std::vector<double> unit_times;
+  std::vector<double> link_times;
+  placement_times(input, placement, unit_times, link_times);
+  double total = 0.0;
+  for (double t : unit_times) total += t;
+  for (double t : link_times) total += t;
+  return total;
+}
+
+double reduction_epilogue_time(const DecompositionInput& input,
+                               const Placement& placement) {
+  if (input.updates_reduction.empty() || input.replica_payload_bytes <= 0.0)
+    return 0.0;
+  int last_stage = -1;
+  for (std::size_t i = 0; i < placement.unit_of_filter.size() &&
+                          i < input.updates_reduction.size();
+       ++i) {
+    if (input.updates_reduction[i]) {
+      last_stage = std::max(last_stage, placement.unit_of_filter[i]);
+    }
+  }
+  if (last_stage < 0) return 0.0;
+  const int m = input.env.stages();
+  double total = 0.0;
+  for (int k = last_stage; k < m - 1; ++k) {
+    const int copies = input.env.units[static_cast<std::size_t>(k)].copies;
+    const Link& link = input.env.links[static_cast<std::size_t>(k)];
+    total += copies * (link.latency_sec +
+                       input.replica_payload_bytes / link.effective_bandwidth());
+    total += copies * input.replica_merge_ops /
+             input.env.units[static_cast<std::size_t>(k + 1)].effective_power();
+  }
+  return total;
+}
+
+double full_pipeline_time(const DecompositionInput& input,
+                          const Placement& placement,
+                          std::int64_t n_packets) {
+  std::vector<double> unit_times;
+  std::vector<double> link_times;
+  placement_times(input, placement, unit_times, link_times);
+  return pipeline_total_time(n_packets, unit_times, link_times) +
+         reduction_epilogue_time(input, placement);
+}
+
+// ---------------------------------------------------------------------------
+// Brute force oracle
+// ---------------------------------------------------------------------------
+
+DecompositionResult decompose_bruteforce(const DecompositionInput& input,
+                                         Objective objective,
+                                         std::int64_t n_packets) {
+  assert(input.valid());
+  const int F = input.filter_count();
+  const int M = input.env.stages();
+
+  DecompositionResult best;
+  best.cost = kInf;
+  Placement current;
+  current.unit_of_filter.assign(static_cast<std::size_t>(F), 0);
+  std::size_t evaluated = 0;
+
+  // Enumerate all non-decreasing assignments of F filters to M stages.
+  auto evaluate = [&]() {
+    ++evaluated;
+    double cost = objective == Objective::PerPacketLatency
+                      ? placement_latency(input, current)
+                      : full_pipeline_time(input, current, n_packets);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.placement = current;
+    }
+  };
+  std::function<void(int, int)> recurse = [&](int index, int min_stage) {
+    if (index == F) {
+      evaluate();
+      return;
+    }
+    for (int stage = min_stage; stage < M; ++stage) {
+      current.unit_of_filter[static_cast<std::size_t>(index)] = stage;
+      recurse(index + 1, stage);
+    }
+  };
+  recurse(0, 0);
+  best.cells_evaluated = evaluated;
+  return best;
+}
+
+Placement default_placement(const DecompositionInput& input,
+                            int compute_stage) {
+  Placement placement;
+  placement.unit_of_filter.assign(
+      static_cast<std::size_t>(input.filter_count()),
+      std::min(compute_stage, input.env.stages() - 1));
+  return placement;
+}
+
+}  // namespace cgp

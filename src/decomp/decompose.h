@@ -1,0 +1,123 @@
+// Filter decomposition (§4.4).
+//
+// Inputs: n+1 atomic filters f_1..f_{n+1} (per-packet op counts), the n+1
+// communication volumes Vol(f_i) = bytes crossing a boundary placed right
+// after f_i (Vol(f_{n+1}) = final-result volume), and the environment
+// C_1..C_m / L_1..L_{m-1}.
+//
+// The dynamic program of Figure 3 fills T[i][j] = minimum cost of completing
+// f_1..f_i with the results of f_i resident on C_j:
+//   T[i][j] = min( T[i][j-1] + Cost_comm(B(L_{j-1}), Vol(f_i)),
+//                  T[i-1][j] + Cost_comp(P(C_j), Task(f_i)) )
+// in O(n·m) time; a rolling-array variant uses O(m) space. A brute-force
+// enumerator provides the optimality oracle for tests, and
+// full_pipeline_time evaluates formulas (1)/(2) (bottleneck steady state)
+// for any placement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/environment.h"
+
+namespace cgp {
+
+struct DecompositionInput {
+  std::vector<double> task_ops;        // Task(f_i), size n+1
+  std::vector<double> boundary_bytes;  // Vol(f_i), size n+1
+  /// Volume of the raw input (ReqComm before f_1). Charged when a link is
+  /// crossed before any filter has run. Figure 3 as printed initializes
+  /// T[0][j] = 0, i.e. never charges this; set input_bytes = 0 to get the
+  /// verbatim algorithm (compared in the decomposition ablation bench).
+  double input_bytes = 0.0;
+  /// Ops the data host spends reading a packet's raw input off storage —
+  /// charged to C_1 regardless of placement. Makes offloading work onto
+  /// the (I/O-busy) data nodes carry its real cost.
+  double source_io_ops = 0.0;
+  /// End-of-run reduction handoff (our extension to the paper's §4.3
+  /// model): reduction replicas accumulated per copy of the last
+  /// reduction-updating stage must cascade to C_m and be merged once the
+  /// stream ends. Placing reduction updates early multiplies this fixed
+  /// cost by the copy count and the hop count.
+  std::vector<char> updates_reduction;   // per filter, optional
+  double replica_payload_bytes = 0.0;    // one replica's wire size
+  double replica_merge_ops = 0.0;        // merging one replica downstream
+  EnvironmentSpec env;
+
+  int filter_count() const { return static_cast<int>(task_ops.size()); }
+  bool valid() const {
+    return !task_ops.empty() && task_ops.size() == boundary_bytes.size() &&
+           env.valid();
+  }
+};
+
+/// unit_of_filter[i] = pipeline stage (0-based) executing atomic filter i.
+/// Non-decreasing by construction.
+struct Placement {
+  std::vector<int> unit_of_filter;
+
+  /// Boundary index (0-based, "after filter b") cut by link k; filters
+  /// 0..cut[k] run on units 0..k. cut[k] == -1 means link k is crossed
+  /// before any filter ran (raw input forwarded).
+  std::vector<int> cuts(int stages) const;
+
+  std::string to_string() const;
+  bool operator==(const Placement& o) const {
+    return unit_of_filter == o.unit_of_filter;
+  }
+};
+
+struct DecompositionResult {
+  Placement placement;
+  double cost = 0.0;  // objective value of the optimum
+  std::size_t cells_evaluated = 0;
+};
+
+/// Figure 3 dynamic program; O(n·m) time, O(n·m) space (keeps the full
+/// table for backtracking the placement).
+DecompositionResult decompose_dp(const DecompositionInput& input);
+
+/// Space-optimized variant described at the end of §4.4: O(m) live cells.
+/// Returns the optimal cost only (no placement backtrack is possible
+/// without the table).
+double decompose_dp_cost_only(const DecompositionInput& input);
+
+enum class Objective {
+  PerPacketLatency,  // the DP objective: sum of comp+comm along the chain
+  PipelineTotal,     // formulas (1)/(2) with N packets
+};
+
+/// Exhaustive enumeration of all C(n+m, m-1) cut placements; the oracle for
+/// DP-optimality tests and for the full-pipeline-objective ablation.
+DecompositionResult decompose_bruteforce(const DecompositionInput& input,
+                                         Objective objective,
+                                         std::int64_t n_packets = 1);
+
+/// Per-packet stage/link times for a placement.
+void placement_times(const DecompositionInput& input,
+                     const Placement& placement,
+                     std::vector<double>& unit_times,
+                     std::vector<double>& link_times);
+
+/// Formulas (1)/(2): total time of N packets through the placed pipeline,
+/// plus the end-of-run reduction-replica cascade when the input declares
+/// reduction-updating filters.
+double full_pipeline_time(const DecompositionInput& input,
+                          const Placement& placement, std::int64_t n_packets);
+
+/// The replica-cascade estimate alone (0 when no reductions are declared).
+double reduction_epilogue_time(const DecompositionInput& input,
+                               const Placement& placement);
+
+/// Per-packet latency (the DP objective) of a placement.
+double placement_latency(const DecompositionInput& input,
+                         const Placement& placement);
+
+/// The paper's Default baseline (§6.2): data nodes only read and forward,
+/// all processing on the middle stage(s), results copied to the last node.
+/// Concretely: every filter on stage `compute_stage`.
+Placement default_placement(const DecompositionInput& input,
+                            int compute_stage = 1);
+
+}  // namespace cgp

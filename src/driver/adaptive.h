@@ -1,0 +1,52 @@
+// Extensions the paper lists as future work (§4.1, §8):
+//
+//  * PROFILE-GUIDED DECOMPOSITION — §4.1: "the mappings of the tasks to
+//    the computing units is not changed during the execution ... it could
+//    limit performance in some cases"; §8: "Our cost models also need to
+//    be evaluated further." Instead of the static op/volume estimates, a
+//    short instrumented sequential run of a sample of packets measures the
+//    real per-filter op counts and per-boundary packed byte volumes; the
+//    decomposition then optimizes against measured numbers.
+//
+//  * AUTOMATIC PACKET-SIZE SELECTION — §8: "Automatically choosing the
+//    packet size is another issue." Sweeps candidate packet counts and
+//    predicts total pipeline time for each via the cost model, returning
+//    the best.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline_model.h"
+#include "codegen/compiled_pipeline.h"
+#include "driver/compiler.h"
+
+namespace cgp {
+
+/// Measures a DecompositionInput by interpreting `sample_packets` packets
+/// sequentially: per-atomic-filter op counts and per-boundary packed byte
+/// volumes (averaged per packet). I/O and replica estimates are taken from
+/// `static_input` (they are placement-time constants).
+DecompositionInput profile_decomposition_input(
+    const PipelineModel& model, const DecompositionInput& static_input,
+    const std::map<std::string, std::int64_t>& runtime_constants,
+    int sample_packets = 4);
+
+struct PacketSizeChoice {
+  std::int64_t best_count = 0;
+  double best_predicted_time = 0.0;
+  /// (candidate count, predicted total time) per candidate evaluated.
+  std::vector<std::pair<std::int64_t, double>> table;
+};
+
+/// Evaluates candidate packet counts for a dialect program whose packet
+/// count is bound to `count_constant` (a runtime_define name): compiles
+/// per candidate, decomposes, and predicts the total pipeline time with
+/// the cost model plus a per-buffer overhead term.
+PacketSizeChoice choose_packet_count(
+    const std::string& source, const CompileOptions& base_options,
+    const std::string& count_constant,
+    const std::vector<std::int64_t>& candidates);
+
+}  // namespace cgp

@@ -1,0 +1,189 @@
+// cgpc — the cgpipe compiler CLI.
+//
+// Usage:
+//   cgpc <file.cgp> [options]
+//
+// Options:
+//   --width N            pipeline width (1-1-1 / 2-2-1 / 4-4-1), default 1
+//   --stages M           uniform M-stage pipeline instead of the paper's 3
+//   --define NAME=VALUE  bind a runtime_define_* constant (repeatable)
+//   --bind NAME=VALUE    size binding for the cost model (repeatable)
+//   --packets N          packet count for the total-time objective
+//   --emit               print the generated DataCutter filter source
+//   --analysis           print Gen/Cons/ReqComm per atomic filter
+//   --run                execute the decomposed pipeline and print finals
+//   --default            use the Default placement instead of Decomp
+//   --no-fission         disable loop fission
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "driver/compiler.h"
+#include "driver/simulate.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cgpc <file.cgp> [--width N] [--stages M] "
+               "[--define NAME=VALUE]... [--bind NAME=VALUE]... "
+               "[--packets N] [--emit] [--analysis] [--run] [--default] "
+               "[--no-fission]\n");
+}
+
+bool parse_kv(const char* arg, std::string& name, std::int64_t& value) {
+  const char* eq = std::strchr(arg, '=');
+  if (!eq) return false;
+  name.assign(arg, eq);
+  value = std::strtoll(eq + 1, nullptr, 10);
+  return !name.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cgp;
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string path;
+  int width = 1;
+  int stages = 0;
+  bool emit = false;
+  bool analysis = false;
+  bool run = false;
+  bool use_default = false;
+  CompileOptions options;
+  options.n_packets = 16;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--width") == 0) {
+      width = std::atoi(next());
+    } else if (std::strcmp(arg, "--stages") == 0) {
+      stages = std::atoi(next());
+    } else if (std::strcmp(arg, "--packets") == 0) {
+      options.n_packets = std::atoll(next());
+    } else if (std::strcmp(arg, "--define") == 0) {
+      std::string name;
+      std::int64_t value;
+      if (!parse_kv(next(), name, value)) {
+        usage();
+        return 2;
+      }
+      options.runtime_constants[name] = value;
+    } else if (std::strcmp(arg, "--bind") == 0) {
+      std::string name;
+      std::int64_t value;
+      if (!parse_kv(next(), name, value)) {
+        usage();
+        return 2;
+      }
+      options.size_bindings[name] = value;
+    } else if (std::strcmp(arg, "--emit") == 0) {
+      emit = true;
+    } else if (std::strcmp(arg, "--analysis") == 0) {
+      analysis = true;
+    } else if (std::strcmp(arg, "--run") == 0) {
+      run = true;
+    } else if (std::strcmp(arg, "--default") == 0) {
+      use_default = true;
+    } else if (std::strcmp(arg, "--no-fission") == 0) {
+      options.apply_fission = false;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cgpc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << file.rdbuf();
+
+  options.env = stages > 0 ? EnvironmentSpec::uniform(stages, 350e6, 60e6,
+                                                      20e-6)
+                           : EnvironmentSpec::paper_cluster(width);
+
+  CompileResult result = compile_pipeline(source.str(), options);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s", result.diagnostics.c_str());
+    return 1;
+  }
+  if (!result.diagnostics.empty()) {
+    std::fprintf(stderr, "%s", result.diagnostics.c_str());
+  }
+
+  std::printf("atomic filters: %zu, candidate boundaries: %d\n",
+              result.model.filters.size(), result.model.boundary_count());
+  if (analysis) {
+    for (std::size_t i = 0; i < result.model.filters.size(); ++i) {
+      std::printf("  f%zu %-20s ops=%.4g\n", i + 1,
+                  result.model.filters[i].label.c_str(),
+                  result.decomp_input.task_ops[i]);
+      std::printf("     gen  %s\n",
+                  result.model.sets[i].gen.to_string().c_str());
+      std::printf("     cons %s\n",
+                  result.model.sets[i].cons.to_string().c_str());
+      std::printf("     req  %s (%.4g bytes)\n",
+                  result.model.req_comm[i].to_string().c_str(),
+                  result.decomp_input.boundary_bytes[i]);
+    }
+    std::printf("  input %s (%.4g bytes)\n",
+                result.model.input_req.to_string().c_str(),
+                result.decomp_input.input_bytes);
+  }
+
+  const Placement& placement =
+      use_default ? result.baseline : result.decomposition.placement;
+  std::printf("placement: %s\n", placement.to_string().c_str());
+  std::printf("predicted total time (%lld packets): %.6f s\n",
+              static_cast<long long>(options.n_packets),
+              full_pipeline_time(result.decomp_input, placement,
+                                 options.n_packets));
+
+  if (emit) {
+    std::printf("\n%s", result.generated_source.c_str());
+  }
+  if (run) {
+    try {
+      PipelineRunResult outcome =
+          result.make_runner(placement, options.env).run();
+      std::printf("\nran %lld packets; simulated pipeline time %.6f s\n",
+                  static_cast<long long>(outcome.packets),
+                  simulate_run(outcome, options.env));
+      for (std::size_t k = 0; k < outcome.link_packet_bytes.size(); ++k) {
+        std::printf("link %zu: %lld packet bytes, %lld replica bytes\n", k,
+                    static_cast<long long>(outcome.link_packet_bytes[k]),
+                    static_cast<long long>(outcome.link_replica_bytes[k]));
+      }
+      for (const auto& [name, value] : outcome.finals) {
+        std::printf("final %-12s = %s\n", name.c_str(),
+                    value_to_string(value).c_str());
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "cgpc: runtime error: %s\n", error.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "driver/simulate.h"
+
+namespace cgp {
+
+SimEpilogue make_epilogue(const PipelineRunResult& run,
+                          const EnvironmentSpec& env) {
+  SimEpilogue epilogue;
+  for (std::size_t i = 0; i < run.stage_replica_ops.size(); ++i) {
+    const int copies = env.units[i].copies;
+    epilogue.per_copy_stage_ops.push_back(run.stage_replica_ops[i] /
+                                          std::max(copies, 1));
+  }
+  for (std::size_t k = 0; k < run.link_replica_bytes.size(); ++k) {
+    const int copies = env.units[k].copies;  // upstream endpoint
+    epilogue.per_copy_link_bytes.push_back(
+        static_cast<double>(run.link_replica_bytes[k]) / std::max(copies, 1));
+  }
+  return epilogue;
+}
+
+SimResult simulate_run_full(const PipelineRunResult& run,
+                            const EnvironmentSpec& env) {
+  SimEpilogue epilogue = make_epilogue(run, env);
+  return simulate_pipeline(env,
+                           uniform_trace(run.packets, run.mean_stage_ops(),
+                                         run.mean_link_bytes()),
+                           &epilogue);
+}
+
+double simulate_run(const PipelineRunResult& run, const EnvironmentSpec& env) {
+  return simulate_run_full(run, env).total_time;
+}
+
+}  // namespace cgp

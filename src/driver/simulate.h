@@ -1,0 +1,24 @@
+// Bridges measured pipeline telemetry into the discrete-event simulator:
+// builds the per-packet trace and the end-of-run reduction epilogue (per
+// copy) from a PipelineRunResult, and returns the simulated total time on
+// the given environment — the quantity the paper's figures plot.
+#pragma once
+
+#include "codegen/compiled_pipeline.h"
+#include "cost/environment.h"
+#include "sim/pipeline_sim.h"
+
+namespace cgp {
+
+/// Per-copy epilogue from run totals (replica merges and handoffs).
+SimEpilogue make_epilogue(const PipelineRunResult& run,
+                          const EnvironmentSpec& env);
+
+/// Simulated total pipeline time for a measured run.
+double simulate_run(const PipelineRunResult& run, const EnvironmentSpec& env);
+
+/// Full simulation result (bottleneck, utilization) for a measured run.
+SimResult simulate_run_full(const PipelineRunResult& run,
+                            const EnvironmentSpec& env);
+
+}  // namespace cgp

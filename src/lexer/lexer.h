@@ -1,0 +1,41 @@
+// Hand-written scanner for the cgpipe Java dialect.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer/token.h"
+#include "support/diagnostics.h"
+
+namespace cgp {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Scans the next token; returns EndOfFile forever once exhausted.
+  Token next();
+
+  /// Scans the whole buffer (terminating EndOfFile token included).
+  std::vector<Token> tokenize();
+
+ private:
+  char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_trivia();  // whitespace + // and /* */ comments
+  Token make(TokenKind kind, SourceLocation loc, std::string text = {}) const;
+  Token lex_number(SourceLocation loc);
+  Token lex_identifier_or_keyword(SourceLocation loc);
+  Token lex_string(SourceLocation loc);
+  SourceLocation here() const { return SourceLocation{line_, column_}; }
+
+  std::string_view source_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace cgp

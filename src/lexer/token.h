@@ -1,0 +1,105 @@
+// Token definitions for the cgpipe Java dialect (§3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.h"
+
+namespace cgp {
+
+enum class TokenKind {
+  // Literals and identifiers
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+
+  // Keywords — core Java subset
+  KwClass,
+  KwInterface,
+  KwImplements,
+  KwExtends,
+  KwStatic,
+  KwFinal,
+  KwVoid,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwBoolean,
+  KwByte,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwNew,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwThis,
+
+  // Keywords — dialect extensions (§3)
+  KwForeach,        // order-independent parallel loop
+  KwIn,             // foreach (i in dom)
+  KwPipelinedLoop,  // loop over packets
+  KwRectdomain,     // Rectdomain<k>
+  KwPoint,          // Point<k> iteration variable type
+  KwRuntimeDefine,  // runtime-bound constant modifier
+
+  // Punctuation / operators
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Colon,
+  Question,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PlusPlus,
+  MinusMinus,
+  EqualEqual,
+  NotEqual,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+
+  EndOfFile,
+  Invalid,
+};
+
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::Invalid;
+  std::string text;  // identifier / literal spelling
+  SourceLocation location;
+
+  // Decoded literal payloads.
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace cgp

@@ -1,0 +1,703 @@
+#include "parser/parser.h"
+
+#include "lexer/lexer.h"
+#include "support/str.h"
+
+namespace cgp {
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty() || !tokens_.back().is(TokenKind::EndOfFile)) {
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    tokens_.push_back(eof);
+  }
+}
+
+std::unique_ptr<Program> Parser::parse(std::string_view source,
+                                       DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.tokenize(), diags);
+  return parser.parse_program();
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  std::size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, const char* context) {
+  if (check(kind)) return advance();
+  diags_.error(peek().location, "parser",
+               std::string("expected ") + token_kind_name(kind) + " " +
+                   context + ", found " + token_kind_name(peek().kind));
+  throw ParseError{};
+}
+
+void Parser::fail(const char* context) {
+  diags_.error(peek().location, "parser",
+               std::string("unexpected ") + token_kind_name(peek().kind) +
+                   " " + context);
+  throw ParseError{};
+}
+
+void Parser::synchronize() {
+  while (!check(TokenKind::EndOfFile)) {
+    if (match(TokenKind::Semicolon)) return;
+    if (check(TokenKind::RBrace)) return;
+    if (check(TokenKind::KwClass) || check(TokenKind::KwInterface)) return;
+    advance();
+  }
+}
+
+std::unique_ptr<Program> Parser::parse_program() {
+  auto program = std::make_unique<Program>();
+  program->location = peek().location;
+  while (!check(TokenKind::EndOfFile)) {
+    try {
+      if (check(TokenKind::KwInterface)) {
+        program->interfaces.push_back(parse_interface());
+      } else if (check(TokenKind::KwClass)) {
+        program->classes.push_back(parse_class());
+      } else {
+        fail("at top level (expected 'class' or 'interface')");
+      }
+    } catch (ParseError&) {
+      synchronize();
+      // Skip a stray '}' left over from a malformed declaration.
+      match(TokenKind::RBrace);
+    }
+  }
+  return program;
+}
+
+std::unique_ptr<InterfaceDecl> Parser::parse_interface() {
+  auto decl = std::make_unique<InterfaceDecl>();
+  decl->location = expect(TokenKind::KwInterface, "").location;
+  decl->name = expect(TokenKind::Identifier, "after 'interface'").text;
+  expect(TokenKind::LBrace, "to open interface body");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    TypePtr ret = parse_type();
+    std::string name = expect(TokenKind::Identifier, "in method signature").text;
+    auto method = parse_method(std::move(ret), std::move(name), false);
+    decl->methods.push_back(std::move(method));
+  }
+  expect(TokenKind::RBrace, "to close interface body");
+  return decl;
+}
+
+std::unique_ptr<ClassDecl> Parser::parse_class() {
+  auto decl = std::make_unique<ClassDecl>();
+  decl->location = expect(TokenKind::KwClass, "").location;
+  decl->name = expect(TokenKind::Identifier, "after 'class'").text;
+  if (match(TokenKind::KwImplements)) {
+    do {
+      decl->implements.push_back(
+          expect(TokenKind::Identifier, "in implements list").text);
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::LBrace, "to open class body");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    try {
+      bool is_static = match(TokenKind::KwStatic);
+      match(TokenKind::KwFinal);  // accepted, no distinct semantics on members
+      // Constructor: `ClassName (` with no leading type.
+      if (check(TokenKind::Identifier) && peek().text == decl->name &&
+          peek(1).is(TokenKind::LParen)) {
+        std::string name = advance().text;
+        decl->methods.push_back(
+            parse_method(Type::void_type(), std::move(name), false));
+        continue;
+      }
+      TypePtr type = parse_type();
+      std::string name = expect(TokenKind::Identifier, "in member").text;
+      if (check(TokenKind::LParen)) {
+        decl->methods.push_back(
+            parse_method(std::move(type), std::move(name), is_static));
+      } else {
+        // Field declaration; allow `type a, b, c;`.
+        for (;;) {
+          auto field = std::make_unique<FieldDecl>();
+          field->location = peek().location;
+          field->type = type;
+          field->name = name;
+          decl->fields.push_back(std::move(field));
+          if (!match(TokenKind::Comma)) break;
+          name = expect(TokenKind::Identifier, "in field list").text;
+        }
+        expect(TokenKind::Semicolon, "after field declaration");
+      }
+    } catch (ParseError&) {
+      synchronize();
+    }
+  }
+  expect(TokenKind::RBrace, "to close class body");
+  return decl;
+}
+
+std::unique_ptr<MethodDecl> Parser::parse_method(TypePtr return_type,
+                                                 std::string name,
+                                                 bool is_static) {
+  auto method = std::make_unique<MethodDecl>();
+  method->location = peek().location;
+  method->return_type = std::move(return_type);
+  method->name = std::move(name);
+  method->is_static = is_static;
+  expect(TokenKind::LParen, "to open parameter list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      auto param = std::make_unique<Param>();
+      param->location = peek().location;
+      param->type = parse_type();
+      param->name = expect(TokenKind::Identifier, "in parameter").text;
+      method->params.push_back(std::move(param));
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  if (match(TokenKind::Semicolon)) return method;  // abstract signature
+  method->body = parse_block();
+  return method;
+}
+
+TypePtr Parser::parse_type() {
+  TypePtr base;
+  switch (peek().kind) {
+    case TokenKind::KwInt: advance(); base = Type::primitive(PrimKind::Int); break;
+    case TokenKind::KwLong: advance(); base = Type::primitive(PrimKind::Long); break;
+    case TokenKind::KwFloat: advance(); base = Type::primitive(PrimKind::Float); break;
+    case TokenKind::KwDouble: advance(); base = Type::primitive(PrimKind::Double); break;
+    case TokenKind::KwBoolean: advance(); base = Type::primitive(PrimKind::Boolean); break;
+    case TokenKind::KwByte: advance(); base = Type::primitive(PrimKind::Byte); break;
+    case TokenKind::KwVoid: advance(); base = Type::void_type(); break;
+    case TokenKind::KwRectdomain: {
+      advance();
+      expect(TokenKind::Less, "after 'Rectdomain'");
+      const Token& rank = expect(TokenKind::IntLiteral, "as Rectdomain rank");
+      expect(TokenKind::Greater, "to close Rectdomain rank");
+      base = Type::rectdomain(static_cast<int>(rank.int_value));
+      break;
+    }
+    case TokenKind::KwPoint: {
+      advance();
+      expect(TokenKind::Less, "after 'Point'");
+      const Token& rank = expect(TokenKind::IntLiteral, "as Point rank");
+      expect(TokenKind::Greater, "to close Point rank");
+      base = Type::point(static_cast<int>(rank.int_value));
+      break;
+    }
+    case TokenKind::Identifier: {
+      std::string name = advance().text;
+      base = (name == "String") ? Type::string_type()
+                                : Type::class_type(std::move(name));
+      break;
+    }
+    default:
+      fail("where a type was expected");
+  }
+  while (check(TokenKind::LBracket) && peek(1).is(TokenKind::RBracket)) {
+    advance();
+    advance();
+    base = Type::array_of(std::move(base));
+  }
+  return base;
+}
+
+bool Parser::looks_like_type_start() const {
+  switch (peek().kind) {
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwBoolean:
+    case TokenKind::KwByte:
+    case TokenKind::KwRectdomain:
+    case TokenKind::KwPoint:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Parser::looks_like_var_decl() const {
+  if (looks_like_type_start()) return true;
+  if (!check(TokenKind::Identifier)) return false;
+  // `Foo x ...` or `Foo[] x ...`
+  std::size_t i = 1;
+  while (peek(i).is(TokenKind::LBracket) && peek(i + 1).is(TokenKind::RBracket))
+    i += 2;
+  return peek(i).is(TokenKind::Identifier);
+}
+
+StmtPtr Parser::parse_statement() {
+  try {
+    switch (peek().kind) {
+      case TokenKind::LBrace: return parse_block();
+      case TokenKind::KwIf: return parse_if();
+      case TokenKind::KwWhile: return parse_while();
+      case TokenKind::KwFor: return parse_for();
+      case TokenKind::KwForeach: return parse_foreach();
+      case TokenKind::KwPipelinedLoop: return parse_pipelined_loop();
+      case TokenKind::KwReturn: {
+        auto stmt = std::make_unique<ReturnStmt>();
+        stmt->location = advance().location;
+        if (!check(TokenKind::Semicolon)) stmt->value = parse_expression();
+        expect(TokenKind::Semicolon, "after return");
+        return stmt;
+      }
+      case TokenKind::KwBreak: {
+        auto stmt = std::make_unique<BreakStmt>();
+        stmt->location = advance().location;
+        expect(TokenKind::Semicolon, "after break");
+        return stmt;
+      }
+      case TokenKind::KwContinue: {
+        auto stmt = std::make_unique<ContinueStmt>();
+        stmt->location = advance().location;
+        expect(TokenKind::Semicolon, "after continue");
+        return stmt;
+      }
+      case TokenKind::KwRuntimeDefine: {
+        advance();
+        bool is_final = match(TokenKind::KwFinal);
+        return parse_var_decl(/*runtime_define=*/true, is_final);
+      }
+      case TokenKind::KwFinal: {
+        advance();
+        return parse_var_decl(/*runtime_define=*/false, /*is_final=*/true);
+      }
+      default: {
+        if (looks_like_var_decl())
+          return parse_var_decl(/*runtime_define=*/false, /*is_final=*/false);
+        auto stmt = std::make_unique<ExprStmt>();
+        stmt->location = peek().location;
+        stmt->expr = parse_expression();
+        expect(TokenKind::Semicolon, "after expression statement");
+        return stmt;
+      }
+    }
+  } catch (ParseError&) {
+    synchronize();
+    auto empty = std::make_unique<BlockStmt>();
+    empty->location = peek().location;
+    return empty;
+  }
+}
+
+StmtPtr Parser::parse_var_decl(bool runtime_define, bool is_final) {
+  auto stmt = std::make_unique<VarDeclStmt>();
+  stmt->location = peek().location;
+  stmt->is_runtime_define = runtime_define;
+  stmt->is_final = is_final;
+  stmt->declared_type = parse_type();
+  stmt->name = expect(TokenKind::Identifier, "in variable declaration").text;
+  if (match(TokenKind::Assign)) stmt->init = parse_expression();
+  expect(TokenKind::Semicolon, "after variable declaration");
+  return stmt;
+}
+
+std::unique_ptr<BlockStmt> Parser::parse_block() {
+  auto block = std::make_unique<BlockStmt>();
+  block->location = expect(TokenKind::LBrace, "to open block").location;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    block->statements.push_back(parse_statement());
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return block;
+}
+
+StmtPtr Parser::parse_if() {
+  auto stmt = std::make_unique<IfStmt>();
+  stmt->location = expect(TokenKind::KwIf, "").location;
+  expect(TokenKind::LParen, "after 'if'");
+  stmt->cond = parse_expression();
+  expect(TokenKind::RParen, "to close if condition");
+  stmt->then_branch = parse_statement();
+  if (match(TokenKind::KwElse)) stmt->else_branch = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_while() {
+  auto stmt = std::make_unique<WhileStmt>();
+  stmt->location = expect(TokenKind::KwWhile, "").location;
+  expect(TokenKind::LParen, "after 'while'");
+  stmt->cond = parse_expression();
+  expect(TokenKind::RParen, "to close while condition");
+  stmt->body = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_for() {
+  auto stmt = std::make_unique<ForStmt>();
+  stmt->location = expect(TokenKind::KwFor, "").location;
+  expect(TokenKind::LParen, "after 'for'");
+  if (!match(TokenKind::Semicolon)) {
+    if (looks_like_var_decl()) {
+      stmt->init = parse_var_decl(false, false);
+    } else {
+      auto init = std::make_unique<ExprStmt>();
+      init->location = peek().location;
+      init->expr = parse_expression();
+      expect(TokenKind::Semicolon, "after for-init");
+      stmt->init = std::move(init);
+    }
+  }
+  if (!check(TokenKind::Semicolon)) stmt->cond = parse_expression();
+  expect(TokenKind::Semicolon, "after for-condition");
+  if (!check(TokenKind::RParen)) stmt->step = parse_expression();
+  expect(TokenKind::RParen, "to close for header");
+  stmt->body = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_foreach() {
+  auto stmt = std::make_unique<ForeachStmt>();
+  stmt->location = expect(TokenKind::KwForeach, "").location;
+  expect(TokenKind::LParen, "after 'foreach'");
+  stmt->var = expect(TokenKind::Identifier, "as foreach variable").text;
+  expect(TokenKind::KwIn, "in foreach header");
+  stmt->domain = parse_expression();
+  expect(TokenKind::RParen, "to close foreach header");
+  stmt->body = parse_statement();
+  return stmt;
+}
+
+StmtPtr Parser::parse_pipelined_loop() {
+  auto stmt = std::make_unique<PipelinedLoopStmt>();
+  stmt->location = expect(TokenKind::KwPipelinedLoop, "").location;
+  expect(TokenKind::LParen, "after 'PipelinedLoop'");
+  stmt->var = expect(TokenKind::Identifier, "as PipelinedLoop variable").text;
+  expect(TokenKind::KwIn, "in PipelinedLoop header");
+  stmt->domain = parse_expression();
+  expect(TokenKind::RParen, "to close PipelinedLoop header");
+  stmt->body = parse_statement();
+  return stmt;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expression() { return parse_assignment(); }
+
+ExprPtr Parser::parse_assignment() {
+  ExprPtr lhs = parse_conditional();
+  AssignOp op;
+  switch (peek().kind) {
+    case TokenKind::Assign: op = AssignOp::Assign; break;
+    case TokenKind::PlusAssign: op = AssignOp::AddAssign; break;
+    case TokenKind::MinusAssign: op = AssignOp::SubAssign; break;
+    case TokenKind::StarAssign: op = AssignOp::MulAssign; break;
+    case TokenKind::SlashAssign: op = AssignOp::DivAssign; break;
+    default: return lhs;
+  }
+  SourceLocation loc = advance().location;
+  if (lhs->kind != NodeKind::VarRef && lhs->kind != NodeKind::FieldAccess &&
+      lhs->kind != NodeKind::Index) {
+    diags_.error(loc, "parser", "invalid assignment target");
+    throw ParseError{};
+  }
+  auto assign = std::make_unique<AssignExpr>();
+  assign->location = loc;
+  assign->op = op;
+  assign->target = std::move(lhs);
+  assign->value = parse_assignment();  // right-associative
+  return assign;
+}
+
+ExprPtr Parser::parse_conditional() {
+  ExprPtr cond = parse_logical_or();
+  if (!match(TokenKind::Question)) return cond;
+  auto expr = std::make_unique<ConditionalExpr>();
+  expr->location = cond->location;
+  expr->cond = std::move(cond);
+  expr->then_value = parse_expression();
+  expect(TokenKind::Colon, "in conditional expression");
+  expr->else_value = parse_conditional();
+  return expr;
+}
+
+namespace {
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto expr = std::make_unique<BinaryExpr>();
+  expr->location = lhs->location;
+  expr->op = op;
+  expr->lhs = std::move(lhs);
+  expr->rhs = std::move(rhs);
+  return expr;
+}
+}  // namespace
+
+ExprPtr Parser::parse_logical_or() {
+  ExprPtr lhs = parse_logical_and();
+  while (match(TokenKind::PipePipe))
+    lhs = make_binary(BinaryOp::Or, std::move(lhs), parse_logical_and());
+  return lhs;
+}
+
+ExprPtr Parser::parse_logical_and() {
+  ExprPtr lhs = parse_equality();
+  while (match(TokenKind::AmpAmp))
+    lhs = make_binary(BinaryOp::And, std::move(lhs), parse_equality());
+  return lhs;
+}
+
+ExprPtr Parser::parse_equality() {
+  ExprPtr lhs = parse_relational();
+  for (;;) {
+    if (match(TokenKind::EqualEqual))
+      lhs = make_binary(BinaryOp::Eq, std::move(lhs), parse_relational());
+    else if (match(TokenKind::NotEqual))
+      lhs = make_binary(BinaryOp::Ne, std::move(lhs), parse_relational());
+    else
+      return lhs;
+  }
+}
+
+ExprPtr Parser::parse_relational() {
+  ExprPtr lhs = parse_additive();
+  for (;;) {
+    if (match(TokenKind::Less))
+      lhs = make_binary(BinaryOp::Lt, std::move(lhs), parse_additive());
+    else if (match(TokenKind::Greater))
+      lhs = make_binary(BinaryOp::Gt, std::move(lhs), parse_additive());
+    else if (match(TokenKind::LessEqual))
+      lhs = make_binary(BinaryOp::Le, std::move(lhs), parse_additive());
+    else if (match(TokenKind::GreaterEqual))
+      lhs = make_binary(BinaryOp::Ge, std::move(lhs), parse_additive());
+    else
+      return lhs;
+  }
+}
+
+ExprPtr Parser::parse_additive() {
+  ExprPtr lhs = parse_multiplicative();
+  for (;;) {
+    if (match(TokenKind::Plus))
+      lhs = make_binary(BinaryOp::Add, std::move(lhs), parse_multiplicative());
+    else if (match(TokenKind::Minus))
+      lhs = make_binary(BinaryOp::Sub, std::move(lhs), parse_multiplicative());
+    else
+      return lhs;
+  }
+}
+
+ExprPtr Parser::parse_multiplicative() {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    if (match(TokenKind::Star))
+      lhs = make_binary(BinaryOp::Mul, std::move(lhs), parse_unary());
+    else if (match(TokenKind::Slash))
+      lhs = make_binary(BinaryOp::Div, std::move(lhs), parse_unary());
+    else if (match(TokenKind::Percent))
+      lhs = make_binary(BinaryOp::Mod, std::move(lhs), parse_unary());
+    else
+      return lhs;
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  UnaryOp op;
+  if (check(TokenKind::Minus)) {
+    op = UnaryOp::Neg;
+  } else if (check(TokenKind::Bang)) {
+    op = UnaryOp::Not;
+  } else if (check(TokenKind::PlusPlus)) {
+    op = UnaryOp::PreInc;
+  } else if (check(TokenKind::MinusMinus)) {
+    op = UnaryOp::PreDec;
+  } else {
+    return parse_postfix();
+  }
+  auto expr = std::make_unique<UnaryExpr>();
+  expr->location = advance().location;
+  expr->op = op;
+  expr->operand = parse_unary();
+  return expr;
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr expr = parse_primary();
+  for (;;) {
+    if (match(TokenKind::Dot)) {
+      std::string member = expect(TokenKind::Identifier, "after '.'").text;
+      if (check(TokenKind::LParen)) {
+        auto call = std::make_unique<CallExpr>();
+        call->location = expr->location;
+        call->base = std::move(expr);
+        call->callee = std::move(member);
+        call->args = parse_call_args();
+        expr = std::move(call);
+      } else {
+        auto access = std::make_unique<FieldAccess>();
+        access->location = expr->location;
+        access->base = std::move(expr);
+        access->field = std::move(member);
+        expr = std::move(access);
+      }
+    } else if (check(TokenKind::LBracket)) {
+      advance();
+      auto index = std::make_unique<IndexExpr>();
+      index->location = expr->location;
+      index->base = std::move(expr);
+      do {
+        index->indices.push_back(parse_expression());
+      } while (match(TokenKind::Comma));
+      expect(TokenKind::RBracket, "to close index");
+      expr = std::move(index);
+    } else if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+      auto unary = std::make_unique<UnaryExpr>();
+      unary->location = peek().location;
+      unary->op = check(TokenKind::PlusPlus) ? UnaryOp::PostInc
+                                             : UnaryOp::PostDec;
+      advance();
+      unary->operand = std::move(expr);
+      expr = std::move(unary);
+    } else {
+      return expr;
+    }
+  }
+}
+
+std::vector<ExprPtr> Parser::parse_call_args() {
+  expect(TokenKind::LParen, "to open argument list");
+  std::vector<ExprPtr> args;
+  if (!check(TokenKind::RParen)) {
+    do {
+      args.push_back(parse_expression());
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return args;
+}
+
+ExprPtr Parser::parse_new() {
+  SourceLocation loc = expect(TokenKind::KwNew, "").location;
+  // Parse the base type name (primitive or class).
+  if (looks_like_type_start() || check(TokenKind::Identifier)) {
+    // Distinguish `new T[expr]` (array) from `new T(...)` (object). We
+    // parse the *base* type only; `new T[n]` with T itself an array type is
+    // spelled `new T[][n]` which the dialect does not need.
+    TypePtr base;
+    std::string class_name;
+    if (check(TokenKind::Identifier)) {
+      class_name = advance().text;
+      base = (class_name == "String") ? Type::string_type()
+                                      : Type::class_type(class_name);
+    } else {
+      base = parse_type();
+    }
+    if (check(TokenKind::LBracket)) {
+      advance();
+      auto expr = std::make_unique<NewArrayExpr>();
+      expr->location = loc;
+      expr->element_type = base;
+      expr->length = parse_expression();
+      expect(TokenKind::RBracket, "to close array size");
+      return expr;
+    }
+    if (class_name.empty()) fail("after 'new' (primitive requires [size])");
+    auto expr = std::make_unique<NewObjectExpr>();
+    expr->location = loc;
+    expr->class_name = class_name;
+    expr->args = parse_call_args();
+    return expr;
+  }
+  fail("after 'new'");
+}
+
+ExprPtr Parser::parse_rectdomain_literal() {
+  SourceLocation loc = expect(TokenKind::LBracket, "").location;
+  auto lit = std::make_unique<RectdomainLit>();
+  lit->location = loc;
+  do {
+    RectdomainLit::Dim dim;
+    dim.lo = parse_expression();
+    expect(TokenKind::Colon, "in rectdomain bounds");
+    dim.hi = parse_expression();
+    lit->dims.push_back(std::move(dim));
+  } while (match(TokenKind::Comma));
+  expect(TokenKind::RBracket, "to close rectdomain literal");
+  return lit;
+}
+
+ExprPtr Parser::parse_primary() {
+  switch (peek().kind) {
+    case TokenKind::IntLiteral: {
+      auto lit = std::make_unique<IntLit>();
+      lit->location = peek().location;
+      lit->value = advance().int_value;
+      return lit;
+    }
+    case TokenKind::FloatLiteral: {
+      auto lit = std::make_unique<FloatLit>();
+      lit->location = peek().location;
+      lit->value = advance().float_value;
+      return lit;
+    }
+    case TokenKind::KwTrue:
+    case TokenKind::KwFalse: {
+      auto lit = std::make_unique<BoolLit>();
+      lit->location = peek().location;
+      lit->value = advance().is(TokenKind::KwTrue);
+      return lit;
+    }
+    case TokenKind::StringLiteral: {
+      auto lit = std::make_unique<StringLit>();
+      lit->location = peek().location;
+      lit->value = advance().text;
+      return lit;
+    }
+    case TokenKind::KwNull: {
+      auto lit = std::make_unique<NullLit>();
+      lit->location = advance().location;
+      return lit;
+    }
+    case TokenKind::KwThis: {
+      auto ref = std::make_unique<VarRef>();
+      ref->location = advance().location;
+      ref->name = "this";
+      return ref;
+    }
+    case TokenKind::Identifier: {
+      if (peek(1).is(TokenKind::LParen)) {
+        auto call = std::make_unique<CallExpr>();
+        call->location = peek().location;
+        call->callee = advance().text;
+        call->args = parse_call_args();
+        return call;
+      }
+      auto ref = std::make_unique<VarRef>();
+      ref->location = peek().location;
+      ref->name = advance().text;
+      ref->is_runtime_define = starts_with(ref->name, "runtime_define_");
+      return ref;
+    }
+    case TokenKind::KwNew:
+      return parse_new();
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr inner = parse_expression();
+      expect(TokenKind::RParen, "to close parenthesized expression");
+      return inner;
+    }
+    case TokenKind::LBracket:
+      return parse_rectdomain_literal();
+    default:
+      fail("where an expression was expected");
+  }
+}
+
+}  // namespace cgp

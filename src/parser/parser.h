@@ -1,0 +1,89 @@
+// Recursive-descent parser for the cgpipe Java dialect.
+//
+// Grammar (informal):
+//   program    := (interfaceDecl | classDecl)*
+//   classDecl  := 'class' ID ('implements' ID (',' ID)*)? '{' member* '}'
+//   member     := field | method | constructor
+//   stmt       := varDecl | exprStmt | block | if | while | for | foreach
+//               | PipelinedLoop | return | break | continue
+//   foreach    := 'foreach' '(' ID 'in' expr ')' stmt
+//   pipelined  := 'PipelinedLoop' '(' ID 'in' expr ')' stmt
+//   rectdomain := '[' expr ':' expr (',' expr ':' expr)* ']'
+//
+// Error recovery: on a parse error the parser reports a diagnostic and
+// synchronizes to the next ';' or '}' so multiple errors surface per run.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ast/ast.h"
+#include "lexer/token.h"
+#include "support/diagnostics.h"
+
+namespace cgp {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+  /// Parses a whole program; never returns null (may be empty on errors).
+  std::unique_ptr<Program> parse_program();
+
+  /// Convenience: lex + parse in one step.
+  static std::unique_ptr<Program> parse(std::string_view source,
+                                        DiagnosticEngine& diags);
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool check(TokenKind kind) const { return peek().is(kind); }
+  bool match(TokenKind kind);
+  const Token& expect(TokenKind kind, const char* context);
+  void synchronize();
+  [[noreturn]] void fail(const char* context);
+
+  std::unique_ptr<InterfaceDecl> parse_interface();
+  std::unique_ptr<ClassDecl> parse_class();
+  std::unique_ptr<MethodDecl> parse_method(TypePtr return_type,
+                                           std::string name, bool is_static);
+  TypePtr parse_type();
+  bool looks_like_type_start() const;
+  bool looks_like_var_decl() const;
+
+  StmtPtr parse_statement();
+  StmtPtr parse_var_decl(bool runtime_define, bool is_final);
+  std::unique_ptr<BlockStmt> parse_block();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_for();
+  StmtPtr parse_foreach();
+  StmtPtr parse_pipelined_loop();
+
+  ExprPtr parse_expression();
+  ExprPtr parse_assignment();
+  ExprPtr parse_conditional();
+  ExprPtr parse_logical_or();
+  ExprPtr parse_logical_and();
+  ExprPtr parse_equality();
+  ExprPtr parse_relational();
+  ExprPtr parse_additive();
+  ExprPtr parse_multiplicative();
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_new();
+  ExprPtr parse_rectdomain_literal();
+  std::vector<ExprPtr> parse_call_args();
+
+  // Thrown internally for error recovery; callers catch at statement and
+  // declaration granularity.
+  struct ParseError {};
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+};
+
+}  // namespace cgp

@@ -1,0 +1,86 @@
+// Class/interface registry built by sema and consumed by every later phase.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace cgp {
+
+/// Interface name that marks reduction types (§3): any object of a class
+/// implementing this interface is a reduction variable — updated in foreach
+/// loops only through associative + commutative operations.
+inline constexpr const char* kReducinterfaceName = "Reducinterface";
+
+struct FieldInfo {
+  std::string name;
+  TypePtr type;
+  int index = 0;  // declaration order
+
+  /// Fixed byte size for primitive fields; nullopt for reference/array
+  /// fields (sized symbolically by the communication analysis).
+  std::optional<std::size_t> fixed_size() const {
+    if (type->is_primitive()) return prim_size_bytes(type->prim());
+    return std::nullopt;
+  }
+};
+
+struct ClassInfo {
+  const ClassDecl* decl = nullptr;
+  std::string name;
+  std::vector<std::string> implements;
+  std::vector<FieldInfo> fields;
+  std::map<std::string, const MethodDecl*> methods;
+  bool is_reduction = false;  // implements Reducinterface
+
+  const FieldInfo* find_field(const std::string& field_name) const {
+    for (const FieldInfo& f : fields)
+      if (f.name == field_name) return &f;
+    return nullptr;
+  }
+  const MethodDecl* find_method(const std::string& method_name) const {
+    auto it = methods.find(method_name);
+    return it == methods.end() ? nullptr : it->second;
+  }
+  /// Constructor is the method named after the class; null if none declared.
+  const MethodDecl* constructor() const { return find_method(name); }
+
+  /// Sum of primitive-field sizes: the per-object payload the paper's cost
+  /// model charges when a whole object is communicated.
+  std::size_t primitive_payload_bytes() const {
+    std::size_t total = 0;
+    for (const FieldInfo& f : fields)
+      if (auto s = f.fixed_size()) total += *s;
+    return total;
+  }
+};
+
+class ClassRegistry {
+ public:
+  const ClassInfo* find(const std::string& name) const {
+    auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : &it->second;
+  }
+  ClassInfo* find_mutable(const std::string& name) {
+    auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : &it->second;
+  }
+  ClassInfo& add(ClassInfo info) { return classes_[info.name] = std::move(info); }
+  bool has_interface(const std::string& name) const {
+    return interfaces_.count(name) > 0;
+  }
+  void add_interface(const std::string& name) { interfaces_.insert(name); }
+
+  const std::map<std::string, ClassInfo>& classes() const { return classes_; }
+
+ private:
+  std::map<std::string, ClassInfo> classes_;
+  std::set<std::string> interfaces_;
+};
+
+}  // namespace cgp

@@ -1,0 +1,57 @@
+// Discrete-event pipeline simulator.
+//
+// Replays a measured per-packet trace (ops per stage, bytes per link)
+// through a configured environment: every transparent copy of a stage and
+// every lane of a link is a serial resource; packets are distributed
+// round-robin (the DataCutter load-balancing scheme, §2.2). The result is
+// the quantity the paper measures — total execution time of the pipeline —
+// including the (N-1) x bottleneck steady state and the fill/drain ramps of
+// §4.3's formulas (1)/(2).
+//
+// An optional epilogue models the end-of-run reduction handoff: after its
+// last packet, each copy of a stage performs extra ops and sends extra
+// bytes downstream (e.g. per-copy z-buffers merged at the view node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/environment.h"
+
+namespace cgp {
+
+struct PacketTrace {
+  std::vector<double> stage_ops;   // size m: ops this packet costs per stage
+  std::vector<double> link_bytes;  // size m-1: bytes it moves per link
+};
+
+struct SimEpilogue {
+  /// Extra ops each copy of stage i runs after its last packet.
+  std::vector<double> per_copy_stage_ops;
+  /// Extra bytes each upstream copy pushes over link k at the end.
+  std::vector<double> per_copy_link_bytes;
+};
+
+struct SimResult {
+  double total_time = 0.0;
+  /// Busy time per stage (sum over copies) and per link (sum over lanes).
+  std::vector<double> stage_busy;
+  std::vector<double> link_busy;
+  /// Resource with the highest utilization.
+  int bottleneck_index = -1;
+  bool bottleneck_is_link = false;
+  std::string bottleneck_name;
+};
+
+SimResult simulate_pipeline(const EnvironmentSpec& env,
+                            const std::vector<PacketTrace>& packets,
+                            const SimEpilogue* epilogue = nullptr);
+
+/// Convenience: uniform trace (every packet identical), the common case for
+/// fixed-size packets.
+std::vector<PacketTrace> uniform_trace(std::int64_t n_packets,
+                                       std::vector<double> stage_ops,
+                                       std::vector<double> link_bytes);
+
+}  // namespace cgp

@@ -1,0 +1,36 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace cgp {
+
+std::string to_string(SourceLocation loc) {
+  if (!loc.valid()) return "?";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLocation loc,
+                              std::string phase, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diagnostics_.push_back(
+      Diagnostic{sev, loc, std::move(message), std::move(phase)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics_) {
+    const char* sev = d.severity == Severity::Error     ? "error"
+                      : d.severity == Severity::Warning ? "warning"
+                                                        : "note";
+    out << to_string(d.location) << ": " << sev << " [" << d.phase << "] "
+        << d.message << "\n";
+  }
+  return out.str();
+}
+
+void DiagnosticEngine::clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace cgp

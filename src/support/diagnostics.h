@@ -1,0 +1,51 @@
+// Diagnostic reporting for all compiler phases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace cgp {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLocation location;
+  std::string message;
+  std::string phase;  // e.g. "lexer", "parser", "sema", "analysis"
+};
+
+/// Collects diagnostics across compiler phases. Not thread-safe; each
+/// compilation owns one engine.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLocation loc, std::string phase,
+              std::string message);
+
+  void error(SourceLocation loc, std::string phase, std::string message) {
+    report(Severity::Error, loc, std::move(phase), std::move(message));
+  }
+  void warning(SourceLocation loc, std::string phase, std::string message) {
+    report(Severity::Warning, loc, std::move(phase), std::move(message));
+  }
+  void note(SourceLocation loc, std::string phase, std::string message) {
+    report(Severity::Note, loc, std::move(phase), std::move(message));
+  }
+
+  bool has_errors() const { return error_count_ > 0; }
+  std::size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& all() const { return diagnostics_; }
+
+  /// All diagnostics rendered one-per-line, for tests and CLI output.
+  std::string render() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace cgp

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random generation for dataset synthesis and
+// property tests. A fixed, portable generator keeps experiment inputs
+// reproducible across platforms (std::mt19937 distributions are not
+// guaranteed identical across standard libraries).
+#pragma once
+
+#include <cstdint>
+
+namespace cgp {
+
+/// SplitMix64: tiny, fast, passes BigCrush for these purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + next_double() * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cgp

@@ -1,0 +1,67 @@
+#include "support/section.h"
+
+namespace cgp {
+
+namespace {
+
+/// Compares a - b when the difference folds to a constant.
+std::optional<int> fold_compare(const SymPoly& a, const SymPoly& b) {
+  std::optional<std::int64_t> d = (a - b).constant_value();
+  if (!d) return std::nullopt;
+  return *d < 0 ? -1 : (*d > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+SymPoly RectSection::element_count() const {
+  SymPoly count(1);
+  for (const Interval& iv : dims_) count *= iv.extent();
+  return count;
+}
+
+std::optional<RectSection> RectSection::hull(const RectSection& a,
+                                             const RectSection& b) {
+  if (a.rank() != b.rank()) return std::nullopt;
+  std::vector<Interval> dims;
+  dims.reserve(a.dims_.size());
+  for (int i = 0; i < a.rank(); ++i) {
+    const Interval& ia = a.dims_[static_cast<std::size_t>(i)];
+    const Interval& ib = b.dims_[static_cast<std::size_t>(i)];
+    std::optional<int> lo_cmp = fold_compare(ia.lo, ib.lo);
+    std::optional<int> hi_cmp = fold_compare(ia.hi, ib.hi);
+    if (!lo_cmp || !hi_cmp) {
+      // Incomparable symbolic bounds; identical intervals still hull fine.
+      if (ia == ib) {
+        dims.push_back(ia);
+        continue;
+      }
+      return std::nullopt;
+    }
+    dims.push_back(Interval{*lo_cmp <= 0 ? ia.lo : ib.lo,
+                            *hi_cmp >= 0 ? ia.hi : ib.hi});
+  }
+  return RectSection(std::move(dims));
+}
+
+bool RectSection::covers(const RectSection& other) const {
+  if (rank() != other.rank()) return false;
+  for (int i = 0; i < rank(); ++i) {
+    const Interval& mine = dims_[static_cast<std::size_t>(i)];
+    const Interval& theirs = other.dims_[static_cast<std::size_t>(i)];
+    if (mine == theirs) continue;
+    std::optional<int> lo_cmp = fold_compare(mine.lo, theirs.lo);
+    std::optional<int> hi_cmp = fold_compare(mine.hi, theirs.hi);
+    if (!lo_cmp || !hi_cmp) return false;
+    if (*lo_cmp > 0 || *hi_cmp < 0) return false;
+  }
+  return true;
+}
+
+std::string RectSection::to_string() const {
+  if (dims_.empty()) return "<scalar>";
+  std::string out;
+  for (const Interval& iv : dims_) out += iv.to_string();
+  return out;
+}
+
+}  // namespace cgp

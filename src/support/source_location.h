@@ -1,0 +1,30 @@
+// Source locations and ranges for the cgpipe frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cgp {
+
+/// A position in a source buffer. Lines and columns are 1-based; a value of
+/// zero means "unknown".
+struct SourceLocation {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  constexpr bool valid() const { return line != 0; }
+  friend constexpr bool operator==(SourceLocation, SourceLocation) = default;
+};
+
+/// Half-open range [begin, end) over a single source buffer.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  friend constexpr bool operator==(SourceRange, SourceRange) = default;
+};
+
+/// Renders "line:col" (or "?" when unknown).
+std::string to_string(SourceLocation loc);
+
+}  // namespace cgp

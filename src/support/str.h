@@ -1,0 +1,15 @@
+// Small string helpers shared across phases.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgp {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace cgp

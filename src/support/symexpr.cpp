@@ -1,0 +1,145 @@
+#include "support/symexpr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cgp {
+
+SymPoly::SymPoly(std::int64_t constant) {
+  if (constant != 0) terms_[Monomial{}] = constant;
+}
+
+SymPoly SymPoly::symbol(std::string name) {
+  SymPoly p;
+  p.terms_[Monomial{{std::move(name)}}] = 1;
+  return p;
+}
+
+void SymPoly::add_term(Monomial m, std::int64_t coeff) {
+  if (coeff == 0) return;
+  auto [it, inserted] = terms_.try_emplace(std::move(m), coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second == 0) terms_.erase(it);
+  }
+}
+
+SymPoly SymPoly::operator+(const SymPoly& o) const {
+  SymPoly result = *this;
+  for (const auto& [m, c] : o.terms_) result.add_term(m, c);
+  return result;
+}
+
+SymPoly SymPoly::operator-(const SymPoly& o) const {
+  SymPoly result = *this;
+  for (const auto& [m, c] : o.terms_) result.add_term(m, -c);
+  return result;
+}
+
+SymPoly SymPoly::operator-() const { return SymPoly(0) - *this; }
+
+SymPoly SymPoly::operator*(const SymPoly& o) const {
+  SymPoly result;
+  for (const auto& [ma, ca] : terms_) {
+    for (const auto& [mb, cb] : o.terms_) {
+      Monomial prod;
+      prod.symbols.reserve(ma.symbols.size() + mb.symbols.size());
+      std::merge(ma.symbols.begin(), ma.symbols.end(), mb.symbols.begin(),
+                 mb.symbols.end(), std::back_inserter(prod.symbols));
+      result.add_term(std::move(prod), ca * cb);
+    }
+  }
+  return result;
+}
+
+bool SymPoly::is_constant() const {
+  return terms_.empty() ||
+         (terms_.size() == 1 && terms_.begin()->first.is_constant());
+}
+
+std::optional<std::int64_t> SymPoly::constant_value() const {
+  if (terms_.empty()) return 0;
+  if (is_constant()) return terms_.begin()->second;
+  return std::nullopt;
+}
+
+int SymPoly::degree() const {
+  int deg = 0;
+  for (const auto& [m, c] : terms_) deg = std::max(deg, m.degree());
+  return deg;
+}
+
+std::vector<std::string> SymPoly::symbols() const {
+  std::vector<std::string> out;
+  for (const auto& [m, c] : terms_)
+    out.insert(out.end(), m.symbols.begin(), m.symbols.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+SymPoly SymPoly::substitute(const std::string& name,
+                            const SymPoly& value) const {
+  SymPoly result;
+  for (const auto& [m, c] : terms_) {
+    SymPoly term(c);
+    for (const std::string& s : m.symbols) {
+      term *= (s == name) ? value : SymPoly::symbol(s);
+    }
+    result += term;
+  }
+  return result;
+}
+
+std::optional<std::int64_t> SymPoly::evaluate(
+    const std::map<std::string, std::int64_t>& bindings) const {
+  std::int64_t total = 0;
+  for (const auto& [m, c] : terms_) {
+    std::int64_t term = c;
+    for (const std::string& s : m.symbols) {
+      auto it = bindings.find(s);
+      if (it == bindings.end()) return std::nullopt;
+      term *= it->second;
+    }
+    total += term;
+  }
+  return total;
+}
+
+std::string SymPoly::to_string() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream out;
+  bool first = true;
+  // Print higher-degree terms first for readability.
+  std::vector<std::pair<Monomial, std::int64_t>> ordered(terms_.begin(),
+                                                         terms_.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.degree() > b.first.degree();
+                   });
+  for (const auto& [m, c] : ordered) {
+    std::int64_t coeff = c;
+    if (first) {
+      if (coeff < 0) {
+        out << "-";
+        coeff = -coeff;
+      }
+    } else {
+      out << (coeff < 0 ? " - " : " + ");
+      coeff = std::abs(coeff);
+    }
+    first = false;
+    if (m.is_constant()) {
+      out << coeff;
+      continue;
+    }
+    if (coeff != 1) out << coeff << "*";
+    for (std::size_t i = 0; i < m.symbols.size(); ++i) {
+      if (i) out << "*";
+      out << m.symbols[i];
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cgp

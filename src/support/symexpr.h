@@ -1,0 +1,87 @@
+// Symbolic integer polynomials.
+//
+// The communication analysis of the paper (§4.2) stores Gen/Cons sets as
+// rectilinear sections "whose bounds may only be available symbolically"
+// (e.g. `packet_size - 1`, `runtime_define_num_packets * chunk`). SymPoly is
+// the arithmetic those bounds are written in: a normalized multivariate
+// polynomial with 64-bit integer coefficients over named symbols. It supports
+// exact +, -, *, structural comparison, substitution and evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cgp {
+
+/// A monomial: a sorted multiset of symbol names ("x"*"x"*"y" etc.). The
+/// empty monomial is the constant term.
+struct Monomial {
+  std::vector<std::string> symbols;  // sorted, may repeat for powers
+
+  bool operator<(const Monomial& o) const { return symbols < o.symbols; }
+  bool operator==(const Monomial& o) const { return symbols == o.symbols; }
+  bool is_constant() const { return symbols.empty(); }
+  int degree() const { return static_cast<int>(symbols.size()); }
+};
+
+/// Normalized multivariate polynomial with integer coefficients.
+/// Zero-coefficient terms are never stored, so equality is structural.
+class SymPoly {
+ public:
+  SymPoly() = default;
+  /*implicit*/ SymPoly(std::int64_t constant);
+  static SymPoly symbol(std::string name);
+
+  SymPoly operator+(const SymPoly& o) const;
+  SymPoly operator-(const SymPoly& o) const;
+  SymPoly operator*(const SymPoly& o) const;
+  SymPoly operator-() const;
+  SymPoly& operator+=(const SymPoly& o) { return *this = *this + o; }
+  SymPoly& operator-=(const SymPoly& o) { return *this = *this - o; }
+  SymPoly& operator*=(const SymPoly& o) { return *this = *this * o; }
+
+  bool operator==(const SymPoly& o) const { return terms_ == o.terms_; }
+  bool operator<(const SymPoly& o) const { return terms_ < o.terms_; }
+
+  bool is_zero() const { return terms_.empty(); }
+  bool is_constant() const;
+  /// Constant value if the polynomial has no symbolic terms.
+  std::optional<std::int64_t> constant_value() const;
+
+  /// Total degree (0 for constants and zero).
+  int degree() const;
+
+  /// Symbols referenced anywhere in the polynomial, sorted and unique.
+  std::vector<std::string> symbols() const;
+
+  /// Substitute `name := value` and renormalize.
+  SymPoly substitute(const std::string& name, const SymPoly& value) const;
+
+  /// Evaluate with a full binding; returns nullopt if any symbol is unbound.
+  std::optional<std::int64_t> evaluate(
+      const std::map<std::string, std::int64_t>& bindings) const;
+
+  /// Human-readable normal form, e.g. "2*n + x*x - 3".
+  std::string to_string() const;
+
+  const std::map<Monomial, std::int64_t>& terms() const { return terms_; }
+
+ private:
+  void add_term(Monomial m, std::int64_t coeff);
+  std::map<Monomial, std::int64_t> terms_;
+};
+
+inline SymPoly operator+(std::int64_t c, const SymPoly& p) {
+  return SymPoly(c) + p;
+}
+inline SymPoly operator-(std::int64_t c, const SymPoly& p) {
+  return SymPoly(c) - p;
+}
+inline SymPoly operator*(std::int64_t c, const SymPoly& p) {
+  return SymPoly(c) * p;
+}
+
+}  // namespace cgp

@@ -1,0 +1,164 @@
+// Tests for the future-work extensions (§8): profile-guided decomposition
+// and automatic packet-size selection.
+#include <gtest/gtest.h>
+
+#include "apps/app_configs.h"
+#include "driver/adaptive.h"
+#include "driver/simulate.h"
+
+namespace cgp {
+namespace {
+
+CompileOptions options_for(const apps::AppConfig& config, int width = 1) {
+  CompileOptions options;
+  options.env = EnvironmentSpec::paper_cluster(width);
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.n_packets = config.n_packets;
+  return options;
+}
+
+TEST(Profile, MeasuredInputHasSaneShape) {
+  apps::AppConfig config = apps::tiny_config(512, 8);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  DecompositionInput measured = profile_decomposition_input(
+      result.model, result.decomp_input, config.runtime_constants, 4);
+  ASSERT_EQ(measured.task_ops.size(), result.decomp_input.task_ops.size());
+  for (double ops : measured.task_ops) EXPECT_GE(ops, 0.0);
+  // The squaring foreach (filter 1) does real measured work.
+  EXPECT_GT(measured.task_ops[1], 100.0);
+  // The boundary after the squaring filter carries psize doubles.
+  EXPECT_GT(measured.boundary_bytes[1], 64 * 8.0);
+  // Input: psize doubles plus headers.
+  EXPECT_GT(measured.input_bytes, 64 * 8.0);
+  // Placement-time constants survive.
+  EXPECT_DOUBLE_EQ(measured.source_io_ops, result.decomp_input.source_io_ops);
+}
+
+TEST(Profile, MeasuredVolumesTrackRealRuns) {
+  // Profile-measured per-packet bytes should approximate what a real run
+  // moves per packet (same codecs, same data).
+  apps::AppConfig config = apps::knn_config(3);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok);
+  DecompositionInput measured = profile_decomposition_input(
+      result.model, result.decomp_input, config.runtime_constants, 3);
+
+  EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+  PipelineRunResult run =
+      result.make_runner(result.decomposition.placement, env).run();
+  // The compiler put the distance filter on the data stage: boundary after
+  // it is the dists[] payload (~4 B per point of a packet).
+  std::vector<int> cuts = result.decomposition.placement.cuts(env.stages());
+  ASSERT_GE(cuts[0], 0);
+  const double measured_cut =
+      measured.boundary_bytes[static_cast<std::size_t>(cuts[0])];
+  const double real_cut = run.mean_link_bytes()[0];
+  EXPECT_NEAR(measured_cut, real_cut, 0.15 * real_cut);
+}
+
+TEST(Profile, GuidedPlacementNoWorseThanStatic) {
+  // Decomposing against measured numbers must not lose to the static
+  // estimate when both are evaluated on the measured cost structure.
+  for (apps::AppConfig config :
+       {apps::tiny_config(1024, 8), apps::knn_config(3)}) {
+    CompileResult result = compile_pipeline(config.source, options_for(config));
+    ASSERT_TRUE(result.ok) << config.name;
+    DecompositionInput measured = profile_decomposition_input(
+        result.model, result.decomp_input, config.runtime_constants, 3);
+    DecompositionResult guided =
+        decompose_bruteforce(measured, Objective::PipelineTotal,
+                             config.n_packets);
+    double static_on_measured = full_pipeline_time(
+        measured, result.decomposition.placement, config.n_packets);
+    double guided_on_measured =
+        full_pipeline_time(measured, guided.placement, config.n_packets);
+    EXPECT_LE(guided_on_measured, static_on_measured + 1e-12) << config.name;
+  }
+}
+
+TEST(Profile, SampleCountClampedToAvailablePackets) {
+  apps::AppConfig config = apps::tiny_config(64, 2);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok);
+  DecompositionInput measured = profile_decomposition_input(
+      result.model, result.decomp_input, config.runtime_constants,
+      /*sample_packets=*/16);
+  EXPECT_GT(measured.task_ops[1], 0.0);
+}
+
+TEST(PacketSize, ChoosesAwayFromExtremesOnComputeHeavyApp) {
+  // A compute-heavy pipeline (40 flops per element per stage): pipelining
+  // pays, so neither one giant packet nor thousands of tiny ones win.
+  const std::string source = R"(
+interface Reducinterface { }
+class Acc implements Reducinterface {
+  double total;
+  Acc() { total = 0.0; }
+  void add(double v) { total = total + v; }
+  void merge(Acc other) { total = total + other.total; }
+}
+class Heavy {
+  void main() {
+    int n = runtime_define_num_items;
+    int npackets = runtime_define_num_packets;
+    int psize = n / npackets;
+    double[] data = new double[n];
+    foreach (i in [0 : n - 1]) { data[i] = i * 0.5; }
+    Acc acc = new Acc();
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      double[] mid = new double[psize];
+      foreach (i in [base : base + psize - 1]) {
+        double v = data[i];
+        for (int k = 0; k < 40; k++) { v = v * 1.01 + 0.5; }
+        mid[i - base] = v;
+      }
+      foreach (j in [0 : psize - 1]) {
+        double v = mid[j];
+        for (int k = 0; k < 40; k++) { v = v * 0.99 + 0.25; }
+        acc.add(v);
+      }
+    }
+    double result = acc.total;
+  }
+}
+)";
+  CompileOptions options;
+  options.env = EnvironmentSpec::paper_cluster(1);
+  options.runtime_constants = {{"runtime_define_num_items", 1 << 14},
+                               {"runtime_define_num_packets", 16}};
+  options.size_bindings = {{"n", 1 << 14}, {"psize", 1024}, {"base", 0},
+                           {"len(data)", 1 << 14}, {"len(mid)", 1024},
+                           {"k", 0}};
+  options.n_packets = 16;
+  PacketSizeChoice choice = choose_packet_count(
+      source, options, "runtime_define_num_packets",
+      {1, 4, 16, 64, 512, 4096});
+  ASSERT_EQ(choice.table.size(), 6u);
+  EXPECT_GT(choice.best_count, 1);
+  EXPECT_LT(choice.best_count, 4096);
+  double t1 = 0.0;
+  double t4096 = 0.0;
+  for (const auto& [count, t] : choice.table) {
+    if (count == 1) t1 = t;
+    if (count == 4096) t4096 = t;
+  }
+  EXPECT_GT(t1, choice.best_predicted_time);
+  EXPECT_GT(t4096, choice.best_predicted_time);
+}
+
+TEST(PacketSize, TableIsCompleteAndPositive) {
+  apps::AppConfig config = apps::tiny_config(4096, 8);
+  PacketSizeChoice choice = choose_packet_count(
+      config.source, options_for(config), "runtime_define_num_packets",
+      {2, 8, 32});
+  ASSERT_EQ(choice.table.size(), 3u);
+  for (const auto& [count, t] : choice.table) {
+    EXPECT_GT(t, 0.0) << count;
+  }
+}
+
+}  // namespace
+}  // namespace cgp

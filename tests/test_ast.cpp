@@ -1,0 +1,136 @@
+// AST utilities: deep clone, printer round-trips, type helpers.
+#include <gtest/gtest.h>
+
+#include "ast/ast.h"
+#include "parser/parser.h"
+
+namespace cgp {
+namespace {
+
+std::unique_ptr<Program> parse_ok(std::string_view source) {
+  DiagnosticEngine diags;
+  auto program = Parser::parse(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return program;
+}
+
+TEST(Type, EqualityAndPrinting) {
+  EXPECT_TRUE(same_type(Type::primitive(PrimKind::Int),
+                        Type::primitive(PrimKind::Int)));
+  EXPECT_FALSE(same_type(Type::primitive(PrimKind::Int),
+                         Type::primitive(PrimKind::Long)));
+  EXPECT_TRUE(same_type(Type::array_of(Type::class_type("A")),
+                        Type::array_of(Type::class_type("A"))));
+  EXPECT_FALSE(same_type(Type::array_of(Type::class_type("A")),
+                         Type::class_type("A")));
+  EXPECT_EQ(Type::rectdomain(2)->to_string(), "Rectdomain<2>");
+  EXPECT_EQ(Type::array_of(Type::primitive(PrimKind::Float))->to_string(),
+            "float[]");
+}
+
+TEST(Type, PredicateCoverage) {
+  TypePtr f = Type::primitive(PrimKind::Float);
+  EXPECT_TRUE(f->is_numeric());
+  EXPECT_TRUE(f->is_floating());
+  EXPECT_FALSE(f->is_integral());
+  TypePtr b = Type::primitive(PrimKind::Byte);
+  EXPECT_TRUE(b->is_integral());
+  EXPECT_TRUE(Type::class_type("X")->is_reference());
+  EXPECT_TRUE(Type::null_type()->is_reference());
+  EXPECT_FALSE(Type::rectdomain(1)->is_reference());
+}
+
+TEST(Type, PrimSizes) {
+  EXPECT_EQ(prim_size_bytes(PrimKind::Int), 4u);
+  EXPECT_EQ(prim_size_bytes(PrimKind::Long), 8u);
+  EXPECT_EQ(prim_size_bytes(PrimKind::Float), 4u);
+  EXPECT_EQ(prim_size_bytes(PrimKind::Double), 8u);
+  EXPECT_EQ(prim_size_bytes(PrimKind::Byte), 1u);
+  EXPECT_EQ(prim_size_bytes(PrimKind::Boolean), 1u);
+}
+
+TEST(Clone, DeepCopyIsIndependent) {
+  auto program = parse_ok(R"(
+    class A {
+      void f(int n, double[] xs) {
+        foreach (i in [0 : n - 1]) {
+          if (xs[i] > 0.5) {
+            xs[i] = xs[i] * 2.0 + 1.0;
+          }
+        }
+      }
+    }
+  )");
+  const Stmt& original = *program->classes[0]->methods[0]->body->statements[0];
+  StmtPtr copy = clone_stmt(original);
+  EXPECT_EQ(to_source(original), to_source(*copy));
+  // Mutate the copy: the original must be untouched.
+  auto& fe = static_cast<ForeachStmt&>(*copy);
+  fe.var = "renamed";
+  EXPECT_NE(to_source(original), to_source(*copy));
+}
+
+TEST(Clone, AllExpressionKinds) {
+  auto program = parse_ok(R"(
+    class B { int v; B(int x) { v = x; } }
+    class A {
+      int g(int x) { return x; }
+      void f(int a, int[] xs, boolean c) {
+        int e1 = a + 2 * 3 - 1;
+        int e2 = -a;
+        boolean e3 = !c && a > 1 || a < -4;
+        int e4 = c ? a : g(a);
+        B e5 = new B(xs[a]);
+        int[] e6 = new int[a];
+        Rectdomain<1> e7 = [0 : a - 1];
+        int e8 = e5.v;
+        a = a + 1;
+        a += 2;
+        a++;
+      }
+    }
+  )");
+  const auto& body = *program->classes[1]->methods[1]->body;
+  for (const StmtPtr& s : body.statements) {
+    StmtPtr copy = clone_stmt(*s);
+    EXPECT_EQ(to_source(*s), to_source(*copy));
+  }
+}
+
+TEST(Printer, RoundTripStability) {
+  const char* sources[] = {
+      "class A { void f() { while (true) { break; } } }",
+      "class A { int f(int n) { for (int i = 0; i < n; i++) { continue; } return n; } }",
+      "class A { void f(double d) { double x = d / 2.0 % 3.0; } }",
+      "interface I { int size(); } class A implements I { int size() { return 0; } }",
+      "class A { void f() { PipelinedLoop (p in [0 : runtime_define_n - 1]) { int x = p; } } }",
+  };
+  for (const char* source : sources) {
+    auto first = parse_ok(source);
+    std::string printed = to_source(*first);
+    auto second = parse_ok(printed);
+    EXPECT_EQ(to_source(*second), printed) << source;
+  }
+}
+
+TEST(Printer, OperatorSpellings) {
+  EXPECT_STREQ(binary_op_spelling(BinaryOp::Mod), "%");
+  EXPECT_STREQ(binary_op_spelling(BinaryOp::Le), "<=");
+  EXPECT_STREQ(assign_op_spelling(AssignOp::MulAssign), "*=");
+  EXPECT_STREQ(unary_op_spelling(UnaryOp::Not), "!");
+  EXPECT_TRUE(is_comparison(BinaryOp::Ne));
+  EXPECT_FALSE(is_comparison(BinaryOp::Add));
+  EXPECT_TRUE(is_logical(BinaryOp::And));
+}
+
+TEST(Printer, FloatLiteralsKeepDecimalPoint) {
+  auto program = parse_ok("class A { void f() { double x = 2.0; } }");
+  std::string printed = to_source(*program);
+  EXPECT_NE(printed.find("2.0"), std::string::npos) << printed;
+  // Must re-parse as a float literal, not an int.
+  auto reparsed = parse_ok(printed);
+  EXPECT_EQ(to_source(*reparsed), printed);
+}
+
+}  // namespace
+}  // namespace cgp

@@ -1,0 +1,314 @@
+// DataCutter runtime tests: buffers, streams, filters, transparent copies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "datacutter/buffer.h"
+#include "datacutter/runner.h"
+#include "datacutter/stream.h"
+
+namespace cgp::dc {
+namespace {
+
+TEST(Buffer, TypedRoundTrip) {
+  Buffer buffer;
+  buffer.write<std::int32_t>(-7);
+  buffer.write<double>(2.5);
+  buffer.write<std::uint8_t>(255);
+  EXPECT_EQ(buffer.read<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(buffer.read<double>(), 2.5);
+  EXPECT_EQ(buffer.read<std::uint8_t>(), 255);
+  EXPECT_TRUE(buffer.exhausted());
+}
+
+TEST(Buffer, ReadPastEndThrows) {
+  Buffer buffer;
+  buffer.write<std::int32_t>(1);
+  buffer.read<std::int32_t>();
+  EXPECT_THROW(buffer.read<std::int32_t>(), std::out_of_range);
+}
+
+TEST(Buffer, SlotPatching) {
+  Buffer buffer;
+  std::size_t slot = buffer.reserve_slot<std::int64_t>();
+  buffer.write<std::int32_t>(42);
+  buffer.patch_slot<std::int64_t>(slot, 99);
+  EXPECT_EQ(buffer.read<std::int64_t>(), 99);
+  EXPECT_EQ(buffer.read<std::int32_t>(), 42);
+}
+
+TEST(Buffer, SeekAndRemaining) {
+  Buffer buffer;
+  buffer.write<std::int32_t>(1);
+  buffer.write<std::int32_t>(2);
+  EXPECT_EQ(buffer.remaining(), 8u);
+  buffer.seek(4);
+  EXPECT_EQ(buffer.read<std::int32_t>(), 2);
+  EXPECT_THROW(buffer.seek(100), std::out_of_range);
+}
+
+TEST(Buffer, BytesRoundTrip) {
+  Buffer buffer;
+  const char payload[] = "filter-stream";
+  buffer.write_bytes(payload, sizeof(payload));
+  char out[sizeof(payload)];
+  buffer.read_bytes(out, sizeof(payload));
+  EXPECT_STREQ(out, payload);
+}
+
+TEST(Stream, FifoSingleProducer) {
+  Stream stream(4);
+  stream.set_producers(1);
+  for (int i = 0; i < 3; ++i) {
+    Buffer b;
+    b.write<std::int32_t>(i);
+    stream.push(std::move(b));
+  }
+  stream.close();
+  for (int i = 0; i < 3; ++i) {
+    auto b = stream.pop();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->read<std::int32_t>(), i);
+  }
+  EXPECT_FALSE(stream.pop().has_value());
+}
+
+TEST(Stream, StatsTrackBytes) {
+  Stream stream(4);
+  stream.set_producers(1);
+  Buffer b;
+  b.write<std::int64_t>(5);
+  stream.push(std::move(b));
+  EXPECT_EQ(stream.buffers_pushed(), 1);
+  EXPECT_EQ(stream.bytes_pushed(), 8);
+  stream.close();
+}
+
+TEST(Stream, ClosesOnlyWhenAllProducersDone) {
+  Stream stream(4);
+  stream.set_producers(2);
+  stream.close();
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto b = stream.pop();
+    got = b.has_value();
+  });
+  Buffer payload;
+  payload.write<std::int32_t>(1);
+  stream.push(std::move(payload));
+  stream.close();
+  consumer.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_FALSE(stream.pop().has_value());
+}
+
+TEST(Stream, BackpressureBlocksProducer) {
+  Stream stream(1);
+  stream.set_producers(1);
+  Buffer first;
+  first.write<std::int32_t>(0);
+  stream.push(std::move(first));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    Buffer b;
+    b.write<std::int32_t>(1);
+    stream.push(std::move(b));
+    second_pushed = true;
+    stream.close();
+  });
+  // Give the producer a chance; it must be blocked on capacity.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  stream.pop();
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(Stream, AbortUnblocksConsumer) {
+  Stream stream(4);
+  stream.set_producers(1);
+  std::atomic<bool> got_eof{false};
+  std::thread consumer([&] {
+    got_eof = !stream.pop().has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stream.abort();
+  consumer.join();
+  EXPECT_TRUE(got_eof.load());
+}
+
+TEST(Stream, AbortUnblocksBackpressuredProducer) {
+  Stream stream(1);
+  stream.set_producers(1);
+  Buffer first;
+  first.write<std::int32_t>(0);
+  stream.push(std::move(first));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    Buffer b;
+    b.write<std::int32_t>(1);
+    stream.push(std::move(b));  // blocked on capacity until abort
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  stream.abort();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(stream.pop().has_value());  // aborted: drained as EOF
+}
+
+// ---------------------------------------------------------------------------
+// Pipelines
+// ---------------------------------------------------------------------------
+
+class CountingSource : public Filter {
+ public:
+  explicit CountingSource(int n) : n_(n) {}
+  void process(FilterContext& ctx) override {
+    for (int i = 0; i < n_; ++i) {
+      if (i % ctx.copy_count() != ctx.copy_index()) continue;
+      Buffer b;
+      b.write<std::int64_t>(i);
+      ctx.emit(std::move(b));
+      ctx.add_ops(1.0);
+    }
+  }
+
+ private:
+  int n_;
+};
+
+class Doubler : public Filter {
+ public:
+  void process(FilterContext& ctx) override {
+    while (auto b = ctx.read()) {
+      std::int64_t v = b->read<std::int64_t>();
+      Buffer out;
+      out.write<std::int64_t>(v * 2);
+      ctx.emit(std::move(out));
+      ctx.add_ops(1.0);
+    }
+  }
+};
+
+struct SumSinkState {
+  std::mutex mutex;
+  std::int64_t total = 0;
+  int buffers = 0;
+};
+
+class SumSink : public Filter {
+ public:
+  explicit SumSink(std::shared_ptr<SumSinkState> state)
+      : state_(std::move(state)) {}
+  void process(FilterContext& ctx) override {
+    while (auto b = ctx.read()) {
+      std::lock_guard lock(state_->mutex);
+      state_->total += b->read<std::int64_t>();
+      ++state_->buffers;
+    }
+  }
+
+ private:
+  std::shared_ptr<SumSinkState> state_;
+};
+
+TEST(Runner, ThreeStagePipeline) {
+  auto state = std::make_shared<SumSinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back({"source", [] { return std::make_unique<CountingSource>(100); }, 1, 0});
+  groups.push_back({"double", [] { return std::make_unique<Doubler>(); }, 1, 1});
+  groups.push_back({"sink", [state] { return std::make_unique<SumSink>(state); }, 1, 2});
+  PipelineRunner runner(std::move(groups));
+  RunStats stats = runner.run();
+  EXPECT_EQ(state->total, 2 * (99 * 100 / 2));
+  EXPECT_EQ(state->buffers, 100);
+  ASSERT_EQ(stats.link_buffers.size(), 2u);
+  EXPECT_EQ(stats.link_buffers[0], 100);
+  EXPECT_EQ(stats.link_bytes[0], 800);
+  EXPECT_DOUBLE_EQ(stats.group_ops[0], 100.0);
+}
+
+TEST(Runner, TransparentCopiesPreserveResults) {
+  for (int copies : {1, 2, 4}) {
+    auto state = std::make_shared<SumSinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(
+        {"source", [] { return std::make_unique<CountingSource>(64); }, copies, 0});
+    groups.push_back(
+        {"double", [] { return std::make_unique<Doubler>(); }, copies, 1});
+    groups.push_back(
+        {"sink", [state] { return std::make_unique<SumSink>(state); }, 1, 2});
+    PipelineRunner runner(std::move(groups));
+    runner.run();
+    EXPECT_EQ(state->total, 2 * (63 * 64 / 2)) << copies << " copies";
+    EXPECT_EQ(state->buffers, 64);
+  }
+}
+
+TEST(Runner, EmptyPipelineRejected) {
+  EXPECT_THROW(PipelineRunner(std::vector<FilterGroup>{}), std::invalid_argument);
+}
+
+TEST(Runner, MissingFactoryRejected) {
+  std::vector<FilterGroup> groups;
+  groups.push_back({"broken", nullptr, 1, 0});
+  EXPECT_THROW(PipelineRunner{std::move(groups)}, std::invalid_argument);
+}
+
+TEST(Runner, NonPositiveCopiesRejected) {
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"source", [] { return std::make_unique<CountingSource>(1); }, 0, 0});
+  EXPECT_THROW(PipelineRunner{std::move(groups)}, std::invalid_argument);
+}
+
+TEST(Runner, FilterExceptionPropagatesWithoutDeadlock) {
+  struct Exploder : Filter {
+    void process(FilterContext& ctx) override {
+      // Consume one buffer, then fail; upstream keeps producing into a
+      // bounded stream — the abort path must unblock it.
+      ctx.read();
+      throw std::runtime_error("boom");
+    }
+  };
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"source", [] { return std::make_unique<CountingSource>(1000); }, 1, 0});
+  groups.push_back({"exploder", [] { return std::make_unique<Exploder>(); }, 1, 1});
+  auto state = std::make_shared<SumSinkState>();
+  groups.push_back({"sink", [state] { return std::make_unique<SumSink>(state); }, 1, 2});
+  PipelineRunner runner(std::move(groups));
+  EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+TEST(Runner, InitFinalizeCalledOncePerCopy) {
+  struct Probe : Filter {
+    explicit Probe(std::atomic<int>* inits, std::atomic<int>* finals)
+        : inits_(inits), finals_(finals) {}
+    void init(FilterContext&) override { ++*inits_; }
+    void process(FilterContext& ctx) override {
+      while (ctx.read()) {
+      }
+    }
+    void finalize(FilterContext&) override { ++*finals_; }
+    std::atomic<int>* inits_;
+    std::atomic<int>* finals_;
+  };
+  std::atomic<int> inits{0};
+  std::atomic<int> finals{0};
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"source", [] { return std::make_unique<CountingSource>(4); }, 1, 0});
+  groups.push_back({"probe", [&] { return std::make_unique<Probe>(&inits, &finals); }, 3, 1});
+  PipelineRunner runner(std::move(groups));
+  runner.run();
+  EXPECT_EQ(inits.load(), 3);
+  EXPECT_EQ(finals.load(), 3);
+}
+
+}  // namespace
+}  // namespace cgp::dc

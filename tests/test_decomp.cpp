@@ -1,0 +1,187 @@
+// Filter decomposition tests (§4.4): DP vs brute force, placements,
+// properties on random instances.
+#include <gtest/gtest.h>
+
+#include "decomp/decompose.h"
+#include "support/rng.h"
+
+namespace cgp {
+namespace {
+
+DecompositionInput make_input(std::vector<double> tasks,
+                              std::vector<double> volumes, double input_bytes,
+                              int stages, double power = 100.0,
+                              double bandwidth = 10.0) {
+  DecompositionInput input;
+  input.task_ops = std::move(tasks);
+  input.boundary_bytes = std::move(volumes);
+  input.input_bytes = input_bytes;
+  input.env = EnvironmentSpec::uniform(stages, power, bandwidth);
+  return input;
+}
+
+TEST(Decomp, PlacementCuts) {
+  Placement p;
+  p.unit_of_filter = {0, 0, 1, 2};
+  std::vector<int> cuts = p.cuts(3);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], 1);  // filters 0..1 before link 0
+  EXPECT_EQ(cuts[1], 2);  // filters 0..2 before link 1
+}
+
+TEST(Decomp, AllOnLastStage) {
+  Placement p;
+  p.unit_of_filter = {2, 2};
+  std::vector<int> cuts = p.cuts(3);
+  EXPECT_EQ(cuts[0], -1);  // raw input crosses both links
+  EXPECT_EQ(cuts[1], -1);
+}
+
+TEST(Decomp, DpPrefersDataNodeFilteringWhenVolumeShrinks) {
+  // Filter 0 shrinks the data 10x: the DP should place it on stage 0.
+  DecompositionInput input = make_input(
+      /*tasks=*/{100.0, 100.0, 10.0},
+      /*volumes=*/{100.0, 100.0, 10.0},
+      /*input=*/1000.0, /*stages=*/3);
+  DecompositionResult result = decompose_dp(input);
+  EXPECT_EQ(result.placement.unit_of_filter[0], 0);
+}
+
+TEST(Decomp, DpForwardsEarlyWhenComputeCheapAndVolumesEqual) {
+  // With equal volumes everywhere the chain latency is placement-invariant;
+  // the DP must still produce a valid non-decreasing placement.
+  DecompositionInput input = make_input({10, 10, 10}, {50, 50, 50}, 50.0, 3);
+  DecompositionResult result = decompose_dp(input);
+  int prev = 0;
+  for (int unit : result.placement.unit_of_filter) {
+    EXPECT_GE(unit, prev);
+    prev = unit;
+  }
+}
+
+TEST(Decomp, DpMatchesBruteForceOnLatency) {
+  Rng rng(2003);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n_filters = static_cast<int>(rng.next_int(1, 7));
+    int stages = static_cast<int>(rng.next_int(2, 4));
+    std::vector<double> tasks;
+    std::vector<double> volumes;
+    for (int i = 0; i < n_filters; ++i) {
+      tasks.push_back(rng.next_double(1.0, 500.0));
+      volumes.push_back(rng.next_double(1.0, 500.0));
+    }
+    DecompositionInput input =
+        make_input(tasks, volumes, rng.next_double(1.0, 500.0), stages);
+    DecompositionResult dp = decompose_dp(input);
+    DecompositionResult brute =
+        decompose_bruteforce(input, Objective::PerPacketLatency);
+    EXPECT_NEAR(dp.cost, brute.cost, 1e-9 * std::max(1.0, brute.cost))
+        << "trial " << trial;
+    // And the DP placement's evaluated latency matches its claimed cost.
+    EXPECT_NEAR(placement_latency(input, dp.placement), dp.cost,
+                1e-9 * std::max(1.0, dp.cost));
+  }
+}
+
+TEST(Decomp, RollingSpaceVariantMatchesFullTable) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n_filters = static_cast<int>(rng.next_int(1, 9));
+    int stages = static_cast<int>(rng.next_int(2, 5));
+    std::vector<double> tasks;
+    std::vector<double> volumes;
+    for (int i = 0; i < n_filters; ++i) {
+      tasks.push_back(rng.next_double(1.0, 100.0));
+      volumes.push_back(rng.next_double(1.0, 100.0));
+    }
+    DecompositionInput input =
+        make_input(tasks, volumes, rng.next_double(1.0, 100.0), stages);
+    EXPECT_NEAR(decompose_dp(input).cost, decompose_dp_cost_only(input), 1e-9);
+  }
+}
+
+TEST(Decomp, DpCellCountIsLinearInNM) {
+  DecompositionInput input = make_input(std::vector<double>(10, 1.0),
+                                        std::vector<double>(10, 1.0), 1.0, 4);
+  DecompositionResult result = decompose_dp(input);
+  // (n+1) filters x m units plus the init row.
+  EXPECT_LE(result.cells_evaluated, 10u * 4u + 4u);
+}
+
+TEST(Decomp, HeterogeneousPowersRespected) {
+  // Stage 1 is 100x faster: heavy filters should land there even at some
+  // communication cost.
+  DecompositionInput input;
+  input.task_ops = {1000.0, 1000.0};
+  input.boundary_bytes = {10.0, 10.0};
+  input.input_bytes = 10.0;
+  input.env.units = {ComputeUnit{"slow", 10.0, 1},
+                     ComputeUnit{"fast", 1000.0, 1},
+                     ComputeUnit{"slow2", 10.0, 1}};
+  input.env.links = {Link{100.0, 0.0, 1}, Link{100.0, 0.0, 1}};
+  DecompositionResult result = decompose_dp(input);
+  EXPECT_EQ(result.placement.unit_of_filter[0], 1);
+  EXPECT_EQ(result.placement.unit_of_filter[1], 1);
+}
+
+TEST(Decomp, Figure3VerbatimIgnoresInputMovement) {
+  // With input_bytes = 0 (Figure 3 as printed) and huge input volume
+  // otherwise, the optima differ: the corrected model pins filter 0 early.
+  DecompositionInput corrected =
+      make_input({10.0}, {1.0}, /*input=*/10000.0, 3);
+  DecompositionInput verbatim = corrected;
+  verbatim.input_bytes = 0.0;
+  double cost_corrected = decompose_dp(corrected).cost;
+  double cost_verbatim = decompose_dp(verbatim).cost;
+  EXPECT_LT(cost_verbatim, cost_corrected);
+}
+
+TEST(Decomp, FullPipelineTimeUsesBottleneck) {
+  DecompositionInput input = make_input({100.0, 100.0}, {10.0, 10.0}, 10.0, 3);
+  Placement spread;
+  spread.unit_of_filter = {0, 1};
+  double t1 = full_pipeline_time(input, spread, 1);
+  double t100 = full_pipeline_time(input, spread, 100);
+  // Spread placement pipelines: cost grows by ~bottleneck per packet.
+  EXPECT_GT(t100, t1);
+  Placement stacked;
+  stacked.unit_of_filter = {1, 1};
+  // Stacking both filters doubles the bottleneck stage time.
+  EXPECT_GT(full_pipeline_time(input, stacked, 100),
+            full_pipeline_time(input, spread, 100));
+}
+
+TEST(Decomp, BruteForceFullObjectiveCanDisagreeWithLatency) {
+  // A case where minimizing per-packet latency (the paper's DP objective)
+  // differs from minimizing total pipeline time: splitting work across
+  // stages halves the bottleneck even though latency is unchanged.
+  DecompositionInput input = make_input({100.0, 100.0}, {10.0, 10.0}, 10.0, 3,
+                                        /*power=*/100.0, /*bandwidth=*/1e9);
+  DecompositionResult latency_opt =
+      decompose_bruteforce(input, Objective::PerPacketLatency);
+  DecompositionResult total_opt =
+      decompose_bruteforce(input, Objective::PipelineTotal, 1000);
+  double latency_total =
+      full_pipeline_time(input, latency_opt.placement, 1000);
+  double best_total = full_pipeline_time(input, total_opt.placement, 1000);
+  EXPECT_LE(best_total, latency_total);
+}
+
+TEST(Decomp, DefaultPlacementAllOnCompute) {
+  DecompositionInput input = make_input({1, 2, 3}, {1, 1, 1}, 1.0, 3);
+  Placement def = default_placement(input);
+  for (int unit : def.unit_of_filter) EXPECT_EQ(unit, 1);
+}
+
+TEST(Decomp, SingleStagePipeline) {
+  DecompositionInput input = make_input({5.0, 5.0}, {1.0, 1.0}, 1.0, 1);
+  // m = 1: everything on the only unit; no links.
+  input.env = EnvironmentSpec::uniform(1, 100.0, 1.0);
+  DecompositionResult result = decompose_dp(input);
+  EXPECT_EQ(result.placement.unit_of_filter[0], 0);
+  EXPECT_EQ(result.placement.unit_of_filter[1], 0);
+  EXPECT_NEAR(result.cost, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace cgp

@@ -1,0 +1,147 @@
+// Driver facade tests: full compile flow, diagnostics, decomposition
+// artifacts, simulate bridge, failure injection.
+#include <gtest/gtest.h>
+
+#include "apps/app_configs.h"
+#include "driver/compiler.h"
+#include "driver/simulate.h"
+
+namespace cgp {
+namespace {
+
+CompileOptions options_for(const apps::AppConfig& config, int width = 1) {
+  CompileOptions options;
+  options.env = EnvironmentSpec::paper_cluster(width);
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.n_packets = config.n_packets;
+  return options;
+}
+
+TEST(Driver, ParseErrorSurfaces) {
+  CompileResult result = compile_pipeline("class {", CompileOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics.find("parser"), std::string::npos);
+}
+
+TEST(Driver, SemaErrorSurfaces) {
+  CompileResult result = compile_pipeline(
+      "class A { void main() { x = 1; } }", CompileOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics.find("sema"), std::string::npos);
+}
+
+TEST(Driver, MissingPipelinedLoopSurfaces) {
+  CompileResult result = compile_pipeline(
+      "class A { void main() { int x = 1; } }", CompileOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics.find("no PipelinedLoop"), std::string::npos);
+}
+
+TEST(Driver, ProducesBothDecompositions) {
+  apps::AppConfig config = apps::tiny_config(256, 8);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_EQ(result.dp_figure3.placement.unit_of_filter.size(),
+            result.model.filters.size());
+  EXPECT_EQ(result.decomposition.placement.unit_of_filter.size(),
+            result.model.filters.size());
+  // The total-time optimum is never worse than the latency-DP placement
+  // when evaluated on the total-time objective.
+  double dp_total = full_pipeline_time(result.decomp_input,
+                                       result.dp_figure3.placement, 8);
+  double opt_total = full_pipeline_time(result.decomp_input,
+                                        result.decomposition.placement, 8);
+  EXPECT_LE(opt_total, dp_total + 1e-12);
+}
+
+TEST(Driver, DecompInputDimensions) {
+  apps::AppConfig config = apps::knn_config(3);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.decomp_input.task_ops.size(), result.model.filters.size());
+  EXPECT_EQ(result.decomp_input.boundary_bytes.size(),
+            result.model.filters.size());
+  EXPECT_GT(result.decomp_input.input_bytes, 0.0);
+  EXPECT_GT(result.decomp_input.source_io_ops, 0.0);
+  EXPECT_EQ(result.decomp_input.updates_reduction.size(),
+            result.model.filters.size());
+  // knn updates the KnnResult reduction: replica estimates must be set.
+  EXPECT_GT(result.decomp_input.replica_payload_bytes, 0.0);
+  EXPECT_GT(result.decomp_input.replica_merge_ops, 0.0);
+}
+
+TEST(Driver, ReductionEpilogueGrowsWithEarlierPlacement) {
+  apps::AppConfig config = apps::tiny_config(256, 8);
+  CompileResult result = compile_pipeline(config.source, options_for(config, 4));
+  ASSERT_TRUE(result.ok);
+  // Placing the reduction-updating filter on stage 0 (4 copies, 2 hops)
+  // must cost at least as much epilogue as on the last stage (none).
+  Placement early;
+  early.unit_of_filter.assign(result.model.filters.size(), 0);
+  Placement late;
+  late.unit_of_filter.assign(result.model.filters.size(), 2);
+  double epi_early = reduction_epilogue_time(result.decomp_input, early);
+  double epi_late = reduction_epilogue_time(result.decomp_input, late);
+  EXPECT_GT(epi_early, 0.0);
+  EXPECT_DOUBLE_EQ(epi_late, 0.0);
+}
+
+TEST(Driver, InvalidPlacementArityThrows) {
+  apps::AppConfig config = apps::tiny_config(64, 4);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok);
+  Placement bogus;
+  bogus.unit_of_filter = {0};  // wrong arity
+  EXPECT_THROW(result.make_runner(bogus, EnvironmentSpec::paper_cluster(1)),
+               std::invalid_argument);
+}
+
+TEST(Driver, FissionToggle) {
+  apps::AppConfig config = apps::isosurface_zbuffer_config(false);
+  CompileOptions with = options_for(config);
+  CompileOptions without = options_for(config);
+  without.apply_fission = false;
+  CompileResult fissioned = compile_pipeline(config.source, with);
+  CompileResult plain = compile_pipeline(config.source, without);
+  ASSERT_TRUE(fissioned.ok);
+  ASSERT_TRUE(plain.ok);
+  // Fission exposes more candidate boundaries.
+  EXPECT_GT(fissioned.model.filters.size(), plain.model.filters.size());
+}
+
+TEST(Driver, SimulateBridge) {
+  apps::AppConfig config = apps::tiny_config(512, 8);
+  CompileResult result = compile_pipeline(config.source, options_for(config, 2));
+  ASSERT_TRUE(result.ok);
+  EnvironmentSpec env = EnvironmentSpec::paper_cluster(2);
+  PipelineRunResult run =
+      result.make_runner(result.decomposition.placement, env).run();
+  SimResult sim = simulate_run_full(run, env);
+  EXPECT_GT(sim.total_time, 0.0);
+  EXPECT_FALSE(sim.bottleneck_name.empty());
+  // Epilogue split: per-copy ops are totals / copies.
+  SimEpilogue epilogue = make_epilogue(run, env);
+  ASSERT_EQ(epilogue.per_copy_stage_ops.size(), 3u);
+  EXPECT_DOUBLE_EQ(epilogue.per_copy_stage_ops[1] * env.units[1].copies,
+                   run.stage_replica_ops[1]);
+}
+
+TEST(Driver, WiderEnvironmentSimulatesFaster) {
+  apps::AppConfig config = apps::knn_config(3);
+  double previous = 1e30;
+  for (int width : {1, 2, 4}) {
+    CompileResult result =
+        compile_pipeline(config.source, options_for(config, width));
+    ASSERT_TRUE(result.ok);
+    EnvironmentSpec env = EnvironmentSpec::paper_cluster(width);
+    PipelineRunResult run =
+        result.make_runner(result.decomposition.placement, env).run();
+    double t = simulate_run(run, env);
+    EXPECT_LT(t, previous * 1.02) << "width " << width;  // monotone-ish
+    previous = t;
+  }
+}
+
+}  // namespace
+}  // namespace cgp

@@ -1,0 +1,412 @@
+// Interpreter unit tests: evaluation, control flow, methods, reductions,
+// runtime errors, op counting.
+#include <gtest/gtest.h>
+
+#include "codegen/interp.h"
+#include "parser/parser.h"
+#include "sema/sema.h"
+
+namespace cgp {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Program> program;
+  ClassRegistry registry;
+};
+
+Fixture prepare(std::string_view source) {
+  Fixture fixture;
+  DiagnosticEngine diags;
+  fixture.program = Parser::parse(source, diags);
+  Sema sema(*fixture.program, diags);
+  SemaResult result = sema.run();
+  EXPECT_TRUE(result.ok) << diags.render();
+  fixture.registry = std::move(result.registry);
+  return fixture;
+}
+
+double get_double(const Env& env, const std::string& name) {
+  return as_double(env.get(name));
+}
+
+std::int64_t get_int(const Env& env, const std::string& name) {
+  return as_int(env.get(name));
+}
+
+TEST(Interp, Arithmetic) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        int a = 2 + 3 * 4;
+        int b = (2 + 3) * 4;
+        int c = 17 % 5;
+        double d = 7.0 / 2.0;
+        int e = 7 / 2;
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "a"), 14);
+  EXPECT_EQ(get_int(env, "b"), 20);
+  EXPECT_EQ(get_int(env, "c"), 2);
+  EXPECT_DOUBLE_EQ(get_double(env, "d"), 3.5);
+  EXPECT_EQ(get_int(env, "e"), 3);
+}
+
+TEST(Interp, ControlFlow) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        int total = 0;
+        for (int i = 0; i < 10; i++) {
+          if (i % 2 == 0) { continue; }
+          if (i == 9) { break; }
+          total = total + i;   // 1+3+5+7
+        }
+        int loops = 0;
+        while (loops < 5) { loops++; }
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "total"), 16);
+  EXPECT_EQ(get_int(env, "loops"), 5);
+}
+
+TEST(Interp, ForeachOverRectdomainAndArray) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        double[] xs = new double[5];
+        foreach (i in [0 : 4]) { xs[i] = i * 1.5; }
+        double total = 0.0;
+        foreach (v in xs) { total = total + v; }
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_DOUBLE_EQ(get_double(env, "total"), 15.0);
+}
+
+TEST(Interp, MethodsAndConstructors) {
+  Fixture f = prepare(R"(
+    class Counter {
+      int value;
+      Counter(int start) { value = start; }
+      void bump(int by) { value = value + by; }
+      int get() { return value; }
+    }
+    class A {
+      void main() {
+        Counter c = new Counter(10);
+        c.bump(5);
+        c.bump(-2);
+        int result = c.get();
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "result"), 13);
+}
+
+TEST(Interp, UnqualifiedFieldAndMethodAccess) {
+  Fixture f = prepare(R"(
+    class A {
+      int x;
+      int twice() { return x * 2; }
+      void run() { x = 21; }
+    }
+    class B {
+      void main() {
+        A a = new A();
+        a.run();
+        int result = a.twice();
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("B", "main");
+  EXPECT_EQ(get_int(env, "result"), 42);
+}
+
+TEST(Interp, Intrinsics) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        double a = sqrt(16.0);
+        double b = max(2.0, 3.5);
+        int c = min(7, 4);
+        double d = abs(-2.5);
+        double e = floor(3.9);
+        double g = pow(2.0, 8.0);
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_DOUBLE_EQ(get_double(env, "a"), 4.0);
+  EXPECT_DOUBLE_EQ(get_double(env, "b"), 3.5);
+  EXPECT_EQ(get_int(env, "c"), 4);
+  EXPECT_DOUBLE_EQ(get_double(env, "d"), 2.5);
+  EXPECT_DOUBLE_EQ(get_double(env, "e"), 3.0);
+  EXPECT_DOUBLE_EQ(get_double(env, "g"), 256.0);
+}
+
+TEST(Interp, RuntimeConstants) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        int n = runtime_define_n * 2;
+      }
+    }
+  )");
+  Interpreter interp(f.registry, {{"runtime_define_n", 21}});
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "n"), 42);
+}
+
+TEST(Interp, UnboundRuntimeConstantThrows) {
+  Fixture f = prepare(R"(
+    class A { void main() { int n = runtime_define_n; } }
+  )");
+  Interpreter interp(f.registry);
+  EXPECT_THROW(interp.run("A", "main"), InterpError);
+}
+
+TEST(Interp, PipelinedLoopSequentialSemantics) {
+  Fixture f = prepare(R"(
+    interface Reducinterface { }
+    class Acc implements Reducinterface {
+      double total;
+      Acc() { total = 0.0; }
+      void add(double v) { total = total + v; }
+    }
+    class A {
+      void main() {
+        Acc acc = new Acc();
+        PipelinedLoop (p in [0 : 3]) {
+          acc.add(p * 1.0);
+        }
+        double result = acc.total;
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_DOUBLE_EQ(get_double(env, "result"), 6.0);
+}
+
+TEST(Interp, PipelinedHookIntercepts) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        int ran = 0;
+        PipelinedLoop (p in [0 : 3]) {
+          ran = ran + 1;
+        }
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  int hooked = 0;
+  interp.set_pipelined_hook([&](const PipelinedLoopStmt&, Env&) {
+    ++hooked;
+    return true;
+  });
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(hooked, 1);
+  EXPECT_EQ(get_int(env, "ran"), 0);  // body skipped
+}
+
+TEST(Interp, IndexOutOfRangeThrows) {
+  Fixture f = prepare(R"(
+    class A { void main() { int[] xs = new int[3]; int v = xs[5]; } }
+  )");
+  Interpreter interp(f.registry);
+  EXPECT_THROW(interp.run("A", "main"), InterpError);
+}
+
+TEST(Interp, BaseIndexedArrayAccess) {
+  Fixture f = prepare(R"(
+    class A {
+      int read(int[] xs, int i) { return xs[i]; }
+    }
+  )");
+  Interpreter interp(f.registry);
+  auto arr = std::make_shared<ArrayVal>();
+  arr->base_index = 100;
+  arr->elems = {Value{std::int64_t{7}}, Value{std::int64_t{8}}};
+  auto obj = interp.construct("A", {});
+  EXPECT_EQ(as_int(interp.call_method("A", "read", obj, {arr, std::int64_t{101}})),
+            8);
+  EXPECT_THROW(interp.call_method("A", "read", obj, {arr, std::int64_t{99}}),
+               InterpError);
+}
+
+TEST(Interp, NullFieldAccessThrows) {
+  Fixture f = prepare(R"(
+    class B { int x; }
+    class A { void main() { B b = null; int v = b.x; } }
+  )");
+  Interpreter interp(f.registry);
+  EXPECT_THROW(interp.run("A", "main"), InterpError);
+}
+
+TEST(Interp, DivisionByZeroThrows) {
+  Fixture f = prepare(R"(
+    class A { void main() { int z = 0; int v = 3 / z; } }
+  )");
+  Interpreter interp(f.registry);
+  EXPECT_THROW(interp.run("A", "main"), InterpError);
+}
+
+TEST(Interp, OpsCounted) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        double total = 0.0;
+        foreach (i in [0 : 99]) { total = total + i * 1.0; }
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  interp.run("A", "main");
+  // 100 iterations of (mul + add + mem + loop overhead): at least 400.
+  EXPECT_GT(interp.ops(), 400.0);
+  double first = interp.ops();
+  interp.reset_ops();
+  EXPECT_EQ(interp.ops(), 0.0);
+  interp.run("A", "main");
+  EXPECT_DOUBLE_EQ(interp.ops(), first);  // deterministic counting
+}
+
+TEST(Interp, RectdomainAccessors) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        Rectdomain<1> d = [3 : 11];
+        long n = d.size();
+        int lo = d.lo();
+        int hi = d.hi();
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "n"), 9);
+  EXPECT_EQ(get_int(env, "lo"), 3);
+  EXPECT_EQ(get_int(env, "hi"), 11);
+}
+
+TEST(Interp, EmptyRectdomainLoopsZeroTimes) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        int count = 0;
+        foreach (i in [5 : 2]) { count = count + 1; }
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "count"), 0);
+}
+
+TEST(Interp, FloatFieldsRoundToFloat32) {
+  Fixture f = prepare(R"(
+    class P { float x; }
+    class A {
+      void main() {
+        P p = new P();
+        p.x = 0.1;
+        double delta = p.x - 0.1;
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  // 0.1 is not representable in float32: the store must round.
+  EXPECT_NE(get_double(env, "delta"), 0.0);
+  EXPECT_NEAR(get_double(env, "delta"),
+              static_cast<double>(0.1f) - 0.1, 1e-12);
+}
+
+TEST(Interp, ConditionalExpression) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        int a = 5 > 3 ? 10 : 20;
+        int b = 5 < 3 ? 10 : 20;
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "a"), 10);
+  EXPECT_EQ(get_int(env, "b"), 20);
+}
+
+TEST(Interp, IncDecSemantics) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        int i = 5;
+        int a = i++;
+        int b = ++i;
+        int c = i--;
+        int d = --i;
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "a"), 5);
+  EXPECT_EQ(get_int(env, "b"), 7);
+  EXPECT_EQ(get_int(env, "c"), 7);
+  EXPECT_EQ(get_int(env, "d"), 5);
+}
+
+TEST(Interp, CompoundAssignment) {
+  Fixture f = prepare(R"(
+    class A {
+      void main() {
+        double x = 10.0;
+        x += 2.0;
+        x *= 3.0;
+        x -= 6.0;
+        x /= 5.0;
+        int y = 7;
+        y += 3;
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_DOUBLE_EQ(get_double(env, "x"), 6.0);
+  EXPECT_EQ(get_int(env, "y"), 10);
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  Fixture f = prepare(R"(
+    class A {
+      int calls;
+      boolean bump() { calls = calls + 1; return true; }
+      void main() {
+        A a = new A();
+        boolean r1 = false && a.bump();
+        boolean r2 = true || a.bump();
+        int count = a.calls;
+      }
+    }
+  )");
+  Interpreter interp(f.registry);
+  Env env = interp.run("A", "main");
+  EXPECT_EQ(get_int(env, "count"), 0);
+}
+
+}  // namespace
+}  // namespace cgp

@@ -1,0 +1,133 @@
+// Lexer unit tests.
+#include <gtest/gtest.h>
+
+#include "lexer/lexer.h"
+
+namespace cgp {
+namespace {
+
+std::vector<Token> lex(std::string_view source) {
+  DiagnosticEngine diags;
+  Lexer lexer(source, diags);
+  std::vector<Token> tokens = lexer.tokenize();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return tokens;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  std::vector<Token> tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, Keywords) {
+  std::vector<Token> tokens =
+      lex("class interface foreach in PipelinedLoop Rectdomain");
+  EXPECT_TRUE(tokens[0].is(TokenKind::KwClass));
+  EXPECT_TRUE(tokens[1].is(TokenKind::KwInterface));
+  EXPECT_TRUE(tokens[2].is(TokenKind::KwForeach));
+  EXPECT_TRUE(tokens[3].is(TokenKind::KwIn));
+  EXPECT_TRUE(tokens[4].is(TokenKind::KwPipelinedLoop));
+  EXPECT_TRUE(tokens[5].is(TokenKind::KwRectdomain));
+}
+
+TEST(Lexer, RuntimeDefinePrefixStaysIdentifier) {
+  std::vector<Token> tokens = lex("runtime_define runtime_define_num_packets");
+  EXPECT_TRUE(tokens[0].is(TokenKind::KwRuntimeDefine));
+  ASSERT_TRUE(tokens[1].is(TokenKind::Identifier));
+  EXPECT_EQ(tokens[1].text, "runtime_define_num_packets");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  std::vector<Token> tokens = lex("0 42 123456789012345");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789012345LL);
+}
+
+TEST(Lexer, FloatLiterals) {
+  std::vector<Token> tokens = lex("1.5 2.0e3 7e-2 3f 4L");
+  EXPECT_TRUE(tokens[0].is(TokenKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.07);
+  EXPECT_TRUE(tokens[3].is(TokenKind::FloatLiteral));  // 3f
+  EXPECT_TRUE(tokens[4].is(TokenKind::IntLiteral));    // 4L
+}
+
+TEST(Lexer, ScientificWithCapitalE) {
+  std::vector<Token> tokens = lex("1.0e30 1.0E30");
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.0e30);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 1.0e30);
+}
+
+TEST(Lexer, Operators) {
+  std::vector<Token> tokens = lex("+ - * / % == != <= >= < > && || ! = += ++");
+  TokenKind expected[] = {
+      TokenKind::Plus,       TokenKind::Minus,      TokenKind::Star,
+      TokenKind::Slash,      TokenKind::Percent,    TokenKind::EqualEqual,
+      TokenKind::NotEqual,   TokenKind::LessEqual,  TokenKind::GreaterEqual,
+      TokenKind::Less,       TokenKind::Greater,    TokenKind::AmpAmp,
+      TokenKind::PipePipe,   TokenKind::Bang,       TokenKind::Assign,
+      TokenKind::PlusAssign, TokenKind::PlusPlus,
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_TRUE(tokens[i].is(expected[i])) << i;
+  }
+}
+
+TEST(Lexer, CommentsSkipped) {
+  std::vector<Token> tokens = lex(
+      "a // line comment\n"
+      "/* block\n comment */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, LocationsTracked) {
+  std::vector<Token> tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+}
+
+TEST(Lexer, StringLiterals) {
+  std::vector<Token> tokens = lex(R"("hello \"world\"\n")");
+  ASSERT_TRUE(tokens[0].is(TokenKind::StringLiteral));
+  EXPECT_EQ(tokens[0].text, "hello \"world\"\n");
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("\"oops", diags);
+  lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnterminatedBlockCommentReportsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("/* never closed", diags);
+  lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnknownCharacterReportsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a @ b", diags);
+  lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, RectdomainLiteralTokens) {
+  std::vector<Token> tokens = lex("[0 : n - 1]");
+  EXPECT_TRUE(tokens[0].is(TokenKind::LBracket));
+  EXPECT_TRUE(tokens[1].is(TokenKind::IntLiteral));
+  EXPECT_TRUE(tokens[2].is(TokenKind::Colon));
+  EXPECT_TRUE(tokens[5].is(TokenKind::IntLiteral));
+  EXPECT_TRUE(tokens[6].is(TokenKind::RBracket));
+}
+
+}  // namespace
+}  // namespace cgp

@@ -1,0 +1,268 @@
+// Packing layout planning + codec tests (§5).
+#include <gtest/gtest.h>
+
+#include "codegen/packing.h"
+
+namespace cgp {
+namespace {
+
+ClassRegistry make_registry() {
+  ClassRegistry registry;
+  ClassInfo tri;
+  tri.name = "Tri";
+  tri.fields = {FieldInfo{"x", Type::primitive(PrimKind::Float), 0},
+                FieldInfo{"y", Type::primitive(PrimKind::Float), 1},
+                FieldInfo{"val", Type::primitive(PrimKind::Float), 2}};
+  registry.add(tri);
+  return registry;
+}
+
+ValueEntry elem_entry(TypePtr type, std::int64_t lo, std::int64_t hi) {
+  return ValueEntry{std::move(type),
+                    RectSection::dim1(SymPoly(lo), SymPoly(hi))};
+}
+
+TEST(Packing, FieldsConsumedTogetherAreInstanceWise) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"tris", {kElemStep, "x"}},
+          elem_entry(Type::primitive(PrimKind::Float), 0, 9));
+  req.add(ValueId{"tris", {kElemStep, "y"}},
+          elem_entry(Type::primitive(PrimKind::Float), 0, 9));
+  ValueSet next_cons = req;  // both consumed immediately
+  PackingLayout layout = plan_packing(req, {next_cons}, registry);
+  ASSERT_EQ(layout.groups.size(), 1u);
+  EXPECT_TRUE(layout.groups[0].instancewise);
+  EXPECT_EQ(layout.groups[0].items.size(), 2u);
+}
+
+TEST(Packing, LaterConsumedFieldIsFieldWise) {
+  // §5: a field used by the receiving filter packs instance-wise; a field
+  // only re-forwarded packs field-wise.
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"tris", {kElemStep, "x"}},
+          elem_entry(Type::primitive(PrimKind::Float), 0, 9));
+  req.add(ValueId{"tris", {kElemStep, "val"}},
+          elem_entry(Type::primitive(PrimKind::Float), 0, 9));
+  ValueSet stage0_cons;
+  stage0_cons.add(ValueId{"tris", {kElemStep, "x"}},
+                  elem_entry(Type::primitive(PrimKind::Float), 0, 9));
+  ValueSet stage1_cons;
+  stage1_cons.add(ValueId{"tris", {kElemStep, "val"}},
+                  elem_entry(Type::primitive(PrimKind::Float), 0, 9));
+  PackingLayout layout =
+      plan_packing(req, {stage0_cons, stage1_cons}, registry);
+  ASSERT_EQ(layout.groups.size(), 2u);
+  EXPECT_TRUE(layout.groups[0].instancewise);
+  EXPECT_EQ(layout.groups[0].items[0].id.steps.back(), "x");
+  EXPECT_FALSE(layout.groups[1].instancewise);
+  EXPECT_EQ(layout.groups[1].items[0].id.steps.back(), "val");
+}
+
+TEST(Packing, WholeElementExpandsToReducedFields) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"tris", {kElemStep}},
+          elem_entry(Type::class_type("Tri"), 0, 4));
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  ASSERT_EQ(layout.groups.size(), 1u);
+  EXPECT_EQ(layout.groups[0].items.size(), 3u);  // x, y, val
+}
+
+TEST(Packing, LengthEntriesDropped) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"tris", {kElemStep, "x"}},
+          elem_entry(Type::primitive(PrimKind::Float), 0, 9));
+  req.add(ValueId{"tris", {"length"}},
+          ValueEntry{Type::primitive(PrimKind::Int), {}});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  EXPECT_TRUE(layout.header.empty());
+  EXPECT_EQ(layout.groups.size(), 1u);
+}
+
+TEST(Packing, RootedHeaderCollapses) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"pz", {"depth"}},
+          ValueEntry{Type::array_of(Type::primitive(PrimKind::Float)), {}});
+  req.add(ValueId{"pz", {"color"}},
+          ValueEntry{Type::array_of(Type::primitive(PrimKind::Float)), {}});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  ASSERT_EQ(layout.header.size(), 1u);
+  EXPECT_EQ(layout.header[0].id.to_string(), "pz");
+}
+
+TEST(Packing, ScalarsStayInHeader) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"nsel", {}}, ValueEntry{Type::primitive(PrimKind::Int), {}});
+  req.add(ValueId{"isoval", {}},
+          ValueEntry{Type::primitive(PrimKind::Double), {}});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  EXPECT_EQ(layout.header.size(), 2u);
+  EXPECT_TRUE(layout.groups.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Codec round-trips
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<ArrayVal> make_tris(const ClassRegistry& registry, int n,
+                                    std::int64_t base = 0) {
+  auto arr = std::make_shared<ArrayVal>();
+  arr->base_index = base;
+  const ClassInfo* info = registry.find("Tri");
+  for (int i = 0; i < n; ++i) {
+    auto obj = std::make_shared<Object>();
+    obj->class_name = "Tri";
+    obj->fields.resize(info->fields.size());
+    obj->fields[0] = Value{static_cast<double>(i) + 0.25};
+    obj->fields[1] = Value{static_cast<double>(i) * 2.0};
+    obj->fields[2] = Value{static_cast<double>(i) - 0.5};
+    arr->elems.push_back(obj);
+  }
+  return arr;
+}
+
+TEST(Packing, CodecInstanceWiseRoundTrip) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"tris", {kElemStep, "x"}},
+          elem_entry(Type::primitive(PrimKind::Float), 0, 4));
+  req.add(ValueId{"tris", {kElemStep, "y"}},
+          elem_entry(Type::primitive(PrimKind::Float), 0, 4));
+  req.add(ValueId{"count", {}},
+          ValueEntry{Type::primitive(PrimKind::Int), {}});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  PacketCodec codec(registry, layout);
+
+  Env sender;
+  sender.declare("tris", make_tris(registry, 5));
+  sender.declare("count", Value{std::int64_t{5}});
+  dc::Buffer buffer;
+  codec.pack(sender, [](const std::string&) { return std::nullopt; }, buffer);
+
+  Env receiver;
+  codec.unpack(buffer, receiver);
+  EXPECT_EQ(as_int(receiver.get("count")), 5);
+  const auto& arr =
+      std::get<std::shared_ptr<ArrayVal>>(receiver.get("tris"));
+  ASSERT_EQ(arr->elems.size(), 5u);
+  const auto& obj = std::get<std::shared_ptr<Object>>(arr->elems[3]);
+  EXPECT_NEAR(as_double(obj->fields[0]), 3.25, 1e-6);
+  EXPECT_NEAR(as_double(obj->fields[1]), 6.0, 1e-6);
+  // val was not packed: default-initialized.
+  EXPECT_DOUBLE_EQ(as_double(obj->fields[2]), 0.0);
+}
+
+TEST(Packing, CodecSymbolicSectionResolved) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  SymPoly n = SymPoly::symbol("nsel");
+  req.add(ValueId{"tris", {kElemStep, "x"}},
+          ValueEntry{Type::primitive(PrimKind::Float),
+                     RectSection::dim1(SymPoly(0), n - 1)});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  PacketCodec codec(registry, layout);
+
+  Env sender;
+  sender.declare("tris", make_tris(registry, 10));
+  dc::Buffer buffer;
+  codec.pack(sender,
+             [](const std::string& sym) -> std::optional<std::int64_t> {
+               if (sym == "nsel") return 3;
+               return std::nullopt;
+             },
+             buffer);
+  Env receiver;
+  codec.unpack(buffer, receiver);
+  const auto& arr =
+      std::get<std::shared_ptr<ArrayVal>>(receiver.get("tris"));
+  EXPECT_EQ(arr->elems.size(), 3u);  // only [0:nsel-1] transmitted
+}
+
+TEST(Packing, CodecBaseShiftedSections) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  SymPoly p = SymPoly::symbol("p");
+  // [p*4 : p*4+3] — the packet-relative idiom.
+  req.add(ValueId{"tris", {kElemStep, "x"}},
+          ValueEntry{Type::primitive(PrimKind::Float),
+                     RectSection::dim1(p * 4, p * 4 + 3)});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  PacketCodec codec(registry, layout);
+
+  Env sender;
+  sender.declare("tris", make_tris(registry, 16));
+  dc::Buffer buffer;
+  codec.pack(sender,
+             [](const std::string& sym) -> std::optional<std::int64_t> {
+               if (sym == "p") return 2;
+               return std::nullopt;
+             },
+             buffer);
+  Env receiver;
+  codec.unpack(buffer, receiver);
+  const auto& arr =
+      std::get<std::shared_ptr<ArrayVal>>(receiver.get("tris"));
+  EXPECT_EQ(arr->base_index, 8);
+  ASSERT_EQ(arr->elems.size(), 4u);
+  const auto& obj = std::get<std::shared_ptr<Object>>(arr->elems[0]);
+  EXPECT_NEAR(as_double(obj->fields[0]), 8.25, 1e-6);  // element 8
+}
+
+TEST(Packing, CodecWholeCollectionFallback) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"tris", {kElemStep, "x"}},
+          ValueEntry{Type::primitive(PrimKind::Float), std::nullopt});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  PacketCodec codec(registry, layout);
+  Env sender;
+  sender.declare("tris", make_tris(registry, 7));
+  dc::Buffer buffer;
+  codec.pack(sender, [](const std::string&) { return std::nullopt; }, buffer);
+  Env receiver;
+  codec.unpack(buffer, receiver);
+  const auto& arr =
+      std::get<std::shared_ptr<ArrayVal>>(receiver.get("tris"));
+  EXPECT_EQ(arr->elems.size(), 7u);
+}
+
+TEST(Packing, CodecMissingBindingThrows) {
+  ClassRegistry registry = make_registry();
+  ValueSet req;
+  req.add(ValueId{"count", {}},
+          ValueEntry{Type::primitive(PrimKind::Int), {}});
+  PackingLayout layout = plan_packing(req, {req}, registry);
+  PacketCodec codec(registry, layout);
+  Env sender;  // count not declared
+  dc::Buffer buffer;
+  EXPECT_THROW(
+      codec.pack(sender, [](const std::string&) { return std::nullopt; },
+                 buffer),
+      std::runtime_error);
+}
+
+TEST(Packing, CodecLayoutMismatchThrows) {
+  ClassRegistry registry = make_registry();
+  ValueSet req_a;
+  req_a.add(ValueId{"a", {}}, ValueEntry{Type::primitive(PrimKind::Int), {}});
+  ValueSet req_b;
+  req_b.add(ValueId{"a", {}}, ValueEntry{Type::primitive(PrimKind::Int), {}});
+  req_b.add(ValueId{"b", {}}, ValueEntry{Type::primitive(PrimKind::Int), {}});
+  PacketCodec sender_codec(registry, plan_packing(req_a, {req_a}, registry));
+  PacketCodec receiver_codec(registry, plan_packing(req_b, {req_b}, registry));
+  Env sender;
+  sender.declare("a", Value{std::int64_t{1}});
+  dc::Buffer buffer;
+  sender_codec.pack(sender, [](const std::string&) { return std::nullopt; },
+                    buffer);
+  Env receiver;
+  EXPECT_THROW(receiver_codec.unpack(buffer, receiver), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cgp

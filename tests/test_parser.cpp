@@ -1,0 +1,268 @@
+// Parser unit tests: declaration forms, statements, expressions, precedence,
+// dialect extensions, error recovery, and print round-trips.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace cgp {
+namespace {
+
+std::unique_ptr<Program> parse_ok(std::string_view source) {
+  DiagnosticEngine diags;
+  auto program = Parser::parse(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return program;
+}
+
+TEST(Parser, EmptyProgram) {
+  auto program = parse_ok("");
+  EXPECT_TRUE(program->classes.empty());
+  EXPECT_TRUE(program->interfaces.empty());
+}
+
+TEST(Parser, InterfaceDecl) {
+  auto program = parse_ok("interface Reducinterface { }");
+  ASSERT_EQ(program->interfaces.size(), 1u);
+  EXPECT_EQ(program->interfaces[0]->name, "Reducinterface");
+}
+
+TEST(Parser, ClassWithFieldsAndImplements) {
+  auto program = parse_ok(R"(
+    interface I { }
+    class A implements I {
+      int x;
+      float y, z;
+    }
+  )");
+  ASSERT_EQ(program->classes.size(), 1u);
+  const ClassDecl& cls = *program->classes[0];
+  EXPECT_EQ(cls.implements.size(), 1u);
+  ASSERT_EQ(cls.fields.size(), 3u);
+  EXPECT_EQ(cls.fields[1]->name, "y");
+  EXPECT_EQ(cls.fields[2]->name, "z");
+  EXPECT_TRUE(cls.fields[2]->type->is_floating());
+}
+
+TEST(Parser, Constructor) {
+  auto program = parse_ok(R"(
+    class A {
+      int x;
+      A(int v) { x = v; }
+    }
+  )");
+  const ClassDecl& cls = *program->classes[0];
+  ASSERT_EQ(cls.methods.size(), 1u);
+  EXPECT_EQ(cls.methods[0]->name, "A");
+  EXPECT_EQ(cls.methods[0]->params.size(), 1u);
+}
+
+TEST(Parser, MethodWithArrayTypes) {
+  auto program = parse_ok(R"(
+    class A {
+      float[] data;
+      float get(int[] idx) { return data[idx[0]]; }
+    }
+  )");
+  const MethodDecl& m = *program->classes[0]->methods[0];
+  EXPECT_TRUE(m.params[0]->type->is_array());
+  EXPECT_TRUE(m.return_type->is_floating());
+}
+
+TEST(Parser, RectdomainType) {
+  auto program = parse_ok(R"(
+    class A {
+      void f() {
+        Rectdomain<1> d = [0 : 9];
+      }
+    }
+  )");
+  const auto& body = program->classes[0]->methods[0]->body;
+  ASSERT_EQ(body->statements.size(), 1u);
+  const auto& decl = static_cast<const VarDeclStmt&>(*body->statements[0]);
+  EXPECT_TRUE(decl.declared_type->is_rectdomain());
+  EXPECT_EQ(decl.init->kind, NodeKind::RectdomainLit);
+}
+
+TEST(Parser, ForeachAndPipelinedLoop) {
+  auto program = parse_ok(R"(
+    class A {
+      void f() {
+        PipelinedLoop (p in [0 : runtime_define_num_packets - 1]) {
+          foreach (i in [0 : 9]) {
+            int x = i;
+          }
+        }
+      }
+    }
+  )");
+  const auto& body = program->classes[0]->methods[0]->body;
+  ASSERT_EQ(body->statements[0]->kind, NodeKind::PipelinedLoopStmt);
+  const auto& loop =
+      static_cast<const PipelinedLoopStmt&>(*body->statements[0]);
+  EXPECT_EQ(loop.var, "p");
+  const auto& inner = static_cast<const BlockStmt&>(*loop.body);
+  EXPECT_EQ(inner.statements[0]->kind, NodeKind::ForeachStmt);
+}
+
+TEST(Parser, RuntimeDefineVarRefFlag) {
+  auto program = parse_ok(R"(
+    class A {
+      void f() {
+        int n = runtime_define_count;
+      }
+    }
+  )");
+  const auto& decl = static_cast<const VarDeclStmt&>(
+      *program->classes[0]->methods[0]->body->statements[0]);
+  const auto& ref = static_cast<const VarRef&>(*decl.init);
+  EXPECT_TRUE(ref.is_runtime_define);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  auto program = parse_ok("class A { int f() { return 1 + 2 * 3; } }");
+  const auto& ret = static_cast<const ReturnStmt&>(
+      *program->classes[0]->methods[0]->body->statements[0]);
+  const auto& add = static_cast<const BinaryExpr&>(*ret.value);
+  EXPECT_EQ(add.op, BinaryOp::Add);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*add.rhs).op, BinaryOp::Mul);
+}
+
+TEST(Parser, PrecedenceComparisonBeforeLogical) {
+  auto program =
+      parse_ok("class A { boolean f(int a) { return a < 3 && a > 1; } }");
+  const auto& ret = static_cast<const ReturnStmt&>(
+      *program->classes[0]->methods[0]->body->statements[0]);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*ret.value).op, BinaryOp::And);
+}
+
+TEST(Parser, AssignmentRightAssociative) {
+  auto program = parse_ok("class A { void f(int a, int b) { a = b = 3; } }");
+  const auto& stmt = static_cast<const ExprStmt&>(
+      *program->classes[0]->methods[0]->body->statements[0]);
+  const auto& outer = static_cast<const AssignExpr&>(*stmt.expr);
+  EXPECT_EQ(outer.value->kind, NodeKind::Assign);
+}
+
+TEST(Parser, TernaryConditional) {
+  auto program = parse_ok("class A { int f(int a) { return a > 0 ? a : -a; } }");
+  const auto& ret = static_cast<const ReturnStmt&>(
+      *program->classes[0]->methods[0]->body->statements[0]);
+  EXPECT_EQ(ret.value->kind, NodeKind::Conditional);
+}
+
+TEST(Parser, NewObjectAndNewArray) {
+  auto program = parse_ok(R"(
+    class B { }
+    class A {
+      void f() {
+        B b = new B();
+        float[] xs = new float[10];
+      }
+    }
+  )");
+  const auto& stmts = program->classes[1]->methods[0]->body->statements;
+  EXPECT_EQ(static_cast<const VarDeclStmt&>(*stmts[0]).init->kind,
+            NodeKind::NewObject);
+  EXPECT_EQ(static_cast<const VarDeclStmt&>(*stmts[1]).init->kind,
+            NodeKind::NewArray);
+}
+
+TEST(Parser, MethodCallChains) {
+  auto program = parse_ok(R"(
+    class A {
+      A self() { return this; }
+      void f() {
+        self().self().self();
+      }
+    }
+  )");
+  const auto& stmt = static_cast<const ExprStmt&>(
+      *program->classes[0]->methods[1]->body->statements[0]);
+  EXPECT_EQ(stmt.expr->kind, NodeKind::Call);
+}
+
+TEST(Parser, ForLoopClassic) {
+  auto program = parse_ok(R"(
+    class A {
+      void f() {
+        for (int i = 0; i < 10; i++) {
+          int x = i;
+        }
+      }
+    }
+  )");
+  const auto& loop = static_cast<const ForStmt&>(
+      *program->classes[0]->methods[0]->body->statements[0]);
+  EXPECT_NE(loop.init, nullptr);
+  EXPECT_NE(loop.cond, nullptr);
+  EXPECT_NE(loop.step, nullptr);
+}
+
+TEST(Parser, WhileAndBreakContinue) {
+  auto program = parse_ok(R"(
+    class A {
+      void f(int n) {
+        while (n > 0) {
+          n = n - 1;
+          if (n == 3) { break; }
+          if (n == 5) { continue; }
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(program->classes[0]->methods[0]->body->statements[0]->kind,
+            NodeKind::WhileStmt);
+}
+
+TEST(Parser, ErrorRecoveryProducesMultipleErrors) {
+  DiagnosticEngine diags;
+  Parser::parse(R"(
+    class A {
+      void f() {
+        int x = ;
+        int y = 3;
+        float z = @;
+      }
+    }
+  )", diags);
+  EXPECT_GE(diags.error_count(), 2u);
+}
+
+TEST(Parser, ErrorAtTopLevel) {
+  DiagnosticEngine diags;
+  auto program = Parser::parse("42", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(program->classes.empty());
+}
+
+TEST(Parser, InvalidAssignmentTarget) {
+  DiagnosticEngine diags;
+  Parser::parse("class A { void f() { 1 + 2 = 3; } }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, PrintRoundTrip) {
+  const char* source =
+      "class A { void f(int n) { foreach (i in [0 : n - 1]) { int x = i * 2; } } }";
+  auto program = parse_ok(source);
+  std::string printed = to_source(*program);
+  // Re-parse the printed form; it must parse cleanly to the same shape.
+  auto reparsed = parse_ok(printed);
+  EXPECT_EQ(to_source(*reparsed), printed);
+}
+
+TEST(Parser, RuntimeDefineDeclStatement) {
+  auto program = parse_ok(R"(
+    class A {
+      void f() {
+        runtime_define int blocking;
+      }
+    }
+  )");
+  const auto& decl = static_cast<const VarDeclStmt&>(
+      *program->classes[0]->methods[0]->body->statements[0]);
+  EXPECT_TRUE(decl.is_runtime_define);
+}
+
+}  // namespace
+}  // namespace cgp

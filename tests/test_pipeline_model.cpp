@@ -1,0 +1,147 @@
+// Pipeline model tests: segmentation, boundary graph, ReqComm propagation.
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline_model.h"
+#include "apps/app_configs.h"
+#include "parser/parser.h"
+
+namespace cgp {
+namespace {
+
+PipelineModel build(std::string_view source, DiagnosticEngine& diags,
+                    std::unique_ptr<Program>& keep_alive) {
+  keep_alive = Parser::parse(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return build_pipeline_model(*keep_alive, diags);
+}
+
+TEST(PipelineModel, TinySegmentation) {
+  apps::AppConfig config = apps::tiny_config(64, 4);
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+  PipelineModel model = build(config.source, diags, program);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  ASSERT_EQ(model.filters.size(), 3u);
+  EXPECT_EQ(model.filters[0].stmts.size(), 2u);  // base + sq decls
+  EXPECT_EQ(model.filters[1].stmts[0]->kind, NodeKind::ForeachStmt);
+  EXPECT_EQ(model.filters[2].stmts[0]->kind, NodeKind::ForeachStmt);
+  EXPECT_EQ(model.loop_var, "p");
+  EXPECT_EQ(model.before.size(), 6u);  // n/npackets/psize/data decls, init loop, acc
+  EXPECT_EQ(model.after.size(), 1u);   // result decl
+}
+
+TEST(PipelineModel, ReqCommShrinksAfterReduction) {
+  apps::AppConfig config = apps::tiny_config(64, 4);
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+  PipelineModel model = build(config.source, diags, program);
+  ASSERT_EQ(model.req_comm.size(), 3u);
+  // After the last filter only post-loop needs remain (none: acc is a
+  // reduction and `result` is computed from it).
+  EXPECT_TRUE(model.req_comm[2].empty()) << model.req_comm[2].to_string();
+  // Between squaring and accumulation: sq[] section.
+  EXPECT_FALSE(model.req_comm[1].empty());
+  bool found_sq = false;
+  for (const auto& [id, entry] : model.req_comm[1].items()) {
+    if (id.base == "sq") found_sq = true;
+  }
+  EXPECT_TRUE(found_sq) << model.req_comm[1].to_string();
+}
+
+TEST(PipelineModel, InputReqIsPacketRelative) {
+  apps::AppConfig config = apps::tiny_config(64, 4);
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+  PipelineModel model = build(config.source, diags, program);
+  // input_req must reference `data` with a section in terms of the packet
+  // variable p (base substituted away).
+  const ValueEntry* data_entry =
+      model.input_req.find(ValueId{"data", {kElemStep}});
+  ASSERT_NE(data_entry, nullptr) << model.input_req.to_string();
+  ASSERT_TRUE(data_entry->section.has_value());
+  std::string section = data_entry->section->to_string();
+  EXPECT_NE(section.find("p"), std::string::npos) << section;
+  EXPECT_EQ(section.find("base"), std::string::npos) << section;
+}
+
+TEST(PipelineModel, ReductionDeclsFound) {
+  apps::AppConfig config = apps::tiny_config(64, 4);
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+  PipelineModel model = build(config.source, diags, program);
+  ASSERT_EQ(model.reduction_decls.size(), 1u);
+  EXPECT_EQ(model.reduction_decls.begin()->first, "acc");
+  EXPECT_EQ(model.after_reductions.count("acc"), 1u);
+  // The accumulate filter touches the reduction.
+  EXPECT_EQ(model.sets[2].reductions.count("acc"), 1u);
+}
+
+TEST(PipelineModel, NoPipelinedLoopIsError) {
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+  PipelineModel model =
+      build("class A { void main() { int x = 1; } }", diags, program);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(model.filters.empty());
+}
+
+TEST(PipelineModel, AppsAllBuild) {
+  for (const apps::AppConfig& config :
+       {apps::isosurface_zbuffer_config(false),
+        apps::isosurface_active_pixels_config(false), apps::knn_config(3),
+        apps::vmscope_config(false)}) {
+    DiagnosticEngine diags;
+    std::unique_ptr<Program> program;
+    PipelineModel model = build(config.source, diags, program);
+    EXPECT_FALSE(diags.has_errors())
+        << config.name << ": " << diags.render();
+    EXPECT_GE(model.filters.size(), 3u) << config.name;
+    EXPECT_TRUE(model.graph.is_chain()) << config.name;
+    EXPECT_FALSE(model.reduction_decls.empty()) << config.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate boundary graph
+// ---------------------------------------------------------------------------
+
+TEST(BoundaryGraph, ChainProperties) {
+  auto graph = CandidateBoundaryGraph::chain({"b1", "b2", "b3"});
+  EXPECT_TRUE(graph.is_acyclic());
+  EXPECT_TRUE(graph.is_chain());
+  EXPECT_EQ(graph.node_count(), 5);  // start + 3 + end
+  auto paths = graph.flow_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 5u);
+}
+
+TEST(BoundaryGraph, DiamondFlowPaths) {
+  CandidateBoundaryGraph graph;
+  int b1 = graph.add_boundary("left");
+  int b2 = graph.add_boundary("right");
+  int b3 = graph.add_boundary("join");
+  graph.set_end();
+  graph.add_edge(CandidateBoundaryGraph::kStart, b1);
+  graph.add_edge(CandidateBoundaryGraph::kStart, b2);
+  graph.add_edge(b1, b3);
+  graph.add_edge(b2, b3);
+  graph.add_edge(b3, graph.end_node());
+  EXPECT_TRUE(graph.is_acyclic());
+  EXPECT_FALSE(graph.is_chain());
+  EXPECT_EQ(graph.flow_paths().size(), 2u);
+}
+
+TEST(BoundaryGraph, CycleDetected) {
+  CandidateBoundaryGraph graph;
+  int b1 = graph.add_boundary("a");
+  int b2 = graph.add_boundary("b");
+  graph.set_end();
+  graph.add_edge(CandidateBoundaryGraph::kStart, b1);
+  graph.add_edge(b1, b2);
+  graph.add_edge(b2, b1);  // back edge
+  graph.add_edge(b2, graph.end_node());
+  EXPECT_FALSE(graph.is_acyclic());
+}
+
+}  // namespace
+}  // namespace cgp

@@ -1,0 +1,107 @@
+// Discrete-event pipeline simulator tests.
+#include <gtest/gtest.h>
+
+#include "sim/pipeline_sim.h"
+
+namespace cgp {
+namespace {
+
+EnvironmentSpec simple_env(int width = 1) {
+  EnvironmentSpec env;
+  env.units = {ComputeUnit{"data", 100.0, width},
+               ComputeUnit{"compute", 100.0, width},
+               ComputeUnit{"view", 100.0, 1}};
+  env.links = {Link{100.0, 0.0, width}, Link{100.0, 0.0, 1}};
+  return env;
+}
+
+TEST(Sim, SinglePacketIsTraversalTime) {
+  EnvironmentSpec env = simple_env();
+  auto packets = uniform_trace(1, {100.0, 200.0, 50.0}, {100.0, 10.0});
+  SimResult result = simulate_pipeline(env, packets);
+  // 1 + 2 + 0.5 compute + 1 + 0.1 comm = 4.6
+  EXPECT_NEAR(result.total_time, 4.6, 1e-9);
+}
+
+TEST(Sim, SteadyStateMatchesFormula) {
+  EnvironmentSpec env = simple_env();
+  const std::int64_t n = 200;
+  auto packets = uniform_trace(n, {100.0, 300.0, 50.0}, {50.0, 10.0});
+  SimResult result = simulate_pipeline(env, packets);
+  // Bottleneck: compute stage at 3.0 s/packet.
+  double expected =
+      static_cast<double>(n - 1) * 3.0 + (1.0 + 3.0 + 0.5 + 0.5 + 0.1);
+  EXPECT_NEAR(result.total_time, expected, 1e-6);
+  EXPECT_FALSE(result.bottleneck_is_link);
+  EXPECT_EQ(result.bottleneck_name, "compute");
+}
+
+TEST(Sim, LinkBottleneck) {
+  EnvironmentSpec env = simple_env();
+  auto packets = uniform_trace(100, {10.0, 10.0, 10.0}, {1000.0, 10.0});
+  SimResult result = simulate_pipeline(env, packets);
+  EXPECT_TRUE(result.bottleneck_is_link);
+  EXPECT_EQ(result.bottleneck_name, "L1");
+  // Link at 10 s/packet dominates; traversal = 3x0.1 + 10 + 0.1.
+  EXPECT_NEAR(result.total_time, 99.0 * 10.0 + 10.4, 1e-6);
+}
+
+TEST(Sim, WideningRemovesBottleneck) {
+  auto packets = uniform_trace(64, {100.0, 400.0, 10.0}, {50.0, 10.0});
+  SimResult w1 = simulate_pipeline(simple_env(1), packets);
+  SimResult w2 = simulate_pipeline(simple_env(2), packets);
+  SimResult w4 = simulate_pipeline(simple_env(4), packets);
+  // Near-linear scaling while compute dominates.
+  EXPECT_GT(w1.total_time / w2.total_time, 1.7);
+  EXPECT_GT(w2.total_time / w4.total_time, 1.5);
+}
+
+TEST(Sim, WidthDoesNotHelpSerialSink) {
+  // If the view stage dominates, width does nothing (copies=1 there).
+  auto packets = uniform_trace(64, {10.0, 10.0, 500.0}, {1.0, 1.0});
+  SimResult w1 = simulate_pipeline(simple_env(1), packets);
+  SimResult w4 = simulate_pipeline(simple_env(4), packets);
+  EXPECT_NEAR(w1.total_time / w4.total_time, 1.0, 0.05);
+}
+
+TEST(Sim, NonUniformPacketsHandled) {
+  EnvironmentSpec env = simple_env();
+  std::vector<PacketTrace> packets;
+  for (int i = 0; i < 10; ++i) {
+    PacketTrace trace;
+    trace.stage_ops = {10.0, i % 2 == 0 ? 500.0 : 10.0, 10.0};
+    trace.link_bytes = {10.0, 10.0};
+    packets.push_back(trace);
+  }
+  SimResult result = simulate_pipeline(env, packets);
+  // 5 heavy packets x 5s on the compute stage bound the makespan.
+  EXPECT_GE(result.total_time, 25.0);
+}
+
+TEST(Sim, EpilogueAddsMergeHandoff) {
+  EnvironmentSpec env = simple_env(2);
+  auto packets = uniform_trace(16, {10.0, 10.0, 10.0}, {10.0, 10.0});
+  SimResult base = simulate_pipeline(env, packets);
+  SimEpilogue epilogue;
+  epilogue.per_copy_stage_ops = {0.0, 200.0, 100.0};
+  epilogue.per_copy_link_bytes = {0.0, 500.0};
+  SimResult with = simulate_pipeline(env, packets, &epilogue);
+  EXPECT_GT(with.total_time, base.total_time + 2.0);
+}
+
+TEST(Sim, BusyAccounting) {
+  EnvironmentSpec env = simple_env();
+  auto packets = uniform_trace(10, {100.0, 200.0, 50.0}, {100.0, 50.0});
+  SimResult result = simulate_pipeline(env, packets);
+  EXPECT_NEAR(result.stage_busy[0], 10.0, 1e-9);
+  EXPECT_NEAR(result.stage_busy[1], 20.0, 1e-9);
+  EXPECT_NEAR(result.link_busy[0], 10.0, 1e-9);
+}
+
+TEST(Sim, EmptyTraceIsZero) {
+  SimResult result = simulate_pipeline(simple_env(), {});
+  EXPECT_DOUBLE_EQ(result.total_time, 0.0);
+}
+
+}  // namespace
+}  // namespace cgp
