@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subsample.dir/bench_ablation_subsample.cpp.o"
+  "CMakeFiles/bench_ablation_subsample.dir/bench_ablation_subsample.cpp.o.d"
+  "bench_ablation_subsample"
+  "bench_ablation_subsample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subsample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

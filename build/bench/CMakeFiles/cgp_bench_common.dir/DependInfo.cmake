@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure_common.cpp" "bench/CMakeFiles/cgp_bench_common.dir/figure_common.cpp.o" "gcc" "bench/CMakeFiles/cgp_bench_common.dir/figure_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cgp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/cgp_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cgp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/cgp_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/cgp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/cgp_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/cgp_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cgp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/cgp_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/cgp_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacutter/CMakeFiles/cgp_datacutter.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_bench_common.dir/figure_common.cpp.o"
+  "CMakeFiles/cgp_bench_common.dir/figure_common.cpp.o.d"
+  "libcgp_bench_common.a"
+  "libcgp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isosurface_pipeline.dir/isosurface_pipeline.cpp.o"
+  "CMakeFiles/isosurface_pipeline.dir/isosurface_pipeline.cpp.o.d"
+  "isosurface_pipeline"
+  "isosurface_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isosurface_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmscope_query.dir/vmscope_query.cpp.o"
+  "CMakeFiles/vmscope_query.dir/vmscope_query.cpp.o.d"
+  "vmscope_query"
+  "vmscope_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmscope_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

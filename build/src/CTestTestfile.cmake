@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lexer")
+subdirs("ast")
+subdirs("parser")
+subdirs("sema")
+subdirs("analysis")
+subdirs("cost")
+subdirs("decomp")
+subdirs("datacutter")
+subdirs("sim")
+subdirs("codegen")
+subdirs("apps")
+subdirs("driver")

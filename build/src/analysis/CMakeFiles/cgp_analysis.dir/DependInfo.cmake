@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/boundary_graph.cpp" "src/analysis/CMakeFiles/cgp_analysis.dir/boundary_graph.cpp.o" "gcc" "src/analysis/CMakeFiles/cgp_analysis.dir/boundary_graph.cpp.o.d"
+  "/root/repo/src/analysis/fission.cpp" "src/analysis/CMakeFiles/cgp_analysis.dir/fission.cpp.o" "gcc" "src/analysis/CMakeFiles/cgp_analysis.dir/fission.cpp.o.d"
+  "/root/repo/src/analysis/gencons.cpp" "src/analysis/CMakeFiles/cgp_analysis.dir/gencons.cpp.o" "gcc" "src/analysis/CMakeFiles/cgp_analysis.dir/gencons.cpp.o.d"
+  "/root/repo/src/analysis/pipeline_model.cpp" "src/analysis/CMakeFiles/cgp_analysis.dir/pipeline_model.cpp.o" "gcc" "src/analysis/CMakeFiles/cgp_analysis.dir/pipeline_model.cpp.o.d"
+  "/root/repo/src/analysis/value_set.cpp" "src/analysis/CMakeFiles/cgp_analysis.dir/value_set.cpp.o" "gcc" "src/analysis/CMakeFiles/cgp_analysis.dir/value_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sema/CMakeFiles/cgp_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/cgp_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_analysis.dir/boundary_graph.cpp.o"
+  "CMakeFiles/cgp_analysis.dir/boundary_graph.cpp.o.d"
+  "CMakeFiles/cgp_analysis.dir/fission.cpp.o"
+  "CMakeFiles/cgp_analysis.dir/fission.cpp.o.d"
+  "CMakeFiles/cgp_analysis.dir/gencons.cpp.o"
+  "CMakeFiles/cgp_analysis.dir/gencons.cpp.o.d"
+  "CMakeFiles/cgp_analysis.dir/pipeline_model.cpp.o"
+  "CMakeFiles/cgp_analysis.dir/pipeline_model.cpp.o.d"
+  "CMakeFiles/cgp_analysis.dir/value_set.cpp.o"
+  "CMakeFiles/cgp_analysis.dir/value_set.cpp.o.d"
+  "libcgp_analysis.a"
+  "libcgp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

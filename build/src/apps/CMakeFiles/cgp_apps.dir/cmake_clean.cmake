@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_apps.dir/app_configs.cpp.o"
+  "CMakeFiles/cgp_apps.dir/app_configs.cpp.o.d"
+  "CMakeFiles/cgp_apps.dir/dialect_sources.cpp.o"
+  "CMakeFiles/cgp_apps.dir/dialect_sources.cpp.o.d"
+  "CMakeFiles/cgp_apps.dir/manual_filters.cpp.o"
+  "CMakeFiles/cgp_apps.dir/manual_filters.cpp.o.d"
+  "libcgp_apps.a"
+  "libcgp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

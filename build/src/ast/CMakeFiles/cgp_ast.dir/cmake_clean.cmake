@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_ast.dir/ast.cpp.o"
+  "CMakeFiles/cgp_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/cgp_ast.dir/type.cpp.o"
+  "CMakeFiles/cgp_ast.dir/type.cpp.o.d"
+  "libcgp_ast.a"
+  "libcgp_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

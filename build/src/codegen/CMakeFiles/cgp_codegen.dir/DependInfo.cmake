@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/compiled_pipeline.cpp" "src/codegen/CMakeFiles/cgp_codegen.dir/compiled_pipeline.cpp.o" "gcc" "src/codegen/CMakeFiles/cgp_codegen.dir/compiled_pipeline.cpp.o.d"
+  "/root/repo/src/codegen/emitter.cpp" "src/codegen/CMakeFiles/cgp_codegen.dir/emitter.cpp.o" "gcc" "src/codegen/CMakeFiles/cgp_codegen.dir/emitter.cpp.o.d"
+  "/root/repo/src/codegen/interp.cpp" "src/codegen/CMakeFiles/cgp_codegen.dir/interp.cpp.o" "gcc" "src/codegen/CMakeFiles/cgp_codegen.dir/interp.cpp.o.d"
+  "/root/repo/src/codegen/packing.cpp" "src/codegen/CMakeFiles/cgp_codegen.dir/packing.cpp.o" "gcc" "src/codegen/CMakeFiles/cgp_codegen.dir/packing.cpp.o.d"
+  "/root/repo/src/codegen/serialize.cpp" "src/codegen/CMakeFiles/cgp_codegen.dir/serialize.cpp.o" "gcc" "src/codegen/CMakeFiles/cgp_codegen.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cgp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/cgp_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/cgp_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacutter/CMakeFiles/cgp_datacutter.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/cgp_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/cgp_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

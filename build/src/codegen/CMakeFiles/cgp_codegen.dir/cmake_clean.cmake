@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_codegen.dir/compiled_pipeline.cpp.o"
+  "CMakeFiles/cgp_codegen.dir/compiled_pipeline.cpp.o.d"
+  "CMakeFiles/cgp_codegen.dir/emitter.cpp.o"
+  "CMakeFiles/cgp_codegen.dir/emitter.cpp.o.d"
+  "CMakeFiles/cgp_codegen.dir/interp.cpp.o"
+  "CMakeFiles/cgp_codegen.dir/interp.cpp.o.d"
+  "CMakeFiles/cgp_codegen.dir/packing.cpp.o"
+  "CMakeFiles/cgp_codegen.dir/packing.cpp.o.d"
+  "CMakeFiles/cgp_codegen.dir/serialize.cpp.o"
+  "CMakeFiles/cgp_codegen.dir/serialize.cpp.o.d"
+  "libcgp_codegen.a"
+  "libcgp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

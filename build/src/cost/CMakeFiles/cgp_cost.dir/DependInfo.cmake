@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/environment.cpp" "src/cost/CMakeFiles/cgp_cost.dir/environment.cpp.o" "gcc" "src/cost/CMakeFiles/cgp_cost.dir/environment.cpp.o.d"
+  "/root/repo/src/cost/opcount.cpp" "src/cost/CMakeFiles/cgp_cost.dir/opcount.cpp.o" "gcc" "src/cost/CMakeFiles/cgp_cost.dir/opcount.cpp.o.d"
+  "/root/repo/src/cost/volume.cpp" "src/cost/CMakeFiles/cgp_cost.dir/volume.cpp.o" "gcc" "src/cost/CMakeFiles/cgp_cost.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cgp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/cgp_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/cgp_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

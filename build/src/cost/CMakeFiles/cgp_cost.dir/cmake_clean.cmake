@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_cost.dir/environment.cpp.o"
+  "CMakeFiles/cgp_cost.dir/environment.cpp.o.d"
+  "CMakeFiles/cgp_cost.dir/opcount.cpp.o"
+  "CMakeFiles/cgp_cost.dir/opcount.cpp.o.d"
+  "CMakeFiles/cgp_cost.dir/volume.cpp.o"
+  "CMakeFiles/cgp_cost.dir/volume.cpp.o.d"
+  "libcgp_cost.a"
+  "libcgp_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

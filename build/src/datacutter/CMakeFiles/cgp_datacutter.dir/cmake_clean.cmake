@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_datacutter.dir/runner.cpp.o"
+  "CMakeFiles/cgp_datacutter.dir/runner.cpp.o.d"
+  "CMakeFiles/cgp_datacutter.dir/stream.cpp.o"
+  "CMakeFiles/cgp_datacutter.dir/stream.cpp.o.d"
+  "libcgp_datacutter.a"
+  "libcgp_datacutter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_datacutter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

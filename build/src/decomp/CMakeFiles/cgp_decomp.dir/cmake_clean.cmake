@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_decomp.dir/decompose.cpp.o"
+  "CMakeFiles/cgp_decomp.dir/decompose.cpp.o.d"
+  "libcgp_decomp.a"
+  "libcgp_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

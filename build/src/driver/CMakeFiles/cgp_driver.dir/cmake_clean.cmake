@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_driver.dir/adaptive.cpp.o"
+  "CMakeFiles/cgp_driver.dir/adaptive.cpp.o.d"
+  "CMakeFiles/cgp_driver.dir/compiler.cpp.o"
+  "CMakeFiles/cgp_driver.dir/compiler.cpp.o.d"
+  "CMakeFiles/cgp_driver.dir/simulate.cpp.o"
+  "CMakeFiles/cgp_driver.dir/simulate.cpp.o.d"
+  "libcgp_driver.a"
+  "libcgp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

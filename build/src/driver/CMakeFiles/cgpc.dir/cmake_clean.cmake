@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpc.dir/cgpc_main.cpp.o"
+  "CMakeFiles/cgpc.dir/cgpc_main.cpp.o.d"
+  "cgpc"
+  "cgpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cgpc.
+# This may be replaced when dependencies are built.

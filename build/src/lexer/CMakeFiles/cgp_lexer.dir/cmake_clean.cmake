@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_lexer.dir/lexer.cpp.o"
+  "CMakeFiles/cgp_lexer.dir/lexer.cpp.o.d"
+  "libcgp_lexer.a"
+  "libcgp_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_parser.dir/parser.cpp.o"
+  "CMakeFiles/cgp_parser.dir/parser.cpp.o.d"
+  "libcgp_parser.a"
+  "libcgp_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

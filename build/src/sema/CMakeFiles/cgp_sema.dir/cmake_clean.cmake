@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_sema.dir/sema.cpp.o"
+  "CMakeFiles/cgp_sema.dir/sema.cpp.o.d"
+  "libcgp_sema.a"
+  "libcgp_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

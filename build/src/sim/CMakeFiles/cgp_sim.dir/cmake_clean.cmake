@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/cgp_sim.dir/pipeline_sim.cpp.o.d"
+  "libcgp_sim.a"
+  "libcgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

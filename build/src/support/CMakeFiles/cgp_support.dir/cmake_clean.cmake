@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgp_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/cgp_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/cgp_support.dir/section.cpp.o"
+  "CMakeFiles/cgp_support.dir/section.cpp.o.d"
+  "CMakeFiles/cgp_support.dir/str.cpp.o"
+  "CMakeFiles/cgp_support.dir/str.cpp.o.d"
+  "CMakeFiles/cgp_support.dir/symexpr.cpp.o"
+  "CMakeFiles/cgp_support.dir/symexpr.cpp.o.d"
+  "libcgp_support.a"
+  "libcgp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datacutter.dir/test_datacutter.cpp.o"
+  "CMakeFiles/test_datacutter.dir/test_datacutter.cpp.o.d"
+  "test_datacutter"
+  "test_datacutter.pdb"
+  "test_datacutter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datacutter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gencons.dir/test_gencons.cpp.o"
+  "CMakeFiles/test_gencons.dir/test_gencons.cpp.o.d"
+  "test_gencons"
+  "test_gencons.pdb"
+  "test_gencons[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gencons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
