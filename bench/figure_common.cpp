@@ -2,10 +2,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "driver/compiler.h"
 #include "driver/simulate.h"
+#include "support/metrics.h"
 
 namespace cgp::bench {
 
@@ -32,10 +34,11 @@ double run_figure(const FigureSpec& spec) {
     std::printf("paper: %s\n", spec.paper_notes.c_str());
   }
   std::printf("--------------------------------------------------------------\n");
-  std::printf("%-8s %-15s %12s %14s %14s\n", "width", "version", "sim time(s)",
-              "link0 bytes", "link1 bytes");
+  std::printf("%-8s %-15s %12s %14s %14s %10s %6s\n", "width", "version",
+              "sim time(s)", "link0 bytes", "link1 bytes", "bneck", "busy%");
 
   std::map<std::pair<int, std::string>, double> times;
+  std::map<int, support::PipelineTrace> decomp_traces;
   for (int width : {1, 2, 4}) {
     EnvironmentSpec env = EnvironmentSpec::paper_cluster(width);
     CompileResult result = compile_for(spec.config, env);
@@ -59,14 +62,49 @@ double run_figure(const FigureSpec& spec) {
               : spec.manual(spec.config.runtime_constants, env);
       double sim_time = simulate_run(run, env);
       times[{width, cell.name}] = sim_time;
-      std::printf("%-8d %-15s %12.4f %14lld %14lld\n", width,
+      // Measured bottleneck stage: where the runtime actually spent its
+      // busy time (the paper's bottleneck-stage analysis, from live
+      // counters rather than the simulator).
+      const support::PipelineTrace trace = run.trace();
+      const int bneck = trace.bottleneck_filter();
+      std::string bneck_name = "-";
+      double busy_share = 0.0;
+      if (bneck >= 0 && run.wall_seconds > 0.0) {
+        const support::FilterMetrics& f =
+            trace.filters[static_cast<std::size_t>(bneck)];
+        bneck_name = f.name;
+        busy_share =
+            100.0 * f.busy_seconds() / (run.wall_seconds * f.copies);
+      }
+      std::printf("%-8d %-15s %12.4f %14lld %14lld %10s %5.1f%%\n", width,
                   cell.name.c_str(), sim_time,
                   static_cast<long long>(run.link_packet_bytes.size() > 0
                                              ? run.link_packet_bytes[0]
                                              : 0),
                   static_cast<long long>(run.link_packet_bytes.size() > 1
                                              ? run.link_packet_bytes[1]
-                                             : 0));
+                                             : 0),
+                  bneck_name.c_str(), busy_share);
+      if (cell.name == "Decomp-Comp") decomp_traces[width] = trace;
+    }
+  }
+
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("per-stage telemetry (Decomp-Comp):\n");
+  std::printf("%-8s %-8s %7s %10s %10s %10s %9s %9s\n", "width", "stage",
+              "pkts", "busy(s)", "stall_in", "stall_out", "lat_mean", "hiwater");
+  for (const auto& [width, trace] : decomp_traces) {
+    for (std::size_t s = 0; s < trace.filters.size(); ++s) {
+      const support::FilterMetrics& f = trace.filters[s];
+      const std::int64_t hiwater =
+          s < trace.links.size() ? trace.links[s].occupancy_high_water : 0;
+      std::printf("%-8d %-8s %7lld %10.4f %10.4f %10.4f %9.2e %9lld\n", width,
+                  f.name.c_str(),
+                  static_cast<long long>(
+                      std::max(f.packets_in, f.packets_out)),
+                  f.busy_seconds(), f.stall_input_seconds,
+                  f.stall_output_seconds, f.latency.mean_seconds(),
+                  static_cast<long long>(hiwater));
     }
   }
 

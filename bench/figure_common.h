@@ -6,8 +6,11 @@
 // (measuring real per-packet ops and exact communicated bytes), then times
 // the run on the paper's cluster model with the discrete-event simulator
 // and prints the figure's series plus the derived ratios the paper quotes
-// (Decomp vs Default improvement, width speedups). A google-benchmark suite
-// afterwards measures real wall time of one end-to-end compiled run.
+// (Decomp vs Default improvement, width speedups). Each row also reports
+// the measured bottleneck stage (live busy/stall counters from the
+// observability layer), followed by a per-stage telemetry table for the
+// Decomp-Comp runs. A google-benchmark suite afterwards measures real wall
+// time of one end-to-end compiled run.
 #pragma once
 
 #include <functional>

@@ -250,6 +250,15 @@ std::vector<double> PipelineRunResult::mean_stage_ops() const {
   return out;
 }
 
+support::PipelineTrace PipelineRunResult::trace() const {
+  support::PipelineTrace trace;
+  trace.wall_seconds = wall_seconds;
+  trace.packets = packets;
+  trace.filters = stage_metrics;
+  trace.links = link_metrics;
+  return trace;
+}
+
 std::vector<double> PipelineRunResult::mean_link_bytes() const {
   std::vector<double> out(link_packet_bytes.size(), 0.0);
   if (packets <= 0) return out;
@@ -746,6 +755,8 @@ PipelineRunResult PipelineCompiler::run() {
   dc::PipelineRunner runner(build_groups(shared));
   dc::RunStats stats = runner.run();
   shared->result.wall_seconds = stats.wall_seconds;
+  shared->result.stage_metrics = std::move(stats.group_metrics);
+  shared->result.link_metrics = std::move(stats.link_metrics);
   return shared->result;
 }
 

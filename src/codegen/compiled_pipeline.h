@@ -58,10 +58,17 @@ struct PipelineRunResult {
   std::vector<std::int64_t> link_replica_bytes;
   std::vector<double> stage_replica_ops;  // end-of-run merge/setup ops
   double wall_seconds = 0.0;
+  /// Observability counters harvested from the DataCutter runtime: per
+  /// stage (aggregated over copies) and per link. See support/metrics.h.
+  std::vector<support::FilterMetrics> stage_metrics;
+  std::vector<support::LinkMetrics> link_metrics;
 
   /// Uniform per-packet trace + epilogue for the pipeline simulator.
   std::vector<double> mean_stage_ops() const;
   std::vector<double> mean_link_bytes() const;
+
+  /// Serializable observability trace of this run (--trace output).
+  support::PipelineTrace trace() const;
 };
 
 /// Extra ops charged for buffer handling, emulating the DataCutter copy /

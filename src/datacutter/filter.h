@@ -3,12 +3,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "datacutter/stream.h"
+#include "support/metrics.h"
 
 namespace cgp::dc {
 
@@ -28,12 +30,35 @@ class FilterContext {
   bool has_input() const { return input_ != nullptr; }
   bool has_output() const { return output_ != nullptr; }
 
-  /// Blocking read; nullopt = upstream finished.
+  /// Blocking read; nullopt = upstream finished. Records packet/byte
+  /// counts, input-stall time, and per-packet handling latency (the
+  /// interval between successive reads).
   std::optional<Buffer> read() {
-    return input_ ? input_->pop() : std::nullopt;
+    if (!input_) return std::nullopt;
+    const Clock::time_point start = Clock::now();
+    close_latency_window(start);
+    std::optional<Buffer> buffer = input_->pop();
+    const Clock::time_point done = Clock::now();
+    stall_input_ns_ += ns_between(start, done);
+    if (buffer) {
+      ++packets_in_;
+      bytes_in_ += static_cast<std::int64_t>(buffer->size());
+      window_start_ = done;
+    }
+    return buffer;
   }
   void emit(Buffer&& buffer) {
-    if (output_) output_->push(std::move(buffer));
+    if (!output_) return;
+    const std::int64_t size = static_cast<std::int64_t>(buffer.size());
+    const Clock::time_point start = Clock::now();
+    // Sources have no read() to bound a packet window; successive emits do.
+    if (!input_) close_latency_window(start);
+    output_->push(std::move(buffer));
+    const Clock::time_point done = Clock::now();
+    stall_output_ns_ += ns_between(start, done);
+    ++packets_out_;
+    bytes_out_ += size;
+    if (!input_) window_start_ = done;
   }
 
   int copy_index() const { return copy_index_; }
@@ -44,12 +69,50 @@ class FilterContext {
   void add_ops(double n) { ops_ += n; }
   double ops() const { return ops_; }
 
+  /// Snapshot of this instance's counters (total/busy time are filled in by
+  /// the runner, which owns the instance's lifetime window).
+  support::FilterMetrics metrics() const {
+    support::FilterMetrics m;
+    m.copies = 1;
+    m.packets_in = packets_in_;
+    m.packets_out = packets_out_;
+    m.bytes_in = bytes_in_;
+    m.bytes_out = bytes_out_;
+    m.stall_input_seconds = 1e-9 * static_cast<double>(stall_input_ns_);
+    m.stall_output_seconds = 1e-9 * static_cast<double>(stall_output_ns_);
+    m.latency = latency_;
+    return m;
+  }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  static std::int64_t ns_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  }
+  void close_latency_window(Clock::time_point now) {
+    if (!window_open()) return;
+    latency_.record(1e-9 *
+                    static_cast<double>(ns_between(window_start_, now)));
+    window_start_ = Clock::time_point{};
+  }
+  bool window_open() const {
+    return window_start_ != Clock::time_point{};
+  }
+
   Stream* input_;
   Stream* output_;
   int copy_index_;
   int copy_count_;
   double ops_ = 0.0;
+  std::int64_t packets_in_ = 0;
+  std::int64_t packets_out_ = 0;
+  std::int64_t bytes_in_ = 0;
+  std::int64_t bytes_out_ = 0;
+  std::int64_t stall_input_ns_ = 0;
+  std::int64_t stall_output_ns_ = 0;
+  support::LatencySummary latency_;
+  Clock::time_point window_start_{};
 };
 
 class Filter {

@@ -8,6 +8,15 @@
 
 namespace cgp::dc {
 
+support::PipelineTrace RunStats::trace() const {
+  support::PipelineTrace trace;
+  trace.wall_seconds = wall_seconds;
+  trace.filters = group_metrics;
+  trace.links = link_metrics;
+  if (!group_metrics.empty()) trace.packets = group_metrics.front().packets_out;
+  return trace;
+}
+
 PipelineRunner::PipelineRunner(std::vector<FilterGroup> groups,
                                std::size_t stream_capacity)
     : groups_(std::move(groups)), stream_capacity_(stream_capacity) {
@@ -35,7 +44,11 @@ RunStats PipelineRunner::run() {
 
   RunStats stats;
   stats.group_ops.assign(n_groups, 0.0);
-  for (const FilterGroup& g : groups_) stats.group_names.push_back(g.name);
+  stats.group_metrics.resize(n_groups);
+  for (std::size_t gi = 0; gi < n_groups; ++gi) {
+    stats.group_names.push_back(groups_[gi].name);
+    stats.group_metrics[gi].name = groups_[gi].name;
+  }
 
   std::mutex ops_mutex;
   std::exception_ptr first_error;
@@ -49,6 +62,7 @@ RunStats PipelineRunner::run() {
       threads.emplace_back([&, gi, input, output, copy] {
         std::unique_ptr<Filter> filter = groups_[gi].factory();
         FilterContext ctx(input, output, copy, groups_[gi].copies);
+        const auto copy_start = std::chrono::steady_clock::now();
         try {
           filter->init(ctx);
           filter->process(ctx);
@@ -63,8 +77,14 @@ RunStats PipelineRunner::run() {
           for (const auto& stream : streams) stream->abort();
         }
         if (output) output->close();
+        support::FilterMetrics copy_metrics = ctx.metrics();
+        copy_metrics.total_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          copy_start)
+                .count();
         std::lock_guard lock(ops_mutex);
         stats.group_ops[gi] += ctx.ops();
+        stats.group_metrics[gi].merge(copy_metrics);
       });
     }
   }
@@ -76,6 +96,7 @@ RunStats PipelineRunner::run() {
   for (const auto& stream : streams) {
     stats.link_buffers.push_back(stream->buffers_pushed());
     stats.link_bytes.push_back(stream->bytes_pushed());
+    stats.link_metrics.push_back(stream->metrics());
   }
   return stats;
 }

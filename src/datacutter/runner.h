@@ -21,6 +21,15 @@ struct RunStats {
   std::vector<double> group_ops;
   std::vector<std::string> group_names;
   double wall_seconds = 0.0;
+  /// Observability: per-group counters aggregated over transparent copies
+  /// (packets/bytes in and out, busy vs. stall wall time, per-packet
+  /// latency summaries) and per-link queue telemetry (occupancy high-water
+  /// mark, producer/consumer blocked time).
+  std::vector<support::FilterMetrics> group_metrics;
+  std::vector<support::LinkMetrics> link_metrics;
+
+  /// Assembles the serializable trace record (see support/metrics.h).
+  support::PipelineTrace trace() const;
 };
 
 class PipelineRunner {

@@ -1,22 +1,49 @@
 #include "datacutter/stream.h"
 
+#include <chrono>
+
 namespace cgp::dc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ns_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+}  // namespace
 
 void Stream::push(Buffer&& buffer) {
   std::unique_lock lock(mutex_);
-  can_push_.wait(lock, [&] { return queue_.size() < capacity_ || aborted_; });
+  if (queue_.size() >= capacity_ && !aborted_) {
+    const Clock::time_point start = Clock::now();
+    can_push_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || aborted_; });
+    producer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
+  }
   if (aborted_) return;  // dropped: the pipeline is tearing down
-  ++buffers_pushed_;
-  bytes_pushed_ += static_cast<std::int64_t>(buffer.size());
+  buffers_pushed_.fetch_add(1, std::memory_order_relaxed);
+  bytes_pushed_.fetch_add(static_cast<std::int64_t>(buffer.size()),
+                          std::memory_order_relaxed);
   queue_.push_back(std::move(buffer));
+  if (queue_.size() > occupancy_high_water_.load(std::memory_order_relaxed))
+    occupancy_high_water_.store(queue_.size(), std::memory_order_relaxed);
   can_pop_.notify_one();
 }
 
 std::optional<Buffer> Stream::pop() {
   std::unique_lock lock(mutex_);
-  can_pop_.wait(lock, [&] {
+  const auto ready = [&] {
     return !queue_.empty() || closed_producers_ >= producers_ || aborted_;
-  });
+  };
+  if (!ready()) {
+    const Clock::time_point start = Clock::now();
+    can_pop_.wait(lock, ready);
+    consumer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
+  }
   if (aborted_ || queue_.empty()) return std::nullopt;
   Buffer buffer = std::move(queue_.front());
   queue_.pop_front();
@@ -35,6 +62,18 @@ void Stream::abort() {
   aborted_ = true;
   can_push_.notify_all();
   can_pop_.notify_all();
+}
+
+support::LinkMetrics Stream::metrics() const {
+  support::LinkMetrics m;
+  m.buffers = buffers_pushed();
+  m.bytes = bytes_pushed();
+  m.capacity = static_cast<std::int64_t>(capacity_);
+  m.occupancy_high_water =
+      static_cast<std::int64_t>(occupancy_high_water());
+  m.producer_block_seconds = producer_block_seconds();
+  m.consumer_block_seconds = consumer_block_seconds();
+  return m;
 }
 
 }  // namespace cgp::dc

@@ -1,9 +1,12 @@
 // Stream abstraction (§2.2): the logical point-to-point channel between a
 // producer filter and a consumer filter, preserved as a single logical
 // stream when either side is transparently copied. Implemented as a bounded
-// MPMC queue of buffers with producer-count close semantics.
+// MPMC queue of buffers with producer-count close semantics. Instrumented:
+// occupancy high-water mark and cumulative producer/consumer blocked time
+// feed the observability layer (support/metrics.h).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -11,6 +14,7 @@
 #include <optional>
 
 #include "datacutter/buffer.h"
+#include "support/metrics.h"
 
 namespace cgp::dc {
 
@@ -30,10 +34,34 @@ class Stream {
   void close();
   /// Emergency teardown (a filter failed): unblocks every producer and
   /// consumer; subsequent pushes are dropped, pops return end-of-stream.
+  /// Counters stay consistent: blocked threads still account their wait,
+  /// dropped buffers are never counted as pushed.
   void abort();
 
-  std::int64_t buffers_pushed() const { return buffers_pushed_; }
-  std::int64_t bytes_pushed() const { return bytes_pushed_; }
+  std::int64_t buffers_pushed() const {
+    return buffers_pushed_.load(std::memory_order_relaxed);
+  }
+  std::int64_t bytes_pushed() const {
+    return bytes_pushed_.load(std::memory_order_relaxed);
+  }
+  std::size_t occupancy_high_water() const {
+    return occupancy_high_water_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative time producers spent blocked on backpressure.
+  double producer_block_seconds() const {
+    return 1e-9 *
+           static_cast<double>(
+               producer_block_ns_.load(std::memory_order_relaxed));
+  }
+  /// Cumulative time consumers spent blocked on an empty queue.
+  double consumer_block_seconds() const {
+    return 1e-9 *
+           static_cast<double>(
+               consumer_block_ns_.load(std::memory_order_relaxed));
+  }
+
+  /// Snapshot of all counters for the run trace.
+  support::LinkMetrics metrics() const;
 
  private:
   std::mutex mutex_;
@@ -44,8 +72,11 @@ class Stream {
   int producers_ = 1;
   int closed_producers_ = 0;
   bool aborted_ = false;
-  std::int64_t buffers_pushed_ = 0;
-  std::int64_t bytes_pushed_ = 0;
+  std::atomic<std::int64_t> buffers_pushed_{0};
+  std::atomic<std::int64_t> bytes_pushed_{0};
+  std::atomic<std::size_t> occupancy_high_water_{0};
+  std::atomic<std::int64_t> producer_block_ns_{0};
+  std::atomic<std::int64_t> consumer_block_ns_{0};
 };
 
 }  // namespace cgp::dc

@@ -143,6 +143,53 @@ DecompositionInput profile_decomposition_input(
   return input;
 }
 
+DecompositionInput profile_decomposition_input_from_run(
+    const PipelineModel& model, const DecompositionInput& static_input,
+    const Placement& placement, const PipelineRunResult& run) {
+  DecompositionInput input = static_input;
+  const std::size_t n_filters = model.filters.size();
+  if (placement.unit_of_filter.size() != n_filters)
+    throw std::invalid_argument("profile_from_run: placement arity mismatch");
+  if (run.packets <= 0)
+    throw std::invalid_argument("profile_from_run: run carried no packets");
+  const std::vector<double> stage_ops = run.mean_stage_ops();
+  const std::vector<double> link_bytes = run.mean_link_bytes();
+  const int m = static_cast<int>(stage_ops.size());
+
+  // Distribute each stage's measured ops over its filters, weighted by the
+  // static per-filter estimates so relative shapes survive.
+  for (int s = 0; s < m; ++s) {
+    std::vector<std::size_t> placed;
+    double static_sum = 0.0;
+    for (std::size_t f = 0; f < n_filters; ++f) {
+      if (placement.unit_of_filter[f] != s) continue;
+      placed.push_back(f);
+      static_sum += static_input.task_ops[f];
+    }
+    if (placed.empty()) continue;
+    for (std::size_t f : placed) {
+      const double weight =
+          static_sum > 0.0
+              ? static_input.task_ops[f] / static_sum
+              : 1.0 / static_cast<double>(placed.size());
+      input.task_ops[f] = stage_ops[static_cast<std::size_t>(s)] * weight;
+    }
+  }
+
+  // Measured volumes exist only where the placement cut a boundary.
+  const std::vector<int> cuts = placement.cuts(m);
+  for (std::size_t k = 0; k < link_bytes.size() && k < cuts.size(); ++k) {
+    const int boundary = cuts[k];
+    if (boundary >= 0) {
+      input.boundary_bytes[static_cast<std::size_t>(boundary)] =
+          link_bytes[k];
+    } else {
+      input.input_bytes = link_bytes[k];
+    }
+  }
+  return input;
+}
+
 PacketSizeChoice choose_packet_count(
     const std::string& source, const CompileOptions& base_options,
     const std::string& count_constant,

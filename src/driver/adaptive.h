@@ -33,6 +33,19 @@ DecompositionInput profile_decomposition_input(
     const std::map<std::string, std::int64_t>& runtime_constants,
     int sample_packets = 4);
 
+/// Measured-run alternative to interpreting sample packets: takes the
+/// observability telemetry of a real pipeline execution (run under
+/// `placement`) and maps it back onto the atomic-filter cost model. Each
+/// stage's measured mean per-packet ops are distributed over the filters
+/// placed on it proportionally to the static estimates (uniformly when the
+/// static model predicts zero work), and the boundary volumes at the
+/// placement's cut points are replaced by the measured mean per-packet link
+/// bytes. Boundaries interior to a stage keep their static estimates —
+/// nothing crossed a link there, so nothing was measured.
+DecompositionInput profile_decomposition_input_from_run(
+    const PipelineModel& model, const DecompositionInput& static_input,
+    const Placement& placement, const PipelineRunResult& run);
+
 struct PacketSizeChoice {
   std::int64_t best_count = 0;
   double best_predicted_time = 0.0;

@@ -12,6 +12,9 @@
 //   --emit               print the generated DataCutter filter source
 //   --analysis           print Gen/Cons/ReqComm per atomic filter
 //   --run                execute the decomposed pipeline and print finals
+//   --trace=<file>       run and dump the observability trace (per-filter
+//                        busy/stall/latency, per-link occupancy) as JSON;
+//                        implies --run (see docs/OBSERVABILITY.md)
 //   --default            use the Default placement instead of Decomp
 //   --no-fission         disable loop fission
 #include <cstdio>
@@ -21,6 +24,7 @@
 
 #include "driver/compiler.h"
 #include "driver/simulate.h"
+#include "support/metrics.h"
 
 namespace {
 
@@ -28,8 +32,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: cgpc <file.cgp> [--width N] [--stages M] "
                "[--define NAME=VALUE]... [--bind NAME=VALUE]... "
-               "[--packets N] [--emit] [--analysis] [--run] [--default] "
-               "[--no-fission]\n");
+               "[--packets N] [--emit] [--analysis] [--run] "
+               "[--trace=<file>] [--default] [--no-fission]\n");
 }
 
 bool parse_kv(const char* arg, std::string& name, std::int64_t& value) {
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   bool analysis = false;
   bool run = false;
   bool use_default = false;
+  std::string trace_path;
   CompileOptions options;
   options.n_packets = 16;
 
@@ -94,6 +99,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--analysis") == 0) {
       analysis = true;
     } else if (std::strcmp(arg, "--run") == 0) {
+      run = true;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+      run = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace_path = next();
       run = true;
     } else if (std::strcmp(arg, "--default") == 0) {
       use_default = true;
@@ -179,6 +190,29 @@ int main(int argc, char** argv) {
       for (const auto& [name, value] : outcome.finals) {
         std::printf("final %-12s = %s\n", name.c_str(),
                     value_to_string(value).c_str());
+      }
+      const support::PipelineTrace trace = outcome.trace();
+      std::printf("%-8s %7s %7s %10s %10s %10s %9s\n", "stage", "pkts_in",
+                  "pkts_out", "busy(s)", "stall_in", "stall_out", "hiwater");
+      for (std::size_t s = 0; s < trace.filters.size(); ++s) {
+        const support::FilterMetrics& f = trace.filters[s];
+        const std::int64_t hiwater =
+            s < trace.links.size() ? trace.links[s].occupancy_high_water : 0;
+        std::printf("%-8s %7lld %7lld %10.4f %10.4f %10.4f %9lld\n",
+                    f.name.c_str(), static_cast<long long>(f.packets_in),
+                    static_cast<long long>(f.packets_out), f.busy_seconds(),
+                    f.stall_input_seconds, f.stall_output_seconds,
+                    static_cast<long long>(hiwater));
+      }
+      const int bottleneck = trace.bottleneck_filter();
+      if (bottleneck >= 0) {
+        std::printf("measured bottleneck: %s\n",
+                    trace.filters[static_cast<std::size_t>(bottleneck)]
+                        .name.c_str());
+      }
+      if (!trace_path.empty()) {
+        write_trace_json(outcome, trace_path);
+        std::printf("trace written to %s\n", trace_path.c_str());
       }
     } catch (const std::exception& error) {
       std::fprintf(stderr, "cgpc: runtime error: %s\n", error.what());

@@ -1,5 +1,10 @@
 #include "driver/simulate.h"
 
+#include <fstream>
+#include <stdexcept>
+
+#include "support/metrics.h"
+
 namespace cgp {
 
 SimEpilogue make_epilogue(const PipelineRunResult& run,
@@ -29,6 +34,13 @@ SimResult simulate_run_full(const PipelineRunResult& run,
 
 double simulate_run(const PipelineRunResult& run, const EnvironmentSpec& env) {
   return simulate_run_full(run, env).total_time;
+}
+
+void write_trace_json(const PipelineRunResult& run, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  out << support::trace_to_json(run.trace()) << '\n';
+  if (!out) throw std::runtime_error("error writing trace file: " + path);
 }
 
 }  // namespace cgp

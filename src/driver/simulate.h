@@ -21,4 +21,9 @@ double simulate_run(const PipelineRunResult& run, const EnvironmentSpec& env);
 SimResult simulate_run_full(const PipelineRunResult& run,
                             const EnvironmentSpec& env);
 
+/// Writes the run's observability trace (per-filter busy/stall/latency,
+/// per-link occupancy/blocking — docs/OBSERVABILITY.md) as JSON to `path`.
+/// Throws std::runtime_error when the file cannot be written.
+void write_trace_json(const PipelineRunResult& run, const std::string& path);
+
 }  // namespace cgp

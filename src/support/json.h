@@ -1,0 +1,69 @@
+// Minimal JSON document model: enough to serialize and reload the runtime
+// trace (--trace) without an external dependency. Objects preserve
+// insertion order so emitted traces are stable and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace cgp::support {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  std::int64_t as_int() const {
+    return static_cast<std::int64_t>(std::get<double>(value_));
+  }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// Object member lookup; throws std::out_of_range when absent.
+  const Json& at(const std::string& key) const;
+  /// True when `key` names a member of this object.
+  bool contains(const std::string& key) const;
+  /// Appends a member (objects only).
+  void set(std::string key, Json value);
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+}  // namespace cgp::support

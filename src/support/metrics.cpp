@@ -1,0 +1,201 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/json.h"
+
+namespace cgp::support {
+
+void LatencyHistogram::record(double seconds) {
+  const double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  if (us >= 1.0) {
+    bucket = static_cast<std::size_t>(std::floor(std::log2(us)));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  ++counts[bucket];
+}
+
+std::int64_t LatencyHistogram::total() const {
+  std::int64_t n = 0;
+  for (std::int64_t c : counts) n += c;
+  return n;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+}
+
+double LatencyHistogram::bucket_lo_us(std::size_t i) {
+  return i == 0 ? 0.0 : std::exp2(static_cast<double>(i));
+}
+
+void LatencySummary::record(double seconds) {
+  if (count == 0) {
+    min_seconds = max_seconds = seconds;
+  } else {
+    min_seconds = std::min(min_seconds, seconds);
+    max_seconds = std::max(max_seconds, seconds);
+  }
+  sum_seconds += seconds;
+  ++count;
+  histogram.record(seconds);
+}
+
+void LatencySummary::merge(const LatencySummary& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min_seconds = other.min_seconds;
+    max_seconds = other.max_seconds;
+  } else {
+    min_seconds = std::min(min_seconds, other.min_seconds);
+    max_seconds = std::max(max_seconds, other.max_seconds);
+  }
+  sum_seconds += other.sum_seconds;
+  count += other.count;
+  histogram.merge(other.histogram);
+}
+
+double FilterMetrics::busy_seconds() const {
+  return std::max(0.0,
+                  total_seconds - stall_input_seconds - stall_output_seconds);
+}
+
+void FilterMetrics::merge(const FilterMetrics& other) {
+  if (name.empty()) name = other.name;
+  copies += other.copies;
+  packets_in += other.packets_in;
+  packets_out += other.packets_out;
+  bytes_in += other.bytes_in;
+  bytes_out += other.bytes_out;
+  total_seconds += other.total_seconds;
+  stall_input_seconds += other.stall_input_seconds;
+  stall_output_seconds += other.stall_output_seconds;
+  latency.merge(other.latency);
+}
+
+int PipelineTrace::bottleneck_filter() const {
+  int best = -1;
+  double best_busy = -1.0;
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    const double busy = filters[i].busy_seconds();
+    if (busy > best_busy) {
+      best_busy = busy;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+Json latency_to_json(const LatencySummary& latency) {
+  Json::Array buckets;
+  for (std::int64_t c : latency.histogram.counts) buckets.push_back(Json(c));
+  Json out{Json::Object{}};
+  out.set("count", Json(latency.count));
+  out.set("min_seconds", Json(latency.min_seconds));
+  out.set("mean_seconds", Json(latency.mean_seconds()));
+  out.set("max_seconds", Json(latency.max_seconds));
+  out.set("sum_seconds", Json(latency.sum_seconds));
+  out.set("histogram_log2_us", Json(std::move(buckets)));
+  return out;
+}
+
+LatencySummary latency_from_json(const Json& j) {
+  LatencySummary latency;
+  latency.count = j.at("count").as_int();
+  latency.min_seconds = j.at("min_seconds").as_number();
+  latency.max_seconds = j.at("max_seconds").as_number();
+  latency.sum_seconds = j.at("sum_seconds").as_number();
+  const Json::Array& buckets = j.at("histogram_log2_us").as_array();
+  if (buckets.size() != LatencyHistogram::kBuckets)
+    throw std::runtime_error("trace: unexpected histogram width");
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    latency.histogram.counts[i] = buckets[i].as_int();
+  return latency;
+}
+
+}  // namespace
+
+std::string trace_to_json(const PipelineTrace& trace, int indent) {
+  Json::Array filters;
+  for (const FilterMetrics& f : trace.filters) {
+    Json jf{Json::Object{}};
+    jf.set("name", Json(f.name));
+    jf.set("copies", Json(f.copies));
+    jf.set("packets_in", Json(f.packets_in));
+    jf.set("packets_out", Json(f.packets_out));
+    jf.set("bytes_in", Json(f.bytes_in));
+    jf.set("bytes_out", Json(f.bytes_out));
+    jf.set("total_seconds", Json(f.total_seconds));
+    jf.set("busy_seconds", Json(f.busy_seconds()));
+    jf.set("stall_input_seconds", Json(f.stall_input_seconds));
+    jf.set("stall_output_seconds", Json(f.stall_output_seconds));
+    jf.set("latency", latency_to_json(f.latency));
+    filters.push_back(std::move(jf));
+  }
+  Json::Array links;
+  for (const LinkMetrics& l : trace.links) {
+    Json jl{Json::Object{}};
+    jl.set("buffers", Json(l.buffers));
+    jl.set("bytes", Json(l.bytes));
+    jl.set("capacity", Json(l.capacity));
+    jl.set("occupancy_high_water", Json(l.occupancy_high_water));
+    jl.set("producer_block_seconds", Json(l.producer_block_seconds));
+    jl.set("consumer_block_seconds", Json(l.consumer_block_seconds));
+    links.push_back(std::move(jl));
+  }
+  Json root{Json::Object{}};
+  root.set("schema", Json("cgpipe-trace-v1"));
+  root.set("wall_seconds", Json(trace.wall_seconds));
+  root.set("packets", Json(trace.packets));
+  const int bottleneck = trace.bottleneck_filter();
+  root.set("bottleneck_filter",
+           bottleneck >= 0 ? Json(trace.filters[static_cast<std::size_t>(
+                                                    bottleneck)]
+                                      .name)
+                           : Json(nullptr));
+  root.set("filters", Json(std::move(filters)));
+  root.set("links", Json(std::move(links)));
+  return root.dump(indent);
+}
+
+PipelineTrace trace_from_json(const std::string& text) {
+  const Json root = Json::parse(text);
+  if (!root.is_object() || !root.contains("schema") ||
+      root.at("schema").as_string() != "cgpipe-trace-v1")
+    throw std::runtime_error("trace: unknown schema");
+  PipelineTrace trace;
+  trace.wall_seconds = root.at("wall_seconds").as_number();
+  trace.packets = root.at("packets").as_int();
+  for (const Json& jf : root.at("filters").as_array()) {
+    FilterMetrics f;
+    f.name = jf.at("name").as_string();
+    f.copies = static_cast<int>(jf.at("copies").as_int());
+    f.packets_in = jf.at("packets_in").as_int();
+    f.packets_out = jf.at("packets_out").as_int();
+    f.bytes_in = jf.at("bytes_in").as_int();
+    f.bytes_out = jf.at("bytes_out").as_int();
+    f.total_seconds = jf.at("total_seconds").as_number();
+    f.stall_input_seconds = jf.at("stall_input_seconds").as_number();
+    f.stall_output_seconds = jf.at("stall_output_seconds").as_number();
+    f.latency = latency_from_json(jf.at("latency"));
+    trace.filters.push_back(std::move(f));
+  }
+  for (const Json& jl : root.at("links").as_array()) {
+    LinkMetrics l;
+    l.buffers = jl.at("buffers").as_int();
+    l.bytes = jl.at("bytes").as_int();
+    l.capacity = jl.at("capacity").as_int();
+    l.occupancy_high_water = jl.at("occupancy_high_water").as_int();
+    l.producer_block_seconds = jl.at("producer_block_seconds").as_number();
+    l.consumer_block_seconds = jl.at("consumer_block_seconds").as_number();
+    trace.links.push_back(l);
+  }
+  return trace;
+}
+
+}  // namespace cgp::support

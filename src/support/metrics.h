@@ -1,0 +1,96 @@
+// Runtime observability counters for the DataCutter pipeline: per-filter
+// packet/byte/busy/stall accounting with latency summaries, per-link
+// occupancy and blocking time, and a JSON trace serializer. These are the
+// measurements the cost model's future-work items (profile-guided
+// decomposition, automatic packet sizing) optimize against, and what the
+// --trace flag dumps after a run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgp::support {
+
+/// Fixed log2 histogram of per-packet handling latency. Bucket i counts
+/// latencies in [2^i, 2^(i+1)) microseconds; bucket 0 also absorbs
+/// sub-microsecond samples, the last bucket is open-ended (>= ~2 s).
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 22;
+  std::array<std::int64_t, kBuckets> counts{};
+
+  void record(double seconds);
+  std::int64_t total() const;
+  void merge(const LatencyHistogram& other);
+  /// Lower bound of bucket i in microseconds (0 for bucket 0).
+  static double bucket_lo_us(std::size_t i);
+};
+
+/// min/mean/max plus the histogram, mergeable across filter copies.
+struct LatencySummary {
+  std::int64_t count = 0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double sum_seconds = 0.0;
+  LatencyHistogram histogram;
+
+  void record(double seconds);
+  void merge(const LatencySummary& other);
+  double mean_seconds() const {
+    return count > 0 ? sum_seconds / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Per-logical-filter counters, aggregated over transparent copies.
+struct FilterMetrics {
+  std::string name;
+  int copies = 0;
+  std::int64_t packets_in = 0;
+  std::int64_t packets_out = 0;
+  std::int64_t bytes_in = 0;
+  std::int64_t bytes_out = 0;
+  /// Wall time summed over copies: total lifetime, time blocked reading an
+  /// empty input stream, time blocked emitting into a full output stream.
+  double total_seconds = 0.0;
+  double stall_input_seconds = 0.0;
+  double stall_output_seconds = 0.0;
+  LatencySummary latency;
+
+  /// Lifetime minus both stall components (clamped at 0).
+  double busy_seconds() const;
+  void merge(const FilterMetrics& other);
+};
+
+/// Per-stream (link) counters.
+struct LinkMetrics {
+  std::int64_t buffers = 0;
+  std::int64_t bytes = 0;
+  std::int64_t capacity = 0;
+  std::int64_t occupancy_high_water = 0;
+  /// Cumulative time producers spent blocked on backpressure and consumers
+  /// spent blocked on an empty queue, summed over threads.
+  double producer_block_seconds = 0.0;
+  double consumer_block_seconds = 0.0;
+};
+
+/// Complete observability record of one pipeline run.
+struct PipelineTrace {
+  double wall_seconds = 0.0;
+  std::int64_t packets = 0;
+  std::vector<FilterMetrics> filters;
+  std::vector<LinkMetrics> links;
+
+  /// Index of the filter with the largest busy time (-1 when empty) — the
+  /// measured bottleneck stage of the paper's analysis.
+  int bottleneck_filter() const;
+};
+
+/// Serializes to the schema documented in docs/OBSERVABILITY.md.
+std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
+
+/// Reloads a serialized trace; throws std::runtime_error on malformed or
+/// schema-incompatible input.
+PipelineTrace trace_from_json(const std::string& text);
+
+}  // namespace cgp::support

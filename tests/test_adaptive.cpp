@@ -2,6 +2,8 @@
 // and automatic packet-size selection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/app_configs.h"
 #include "driver/adaptive.h"
 #include "driver/simulate.h"
@@ -76,6 +78,72 @@ TEST(Profile, GuidedPlacementNoWorseThanStatic) {
         full_pipeline_time(measured, guided.placement, config.n_packets);
     EXPECT_LE(guided_on_measured, static_on_measured + 1e-12) << config.name;
   }
+}
+
+TEST(Profile, FromRunRedistributesMeasuredStageOps) {
+  apps::AppConfig config = apps::tiny_config(512, 8);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+  const Placement& placement = result.decomposition.placement;
+  PipelineRunResult run = result.make_runner(placement, env).run();
+
+  DecompositionInput measured = profile_decomposition_input_from_run(
+      result.model, result.decomp_input, placement, run);
+  ASSERT_EQ(measured.task_ops.size(), result.decomp_input.task_ops.size());
+
+  // Per stage, the redistributed filter ops add up to the measured mean.
+  const std::vector<double> stage_ops = run.mean_stage_ops();
+  for (int s = 0; s < env.stages(); ++s) {
+    double sum = 0.0;
+    bool any = false;
+    for (std::size_t f = 0; f < measured.task_ops.size(); ++f) {
+      if (placement.unit_of_filter[f] != s) continue;
+      sum += measured.task_ops[f];
+      any = true;
+    }
+    if (any) {
+      EXPECT_NEAR(sum, stage_ops[static_cast<std::size_t>(s)],
+                  1e-9 * std::max(1.0, stage_ops[static_cast<std::size_t>(s)]))
+          << "stage " << s;
+    }
+  }
+
+  // Boundary volumes at the cut points carry the measured per-packet bytes.
+  const std::vector<int> cuts = placement.cuts(env.stages());
+  const std::vector<double> link_bytes = run.mean_link_bytes();
+  for (std::size_t k = 0; k < link_bytes.size(); ++k) {
+    if (cuts[k] >= 0) {
+      EXPECT_DOUBLE_EQ(
+          measured.boundary_bytes[static_cast<std::size_t>(cuts[k])],
+          link_bytes[k]);
+    } else {
+      EXPECT_DOUBLE_EQ(measured.input_bytes, link_bytes[k]);
+    }
+  }
+
+  // Placement-time constants survive untouched.
+  EXPECT_DOUBLE_EQ(measured.source_io_ops, result.decomp_input.source_io_ops);
+  EXPECT_DOUBLE_EQ(measured.replica_payload_bytes,
+                   result.decomp_input.replica_payload_bytes);
+}
+
+TEST(Profile, FromRunRejectsDegenerateInputs) {
+  apps::AppConfig config = apps::tiny_config(256, 4);
+  CompileResult result = compile_pipeline(config.source, options_for(config));
+  ASSERT_TRUE(result.ok);
+  EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+  const Placement& placement = result.decomposition.placement;
+  PipelineRunResult empty;  // no packets ran
+  EXPECT_THROW(profile_decomposition_input_from_run(
+                   result.model, result.decomp_input, placement, empty),
+               std::invalid_argument);
+  PipelineRunResult run = result.make_runner(placement, env).run();
+  Placement wrong;
+  wrong.unit_of_filter = {0};  // arity mismatch
+  EXPECT_THROW(profile_decomposition_input_from_run(
+                   result.model, result.decomp_input, wrong, run),
+               std::invalid_argument);
 }
 
 TEST(Profile, SampleCountClampedToAvailablePackets) {

@@ -161,6 +161,99 @@ TEST(Stream, AbortUnblocksBackpressuredProducer) {
 }
 
 // ---------------------------------------------------------------------------
+// Observability counters
+// ---------------------------------------------------------------------------
+
+TEST(StreamMetrics, OccupancyHighWaterTracksDeepestQueue) {
+  Stream stream(8);
+  stream.set_producers(1);
+  for (int i = 0; i < 5; ++i) {
+    Buffer b;
+    b.write<std::int32_t>(i);
+    stream.push(std::move(b));
+  }
+  EXPECT_EQ(stream.occupancy_high_water(), 5u);
+  stream.pop();
+  stream.pop();
+  // Draining must not lower the mark.
+  EXPECT_EQ(stream.occupancy_high_water(), 5u);
+  Buffer b;
+  b.write<std::int32_t>(9);
+  stream.push(std::move(b));
+  EXPECT_EQ(stream.occupancy_high_water(), 5u);  // queue is at 4 now
+  stream.close();
+}
+
+TEST(StreamMetrics, BackpressureAccruesProducerBlockTime) {
+  Stream stream(1);
+  stream.set_producers(1);
+  Buffer first;
+  first.write<std::int32_t>(0);
+  stream.push(std::move(first));
+  EXPECT_DOUBLE_EQ(stream.producer_block_seconds(), 0.0);
+  std::thread producer([&] {
+    Buffer b;
+    b.write<std::int32_t>(1);
+    stream.push(std::move(b));  // blocks: capacity 1, slow consumer
+    stream.close();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stream.pop();
+  producer.join();
+  EXPECT_GE(stream.producer_block_seconds(), 0.02);
+  support::LinkMetrics m = stream.metrics();
+  EXPECT_EQ(m.buffers, 2);
+  EXPECT_EQ(m.capacity, 1);
+  EXPECT_EQ(m.occupancy_high_water, 1);
+  EXPECT_GE(m.producer_block_seconds, 0.02);
+}
+
+TEST(StreamMetrics, EmptyQueueAccruesConsumerBlockTime) {
+  Stream stream(4);
+  stream.set_producers(1);
+  std::thread consumer([&] { stream.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Buffer b;
+  b.write<std::int32_t>(1);
+  stream.push(std::move(b));
+  consumer.join();
+  stream.close();
+  EXPECT_GE(stream.consumer_block_seconds(), 0.02);
+  // A pop that never waits adds nothing further... up to scheduler noise;
+  // the counter is monotonic and finite either way.
+  const double before = stream.consumer_block_seconds();
+  EXPECT_FALSE(stream.pop().has_value());
+  EXPECT_GE(stream.consumer_block_seconds(), before);
+}
+
+TEST(StreamMetrics, AbortLeavesCountersConsistent) {
+  Stream stream(1);
+  stream.set_producers(1);
+  Buffer first;
+  first.write<std::int32_t>(0);
+  stream.push(std::move(first));
+  std::thread producer([&] {
+    Buffer b;
+    b.write<std::int32_t>(1);
+    stream.push(std::move(b));  // blocked until abort; buffer is dropped
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stream.abort();
+  producer.join();
+  support::LinkMetrics m = stream.metrics();
+  // The dropped push counts block time but never a buffer.
+  EXPECT_EQ(m.buffers, 1);
+  EXPECT_EQ(m.bytes, 4);
+  EXPECT_EQ(m.occupancy_high_water, 1);
+  EXPECT_GE(m.producer_block_seconds, 0.01);
+  // Post-abort traffic stays invisible to the counters.
+  Buffer late;
+  late.write<std::int32_t>(7);
+  stream.push(std::move(late));
+  EXPECT_EQ(stream.buffers_pushed(), 1);
+}
+
+// ---------------------------------------------------------------------------
 // Pipelines
 // ---------------------------------------------------------------------------
 
@@ -283,6 +376,91 @@ TEST(Runner, FilterExceptionPropagatesWithoutDeadlock) {
   groups.push_back({"sink", [state] { return std::make_unique<SumSink>(state); }, 1, 2});
   PipelineRunner runner(std::move(groups));
   EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+TEST(Runner, CollectsPerGroupAndPerLinkMetrics) {
+  struct SlowSink : Filter {
+    void process(FilterContext& ctx) override {
+      while (ctx.read()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  };
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"source", [] { return std::make_unique<CountingSource>(20); }, 1, 0});
+  groups.push_back({"sink", [] { return std::make_unique<SlowSink>(); }, 1, 1});
+  // Capacity-1 stream: the fast source must stall on backpressure.
+  PipelineRunner runner(std::move(groups), /*stream_capacity=*/1);
+  RunStats stats = runner.run();
+
+  ASSERT_EQ(stats.group_metrics.size(), 2u);
+  ASSERT_EQ(stats.link_metrics.size(), 1u);
+  const support::FilterMetrics& source = stats.group_metrics[0];
+  const support::FilterMetrics& sink = stats.group_metrics[1];
+  EXPECT_EQ(source.name, "source");
+  EXPECT_EQ(source.copies, 1);
+  EXPECT_EQ(source.packets_out, 20);
+  EXPECT_EQ(source.bytes_out, 20 * 8);
+  EXPECT_EQ(source.packets_in, 0);
+  EXPECT_GT(source.stall_output_seconds, 0.01);  // blocked behind slow sink
+  EXPECT_EQ(sink.packets_in, 20);
+  EXPECT_EQ(sink.bytes_in, 20 * 8);
+  // The sink sleeps ~2ms per packet between reads: busy time and latency
+  // samples must see it.
+  EXPECT_GT(sink.busy_seconds(), 0.02);
+  EXPECT_EQ(sink.latency.count, 20);  // EOF read closes the last window
+  EXPECT_GT(sink.latency.mean_seconds(), 1e-3);
+  EXPECT_LE(source.latency.count, 20);
+
+  const support::LinkMetrics& link = stats.link_metrics[0];
+  EXPECT_EQ(link.buffers, 20);
+  EXPECT_EQ(link.capacity, 1);
+  EXPECT_EQ(link.occupancy_high_water, 1);
+  EXPECT_GT(link.producer_block_seconds, 0.01);
+
+  support::PipelineTrace trace = stats.trace();
+  EXPECT_EQ(trace.packets, 20);
+  ASSERT_EQ(trace.filters.size(), 2u);
+  EXPECT_EQ(trace.bottleneck_filter(), 1);  // the sleeping sink
+}
+
+TEST(Runner, MetricsAggregateAcrossCopies) {
+  auto state = std::make_shared<SumSinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"source", [] { return std::make_unique<CountingSource>(32); }, 2, 0});
+  groups.push_back({"double", [] { return std::make_unique<Doubler>(); }, 3, 1});
+  groups.push_back({"sink", [state] { return std::make_unique<SumSink>(state); }, 1, 2});
+  PipelineRunner runner(std::move(groups));
+  RunStats stats = runner.run();
+  ASSERT_EQ(stats.group_metrics.size(), 3u);
+  EXPECT_EQ(stats.group_metrics[0].copies, 2);
+  EXPECT_EQ(stats.group_metrics[1].copies, 3);
+  EXPECT_EQ(stats.group_metrics[0].packets_out, 32);
+  EXPECT_EQ(stats.group_metrics[1].packets_in, 32);
+  EXPECT_EQ(stats.group_metrics[1].packets_out, 32);
+  EXPECT_EQ(stats.group_metrics[2].packets_in, 32);
+  EXPECT_EQ(stats.group_metrics[2].bytes_in, 32 * 8);
+  EXPECT_GT(stats.group_metrics[1].total_seconds, 0.0);
+}
+
+TEST(Runner, AbortedRunStillReportsConsistentMetrics) {
+  struct Exploder : Filter {
+    void process(FilterContext& ctx) override {
+      ctx.read();
+      throw std::runtime_error("boom");
+    }
+  };
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"source", [] { return std::make_unique<CountingSource>(1000); }, 1, 0});
+  groups.push_back({"exploder", [] { return std::make_unique<Exploder>(); }, 1, 1});
+  PipelineRunner runner(std::move(groups), /*stream_capacity=*/2);
+  EXPECT_THROW(runner.run(), std::runtime_error);
+  // The throw happens after joins; counters were already harvested into the
+  // stats object the runner discards — the invariant under test is simply
+  // that teardown neither deadlocks nor trips TSan/ASan on the counters.
 }
 
 TEST(Runner, InitFinalizeCalledOncePerCopy) {

@@ -1,0 +1,192 @@
+// Observability-layer tests: latency histograms/summaries, the JSON
+// document model, and the trace round-trip.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "support/json.h"
+#include "support/metrics.h"
+
+namespace cgp::support {
+namespace {
+
+TEST(LatencyHistogram, BucketsByLog2Microseconds) {
+  LatencyHistogram h;
+  h.record(0.5e-6);   // sub-microsecond -> bucket 0
+  h.record(1.5e-6);   // [1us, 2us) -> bucket 0
+  h.record(3e-6);     // [2us, 4us) -> bucket 1
+  h.record(100e-6);   // [64us, 128us) -> bucket 6
+  h.record(1000.0);   // clamped into the last bucket
+  EXPECT_EQ(h.counts[0], 2);
+  EXPECT_EQ(h.counts[1], 1);
+  EXPECT_EQ(h.counts[6], 1);
+  EXPECT_EQ(h.counts[LatencyHistogram::kBuckets - 1], 1);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lo_us(0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lo_us(6), 64.0);
+}
+
+TEST(LatencySummary, TracksMinMeanMaxAndMerges) {
+  LatencySummary a;
+  a.record(1e-3);
+  a.record(3e-3);
+  EXPECT_DOUBLE_EQ(a.min_seconds, 1e-3);
+  EXPECT_DOUBLE_EQ(a.max_seconds, 3e-3);
+  EXPECT_DOUBLE_EQ(a.mean_seconds(), 2e-3);
+
+  LatencySummary b;
+  b.record(9e-3);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3);
+  EXPECT_DOUBLE_EQ(a.min_seconds, 1e-3);
+  EXPECT_DOUBLE_EQ(a.max_seconds, 9e-3);
+  EXPECT_EQ(a.histogram.total(), 3);
+
+  LatencySummary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count, 3);
+}
+
+TEST(FilterMetrics, BusyIsTotalMinusStalls) {
+  FilterMetrics f;
+  f.total_seconds = 10.0;
+  f.stall_input_seconds = 3.0;
+  f.stall_output_seconds = 2.5;
+  EXPECT_DOUBLE_EQ(f.busy_seconds(), 4.5);
+  f.stall_input_seconds = 20.0;  // clock skew must not go negative
+  EXPECT_DOUBLE_EQ(f.busy_seconds(), 0.0);
+}
+
+TEST(FilterMetrics, MergeAggregatesCopies) {
+  FilterMetrics a;
+  a.name = "stage0";
+  a.copies = 1;
+  a.packets_out = 10;
+  a.bytes_out = 100;
+  a.total_seconds = 1.0;
+  FilterMetrics b = a;
+  a.merge(b);
+  EXPECT_EQ(a.copies, 2);
+  EXPECT_EQ(a.packets_out, 20);
+  EXPECT_EQ(a.bytes_out, 200);
+  EXPECT_DOUBLE_EQ(a.total_seconds, 2.0);
+  EXPECT_EQ(a.name, "stage0");
+}
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  Json j = Json::parse(R"({"a": [1, 2.5, -3], "b": "x\ny", "c": true,
+                           "d": null})");
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(j.at("a").as_array()[1].as_number(), 2.5);
+  EXPECT_EQ(j.at("a").as_array()[2].as_int(), -3);
+  EXPECT_EQ(j.at("b").as_string(), "x\ny");
+  EXPECT_TRUE(j.at("c").as_bool());
+  EXPECT_TRUE(j.at("d").is_null());
+  EXPECT_FALSE(j.contains("missing"));
+  EXPECT_THROW(j.at("missing"), std::out_of_range);
+}
+
+TEST(Json, DumpParseRoundTripPreservesOrder) {
+  Json obj{Json::Object{}};
+  obj.set("zeta", Json(1));
+  obj.set("alpha", Json("two"));
+  obj.set("nested", Json(Json::Array{Json(true), Json(nullptr)}));
+  const std::string compact = obj.dump();
+  EXPECT_EQ(compact, R"({"zeta":1,"alpha":"two","nested":[true,null]})");
+  Json back = Json::parse(obj.dump(2));
+  EXPECT_EQ(back.as_object()[0].first, "zeta");
+  EXPECT_EQ(back.at("alpha").as_string(), "two");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("12 34"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+}
+
+PipelineTrace sample_trace() {
+  PipelineTrace trace;
+  trace.wall_seconds = 1.25;
+  trace.packets = 16;
+  FilterMetrics source;
+  source.name = "stage0";
+  source.copies = 2;
+  source.packets_out = 16;
+  source.bytes_out = 4096;
+  source.total_seconds = 2.0;
+  source.stall_output_seconds = 0.5;
+  source.latency.record(1e-4);
+  source.latency.record(2e-4);
+  FilterMetrics sink;
+  sink.name = "stage1";
+  sink.copies = 1;
+  sink.packets_in = 16;
+  sink.bytes_in = 4096;
+  sink.total_seconds = 1.2;
+  sink.stall_input_seconds = 0.25;
+  sink.latency.record(5e-5);
+  trace.filters = {source, sink};
+  LinkMetrics link;
+  link.buffers = 16;
+  link.bytes = 4096;
+  link.capacity = 16;
+  link.occupancy_high_water = 7;
+  link.producer_block_seconds = 0.5;
+  link.consumer_block_seconds = 0.25;
+  trace.links = {link};
+  return trace;
+}
+
+TEST(Trace, JsonRoundTripPreservesEveryField) {
+  const PipelineTrace trace = sample_trace();
+  const std::string json = trace_to_json(trace);
+  const PipelineTrace back = trace_from_json(json);
+
+  EXPECT_DOUBLE_EQ(back.wall_seconds, trace.wall_seconds);
+  EXPECT_EQ(back.packets, trace.packets);
+  ASSERT_EQ(back.filters.size(), 2u);
+  const FilterMetrics& src = back.filters[0];
+  EXPECT_EQ(src.name, "stage0");
+  EXPECT_EQ(src.copies, 2);
+  EXPECT_EQ(src.packets_out, 16);
+  EXPECT_EQ(src.bytes_out, 4096);
+  EXPECT_DOUBLE_EQ(src.total_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(src.stall_output_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(src.busy_seconds(), 1.5);
+  EXPECT_EQ(src.latency.count, 2);
+  EXPECT_DOUBLE_EQ(src.latency.min_seconds, 1e-4);
+  EXPECT_DOUBLE_EQ(src.latency.max_seconds, 2e-4);
+  EXPECT_EQ(src.latency.histogram.total(), 2);
+  ASSERT_EQ(back.links.size(), 1u);
+  EXPECT_EQ(back.links[0].occupancy_high_water, 7);
+  EXPECT_EQ(back.links[0].capacity, 16);
+  EXPECT_DOUBLE_EQ(back.links[0].producer_block_seconds, 0.5);
+
+  // A second round trip is byte-identical: the schema is stable.
+  EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, BottleneckIsLargestBusyFilter) {
+  PipelineTrace trace = sample_trace();
+  EXPECT_EQ(trace.bottleneck_filter(), 0);  // source busy 1.5 vs sink 0.95
+  trace.filters[1].total_seconds = 5.0;
+  EXPECT_EQ(trace.bottleneck_filter(), 1);
+  EXPECT_EQ(PipelineTrace{}.bottleneck_filter(), -1);
+}
+
+TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
+  const Json j = Json::parse(trace_to_json(sample_trace()));
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v1");
+  EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
+}
+
+TEST(Trace, FromJsonRejectsForeignDocuments) {
+  EXPECT_THROW(trace_from_json("{}"), std::runtime_error);
+  EXPECT_THROW(trace_from_json("[1,2]"), std::runtime_error);
+  EXPECT_THROW(trace_from_json(R"({"schema":"other"})"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cgp::support
