@@ -60,6 +60,13 @@ double run_figure(const FigureSpec& spec) {
           cell.placement
               ? result.make_runner(*cell.placement, env).run()
               : spec.manual(spec.config.runtime_constants, env);
+      // Figure data from a faulted run is silently wrong — flag it.
+      if (!run.completed || !run.faults.empty()) {
+        std::printf("!! %s width %d: %zu fault(s)%s%s\n", cell.name.c_str(),
+                    width, run.faults.size(),
+                    run.completed ? "" : ", run did not complete: ",
+                    run.completed ? "" : run.error.c_str());
+      }
       double sim_time = simulate_run(run, env);
       times[{width, cell.name}] = sim_time;
       // Measured bottleneck stage: where the runtime actually spent its

@@ -256,6 +256,10 @@ support::PipelineTrace PipelineRunResult::trace() const {
   trace.packets = packets;
   trace.filters = stage_metrics;
   trace.links = link_metrics;
+  trace.faults = faults;
+  trace.fault_policy = fault_policy;
+  trace.completed = completed;
+  trace.error = error;
   return trace;
 }
 
@@ -752,11 +756,19 @@ PipelineRunResult PipelineCompiler::run() {
   shared->result.link_packet_bytes.assign(static_cast<std::size_t>(m - 1), 0);
   shared->result.link_replica_bytes.assign(static_cast<std::size_t>(m - 1), 0);
 
-  dc::PipelineRunner runner(build_groups(shared));
-  dc::RunStats stats = runner.run();
+  dc::PipelineRunner runner(build_groups(shared), 16, policy_);
+  if (hook_) runner.set_packet_hook(hook_);
+  dc::RunOutcome outcome = runner.run_supervised();
+  if (outcome.error && policy_.action == dc::FaultAction::kFailFast)
+    std::rethrow_exception(outcome.error);
+  dc::RunStats& stats = outcome.stats;
   shared->result.wall_seconds = stats.wall_seconds;
   shared->result.stage_metrics = std::move(stats.group_metrics);
   shared->result.link_metrics = std::move(stats.link_metrics);
+  shared->result.faults = std::move(stats.faults);
+  shared->result.fault_policy = stats.fault_policy;
+  shared->result.completed = stats.completed;
+  shared->result.error = stats.error;
   return shared->result;
 }
 

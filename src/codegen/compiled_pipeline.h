@@ -62,6 +62,13 @@ struct PipelineRunResult {
   /// stage (aggregated over copies) and per link. See support/metrics.h.
   std::vector<support::FilterMetrics> stage_metrics;
   std::vector<support::LinkMetrics> link_metrics;
+  /// Fault-tolerance surface (docs/ROBUSTNESS.md): every fault the
+  /// supervisor observed, the policy in force, and whether the run reached
+  /// normal end-of-stream. `finals` may be partial when !completed.
+  std::vector<support::FaultRecord> faults;
+  std::string fault_policy;
+  bool completed = true;
+  std::string error;
 
   /// Uniform per-packet trace + epilogue for the pipeline simulator.
   std::vector<double> mean_stage_ops() const;
@@ -90,8 +97,19 @@ class PipelineCompiler {
 
   const std::vector<StagePlan>& plans() const { return plans_; }
 
+  /// Fault policy applied to the generated pipeline's runner (default
+  /// fail-fast, matching the historical throw-on-failure behavior).
+  void set_fault_policy(const dc::FaultPolicy& policy) { policy_ = policy; }
+  const dc::FaultPolicy& fault_policy() const { return policy_; }
+  /// Per-packet fault-injection hook forwarded to the runner (stage groups
+  /// are named "stage<N>").
+  void set_packet_hook(dc::PacketHook hook) { hook_ = std::move(hook); }
+
   /// Runs the compiled pipeline on the threaded DataCutter runtime with the
-  /// environment's copy counts and returns results + telemetry.
+  /// environment's copy counts and returns results + telemetry. Under
+  /// fail-fast a filter failure throws (historical behavior); under
+  /// restart-copy / drop-packet the result always comes back, with
+  /// completed/error/faults describing what happened.
   PipelineRunResult run();
 
   struct Shared;  // internal telemetry/result aggregation (public for the
@@ -105,6 +123,8 @@ class PipelineCompiler {
   EnvironmentSpec env_;
   std::map<std::string, std::int64_t> runtime_constants_;
   PackCost pack_cost_;
+  dc::FaultPolicy policy_;
+  dc::PacketHook hook_;
   std::vector<StagePlan> plans_;
 };
 

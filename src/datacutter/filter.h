@@ -14,6 +14,21 @@
 
 namespace cgp::dc {
 
+/// Shared per-group runtime counters the watchdog samples while copies
+/// run: monotonic progress (buffers moved) and how many copies are
+/// currently parked in a blocking stream wait (a starved or backpressured
+/// copy is idle, not hung, and must not trip the no-progress timeout).
+struct GroupRuntime {
+  std::atomic<std::int64_t> progress{0};
+  std::atomic<int> waiting{0};
+};
+
+/// Per-packet interception point used by the fault-injection harness: the
+/// hook runs after a consuming filter pops a buffer (or before a source
+/// pushes one) and may mutate the buffer, sleep, or throw. The runner
+/// binds group/copy/attempt before installing it on a context.
+using BoundPacketHook = std::function<void(std::int64_t packet, Buffer*)>;
+
 /// Execution context handed to each filter instance. In our chain model a
 /// filter has at most one input stream (absent for the source filter) and
 /// one output stream (absent for the sink), matching §5: "each filter has
@@ -35,34 +50,97 @@ class FilterContext {
   /// interval between successive reads).
   std::optional<Buffer> read() {
     if (!input_) return std::nullopt;
+    if (replay_) {
+      // Recovery path: re-serve the packet a previous instance of this
+      // copy was processing when it failed. The original pop was already
+      // counted, so neither packets_in nor the hook fire again.
+      std::optional<Buffer> buffer = std::move(replay_);
+      replay_.reset();
+      if (capture_inflight_) inflight_ = *buffer;
+      return buffer;
+    }
     const Clock::time_point start = Clock::now();
     close_latency_window(start);
+    if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
     std::optional<Buffer> buffer = input_->pop();
+    if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
     const Clock::time_point done = Clock::now();
     stall_input_ns_ += ns_between(start, done);
     if (buffer) {
+      last_packet_ = packets_in_;
       ++packets_in_;
       bytes_in_ += static_cast<std::int64_t>(buffer->size());
       window_start_ = done;
+      if (runtime_)
+        runtime_->progress.fetch_add(1, std::memory_order_relaxed);
+      if (capture_inflight_) inflight_ = *buffer;  // pristine pre-hook copy
+      if (hook_) hook_(last_packet_, &*buffer);    // may corrupt/sleep/throw
+    } else {
+      inflight_.reset();  // EOS: nothing in flight to replay
     }
     return buffer;
   }
   void emit(Buffer&& buffer) {
     if (!output_) return;
+    if (!input_) {
+      // Source restart recovery: a deterministic source re-computes every
+      // packet; emissions a previous instance already delivered are
+      // suppressed so downstream sees each packet exactly once.
+      const std::int64_t seq = emit_seq_++;
+      if (skip_emits_ > 0) {
+        --skip_emits_;
+        return;
+      }
+      last_packet_ = seq;
+      if (hook_) hook_(seq, &buffer);  // may throw before the send
+    } else if (capture_inflight_) {
+      inflight_.reset();  // the in-flight packet produced its output
+    }
     const std::int64_t size = static_cast<std::int64_t>(buffer.size());
     const Clock::time_point start = Clock::now();
     // Sources have no read() to bound a packet window; successive emits do.
     if (!input_) close_latency_window(start);
-    output_->push(std::move(buffer));
+    if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
+    const bool accepted = output_->push(std::move(buffer));
+    if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
     const Clock::time_point done = Clock::now();
     stall_output_ns_ += ns_between(start, done);
-    ++packets_out_;
-    bytes_out_ += size;
+    if (accepted) {
+      // A push the aborted stream dropped was never delivered: it must not
+      // count as output, or a restarted source would skip live packets.
+      ++packets_out_;
+      bytes_out_ += size;
+      if (runtime_) runtime_->progress.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!input_) window_start_ = done;
   }
 
   int copy_index() const { return copy_index_; }
   int copy_count() const { return copy_count_; }
+
+  // ---- fault-tolerance plumbing (installed by the runner) ---------------
+  /// Wires the group's shared progress/waiting counters for the watchdog.
+  void attach_runtime(GroupRuntime* runtime) { runtime_ = runtime; }
+  /// Installs the per-packet fault-injection hook (already bound to this
+  /// group/copy/attempt).
+  void set_packet_hook(BoundPacketHook hook) { hook_ = std::move(hook); }
+  /// Enables keeping a pristine copy of the in-flight packet so a restarted
+  /// instance can replay it (restart-copy policy only — costs one buffer
+  /// copy per read).
+  void set_capture_inflight(bool on) { capture_inflight_ = on; }
+  /// Serves `buffer` from the next read() without counting it or re-running
+  /// the hook: the previous instance already popped it.
+  void arm_replay(Buffer buffer) { replay_ = std::move(buffer); }
+  /// Takes the in-flight packet (if any) for replay after a fault.
+  std::optional<Buffer> take_inflight() { return std::move(inflight_); }
+  /// Suppresses the first `n` source emissions after a restart (packets a
+  /// previous instance already delivered downstream).
+  void set_skip_emits(std::int64_t n) { skip_emits_ = n; }
+  /// Number of packets this instance actually delivered downstream (used
+  /// to compute the next attempt's skip count).
+  std::int64_t delivered() const { return packets_out_; }
+  /// Per-copy ordinal of the most recent packet handled (-1 before any).
+  std::int64_t current_packet() const { return last_packet_; }
 
   /// Instrumentation: abstract operations this instance performed (used by
   /// the pipeline simulator to time the run on a configured environment).
@@ -113,6 +191,15 @@ class FilterContext {
   std::int64_t stall_output_ns_ = 0;
   support::LatencySummary latency_;
   Clock::time_point window_start_{};
+  // Fault-tolerance state (see the supervisor in runner.cpp).
+  GroupRuntime* runtime_ = nullptr;
+  BoundPacketHook hook_;
+  bool capture_inflight_ = false;
+  std::optional<Buffer> replay_;
+  std::optional<Buffer> inflight_;
+  std::int64_t skip_emits_ = 0;
+  std::int64_t emit_seq_ = 0;
+  std::int64_t last_packet_ = -1;
 };
 
 class Filter {

@@ -1,25 +1,77 @@
 #include "datacutter/runner.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 namespace cgp::dc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* FaultPolicy::action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::kFailFast:
+      return "fail-fast";
+    case FaultAction::kRestartCopy:
+      return "restart-copy";
+    case FaultAction::kDropPacket:
+      return "drop-packet";
+  }
+  return "fail-fast";
+}
+
+std::optional<FaultAction> FaultPolicy::parse_action(std::string_view name) {
+  if (name == "fail-fast") return FaultAction::kFailFast;
+  if (name == "restart-copy") return FaultAction::kRestartCopy;
+  if (name == "drop-packet") return FaultAction::kDropPacket;
+  return std::nullopt;
+}
+
+std::int64_t RunStats::total_retries() const {
+  std::int64_t n = 0;
+  for (const support::FilterMetrics& m : group_metrics) n += m.retries;
+  return n;
+}
+
+std::int64_t RunStats::total_dropped_packets() const {
+  std::int64_t n = 0;
+  for (const support::FilterMetrics& m : group_metrics)
+    n += m.dropped_packets;
+  return n;
+}
 
 support::PipelineTrace RunStats::trace() const {
   support::PipelineTrace trace;
   trace.wall_seconds = wall_seconds;
   trace.filters = group_metrics;
   trace.links = link_metrics;
+  trace.faults = faults;
+  trace.fault_policy = fault_policy;
+  trace.completed = completed;
+  trace.error = error;
   if (!group_metrics.empty()) trace.packets = group_metrics.front().packets_out;
   return trace;
 }
 
 PipelineRunner::PipelineRunner(std::vector<FilterGroup> groups,
-                               std::size_t stream_capacity)
-    : groups_(std::move(groups)), stream_capacity_(stream_capacity) {
+                               std::size_t stream_capacity,
+                               FaultPolicy policy)
+    : groups_(std::move(groups)),
+      stream_capacity_(stream_capacity),
+      policy_(policy) {
   if (groups_.empty())
     throw std::invalid_argument("PipelineRunner: empty pipeline");
   for (const FilterGroup& g : groups_) {
@@ -33,6 +85,12 @@ PipelineRunner::PipelineRunner(std::vector<FilterGroup> groups,
 }
 
 RunStats PipelineRunner::run() {
+  RunOutcome outcome = run_supervised();
+  if (outcome.error) std::rethrow_exception(outcome.error);
+  return std::move(outcome.stats);
+}
+
+RunOutcome PipelineRunner::run_supervised() {
   const std::size_t n_groups = groups_.size();
   std::vector<std::unique_ptr<Stream>> streams;
   streams.reserve(n_groups - 1);
@@ -42,63 +100,276 @@ RunStats PipelineRunner::run() {
     streams.push_back(std::move(stream));
   }
 
-  RunStats stats;
+  RunOutcome outcome;
+  RunStats& stats = outcome.stats;
   stats.group_ops.assign(n_groups, 0.0);
   stats.group_metrics.resize(n_groups);
+  stats.fault_policy = FaultPolicy::action_name(policy_.action);
   for (std::size_t gi = 0; gi < n_groups; ++gi) {
     stats.group_names.push_back(groups_[gi].name);
     stats.group_metrics[gi].name = groups_[gi].name;
   }
 
-  std::mutex ops_mutex;
+  std::mutex state_mutex;  // guards stats and the first fatal error
   std::exception_ptr first_error;
-  std::vector<std::thread> threads;
-  const auto start = std::chrono::steady_clock::now();
+  std::vector<GroupRuntime> runtimes(n_groups);
+  std::vector<std::atomic<int>> live(n_groups);
+  for (std::size_t gi = 0; gi < n_groups; ++gi)
+    live[gi].store(groups_[gi].copies, std::memory_order_relaxed);
 
-  for (std::size_t gi = 0; gi < n_groups; ++gi) {
-    Stream* input = gi == 0 ? nullptr : streams[gi - 1].get();
-    Stream* output = gi + 1 < n_groups ? streams[gi].get() : nullptr;
-    for (int copy = 0; copy < groups_[gi].copies; ++copy) {
-      threads.emplace_back([&, gi, input, output, copy] {
-        std::unique_ptr<Filter> filter = groups_[gi].factory();
-        FilterContext ctx(input, output, copy, groups_[gi].copies);
-        const auto copy_start = std::chrono::steady_clock::now();
-        try {
-          filter->init(ctx);
-          filter->process(ctx);
-          filter->finalize(ctx);
-        } catch (...) {
-          {
-            std::lock_guard lock(ops_mutex);
-            if (!first_error) first_error = std::current_exception();
+  const auto start = Clock::now();
+
+  auto record_fault = [&](support::FaultRecord fault) {
+    std::lock_guard lock(state_mutex);
+    stats.faults.push_back(std::move(fault));
+  };
+  auto set_error = [&](std::exception_ptr error, const std::string& message) {
+    std::lock_guard lock(state_mutex);
+    if (!first_error) {
+      first_error = std::move(error);
+      stats.error = message;
+    }
+  };
+  auto abort_all = [&] {
+    for (const auto& stream : streams) stream->abort();
+  };
+
+  // ---- watchdog ----------------------------------------------------------
+  std::atomic<bool> run_done{false};
+  std::mutex watchdog_mutex;
+  std::condition_variable watchdog_cv;
+  std::thread watchdog;
+  if (policy_.stage_timeout_seconds > 0.0) {
+    const double poll =
+        policy_.watchdog_poll_seconds > 0.0
+            ? policy_.watchdog_poll_seconds
+            : std::max(policy_.stage_timeout_seconds / 4.0, 0.001);
+    watchdog = std::thread([&, poll] {
+      std::vector<std::int64_t> last_progress(n_groups, -1);
+      std::vector<Clock::time_point> stalled_since(n_groups);
+      std::vector<bool> stalled(n_groups, false);
+      std::unique_lock lock(watchdog_mutex);
+      while (!run_done.load(std::memory_order_relaxed)) {
+        watchdog_cv.wait_for(
+            lock, std::chrono::duration<double>(poll),
+            [&] { return run_done.load(std::memory_order_relaxed); });
+        if (run_done.load(std::memory_order_relaxed)) break;
+        const Clock::time_point now = Clock::now();
+        for (std::size_t gi = 0; gi < n_groups; ++gi) {
+          const int alive = live[gi].load(std::memory_order_relaxed);
+          if (alive <= 0) {
+            stalled[gi] = false;
+            continue;
           }
-          // Tear down every stream so no peer blocks on backpressure or
-          // waits for buffers that will never come.
-          for (const auto& stream : streams) stream->abort();
+          const std::int64_t progress =
+              runtimes[gi].progress.load(std::memory_order_relaxed);
+          const int waiting =
+              runtimes[gi].waiting.load(std::memory_order_relaxed);
+          // A copy parked in a stream wait is starved or backpressured,
+          // not hung; only flag stages that compute without moving data.
+          if (progress != last_progress[gi] || waiting >= alive) {
+            last_progress[gi] = progress;
+            stalled[gi] = false;
+            continue;
+          }
+          if (!stalled[gi]) {
+            stalled[gi] = true;
+            stalled_since[gi] = now;
+            continue;
+          }
+          if (std::chrono::duration<double>(now - stalled_since[gi]).count() <
+              policy_.stage_timeout_seconds)
+            continue;
+          std::ostringstream msg;
+          msg << "watchdog: stage '" << groups_[gi].name
+              << "' made no progress for " << policy_.stage_timeout_seconds
+              << "s";
+          support::FaultRecord fault;
+          fault.group = groups_[gi].name;
+          fault.copy = -1;
+          fault.what = msg.str();
+          fault.resolution = support::FaultResolution::kWatchdog;
+          fault.at_seconds = seconds_since(start);
+          {
+            std::lock_guard state_lock(state_mutex);
+            stats.group_metrics[gi].faults += 1;
+          }
+          record_fault(std::move(fault));
+          set_error(std::make_exception_ptr(std::runtime_error(msg.str())),
+                    msg.str());
+          abort_all();
+          run_done.store(true, std::memory_order_relaxed);
+          break;
         }
+      }
+    });
+  }
+
+  // ---- supervised copies -------------------------------------------------
+  std::vector<std::thread> threads;
+  for (std::size_t gi = 0; gi < n_groups; ++gi) {
+    for (int copy = 0; copy < groups_[gi].copies; ++copy) {
+      threads.emplace_back([&, gi, copy] {
+        Stream* input = gi == 0 ? nullptr : streams[gi - 1].get();
+        Stream* output = gi + 1 < n_groups ? streams[gi].get() : nullptr;
+        const auto copy_start = Clock::now();
+        support::FilterMetrics copy_metrics;
+        std::optional<Buffer> replay;
+        std::int64_t delivered_total = 0;
+        int consecutive = 0;  // fruitless restarts in a row
+        int attempt = 0;      // total restarts (for hook/fault context)
+        double backoff = policy_.backoff_initial_seconds;
+        bool copy_dead = false;
+        std::string last_what;
+        for (;;) {
+          FilterContext ctx(input, output, copy, groups_[gi].copies);
+          ctx.attach_runtime(&runtimes[gi]);
+          if (policy_.action == FaultAction::kRestartCopy)
+            ctx.set_capture_inflight(true);
+          if (replay) {
+            ctx.arm_replay(std::move(*replay));
+            replay.reset();
+          }
+          if (!input) ctx.set_skip_emits(delivered_total);
+          if (hook_) {
+            const std::string& group_name = groups_[gi].name;
+            ctx.set_packet_hook(
+                [this, &group_name, copy, attempt](std::int64_t packet,
+                                                   Buffer* buffer) {
+                  hook_(group_name, copy, attempt, packet, buffer);
+                });
+          }
+          bool failed = false;
+          std::exception_ptr error;
+          std::string what;
+          try {
+            std::unique_ptr<Filter> filter = groups_[gi].factory();
+            filter->init(ctx);
+            filter->process(ctx);
+            filter->finalize(ctx);
+          } catch (const std::exception& e) {
+            failed = true;
+            error = std::current_exception();
+            what = e.what();
+          } catch (...) {
+            failed = true;
+            error = std::current_exception();
+            what = "unknown exception";
+          }
+          // Harvest the attempt's counters either way: partial progress of
+          // a failed instance is real traffic that must stay visible.
+          support::FilterMetrics attempt_metrics = ctx.metrics();
+          attempt_metrics.copies = 0;  // the copy is counted once, at exit
+          copy_metrics.merge(attempt_metrics);
+          delivered_total += ctx.delivered();
+          {
+            std::lock_guard lock(state_mutex);
+            stats.group_ops[gi] += ctx.ops();
+          }
+          if (!failed) break;
+
+          last_what = what;
+          copy_metrics.faults += 1;
+          support::FaultRecord fault;
+          fault.group = groups_[gi].name;
+          fault.copy = copy;
+          fault.packet_index = ctx.current_packet();
+          fault.what = what;
+          fault.at_seconds = seconds_since(start);
+
+          if (policy_.action == FaultAction::kFailFast) {
+            fault.resolution = support::FaultResolution::kFatal;
+            fault.attempt = consecutive;
+            record_fault(std::move(fault));
+            set_error(std::move(error), what);
+            // Tear down every stream so no peer blocks on backpressure or
+            // waits for buffers that will never come.
+            abort_all();
+            copy_dead = true;
+            break;
+          }
+          // Bounded *consecutive* failures: an attempt that got past at
+          // least one packet resets the count (the fault is fresh, not the
+          // same position failing over and over). The faulting packet
+          // itself was popped before it blew up, so popping exactly one
+          // packet and delivering nothing is not progress.
+          const bool progressed =
+              attempt_metrics.packets_in > 1 || ctx.delivered() > 0;
+          consecutive = progressed ? 1 : consecutive + 1;
+          fault.attempt = consecutive;
+          if (consecutive > policy_.max_retries) {
+            fault.resolution = support::FaultResolution::kCopyDead;
+            record_fault(std::move(fault));
+            copy_dead = true;
+            break;
+          }
+          copy_metrics.retries += 1;
+          if (policy_.action == FaultAction::kRestartCopy) {
+            replay = ctx.take_inflight();
+            fault.resolution = support::FaultResolution::kRetried;
+          } else if (input && ctx.current_packet() >= 0) {
+            // drop-packet: the poisoned packet dies with the failed
+            // instance; the fresh one resumes at the next packet.
+            copy_metrics.dropped_packets += 1;
+            fault.resolution = support::FaultResolution::kDroppedPacket;
+          } else {
+            // A source has no input packet to drop: the faulting emission
+            // is simply retried (skip_emits keeps delivery exactly-once).
+            fault.resolution = support::FaultResolution::kRetried;
+          }
+          record_fault(std::move(fault));
+          ++attempt;
+          if (backoff > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+          backoff = std::min(backoff * policy_.backoff_multiplier,
+                             policy_.backoff_max_seconds);
+        }
+        // Every exit path closes the output so downstream drains to EOS
+        // gracefully instead of waiting for buffers that will never come.
         if (output) output->close();
-        support::FilterMetrics copy_metrics = ctx.metrics();
-        copy_metrics.total_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          copy_start)
-                .count();
-        std::lock_guard lock(ops_mutex);
-        stats.group_ops[gi] += ctx.ops();
+        const bool last_exit =
+            live[gi].fetch_sub(1, std::memory_order_acq_rel) == 1;
+        if (copy_dead && last_exit &&
+            policy_.action != FaultAction::kFailFast) {
+          // The whole stage is down. Surface the loss as the run error and
+          // drain the stage's input so upstream copies finish instead of
+          // blocking forever on backpressure (their buffers are counted as
+          // dropped by the stream).
+          std::ostringstream msg;
+          msg << "group '" << groups_[gi].name << "': all "
+              << groups_[gi].copies << " copies dead after bounded retries";
+          if (!last_what.empty()) msg << "; last error: " << last_what;
+          set_error(std::make_exception_ptr(std::runtime_error(msg.str())),
+                    msg.str());
+          if (input) input->drain();
+        }
+        copy_metrics.total_seconds = seconds_since(copy_start);
+        copy_metrics.copies = 1;
+        std::lock_guard lock(state_mutex);
         stats.group_metrics[gi].merge(copy_metrics);
       });
     }
   }
   for (std::thread& t : threads) t.join();
-  const auto end = std::chrono::steady_clock::now();
-  stats.wall_seconds = std::chrono::duration<double>(end - start).count();
-  if (first_error) std::rethrow_exception(first_error);
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard lock(watchdog_mutex);
+      run_done.store(true, std::memory_order_relaxed);
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
+  stats.wall_seconds = seconds_since(start);
 
   for (const auto& stream : streams) {
     stats.link_buffers.push_back(stream->buffers_pushed());
     stats.link_bytes.push_back(stream->bytes_pushed());
     stats.link_metrics.push_back(stream->metrics());
   }
-  return stats;
+  outcome.error = first_error;
+  stats.completed = !first_error;
+  return outcome;
 }
 
 }  // namespace cgp::dc

@@ -3,15 +3,66 @@
 // runs the DataCutter work cycle (init -> process -> finalize) to
 // completion. Instrumented: per-link buffer/byte counts and per-group
 // operation counts feed the pipeline simulator.
+//
+// Fault tolerance (docs/ROBUSTNESS.md): each copy runs under a supervisor
+// that catches filter exceptions and applies the configured FaultPolicy —
+// tear the run down (fail-fast), restart the copy and replay the in-flight
+// packet (restart-copy), or discard the poisoned packet (drop-packet) —
+// with bounded consecutive retries and exponential backoff. A watchdog
+// thread flags stages that stop making progress. run_supervised() always
+// returns the assembled RunStats, carrying the error instead of discarding
+// the run's telemetry.
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datacutter/filter.h"
 
 namespace cgp::dc {
+
+enum class FaultAction {
+  kFailFast,     // any filter exception aborts the whole run (the default)
+  kRestartCopy,  // fresh instance, in-flight packet replayed
+  kDropPacket,   // fresh instance, poisoned packet discarded
+};
+
+struct FaultPolicy {
+  FaultAction action = FaultAction::kFailFast;
+  /// Bound on *consecutive* fruitless restarts of one copy: a failed
+  /// attempt that made no progress (popped no new packet, delivered
+  /// nothing) consumes one; any progress resets the count. Exceeding it
+  /// declares the copy dead.
+  int max_retries = 3;
+  /// Exponential backoff between restarts of the same copy.
+  double backoff_initial_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 0.05;
+  /// Watchdog: a stage with live, non-waiting copies that moves no buffer
+  /// for this long is declared stalled and the run is torn down (0
+  /// disables). Blocked stream waits are exempt — a starved or
+  /// backpressured stage is idle, not hung.
+  double stage_timeout_seconds = 0.0;
+  /// Watchdog sampling interval (defaults to stage_timeout/4, min 1 ms).
+  double watchdog_poll_seconds = 0.0;
+
+  static const char* action_name(FaultAction action);
+  /// Parses "fail-fast" | "restart-copy" | "drop-packet".
+  static std::optional<FaultAction> parse_action(std::string_view name);
+};
+
+/// Fault-injection hook type: invoked once per packet with the group name,
+/// copy index, restart attempt, per-copy packet ordinal, and the buffer
+/// about to be handed to (or sent by) the filter. May mutate the buffer,
+/// sleep, or throw. See support/faultinject.h for the standard
+/// implementation.
+using PacketHook = std::function<void(const std::string& group, int copy,
+                                      int attempt, std::int64_t packet,
+                                      Buffer* buffer)>;
 
 struct RunStats {
   /// Indexed by link (between consecutive groups).
@@ -22,27 +73,61 @@ struct RunStats {
   std::vector<std::string> group_names;
   double wall_seconds = 0.0;
   /// Observability: per-group counters aggregated over transparent copies
-  /// (packets/bytes in and out, busy vs. stall wall time, per-packet
+  /// (packets/bytes in and out, busy vs. stall time, per-packet
   /// latency summaries) and per-link queue telemetry (occupancy high-water
   /// mark, producer/consumer blocked time).
   std::vector<support::FilterMetrics> group_metrics;
   std::vector<support::LinkMetrics> link_metrics;
+  /// Fault-tolerance surface: every fault the supervisor observed, the
+  /// policy in force, and whether the run reached normal end-of-stream.
+  std::vector<support::FaultRecord> faults;
+  std::string fault_policy;
+  bool completed = true;
+  std::string error;  // first fatal condition; empty on success
+
+  /// Sum of supervisor retries / dropped packets over all groups.
+  std::int64_t total_retries() const;
+  std::int64_t total_dropped_packets() const;
 
   /// Assembles the serializable trace record (see support/metrics.h).
   support::PipelineTrace trace() const;
 };
 
+/// Result of a supervised run: the stats are always populated — partial
+/// metrics survive a failed run — and the first fatal error (if any) rides
+/// along instead of being thrown away.
+struct RunOutcome {
+  RunStats stats;
+  std::exception_ptr error;  // null when the pipeline completed
+  bool ok() const { return error == nullptr; }
+};
+
 class PipelineRunner {
  public:
   explicit PipelineRunner(std::vector<FilterGroup> groups,
-                          std::size_t stream_capacity = 16);
+                          std::size_t stream_capacity = 16,
+                          FaultPolicy policy = {});
 
-  /// Runs the pipeline to completion on real threads.
+  void set_fault_policy(const FaultPolicy& policy) { policy_ = policy; }
+  const FaultPolicy& fault_policy() const { return policy_; }
+  /// Installs a per-packet fault-injection hook applied to every copy.
+  void set_packet_hook(PacketHook hook) { hook_ = std::move(hook); }
+
+  /// Runs the pipeline to completion on real threads; throws the first
+  /// fatal error (fail-fast fault, all copies of a stage dead, watchdog),
+  /// discarding stats. Prefer run_supervised() to keep them.
   RunStats run();
+
+  /// Runs the pipeline under the fault policy. Never throws on filter
+  /// failure: the outcome carries the assembled stats (including partial
+  /// metrics of a failed run) plus the first fatal error, if any.
+  RunOutcome run_supervised();
 
  private:
   std::vector<FilterGroup> groups_;
   std::size_t stream_capacity_;
+  FaultPolicy policy_;
+  PacketHook hook_;
 };
 
 }  // namespace cgp::dc

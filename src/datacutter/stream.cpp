@@ -16,7 +16,7 @@ std::int64_t ns_since(Clock::time_point start) {
 
 }  // namespace
 
-void Stream::push(Buffer&& buffer) {
+bool Stream::push(Buffer&& buffer) {
   std::unique_lock lock(mutex_);
   if (queue_.size() >= capacity_ && !aborted_) {
     const Clock::time_point start = Clock::now();
@@ -24,7 +24,10 @@ void Stream::push(Buffer&& buffer) {
                    [&] { return queue_.size() < capacity_ || aborted_; });
     producer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
   }
-  if (aborted_) return;  // dropped: the pipeline is tearing down
+  if (aborted_) {  // dropped: the pipeline is tearing down
+    dropped_buffers_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   buffers_pushed_.fetch_add(1, std::memory_order_relaxed);
   bytes_pushed_.fetch_add(static_cast<std::int64_t>(buffer.size()),
                           std::memory_order_relaxed);
@@ -32,6 +35,7 @@ void Stream::push(Buffer&& buffer) {
   if (queue_.size() > occupancy_high_water_.load(std::memory_order_relaxed))
     occupancy_high_water_.store(queue_.size(), std::memory_order_relaxed);
   can_pop_.notify_one();
+  return true;
 }
 
 std::optional<Buffer> Stream::pop() {
@@ -64,6 +68,15 @@ void Stream::abort() {
   can_pop_.notify_all();
 }
 
+std::int64_t Stream::drain() {
+  std::int64_t discarded = 0;
+  while (pop().has_value()) {
+    dropped_buffers_.fetch_add(1, std::memory_order_relaxed);
+    ++discarded;
+  }
+  return discarded;
+}
+
 support::LinkMetrics Stream::metrics() const {
   support::LinkMetrics m;
   m.buffers = buffers_pushed();
@@ -71,6 +84,7 @@ support::LinkMetrics Stream::metrics() const {
   m.capacity = static_cast<std::int64_t>(capacity_);
   m.occupancy_high_water =
       static_cast<std::int64_t>(occupancy_high_water());
+  m.dropped_buffers = dropped_buffers();
   m.producer_block_seconds = producer_block_seconds();
   m.consumer_block_seconds = consumer_block_seconds();
   return m;

@@ -26,7 +26,11 @@ class Stream {
   /// of them have called close().
   void set_producers(int n) { producers_ = n; }
 
-  void push(Buffer&& buffer);
+  /// Enqueues a buffer (blocking on backpressure). Returns false when the
+  /// buffer was dropped instead — the stream was aborted — so producers
+  /// are never left guessing whether data made it in; every such drop is
+  /// also counted in dropped_buffers().
+  bool push(Buffer&& buffer);
   /// Blocks until a buffer is available or the stream is closed and
   /// drained; nullopt signals end-of-stream.
   std::optional<Buffer> pop();
@@ -37,12 +41,22 @@ class Stream {
   /// Counters stay consistent: blocked threads still account their wait,
   /// dropped buffers are never counted as pushed.
   void abort();
+  /// Consumes and discards everything until end-of-stream, counting each
+  /// discarded buffer as dropped. Used when the last copy of a stage dies:
+  /// draining keeps upstream producers from blocking forever on
+  /// backpressure while recording that their output went nowhere. Returns
+  /// the number of buffers discarded.
+  std::int64_t drain();
 
   std::int64_t buffers_pushed() const {
     return buffers_pushed_.load(std::memory_order_relaxed);
   }
   std::int64_t bytes_pushed() const {
     return bytes_pushed_.load(std::memory_order_relaxed);
+  }
+  /// Buffers that never reached a consumer (post-abort pushes + drain()).
+  std::int64_t dropped_buffers() const {
+    return dropped_buffers_.load(std::memory_order_relaxed);
   }
   std::size_t occupancy_high_water() const {
     return occupancy_high_water_.load(std::memory_order_relaxed);
@@ -74,6 +88,7 @@ class Stream {
   bool aborted_ = false;
   std::atomic<std::int64_t> buffers_pushed_{0};
   std::atomic<std::int64_t> bytes_pushed_{0};
+  std::atomic<std::int64_t> dropped_buffers_{0};
   std::atomic<std::size_t> occupancy_high_water_{0};
   std::atomic<std::int64_t> producer_block_ns_{0};
   std::atomic<std::int64_t> consumer_block_ns_{0};

@@ -15,15 +15,27 @@
 //   --trace=<file>       run and dump the observability trace (per-filter
 //                        busy/stall/latency, per-link occupancy) as JSON;
 //                        implies --run (see docs/OBSERVABILITY.md)
+//   --fault-policy=P     supervisor policy for filter failures: fail-fast
+//                        (default), restart-copy, or drop-packet
+//                        (see docs/ROBUSTNESS.md)
+//   --fault-inject=SPEC  deterministic fault plan, e.g. stage1:throw@5
+//                        (stage groups are named stage0..stageN-1)
+//   --fault-seed=N       seed for probabilistic fault specs (~P triggers)
+//   --stage-timeout=S    watchdog: abort if a live stage moves no buffer
+//                        for S seconds (0 = disabled)
 //   --default            use the Default placement instead of Decomp
 //   --no-fission         disable loop fission
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "driver/compiler.h"
 #include "driver/simulate.h"
+#include "support/faultinject.h"
 #include "support/metrics.h"
 
 namespace {
@@ -33,7 +45,9 @@ void usage() {
                "usage: cgpc <file.cgp> [--width N] [--stages M] "
                "[--define NAME=VALUE]... [--bind NAME=VALUE]... "
                "[--packets N] [--emit] [--analysis] [--run] "
-               "[--trace=<file>] [--default] [--no-fission]\n");
+               "[--trace=<file>] [--fault-policy=P] [--fault-inject=SPEC] "
+               "[--fault-seed=N] [--stage-timeout=S] [--default] "
+               "[--no-fission]\n");
 }
 
 bool parse_kv(const char* arg, std::string& name, std::int64_t& value) {
@@ -60,8 +74,24 @@ int main(int argc, char** argv) {
   bool run = false;
   bool use_default = false;
   std::string trace_path;
+  dc::FaultPolicy fault_policy;
+  std::string fault_inject;
+  std::uint64_t fault_seed = 0;
   CompileOptions options;
   options.n_packets = 16;
+
+  auto parse_policy = [&](const char* name) {
+    const std::optional<dc::FaultAction> action =
+        dc::FaultPolicy::parse_action(name);
+    if (!action) {
+      std::fprintf(stderr,
+                   "cgpc: unknown fault policy '%s' "
+                   "(fail-fast | restart-copy | drop-packet)\n",
+                   name);
+      std::exit(2);
+    }
+    fault_policy.action = *action;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -106,6 +136,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--trace") == 0) {
       trace_path = next();
       run = true;
+    } else if (std::strncmp(arg, "--fault-policy=", 15) == 0) {
+      parse_policy(arg + 15);
+    } else if (std::strcmp(arg, "--fault-policy") == 0) {
+      parse_policy(next());
+    } else if (std::strncmp(arg, "--fault-inject=", 15) == 0) {
+      fault_inject = arg + 15;
+    } else if (std::strcmp(arg, "--fault-inject") == 0) {
+      fault_inject = next();
+    } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+      fault_seed = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      fault_seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strncmp(arg, "--stage-timeout=", 16) == 0) {
+      fault_policy.stage_timeout_seconds = std::strtod(arg + 16, nullptr);
+    } else if (std::strcmp(arg, "--stage-timeout") == 0) {
+      fault_policy.stage_timeout_seconds = std::strtod(next(), nullptr);
     } else if (std::strcmp(arg, "--default") == 0) {
       use_default = true;
     } else if (std::strcmp(arg, "--no-fission") == 0) {
@@ -176,9 +222,22 @@ int main(int argc, char** argv) {
     std::printf("\n%s", result.generated_source.c_str());
   }
   if (run) {
+    support::FaultPlan fault_plan;
+    if (!fault_inject.empty()) {
+      try {
+        fault_plan = support::parse_fault_plan(fault_inject, fault_seed);
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "cgpc: %s\n", error.what());
+        return 2;
+      }
+    }
     try {
-      PipelineRunResult outcome =
-          result.make_runner(placement, options.env).run();
+      PipelineCompiler compiler = result.make_runner(placement, options.env);
+      compiler.set_fault_policy(fault_policy);
+      if (!fault_plan.empty())
+        compiler.set_packet_hook(
+            support::make_fault_hook(std::move(fault_plan)));
+      PipelineRunResult outcome = compiler.run();
       std::printf("\nran %lld packets; simulated pipeline time %.6f s\n",
                   static_cast<long long>(outcome.packets),
                   simulate_run(outcome, options.env));
@@ -210,9 +269,37 @@ int main(int argc, char** argv) {
                     trace.filters[static_cast<std::size_t>(bottleneck)]
                         .name.c_str());
       }
+      if (!outcome.faults.empty() ||
+          fault_policy.action != dc::FaultAction::kFailFast) {
+        std::int64_t retries = 0;
+        std::int64_t dropped = 0;
+        for (const support::FilterMetrics& f : outcome.stage_metrics) {
+          retries += f.retries;
+          dropped += f.dropped_packets;
+        }
+        std::printf(
+            "fault policy %s: %zu fault(s), %lld retried, %lld packet(s) "
+            "dropped\n",
+            outcome.fault_policy.c_str(), outcome.faults.size(),
+            static_cast<long long>(retries), static_cast<long long>(dropped));
+        for (const support::FaultRecord& f : outcome.faults) {
+          std::printf("  fault [%s] %s#%d packet %lld: %s\n",
+                      support::fault_resolution_name(f.resolution),
+                      f.group.c_str(), f.copy,
+                      static_cast<long long>(f.packet_index),
+                      f.what.c_str());
+        }
+      }
       if (!trace_path.empty()) {
+        // Written even when the run failed: a partial trace is exactly
+        // what post-mortem debugging needs.
         write_trace_json(outcome, trace_path);
         std::printf("trace written to %s\n", trace_path.c_str());
+      }
+      if (!outcome.completed) {
+        std::fprintf(stderr, "cgpc: pipeline failed: %s\n",
+                     outcome.error.c_str());
+        return 1;
       }
     } catch (const std::exception& error) {
       std::fprintf(stderr, "cgpc: runtime error: %s\n", error.what());

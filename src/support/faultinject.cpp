@@ -1,0 +1,207 @@
+#include "support/faultinject.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace cgp::support {
+
+namespace {
+
+// FNV-1a 64 over the group name: std::hash is implementation-defined, and
+// a fault plan must pick the same packets on every platform.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform draw in [0, 1) for one packet event.
+double unit_hash(std::uint64_t seed, std::string_view group, int copy,
+                 int attempt, std::int64_t packet) {
+  std::uint64_t h = splitmix64(seed ^ fnv1a(group));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(copy + 1));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(attempt + 1));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(packet + 1));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void fail_parse(std::string_view token, const char* why) {
+  std::ostringstream msg;
+  msg << "bad fault spec '" << token << "': " << why
+      << " (expected group[#copy]:kind@trigger[=seconds], e.g. "
+         "stage1:throw@5, link:drop@~0.05, decomp#1:sleep@3=0.2)";
+  throw std::invalid_argument(msg.str());
+}
+
+std::int64_t parse_int(std::string_view text, std::string_view token,
+                       const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value < 0)
+    fail_parse(token, what);
+  return value;
+}
+
+double parse_double(std::string_view text, std::string_view token,
+                    const char* what) {
+  // std::from_chars for double is spotty on older libstdc++; stod is fine
+  // for config parsing.
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(std::string(text), &used);
+    if (used != text.size() || value < 0.0) fail_parse(token, what);
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail_parse(token, what);
+  } catch (const std::out_of_range&) {
+    fail_parse(token, what);
+  }
+}
+
+FaultSpec parse_spec(std::string_view token) {
+  FaultSpec spec;
+  spec.message = "injected: " + std::string(token);
+
+  const std::size_t colon = token.find(':');
+  if (colon == std::string_view::npos || colon == 0)
+    fail_parse(token, "missing ':' between target and fault");
+  std::string_view target = token.substr(0, colon);
+  std::string_view fault = token.substr(colon + 1);
+
+  const std::size_t hash_pos = target.find('#');
+  if (hash_pos != std::string_view::npos) {
+    spec.copy = static_cast<int>(parse_int(target.substr(hash_pos + 1), token,
+                                           "copy index must be a number"));
+    target = target.substr(0, hash_pos);
+  }
+  if (target.empty()) fail_parse(token, "empty group name");
+  spec.group = std::string(target);
+
+  const std::size_t at = fault.find('@');
+  if (at == std::string_view::npos)
+    fail_parse(token, "missing '@' before trigger");
+  const std::string_view kind = fault.substr(0, at);
+  std::string_view trigger = fault.substr(at + 1);
+
+  if (kind == "throw")
+    spec.kind = FaultKind::kThrow;
+  else if (kind == "sleep")
+    spec.kind = FaultKind::kSleep;
+  else if (kind == "corrupt")
+    spec.kind = FaultKind::kCorrupt;
+  else if (kind == "drop")
+    spec.kind = FaultKind::kDrop;
+  else
+    fail_parse(token, "unknown kind (throw|sleep|corrupt|drop)");
+
+  const std::size_t eq = trigger.find('=');
+  if (eq != std::string_view::npos) {
+    if (spec.kind != FaultKind::kSleep)
+      fail_parse(token, "'=seconds' only applies to sleep");
+    spec.sleep_seconds = parse_double(trigger.substr(eq + 1), token,
+                                      "sleep seconds must be a number");
+    trigger = trigger.substr(0, eq);
+  } else if (spec.kind == FaultKind::kSleep) {
+    spec.sleep_seconds = 0.05;  // default long enough to trip test watchdogs
+  }
+
+  if (trigger.empty()) fail_parse(token, "empty trigger");
+  if (trigger.front() == '~') {
+    spec.probability = parse_double(trigger.substr(1), token,
+                                    "probability must be a number");
+    if (spec.probability > 1.0)
+      fail_parse(token, "probability must be in [0, 1]");
+    return spec;
+  }
+  if (trigger.back() == '!') {
+    spec.refire = true;
+    trigger = trigger.substr(0, trigger.size() - 1);
+  }
+  const std::size_t plus = trigger.find('+');
+  if (plus != std::string_view::npos) {
+    spec.repeat_every = parse_int(trigger.substr(plus + 1), token,
+                                  "repeat stride must be a number");
+    if (spec.repeat_every == 0)
+      fail_parse(token, "repeat stride must be positive");
+    trigger = trigger.substr(0, plus);
+  }
+  spec.nth_packet =
+      parse_int(trigger, token, "packet ordinal must be a number");
+  return spec;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kSleep:
+      return "sleep";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDrop:
+      return "drop";
+  }
+  return "throw";
+}
+
+const FaultSpec* FaultPlan::match(std::string_view group, int copy,
+                                  int attempt, std::int64_t packet) const {
+  if (packet < 0) return nullptr;
+  for (const FaultSpec& spec : specs) {
+    if (spec.group != group) continue;
+    if (spec.copy >= 0 && spec.copy != copy) continue;
+    if (spec.nth_packet >= 0) {
+      // Deterministic trigger. One-shot specs model transient faults: they
+      // fire only on a copy's first attempt, so the restarted instance
+      // gets through. refire makes the fault persistent.
+      if (!spec.refire && attempt != 0) continue;
+      if (packet < spec.nth_packet) continue;
+      const std::int64_t delta = packet - spec.nth_packet;
+      if (delta != 0 &&
+          (spec.repeat_every == 0 || delta % spec.repeat_every != 0))
+        continue;
+      return &spec;
+    }
+    if (spec.probability > 0.0 &&
+        unit_hash(seed, group, copy, attempt, packet) < spec.probability)
+      return &spec;
+  }
+  return nullptr;
+}
+
+FaultPlan parse_fault_plan(std::string_view text, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view token = text.substr(pos, comma - pos);
+    if (!token.empty()) plan.specs.push_back(parse_spec(token));
+    pos = comma + 1;
+  }
+  return plan;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "fault plan (seed " << plan.seed << "):";
+  if (plan.specs.empty()) out << " empty";
+  for (const FaultSpec& spec : plan.specs) out << " [" << spec.message << "]";
+  return out.str();
+}
+
+}  // namespace cgp::support

@@ -1,0 +1,203 @@
+// Deterministic fault injection for the filter-stream runtime
+// (docs/ROBUSTNESS.md): a seeded FaultPlan decides, purely from
+// (seed, group, copy, attempt, packet), whether a packet gets a fault —
+// throw, sleep, corrupt, or (in the flaky-link relay) drop — so every
+// stress run is replayable from its spec string and seed.
+//
+// Layering: the plan itself (FaultSpec/FaultPlan/parse) is plain support
+// code with no datacutter dependency; everything that touches filters or
+// buffers (fire_fault, make_fault_hook, the wrapper and relay filters) is
+// header-only so cgp_support never links against cgp_datacutter.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datacutter/runner.h"
+
+namespace cgp::support {
+
+enum class FaultKind {
+  kThrow,    // the filter's work cycle throws FaultInjected
+  kSleep,    // the packet is delayed (watchdog / latency testing)
+  kCorrupt,  // one byte of the payload is flipped
+  kDrop,     // the packet vanishes (FlakyLinkFilter relay only)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  std::string group;
+  int copy = -1;  // -1 = any copy of the group
+  FaultKind kind = FaultKind::kThrow;
+  /// Deterministic trigger: fire at this per-instance packet ordinal
+  /// (and, with repeat_every > 0, every repeat_every packets after it).
+  /// -1 switches the spec to the probabilistic trigger below.
+  std::int64_t nth_packet = -1;
+  std::int64_t repeat_every = 0;
+  /// Deterministic specs normally fire only on a copy's first attempt —
+  /// a transient fault that a restart clears. With refire, every restarted
+  /// instance hits it again at its own nth packet: a persistent fault that
+  /// eventually kills the copy.
+  bool refire = false;
+  /// Probabilistic trigger: per-packet probability, resolved by hashing
+  /// (seed, group, copy, attempt, packet) — the same run always faults the
+  /// same packets, and a retry re-rolls (attempt is in the hash).
+  double probability = 0.0;
+  double sleep_seconds = 0.0;
+  std::string message;  // what() text; parse fills it with the spec token
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+  /// First spec that fires for this (group, copy, attempt, packet), or
+  /// nullptr. Pure: same inputs + same seed always give the same answer.
+  const FaultSpec* match(std::string_view group, int copy, int attempt,
+                         std::int64_t packet) const;
+};
+
+/// Parses a --fault-inject plan: comma-separated specs of the form
+///   group[#copy]:kind@trigger[=seconds]
+/// where kind is throw | sleep | corrupt | drop and trigger is either
+///   N[+M][!]  — packet N (then every M), '!' = refire on restarts
+///   ~P        — probability P per packet
+/// e.g. "stage1:throw@5", "stage1:throw@0!", "decomp#1:sleep@3=0.2",
+/// "link:drop@~0.05", "stage2:corrupt@2+4". Throws std::invalid_argument
+/// on malformed input.
+FaultPlan parse_fault_plan(std::string_view text, std::uint64_t seed = 0);
+
+/// Human-readable one-line summary of the plan (spec tokens + seed).
+std::string describe(const FaultPlan& plan);
+
+/// Exception thrown by injected kThrow faults, so tests can tell an
+/// injected failure from a genuine one.
+struct FaultInjected : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Executes a fired spec on the packet. kThrow raises FaultInjected,
+/// kSleep delays, kCorrupt flips the middle payload byte in place. kDrop
+/// is a no-op here — only the FlakyLinkFilter relay can make a packet
+/// vanish, because a hook cannot unsend a buffer.
+inline void fire_fault(const FaultSpec& spec, dc::Buffer* buffer) {
+  switch (spec.kind) {
+    case FaultKind::kThrow:
+      throw FaultInjected(spec.message.empty() ? "injected fault"
+                                               : spec.message);
+    case FaultKind::kSleep:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spec.sleep_seconds));
+      return;
+    case FaultKind::kCorrupt:
+      if (buffer != nullptr && buffer->size() > 0) {
+        const std::size_t offset = buffer->size() / 2;
+        const auto byte = buffer->peek_at<unsigned char>(offset);
+        buffer->patch_slot<unsigned char>(
+            offset, static_cast<unsigned char>(byte ^ 0xffu));
+      }
+      return;
+    case FaultKind::kDrop:
+      return;
+  }
+}
+
+/// Binds a plan into the runner-level per-packet hook
+/// (PipelineRunner::set_packet_hook): attempt-aware, applied to every
+/// group, fires before the filter sees the packet.
+inline dc::PacketHook make_fault_hook(FaultPlan plan) {
+  return [plan = std::move(plan)](const std::string& group, int copy,
+                                  int attempt, std::int64_t packet,
+                                  dc::Buffer* buffer) {
+    if (const FaultSpec* spec = plan.match(group, copy, attempt, packet))
+      fire_fault(*spec, buffer);
+  };
+}
+
+/// Wraps one filter so only its group is fault-injected, without going
+/// through the runner-wide hook. The wrapper installs a bound hook on the
+/// context in init() — it therefore replaces any runner-installed hook for
+/// this group, and always reports attempt 0 (each restart constructs a
+/// fresh wrapper). Use PipelineRunner::set_packet_hook when attempt-aware
+/// injection matters.
+class FaultInjectingFilter : public dc::Filter {
+ public:
+  FaultInjectingFilter(std::unique_ptr<dc::Filter> inner, FaultPlan plan,
+                       std::string group)
+      : inner_(std::move(inner)),
+        plan_(std::move(plan)),
+        group_(std::move(group)) {}
+
+  void init(dc::FilterContext& ctx) override {
+    ctx.set_packet_hook(
+        [this, copy = ctx.copy_index()](std::int64_t packet,
+                                        dc::Buffer* buffer) {
+          if (const FaultSpec* spec = plan_.match(group_, copy, 0, packet))
+            fire_fault(*spec, buffer);
+        });
+    inner_->init(ctx);
+  }
+  void process(dc::FilterContext& ctx) override { inner_->process(ctx); }
+  void finalize(dc::FilterContext& ctx) override { inner_->finalize(ctx); }
+
+ private:
+  std::unique_ptr<dc::Filter> inner_;
+  FaultPlan plan_;
+  std::string group_;
+};
+
+inline dc::FilterFactory wrap_with_faults(dc::FilterFactory inner,
+                                          FaultPlan plan, std::string group) {
+  return [inner = std::move(inner), plan = std::move(plan),
+          group = std::move(group)] {
+    return std::unique_ptr<dc::Filter>(
+        std::make_unique<FaultInjectingFilter>(inner(), plan, group));
+  };
+}
+
+/// Flaky-stream shim: a relay group inserted between two stages that
+/// forwards every packet except where the plan fires — drop swallows the
+/// packet (visible as this group's packets_in/packets_out gap plus the
+/// supervisor's dropped-packet counter when the drop is a thrown fault),
+/// sleep delays it, corrupt mangles it, throw fails the relay copy. Give
+/// the relay its own group name so runner-wide hooks don't double-fire.
+class FlakyLinkFilter : public dc::Filter {
+ public:
+  FlakyLinkFilter(FaultPlan plan, std::string group)
+      : plan_(std::move(plan)), group_(std::move(group)) {}
+
+  void process(dc::FilterContext& ctx) override {
+    while (std::optional<dc::Buffer> buffer = ctx.read()) {
+      const FaultSpec* spec =
+          plan_.match(group_, ctx.copy_index(), 0, ctx.current_packet());
+      if (spec != nullptr) {
+        if (spec->kind == FaultKind::kDrop) continue;  // swallowed
+        fire_fault(*spec, &*buffer);
+      }
+      ctx.emit(std::move(*buffer));
+    }
+  }
+
+ private:
+  FaultPlan plan_;
+  std::string group_;
+};
+
+inline dc::FilterFactory make_flaky_link(FaultPlan plan, std::string group) {
+  return [plan = std::move(plan), group = std::move(group)] {
+    return std::unique_ptr<dc::Filter>(
+        std::make_unique<FlakyLinkFilter>(plan, group));
+  };
+}
+
+}  // namespace cgp::support

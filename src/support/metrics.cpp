@@ -73,7 +73,35 @@ void FilterMetrics::merge(const FilterMetrics& other) {
   total_seconds += other.total_seconds;
   stall_input_seconds += other.stall_input_seconds;
   stall_output_seconds += other.stall_output_seconds;
+  faults += other.faults;
+  retries += other.retries;
+  dropped_packets += other.dropped_packets;
   latency.merge(other.latency);
+}
+
+const char* fault_resolution_name(FaultResolution r) {
+  switch (r) {
+    case FaultResolution::kFatal:
+      return "fatal";
+    case FaultResolution::kRetried:
+      return "retried";
+    case FaultResolution::kDroppedPacket:
+      return "dropped-packet";
+    case FaultResolution::kCopyDead:
+      return "copy-dead";
+    case FaultResolution::kWatchdog:
+      return "watchdog";
+  }
+  return "fatal";
+}
+
+FaultResolution fault_resolution_from_name(const std::string& name) {
+  if (name == "fatal") return FaultResolution::kFatal;
+  if (name == "retried") return FaultResolution::kRetried;
+  if (name == "dropped-packet") return FaultResolution::kDroppedPacket;
+  if (name == "copy-dead") return FaultResolution::kCopyDead;
+  if (name == "watchdog") return FaultResolution::kWatchdog;
+  throw std::runtime_error("trace: unknown fault resolution '" + name + "'");
 }
 
 int PipelineTrace::bottleneck_filter() const {
@@ -134,6 +162,9 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     jf.set("busy_seconds", Json(f.busy_seconds()));
     jf.set("stall_input_seconds", Json(f.stall_input_seconds));
     jf.set("stall_output_seconds", Json(f.stall_output_seconds));
+    jf.set("faults", Json(f.faults));
+    jf.set("retries", Json(f.retries));
+    jf.set("dropped_packets", Json(f.dropped_packets));
     jf.set("latency", latency_to_json(f.latency));
     filters.push_back(std::move(jf));
   }
@@ -144,14 +175,32 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     jl.set("bytes", Json(l.bytes));
     jl.set("capacity", Json(l.capacity));
     jl.set("occupancy_high_water", Json(l.occupancy_high_water));
+    jl.set("dropped_buffers", Json(l.dropped_buffers));
     jl.set("producer_block_seconds", Json(l.producer_block_seconds));
     jl.set("consumer_block_seconds", Json(l.consumer_block_seconds));
     links.push_back(std::move(jl));
   }
+  Json::Array faults;
+  for (const FaultRecord& fault : trace.faults) {
+    Json jf{Json::Object{}};
+    jf.set("group", Json(fault.group));
+    jf.set("copy", Json(fault.copy));
+    jf.set("packet_index", Json(fault.packet_index));
+    jf.set("what", Json(fault.what));
+    jf.set("attempt", Json(fault.attempt));
+    jf.set("resolution", Json(fault_resolution_name(fault.resolution)));
+    jf.set("at_seconds", Json(fault.at_seconds));
+    faults.push_back(std::move(jf));
+  }
   Json root{Json::Object{}};
-  root.set("schema", Json("cgpipe-trace-v1"));
+  root.set("schema", Json("cgpipe-trace-v2"));
   root.set("wall_seconds", Json(trace.wall_seconds));
   root.set("packets", Json(trace.packets));
+  root.set("completed", Json(trace.completed));
+  root.set("error", trace.error.empty() ? Json(nullptr) : Json(trace.error));
+  root.set("fault_policy", trace.fault_policy.empty()
+                               ? Json(nullptr)
+                               : Json(trace.fault_policy));
   const int bottleneck = trace.bottleneck_filter();
   root.set("bottleneck_filter",
            bottleneck >= 0 ? Json(trace.filters[static_cast<std::size_t>(
@@ -160,17 +209,28 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
                            : Json(nullptr));
   root.set("filters", Json(std::move(filters)));
   root.set("links", Json(std::move(links)));
+  root.set("faults", Json(std::move(faults)));
   return root.dump(indent);
 }
 
 PipelineTrace trace_from_json(const std::string& text) {
   const Json root = Json::parse(text);
   if (!root.is_object() || !root.contains("schema") ||
-      root.at("schema").as_string() != "cgpipe-trace-v1")
+      !root.at("schema").is_string())
+    throw std::runtime_error("trace: unknown schema");
+  const std::string& schema = root.at("schema").as_string();
+  if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2")
     throw std::runtime_error("trace: unknown schema");
   PipelineTrace trace;
   trace.wall_seconds = root.at("wall_seconds").as_number();
   trace.packets = root.at("packets").as_int();
+  // v2 run-level fault surface; absent in v1 documents.
+  if (root.contains("completed"))
+    trace.completed = root.at("completed").as_bool();
+  if (root.contains("error") && root.at("error").is_string())
+    trace.error = root.at("error").as_string();
+  if (root.contains("fault_policy") && root.at("fault_policy").is_string())
+    trace.fault_policy = root.at("fault_policy").as_string();
   for (const Json& jf : root.at("filters").as_array()) {
     FilterMetrics f;
     f.name = jf.at("name").as_string();
@@ -182,6 +242,10 @@ PipelineTrace trace_from_json(const std::string& text) {
     f.total_seconds = jf.at("total_seconds").as_number();
     f.stall_input_seconds = jf.at("stall_input_seconds").as_number();
     f.stall_output_seconds = jf.at("stall_output_seconds").as_number();
+    if (jf.contains("faults")) f.faults = jf.at("faults").as_int();
+    if (jf.contains("retries")) f.retries = jf.at("retries").as_int();
+    if (jf.contains("dropped_packets"))
+      f.dropped_packets = jf.at("dropped_packets").as_int();
     f.latency = latency_from_json(jf.at("latency"));
     trace.filters.push_back(std::move(f));
   }
@@ -191,9 +255,25 @@ PipelineTrace trace_from_json(const std::string& text) {
     l.bytes = jl.at("bytes").as_int();
     l.capacity = jl.at("capacity").as_int();
     l.occupancy_high_water = jl.at("occupancy_high_water").as_int();
+    if (jl.contains("dropped_buffers"))
+      l.dropped_buffers = jl.at("dropped_buffers").as_int();
     l.producer_block_seconds = jl.at("producer_block_seconds").as_number();
     l.consumer_block_seconds = jl.at("consumer_block_seconds").as_number();
     trace.links.push_back(l);
+  }
+  if (root.contains("faults")) {
+    for (const Json& jf : root.at("faults").as_array()) {
+      FaultRecord fault;
+      fault.group = jf.at("group").as_string();
+      fault.copy = static_cast<int>(jf.at("copy").as_int());
+      fault.packet_index = jf.at("packet_index").as_int();
+      fault.what = jf.at("what").as_string();
+      fault.attempt = static_cast<int>(jf.at("attempt").as_int());
+      fault.resolution =
+          fault_resolution_from_name(jf.at("resolution").as_string());
+      fault.at_seconds = jf.at("at_seconds").as_number();
+      trace.faults.push_back(std::move(fault));
+    }
   }
   return trace;
 }

@@ -55,6 +55,12 @@ struct FilterMetrics {
   double total_seconds = 0.0;
   double stall_input_seconds = 0.0;
   double stall_output_seconds = 0.0;
+  /// Fault accounting (trace v2): exceptions observed across copies, copy
+  /// restarts the supervisor performed, and packets it discarded under the
+  /// drop-packet policy.
+  std::int64_t faults = 0;
+  std::int64_t retries = 0;
+  std::int64_t dropped_packets = 0;
   LatencySummary latency;
 
   /// Lifetime minus both stall components (clamped at 0).
@@ -68,10 +74,36 @@ struct LinkMetrics {
   std::int64_t bytes = 0;
   std::int64_t capacity = 0;
   std::int64_t occupancy_high_water = 0;
+  /// Buffers that never reached a consumer: pushes rejected after abort()
+  /// plus buffers discarded when a dead stage drained its input (trace v2).
+  std::int64_t dropped_buffers = 0;
   /// Cumulative time producers spent blocked on backpressure and consumers
   /// spent blocked on an empty queue, summed over threads.
   double producer_block_seconds = 0.0;
   double consumer_block_seconds = 0.0;
+};
+
+/// How the runtime's supervisor resolved one observed fault.
+enum class FaultResolution {
+  kFatal,          // fail-fast: the run was torn down
+  kRetried,        // restart-copy: fresh instance, in-flight packet replayed
+  kDroppedPacket,  // drop-packet: the poisoned packet was discarded
+  kCopyDead,       // bounded retries exhausted; the copy stayed down
+  kWatchdog,       // no-progress timeout fired; the run was torn down
+};
+const char* fault_resolution_name(FaultResolution r);
+FaultResolution fault_resolution_from_name(const std::string& name);
+
+/// One structured fault event: which copy of which group failed on which
+/// packet, what the exception said, and what the supervisor did about it.
+struct FaultRecord {
+  std::string group;
+  int copy = 0;
+  std::int64_t packet_index = -1;  // per-copy packet ordinal; -1 = unknown
+  std::string what;
+  int attempt = 0;  // consecutive-failure count when this fault was seen
+  FaultResolution resolution = FaultResolution::kFatal;
+  double at_seconds = 0.0;  // offset from run start
 };
 
 /// Complete observability record of one pipeline run.
@@ -80,17 +112,25 @@ struct PipelineTrace {
   std::int64_t packets = 0;
   std::vector<FilterMetrics> filters;
   std::vector<LinkMetrics> links;
+  /// Fault-tolerance surface (trace v2): every fault the supervisor saw,
+  /// the policy in force, and whether the pipeline ran to normal EOS.
+  std::vector<FaultRecord> faults;
+  std::string fault_policy;  // "fail-fast" | "restart-copy" | "drop-packet"
+  bool completed = true;
+  std::string error;  // first fatal condition; empty on success
 
   /// Index of the filter with the largest busy time (-1 when empty) — the
   /// measured bottleneck stage of the paper's analysis.
   int bottleneck_filter() const;
 };
 
-/// Serializes to the schema documented in docs/OBSERVABILITY.md.
+/// Serializes to the cgpipe-trace-v2 schema documented in
+/// docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 
-/// Reloads a serialized trace; throws std::runtime_error on malformed or
-/// schema-incompatible input.
+/// Reloads a serialized trace; accepts cgpipe-trace-v1 (fault fields
+/// default to their zero values) and v2. Throws std::runtime_error on
+/// malformed or schema-incompatible input.
 PipelineTrace trace_from_json(const std::string& text);
 
 }  // namespace cgp::support

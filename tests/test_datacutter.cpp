@@ -253,6 +253,37 @@ TEST(StreamMetrics, AbortLeavesCountersConsistent) {
   EXPECT_EQ(stream.buffers_pushed(), 1);
 }
 
+TEST(Stream, PushAfterAbortSignalsDrop) {
+  Stream stream(4);
+  stream.set_producers(1);
+  Buffer accepted;
+  accepted.write<std::int32_t>(1);
+  EXPECT_TRUE(stream.push(std::move(accepted)));
+  EXPECT_EQ(stream.dropped_buffers(), 0);
+  stream.abort();
+  Buffer dropped;
+  dropped.write<std::int32_t>(2);
+  EXPECT_FALSE(stream.push(std::move(dropped)));
+  EXPECT_EQ(stream.dropped_buffers(), 1);
+  EXPECT_EQ(stream.buffers_pushed(), 1);  // drops never count as pushed
+  EXPECT_EQ(stream.metrics().dropped_buffers, 1);
+}
+
+TEST(Stream, DrainCountsDiscardedBuffers) {
+  Stream stream(8);
+  stream.set_producers(1);
+  for (int i = 0; i < 3; ++i) {
+    Buffer b;
+    b.write<std::int32_t>(i);
+    stream.push(std::move(b));
+  }
+  stream.close();
+  EXPECT_EQ(stream.drain(), 3);
+  EXPECT_EQ(stream.dropped_buffers(), 3);
+  EXPECT_EQ(stream.buffers_pushed(), 3);  // they were genuinely sent
+  EXPECT_FALSE(stream.pop().has_value());
+}
+
 // ---------------------------------------------------------------------------
 // Pipelines
 // ---------------------------------------------------------------------------

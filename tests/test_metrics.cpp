@@ -178,7 +178,7 @@ TEST(Trace, BottleneckIsLargestBusyFilter) {
 
 TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
   const Json j = Json::parse(trace_to_json(sample_trace()));
-  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v1");
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v2");
   EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
 }
 
@@ -186,6 +186,83 @@ TEST(Trace, FromJsonRejectsForeignDocuments) {
   EXPECT_THROW(trace_from_json("{}"), std::runtime_error);
   EXPECT_THROW(trace_from_json("[1,2]"), std::runtime_error);
   EXPECT_THROW(trace_from_json(R"({"schema":"other"})"), std::runtime_error);
+}
+
+TEST(Trace, RoundTripPreservesFaultSurface) {
+  PipelineTrace trace = sample_trace();
+  trace.fault_policy = "restart-copy";
+  trace.completed = false;
+  trace.error = "group 'stage1': all 1 copies dead after bounded retries";
+  trace.filters[1].faults = 2;
+  trace.filters[1].retries = 1;
+  trace.filters[1].dropped_packets = 1;
+  trace.links[0].dropped_buffers = 3;
+  FaultRecord fault;
+  fault.group = "stage1";
+  fault.copy = 0;
+  fault.packet_index = 5;
+  fault.what = "injected: stage1:throw@5";
+  fault.attempt = 1;
+  fault.resolution = FaultResolution::kRetried;
+  fault.at_seconds = 0.125;
+  trace.faults.push_back(fault);
+
+  const std::string json = trace_to_json(trace);
+  const PipelineTrace back = trace_from_json(json);
+  EXPECT_FALSE(back.completed);
+  EXPECT_EQ(back.error, trace.error);
+  EXPECT_EQ(back.fault_policy, "restart-copy");
+  ASSERT_EQ(back.faults.size(), 1u);
+  EXPECT_EQ(back.faults[0].group, "stage1");
+  EXPECT_EQ(back.faults[0].copy, 0);
+  EXPECT_EQ(back.faults[0].packet_index, 5);
+  EXPECT_EQ(back.faults[0].what, "injected: stage1:throw@5");
+  EXPECT_EQ(back.faults[0].attempt, 1);
+  EXPECT_EQ(back.faults[0].resolution, FaultResolution::kRetried);
+  EXPECT_DOUBLE_EQ(back.faults[0].at_seconds, 0.125);
+  EXPECT_EQ(back.filters[1].faults, 2);
+  EXPECT_EQ(back.filters[1].retries, 1);
+  EXPECT_EQ(back.filters[1].dropped_packets, 1);
+  EXPECT_EQ(back.links[0].dropped_buffers, 3);
+  // The fault surface survives a second round trip byte-identically.
+  EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, ReadsV1DocumentsWithZeroFaultSurface) {
+  // A trace written before the fault surface existed must still load, with
+  // every v2 field at its benign default.
+  const std::string v1 =
+      R"({"schema":"cgpipe-trace-v1","wall_seconds":0.5,"packets":4,)"
+      R"("bottleneck_filter":null,"filters":[],"links":[]})";
+  const PipelineTrace trace = trace_from_json(v1);
+  EXPECT_DOUBLE_EQ(trace.wall_seconds, 0.5);
+  EXPECT_EQ(trace.packets, 4);
+  EXPECT_TRUE(trace.completed);
+  EXPECT_TRUE(trace.faults.empty());
+  EXPECT_TRUE(trace.error.empty());
+  EXPECT_TRUE(trace.fault_policy.empty());
+}
+
+TEST(FaultResolutionNames, RoundTripAndReject) {
+  for (FaultResolution r :
+       {FaultResolution::kFatal, FaultResolution::kRetried,
+        FaultResolution::kDroppedPacket, FaultResolution::kCopyDead,
+        FaultResolution::kWatchdog}) {
+    EXPECT_EQ(fault_resolution_from_name(fault_resolution_name(r)), r);
+  }
+  EXPECT_THROW(fault_resolution_from_name("nope"), std::runtime_error);
+}
+
+TEST(FilterMetrics, MergeAggregatesFaultCounters) {
+  FilterMetrics a;
+  a.faults = 1;
+  a.retries = 2;
+  a.dropped_packets = 3;
+  FilterMetrics b = a;
+  a.merge(b);
+  EXPECT_EQ(a.faults, 2);
+  EXPECT_EQ(a.retries, 4);
+  EXPECT_EQ(a.dropped_packets, 6);
 }
 
 }  // namespace
