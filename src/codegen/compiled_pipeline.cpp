@@ -258,6 +258,8 @@ support::PipelineTrace PipelineRunResult::trace() const {
   trace.links = link_metrics;
   trace.faults = faults;
   trace.fault_policy = fault_policy;
+  trace.batch_size = batch_size;
+  trace.pool = pool;
   trace.completed = completed;
   trace.error = error;
   return trace;
@@ -335,6 +337,7 @@ class StageFilter : public dc::Filter {
   std::int64_t sent_packet_bytes_ = 0;
   std::int64_t sent_replica_bytes_ = 0;
   std::int64_t packets_seen_ = 0;
+  std::size_t last_packet_capacity_ = 0;  // pool size hint for emit_packet
 };
 
 void StageFilter::init(dc::FilterContext& ctx) {
@@ -407,7 +410,11 @@ SymbolResolver StageFilter::make_resolver(Env& env, std::int64_t packet) {
 }
 
 void StageFilter::emit_packet(dc::FilterContext& ctx, Env& env) {
-  dc::Buffer out;
+  // Recycled storage sized by the largest packet this stage has produced:
+  // a monotone hint keeps every acquire in one size class, so the same
+  // storage cycles through the pool instead of migrating between classes
+  // as per-packet selectivity varies.
+  dc::Buffer out = ctx.acquire_buffer(last_packet_capacity_);
   out.write<std::uint8_t>(static_cast<std::uint8_t>(BufferKind::Packet));
   codec_.pack(env, make_resolver(env, current_packet_), out);
   const double pack_ops = pack_cost_.ops_per_buffer +
@@ -415,6 +422,7 @@ void StageFilter::emit_packet(dc::FilterContext& ctx, Env& env) {
                               static_cast<double>(out.size());
   interp_.add_external_ops(pack_ops);
   sent_packet_bytes_ += static_cast<std::int64_t>(out.size());
+  last_packet_capacity_ = std::max(last_packet_capacity_, out.capacity());
   ctx.emit(std::move(out));
 }
 
@@ -481,6 +489,7 @@ void StageFilter::process(dc::FilterContext& ctx) {
         continue;
       }
       handle_replica_buffer(in, ctx);
+      ctx.recycle(std::move(in));
       continue;
     }
     if (plan_.relay) {
@@ -521,6 +530,9 @@ void StageFilter::process(dc::FilterContext& ctx) {
                              Interpreter::default_value(alloc.element_type));
       }
     }
+    // The packet is fully decoded into env_: its backing storage can go
+    // straight back to the pool for the next packet somebody packs.
+    ctx.recycle(std::move(in));
     interp_.exec_stmts(plan_.stmts, env_);
     if (ctx.has_output()) emit_packet(ctx, env_);
     if (is_sink()) {
@@ -756,7 +768,7 @@ PipelineRunResult PipelineCompiler::run() {
   shared->result.link_packet_bytes.assign(static_cast<std::size_t>(m - 1), 0);
   shared->result.link_replica_bytes.assign(static_cast<std::size_t>(m - 1), 0);
 
-  dc::PipelineRunner runner(build_groups(shared), 16, policy_);
+  dc::PipelineRunner runner(build_groups(shared), config_, policy_);
   if (hook_) runner.set_packet_hook(hook_);
   dc::RunOutcome outcome = runner.run_supervised();
   if (outcome.error && policy_.action == dc::FaultAction::kFailFast)
@@ -767,6 +779,8 @@ PipelineRunResult PipelineCompiler::run() {
   shared->result.link_metrics = std::move(stats.link_metrics);
   shared->result.faults = std::move(stats.faults);
   shared->result.fault_policy = stats.fault_policy;
+  shared->result.batch_size = stats.batch_size;
+  shared->result.pool = stats.pool;
   shared->result.completed = stats.completed;
   shared->result.error = stats.error;
   return shared->result;

@@ -67,6 +67,10 @@ struct PipelineRunResult {
   /// normal end-of-stream. `finals` may be partial when !completed.
   std::vector<support::FaultRecord> faults;
   std::string fault_policy;
+  /// Transport telemetry: configured coalescing factor and buffer-pool
+  /// effectiveness for this run (docs/PERFORMANCE.md).
+  std::int64_t batch_size = 1;
+  support::PoolMetrics pool;
   bool completed = true;
   std::string error;
 
@@ -104,6 +108,10 @@ class PipelineCompiler {
   /// Per-packet fault-injection hook forwarded to the runner (stage groups
   /// are named "stage<N>").
   void set_packet_hook(dc::PacketHook hook) { hook_ = std::move(hook); }
+  /// Transport tuning forwarded to the generated pipeline's runner: stream
+  /// capacity, packet batching, buffer pooling.
+  void set_runner_config(const dc::RunnerConfig& config) { config_ = config; }
+  const dc::RunnerConfig& runner_config() const { return config_; }
 
   /// Runs the compiled pipeline on the threaded DataCutter runtime with the
   /// environment's copy counts and returns results + telemetry. Under
@@ -124,6 +132,7 @@ class PipelineCompiler {
   std::map<std::string, std::int64_t> runtime_constants_;
   PackCost pack_cost_;
   dc::FaultPolicy policy_;
+  dc::RunnerConfig config_;
   dc::PacketHook hook_;
   std::vector<StagePlan> plans_;
 };

@@ -20,6 +20,23 @@ class Buffer {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
   const std::byte* data() const { return data_.data(); }
+  std::size_t capacity() const { return data_.capacity(); }
+
+  // ---- storage recycling (see buffer_pool.h) -----------------------------
+  /// Wraps recycled backing storage: the buffer starts logically empty but
+  /// keeps the vector's capacity, so writes into it do not allocate.
+  static Buffer adopt(std::vector<std::byte>&& storage) {
+    Buffer buffer;
+    storage.clear();
+    buffer.data_ = std::move(storage);
+    return buffer;
+  }
+  /// Surrenders the backing storage (the buffer becomes empty). The
+  /// returned vector keeps its capacity and can back a future packet.
+  std::vector<std::byte> release_storage() {
+    read_pos_ = 0;
+    return std::move(data_);
+  }
 
   // ---- writing -----------------------------------------------------------
   template <typename T>

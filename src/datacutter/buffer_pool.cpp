@@ -1,0 +1,82 @@
+#include "datacutter/buffer_pool.h"
+
+#include <algorithm>
+
+namespace cgp::dc {
+
+std::size_t BufferPool::class_of(std::size_t bytes) {
+  std::size_t c = 0;
+  while (c + 1 < kClasses && (static_cast<std::size_t>(1) << (c + 1)) <= bytes)
+    ++c;
+  return c;
+}
+
+Buffer BufferPool::acquire(std::size_t reserve_bytes) {
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  // Recycled storage is binned by floor-log2 of its capacity, so a class-c
+  // entry is only guaranteed to hold >= 2^c bytes. For a non-power-of-two
+  // request that floor class may still contain a fitting entry (buffers
+  // grown past the request often land there), so it is scanned with an
+  // explicit capacity check; every class above it satisfies the request by
+  // construction. With no size hint any storage serves.
+  const std::size_t floor_class = class_of(reserve_bytes);
+  const std::size_t limit = reserve_bytes == 0 ? kClasses : floor_class + 4;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t c = floor_class; c < limit && c < kClasses; ++c) {
+      std::vector<std::vector<std::byte>>& bin = classes_[c];
+      if (c == floor_class &&
+          reserve_bytes > (static_cast<std::size_t>(1) << c)) {
+        for (auto it = bin.rbegin(); it != bin.rend(); ++it) {
+          if (it->capacity() < reserve_bytes) continue;
+          std::vector<std::byte> storage = std::move(*it);
+          bin.erase(std::next(it).base());
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return Buffer::adopt(std::move(storage));
+        }
+        continue;
+      }
+      if (bin.empty()) continue;
+      std::vector<std::byte> storage = std::move(bin.back());
+      bin.pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Buffer::adopt(std::move(storage));
+    }
+  }
+  if (reserve_bytes == 0) return Buffer();
+  // Round the fresh allocation up to the next class boundary so repeated
+  // odd-sized requests converge on a single class instead of seeding the
+  // pool with capacities just below every boundary.
+  std::size_t rounded = static_cast<std::size_t>(1) << floor_class;
+  if (rounded < reserve_bytes && floor_class + 1 < kClasses)
+    rounded <<= 1;
+  return Buffer(std::max(reserve_bytes, rounded));
+}
+
+void BufferPool::recycle(Buffer&& buffer) {
+  std::vector<std::byte> storage = buffer.release_storage();
+  if (storage.capacity() == 0) return;  // nothing worth keeping
+  recycles_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t c = class_of(storage.capacity());
+  {
+    std::lock_guard lock(mutex_);
+    if (classes_[c].size() < max_per_class_) {
+      storage.clear();
+      classes_[c].push_back(std::move(storage));
+      return;
+    }
+  }
+  discarded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+support::PoolMetrics BufferPool::metrics() const {
+  support::PoolMetrics m;
+  m.acquires = acquires();
+  m.hits = hits();
+  m.misses = misses();
+  m.recycles = recycles();
+  m.discarded = discarded();
+  return m;
+}
+
+}  // namespace cgp::dc

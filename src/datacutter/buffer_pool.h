@@ -1,0 +1,74 @@
+// Buffer backing-storage pool (docs/PERFORMANCE.md). The paper's time
+// model charges every packet a per-link transfer; the runtime should not
+// additionally charge it a heap allocation. Consumers return a packet's
+// backing vector after decoding it, producers adopt recycled storage for
+// the next packet, and in steady state no packet allocates: the same
+// handful of vectors cycles around the pipeline.
+//
+// Storage is binned by power-of-two capacity class. acquire() searches the
+// requested class and the next two larger ones (a slightly-roomier vector
+// is still a win); recycle() bins by floor-log2(capacity) so everything in
+// class c can serve a request of up to 2^c bytes. Each class is capped to
+// bound worst-case retention on irregular traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "datacutter/buffer.h"
+#include "support/metrics.h"
+
+namespace cgp::dc {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_per_class = 64)
+      : max_per_class_(max_per_class) {}
+
+  /// Returns a logically empty buffer whose backing capacity is at least
+  /// `reserve_bytes` when a recycled vector of that class is available
+  /// (a hit), or freshly reserved storage otherwise (a miss).
+  Buffer acquire(std::size_t reserve_bytes = 0);
+
+  /// Takes back a buffer's backing storage for future acquires. Storage
+  /// beyond the per-class cap (or with no capacity at all) is discarded.
+  void recycle(Buffer&& buffer);
+
+  std::int64_t acquires() const {
+    return acquires_.load(std::memory_order_relaxed);
+  }
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const { return acquires() - hits(); }
+  std::int64_t recycles() const {
+    return recycles_.load(std::memory_order_relaxed);
+  }
+  std::int64_t discarded() const {
+    return discarded_.load(std::memory_order_relaxed);
+  }
+  /// Fraction of acquires served from the freelists (0 when idle).
+  double hit_rate() const {
+    const std::int64_t n = acquires();
+    return n > 0 ? static_cast<double>(hits()) / static_cast<double>(n) : 0.0;
+  }
+
+  /// Snapshot for the run trace.
+  support::PoolMetrics metrics() const;
+
+ private:
+  // Capacities up to 2^kClasses-1 bytes are binned; larger ones go to the
+  // last class. 2^26 = 64 MiB dwarfs any packet this runtime moves.
+  static constexpr std::size_t kClasses = 27;
+  static std::size_t class_of(std::size_t bytes);
+
+  const std::size_t max_per_class_;
+  std::mutex mutex_;
+  std::vector<std::vector<std::byte>> classes_[kClasses];
+  std::atomic<std::int64_t> acquires_{0};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> recycles_{0};
+  std::atomic<std::int64_t> discarded_{0};
+};
+
+}  // namespace cgp::dc

@@ -8,7 +8,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "datacutter/buffer_pool.h"
 #include "datacutter/stream.h"
 #include "support/metrics.h"
 
@@ -61,9 +63,32 @@ class FilterContext {
     }
     const Clock::time_point start = Clock::now();
     close_latency_window(start);
-    if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
-    std::optional<Buffer> buffer = input_->pop();
-    if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
+    std::optional<Buffer> buffer;
+    if (incoming_next_ < incoming_.size()) {
+      // Serve from the batch a previous pop already moved out of the
+      // stream — no lock, no wakeup.
+      buffer = std::move(incoming_[incoming_next_++]);
+      if (incoming_next_ == incoming_.size()) {
+        incoming_.clear();
+        incoming_next_ = 0;
+      }
+    } else if (batch_size_ > 1) {
+      if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
+      input_->pop_batch(incoming_, batch_size_);
+      if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
+      if (!incoming_.empty()) {
+        incoming_next_ = 1;
+        buffer = std::move(incoming_.front());
+        if (incoming_.size() == 1) {
+          incoming_.clear();
+          incoming_next_ = 0;
+        }
+      }
+    } else {
+      if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
+      buffer = input_->pop();
+      if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
+    }
     const Clock::time_point done = Clock::now();
     stall_input_ns_ += ns_between(start, done);
     if (buffer) {
@@ -96,23 +121,39 @@ class FilterContext {
     } else if (capture_inflight_) {
       inflight_.reset();  // the in-flight packet produced its output
     }
-    const std::int64_t size = static_cast<std::int64_t>(buffer.size());
-    const Clock::time_point start = Clock::now();
     // Sources have no read() to bound a packet window; successive emits do.
-    if (!input_) close_latency_window(start);
+    if (!input_) close_latency_window(Clock::now());
+    pending_.push_back(std::move(buffer));
+    if (pending_.size() >= batch_size_) flush_output();
+    if (!input_) window_start_ = Clock::now();
+  }
+
+  /// Pushes coalesced output downstream: one enqueue + one consumer wakeup
+  /// for the whole pending batch. Runs automatically once `batch_size`
+  /// buffers accumulate, and the runner calls it at the end of every
+  /// attempt (success or failure) so no delivered packet is ever stranded
+  /// in the producer. Delivery accounting lives here — a batch the aborted
+  /// stream dropped was never delivered and must not count as output, or a
+  /// restarted source would skip live packets.
+  void flush_output() {
+    if (!output_ || pending_.empty()) return;
+    std::int64_t bytes = 0;
+    for (const Buffer& b : pending_)
+      bytes += static_cast<std::int64_t>(b.size());
+    const std::size_t count = pending_.size();
+    const Clock::time_point start = Clock::now();
     if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
-    const bool accepted = output_->push(std::move(buffer));
+    const std::size_t accepted = output_->push_batch(pending_);
     if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
-    const Clock::time_point done = Clock::now();
-    stall_output_ns_ += ns_between(start, done);
-    if (accepted) {
-      // A push the aborted stream dropped was never delivered: it must not
-      // count as output, or a restarted source would skip live packets.
-      ++packets_out_;
-      bytes_out_ += size;
-      if (runtime_) runtime_->progress.fetch_add(1, std::memory_order_relaxed);
+    stall_output_ns_ += ns_between(start, Clock::now());
+    pending_.clear();
+    if (accepted == count) {
+      packets_out_ += static_cast<std::int64_t>(count);
+      bytes_out_ += bytes;
+      if (runtime_)
+        runtime_->progress.fetch_add(static_cast<std::int64_t>(count),
+                                     std::memory_order_relaxed);
     }
-    if (!input_) window_start_ = done;
   }
 
   int copy_index() const { return copy_index_; }
@@ -141,6 +182,44 @@ class FilterContext {
   std::int64_t delivered() const { return packets_out_; }
   /// Per-copy ordinal of the most recent packet handled (-1 before any).
   std::int64_t current_packet() const { return last_packet_; }
+
+  // ---- transport tuning (installed by the runner) -----------------------
+  /// Producer-side coalescing factor: emit() buffers up to this many
+  /// packets before pushing them downstream as one batch; read() pops up
+  /// to this many at a time. 1 (the default) reproduces unbatched
+  /// per-packet transport exactly.
+  void set_batch_size(std::size_t n) { batch_size_ = n == 0 ? 1 : n; }
+  std::size_t batch_size() const { return batch_size_; }
+  /// Wires the run-wide buffer pool; acquire_buffer()/recycle() fall back
+  /// to plain allocation when absent.
+  void set_pool(BufferPool* pool) { pool_ = pool; }
+  /// Fresh packet storage, recycled from the pool when possible.
+  Buffer acquire_buffer(std::size_t reserve_bytes = 0) {
+    return pool_ ? pool_->acquire(reserve_bytes) : Buffer(reserve_bytes);
+  }
+  /// Returns a fully-consumed buffer's backing storage to the pool.
+  void recycle(Buffer&& buffer) {
+    if (pool_) pool_->recycle(std::move(buffer));
+  }
+
+  /// Buffers pop_batch moved out of the stream that read() has not yet
+  /// served. The supervisor carries them over to a restarted instance
+  /// (arm_unread) so batching never turns a copy restart into packet loss.
+  std::vector<Buffer> take_unread() {
+    std::vector<Buffer> rest;
+    rest.reserve(incoming_.size() - incoming_next_);
+    for (std::size_t i = incoming_next_; i < incoming_.size(); ++i)
+      rest.push_back(std::move(incoming_[i]));
+    incoming_.clear();
+    incoming_next_ = 0;
+    return rest;
+  }
+  /// Seeds read() with buffers a previous instance popped but never read.
+  void arm_unread(std::vector<Buffer> buffers) {
+    incoming_ = std::move(buffers);
+    incoming_next_ = 0;
+  }
+  std::size_t unread_count() const { return incoming_.size() - incoming_next_; }
 
   /// Instrumentation: abstract operations this instance performed (used by
   /// the pipeline simulator to time the run on a configured environment).
@@ -182,6 +261,12 @@ class FilterContext {
   Stream* output_;
   int copy_index_;
   int copy_count_;
+  // Transport tuning (see set_batch_size/set_pool).
+  std::size_t batch_size_ = 1;
+  BufferPool* pool_ = nullptr;
+  std::vector<Buffer> pending_;    // emitted, not yet pushed downstream
+  std::vector<Buffer> incoming_;   // popped, not yet served to read()
+  std::size_t incoming_next_ = 0;  // first unread slot of incoming_
   double ops_ = 0.0;
   std::int64_t packets_in_ = 0;
   std::int64_t packets_out_ = 0;

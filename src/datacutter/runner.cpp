@@ -60,6 +60,8 @@ support::PipelineTrace RunStats::trace() const {
   trace.links = link_metrics;
   trace.faults = faults;
   trace.fault_policy = fault_policy;
+  trace.batch_size = batch_size;
+  trace.pool = pool;
   trace.completed = completed;
   trace.error = error;
   if (!group_metrics.empty()) trace.packets = group_metrics.front().packets_out;
@@ -69,9 +71,14 @@ support::PipelineTrace RunStats::trace() const {
 PipelineRunner::PipelineRunner(std::vector<FilterGroup> groups,
                                std::size_t stream_capacity,
                                FaultPolicy policy)
-    : groups_(std::move(groups)),
-      stream_capacity_(stream_capacity),
-      policy_(policy) {
+    : PipelineRunner(std::move(groups),
+                     RunnerConfig{stream_capacity, 1, 64}, policy) {}
+
+PipelineRunner::PipelineRunner(std::vector<FilterGroup> groups,
+                               RunnerConfig config, FaultPolicy policy)
+    : groups_(std::move(groups)), config_(config), policy_(policy) {
+  if (config_.stream_capacity == 0) config_.stream_capacity = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
   if (groups_.empty())
     throw std::invalid_argument("PipelineRunner: empty pipeline");
   for (const FilterGroup& g : groups_) {
@@ -95,10 +102,16 @@ RunOutcome PipelineRunner::run_supervised() {
   std::vector<std::unique_ptr<Stream>> streams;
   streams.reserve(n_groups - 1);
   for (std::size_t i = 0; i + 1 < n_groups; ++i) {
-    auto stream = std::make_unique<Stream>(stream_capacity_);
+    auto stream = std::make_unique<Stream>(config_.stream_capacity);
     stream->set_producers(groups_[i].copies);
     streams.push_back(std::move(stream));
   }
+  // One pool per run, shared by every copy: storage released downstream is
+  // recycled into the batches upstream builds next. Threads join before the
+  // pool goes out of scope.
+  std::optional<BufferPool> pool;
+  if (config_.pool_buffers_per_class > 0)
+    pool.emplace(config_.pool_buffers_per_class);
 
   RunOutcome outcome;
   RunStats& stats = outcome.stats;
@@ -215,6 +228,7 @@ RunOutcome PipelineRunner::run_supervised() {
         const auto copy_start = Clock::now();
         support::FilterMetrics copy_metrics;
         std::optional<Buffer> replay;
+        std::vector<Buffer> unread;  // popped by a dead instance, not read
         std::int64_t delivered_total = 0;
         int consecutive = 0;  // fruitless restarts in a row
         int attempt = 0;      // total restarts (for hook/fault context)
@@ -224,12 +238,16 @@ RunOutcome PipelineRunner::run_supervised() {
         for (;;) {
           FilterContext ctx(input, output, copy, groups_[gi].copies);
           ctx.attach_runtime(&runtimes[gi]);
+          ctx.set_batch_size(config_.batch_size);
+          if (pool) ctx.set_pool(&*pool);
           if (policy_.action == FaultAction::kRestartCopy)
             ctx.set_capture_inflight(true);
           if (replay) {
             ctx.arm_replay(std::move(*replay));
             replay.reset();
           }
+          if (!unread.empty()) ctx.arm_unread(std::move(unread));
+          unread.clear();
           if (!input) ctx.set_skip_emits(delivered_total);
           if (hook_) {
             const std::string& group_name = groups_[gi].name;
@@ -256,6 +274,14 @@ RunOutcome PipelineRunner::run_supervised() {
             error = std::current_exception();
             what = "unknown exception";
           }
+          // Flush coalesced output on every exit — success or failure —
+          // before reading delivered(): packets the attempt emitted must
+          // reach downstream (or be counted dropped by an aborted stream)
+          // so exactly-once replay accounting stays exact under batching.
+          ctx.flush_output();
+          // Buffers pop_batch moved out of the stream that read() never
+          // served carry over to the next attempt of this copy.
+          unread = ctx.take_unread();
           // Harvest the attempt's counters either way: partial progress of
           // a failed instance is real traffic that must stay visible.
           support::FilterMetrics attempt_metrics = ctx.metrics();
@@ -300,6 +326,11 @@ RunOutcome PipelineRunner::run_supervised() {
           if (consecutive > policy_.max_retries) {
             fault.resolution = support::FaultResolution::kCopyDead;
             record_fault(std::move(fault));
+            if (input && ctx.current_packet() >= 0) {
+              // The in-flight packet dies with the copy: count it so the
+              // pushed == delivered + dropped ledger stays exact.
+              copy_metrics.dropped_packets += 1;
+            }
             copy_dead = true;
             break;
           }
@@ -324,6 +355,14 @@ RunOutcome PipelineRunner::run_supervised() {
                 std::chrono::duration<double>(backoff));
           backoff = std::min(backoff * policy_.backoff_multiplier,
                              policy_.backoff_max_seconds);
+        }
+        if (copy_dead && !unread.empty()) {
+          // Packets this copy popped but never processed die with it:
+          // surface them as consumer-side drops so no packet vanishes
+          // from the accounting.
+          copy_metrics.dropped_packets +=
+              static_cast<std::int64_t>(unread.size());
+          unread.clear();
         }
         // Every exit path closes the output so downstream drains to EOS
         // gracefully instead of waiting for buffers that will never come.
@@ -367,6 +406,8 @@ RunOutcome PipelineRunner::run_supervised() {
     stats.link_bytes.push_back(stream->bytes_pushed());
     stats.link_metrics.push_back(stream->metrics());
   }
+  stats.batch_size = static_cast<std::int64_t>(config_.batch_size);
+  if (pool) stats.pool = pool->metrics();
   outcome.error = first_error;
   stats.completed = !first_error;
   return outcome;

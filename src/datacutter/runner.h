@@ -64,6 +64,20 @@ using PacketHook = std::function<void(const std::string& group, int copy,
                                       int attempt, std::int64_t packet,
                                       Buffer* buffer)>;
 
+/// Transport configuration for one runner (docs/PERFORMANCE.md): stream
+/// depth, producer-side packet coalescing, and buffer-storage recycling.
+struct RunnerConfig {
+  /// Bounded depth of every inter-group stream (backpressure window).
+  std::size_t stream_capacity = 16;
+  /// Producer-side coalescing factor: each copy accumulates up to this
+  /// many packets and enqueues them as one batch (one lock acquisition,
+  /// one consumer wakeup). 1 reproduces per-packet transport exactly.
+  std::size_t batch_size = 1;
+  /// Freelist depth per power-of-two size class of the run's BufferPool;
+  /// 0 disables pooling and every packet allocates fresh storage.
+  std::size_t pool_buffers_per_class = 64;
+};
+
 struct RunStats {
   /// Indexed by link (between consecutive groups).
   std::vector<std::int64_t> link_buffers;
@@ -82,6 +96,10 @@ struct RunStats {
   /// policy in force, and whether the run reached normal end-of-stream.
   std::vector<support::FaultRecord> faults;
   std::string fault_policy;
+  /// Transport telemetry: the configured coalescing factor and the run's
+  /// buffer-pool counters (zeroed when pooling was disabled).
+  std::int64_t batch_size = 1;
+  support::PoolMetrics pool;
   bool completed = true;
   std::string error;  // first fatal condition; empty on success
 
@@ -107,9 +125,12 @@ class PipelineRunner {
   explicit PipelineRunner(std::vector<FilterGroup> groups,
                           std::size_t stream_capacity = 16,
                           FaultPolicy policy = {});
+  PipelineRunner(std::vector<FilterGroup> groups, RunnerConfig config,
+                 FaultPolicy policy = {});
 
   void set_fault_policy(const FaultPolicy& policy) { policy_ = policy; }
   const FaultPolicy& fault_policy() const { return policy_; }
+  const RunnerConfig& config() const { return config_; }
   /// Installs a per-packet fault-injection hook applied to every copy.
   void set_packet_hook(PacketHook hook) { hook_ = std::move(hook); }
 
@@ -125,7 +146,7 @@ class PipelineRunner {
 
  private:
   std::vector<FilterGroup> groups_;
-  std::size_t stream_capacity_;
+  RunnerConfig config_;
   FaultPolicy policy_;
   PacketHook hook_;
 };

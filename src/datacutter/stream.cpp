@@ -31,11 +31,51 @@ bool Stream::push(Buffer&& buffer) {
   buffers_pushed_.fetch_add(1, std::memory_order_relaxed);
   bytes_pushed_.fetch_add(static_cast<std::int64_t>(buffer.size()),
                           std::memory_order_relaxed);
+  batches_pushed_.fetch_add(1, std::memory_order_relaxed);
   queue_.push_back(std::move(buffer));
   if (queue_.size() > occupancy_high_water_.load(std::memory_order_relaxed))
     occupancy_high_water_.store(queue_.size(), std::memory_order_relaxed);
   can_pop_.notify_one();
   return true;
+}
+
+std::size_t Stream::push_batch(std::vector<Buffer>& batch) {
+  if (batch.empty()) return 0;
+  if (batch.size() == 1) {
+    const bool accepted = push(std::move(batch.front()));
+    batch.clear();
+    return accepted ? 1 : 0;
+  }
+  std::unique_lock lock(mutex_);
+  if (queue_.size() >= capacity_ && !aborted_) {
+    const Clock::time_point start = Clock::now();
+    can_push_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || aborted_; });
+    producer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
+  }
+  if (aborted_) {
+    dropped_buffers_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                               std::memory_order_relaxed);
+    batch.clear();
+    return 0;
+  }
+  std::int64_t bytes = 0;
+  for (Buffer& buffer : batch) {
+    bytes += static_cast<std::int64_t>(buffer.size());
+    queue_.push_back(std::move(buffer));
+  }
+  const std::size_t accepted = batch.size();
+  batch.clear();
+  buffers_pushed_.fetch_add(static_cast<std::int64_t>(accepted),
+                            std::memory_order_relaxed);
+  bytes_pushed_.fetch_add(bytes, std::memory_order_relaxed);
+  batches_pushed_.fetch_add(1, std::memory_order_relaxed);
+  if (queue_.size() > occupancy_high_water_.load(std::memory_order_relaxed))
+    occupancy_high_water_.store(queue_.size(), std::memory_order_relaxed);
+  // One wakeup for the whole batch; notify_all because several starved
+  // consumers may be able to make progress on it.
+  can_pop_.notify_all();
+  return accepted;
 }
 
 std::optional<Buffer> Stream::pop() {
@@ -48,11 +88,37 @@ std::optional<Buffer> Stream::pop() {
     can_pop_.wait(lock, ready);
     consumer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
   }
-  if (aborted_ || queue_.empty()) return std::nullopt;
+  if (queue_.empty()) return std::nullopt;
   Buffer buffer = std::move(queue_.front());
   queue_.pop_front();
   can_push_.notify_one();
   return buffer;
+}
+
+std::size_t Stream::pop_batch(std::vector<Buffer>& out,
+                              std::size_t max_buffers) {
+  if (max_buffers == 0) return 0;
+  std::unique_lock lock(mutex_);
+  const auto ready = [&] {
+    return !queue_.empty() || closed_producers_ >= producers_ || aborted_;
+  };
+  if (!ready()) {
+    const Clock::time_point start = Clock::now();
+    can_pop_.wait(lock, ready);
+    consumer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
+  }
+  std::size_t moved = 0;
+  while (moved < max_buffers && !queue_.empty()) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    ++moved;
+  }
+  if (moved > 1) {
+    can_push_.notify_all();
+  } else if (moved == 1) {
+    can_push_.notify_one();
+  }
+  return moved;
 }
 
 void Stream::close() {
@@ -64,6 +130,13 @@ void Stream::close() {
 void Stream::abort() {
   std::unique_lock lock(mutex_);
   aborted_ = true;
+  // Queued buffers will never reach a consumer: count them as dropped and
+  // release their storage, keeping pushed == popped + dropped exact.
+  if (!queue_.empty()) {
+    dropped_buffers_.fetch_add(static_cast<std::int64_t>(queue_.size()),
+                               std::memory_order_relaxed);
+    queue_.clear();
+  }
   can_push_.notify_all();
   can_pop_.notify_all();
 }
@@ -81,6 +154,7 @@ support::LinkMetrics Stream::metrics() const {
   support::LinkMetrics m;
   m.buffers = buffers_pushed();
   m.bytes = bytes_pushed();
+  m.batches = batches_pushed();
   m.capacity = static_cast<std::int64_t>(capacity_);
   m.occupancy_high_water =
       static_cast<std::int64_t>(occupancy_high_water());

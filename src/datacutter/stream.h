@@ -12,6 +12,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "datacutter/buffer.h"
 #include "support/metrics.h"
@@ -31,15 +32,29 @@ class Stream {
   /// are never left guessing whether data made it in; every such drop is
   /// also counted in dropped_buffers().
   bool push(Buffer&& buffer);
+  /// Enqueues a whole batch under one lock acquisition and one consumer
+  /// wakeup — the fast path of producer-side packet coalescing. Blocks
+  /// until the queue has room for at least one buffer, then appends the
+  /// entire batch (bounded overshoot of capacity + |batch| - 1 keeps the
+  /// batch atomic in FIFO order). Returns the number of buffers accepted:
+  /// all of them, or zero when the stream was aborted (the whole batch is
+  /// counted as dropped — a torn-down pipeline delivers nothing partial).
+  /// The batch vector is left empty either way.
+  std::size_t push_batch(std::vector<Buffer>& batch);
   /// Blocks until a buffer is available or the stream is closed and
   /// drained; nullopt signals end-of-stream.
   std::optional<Buffer> pop();
+  /// Consumer-side batch pop: blocks like pop(), then moves up to
+  /// `max_buffers` queued buffers into `out` (appending) under one lock
+  /// acquisition. Returns the number moved; 0 signals end-of-stream.
+  std::size_t pop_batch(std::vector<Buffer>& out, std::size_t max_buffers);
   /// One producer instance is done; the last close wakes all consumers.
   void close();
   /// Emergency teardown (a filter failed): unblocks every producer and
   /// consumer; subsequent pushes are dropped, pops return end-of-stream.
-  /// Counters stay consistent: blocked threads still account their wait,
-  /// dropped buffers are never counted as pushed.
+  /// Buffers still queued are discarded and counted as dropped — they
+  /// never reached a consumer — so `pushed == popped + dropped` holds
+  /// exactly at all times. Blocked threads still account their wait.
   void abort();
   /// Consumes and discards everything until end-of-stream, counting each
   /// discarded buffer as dropped. Used when the last copy of a stage dies:
@@ -53,6 +68,11 @@ class Stream {
   }
   std::int64_t bytes_pushed() const {
     return bytes_pushed_.load(std::memory_order_relaxed);
+  }
+  /// Enqueue operations (push calls + accepted push_batch calls);
+  /// buffers_pushed / batches_pushed is the realized mean batch size.
+  std::int64_t batches_pushed() const {
+    return batches_pushed_.load(std::memory_order_relaxed);
   }
   /// Buffers that never reached a consumer (post-abort pushes + drain()).
   std::int64_t dropped_buffers() const {
@@ -88,6 +108,7 @@ class Stream {
   bool aborted_ = false;
   std::atomic<std::int64_t> buffers_pushed_{0};
   std::atomic<std::int64_t> bytes_pushed_{0};
+  std::atomic<std::int64_t> batches_pushed_{0};
   std::atomic<std::int64_t> dropped_buffers_{0};
   std::atomic<std::size_t> occupancy_high_water_{0};
   std::atomic<std::int64_t> producer_block_ns_{0};

@@ -10,6 +10,12 @@ namespace cgp {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-packet share of the fixed per-enqueue link overhead (0 unless the
+/// input models batching).
+double per_packet_batch_overhead(const DecompositionInput& input) {
+  return input.link_batch_overhead_sec / std::max(1.0, input.batch_size);
+}
 }
 
 std::vector<int> Placement::cuts(int stages) const {
@@ -54,13 +60,15 @@ DecompositionResult decompose_dp(const DecompositionInput& input) {
       static_cast<std::size_t>(F + 1),
       std::vector<bool>(static_cast<std::size_t>(M), false));
   std::size_t cells = 0;
+  const double batch_oh = per_packet_batch_overhead(input);
 
   T[0][0] = cost_comp(input.env.units[0], input.source_io_ops);
   for (int j = 1; j < M; ++j) {
     T[0][static_cast<std::size_t>(j)] =
         T[0][static_cast<std::size_t>(j - 1)] +
         cost_comm(input.env.links[static_cast<std::size_t>(j - 1)],
-                  input.input_bytes);
+                  input.input_bytes) +
+        batch_oh;
     ++cells;
   }
 
@@ -79,9 +87,11 @@ DecompositionResult decompose_dp(const DecompositionInput& input) {
         double prev =
             T[static_cast<std::size_t>(i)][static_cast<std::size_t>(j - 1)];
         if (prev < kInf) {
-          via_comm = prev + cost_comm(
-                                input.env.links[static_cast<std::size_t>(j - 1)],
-                                vol);
+          via_comm = prev +
+                     cost_comm(
+                         input.env.links[static_cast<std::size_t>(j - 1)],
+                         vol) +
+                     batch_oh;
         }
       }
       const bool comp_wins = via_comp <= via_comm;
@@ -117,13 +127,15 @@ double decompose_dp_cost_only(const DecompositionInput& input) {
   const int F = input.filter_count();
   const int M = input.env.stages();
   // Rolling row: O(m) live cells (§4.4 closing remark).
+  const double batch_oh = per_packet_batch_overhead(input);
   std::vector<double> row(static_cast<std::size_t>(M), kInf);
   row[0] = cost_comp(input.env.units[0], input.source_io_ops);
   for (int j = 1; j < M; ++j) {
     row[static_cast<std::size_t>(j)] =
         row[static_cast<std::size_t>(j - 1)] +
         cost_comm(input.env.links[static_cast<std::size_t>(j - 1)],
-                  input.input_bytes);
+                  input.input_bytes) +
+        batch_oh;
   }
   for (int i = 1; i <= F; ++i) {
     const double task = input.task_ops[static_cast<std::size_t>(i - 1)];
@@ -139,9 +151,11 @@ double decompose_dp_cost_only(const DecompositionInput& input) {
         // row[j-1] already holds T[i][j-1] (updated this sweep).
         double prev = row[static_cast<std::size_t>(j - 1)];
         if (prev < kInf) {
-          via_comm = prev + cost_comm(
-                                input.env.links[static_cast<std::size_t>(j - 1)],
-                                vol);
+          via_comm = prev +
+                     cost_comm(
+                         input.env.links[static_cast<std::size_t>(j - 1)],
+                         vol) +
+                     batch_oh;
         }
       }
       row[static_cast<std::size_t>(j)] = std::min(via_comp, via_comm);
@@ -169,13 +183,15 @@ void placement_times(const DecompositionInput& input,
                   input.task_ops[i]);
   }
   std::vector<int> cut = placement.cuts(M);
+  const double batch_oh = per_packet_batch_overhead(input);
   for (int k = 0; k < M - 1; ++k) {
     double bytes = cut[static_cast<std::size_t>(k)] >= 0
                        ? input.boundary_bytes[static_cast<std::size_t>(
                              cut[static_cast<std::size_t>(k)])]
                        : input.input_bytes;
     link_times[static_cast<std::size_t>(k)] =
-        cost_comm(input.env.links[static_cast<std::size_t>(k)], bytes);
+        cost_comm(input.env.links[static_cast<std::size_t>(k)], bytes) +
+        batch_oh;
   }
 }
 

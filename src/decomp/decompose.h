@@ -43,6 +43,13 @@ struct DecompositionInput {
   std::vector<char> updates_reduction;   // per filter, optional
   double replica_payload_bytes = 0.0;    // one replica's wire size
   double replica_merge_ops = 0.0;        // merging one replica downstream
+  /// Fixed per-enqueue overhead of a link (latency + lock + wakeup),
+  /// amortized over the transport's batch size: each crossed link charges
+  /// link_batch_overhead_sec / batch_size per packet on top of the byte
+  /// cost (see DESIGN.md, "batching term"). Defaults reproduce the
+  /// paper's Figure 3 model exactly (no batching term).
+  double link_batch_overhead_sec = 0.0;
+  double batch_size = 1.0;
   EnvironmentSpec env;
 
   int filter_count() const { return static_cast<int>(task_ops.size()); }

@@ -187,6 +187,22 @@ DecompositionInput profile_decomposition_input_from_run(
       input.input_bytes = link_bytes[k];
     }
   }
+
+  // Transport feedback: the run's realized mean batch size (buffers per
+  // enqueue, including the partial flush at end-of-stream) replaces the
+  // configured factor in the batching term's amortization.
+  std::int64_t buffers = 0;
+  std::int64_t batches = 0;
+  for (const support::LinkMetrics& link : run.link_metrics) {
+    buffers += link.buffers;
+    batches += link.batches;
+  }
+  if (batches > 0) {
+    input.batch_size = std::max(
+        1.0, static_cast<double>(buffers) / static_cast<double>(batches));
+  } else if (run.batch_size > 1) {
+    input.batch_size = static_cast<double>(run.batch_size);
+  }
   return input;
 }
 
@@ -226,10 +242,15 @@ PacketSizeChoice choose_packet_count(
     // packets drown in fixed per-buffer costs, giant packets lose the
     // pipelining overlap.
     DecompositionInput charged = result.decomp_input;
+    // The fixed per-buffer part is an enqueue/wakeup cost: with packet
+    // batching, batch_size packets share one enqueue, so it amortizes;
+    // the per-byte copy cost does not.
+    const double batch = static_cast<double>(
+        std::max<std::size_t>(std::size_t{1}, base_options.batch_size));
     for (std::size_t i = 0; i < charged.task_ops.size(); ++i) {
       const double in_bytes =
           i == 0 ? charged.input_bytes : charged.boundary_bytes[i - 1];
-      charged.task_ops[i] += 2.0 * 400.0 +
+      charged.task_ops[i] += 2.0 * 400.0 / batch +
                              0.25 * (in_bytes + charged.boundary_bytes[i]);
     }
     DecompositionResult placed =

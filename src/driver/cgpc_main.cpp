@@ -23,6 +23,12 @@
 //   --fault-seed=N       seed for probabilistic fault specs (~P triggers)
 //   --stage-timeout=S    watchdog: abort if a live stage moves no buffer
 //                        for S seconds (0 = disabled)
+//   --stream-capacity=N  bounded depth of every inter-stage stream
+//                        (backpressure window, default 16)
+//   --batch-size=N       producer-side packet coalescing: enqueue up to N
+//                        packets per lock acquisition / consumer wakeup
+//                        (default 1 = per-packet transport); also feeds
+//                        the cost model's batching term
 //   --default            use the Default placement instead of Decomp
 //   --no-fission         disable loop fission
 #include <cstdint>
@@ -46,8 +52,8 @@ void usage() {
                "[--define NAME=VALUE]... [--bind NAME=VALUE]... "
                "[--packets N] [--emit] [--analysis] [--run] "
                "[--trace=<file>] [--fault-policy=P] [--fault-inject=SPEC] "
-               "[--fault-seed=N] [--stage-timeout=S] [--default] "
-               "[--no-fission]\n");
+               "[--fault-seed=N] [--stage-timeout=S] [--stream-capacity=N] "
+               "[--batch-size=N] [--default] [--no-fission]\n");
 }
 
 bool parse_kv(const char* arg, std::string& name, std::int64_t& value) {
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
   dc::FaultPolicy fault_policy;
   std::string fault_inject;
   std::uint64_t fault_seed = 0;
+  dc::RunnerConfig transport;
   CompileOptions options;
   options.n_packets = 16;
 
@@ -152,6 +159,18 @@ int main(int argc, char** argv) {
       fault_policy.stage_timeout_seconds = std::strtod(arg + 16, nullptr);
     } else if (std::strcmp(arg, "--stage-timeout") == 0) {
       fault_policy.stage_timeout_seconds = std::strtod(next(), nullptr);
+    } else if (std::strncmp(arg, "--stream-capacity=", 18) == 0) {
+      transport.stream_capacity =
+          static_cast<std::size_t>(std::strtoull(arg + 18, nullptr, 10));
+    } else if (std::strcmp(arg, "--stream-capacity") == 0) {
+      transport.stream_capacity =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strncmp(arg, "--batch-size=", 13) == 0) {
+      transport.batch_size =
+          static_cast<std::size_t>(std::strtoull(arg + 13, nullptr, 10));
+    } else if (std::strcmp(arg, "--batch-size") == 0) {
+      transport.batch_size =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (std::strcmp(arg, "--default") == 0) {
       use_default = true;
     } else if (std::strcmp(arg, "--no-fission") == 0) {
@@ -180,6 +199,12 @@ int main(int argc, char** argv) {
   options.env = stages > 0 ? EnvironmentSpec::uniform(stages, 350e6, 60e6,
                                                       20e-6)
                            : EnvironmentSpec::paper_cluster(width);
+  options.batch_size = transport.batch_size;
+  // With a non-trivial batch size, model the fixed per-enqueue link
+  // overhead so the placement optimizer sees what batching amortizes
+  // away (the links' configured latency is the natural scale for it).
+  if (transport.batch_size > 1 && !options.env.links.empty())
+    options.link_batch_overhead_sec = options.env.links.front().latency_sec;
 
   CompileResult result = compile_pipeline(source.str(), options);
   if (!result.ok) {
@@ -232,7 +257,8 @@ int main(int argc, char** argv) {
       }
     }
     try {
-      PipelineCompiler compiler = result.make_runner(placement, options.env);
+      PipelineCompiler compiler =
+          result.make_runner(placement, options.env, {}, transport);
       compiler.set_fault_policy(fault_policy);
       if (!fault_plan.empty())
         compiler.set_packet_hook(
@@ -268,6 +294,17 @@ int main(int argc, char** argv) {
         std::printf("measured bottleneck: %s\n",
                     trace.filters[static_cast<std::size_t>(bottleneck)]
                         .name.c_str());
+      }
+      if (outcome.pool.acquires > 0 || outcome.batch_size > 1) {
+        std::printf(
+            "transport: batch size %lld, pool hit rate %.1f%% "
+            "(%lld/%lld acquires, %lld recycled, %lld discarded)\n",
+            static_cast<long long>(outcome.batch_size),
+            100.0 * outcome.pool.hit_rate(),
+            static_cast<long long>(outcome.pool.hits),
+            static_cast<long long>(outcome.pool.acquires),
+            static_cast<long long>(outcome.pool.recycles),
+            static_cast<long long>(outcome.pool.discarded));
       }
       if (!outcome.faults.empty() ||
           fault_policy.action != dc::FaultAction::kFailFast) {

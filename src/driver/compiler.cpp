@@ -29,6 +29,8 @@ DecompositionInput make_decomposition_input(const PipelineModel& model,
   input.input_bytes =
       options.charge_input_movement ? sizes.bytes_of(model.input_req) : 0.0;
   input.source_io_ops = options.io_ops_per_byte * sizes.bytes_of(model.input_req);
+  input.link_batch_overhead_sec = options.link_batch_overhead_sec;
+  input.batch_size = static_cast<double>(options.batch_size == 0 ? 1 : options.batch_size);
 
   // Reduction-epilogue estimate: replica wire size and per-replica merge
   // cost, so the placement optimizer sees the end-of-run handoff.
@@ -69,9 +71,13 @@ DecompositionInput make_decomposition_input(const PipelineModel& model,
 
 PipelineCompiler CompileResult::make_runner(const Placement& placement,
                                             const EnvironmentSpec& env,
-                                            PackCost pack_cost) const {
+                                            PackCost pack_cost,
+                                            dc::RunnerConfig transport) const {
   pack_cost.source_io_ops = decomp_input.source_io_ops;
-  return PipelineCompiler(model, placement, env, runtime_constants, pack_cost);
+  PipelineCompiler compiler(model, placement, env, runtime_constants,
+                            pack_cost);
+  compiler.set_runner_config(transport);
+  return compiler;
 }
 
 CompileResult compile_pipeline(std::string_view source,

@@ -29,6 +29,11 @@ struct CompileOptions {
   /// Storage-read cost on the data host, in abstract ops per raw input
   /// byte (the paper's data nodes read from local disk/RAID).
   double io_ops_per_byte = 0.5;
+  /// Transport batching term fed to the cost model: fixed per-enqueue link
+  /// overhead in seconds, amortized over batch_size packets (see DESIGN.md).
+  /// The 0-second default reproduces the paper's model exactly.
+  double link_batch_overhead_sec = 0.0;
+  std::size_t batch_size = 1;
   OpCountOptions opcount;
 };
 
@@ -49,9 +54,12 @@ struct CompileResult {
   bool ok = false;
 
   /// Builds a runner for an arbitrary placement (Decomp, Default, ...).
+  /// `transport` tunes the DataCutter runtime: stream capacity, packet
+  /// batching, buffer pooling.
   PipelineCompiler make_runner(const Placement& placement,
                                const EnvironmentSpec& env,
-                               PackCost pack_cost = {}) const;
+                               PackCost pack_cost = {},
+                               dc::RunnerConfig transport = {}) const;
   std::map<std::string, std::int64_t> runtime_constants;
 };
 

@@ -79,6 +79,14 @@ void FilterMetrics::merge(const FilterMetrics& other) {
   latency.merge(other.latency);
 }
 
+void PoolMetrics::merge(const PoolMetrics& other) {
+  acquires += other.acquires;
+  hits += other.hits;
+  misses += other.misses;
+  recycles += other.recycles;
+  discarded += other.discarded;
+}
+
 const char* fault_resolution_name(FaultResolution r) {
   switch (r) {
     case FaultResolution::kFatal:
@@ -173,6 +181,7 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     Json jl{Json::Object{}};
     jl.set("buffers", Json(l.buffers));
     jl.set("bytes", Json(l.bytes));
+    jl.set("batches", Json(l.batches));
     jl.set("capacity", Json(l.capacity));
     jl.set("occupancy_high_water", Json(l.occupancy_high_water));
     jl.set("dropped_buffers", Json(l.dropped_buffers));
@@ -207,6 +216,15 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
                                                     bottleneck)]
                                       .name)
                            : Json(nullptr));
+  root.set("batch_size", Json(trace.batch_size));
+  Json pool{Json::Object{}};
+  pool.set("acquires", Json(trace.pool.acquires));
+  pool.set("hits", Json(trace.pool.hits));
+  pool.set("misses", Json(trace.pool.misses));
+  pool.set("recycles", Json(trace.pool.recycles));
+  pool.set("discarded", Json(trace.pool.discarded));
+  pool.set("hit_rate", Json(trace.pool.hit_rate()));
+  root.set("pool", std::move(pool));
   root.set("filters", Json(std::move(filters)));
   root.set("links", Json(std::move(links)));
   root.set("faults", Json(std::move(faults)));
@@ -249,10 +267,22 @@ PipelineTrace trace_from_json(const std::string& text) {
     f.latency = latency_from_json(jf.at("latency"));
     trace.filters.push_back(std::move(f));
   }
+  // Transport counters; absent in documents written before batching/pooling.
+  if (root.contains("batch_size"))
+    trace.batch_size = root.at("batch_size").as_int();
+  if (root.contains("pool")) {
+    const Json& jp = root.at("pool");
+    trace.pool.acquires = jp.at("acquires").as_int();
+    trace.pool.hits = jp.at("hits").as_int();
+    trace.pool.misses = jp.at("misses").as_int();
+    trace.pool.recycles = jp.at("recycles").as_int();
+    trace.pool.discarded = jp.at("discarded").as_int();
+  }
   for (const Json& jl : root.at("links").as_array()) {
     LinkMetrics l;
     l.buffers = jl.at("buffers").as_int();
     l.bytes = jl.at("bytes").as_int();
+    if (jl.contains("batches")) l.batches = jl.at("batches").as_int();
     l.capacity = jl.at("capacity").as_int();
     l.occupancy_high_water = jl.at("occupancy_high_water").as_int();
     if (jl.contains("dropped_buffers"))

@@ -72,6 +72,9 @@ struct FilterMetrics {
 struct LinkMetrics {
   std::int64_t buffers = 0;
   std::int64_t bytes = 0;
+  /// Enqueue operations (one per producer flush). buffers / batches is the
+  /// realized mean batch size; 1:1 with buffers when batching is off.
+  std::int64_t batches = 0;
   std::int64_t capacity = 0;
   std::int64_t occupancy_high_water = 0;
   /// Buffers that never reached a consumer: pushes rejected after abort()
@@ -81,6 +84,25 @@ struct LinkMetrics {
   /// spent blocked on an empty queue, summed over threads.
   double producer_block_seconds = 0.0;
   double consumer_block_seconds = 0.0;
+};
+
+/// Buffer-pool counters for one pipeline run (see dc::BufferPool): how
+/// often packet storage was served from the freelists instead of the
+/// allocator. hit_rate ~1 in steady state means transport allocation cost
+/// is amortized away (docs/PERFORMANCE.md).
+struct PoolMetrics {
+  std::int64_t acquires = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t recycles = 0;
+  std::int64_t discarded = 0;
+
+  double hit_rate() const {
+    return acquires > 0
+               ? static_cast<double>(hits) / static_cast<double>(acquires)
+               : 0.0;
+  }
+  void merge(const PoolMetrics& other);
 };
 
 /// How the runtime's supervisor resolved one observed fault.
@@ -112,6 +134,11 @@ struct PipelineTrace {
   std::int64_t packets = 0;
   std::vector<FilterMetrics> filters;
   std::vector<LinkMetrics> links;
+  /// Transport configuration and pool effectiveness for this run: the
+  /// configured producer-side coalescing factor and the buffer-pool
+  /// counters (all zero when the run predates pooling or disabled it).
+  std::int64_t batch_size = 1;
+  PoolMetrics pool;
   /// Fault-tolerance surface (trace v2): every fault the supervisor saw,
   /// the policy in force, and whether the pipeline ran to normal EOS.
   std::vector<FaultRecord> faults;

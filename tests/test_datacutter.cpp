@@ -1,4 +1,5 @@
-// DataCutter runtime tests: buffers, streams, filters, transparent copies.
+// DataCutter runtime tests: buffers, streams, filters, transparent copies,
+// buffer pooling, packet batching, and seeded randomized stream stress.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -6,8 +7,10 @@
 #include <thread>
 
 #include "datacutter/buffer.h"
+#include "datacutter/buffer_pool.h"
 #include "datacutter/runner.h"
 #include "datacutter/stream.h"
+#include "support/rng.h"
 
 namespace cgp::dc {
 namespace {
@@ -260,13 +263,302 @@ TEST(Stream, PushAfterAbortSignalsDrop) {
   accepted.write<std::int32_t>(1);
   EXPECT_TRUE(stream.push(std::move(accepted)));
   EXPECT_EQ(stream.dropped_buffers(), 0);
+  // Abort discards the queued buffer (a consumer can never reach it) and
+  // counts it dropped, keeping pushed == popped + dropped exact.
   stream.abort();
+  EXPECT_EQ(stream.dropped_buffers(), 1);
   Buffer dropped;
   dropped.write<std::int32_t>(2);
   EXPECT_FALSE(stream.push(std::move(dropped)));
-  EXPECT_EQ(stream.dropped_buffers(), 1);
+  EXPECT_EQ(stream.dropped_buffers(), 2);
   EXPECT_EQ(stream.buffers_pushed(), 1);  // drops never count as pushed
-  EXPECT_EQ(stream.metrics().dropped_buffers, 1);
+  EXPECT_EQ(stream.metrics().dropped_buffers, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPool, AdoptAndReleaseStorageRoundTrip) {
+  Buffer buffer(256);
+  buffer.write<std::int64_t>(42);
+  std::vector<std::byte> storage = buffer.release_storage();
+  EXPECT_GE(storage.capacity(), 256u);
+  Buffer reborn = Buffer::adopt(std::move(storage));
+  EXPECT_EQ(reborn.size(), 0u);  // logically empty, capacity retained
+  EXPECT_GE(reborn.capacity(), 256u);
+  reborn.write<std::int64_t>(7);
+  EXPECT_EQ(reborn.read<std::int64_t>(), 7);
+}
+
+TEST(BufferPool, MissThenHit) {
+  BufferPool pool;
+  Buffer first = pool.acquire(1024);
+  EXPECT_EQ(pool.acquires(), 1);
+  EXPECT_EQ(pool.hits(), 0);
+  EXPECT_EQ(pool.misses(), 1);
+  first.write<std::int32_t>(5);
+  pool.recycle(std::move(first));
+  EXPECT_EQ(pool.recycles(), 1);
+  Buffer second = pool.acquire(1024);
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_GE(second.capacity(), 1024u);
+  EXPECT_EQ(second.size(), 0u);  // recycled storage comes back empty
+  EXPECT_DOUBLE_EQ(pool.hit_rate(), 0.5);
+}
+
+TEST(BufferPool, RecycledCapacityAlwaysCoversRequest) {
+  BufferPool pool;
+  // Recycle a 100-byte-capacity vector: it lands in class floor-log2(cap).
+  Buffer small(100);
+  pool.recycle(std::move(small));
+  // A request larger than that capacity must not be served by it.
+  Buffer big = pool.acquire(100000);
+  EXPECT_GE(big.capacity(), 100000u);
+}
+
+TEST(BufferPool, PerClassCapDiscardsOverflow) {
+  BufferPool pool(/*max_per_class=*/2);
+  for (int i = 0; i < 4; ++i) {
+    pool.recycle(Buffer(512));
+  }
+  EXPECT_EQ(pool.recycles(), 4);
+  EXPECT_EQ(pool.discarded(), 2);
+}
+
+TEST(BufferPool, ZeroCapacityBuffersAreNotPooled) {
+  BufferPool pool;
+  pool.recycle(Buffer{});
+  EXPECT_EQ(pool.recycles(), 0);
+  (void)pool.acquire(64);
+  EXPECT_EQ(pool.hits(), 0);
+}
+
+TEST(BufferPool, MetricsSnapshotMatchesCounters) {
+  BufferPool pool;
+  pool.recycle(Buffer(64));
+  (void)pool.acquire(64);
+  (void)pool.acquire(64);
+  support::PoolMetrics m = pool.metrics();
+  EXPECT_EQ(m.acquires, 2);
+  EXPECT_EQ(m.hits, 1);
+  EXPECT_EQ(m.misses, 1);
+  EXPECT_EQ(m.recycles, 1);
+  EXPECT_DOUBLE_EQ(m.hit_rate(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Packet batching
+// ---------------------------------------------------------------------------
+
+TEST(StreamBatch, PushBatchPreservesFifoOrder) {
+  Stream stream(16);
+  stream.set_producers(1);
+  std::vector<Buffer> batch;
+  for (int i = 0; i < 5; ++i) {
+    Buffer b;
+    b.write<std::int32_t>(i);
+    batch.push_back(std::move(b));
+  }
+  EXPECT_EQ(stream.push_batch(batch), 5u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(stream.buffers_pushed(), 5);
+  EXPECT_EQ(stream.batches_pushed(), 1);  // one enqueue for the whole batch
+  stream.close();
+  for (int i = 0; i < 5; ++i) {
+    auto b = stream.pop();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->read<std::int32_t>(), i);
+  }
+  EXPECT_FALSE(stream.pop().has_value());
+}
+
+TEST(StreamBatch, BatchOvershootIsBounded) {
+  // A batch waits for room for at least one buffer, then lands whole:
+  // occupancy may overshoot to capacity + |batch| - 1, never more.
+  Stream stream(2);
+  stream.set_producers(1);
+  Buffer head;
+  head.write<std::int32_t>(0);
+  stream.push(std::move(head));  // occupancy 1 < capacity: room for one
+  std::vector<Buffer> batch;
+  for (int i = 0; i < 4; ++i) {
+    Buffer b;
+    b.write<std::int32_t>(1 + i);
+    batch.push_back(std::move(b));
+  }
+  EXPECT_EQ(stream.push_batch(batch), 4u);
+  EXPECT_EQ(stream.occupancy_high_water(), 5u);  // capacity + |batch| - 1
+  stream.close();
+}
+
+TEST(StreamBatch, PushBatchBlocksUntilRoomThenLandsWhole) {
+  Stream stream(1);
+  stream.set_producers(1);
+  Buffer head;
+  head.write<std::int32_t>(-1);
+  stream.push(std::move(head));  // stream is now full
+  std::atomic<bool> landed{false};
+  std::thread producer([&] {
+    std::vector<Buffer> batch;
+    for (int i = 0; i < 3; ++i) {
+      Buffer b;
+      b.write<std::int32_t>(i);
+      batch.push_back(std::move(b));
+    }
+    EXPECT_EQ(stream.push_batch(batch), 3u);
+    landed = true;
+    stream.close();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(landed.load());  // no room: the whole batch waits
+  stream.pop();
+  producer.join();
+  EXPECT_TRUE(landed.load());
+  EXPECT_GE(stream.producer_block_seconds(), 0.01);
+}
+
+TEST(StreamBatch, AbortDropsWholeInflightBatch) {
+  Stream stream(1);
+  stream.set_producers(1);
+  Buffer head;
+  head.write<std::int32_t>(-1);
+  stream.push(std::move(head));
+  std::atomic<std::size_t> accepted{99};
+  std::thread producer([&] {
+    std::vector<Buffer> batch;
+    for (int i = 0; i < 3; ++i) {
+      Buffer b;
+      b.write<std::int32_t>(i);
+      batch.push_back(std::move(b));
+    }
+    accepted = stream.push_batch(batch);  // blocked until abort
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stream.abort();
+  producer.join();
+  EXPECT_EQ(accepted.load(), 0u);  // all-or-none: nothing partial delivered
+  // Dropped: the 3-buffer batch plus the queued head buffer.
+  EXPECT_EQ(stream.dropped_buffers(), 4);
+  EXPECT_EQ(stream.buffers_pushed(), 1);
+}
+
+TEST(StreamBatch, PopBatchMovesUpToMax) {
+  Stream stream(16);
+  stream.set_producers(1);
+  for (int i = 0; i < 7; ++i) {
+    Buffer b;
+    b.write<std::int32_t>(i);
+    stream.push(std::move(b));
+  }
+  stream.close();
+  std::vector<Buffer> out;
+  EXPECT_EQ(stream.pop_batch(out, 4), 4u);
+  EXPECT_EQ(stream.pop_batch(out, 4), 3u);
+  ASSERT_EQ(out.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].read<std::int32_t>(), i);
+  }
+  EXPECT_EQ(stream.pop_batch(out, 4), 0u);  // EOS
+}
+
+TEST(StreamStress, RandomizedProducersConsumersPreserveAccounting) {
+  // Seeded property test: random producer/consumer counts, capacities,
+  // batch sizes, and interleaved close/abort/drain. The invariant under
+  // test: every buffer a producer attempted is accounted for exactly once,
+  // attempted == popped + dropped.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng setup(seed * 0x9E3779B9ULL);
+    const int producers = static_cast<int>(setup.next_int(1, 4));
+    const int consumers = static_cast<int>(setup.next_int(1, 4));
+    const std::size_t capacity =
+        static_cast<std::size_t>(setup.next_int(1, 16));
+    const int per_producer = static_cast<int>(setup.next_int(40, 160));
+    const bool chaos_abort = seed % 3 == 0;
+    const bool drain_tail = seed % 4 == 0;
+
+    Stream stream(capacity);
+    stream.set_producers(producers);
+    std::atomic<std::int64_t> attempted{0};
+    std::atomic<std::int64_t> popped{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        Rng rng(seed * 1000 + static_cast<std::uint64_t>(p));
+        int sent = 0;
+        while (sent < per_producer) {
+          const int batch_n = static_cast<int>(
+              rng.next_int(1, std::min(8, per_producer - sent)));
+          if (batch_n == 1 || rng.next_below(4) == 0) {
+            Buffer b;
+            b.write<std::int64_t>(sent);
+            attempted.fetch_add(1, std::memory_order_relaxed);
+            stream.push(std::move(b));
+            ++sent;
+          } else {
+            std::vector<Buffer> batch;
+            for (int i = 0; i < batch_n; ++i) {
+              Buffer b;
+              b.write<std::int64_t>(sent + i);
+              batch.push_back(std::move(b));
+            }
+            attempted.fetch_add(batch_n, std::memory_order_relaxed);
+            stream.push_batch(batch);
+            sent += batch_n;
+          }
+        }
+        stream.close();
+      });
+    }
+    const int active_consumers = drain_tail ? consumers - 1 : consumers;
+    if (drain_tail) {
+      // One consumer slot is a drainer: it discards until EOS, counting
+      // everything it swallows as dropped (the dead-stage recovery path).
+      threads.emplace_back([&] { stream.drain(); });
+    }
+    for (int c = 0; c < active_consumers; ++c) {
+      threads.emplace_back([&, c] {
+        Rng rng(seed * 2000 + static_cast<std::uint64_t>(c));
+        for (;;) {
+          if (rng.next_below(2) == 0) {
+            std::vector<Buffer> got;
+            const std::size_t n = stream.pop_batch(
+                got, static_cast<std::size_t>(rng.next_int(1, 6)));
+            if (n == 0) break;
+            popped.fetch_add(static_cast<std::int64_t>(n),
+                             std::memory_order_relaxed);
+          } else {
+            auto b = stream.pop();
+            if (!b) break;
+            popped.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::optional<std::thread> chaos;
+    if (chaos_abort) {
+      chaos.emplace([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        stream.abort();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (chaos) chaos->join();
+
+    // Every attempted buffer is popped, dropped at abort, rejected after
+    // abort, or discarded by drain — never lost, never double-counted.
+    EXPECT_EQ(attempted.load(), popped.load() + stream.dropped_buffers())
+        << "seed " << seed << ": producers=" << producers
+        << " consumers=" << consumers << " capacity=" << capacity
+        << " abort=" << chaos_abort;
+    EXPECT_LE(stream.batches_pushed(), stream.buffers_pushed());
+    if (!chaos_abort) {
+      EXPECT_EQ(stream.buffers_pushed(),
+                static_cast<std::int64_t>(producers) * per_producer)
+          << "seed " << seed;
+    }
+  }
 }
 
 TEST(Stream, DrainCountsDiscardedBuffers) {
@@ -371,6 +663,98 @@ TEST(Runner, TransparentCopiesPreserveResults) {
     EXPECT_EQ(state->total, 2 * (63 * 64 / 2)) << copies << " copies";
     EXPECT_EQ(state->buffers, 64);
   }
+}
+
+TEST(StreamBatch, BatchedPipelineMatchesUnbatched) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
+    auto state = std::make_shared<SumSinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(
+        {"source", [] { return std::make_unique<CountingSource>(100); }, 2, 0});
+    groups.push_back(
+        {"double", [] { return std::make_unique<Doubler>(); }, 2, 1});
+    groups.push_back(
+        {"sink", [state] { return std::make_unique<SumSink>(state); }, 1, 2});
+    RunnerConfig config;
+    config.stream_capacity = 4;
+    config.batch_size = batch;
+    PipelineRunner runner(std::move(groups), config);
+    RunStats stats = runner.run();
+    EXPECT_EQ(state->total, 2 * (99 * 100 / 2)) << "batch " << batch;
+    EXPECT_EQ(state->buffers, 100);
+    ASSERT_EQ(stats.link_metrics.size(), 2u);
+    EXPECT_EQ(stats.link_metrics[0].buffers, 100);
+    EXPECT_GT(stats.link_metrics[0].batches, 0);
+    EXPECT_EQ(stats.batch_size, static_cast<std::int64_t>(batch));
+    if (batch > 1) {
+      // Coalescing must actually reduce enqueue operations.
+      EXPECT_LT(stats.link_metrics[0].batches,
+                stats.link_metrics[0].buffers);
+    } else {
+      EXPECT_EQ(stats.link_metrics[0].batches,
+                stats.link_metrics[0].buffers);
+    }
+  }
+}
+
+TEST(StreamBatch, PooledPipelineRecyclesStorage) {
+  struct RecyclingDoubler : Filter {
+    void process(FilterContext& ctx) override {
+      while (auto b = ctx.read()) {
+        std::int64_t v = b->read<std::int64_t>();
+        Buffer out = ctx.acquire_buffer(sizeof(std::int64_t));
+        out.write<std::int64_t>(v * 2);
+        ctx.recycle(std::move(*b));
+        ctx.emit(std::move(out));
+      }
+    }
+  };
+  struct RecyclingSource : Filter {
+    void process(FilterContext& ctx) override {
+      for (int i = 0; i < 200; ++i) {
+        if (i % ctx.copy_count() != ctx.copy_index()) continue;
+        Buffer b = ctx.acquire_buffer(sizeof(std::int64_t));
+        b.write<std::int64_t>(i);
+        ctx.emit(std::move(b));
+      }
+    }
+  };
+  struct RecyclingSink : Filter {
+    explicit RecyclingSink(std::shared_ptr<SumSinkState> state)
+        : state_(std::move(state)) {}
+    void process(FilterContext& ctx) override {
+      while (auto b = ctx.read()) {
+        {
+          std::lock_guard lock(state_->mutex);
+          state_->total += b->read<std::int64_t>();
+          ++state_->buffers;
+        }
+        ctx.recycle(std::move(*b));
+      }
+    }
+    std::shared_ptr<SumSinkState> state_;
+  };
+  auto state = std::make_shared<SumSinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"source", [] { return std::make_unique<RecyclingSource>(); }, 1, 0});
+  groups.push_back(
+      {"double", [] { return std::make_unique<RecyclingDoubler>(); }, 1, 1});
+  groups.push_back(
+      {"sink", [state] { return std::make_unique<RecyclingSink>(state); }, 1,
+       2});
+  RunnerConfig config;
+  config.stream_capacity = 4;
+  config.batch_size = 4;
+  PipelineRunner runner(std::move(groups), config);
+  RunStats stats = runner.run();
+  EXPECT_EQ(state->total, 2 * (199 * 200 / 2));
+  EXPECT_EQ(state->buffers, 200);
+  // 400 acquires total; only the warm-up handful (bounded by the number of
+  // buffers in flight) may miss.
+  EXPECT_EQ(stats.pool.acquires, 400);
+  EXPECT_GT(stats.pool.recycles, 0);
+  EXPECT_GE(stats.pool.hit_rate(), 0.9);
 }
 
 TEST(Runner, EmptyPipelineRejected) {

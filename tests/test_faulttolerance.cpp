@@ -605,6 +605,134 @@ TEST(FaultStress, DropPacketConservesAccounting) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched transport under faults (batch_size > 1): producer-side batches may
+// be partially filled when an attempt dies, and consumer-side batches may be
+// partially read. Exactly-once replay and drop accounting must both survive.
+// ---------------------------------------------------------------------------
+
+RunnerConfig batched_config(std::size_t batch, std::size_t capacity = 8) {
+  RunnerConfig config;
+  config.stream_capacity = capacity;
+  config.batch_size = batch;
+  return config;
+}
+
+TEST(BatchedFaults, RestartCopyReplaysExactlyOnceWithBatches) {
+  for (std::size_t batch : {std::size_t{4}, std::size_t{64}}) {
+    auto state = std::make_shared<SinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 32, 1, 0));
+    groups.push_back(addone_group("mid1", 1, 1));
+    groups.push_back(addone_group("mid2", 1, 2));
+    groups.push_back(sink_group("sink", state, 3));
+    PipelineRunner runner(std::move(groups), batched_config(batch),
+                          policy_for(FaultAction::kRestartCopy));
+    runner.set_packet_hook(
+        support::make_fault_hook(support::parse_fault_plan("mid1:throw@5")));
+    RunOutcome outcome = runner.run_supervised();
+    ASSERT_TRUE(outcome.ok()) << "batch " << batch << ": "
+                              << outcome.stats.error;
+    // The failed attempt's partially-filled output batch is flushed before
+    // the delivered count is read, so replay suppression stays exact even
+    // when the batch never reached batch_size.
+    EXPECT_EQ(state->values, expected_values(32, 2)) << "batch " << batch;
+    EXPECT_EQ(outcome.stats.total_retries(), 1) << "batch " << batch;
+    EXPECT_EQ(outcome.stats.total_dropped_packets(), 0) << "batch " << batch;
+    EXPECT_EQ(outcome.stats.batch_size, static_cast<std::int64_t>(batch));
+  }
+}
+
+TEST(BatchedFaults, SourceRestartFlushesPartialBatchExactlyOnce) {
+  // The source faults while its second batch is still open (24 packets,
+  // batch 16): what was already coalesced must count as delivered exactly
+  // when it landed on the stream, so the replay skips the right prefix.
+  auto state = std::make_shared<SinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 24, 1, 0));
+  groups.push_back(sink_group("sink", state, 1));
+  PipelineRunner runner(std::move(groups), batched_config(16),
+                        policy_for(FaultAction::kRestartCopy));
+  runner.set_packet_hook(
+      support::make_fault_hook(support::parse_fault_plan("src:throw@19")));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->values, expected_values(24, 0));
+  EXPECT_EQ(outcome.stats.total_retries(), 1);
+}
+
+TEST(BatchedFaults, DropPacketDropsExactlyTheFaultedPacket) {
+  for (std::size_t batch : {std::size_t{4}, std::size_t{16}}) {
+    auto state = std::make_shared<SinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 40, 1, 0));
+    groups.push_back(addone_group("mid", 1, 1));
+    groups.push_back(sink_group("sink", state, 2));
+    PipelineRunner runner(std::move(groups), batched_config(batch),
+                          policy_for(FaultAction::kDropPacket));
+    runner.set_packet_hook(
+        support::make_fault_hook(support::parse_fault_plan("mid:throw@7")));
+    RunOutcome outcome = runner.run_supervised();
+    ASSERT_TRUE(outcome.ok()) << "batch " << batch << ": "
+                              << outcome.stats.error;
+    EXPECT_EQ(outcome.stats.total_dropped_packets(), 1) << "batch " << batch;
+    EXPECT_EQ(static_cast<std::int64_t>(state->values.size()),
+              40 - outcome.stats.total_dropped_packets())
+        << "batch " << batch;
+  }
+}
+
+TEST(BatchedFaults, DeadStageAccountsUnreadBatchedBuffersAsDropped) {
+  // A persistently-failing middle copy dies holding popped-but-unread
+  // buffers from its last input batch. Those must surface in the dropped
+  // accounting rather than vanish: every buffer the source pushed is either
+  // dropped by the dying stage (read-then-faulted or unread at death) or
+  // discarded by the post-mortem drain.
+  auto state = std::make_shared<SinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 200, 1, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(sink_group("sink", state, 2));
+  PipelineRunner runner(std::move(groups), batched_config(8),
+                        policy_for(FaultAction::kDropPacket, 2));
+  runner.set_packet_hook(
+      support::make_fault_hook(support::parse_fault_plan("mid:throw@0!")));
+  RunOutcome outcome = runner.run_supervised();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.stats.group_metrics[0].packets_out, 200);
+  ASSERT_EQ(outcome.stats.link_metrics.size(), 2u);
+  const support::LinkMetrics& in_link = outcome.stats.link_metrics[0];
+  EXPECT_EQ(in_link.buffers, 200);
+  EXPECT_EQ(outcome.stats.group_metrics[1].dropped_packets +
+                in_link.dropped_buffers,
+            200);
+  // Downstream saw a clean end-of-stream, not a hang.
+  EXPECT_EQ(outcome.stats.group_metrics[2].packets_in, 0);
+}
+
+TEST(BatchedFaults, StressExactlyOnceAcrossSeedsAndBatchSizes) {
+  for (std::uint64_t seed : {1u, 9u}) {
+    for (std::size_t batch : {std::size_t{4}, std::size_t{64}}) {
+      auto state = std::make_shared<SinkState>();
+      std::vector<FilterGroup> groups;
+      groups.push_back(source_group("src", 200, 2, 0));
+      groups.push_back(addone_group("mid1", 2, 1));
+      groups.push_back(addone_group("mid2", 2, 2));
+      groups.push_back(sink_group("sink", state, 3));
+      PipelineRunner runner(std::move(groups), batched_config(batch),
+                            policy_for(FaultAction::kRestartCopy, 6));
+      runner.set_packet_hook(
+          support::make_fault_hook(support::parse_fault_plan(
+              "src:throw@~0.03,mid1:throw@~0.06,mid2:throw@~0.06", seed)));
+      RunOutcome outcome = runner.run_supervised();
+      ASSERT_TRUE(outcome.ok()) << "seed " << seed << " batch " << batch
+                                << ": " << outcome.stats.error;
+      EXPECT_EQ(state->values, expected_values(200, 2))
+          << "seed " << seed << " batch " << batch;
+    }
+  }
+}
+
 TEST(FaultStress, SleepFaultsOnlyDelayTheRun) {
   auto state = std::make_shared<SinkState>();
   std::vector<FilterGroup> groups;
