@@ -154,6 +154,25 @@ class KnnManualInsert : public dc::Filter {
     shared_->result.link_replica_bytes[1] += replica_bytes_;
   }
 
+  bool snapshot_state(dc::Buffer& out) override {
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(best_.size()));
+    for (double d : best_) out.write<double>(d);
+    out.write<double>(worst_);
+    out.write<double>(ops_);
+    out.write<double>(replica_ops_);
+    out.write<std::int64_t>(replica_bytes_);
+    return true;
+  }
+
+  void restore_state(dc::Buffer& in) override {
+    best_.resize(in.read<std::uint32_t>());
+    for (double& d : best_) d = in.read<double>();
+    worst_ = in.read<double>();
+    ops_ = in.read<double>();
+    replica_ops_ = in.read<double>();
+    replica_bytes_ = in.read<std::int64_t>();
+  }
+
  private:
   void insert(double d) {
     // Same algorithm as the dialect KnnResult::insert: O(1) reject against
@@ -222,6 +241,21 @@ class KnnManualSink : public dc::Filter {
     shared_->result.stage_replica_ops[2] += ops_;
     shared_->result.finals["kth"] = kth;
     shared_->result.finals["dsum"] = dsum;
+  }
+
+  bool snapshot_state(dc::Buffer& out) override {
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(best_.size()));
+    for (double d : best_) out.write<double>(d);
+    out.write<double>(worst_);
+    out.write<double>(ops_);
+    return true;
+  }
+
+  void restore_state(dc::Buffer& in) override {
+    best_.resize(in.read<std::uint32_t>());
+    for (double& d : best_) d = in.read<double>();
+    worst_ = in.read<double>();
+    ops_ = in.read<double>();
   }
 
  private:
@@ -365,6 +399,18 @@ class VmManualSubsample : public dc::Filter {
     shared_->result.link_packet_bytes[1] += bytes_;
   }
 
+  // Per-packet stateless; only telemetry accumulators survive a restart.
+  bool snapshot_state(dc::Buffer& out) override {
+    out.write<double>(ops_);
+    out.write<std::int64_t>(bytes_);
+    return true;
+  }
+
+  void restore_state(dc::Buffer& in) override {
+    ops_ = in.read<double>();
+    bytes_ = in.read<std::int64_t>();
+  }
+
  private:
   VmParams params_;
   std::shared_ptr<Shared> shared_;
@@ -410,6 +456,19 @@ class VmManualSink : public dc::Filter {
     shared_->result.stage_ops[2] += ops_;
     shared_->result.finals["total"] = total;
     shared_->result.finals["filled"] = filled;
+  }
+
+  bool snapshot_state(dc::Buffer& out) override {
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(data_.size()));
+    for (std::int64_t v : data_) out.write<std::int64_t>(v);
+    out.write<double>(ops_);
+    return true;
+  }
+
+  void restore_state(dc::Buffer& in) override {
+    data_.resize(in.read<std::uint32_t>());
+    for (std::int64_t& v : data_) v = in.read<std::int64_t>();
+    ops_ = in.read<double>();
   }
 
  private:

@@ -260,6 +260,7 @@ support::PipelineTrace PipelineRunResult::trace() const {
   trace.fault_policy = fault_policy;
   trace.batch_size = batch_size;
   trace.pool = pool;
+  trace.checkpoints = checkpoints;
   trace.completed = completed;
   trace.error = error;
   return trace;
@@ -307,6 +308,8 @@ class StageFilter : public dc::Filter {
   void init(dc::FilterContext& ctx) override;
   void process(dc::FilterContext& ctx) override;
   void finalize(dc::FilterContext& ctx) override;
+  bool snapshot_state(dc::Buffer& out) override;
+  void restore_state(dc::Buffer& in) override;
 
   void set_input_layout(const PackingLayout& layout) {
     input_codec_.emplace(model_.registry, layout);
@@ -586,6 +589,40 @@ void StageFilter::finalize(dc::FilterContext& ctx) {
   }
 }
 
+bool StageFilter::snapshot_state(dc::Buffer& out) {
+  // Called between packets (read boundary), where env_ holds only base
+  // bindings: preamble scalars, replica accumulators, carried sink values.
+  // The serializer round-trips every Value kind the interpreter produces,
+  // so the whole environment is the state.
+  const std::map<std::string, Value> bindings = env_.flatten();
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(bindings.size()));
+  for (const auto& [name, value] : bindings) {
+    write_string(out, name);
+    write_value(out, value);
+  }
+  // replica_names_ grows at runtime (handle_replica_buffer adopts upstream
+  // replicas), so it must ride along with the bindings.
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(replica_names_.size()));
+  for (const std::string& name : replica_names_) write_string(out, name);
+  out.write<std::int64_t>(packets_seen_);
+  return true;
+}
+
+void StageFilter::restore_state(dc::Buffer& in) {
+  const std::uint32_t n_bindings = in.read<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_bindings; ++i) {
+    std::string name = read_string(in);
+    Value value = read_value(in);
+    env_.declare_global(name, std::move(value));
+  }
+  replica_names_.clear();
+  const std::uint32_t n_replicas = in.read<std::uint32_t>();
+  replica_names_.reserve(n_replicas);
+  for (std::uint32_t i = 0; i < n_replicas; ++i)
+    replica_names_.push_back(read_string(in));
+  packets_seen_ = in.read<std::int64_t>();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -770,6 +807,7 @@ PipelineRunResult PipelineCompiler::run() {
 
   dc::PipelineRunner runner(build_groups(shared), config_, policy_);
   if (hook_) runner.set_packet_hook(hook_);
+  if (checkpoint_hook_) runner.set_checkpoint_hook(checkpoint_hook_);
   dc::RunOutcome outcome = runner.run_supervised();
   if (outcome.error && policy_.action == dc::FaultAction::kFailFast)
     std::rethrow_exception(outcome.error);
@@ -781,6 +819,7 @@ PipelineRunResult PipelineCompiler::run() {
   shared->result.fault_policy = stats.fault_policy;
   shared->result.batch_size = stats.batch_size;
   shared->result.pool = stats.pool;
+  shared->result.checkpoints = std::move(stats.checkpoints);
   shared->result.completed = stats.completed;
   shared->result.error = stats.error;
   return shared->result;

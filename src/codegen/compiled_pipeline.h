@@ -71,6 +71,9 @@ struct PipelineRunResult {
   /// effectiveness for this run (docs/PERFORMANCE.md).
   std::int64_t batch_size = 1;
   support::PoolMetrics pool;
+  /// Run-level consistent cuts completed during the run (empty unless
+  /// run-level checkpointing was enabled; docs/ROBUSTNESS.md).
+  std::vector<support::CheckpointRecord> checkpoints;
   bool completed = true;
   std::string error;
 
@@ -108,6 +111,11 @@ class PipelineCompiler {
   /// Per-packet fault-injection hook forwarded to the runner (stage groups
   /// are named "stage<N>").
   void set_packet_hook(dc::PacketHook hook) { hook_ = std::move(hook); }
+  /// Pre-snapshot fault-injection hook forwarded to the runner (the @ckpt
+  /// trigger; see support/faultinject.h).
+  void set_checkpoint_hook(dc::CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
   /// Transport tuning forwarded to the generated pipeline's runner: stream
   /// capacity, packet batching, buffer pooling.
   void set_runner_config(const dc::RunnerConfig& config) { config_ = config; }
@@ -134,6 +142,7 @@ class PipelineCompiler {
   dc::FaultPolicy policy_;
   dc::RunnerConfig config_;
   dc::PacketHook hook_;
+  dc::CheckpointHook checkpoint_hook_;
   std::vector<StagePlan> plans_;
 };
 

@@ -12,6 +12,12 @@
 
 namespace cgp::dc {
 
+/// Tag of run-level checkpoint markers injected by the source supervisor
+/// (see runner.cpp): a marker flows through the FIFO stream chain like a
+/// packet but is intercepted by FilterContext::read() before the filter
+/// sees it, delimiting a consistent cut of the pipeline.
+inline constexpr std::uint32_t kCheckpointMarkerTag = 0x434b5054u;  // "CKPT"
+
 class Buffer {
  public:
   Buffer() = default;
@@ -21,6 +27,11 @@ class Buffer {
   bool empty() const { return data_.empty(); }
   const std::byte* data() const { return data_.data(); }
   std::size_t capacity() const { return data_.capacity(); }
+
+  /// Out-of-band discriminator carried alongside the payload. 0 for
+  /// ordinary packets; kCheckpointMarkerTag for checkpoint markers.
+  std::uint32_t tag() const { return tag_; }
+  void set_tag(std::uint32_t tag) { tag_ = tag; }
 
   // ---- storage recycling (see buffer_pool.h) -----------------------------
   /// Wraps recycled backing storage: the buffer starts logically empty but
@@ -98,11 +109,13 @@ class Buffer {
   void clear() {
     data_.clear();
     read_pos_ = 0;
+    tag_ = 0;
   }
 
  private:
   std::vector<std::byte> data_;
   std::size_t read_pos_ = 0;
+  std::uint32_t tag_ = 0;
 };
 
 }  // namespace cgp::dc

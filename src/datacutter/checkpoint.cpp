@@ -1,0 +1,99 @@
+#include "datacutter/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json.h"
+
+namespace cgp::dc {
+namespace {
+
+constexpr const char* kSchema = "cgpipe-checkpoint-v1";
+
+std::string hex_encode(const std::vector<std::byte>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::byte b : bytes) {
+    const auto v = static_cast<unsigned>(b);
+    out.push_back(digits[v >> 4]);
+    out.push_back(digits[v & 0xf]);
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::runtime_error("checkpoint: invalid hex digit in state");
+}
+
+std::vector<std::byte> hex_decode(const std::string& text) {
+  if (text.size() % 2 != 0)
+    throw std::runtime_error("checkpoint: odd-length hex state");
+  std::vector<std::byte> out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2)
+    out.push_back(static_cast<std::byte>((hex_nibble(text[i]) << 4) |
+                                         hex_nibble(text[i + 1])));
+  return out;
+}
+
+}  // namespace
+
+void save_checkpoint(const RunCheckpoint& checkpoint,
+                     const std::string& path) {
+  support::Json root{support::Json::Object{}};
+  root.set("schema", support::Json(kSchema));
+  root.set("id", support::Json(checkpoint.id));
+  root.set("source_delivered", support::Json(checkpoint.source_delivered));
+  root.set("at_seconds", support::Json(checkpoint.at_seconds));
+  support::Json::Array stages;
+  for (const StageSnapshot& stage : checkpoint.stages) {
+    support::Json js{support::Json::Object{}};
+    js.set("group", support::Json(stage.group));
+    js.set("state", support::Json(hex_encode(stage.state)));
+    stages.push_back(std::move(js));
+  }
+  root.set("stages", support::Json(std::move(stages)));
+
+  // Temp-file + rename so a crash mid-write never clobbers the previous
+  // good cut — the file either holds the old checkpoint or the new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    out << root.dump(2) << '\n';
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("checkpoint: rename failed: " + path);
+}
+
+RunCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const support::Json root = support::Json::parse(text.str());
+  if (!root.is_object() || !root.contains("schema") ||
+      root.at("schema").as_string() != kSchema)
+    throw std::runtime_error("checkpoint: " + path +
+                             " is not a cgpipe-checkpoint-v1 file");
+  RunCheckpoint checkpoint;
+  checkpoint.id = root.at("id").as_int();
+  checkpoint.source_delivered = root.at("source_delivered").as_int();
+  checkpoint.at_seconds = root.at("at_seconds").as_number();
+  for (const support::Json& js : root.at("stages").as_array()) {
+    StageSnapshot stage;
+    stage.group = js.at("group").as_string();
+    stage.state = hex_decode(js.at("state").as_string());
+    checkpoint.stages.push_back(std::move(stage));
+  }
+  return checkpoint;
+}
+
+}  // namespace cgp::dc

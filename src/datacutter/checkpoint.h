@@ -1,0 +1,40 @@
+// Run-level checkpoint files: a consistent cut of the whole pipeline
+// (source progress plus every consuming stage's state snapshot), captured
+// by the marker protocol in runner.cpp and persisted so an aborted run can
+// resume from the cut instead of packet zero (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgp::dc {
+
+/// One consuming group's state at the cut, as serialized by
+/// Filter::snapshot_state.
+struct StageSnapshot {
+  std::string group;
+  std::vector<std::byte> state;
+};
+
+/// A consistent cut: the source had delivered exactly `source_delivered`
+/// packets, and each stage's state reflects exactly that prefix (the
+/// marker travels the FIFO chain behind the packets it covers, so every
+/// snapshot is aligned on the same prefix).
+struct RunCheckpoint {
+  std::int64_t id = 0;                // marker ordinal within the run
+  std::int64_t source_delivered = 0;  // packets the source had delivered
+  double at_seconds = 0.0;            // capture time since run start
+  std::vector<StageSnapshot> stages;  // consuming groups, pipeline order
+};
+
+/// Writes `checkpoint` to `path` atomically (temp file + rename) in the
+/// cgpipe-checkpoint-v1 JSON format. Throws std::runtime_error on I/O
+/// failure.
+void save_checkpoint(const RunCheckpoint& checkpoint, const std::string& path);
+
+/// Loads a cgpipe-checkpoint-v1 file. Throws std::runtime_error on I/O or
+/// schema errors.
+RunCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace cgp::dc

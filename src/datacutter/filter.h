@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -30,6 +31,18 @@ struct GroupRuntime {
 /// pushes one) and may mutate the buffer, sleep, or throw. The runner
 /// binds group/copy/attempt before installing it on a context.
 using BoundPacketHook = std::function<void(std::int64_t packet, Buffer*)>;
+
+/// Snapshot trigger installed by the supervisor under restart-copy with a
+/// checkpoint interval: read() invokes it at a packet boundary once the
+/// interval has elapsed. The callback snapshots the filter, records the
+/// delivered mark, and calls checkpoint_committed(); it may throw (the
+/// @ckpt fault-injection trigger dies mid-snapshot).
+using CheckpointFn = std::function<void()>;
+
+/// Run-level checkpoint-marker handler: invoked when a marker buffer
+/// arrives on the input stream (consumers) or right after one is injected
+/// (sources), with the marker's cut id.
+using MarkerFn = std::function<void(std::int64_t marker_id)>;
 
 /// Execution context handed to each filter instance. In our chain model a
 /// filter has at most one input stream (absent for the source filter) and
@@ -61,49 +74,93 @@ class FilterContext {
       if (capture_inflight_) inflight_ = *buffer;
       return buffer;
     }
-    const Clock::time_point start = Clock::now();
-    close_latency_window(start);
-    std::optional<Buffer> buffer;
-    if (incoming_next_ < incoming_.size()) {
-      // Serve from the batch a previous pop already moved out of the
-      // stream — no lock, no wakeup.
-      buffer = std::move(incoming_[incoming_next_++]);
-      if (incoming_next_ == incoming_.size()) {
-        incoming_.clear();
-        incoming_next_ = 0;
+    for (;;) {
+      if (!ckpt_replay_.empty()) {
+        // Checkpoint recovery: re-serve the packets consumed after the
+        // restored snapshot. The original pops were already counted and
+        // hooked, so neither happens again; regenerated emissions are
+        // suppressed by skip_emits until past the delivered mark.
+        Buffer buffer = std::move(ckpt_replay_.front());
+        ckpt_replay_.pop_front();
+        ++since_ckpt_;
+        return buffer;
       }
-    } else if (batch_size_ > 1) {
-      if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
-      input_->pop_batch(incoming_, batch_size_);
-      if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
-      if (!incoming_.empty()) {
-        incoming_next_ = 1;
-        buffer = std::move(incoming_.front());
-        if (incoming_.size() == 1) {
+      if (ckpt_fn_ && ckpt_interval_ > 0 && since_ckpt_ >= ckpt_interval_) {
+        // Snapshot at a packet boundary. Flush first so the recorded
+        // delivered mark covers everything the snapshot state reflects.
+        flush_output();
+        ckpt_fn_();  // may throw (@ckpt fault trigger)
+      }
+      const Clock::time_point start = Clock::now();
+      close_latency_window(start);
+      std::optional<Buffer> buffer;
+      if (incoming_next_ < incoming_.size()) {
+        // Serve from the batch a previous pop already moved out of the
+        // stream — no lock, no wakeup.
+        buffer = std::move(incoming_[incoming_next_++]);
+        if (incoming_next_ == incoming_.size()) {
           incoming_.clear();
           incoming_next_ = 0;
         }
+      } else if (batch_size_ > 1) {
+        if (runtime_)
+          runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
+        input_->pop_batch(incoming_, batch_size_);
+        if (runtime_)
+          runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
+        if (!incoming_.empty()) {
+          incoming_next_ = 1;
+          buffer = std::move(incoming_.front());
+          if (incoming_.size() == 1) {
+            incoming_.clear();
+            incoming_next_ = 0;
+          }
+        }
+      } else {
+        if (runtime_)
+          runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
+        buffer = input_->pop();
+        if (runtime_)
+          runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
       }
-    } else {
-      if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
-      buffer = input_->pop();
-      if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
+      const Clock::time_point done = Clock::now();
+      stall_input_ns_ += ns_between(start, done);
+      if (buffer && buffer->tag() == kCheckpointMarkerTag) {
+        // Run-level cut marker: every packet before it has been consumed
+        // and (after the flush) delivered, so the filter state is exactly
+        // the prefix state. Snapshot, forward, and keep reading — the
+        // filter never sees the marker.
+        Buffer marker = std::move(*buffer);
+        marker.seek(0);
+        const std::int64_t id = marker.read<std::int64_t>();
+        flush_output();
+        if (marker_fn_) marker_fn_(id);
+        continue;
+      }
+      if (buffer) {
+        last_packet_ = packets_in_;
+        ++packets_in_;
+        bytes_in_ += static_cast<std::int64_t>(buffer->size());
+        window_start_ = done;
+        if (runtime_)
+          runtime_->progress.fetch_add(1, std::memory_order_relaxed);
+        if (ckpt_log_enabled_) {
+          // Pristine pre-hook copy into the replay arena: one memcpy per
+          // packet (same cost as the legacy in-flight capture), zero
+          // allocations at steady state — the arena keeps its capacity
+          // across commits and Buffers materialize only on a fault.
+          ckpt_arena_.insert(ckpt_arena_.end(), buffer->data(),
+                             buffer->data() + buffer->size());
+          ckpt_sizes_.push_back(buffer->size());
+        }
+        ++since_ckpt_;
+        if (capture_inflight_) inflight_ = *buffer;  // pristine pre-hook copy
+        if (hook_) hook_(last_packet_, &*buffer);    // may corrupt/sleep/throw
+      } else {
+        inflight_.reset();  // EOS: nothing in flight to replay
+      }
+      return buffer;
     }
-    const Clock::time_point done = Clock::now();
-    stall_input_ns_ += ns_between(start, done);
-    if (buffer) {
-      last_packet_ = packets_in_;
-      ++packets_in_;
-      bytes_in_ += static_cast<std::int64_t>(buffer->size());
-      window_start_ = done;
-      if (runtime_)
-        runtime_->progress.fetch_add(1, std::memory_order_relaxed);
-      if (capture_inflight_) inflight_ = *buffer;  // pristine pre-hook copy
-      if (hook_) hook_(last_packet_, &*buffer);    // may corrupt/sleep/throw
-    } else {
-      inflight_.reset();  // EOS: nothing in flight to replay
-    }
-    return buffer;
   }
   void emit(Buffer&& buffer) {
     if (!output_) return;
@@ -118,13 +175,33 @@ class FilterContext {
       }
       last_packet_ = seq;
       if (hook_) hook_(seq, &buffer);  // may throw before the send
-    } else if (capture_inflight_) {
-      inflight_.reset();  // the in-flight packet produced its output
+    } else {
+      if (skip_emits_ > 0) {
+        // Checkpoint recovery: replaying packets after a restored snapshot
+        // regenerates emissions the failed instance already delivered.
+        // Deterministic filters regenerate them in sequence, so dropping
+        // the first `skip` keeps downstream delivery exactly-once.
+        --skip_emits_;
+        if (capture_inflight_) inflight_.reset();
+        return;
+      }
+      if (capture_inflight_)
+        inflight_.reset();  // the in-flight packet produced its output
     }
     // Sources have no read() to bound a packet window; successive emits do.
     if (!input_) close_latency_window(Clock::now());
     pending_.push_back(std::move(buffer));
     if (pending_.size() >= batch_size_) flush_output();
+    if (!input_ && marker_every_ > 0 && ++since_marker_ >= marker_every_) {
+      // Run-level consistent cut: flush the aligned prefix, register the
+      // cut with the collector, then send the marker down the FIFO chain
+      // behind everything it covers.
+      since_marker_ = 0;
+      const std::int64_t id = marker_seq_++;
+      flush_output();
+      if (marker_fn_) marker_fn_(id);
+      push_marker(id);
+    }
     if (!input_) window_start_ = Clock::now();
   }
 
@@ -174,9 +251,75 @@ class FilterContext {
   void arm_replay(Buffer buffer) { replay_ = std::move(buffer); }
   /// Takes the in-flight packet (if any) for replay after a fault.
   std::optional<Buffer> take_inflight() { return std::move(inflight_); }
-  /// Suppresses the first `n` source emissions after a restart (packets a
-  /// previous instance already delivered downstream).
+  /// Suppresses the first `n` emissions after a restart (packets a
+  /// previous instance already delivered downstream). For sources the
+  /// count spans all re-computed packets; for checkpointed consumers it is
+  /// the delivered count past the restored snapshot's mark.
   void set_skip_emits(std::int64_t n) { skip_emits_ = n; }
+
+  // ---- checkpoint plumbing (installed by the runner) --------------------
+  /// Arms the per-copy snapshot trigger: read() fires `fn` at the first
+  /// packet boundary where `interval` packets have been consumed since the
+  /// last commit, and keeps a pristine log of consumed packets so a
+  /// restarted instance can replay everything past the snapshot.
+  void set_checkpoint(std::int64_t interval, CheckpointFn fn) {
+    ckpt_interval_ = interval;
+    ckpt_fn_ = std::move(fn);
+    ckpt_log_enabled_ = true;
+  }
+  /// Installs the run-level marker handler (see MarkerFn).
+  void set_marker_handler(MarkerFn fn) { marker_fn_ = std::move(fn); }
+  /// Source side of run-level checkpointing: inject a cut marker after
+  /// every `every` delivered packets, numbering cuts from `next_id`.
+  void set_marker_injection(std::int64_t every, std::int64_t next_id) {
+    marker_every_ = every;
+    marker_seq_ = next_id;
+  }
+  /// Cut id the next injected marker will carry (carried across restarts).
+  std::int64_t next_marker_id() const { return marker_seq_; }
+  /// Pushes a checkpoint marker downstream, bypassing the pending batch
+  /// (callers flush first) and the delivery ledger: markers are transport
+  /// control traffic, not packets.
+  void push_marker(std::int64_t id) {
+    if (!output_) return;
+    Buffer marker;
+    marker.set_tag(kCheckpointMarkerTag);
+    marker.write<std::int64_t>(id);
+    if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
+    output_->push(std::move(marker));
+    if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Pristine copies of the packets consumed since the last committed
+  /// snapshot in this instance; the supervisor appends them to its replay
+  /// log when the instance fails. Fault path only: this is where the
+  /// arena's bytes become individual Buffers again.
+  std::vector<Buffer> take_checkpoint_log() {
+    std::vector<Buffer> log;
+    log.reserve(ckpt_sizes_.size());
+    std::size_t offset = 0;
+    for (const std::size_t size : ckpt_sizes_) {
+      Buffer b(size);
+      b.write_bytes(ckpt_arena_.data() + offset, size);
+      offset += size;
+      log.push_back(std::move(b));
+    }
+    ckpt_arena_.clear();
+    ckpt_sizes_.clear();
+    return log;
+  }
+  /// Seeds read() with the replay log: packets a failed instance consumed
+  /// after the snapshot now being restored.
+  void arm_checkpoint_replay(std::deque<Buffer> packets) {
+    ckpt_replay_ = std::move(packets);
+  }
+  /// Called by the snapshot callback once the snapshot has been taken:
+  /// everything consumed so far is covered, so the log restarts empty
+  /// (clear() keeps the arena's capacity — no allocation churn).
+  void checkpoint_committed() {
+    ckpt_arena_.clear();
+    ckpt_sizes_.clear();
+    since_ckpt_ = 0;
+  }
   /// Number of packets this instance actually delivered downstream (used
   /// to compute the next attempt's skip count).
   std::int64_t delivered() const { return packets_out_; }
@@ -285,6 +428,22 @@ class FilterContext {
   std::int64_t skip_emits_ = 0;
   std::int64_t emit_seq_ = 0;
   std::int64_t last_packet_ = -1;
+  // Checkpoint state (see the supervisor in runner.cpp).
+  std::int64_t ckpt_interval_ = 0;
+  CheckpointFn ckpt_fn_;
+  bool ckpt_log_enabled_ = false;
+  // Replay arena: pristine bytes of every packet consumed since the last
+  // commit, contiguous, with per-packet sizes alongside (see
+  // take_checkpoint_log).
+  std::vector<std::byte> ckpt_arena_;
+  std::vector<std::size_t> ckpt_sizes_;
+  std::deque<Buffer> ckpt_replay_;  // to re-serve after a restore
+  std::int64_t since_ckpt_ = 0;     // packets served since last commit
+  // Run-level marker state.
+  MarkerFn marker_fn_;
+  std::int64_t marker_every_ = 0;
+  std::int64_t since_marker_ = 0;
+  std::int64_t marker_seq_ = 0;
 };
 
 class Filter {
@@ -297,6 +456,20 @@ class Filter {
   virtual void process(FilterContext& ctx) = 0;
   /// Release resources / flush accumulated state downstream.
   virtual void finalize(FilterContext& ctx) { (void)ctx; }
+  /// Serializes the filter's cross-packet state (reduction accumulators,
+  /// PRNG cursors, carried scalars) into `out`. Return false if the filter
+  /// carries state it cannot snapshot — the supervisor then falls back to
+  /// in-flight-replay-only recovery and warns once. Stateless filters
+  /// should return true with an empty payload so checkpointed recovery
+  /// stays exactly-once across them.
+  virtual bool snapshot_state(Buffer& out) {
+    (void)out;
+    return false;
+  }
+  /// Restores state written by snapshot_state on a fresh instance. Called
+  /// after init(), before process(); must leave the filter exactly as the
+  /// snapshotted instance was at the snapshot's packet boundary.
+  virtual void restore_state(Buffer& in) { (void)in; }
 };
 
 using FilterFactory = std::function<std::unique_ptr<Filter>()>;

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+
+#include "datacutter/checkpoint.h"
 
 namespace cgp::dc {
 
@@ -62,6 +67,7 @@ support::PipelineTrace RunStats::trace() const {
   trace.fault_policy = fault_policy;
   trace.batch_size = batch_size;
   trace.pool = pool;
+  trace.checkpoints = checkpoints;
   trace.completed = completed;
   trace.error = error;
   if (!group_metrics.empty()) trace.packets = group_metrics.front().packets_out;
@@ -99,6 +105,38 @@ RunStats PipelineRunner::run() {
 
 RunOutcome PipelineRunner::run_supervised() {
   const std::size_t n_groups = groups_.size();
+  // Run-level checkpointing captures a consistent cut via markers on the
+  // FIFO chain; that protocol assumes exactly one copy per group (a marker
+  // covers the whole stream prefix only when one consumer drains it).
+  const bool run_ckpt =
+      !config_.checkpoint_path.empty() || config_.resume != nullptr;
+  if (run_ckpt) {
+    if (!config_.checkpoint_path.empty() && config_.checkpoint_interval == 0)
+      throw std::invalid_argument(
+          "PipelineRunner: run-level checkpointing requires a checkpoint "
+          "interval > 0");
+    for (const FilterGroup& g : groups_)
+      if (g.copies != 1)
+        throw std::invalid_argument(
+            "PipelineRunner: run-level checkpointing requires one copy per "
+            "group (group '" +
+            g.name + "' has " + std::to_string(g.copies) + ")");
+    if (config_.resume) {
+      if (config_.resume->stages.size() != n_groups - 1)
+        throw std::invalid_argument(
+            "PipelineRunner: resume checkpoint has " +
+            std::to_string(config_.resume->stages.size()) +
+            " stage snapshots for a pipeline with " +
+            std::to_string(n_groups - 1) + " consuming groups");
+      for (std::size_t i = 0; i + 1 < n_groups; ++i)
+        if (config_.resume->stages[i].group != groups_[i + 1].name)
+          throw std::invalid_argument(
+              "PipelineRunner: resume checkpoint group '" +
+              config_.resume->stages[i].group +
+              "' does not match pipeline group '" + groups_[i + 1].name +
+              "'");
+    }
+  }
   std::vector<std::unique_ptr<Stream>> streams;
   streams.reserve(n_groups - 1);
   for (std::size_t i = 0; i + 1 < n_groups; ++i) {
@@ -143,8 +181,91 @@ RunOutcome PipelineRunner::run_supervised() {
       stats.error = message;
     }
   };
+  // Run teardown signal: wakes copies parked in retry backoff so an abort
+  // never waits out an exponential-backoff sleep (see the backoff wait in
+  // the supervisor loop).
+  std::mutex teardown_mutex;
+  std::condition_variable teardown_cv;
+  bool teardown = false;
+  auto signal_teardown = [&] {
+    {
+      std::lock_guard lock(teardown_mutex);
+      teardown = true;
+    }
+    teardown_cv.notify_all();
+  };
   auto abort_all = [&] {
     for (const auto& stream : streams) stream->abort();
+    signal_teardown();
+  };
+
+  // One-time per-group notice when checkpointing is requested but the
+  // group's filter cannot snapshot its state.
+  std::vector<std::atomic<bool>> warned_no_snapshot(n_groups);
+
+  // ---- run-level cut collector -------------------------------------------
+  // Each marker id accumulates one part per group: the source registers the
+  // delivered mark at injection, every consumer adds its state snapshot as
+  // the marker passes. When all parts are in, the cut is consistent (FIFO
+  // streams deliver the marker behind exactly the packets it covers) and is
+  // persisted atomically.
+  struct PendingCut {
+    RunCheckpoint cut;
+    std::size_t parts = 0;
+    double injected_at = 0.0;
+    bool usable = true;
+  };
+  std::mutex cut_mutex;
+  std::map<std::int64_t, PendingCut> pending_cuts;
+  auto submit_cut = [&](std::int64_t id, std::size_t gi,
+                        std::vector<std::byte> state, bool usable,
+                        std::int64_t source_delivered) {
+    std::optional<support::CheckpointRecord> record;
+    {
+      std::lock_guard lock(cut_mutex);
+      PendingCut& pc = pending_cuts[id];
+      if (pc.cut.stages.empty() && n_groups > 1)
+        pc.cut.stages.resize(n_groups - 1);
+      if (gi == 0) {
+        pc.cut.id = id;
+        pc.cut.source_delivered = source_delivered;
+        pc.injected_at = seconds_since(start);
+      } else {
+        StageSnapshot& slot = pc.cut.stages[gi - 1];
+        slot.group = groups_[gi].name;
+        slot.state = std::move(state);
+      }
+      if (!usable) pc.usable = false;
+      pc.parts += 1;
+      if (pc.parts == n_groups) {
+        const double now = seconds_since(start);
+        pc.cut.at_seconds = now;
+        support::CheckpointRecord rec;
+        rec.id = id;
+        rec.group = "run";
+        rec.copy = -1;
+        rec.packet_index = pc.cut.source_delivered;
+        for (const StageSnapshot& s : pc.cut.stages)
+          rec.snapshot_bytes += static_cast<std::int64_t>(s.state.size());
+        rec.quiesce_seconds = now - pc.injected_at;
+        rec.at_seconds = now;
+        if (pc.usable && !config_.checkpoint_path.empty()) {
+          try {
+            save_checkpoint(pc.cut, config_.checkpoint_path);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr,
+                         "cgpipe: warning: checkpoint write failed: %s\n",
+                         e.what());
+          }
+        }
+        record = rec;
+        pending_cuts.erase(id);
+      }
+    }
+    if (record) {
+      std::lock_guard lock(state_mutex);
+      stats.checkpoints.push_back(*record);
+    }
   };
 
   // ---- watchdog ----------------------------------------------------------
@@ -226,6 +347,7 @@ RunOutcome PipelineRunner::run_supervised() {
         Stream* input = gi == 0 ? nullptr : streams[gi - 1].get();
         Stream* output = gi + 1 < n_groups ? streams[gi].get() : nullptr;
         const auto copy_start = Clock::now();
+        const std::string& group_name = groups_[gi].name;
         support::FilterMetrics copy_metrics;
         std::optional<Buffer> replay;
         std::vector<Buffer> unread;  // popped by a dead instance, not read
@@ -235,12 +357,43 @@ RunOutcome PipelineRunner::run_supervised() {
         double backoff = policy_.backoff_initial_seconds;
         bool copy_dead = false;
         std::string last_what;
+        // Exactly-once checkpointed recovery (restart-copy with a
+        // checkpoint interval): the last committed snapshot, the delivered
+        // mark it covers, and the pristine packets consumed since it — the
+        // replay log a restarted instance consumes after restoring.
+        const bool want_ckpt =
+            policy_.action == FaultAction::kRestartCopy &&
+            config_.checkpoint_interval > 0 && input != nullptr;
+        bool ckpt_supported = true;  // until the first probe says otherwise
+        bool attempt_ckpt = false;
+        Buffer snapshot;
+        bool have_snapshot = false;
+        std::int64_t snap_delivered = 0;
+        std::vector<Buffer> master_log;
+        std::int64_t ckpt_ordinal = 0;
+        std::int64_t next_marker_id = 0;
+        if (config_.resume) {
+          if (!input) {
+            // The cut covers this many source packets: skip_emits below
+            // suppresses their re-computation and numbering continues.
+            delivered_total = config_.resume->source_delivered;
+            next_marker_id = config_.resume->id + 1;
+          } else {
+            for (const StageSnapshot& s : config_.resume->stages) {
+              if (s.group != group_name) continue;
+              snapshot.write_bytes(s.state.data(), s.state.size());
+              have_snapshot = true;
+              break;
+            }
+          }
+        }
         for (;;) {
           FilterContext ctx(input, output, copy, groups_[gi].copies);
           ctx.attach_runtime(&runtimes[gi]);
           ctx.set_batch_size(config_.batch_size);
           if (pool) ctx.set_pool(&*pool);
-          if (policy_.action == FaultAction::kRestartCopy)
+          attempt_ckpt = want_ckpt && ckpt_supported;
+          if (policy_.action == FaultAction::kRestartCopy && !attempt_ckpt)
             ctx.set_capture_inflight(true);
           if (replay) {
             ctx.arm_replay(std::move(*replay));
@@ -250,7 +403,6 @@ RunOutcome PipelineRunner::run_supervised() {
           unread.clear();
           if (!input) ctx.set_skip_emits(delivered_total);
           if (hook_) {
-            const std::string& group_name = groups_[gi].name;
             ctx.set_packet_hook(
                 [this, &group_name, copy, attempt](std::int64_t packet,
                                                    Buffer* buffer) {
@@ -260,9 +412,105 @@ RunOutcome PipelineRunner::run_supervised() {
           bool failed = false;
           std::exception_ptr error;
           std::string what;
+          std::unique_ptr<Filter> filter;
+          // Snapshot commit, shared by the interval trigger and the
+          // run-level marker handler: record the filter state and the
+          // delivered mark it covers, then restart the replay log.
+          auto commit_snapshot = [&]() -> bool {
+            Buffer snap;
+            if (!filter->snapshot_state(snap)) return false;
+            snapshot = std::move(snap);
+            have_snapshot = true;
+            snap_delivered = delivered_total + ctx.delivered();
+            master_log.clear();
+            ctx.checkpoint_committed();
+            copy_metrics.checkpoints += 1;
+            return true;
+          };
           try {
-            std::unique_ptr<Filter> filter = groups_[gi].factory();
+            filter = groups_[gi].factory();
             filter->init(ctx);
+            if (attempt_ckpt && !have_snapshot) {
+              // Probe: the initial snapshot doubles as support detection
+              // and covers faults before the first interval commit.
+              Buffer probe;
+              if (filter->snapshot_state(probe)) {
+                snapshot = std::move(probe);
+                have_snapshot = true;
+                snap_delivered = delivered_total;
+              } else {
+                ckpt_supported = false;
+                attempt_ckpt = false;
+                ctx.set_capture_inflight(true);
+                if (!warned_no_snapshot[gi].exchange(true))
+                  std::fprintf(
+                      stderr,
+                      "cgpipe: warning: group '%s' does not implement "
+                      "snapshot_state; restart-copy replays the in-flight "
+                      "packet only and accumulated state is lost on restart "
+                      "(see docs/ROBUSTNESS.md)\n",
+                      group_name.c_str());
+              }
+            } else if (input && have_snapshot) {
+              Buffer snap = snapshot;  // restore consumes the read cursor
+              snap.seek(0);
+              filter->restore_state(snap);
+            }
+            if (attempt_ckpt) {
+              ctx.set_skip_emits(delivered_total - snap_delivered);
+              if (!master_log.empty()) {
+                std::deque<Buffer> queue(master_log.begin(),
+                                         master_log.end());
+                ctx.arm_checkpoint_replay(std::move(queue));
+              }
+              ctx.set_checkpoint(
+                  static_cast<std::int64_t>(config_.checkpoint_interval),
+                  [&] {
+                    const std::int64_t ordinal = ckpt_ordinal++;
+                    if (checkpoint_hook_)
+                      checkpoint_hook_(group_name, copy, attempt, ordinal);
+                    if (!commit_snapshot() &&
+                        !warned_no_snapshot[gi].exchange(true))
+                      std::fprintf(stderr,
+                                   "cgpipe: warning: group '%s' stopped "
+                                   "snapshotting its state\n",
+                                   group_name.c_str());
+                  });
+            }
+            if (run_ckpt && input) {
+              // Run-level cut: snapshot as the marker passes, register the
+              // part, and forward the marker down the FIFO chain.
+              ctx.set_marker_handler([&](std::int64_t id) {
+                const std::int64_t ordinal = ckpt_ordinal++;
+                if (checkpoint_hook_)
+                  checkpoint_hook_(group_name, copy, attempt, ordinal);
+                Buffer snap;
+                const bool ok = filter->snapshot_state(snap);
+                std::vector<std::byte> state;
+                if (ok) {
+                  state.assign(snap.data(), snap.data() + snap.size());
+                  if (attempt_ckpt) {
+                    snapshot = std::move(snap);
+                    have_snapshot = true;
+                    snap_delivered = delivered_total + ctx.delivered();
+                    master_log.clear();
+                    ctx.checkpoint_committed();
+                    copy_metrics.checkpoints += 1;
+                  }
+                }
+                submit_cut(id, gi, std::move(state), ok, 0);
+                if (output) ctx.push_marker(id);
+              });
+            } else if (run_ckpt && !input &&
+                       !config_.checkpoint_path.empty()) {
+              ctx.set_marker_injection(
+                  static_cast<std::int64_t>(config_.checkpoint_interval),
+                  next_marker_id);
+              ctx.set_marker_handler([&](std::int64_t id) {
+                submit_cut(id, gi, {}, true,
+                           delivered_total + ctx.delivered());
+              });
+            }
             filter->process(ctx);
             filter->finalize(ctx);
           } catch (const std::exception& e) {
@@ -288,6 +536,7 @@ RunOutcome PipelineRunner::run_supervised() {
           attempt_metrics.copies = 0;  // the copy is counted once, at exit
           copy_metrics.merge(attempt_metrics);
           delivered_total += ctx.delivered();
+          if (!input) next_marker_id = ctx.next_marker_id();
           {
             std::lock_guard lock(state_mutex);
             stats.group_ops[gi] += ctx.ops();
@@ -326,7 +575,17 @@ RunOutcome PipelineRunner::run_supervised() {
           if (consecutive > policy_.max_retries) {
             fault.resolution = support::FaultResolution::kCopyDead;
             record_fault(std::move(fault));
-            if (input && ctx.current_packet() >= 0) {
+            if (input && attempt_ckpt && have_snapshot) {
+              // Packets consumed past the snapshot whose outputs were
+              // never delivered die with the copy: count them so the
+              // pushed == delivered + dropped ledger stays exact.
+              std::vector<Buffer> log = ctx.take_checkpoint_log();
+              const std::int64_t undelivered =
+                  static_cast<std::int64_t>(master_log.size() + log.size()) -
+                  (delivered_total - snap_delivered);
+              if (undelivered > 0)
+                copy_metrics.dropped_packets += undelivered;
+            } else if (input && ctx.current_packet() >= 0) {
               // The in-flight packet dies with the copy: count it so the
               // pushed == delivered + dropped ledger stays exact.
               copy_metrics.dropped_packets += 1;
@@ -335,7 +594,15 @@ RunOutcome PipelineRunner::run_supervised() {
             break;
           }
           copy_metrics.retries += 1;
-          if (policy_.action == FaultAction::kRestartCopy) {
+          if (policy_.action == FaultAction::kRestartCopy &&
+              attempt_ckpt && have_snapshot) {
+            // Checkpointed recovery: fold this attempt's consumed packets
+            // into the replay log; the fresh instance restores the
+            // snapshot and replays exactly the packets after it.
+            std::vector<Buffer> log = ctx.take_checkpoint_log();
+            for (Buffer& b : log) master_log.push_back(std::move(b));
+            fault.resolution = support::FaultResolution::kRestoredCheckpoint;
+          } else if (policy_.action == FaultAction::kRestartCopy) {
             replay = ctx.take_inflight();
             fault.resolution = support::FaultResolution::kRetried;
           } else if (input && ctx.current_packet() >= 0) {
@@ -350,9 +617,20 @@ RunOutcome PipelineRunner::run_supervised() {
           }
           record_fault(std::move(fault));
           ++attempt;
-          if (backoff > 0.0)
-            std::this_thread::sleep_for(
-                std::chrono::duration<double>(backoff));
+          if (backoff > 0.0) {
+            // Interruptible backoff: run teardown wakes the copy instead
+            // of letting a parked retry delay whole-stage drain. The
+            // waiting count exempts the wait from the no-progress
+            // watchdog, exactly like a blocked stream wait.
+            runtimes[gi].waiting.fetch_add(1, std::memory_order_relaxed);
+            {
+              std::unique_lock lock(teardown_mutex);
+              teardown_cv.wait_for(lock,
+                                   std::chrono::duration<double>(backoff),
+                                   [&] { return teardown; });
+            }
+            runtimes[gi].waiting.fetch_sub(1, std::memory_order_relaxed);
+          }
           backoff = std::min(backoff * policy_.backoff_multiplier,
                              policy_.backoff_max_seconds);
         }
@@ -382,6 +660,7 @@ RunOutcome PipelineRunner::run_supervised() {
           set_error(std::make_exception_ptr(std::runtime_error(msg.str())),
                     msg.str());
           if (input) input->drain();
+          signal_teardown();  // wake peers parked in retry backoff
         }
         copy_metrics.total_seconds = seconds_since(copy_start);
         copy_metrics.copies = 1;

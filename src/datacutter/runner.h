@@ -64,6 +64,16 @@ using PacketHook = std::function<void(const std::string& group, int copy,
                                       int attempt, std::int64_t packet,
                                       Buffer* buffer)>;
 
+/// Checkpoint fault-injection hook: invoked immediately before a copy
+/// snapshots its filter state, with the per-copy checkpoint ordinal.
+/// Throwing models a fault mid-snapshot (the previous snapshot must
+/// survive). See support/faultinject.h (`group:throw@ckpt`).
+using CheckpointHook = std::function<void(const std::string& group, int copy,
+                                          int attempt,
+                                          std::int64_t checkpoint)>;
+
+struct RunCheckpoint;  // datacutter/checkpoint.h
+
 /// Transport configuration for one runner (docs/PERFORMANCE.md): stream
 /// depth, producer-side packet coalescing, and buffer-storage recycling.
 struct RunnerConfig {
@@ -76,6 +86,24 @@ struct RunnerConfig {
   /// Freelist depth per power-of-two size class of the run's BufferPool;
   /// 0 disables pooling and every packet allocates fresh storage.
   std::size_t pool_buffers_per_class = 64;
+  /// Exactly-once stateful recovery (docs/ROBUSTNESS.md): under
+  /// restart-copy, snapshot every consuming copy's filter state each time
+  /// this many packets have been consumed since the last snapshot; a
+  /// restarted instance restores the snapshot and replays only the packets
+  /// after it, so accumulated state (reduction replicas, carried scalars)
+  /// survives the fault. 0 disables checkpointing (legacy in-flight-replay
+  /// recovery only).
+  std::size_t checkpoint_interval = 0;
+  /// Run-level checkpointing: when non-empty, a consistent cut of the
+  /// whole pipeline (source progress + every stage snapshot) is persisted
+  /// to this file every checkpoint_interval source packets, atomically.
+  /// Requires checkpoint_interval > 0 and a single copy per group.
+  std::string checkpoint_path;
+  /// Resume an aborted run from this previously saved cut (see
+  /// load_checkpoint): the source skips the packets the cut covers and
+  /// every consuming stage starts from its recorded state. Borrowed
+  /// pointer; must outlive the run. Requires a single copy per group.
+  const RunCheckpoint* resume = nullptr;
 };
 
 struct RunStats {
@@ -100,6 +128,9 @@ struct RunStats {
   /// buffer-pool counters (zeroed when pooling was disabled).
   std::int64_t batch_size = 1;
   support::PoolMetrics pool;
+  /// Run-level consistent cuts completed during the run (empty unless
+  /// run-level checkpointing was enabled).
+  std::vector<support::CheckpointRecord> checkpoints;
   bool completed = true;
   std::string error;  // first fatal condition; empty on success
 
@@ -133,6 +164,10 @@ class PipelineRunner {
   const RunnerConfig& config() const { return config_; }
   /// Installs a per-packet fault-injection hook applied to every copy.
   void set_packet_hook(PacketHook hook) { hook_ = std::move(hook); }
+  /// Installs a pre-snapshot fault-injection hook (see CheckpointHook).
+  void set_checkpoint_hook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
 
   /// Runs the pipeline to completion on real threads; throws the first
   /// fatal error (fail-fast fault, all copies of a stage dead, watchdog),
@@ -149,6 +184,7 @@ class PipelineRunner {
   RunnerConfig config_;
   FaultPolicy policy_;
   PacketHook hook_;
+  CheckpointHook checkpoint_hook_;
 };
 
 }  // namespace cgp::dc

@@ -16,6 +16,14 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 double per_packet_batch_overhead(const DecompositionInput& input) {
   return input.link_batch_overhead_sec / std::max(1.0, input.batch_size);
 }
+
+/// Per-packet share of the downstream stage's snapshot cost (0 unless the
+/// input models checkpointed recovery): one snapshot every
+/// checkpoint_interval packets on the consuming side of each crossed link.
+double per_packet_checkpoint_overhead(const DecompositionInput& input) {
+  if (input.checkpoint_interval <= 0.0) return 0.0;
+  return input.checkpoint_snapshot_sec / input.checkpoint_interval;
+}
 }
 
 std::vector<int> Placement::cuts(int stages) const {
@@ -60,7 +68,8 @@ DecompositionResult decompose_dp(const DecompositionInput& input) {
       static_cast<std::size_t>(F + 1),
       std::vector<bool>(static_cast<std::size_t>(M), false));
   std::size_t cells = 0;
-  const double batch_oh = per_packet_batch_overhead(input);
+  const double link_oh = per_packet_batch_overhead(input) +
+                         per_packet_checkpoint_overhead(input);
 
   T[0][0] = cost_comp(input.env.units[0], input.source_io_ops);
   for (int j = 1; j < M; ++j) {
@@ -68,7 +77,7 @@ DecompositionResult decompose_dp(const DecompositionInput& input) {
         T[0][static_cast<std::size_t>(j - 1)] +
         cost_comm(input.env.links[static_cast<std::size_t>(j - 1)],
                   input.input_bytes) +
-        batch_oh;
+        link_oh;
     ++cells;
   }
 
@@ -91,7 +100,7 @@ DecompositionResult decompose_dp(const DecompositionInput& input) {
                      cost_comm(
                          input.env.links[static_cast<std::size_t>(j - 1)],
                          vol) +
-                     batch_oh;
+                     link_oh;
         }
       }
       const bool comp_wins = via_comp <= via_comm;
@@ -127,7 +136,8 @@ double decompose_dp_cost_only(const DecompositionInput& input) {
   const int F = input.filter_count();
   const int M = input.env.stages();
   // Rolling row: O(m) live cells (§4.4 closing remark).
-  const double batch_oh = per_packet_batch_overhead(input);
+  const double link_oh = per_packet_batch_overhead(input) +
+                         per_packet_checkpoint_overhead(input);
   std::vector<double> row(static_cast<std::size_t>(M), kInf);
   row[0] = cost_comp(input.env.units[0], input.source_io_ops);
   for (int j = 1; j < M; ++j) {
@@ -135,7 +145,7 @@ double decompose_dp_cost_only(const DecompositionInput& input) {
         row[static_cast<std::size_t>(j - 1)] +
         cost_comm(input.env.links[static_cast<std::size_t>(j - 1)],
                   input.input_bytes) +
-        batch_oh;
+        link_oh;
   }
   for (int i = 1; i <= F; ++i) {
     const double task = input.task_ops[static_cast<std::size_t>(i - 1)];
@@ -155,7 +165,7 @@ double decompose_dp_cost_only(const DecompositionInput& input) {
                      cost_comm(
                          input.env.links[static_cast<std::size_t>(j - 1)],
                          vol) +
-                     batch_oh;
+                     link_oh;
         }
       }
       row[static_cast<std::size_t>(j)] = std::min(via_comp, via_comm);
@@ -183,7 +193,8 @@ void placement_times(const DecompositionInput& input,
                   input.task_ops[i]);
   }
   std::vector<int> cut = placement.cuts(M);
-  const double batch_oh = per_packet_batch_overhead(input);
+  const double link_oh = per_packet_batch_overhead(input) +
+                         per_packet_checkpoint_overhead(input);
   for (int k = 0; k < M - 1; ++k) {
     double bytes = cut[static_cast<std::size_t>(k)] >= 0
                        ? input.boundary_bytes[static_cast<std::size_t>(
@@ -191,7 +202,7 @@ void placement_times(const DecompositionInput& input,
                        : input.input_bytes;
     link_times[static_cast<std::size_t>(k)] =
         cost_comm(input.env.links[static_cast<std::size_t>(k)], bytes) +
-        batch_oh;
+        link_oh;
   }
 }
 

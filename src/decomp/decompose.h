@@ -50,6 +50,15 @@ struct DecompositionInput {
   /// paper's Figure 3 model exactly (no batching term).
   double link_batch_overhead_sec = 0.0;
   double batch_size = 1.0;
+  /// Checkpointed-recovery overhead (docs/ROBUSTNESS.md): every crossed
+  /// link puts a consuming stage downstream of it, and under checkpointed
+  /// restart-copy that stage snapshots its state every checkpoint_interval
+  /// packets. Each crossed link therefore charges
+  /// checkpoint_snapshot_sec / checkpoint_interval per packet alongside
+  /// the batching term above. Defaults reproduce the paper's Figure 3
+  /// model exactly (no checkpoint term).
+  double checkpoint_snapshot_sec = 0.0;
+  double checkpoint_interval = 0.0;
   EnvironmentSpec env;
 
   int filter_count() const { return static_cast<int>(task_ops.size()); }

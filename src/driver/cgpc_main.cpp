@@ -29,6 +29,16 @@
 //                        packets per lock acquisition / consumer wakeup
 //                        (default 1 = per-packet transport); also feeds
 //                        the cost model's batching term
+//   --checkpoint-interval=N
+//                        snapshot stage state every N packets: under
+//                        restart-copy this makes recovery exactly-once for
+//                        stateful stages; also feeds the cost model's
+//                        checkpoint-overhead term (0 = disabled)
+//   --checkpoint=FILE    persist run-level consistent cuts to FILE while
+//                        running (requires --checkpoint-interval; stage
+//                        copies must be 1)
+//   --resume=FILE        restart an aborted run from the last consistent
+//                        cut in FILE (see docs/ROBUSTNESS.md)
 //   --default            use the Default placement instead of Decomp
 //   --no-fission         disable loop fission
 #include <cstdint>
@@ -39,6 +49,7 @@
 #include <optional>
 #include <sstream>
 
+#include "datacutter/checkpoint.h"
 #include "driver/compiler.h"
 #include "driver/simulate.h"
 #include "support/faultinject.h"
@@ -53,7 +64,9 @@ void usage() {
                "[--packets N] [--emit] [--analysis] [--run] "
                "[--trace=<file>] [--fault-policy=P] [--fault-inject=SPEC] "
                "[--fault-seed=N] [--stage-timeout=S] [--stream-capacity=N] "
-               "[--batch-size=N] [--default] [--no-fission]\n");
+               "[--batch-size=N] [--checkpoint-interval=N] "
+               "[--checkpoint=FILE] [--resume=FILE] [--default] "
+               "[--no-fission]\n");
 }
 
 bool parse_kv(const char* arg, std::string& name, std::int64_t& value) {
@@ -80,10 +93,12 @@ int main(int argc, char** argv) {
   bool run = false;
   bool use_default = false;
   std::string trace_path;
+  std::string resume_path;
   dc::FaultPolicy fault_policy;
   std::string fault_inject;
   std::uint64_t fault_seed = 0;
   dc::RunnerConfig transport;
+  std::optional<dc::RunCheckpoint> resume_ckpt;
   CompileOptions options;
   options.n_packets = 16;
 
@@ -171,6 +186,20 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--batch-size") == 0) {
       transport.batch_size =
           static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strncmp(arg, "--checkpoint-interval=", 22) == 0) {
+      transport.checkpoint_interval =
+          static_cast<std::size_t>(std::strtoull(arg + 22, nullptr, 10));
+    } else if (std::strcmp(arg, "--checkpoint-interval") == 0) {
+      transport.checkpoint_interval =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      transport.checkpoint_path = arg + 13;
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      transport.checkpoint_path = next();
+    } else if (std::strncmp(arg, "--resume=", 9) == 0) {
+      resume_path = arg + 9;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume_path = next();
     } else if (std::strcmp(arg, "--default") == 0) {
       use_default = true;
     } else if (std::strcmp(arg, "--no-fission") == 0) {
@@ -205,6 +234,27 @@ int main(int argc, char** argv) {
   // away (the links' configured latency is the natural scale for it).
   if (transport.batch_size > 1 && !options.env.links.empty())
     options.link_batch_overhead_sec = options.env.links.front().latency_sec;
+  // Same idea for checkpointing: the snapshot serialization cost has no
+  // measured value at compile time, so the links' configured latency
+  // stands in as its scale and the optimizer sees the per-packet share.
+  if (transport.checkpoint_interval > 0 && !options.env.links.empty()) {
+    options.checkpoint_interval = transport.checkpoint_interval;
+    options.checkpoint_snapshot_sec = options.env.links.front().latency_sec;
+  }
+  if (!resume_path.empty()) {
+    try {
+      resume_ckpt = dc::load_checkpoint(resume_path);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "cgpc: cannot resume from %s: %s\n",
+                   resume_path.c_str(), error.what());
+      return 1;
+    }
+    transport.resume = &*resume_ckpt;
+    run = true;
+    std::printf("resuming from %s: cut %lld (%lld source packets)\n",
+                resume_path.c_str(), static_cast<long long>(resume_ckpt->id),
+                static_cast<long long>(resume_ckpt->source_delivered));
+  }
 
   CompileResult result = compile_pipeline(source.str(), options);
   if (!result.ok) {
@@ -260,9 +310,12 @@ int main(int argc, char** argv) {
       PipelineCompiler compiler =
           result.make_runner(placement, options.env, {}, transport);
       compiler.set_fault_policy(fault_policy);
-      if (!fault_plan.empty())
+      if (!fault_plan.empty()) {
+        compiler.set_checkpoint_hook(
+            support::make_checkpoint_fault_hook(fault_plan));
         compiler.set_packet_hook(
             support::make_fault_hook(std::move(fault_plan)));
+      }
       PipelineRunResult outcome = compiler.run();
       std::printf("\nran %lld packets; simulated pipeline time %.6f s\n",
                   static_cast<long long>(outcome.packets),
@@ -326,6 +379,17 @@ int main(int argc, char** argv) {
                       static_cast<long long>(f.packet_index),
                       f.what.c_str());
         }
+      }
+      if (!outcome.checkpoints.empty()) {
+        const support::CheckpointRecord& last = outcome.checkpoints.back();
+        std::printf(
+            "checkpoints: %zu consistent cut(s), last covers %lld source "
+            "packet(s) (%lld bytes, quiesce %.4f s)%s%s\n",
+            outcome.checkpoints.size(),
+            static_cast<long long>(last.packet_index),
+            static_cast<long long>(last.snapshot_bytes), last.quiesce_seconds,
+            transport.checkpoint_path.empty() ? "" : ", written to ",
+            transport.checkpoint_path.c_str());
       }
       if (!trace_path.empty()) {
         // Written even when the run failed: a partial trace is exactly

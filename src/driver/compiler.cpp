@@ -31,6 +31,8 @@ DecompositionInput make_decomposition_input(const PipelineModel& model,
   input.source_io_ops = options.io_ops_per_byte * sizes.bytes_of(model.input_req);
   input.link_batch_overhead_sec = options.link_batch_overhead_sec;
   input.batch_size = static_cast<double>(options.batch_size == 0 ? 1 : options.batch_size);
+  input.checkpoint_snapshot_sec = options.checkpoint_snapshot_sec;
+  input.checkpoint_interval = static_cast<double>(options.checkpoint_interval);
 
   // Reduction-epilogue estimate: replica wire size and per-replica merge
   // cost, so the placement optimizer sees the end-of-run handoff.

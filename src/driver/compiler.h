@@ -34,6 +34,12 @@ struct CompileOptions {
   /// The 0-second default reproduces the paper's model exactly.
   double link_batch_overhead_sec = 0.0;
   std::size_t batch_size = 1;
+  /// Checkpoint-overhead term fed to the cost model: seconds to serialize
+  /// one stage snapshot, charged once every checkpoint_interval packets on
+  /// each crossed link's consuming stage (see DESIGN.md). The 0 defaults
+  /// reproduce the paper's model exactly.
+  double checkpoint_snapshot_sec = 0.0;
+  std::size_t checkpoint_interval = 0;
   OpCountOptions opcount;
 };
 

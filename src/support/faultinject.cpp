@@ -124,7 +124,13 @@ FaultSpec parse_spec(std::string_view token) {
       fail_parse(token, "probability must be in [0, 1]");
     return spec;
   }
-  if (trigger.back() == '!') {
+  if (trigger.substr(0, 4) == "ckpt") {
+    // Mid-snapshot trigger: the ordinal indexes the copy's checkpoints
+    // instead of its packets ("stage1:throw@ckpt" = first snapshot).
+    spec.at_checkpoint = true;
+    trigger = trigger.substr(4);
+  }
+  if (!trigger.empty() && trigger.back() == '!') {
     spec.refire = true;
     trigger = trigger.substr(0, trigger.size() - 1);
   }
@@ -136,9 +142,23 @@ FaultSpec parse_spec(std::string_view token) {
       fail_parse(token, "repeat stride must be positive");
     trigger = trigger.substr(0, plus);
   }
-  spec.nth_packet =
-      parse_int(trigger, token, "packet ordinal must be a number");
+  if (trigger.empty() && spec.at_checkpoint)
+    spec.nth_packet = 0;
+  else
+    spec.nth_packet =
+        parse_int(trigger, token, "packet ordinal must be a number");
   return spec;
+}
+
+/// Shared deterministic-trigger evaluation for packet and checkpoint
+/// ordinals (see FaultPlan::match for the semantics).
+bool deterministic_fires(const FaultSpec& spec, int attempt,
+                         std::int64_t ordinal) {
+  if (!spec.refire && attempt != 0) return false;
+  if (ordinal < spec.nth_packet) return false;
+  const std::int64_t delta = ordinal - spec.nth_packet;
+  return delta == 0 ||
+         (spec.repeat_every != 0 && delta % spec.repeat_every == 0);
 }
 
 }  // namespace
@@ -161,23 +181,32 @@ const FaultSpec* FaultPlan::match(std::string_view group, int copy,
                                   int attempt, std::int64_t packet) const {
   if (packet < 0) return nullptr;
   for (const FaultSpec& spec : specs) {
+    if (spec.at_checkpoint) continue;  // fires via match_checkpoint only
     if (spec.group != group) continue;
     if (spec.copy >= 0 && spec.copy != copy) continue;
     if (spec.nth_packet >= 0) {
       // Deterministic trigger. One-shot specs model transient faults: they
       // fire only on a copy's first attempt, so the restarted instance
       // gets through. refire makes the fault persistent.
-      if (!spec.refire && attempt != 0) continue;
-      if (packet < spec.nth_packet) continue;
-      const std::int64_t delta = packet - spec.nth_packet;
-      if (delta != 0 &&
-          (spec.repeat_every == 0 || delta % spec.repeat_every != 0))
-        continue;
-      return &spec;
+      if (deterministic_fires(spec, attempt, packet)) return &spec;
+      continue;
     }
     if (spec.probability > 0.0 &&
         unit_hash(seed, group, copy, attempt, packet) < spec.probability)
       return &spec;
+  }
+  return nullptr;
+}
+
+const FaultSpec* FaultPlan::match_checkpoint(std::string_view group, int copy,
+                                             int attempt,
+                                             std::int64_t checkpoint) const {
+  if (checkpoint < 0) return nullptr;
+  for (const FaultSpec& spec : specs) {
+    if (!spec.at_checkpoint) continue;
+    if (spec.group != group) continue;
+    if (spec.copy >= 0 && spec.copy != copy) continue;
+    if (deterministic_fires(spec, attempt, checkpoint)) return &spec;
   }
   return nullptr;
 }

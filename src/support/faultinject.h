@@ -53,6 +53,10 @@ struct FaultSpec {
   /// same packets, and a retry re-rolls (attempt is in the hash).
   double probability = 0.0;
   double sleep_seconds = 0.0;
+  /// @ckpt trigger: the spec fires mid-snapshot (via the runner's
+  /// CheckpointHook) instead of per-packet; nth_packet then indexes the
+  /// copy's checkpoint ordinal. Such specs never match packets.
+  bool at_checkpoint = false;
   std::string message;  // what() text; parse fills it with the spec token
 };
 
@@ -63,18 +67,26 @@ struct FaultPlan {
   bool empty() const { return specs.empty(); }
   /// First spec that fires for this (group, copy, attempt, packet), or
   /// nullptr. Pure: same inputs + same seed always give the same answer.
+  /// @ckpt specs never match here.
   const FaultSpec* match(std::string_view group, int copy, int attempt,
                          std::int64_t packet) const;
+  /// First @ckpt spec that fires for this (group, copy, attempt,
+  /// checkpoint ordinal), or nullptr — same trigger semantics as match(),
+  /// indexed by snapshot instead of packet.
+  const FaultSpec* match_checkpoint(std::string_view group, int copy,
+                                    int attempt,
+                                    std::int64_t checkpoint) const;
 };
 
 /// Parses a --fault-inject plan: comma-separated specs of the form
 ///   group[#copy]:kind@trigger[=seconds]
 /// where kind is throw | sleep | corrupt | drop and trigger is either
-///   N[+M][!]  — packet N (then every M), '!' = refire on restarts
-///   ~P        — probability P per packet
+///   N[+M][!]      — packet N (then every M), '!' = refire on restarts
+///   ~P            — probability P per packet
+///   ckpt[N][+M][!] — mid-snapshot at checkpoint N (default 0)
 /// e.g. "stage1:throw@5", "stage1:throw@0!", "decomp#1:sleep@3=0.2",
-/// "link:drop@~0.05", "stage2:corrupt@2+4". Throws std::invalid_argument
-/// on malformed input.
+/// "link:drop@~0.05", "stage2:corrupt@2+4", "stage1:throw@ckpt1". Throws
+/// std::invalid_argument on malformed input.
 FaultPlan parse_fault_plan(std::string_view text, std::uint64_t seed = 0);
 
 /// Human-readable one-line summary of the plan (spec tokens + seed).
@@ -121,6 +133,19 @@ inline dc::PacketHook make_fault_hook(FaultPlan plan) {
                                   dc::Buffer* buffer) {
     if (const FaultSpec* spec = plan.match(group, copy, attempt, packet))
       fire_fault(*spec, buffer);
+  };
+}
+
+/// Binds a plan into the runner-level checkpoint hook
+/// (PipelineRunner::set_checkpoint_hook): @ckpt specs fire mid-snapshot,
+/// before the supervisor commits, so the previous snapshot must survive
+/// the fault.
+inline dc::CheckpointHook make_checkpoint_fault_hook(FaultPlan plan) {
+  return [plan = std::move(plan)](const std::string& group, int copy,
+                                  int attempt, std::int64_t checkpoint) {
+    if (const FaultSpec* spec =
+            plan.match_checkpoint(group, copy, attempt, checkpoint))
+      fire_fault(*spec, nullptr);
   };
 }
 

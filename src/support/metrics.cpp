@@ -76,6 +76,7 @@ void FilterMetrics::merge(const FilterMetrics& other) {
   faults += other.faults;
   retries += other.retries;
   dropped_packets += other.dropped_packets;
+  checkpoints += other.checkpoints;
   latency.merge(other.latency);
 }
 
@@ -99,6 +100,8 @@ const char* fault_resolution_name(FaultResolution r) {
       return "copy-dead";
     case FaultResolution::kWatchdog:
       return "watchdog";
+    case FaultResolution::kRestoredCheckpoint:
+      return "restored-checkpoint";
   }
   return "fatal";
 }
@@ -109,6 +112,8 @@ FaultResolution fault_resolution_from_name(const std::string& name) {
   if (name == "dropped-packet") return FaultResolution::kDroppedPacket;
   if (name == "copy-dead") return FaultResolution::kCopyDead;
   if (name == "watchdog") return FaultResolution::kWatchdog;
+  if (name == "restored-checkpoint")
+    return FaultResolution::kRestoredCheckpoint;
   throw std::runtime_error("trace: unknown fault resolution '" + name + "'");
 }
 
@@ -173,6 +178,7 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     jf.set("faults", Json(f.faults));
     jf.set("retries", Json(f.retries));
     jf.set("dropped_packets", Json(f.dropped_packets));
+    jf.set("checkpoints", Json(f.checkpoints));
     jf.set("latency", latency_to_json(f.latency));
     filters.push_back(std::move(jf));
   }
@@ -201,8 +207,20 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     jf.set("at_seconds", Json(fault.at_seconds));
     faults.push_back(std::move(jf));
   }
+  Json::Array checkpoints;
+  for (const CheckpointRecord& c : trace.checkpoints) {
+    Json jc{Json::Object{}};
+    jc.set("id", Json(c.id));
+    jc.set("group", Json(c.group));
+    jc.set("copy", Json(c.copy));
+    jc.set("packet_index", Json(c.packet_index));
+    jc.set("snapshot_bytes", Json(c.snapshot_bytes));
+    jc.set("quiesce_seconds", Json(c.quiesce_seconds));
+    jc.set("at_seconds", Json(c.at_seconds));
+    checkpoints.push_back(std::move(jc));
+  }
   Json root{Json::Object{}};
-  root.set("schema", Json("cgpipe-trace-v2"));
+  root.set("schema", Json("cgpipe-trace-v3"));
   root.set("wall_seconds", Json(trace.wall_seconds));
   root.set("packets", Json(trace.packets));
   root.set("completed", Json(trace.completed));
@@ -228,6 +246,7 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
   root.set("filters", Json(std::move(filters)));
   root.set("links", Json(std::move(links)));
   root.set("faults", Json(std::move(faults)));
+  root.set("checkpoints", Json(std::move(checkpoints)));
   return root.dump(indent);
 }
 
@@ -237,7 +256,8 @@ PipelineTrace trace_from_json(const std::string& text) {
       !root.at("schema").is_string())
     throw std::runtime_error("trace: unknown schema");
   const std::string& schema = root.at("schema").as_string();
-  if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2")
+  if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2" &&
+      schema != "cgpipe-trace-v3")
     throw std::runtime_error("trace: unknown schema");
   PipelineTrace trace;
   trace.wall_seconds = root.at("wall_seconds").as_number();
@@ -264,6 +284,9 @@ PipelineTrace trace_from_json(const std::string& text) {
     if (jf.contains("retries")) f.retries = jf.at("retries").as_int();
     if (jf.contains("dropped_packets"))
       f.dropped_packets = jf.at("dropped_packets").as_int();
+    // v3 checkpoint counter; absent in v1/v2 documents.
+    if (jf.contains("checkpoints"))
+      f.checkpoints = jf.at("checkpoints").as_int();
     f.latency = latency_from_json(jf.at("latency"));
     trace.filters.push_back(std::move(f));
   }
@@ -303,6 +326,20 @@ PipelineTrace trace_from_json(const std::string& text) {
           fault_resolution_from_name(jf.at("resolution").as_string());
       fault.at_seconds = jf.at("at_seconds").as_number();
       trace.faults.push_back(std::move(fault));
+    }
+  }
+  // v3 run-level checkpoint records; absent in v1/v2 documents.
+  if (root.contains("checkpoints")) {
+    for (const Json& jc : root.at("checkpoints").as_array()) {
+      CheckpointRecord c;
+      c.id = jc.at("id").as_int();
+      c.group = jc.at("group").as_string();
+      c.copy = static_cast<int>(jc.at("copy").as_int());
+      c.packet_index = jc.at("packet_index").as_int();
+      c.snapshot_bytes = jc.at("snapshot_bytes").as_int();
+      c.quiesce_seconds = jc.at("quiesce_seconds").as_number();
+      c.at_seconds = jc.at("at_seconds").as_number();
+      trace.checkpoints.push_back(std::move(c));
     }
   }
   return trace;

@@ -61,6 +61,9 @@ struct FilterMetrics {
   std::int64_t faults = 0;
   std::int64_t retries = 0;
   std::int64_t dropped_packets = 0;
+  /// Per-copy state snapshots committed under checkpointed recovery
+  /// (trace v3).
+  std::int64_t checkpoints = 0;
   LatencySummary latency;
 
   /// Lifetime minus both stall components (clamped at 0).
@@ -112,6 +115,7 @@ enum class FaultResolution {
   kDroppedPacket,  // drop-packet: the poisoned packet was discarded
   kCopyDead,       // bounded retries exhausted; the copy stayed down
   kWatchdog,       // no-progress timeout fired; the run was torn down
+  kRestoredCheckpoint,  // restart-copy: snapshot restored, tail replayed
 };
 const char* fault_resolution_name(FaultResolution r);
 FaultResolution fault_resolution_from_name(const std::string& name);
@@ -126,6 +130,19 @@ struct FaultRecord {
   int attempt = 0;  // consecutive-failure count when this fault was seen
   FaultResolution resolution = FaultResolution::kFatal;
   double at_seconds = 0.0;  // offset from run start
+};
+
+/// One committed checkpoint (trace v3): a run-level consistent cut (group
+/// "run", copy -1) with the total snapshot payload and the quiesce time —
+/// how long the cut marker took to travel the whole pipeline.
+struct CheckpointRecord {
+  std::int64_t id = 0;
+  std::string group;
+  int copy = -1;
+  std::int64_t packet_index = 0;     // source packets the cut covers
+  std::int64_t snapshot_bytes = 0;   // serialized state across stages
+  double quiesce_seconds = 0.0;      // marker injection -> cut complete
+  double at_seconds = 0.0;           // offset from run start
 };
 
 /// Complete observability record of one pipeline run.
@@ -143,6 +160,9 @@ struct PipelineTrace {
   /// the policy in force, and whether the pipeline ran to normal EOS.
   std::vector<FaultRecord> faults;
   std::string fault_policy;  // "fail-fast" | "restart-copy" | "drop-packet"
+  /// Checkpoint surface (trace v3): run-level consistent cuts completed
+  /// during the run.
+  std::vector<CheckpointRecord> checkpoints;
   bool completed = true;
   std::string error;  // first fatal condition; empty on success
 
@@ -151,13 +171,14 @@ struct PipelineTrace {
   int bottleneck_filter() const;
 };
 
-/// Serializes to the cgpipe-trace-v2 schema documented in
+/// Serializes to the cgpipe-trace-v3 schema documented in
 /// docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 
 /// Reloads a serialized trace; accepts cgpipe-trace-v1 (fault fields
-/// default to their zero values) and v2. Throws std::runtime_error on
-/// malformed or schema-incompatible input.
+/// default to their zero values), v2 (checkpoint fields default to their
+/// zero values), and v3. Throws std::runtime_error on malformed or
+/// schema-incompatible input.
 PipelineTrace trace_from_json(const std::string& text);
 
 }  // namespace cgp::support

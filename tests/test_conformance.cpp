@@ -24,6 +24,7 @@
 #include "driver/compiler.h"
 #include "parser/parser.h"
 #include "sema/sema.h"
+#include "support/faultinject.h"
 
 namespace cgp {
 namespace {
@@ -141,6 +142,71 @@ void run_matrix(const apps::AppConfig& config, const std::string& cls,
   }
 }
 
+/// Stateful-recovery matrix (docs/ROBUSTNESS.md): every consuming stage is
+/// faulted once under restart-copy with filter-state checkpointing, across
+/// checkpoint_interval {1, 16} x batch_size {1, 64}, single-copy so the
+/// comparison against the fault-free oracle is byte-exact. Compiled stages
+/// carry real state between packets (reduction replicas, carried scalars,
+/// the packet cursor), so a recovery that loses or double-applies anything
+/// shows up as a byte mismatch.
+void run_recovery_matrix(const apps::AppConfig& config, const std::string& cls,
+                         const std::vector<std::string>& result_keys,
+                         const std::vector<std::string>& stage_local = {}) {
+  const Oracle oracle = run_sequential(config, cls);
+  ASSERT_FALSE(oracle.values.empty());
+  CompileResult result = compile_app(config, 1);
+  if (!result.ok) return;
+  const EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+  dc::FaultPolicy policy;
+  policy.action = dc::FaultAction::kRestartCopy;
+  policy.max_retries = 4;
+  policy.backoff_initial_seconds = 1e-4;
+  policy.backoff_max_seconds = 1e-3;
+  struct Path {
+    const char* name;
+    const Placement* placement;
+  };
+  const Path paths[] = {
+      {"decomp", &result.decomposition.placement},
+      {"default", &result.baseline},
+  };
+  for (const Path& path : paths) {
+    for (std::size_t interval : {std::size_t{1}, std::size_t{16}}) {
+      for (std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+        dc::RunnerConfig transport;
+        transport.batch_size = batch;
+        transport.checkpoint_interval = interval;
+        PipelineCompiler compiler =
+            result.make_runner(*path.placement, env, {}, transport);
+        compiler.set_fault_policy(policy);
+        compiler.set_packet_hook(support::make_fault_hook(
+            support::parse_fault_plan("stage1:throw@2,stage2:throw@1")));
+        PipelineRunResult run = compiler.run();
+        const std::string what = config.name + " recovery " + path.name +
+                                 " interval=" + std::to_string(interval) +
+                                 " batch=" + std::to_string(batch);
+        expect_conformant(oracle, run, 0.0, result_keys, stage_local, what);
+        // Both consuming stages faulted and recovered from their snapshots;
+        // nothing was dropped on the way to the byte-exact result.
+        ASSERT_EQ(run.faults.size(), 2u) << what;
+        for (const support::FaultRecord& fault : run.faults) {
+          EXPECT_EQ(fault.resolution,
+                    support::FaultResolution::kRestoredCheckpoint)
+              << what << ": " << fault.group;
+        }
+        std::int64_t dropped = 0;
+        for (const support::FilterMetrics& m : run.stage_metrics)
+          dropped += m.dropped_packets;
+        EXPECT_EQ(dropped, 0) << what;
+        if (interval == 1) {
+          // Every consumed packet commits a snapshot at this interval.
+          EXPECT_GE(run.stage_metrics[2].checkpoints, 1) << what;
+        }
+      }
+    }
+  }
+}
+
 TEST(Conformance, Tiny) {
   run_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
 }
@@ -164,6 +230,29 @@ TEST(Conformance, Knn) {
 
 TEST(Conformance, Vmscope) {
   run_matrix(apps::vmscope_config(false), "VMScope", {"total", "filled"});
+}
+
+TEST(Conformance, TinyRecovery) {
+  run_recovery_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
+}
+
+TEST(Conformance, IsosurfaceZBufferRecovery) {
+  run_recovery_matrix(apps::isosurface_zbuffer_config(false), "IsoZBuffer",
+                      {"checksum", "lit"});
+}
+
+TEST(Conformance, IsosurfaceActivePixelsRecovery) {
+  run_recovery_matrix(apps::isosurface_active_pixels_config(false),
+                      "IsoActivePixels", {"checksum", "lit"});
+}
+
+TEST(Conformance, KnnRecovery) {
+  run_recovery_matrix(apps::knn_config(3), "Knn", {"kth", "dsum"}, {"seed"});
+}
+
+TEST(Conformance, VmscopeRecovery) {
+  run_recovery_matrix(apps::vmscope_config(false), "VMScope",
+                      {"total", "filled"});
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 // Fault-tolerant execution tests (docs/ROBUSTNESS.md): supervised copies
 // under the three fault policies, bounded retries and copy death, graceful
-// drain when a whole stage dies, the no-progress watchdog, and the
-// deterministic fault-injection harness. The FaultStress_* cases are the
-// CI stress job's target (Release + TSan, repeated).
+// drain when a whole stage dies, the no-progress watchdog, the
+// deterministic fault-injection harness, and exactly-once checkpointed
+// recovery (filter-state snapshots, run-level consistent cuts, resume).
+// The FaultStress_* and CheckpointStress_* cases are the CI stress jobs'
+// targets (Release + TSan, repeated).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "datacutter/buffer.h"
+#include "datacutter/checkpoint.h"
 #include "datacutter/runner.h"
 #include "support/faultinject.h"
 
@@ -62,6 +66,9 @@ class AddOne : public Filter {
       ctx.emit(std::move(out));
     }
   }
+  // Stateless: an empty snapshot keeps checkpointed recovery exactly-once
+  // across this stage (re-emissions after a restart are deduplicated).
+  bool snapshot_state(Buffer&) override { return true; }
 };
 
 struct SinkState {
@@ -111,6 +118,86 @@ std::multiset<std::int64_t> expected_values(int n, std::int64_t offset) {
   std::multiset<std::int64_t> out;
   for (int i = 0; i < n; ++i) out.insert(i + offset);
   return out;
+}
+
+struct TotalState {
+  std::mutex mutex;
+  std::int64_t total = 0;
+  std::int64_t count = 0;
+};
+
+// A genuinely stateful sink: the running sum lives inside the filter and
+// only reaches the shared state at finalize, so a restart that loses the
+// accumulator produces a visibly wrong total. snapshot_state/restore_state
+// make the accumulator survive checkpointed restarts; `snapshottable`
+// false models a legacy filter (forces the in-flight-replay fallback).
+// `poison` is a value the filter rejects on sight — a fault that refires
+// on every replay, unlike hook-injected faults.
+class SummingSink : public Filter {
+ public:
+  SummingSink(std::shared_ptr<TotalState> state, std::int64_t poison = -1,
+              bool snapshottable = true)
+      : state_(std::move(state)),
+        poison_(poison),
+        snapshottable_(snapshottable) {}
+  void process(FilterContext& ctx) override {
+    while (auto b = ctx.read()) {
+      const std::int64_t v = b->read<std::int64_t>();
+      b->read<std::int64_t>();
+      if (v == poison_) throw std::runtime_error("poison value");
+      sum_ += v;
+      count_ += 1;
+    }
+  }
+  void finalize(FilterContext&) override {
+    std::lock_guard lock(state_->mutex);
+    state_->total += sum_;
+    state_->count += count_;
+  }
+  bool snapshot_state(Buffer& out) override {
+    if (!snapshottable_) return false;
+    out.write<std::int64_t>(sum_);
+    out.write<std::int64_t>(count_);
+    return true;
+  }
+  void restore_state(Buffer& in) override {
+    sum_ = in.read<std::int64_t>();
+    count_ = in.read<std::int64_t>();
+  }
+
+ private:
+  std::shared_ptr<TotalState> state_;
+  std::int64_t poison_;
+  bool snapshottable_;
+  std::int64_t sum_ = 0;
+  std::int64_t count_ = 0;
+};
+
+FilterGroup summing_group(const char* name, std::shared_ptr<TotalState> state,
+                          int stage, std::int64_t poison = -1,
+                          bool snapshottable = true) {
+  return {name,
+          [state, poison, snapshottable] {
+            return std::make_unique<SummingSink>(state, poison, snapshottable);
+          },
+          1, stage};
+}
+
+// Sum of the values an AddOne chain delivers to the sink: the source emits
+// 0..n-1 and each AddOne stage shifts by one.
+std::int64_t expected_total(int n, std::int64_t offset) {
+  std::int64_t total = 0;
+  for (int i = 0; i < n; ++i) total += i + offset;
+  return total;
+}
+
+RunnerConfig checkpointed_config(std::size_t interval, std::size_t batch = 1,
+                                 std::size_t capacity = 8) {
+  RunnerConfig config;
+  config.stream_capacity = capacity;
+  config.batch_size = batch;
+  config.checkpoint_interval = interval;
+  return config;
 }
 
 // ---------------------------------------------------------------------------
@@ -729,6 +816,428 @@ TEST(BatchedFaults, StressExactlyOnceAcrossSeedsAndBatchSizes) {
                                 << ": " << outcome.stats.error;
       EXPECT_EQ(state->values, expected_values(200, 2))
           << "seed " << seed << " batch " << batch;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed recovery: restart-copy + checkpoint_interval makes stateful
+// stages exactly-once — a restarted instance restores the last snapshot and
+// replays only the packets consumed after it (docs/ROBUSTNESS.md).
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointedRecovery, StatefulSinkStateSurvivesRestart) {
+  for (std::size_t interval : {std::size_t{1}, std::size_t{16}}) {
+    auto state = std::make_shared<TotalState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 32, 1, 0));
+    groups.push_back(addone_group("mid", 1, 1));
+    groups.push_back(summing_group("sum", state, 2));
+    PipelineRunner runner(std::move(groups), checkpointed_config(interval),
+                          policy_for(FaultAction::kRestartCopy));
+    runner.set_packet_hook(
+        support::make_fault_hook(support::parse_fault_plan("sum:throw@9")));
+    RunOutcome outcome = runner.run_supervised();
+    ASSERT_TRUE(outcome.ok()) << "interval " << interval << ": "
+                              << outcome.stats.error;
+    // The restored accumulator plus the replayed suffix reproduce the
+    // fault-free total exactly — nothing lost, nothing double-counted.
+    EXPECT_EQ(state->total, expected_total(32, 1)) << "interval " << interval;
+    EXPECT_EQ(state->count, 32) << "interval " << interval;
+    ASSERT_EQ(outcome.stats.faults.size(), 1u);
+    EXPECT_EQ(outcome.stats.faults[0].resolution,
+              support::FaultResolution::kRestoredCheckpoint);
+    EXPECT_EQ(outcome.stats.total_dropped_packets(), 0);
+    EXPECT_GE(outcome.stats.group_metrics[2].checkpoints, 1);
+  }
+}
+
+TEST(CheckpointedRecovery, MidStageRestartDedupsReemissions) {
+  // The faulting stage sits mid-pipeline: after the restore its replayed
+  // input would re-emit packets the sink already received. skip_emits
+  // suppresses exactly the delivered prefix, so the downstream multiset
+  // stays byte-exact.
+  auto state = std::make_shared<SinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 32, 1, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(sink_group("sink", state, 2, /*validate=*/true));
+  PipelineRunner runner(std::move(groups), checkpointed_config(4),
+                        policy_for(FaultAction::kRestartCopy));
+  runner.set_packet_hook(
+      support::make_fault_hook(support::parse_fault_plan("mid:throw@9")));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->values, expected_values(32, 1));
+  ASSERT_EQ(outcome.stats.faults.size(), 1u);
+  EXPECT_EQ(outcome.stats.faults[0].resolution,
+            support::FaultResolution::kRestoredCheckpoint);
+  EXPECT_GE(outcome.stats.group_metrics[1].checkpoints, 1);
+  EXPECT_EQ(outcome.stats.total_dropped_packets(), 0);
+}
+
+TEST(CheckpointedRecovery, WithoutSnapshotFallsBackToInflightReplay) {
+  // A filter that declines to snapshot keeps the legacy behavior: the
+  // in-flight packet is replayed but the accumulator restarts from zero,
+  // so the prefix consumed before the fault is missing from the total.
+  auto state = std::make_shared<TotalState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 32, 1, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(
+      summing_group("sum", state, 2, /*poison=*/-1, /*snapshottable=*/false));
+  PipelineRunner runner(std::move(groups), checkpointed_config(4),
+                        policy_for(FaultAction::kRestartCopy));
+  runner.set_packet_hook(
+      support::make_fault_hook(support::parse_fault_plan("sum:throw@9")));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  // Values 1..9 were summed by the dead instance and lost; the replayed
+  // packet (value 10) and everything after it survive.
+  EXPECT_EQ(state->total, expected_total(32, 1) - expected_total(9, 1));
+  EXPECT_EQ(state->count, 23);
+  ASSERT_EQ(outcome.stats.faults.size(), 1u);
+  EXPECT_EQ(outcome.stats.faults[0].resolution,
+            support::FaultResolution::kRetried);
+  EXPECT_EQ(outcome.stats.group_metrics[2].checkpoints, 0);
+}
+
+TEST(CheckpointedRecovery, MidSnapshotFaultKeepsPreviousSnapshot) {
+  // A fault thrown mid-snapshot (the @ckpt trigger fires inside the commit
+  // callback, before the new snapshot is recorded) must leave the previous
+  // snapshot intact: the restart restores it and the run stays exact.
+  auto state = std::make_shared<TotalState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 32, 1, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(summing_group("sum", state, 2));
+  PipelineRunner runner(std::move(groups), checkpointed_config(4),
+                        policy_for(FaultAction::kRestartCopy));
+  const support::FaultPlan plan =
+      support::parse_fault_plan("sum:throw@ckpt1");
+  runner.set_checkpoint_hook(support::make_checkpoint_fault_hook(plan));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->total, expected_total(32, 1));
+  EXPECT_EQ(state->count, 32);
+  ASSERT_EQ(outcome.stats.faults.size(), 1u);
+  EXPECT_EQ(outcome.stats.faults[0].resolution,
+            support::FaultResolution::kRestoredCheckpoint);
+  // The failed commit does not count; the surviving instance keeps
+  // snapshotting on the interval.
+  EXPECT_GE(outcome.stats.group_metrics[2].checkpoints, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Run-level checkpointing: consistent cuts persisted to a file, and resume.
+// ---------------------------------------------------------------------------
+
+TEST(RunCheckpointFile, SaveLoadRoundTrip) {
+  RunCheckpoint ckpt;
+  ckpt.id = 7;
+  ckpt.source_delivered = 112;
+  ckpt.at_seconds = 1.25;
+  ckpt.stages.push_back({"mid", {std::byte{0x00}, std::byte{0xfe}}});
+  ckpt.stages.push_back({"sink", {}});
+  const std::string path = "cgp_ckpt_roundtrip_test.json";
+  save_checkpoint(ckpt, path);
+  const RunCheckpoint loaded = load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.id, 7);
+  EXPECT_EQ(loaded.source_delivered, 112);
+  EXPECT_DOUBLE_EQ(loaded.at_seconds, 1.25);
+  ASSERT_EQ(loaded.stages.size(), 2u);
+  EXPECT_EQ(loaded.stages[0].group, "mid");
+  EXPECT_EQ(loaded.stages[0].state,
+            (std::vector<std::byte>{std::byte{0x00}, std::byte{0xfe}}));
+  EXPECT_EQ(loaded.stages[1].group, "sink");
+  EXPECT_TRUE(loaded.stages[1].state.empty());
+  EXPECT_THROW(load_checkpoint("cgp_no_such_checkpoint.json"),
+               std::runtime_error);
+}
+
+TEST(RunLevelCheckpoint, HealthyRunWritesConsistentCuts) {
+  const std::string path = "cgp_ckpt_healthy_test.json";
+  auto state = std::make_shared<TotalState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 32, 1, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(summing_group("sum", state, 2));
+  RunnerConfig config = checkpointed_config(4);
+  config.checkpoint_path = path;
+  PipelineRunner runner(std::move(groups), config,
+                        policy_for(FaultAction::kRestartCopy));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->total, expected_total(32, 1));
+  // The run surface records every completed cut...
+  ASSERT_FALSE(outcome.stats.checkpoints.empty());
+  const support::CheckpointRecord& last = outcome.stats.checkpoints.back();
+  EXPECT_EQ(last.group, "run");
+  EXPECT_EQ(last.copy, -1);
+  EXPECT_GT(last.packet_index, 0);
+  EXPECT_GE(last.quiesce_seconds, 0.0);
+  // ...and the file holds the latest one: aligned source progress plus one
+  // snapshot per consuming group, in pipeline order.
+  const RunCheckpoint cut = load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_GT(cut.source_delivered, 0);
+  EXPECT_EQ(cut.source_delivered % 4, 0);
+  ASSERT_EQ(cut.stages.size(), 2u);
+  EXPECT_EQ(cut.stages[0].group, "mid");
+  EXPECT_EQ(cut.stages[1].group, "sum");
+  EXPECT_FALSE(cut.stages[1].state.empty());
+}
+
+TEST(RunLevelCheckpoint, RejectsInvalidConfigurations) {
+  // The marker protocol needs one copy per group and a positive interval.
+  {
+    auto state = std::make_shared<SinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 8, 1, 0));
+    groups.push_back(addone_group("mid", 2, 1));
+    groups.push_back(sink_group("sink", state, 2));
+    RunnerConfig config = checkpointed_config(4);
+    config.checkpoint_path = "cgp_ckpt_invalid_test.json";
+    PipelineRunner runner(std::move(groups), config,
+                          policy_for(FaultAction::kRestartCopy));
+    EXPECT_THROW(runner.run_supervised(), std::invalid_argument);
+  }
+  {
+    auto state = std::make_shared<SinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 8, 1, 0));
+    groups.push_back(sink_group("sink", state, 1));
+    RunnerConfig config;  // interval 0
+    config.checkpoint_path = "cgp_ckpt_invalid_test.json";
+    PipelineRunner runner(std::move(groups), config);
+    EXPECT_THROW(runner.run_supervised(), std::invalid_argument);
+  }
+}
+
+TEST(RunLevelCheckpoint, ResumeAfterFatalFaultCompletesExactly) {
+  const std::string path = "cgp_ckpt_resume_test.json";
+  // Run 1: the sink rejects value 14 on sight — the replayed packet fails
+  // every attempt, the copy dies, the run fails. Cuts completed before the
+  // poison survive on disk.
+  {
+    auto state = std::make_shared<TotalState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 32, 1, 0));
+    groups.push_back(addone_group("mid", 1, 1));
+    groups.push_back(summing_group("sum", state, 2, /*poison=*/14));
+    RunnerConfig config = checkpointed_config(4);
+    config.checkpoint_path = path;
+    PipelineRunner runner(std::move(groups), config,
+                          policy_for(FaultAction::kRestartCopy, 2));
+    RunOutcome outcome = runner.run_supervised();
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_NE(outcome.stats.error.find("all 1 copies dead"),
+              std::string::npos)
+        << outcome.stats.error;
+    EXPECT_EQ(outcome.stats.faults.back().resolution,
+              support::FaultResolution::kCopyDead);
+  }
+  // The file holds the last cut completed before the fatal packet: the
+  // source had delivered 12 and the sink had summed values 1..12.
+  RunCheckpoint cut = load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(cut.source_delivered, 12);
+  ASSERT_EQ(cut.stages.size(), 2u);
+  EXPECT_EQ(cut.stages[0].group, "mid");
+  EXPECT_EQ(cut.stages[1].group, "sum");
+  // Run 2: same pipeline shape, poison gone, resumed from the cut. The
+  // source skips the 12 covered packets and the sink's restored
+  // accumulator plus the remainder reproduce the fault-free total exactly.
+  {
+    auto state = std::make_shared<TotalState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 32, 1, 0));
+    groups.push_back(addone_group("mid", 1, 1));
+    groups.push_back(summing_group("sum", state, 2));
+    RunnerConfig config = checkpointed_config(4);
+    config.resume = &cut;
+    PipelineRunner runner(std::move(groups), config,
+                          policy_for(FaultAction::kRestartCopy));
+    RunOutcome outcome = runner.run_supervised();
+    ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+    EXPECT_TRUE(outcome.stats.completed);
+    EXPECT_TRUE(outcome.stats.faults.empty());
+    EXPECT_EQ(state->total, expected_total(32, 1));
+    EXPECT_EQ(state->count, 32);
+    // Only the uncovered suffix was re-emitted.
+    EXPECT_EQ(outcome.stats.group_metrics[0].packets_out, 32 - 12);
+  }
+}
+
+TEST(RunLevelCheckpoint, ResumeRejectsMismatchedPipeline) {
+  RunCheckpoint cut;
+  cut.id = 0;
+  cut.source_delivered = 4;
+  cut.stages.push_back({"other", {}});
+  auto state = std::make_shared<SinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 8, 1, 0));
+  groups.push_back(sink_group("sink", state, 1));
+  RunnerConfig config;
+  config.resume = &cut;
+  PipelineRunner runner(std::move(groups), config);
+  EXPECT_THROW(runner.run_supervised(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff: watchdog-exempt while parked, interruptible by teardown.
+// ---------------------------------------------------------------------------
+
+TEST(RetryBackoff, BackoffWaitIsExemptFromWatchdog) {
+  // The backoff sleep (0.3s) is far longer than the stage timeout (0.08s):
+  // a parked copy must read as waiting, not hung, so the run completes
+  // without a watchdog fault.
+  auto state = std::make_shared<SinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 30, 1, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(sink_group("sink", state, 2));
+  FaultPolicy policy = policy_for(FaultAction::kRestartCopy);
+  policy.backoff_initial_seconds = 0.3;
+  policy.backoff_max_seconds = 0.3;
+  policy.stage_timeout_seconds = 0.08;
+  PipelineRunner runner(std::move(groups), 4, policy);
+  runner.set_packet_hook(
+      support::make_fault_hook(support::parse_fault_plan("mid:throw@5")));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->values, expected_values(30, 1));
+  ASSERT_EQ(outcome.stats.faults.size(), 1u);
+  EXPECT_EQ(outcome.stats.faults[0].resolution,
+            support::FaultResolution::kRetried);
+  // The copy really did park for the full backoff before recovering.
+  EXPECT_GE(outcome.stats.wall_seconds, 0.25);
+}
+
+TEST(RetryBackoff, TeardownInterruptsParkedBackoff) {
+  // One stage trips the watchdog while another stage's copy sits at the
+  // start of a 5-second backoff. Teardown must wake the parked copy
+  // immediately — the run ends in well under the backoff, not after it.
+  struct Staller : Filter {
+    void process(FilterContext& ctx) override {
+      int seen = 0;
+      while (auto b = ctx.read()) {
+        if (++seen == 2)
+          std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      }
+    }
+  };
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 50, 1, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(
+      {"staller", [] { return std::make_unique<Staller>(); }, 1, 2});
+  FaultPolicy policy = policy_for(FaultAction::kRestartCopy);
+  policy.backoff_initial_seconds = 5.0;
+  policy.backoff_max_seconds = 5.0;
+  policy.stage_timeout_seconds = 0.08;
+  PipelineRunner runner(std::move(groups), 4, policy);
+  runner.set_packet_hook(
+      support::make_fault_hook(support::parse_fault_plan("mid:throw@2")));
+  const auto t0 = std::chrono::steady_clock::now();
+  RunOutcome outcome = runner.run_supervised();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.stats.error.find("watchdog"), std::string::npos)
+      << outcome.stats.error;
+  EXPECT_LT(elapsed, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// @ckpt fault-plan triggers
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesCheckpointTriggers) {
+  const support::FaultPlan plan = support::parse_fault_plan(
+      "a:throw@ckpt,b:throw@ckpt2+3!,c:sleep@ckpt1=0.01");
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_TRUE(plan.specs[0].at_checkpoint);
+  EXPECT_EQ(plan.specs[0].nth_packet, 0);  // bare "ckpt" = first snapshot
+  EXPECT_FALSE(plan.specs[0].refire);
+  EXPECT_TRUE(plan.specs[1].at_checkpoint);
+  EXPECT_EQ(plan.specs[1].nth_packet, 2);
+  EXPECT_EQ(plan.specs[1].repeat_every, 3);
+  EXPECT_TRUE(plan.specs[1].refire);
+  EXPECT_TRUE(plan.specs[2].at_checkpoint);
+  EXPECT_EQ(plan.specs[2].kind, support::FaultKind::kSleep);
+  EXPECT_DOUBLE_EQ(plan.specs[2].sleep_seconds, 0.01);
+  EXPECT_THROW(support::parse_fault_plan("g:throw@ckptx"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, CheckpointTriggersMatchOnlyCheckpoints) {
+  const support::FaultPlan plan =
+      support::parse_fault_plan("g:throw@ckpt1,g:throw@4");
+  // @ckpt specs are invisible to the per-packet matcher and vice versa.
+  EXPECT_NE(plan.match("g", 0, 0, 4), nullptr);
+  EXPECT_EQ(plan.match("g", 0, 0, 1), nullptr);
+  EXPECT_NE(plan.match_checkpoint("g", 0, 0, 1), nullptr);
+  EXPECT_EQ(plan.match_checkpoint("g", 0, 0, 4), nullptr);
+  // Same attempt gating as packet triggers: transient unless refired.
+  EXPECT_EQ(plan.match_checkpoint("g", 0, 1, 1), nullptr);
+  const support::FaultPlan refire = support::parse_fault_plan("g:throw@ckpt!");
+  EXPECT_NE(refire.match_checkpoint("g", 0, 3, 0), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint stress (the CI checkpoint-stress job runs these repeatedly
+// under TSan): stateful exactly-once recovery must hold under probabilistic
+// faults, batching, and both tight and loose snapshot intervals.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointStress, ProbabilisticFaultsKeepStatefulTotalsExact) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    for (std::size_t interval : {std::size_t{1}, std::size_t{4}}) {
+      auto state = std::make_shared<TotalState>();
+      std::vector<FilterGroup> groups;
+      groups.push_back(source_group("src", 200, 1, 0));
+      groups.push_back(addone_group("mid", 2, 1));
+      groups.push_back(summing_group("sum", state, 2));
+      PipelineRunner runner(
+          std::move(groups), checkpointed_config(interval, /*batch=*/4),
+          policy_for(FaultAction::kRestartCopy, /*max_retries=*/8));
+      runner.set_packet_hook(support::make_fault_hook(
+          support::parse_fault_plan("mid:throw@~0.05,sum:throw@~0.04",
+                                    seed)));
+      RunOutcome outcome = runner.run_supervised();
+      ASSERT_TRUE(outcome.ok()) << "seed " << seed << " interval " << interval
+                                << ": " << outcome.stats.error;
+      EXPECT_EQ(state->total, expected_total(200, 1))
+          << "seed " << seed << " interval " << interval;
+      EXPECT_EQ(state->count, 200)
+          << "seed " << seed << " interval " << interval;
+    }
+  }
+}
+
+TEST(CheckpointStress, BatchedDeterministicFaultsAcrossIntervals) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+    for (std::size_t interval : {std::size_t{1}, std::size_t{16}}) {
+      auto state = std::make_shared<TotalState>();
+      std::vector<FilterGroup> groups;
+      groups.push_back(source_group("src", 96, 1, 0));
+      groups.push_back(addone_group("mid", 1, 1));
+      groups.push_back(summing_group("sum", state, 2));
+      PipelineRunner runner(std::move(groups),
+                            checkpointed_config(interval, batch),
+                            policy_for(FaultAction::kRestartCopy));
+      runner.set_packet_hook(support::make_fault_hook(
+          support::parse_fault_plan("mid:throw@3,sum:throw@7")));
+      RunOutcome outcome = runner.run_supervised();
+      ASSERT_TRUE(outcome.ok()) << "batch " << batch << " interval "
+                                << interval << ": " << outcome.stats.error;
+      EXPECT_EQ(state->total, expected_total(96, 1))
+          << "batch " << batch << " interval " << interval;
+      EXPECT_EQ(outcome.stats.total_dropped_packets(), 0)
+          << "batch " << batch << " interval " << interval;
     }
   }
 }

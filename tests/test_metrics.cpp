@@ -178,7 +178,7 @@ TEST(Trace, BottleneckIsLargestBusyFilter) {
 
 TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
   const Json j = Json::parse(trace_to_json(sample_trace()));
-  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v2");
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v3");
   EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
 }
 
@@ -228,6 +228,46 @@ TEST(Trace, RoundTripPreservesFaultSurface) {
   EXPECT_EQ(trace_to_json(back), json);
 }
 
+TEST(Trace, RoundTripPreservesCheckpointSurface) {
+  PipelineTrace trace = sample_trace();
+  trace.filters[1].checkpoints = 3;
+  CheckpointRecord cut;
+  cut.id = 2;
+  cut.group = "run";
+  cut.copy = -1;
+  cut.packet_index = 48;
+  cut.snapshot_bytes = 1024;
+  cut.quiesce_seconds = 0.01;
+  cut.at_seconds = 0.5;
+  trace.checkpoints.push_back(cut);
+
+  const std::string json = trace_to_json(trace);
+  const PipelineTrace back = trace_from_json(json);
+  EXPECT_EQ(back.filters[1].checkpoints, 3);
+  ASSERT_EQ(back.checkpoints.size(), 1u);
+  EXPECT_EQ(back.checkpoints[0].id, 2);
+  EXPECT_EQ(back.checkpoints[0].group, "run");
+  EXPECT_EQ(back.checkpoints[0].copy, -1);
+  EXPECT_EQ(back.checkpoints[0].packet_index, 48);
+  EXPECT_EQ(back.checkpoints[0].snapshot_bytes, 1024);
+  EXPECT_DOUBLE_EQ(back.checkpoints[0].quiesce_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(back.checkpoints[0].at_seconds, 0.5);
+  EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, ReadsV2DocumentsWithZeroCheckpointSurface) {
+  // A v2 trace (fault surface, no checkpoint records) still loads, with
+  // every v3 field at its benign default.
+  PipelineTrace trace = sample_trace();
+  std::string json = trace_to_json(trace);
+  const std::size_t pos = json.find("cgpipe-trace-v3");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 15, "cgpipe-trace-v2");
+  const PipelineTrace back = trace_from_json(json);
+  EXPECT_TRUE(back.checkpoints.empty());
+  EXPECT_EQ(back.filters[1].checkpoints, 0);
+}
+
 TEST(Trace, ReadsV1DocumentsWithZeroFaultSurface) {
   // A trace written before the fault surface existed must still load, with
   // every v2 field at its benign default.
@@ -247,7 +287,7 @@ TEST(FaultResolutionNames, RoundTripAndReject) {
   for (FaultResolution r :
        {FaultResolution::kFatal, FaultResolution::kRetried,
         FaultResolution::kDroppedPacket, FaultResolution::kCopyDead,
-        FaultResolution::kWatchdog}) {
+        FaultResolution::kWatchdog, FaultResolution::kRestoredCheckpoint}) {
     EXPECT_EQ(fault_resolution_from_name(fault_resolution_name(r)), r);
   }
   EXPECT_THROW(fault_resolution_from_name("nope"), std::runtime_error);
