@@ -1,0 +1,68 @@
+// PS-DSWP-style stage classification (ROADMAP item 1).
+//
+// A filter is *parallel* when every location it mutates is either
+//   (a) per-packet data — declared inside the PipelinedLoop body, so each
+//       packet carries its own instance and transparent copies of the
+//       filter touch disjoint state, or
+//   (b) a loop-global reduction variable (a Reducinterface object declared
+//       before the loop): the runtime replicates it per copy and merges
+//       replicas at end of stream, so concurrent updates commute (§3).
+// Everything else — a scalar or object declared before the loop and
+// mutated per packet, a call whose effects the classifier cannot bound —
+// is loop-carried state, and the filter is *sequential*: giving its stage
+// more than one transparent copy would race packets through shared state.
+//
+// The classification is deliberately syntactic and conservative. Gen/Cons
+// cannot be reused here: imprecise writes never enter Gen (they would
+// under-approximate the mutation set), while this analysis must
+// over-approximate it. Call receivers and reference-typed call arguments
+// are therefore assumed mutated, and an unqualified non-intrinsic call
+// forces the filter sequential.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline_model.h"
+
+namespace cgp {
+
+enum class StageClass : std::uint8_t {
+  kSequential,  // carries state between packets outside a Reduce interface
+  kParallel,    // stateless, or state expressible as reduction replicas
+};
+
+const char* stage_class_name(StageClass cls);
+
+/// Verdict for one atomic filter.
+struct FilterClassification {
+  StageClass cls = StageClass::kSequential;
+  /// Base names of loop-carried locations the filter mutates (empty for
+  /// parallel filters).
+  std::set<std::string> carried_writes;
+  /// Reduction variables the filter updates (informational; these do NOT
+  /// make it sequential).
+  std::set<std::string> reduction_writes;
+  /// Human-readable explanation for the decomposition report.
+  std::string reason;
+
+  bool parallel() const { return cls == StageClass::kParallel; }
+};
+
+struct PipelineClassification {
+  std::vector<FilterClassification> filters;
+
+  /// Per-filter parallel flags in DecompositionInput layout (1 = the
+  /// filter tolerates transparent replication).
+  std::vector<char> parallel_flags() const;
+  /// One line per filter, e.g. "f2: parallel (reductions: acc)".
+  std::string to_string() const;
+};
+
+/// Classifies every atomic filter of the model. Requires the model's
+/// statements to be type-checked (expression types drive the
+/// reference-argument conservatism).
+PipelineClassification classify_filters(const PipelineModel& model);
+
+}  // namespace cgp

@@ -260,6 +260,7 @@ support::PipelineTrace PipelineRunResult::trace() const {
   trace.fault_policy = fault_policy;
   trace.batch_size = batch_size;
   trace.pool = pool;
+  trace.stage_replicas = stage_replicas;
   trace.checkpoints = checkpoints;
   trace.completed = completed;
   trace.error = error;
@@ -658,6 +659,7 @@ PipelineCompiler::PipelineCompiler(
   for (int s = 0; s < m; ++s) {
     StagePlan& plan = plans_[static_cast<std::size_t>(s)];
     plan.stage = s;
+    if (!placement_.replicas.empty()) plan.copies = placement_.replicas_of(s);
     for (int f = 0; f < n_filters; ++f) {
       if (placement_.unit_of_filter[static_cast<std::size_t>(f)] != s) continue;
       plan.filter_indices.push_back(f);
@@ -778,7 +780,11 @@ std::vector<dc::FilterGroup> PipelineCompiler::build_groups(
     dc::FilterGroup group;
     group.name = "stage" + std::to_string(s);
     group.stage = s;
-    group.copies = env_.units[static_cast<std::size_t>(s)].copies;
+    // The compiler's replica plan, when present, supersedes the
+    // environment's one-knob-per-unit copies setting.
+    group.copies = placement_.replicas.empty()
+                       ? env_.units[static_cast<std::size_t>(s)].copies
+                       : placement_.replicas_of(s);
     const PipelineModel* model = &model_;
     const std::map<std::string, std::int64_t>* constants =
         &runtime_constants_;
@@ -805,7 +811,12 @@ PipelineRunResult PipelineCompiler::run() {
   shared->result.link_packet_bytes.assign(static_cast<std::size_t>(m - 1), 0);
   shared->result.link_replica_bytes.assign(static_cast<std::size_t>(m - 1), 0);
 
-  dc::PipelineRunner runner(build_groups(shared), config_, policy_);
+  std::vector<dc::FilterGroup> groups = build_groups(shared);
+  shared->result.stage_replicas.assign(static_cast<std::size_t>(m), 1);
+  for (int s = 0; s < m; ++s)
+    shared->result.stage_replicas[static_cast<std::size_t>(s)] =
+        groups[static_cast<std::size_t>(s)].copies;
+  dc::PipelineRunner runner(std::move(groups), config_, policy_);
   if (hook_) runner.set_packet_hook(hook_);
   if (checkpoint_hook_) runner.set_checkpoint_hook(checkpoint_hook_);
   dc::RunOutcome outcome = runner.run_supervised();

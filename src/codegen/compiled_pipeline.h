@@ -31,6 +31,10 @@ namespace cgp {
 /// Per-stage compiled plan (also consumed by the source emitter).
 struct StagePlan {
   int stage = 0;
+  /// Transparent copies this stage runs under the placement's replica plan
+  /// (1 when the placement carries no plan — the runtime then falls back
+  /// to the environment's per-unit copies knob).
+  int copies = 1;
   std::vector<int> filter_indices;     // atomic filters placed here
   std::vector<const Stmt*> stmts;      // their statements, in order
   PackingLayout output_layout;         // empty for the last stage
@@ -71,6 +75,9 @@ struct PipelineRunResult {
   /// effectiveness for this run (docs/PERFORMANCE.md).
   std::int64_t batch_size = 1;
   support::PoolMetrics pool;
+  /// Transparent copies each stage actually ran with (replica plan or the
+  /// environment fallback) — serialized as cgpipe-trace-v4 stage_replicas.
+  std::vector<int> stage_replicas;
   /// Run-level consistent cuts completed during the run (empty unless
   /// run-level checkpointing was enabled; docs/ROBUSTNESS.md).
   std::vector<support::CheckpointRecord> checkpoints;

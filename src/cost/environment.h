@@ -63,6 +63,14 @@ inline double cost_comm(const Link& link, double bytes) {
   return link.latency_sec + bytes / link.effective_bandwidth();
 }
 
+/// Aggregate throughput of `replicas` compiler-chosen transparent copies of
+/// a unit. A replica plan supersedes the unit's own `copies` knob: `copies`
+/// describes the environment's fixed width, `replicas` the decomposition's
+/// choice, and mixing the two would double-count parallelism.
+inline double replica_power(const ComputeUnit& unit, int replicas) {
+  return unit.power_ops_per_sec * replicas;
+}
+
 /// Total pipeline execution time over N packets (§4.3, formulas (1)/(2)):
 /// the bottleneck stage or link is paid N-1 times plus one full traversal.
 double pipeline_total_time(std::int64_t n_packets,

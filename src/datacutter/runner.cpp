@@ -67,6 +67,7 @@ support::PipelineTrace RunStats::trace() const {
   trace.fault_policy = fault_policy;
   trace.batch_size = batch_size;
   trace.pool = pool;
+  trace.stage_replicas = group_copies;
   trace.checkpoints = checkpoints;
   trace.completed = completed;
   trace.error = error;
@@ -158,6 +159,7 @@ RunOutcome PipelineRunner::run_supervised() {
   stats.fault_policy = FaultPolicy::action_name(policy_.action);
   for (std::size_t gi = 0; gi < n_groups; ++gi) {
     stats.group_names.push_back(groups_[gi].name);
+    stats.group_copies.push_back(groups_[gi].copies);
     stats.group_metrics[gi].name = groups_[gi].name;
   }
 

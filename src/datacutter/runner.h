@@ -113,6 +113,9 @@ struct RunStats {
   /// Indexed by group: total abstract ops across copies.
   std::vector<double> group_ops;
   std::vector<std::string> group_names;
+  /// Transparent copies each group was configured with (serialized as the
+  /// cgpipe-trace-v4 stage_replicas array).
+  std::vector<int> group_copies;
   double wall_seconds = 0.0;
   /// Observability: per-group counters aggregated over transparent copies
   /// (packets/bytes in and out, busy vs. stall time, per-packet

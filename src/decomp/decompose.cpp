@@ -24,6 +24,12 @@ double per_packet_checkpoint_overhead(const DecompositionInput& input) {
   if (input.checkpoint_interval <= 0.0) return 0.0;
   return input.checkpoint_snapshot_sec / input.checkpoint_interval;
 }
+
+/// True when filter i (0-based) tolerates transparent replication.
+bool filter_parallel(const DecompositionInput& input, int i) {
+  return i >= 0 && i < static_cast<int>(input.parallelizable.size()) &&
+         input.parallelizable[static_cast<std::size_t>(i)];
+}
 }
 
 std::vector<int> Placement::cuts(int stages) const {
@@ -46,6 +52,14 @@ std::string Placement::to_string() const {
     out << "f" << i + 1 << "->C" << unit_of_filter[i] + 1;
   }
   out << "]";
+  if (replicated()) {
+    out << " x[";
+    for (std::size_t s = 0; s < replicas.size(); ++s) {
+      if (s) out << " ";
+      out << replicas[s];
+    }
+    out << "]";
+  }
   return out.str();
 }
 
@@ -53,8 +67,139 @@ std::string Placement::to_string() const {
 // DP (Figure 3, with input movement charged on L_k before the first filter)
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Replication-aware DP (DESIGN.md §6): T[i][j][r] = minimum amortized
+/// per-packet cost of completing f_1..f_i with the results of f_i resident
+/// on C_j running r transparent copies. Placing a filter on a replicated
+/// stage divides its work over r copies (round-robin service); entering a
+/// stage with r copies charges (r-1) * replication_overhead_sec once per
+/// packet; r > 1 requires every filter on the stage to be classifier-
+/// approved, and the result stage C_m keeps r = 1 so the final bindings
+/// land on a single view node.
+DecompositionResult decompose_dp_replicated(const DecompositionInput& input) {
+  const int F = input.filter_count();
+  const int M = input.env.stages();
+  const int R = std::max(1, input.max_replicas);
+  const double link_oh = per_packet_batch_overhead(input) +
+                         per_packet_checkpoint_overhead(input);
+  const double rep_oh = input.replication_overhead_sec;
+  // Replica budget of stage j: the sink stays single-copy.
+  auto cap = [&](int j) { return j == M - 1 ? 1 : R; };
+
+  // Flattened T[(i * M + j) * R + (r - 1)].
+  const std::size_t cells_total = static_cast<std::size_t>(F + 1) *
+                                  static_cast<std::size_t>(M) *
+                                  static_cast<std::size_t>(R);
+  std::vector<double> T(cells_total, kInf);
+  std::vector<bool> from_comp(cells_total, false);
+  std::vector<int> prev_r(cells_total, 1);  // comm transitions: r' on C_{j-1}
+  auto at = [&](int i, int j, int r) -> std::size_t {
+    return (static_cast<std::size_t>(i) * static_cast<std::size_t>(M) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(R) +
+           static_cast<std::size_t>(r - 1);
+  };
+  std::size_t cells = 0;
+
+  for (int r = 1; r <= cap(0); ++r) {
+    T[at(0, 0, r)] =
+        input.source_io_ops / replica_power(input.env.units[0], r) +
+        (r - 1) * rep_oh;
+    ++cells;
+  }
+  for (int j = 1; j < M; ++j) {
+    const Link& link = input.env.links[static_cast<std::size_t>(j - 1)];
+    for (int r = 1; r <= cap(j); ++r) {
+      double best = kInf;
+      int best_prev = 1;
+      for (int rp = 1; rp <= cap(j - 1); ++rp) {
+        double prev = T[at(0, j - 1, rp)];
+        if (prev >= kInf) continue;
+        double cost = prev + cost_comm(link, input.input_bytes) + link_oh +
+                      (r - 1) * rep_oh;
+        if (cost < best) {
+          best = cost;
+          best_prev = rp;
+        }
+      }
+      T[at(0, j, r)] = best;
+      prev_r[at(0, j, r)] = best_prev;
+      ++cells;
+    }
+  }
+
+  for (int i = 1; i <= F; ++i) {
+    const double task = input.task_ops[static_cast<std::size_t>(i - 1)];
+    const double vol = input.boundary_bytes[static_cast<std::size_t>(i - 1)];
+    const bool parallel = filter_parallel(input, i - 1);
+    for (int j = 0; j < M; ++j) {
+      const ComputeUnit& unit = input.env.units[static_cast<std::size_t>(j)];
+      for (int r = 1; r <= cap(j); ++r) {
+        double via_comp = kInf;
+        if (r == 1 || parallel) {
+          double prev = T[at(i - 1, j, r)];
+          if (prev < kInf)
+            via_comp = prev + task / replica_power(unit, r);
+        }
+        double via_comm = kInf;
+        int comm_prev = 1;
+        if (j > 0) {
+          const Link& link =
+              input.env.links[static_cast<std::size_t>(j - 1)];
+          for (int rp = 1; rp <= cap(j - 1); ++rp) {
+            double prev = T[at(i, j - 1, rp)];
+            if (prev >= kInf) continue;
+            double cost = prev + cost_comm(link, vol) + link_oh +
+                          (r - 1) * rep_oh;
+            if (cost < via_comm) {
+              via_comm = cost;
+              comm_prev = rp;
+            }
+          }
+        }
+        const bool comp_wins = via_comp <= via_comm;
+        T[at(i, j, r)] = comp_wins ? via_comp : via_comm;
+        from_comp[at(i, j, r)] = comp_wins;
+        prev_r[at(i, j, r)] = comm_prev;
+        ++cells;
+      }
+    }
+  }
+
+  DecompositionResult result;
+  result.cost = T[at(F, M - 1, 1)];
+  result.cells_evaluated = cells;
+  result.placement.unit_of_filter.assign(static_cast<std::size_t>(F), 0);
+  result.placement.replicas.assign(static_cast<std::size_t>(M), 1);
+  int i = F;
+  int j = M - 1;
+  int r = 1;
+  result.placement.replicas[static_cast<std::size_t>(j)] = r;
+  while (i > 0) {
+    if (from_comp[at(i, j, r)]) {
+      result.placement.unit_of_filter[static_cast<std::size_t>(i - 1)] = j;
+      --i;
+    } else {
+      r = prev_r[at(i, j, r)];
+      --j;
+      assert(j >= 0);
+      result.placement.replicas[static_cast<std::size_t>(j)] = r;
+    }
+  }
+  while (j > 0) {
+    r = prev_r[at(0, j, r)];
+    --j;
+    result.placement.replicas[static_cast<std::size_t>(j)] = r;
+  }
+  return result;
+}
+
+}  // namespace
+
 DecompositionResult decompose_dp(const DecompositionInput& input) {
   assert(input.valid());
+  if (input.max_replicas > 1) return decompose_dp_replicated(input);
   const int F = input.filter_count();   // n+1 atomic filters
   const int M = input.env.stages();     // m computing units
 
@@ -133,6 +278,72 @@ DecompositionResult decompose_dp(const DecompositionInput& input) {
 
 double decompose_dp_cost_only(const DecompositionInput& input) {
   assert(input.valid());
+  if (input.max_replicas > 1) {
+    // Rolling (j, r) grid: O(m·R) live cells, same transitions as the
+    // full replicated table.
+    const int F = input.filter_count();
+    const int M = input.env.stages();
+    const int R = std::max(1, input.max_replicas);
+    const double link_oh = per_packet_batch_overhead(input) +
+                           per_packet_checkpoint_overhead(input);
+    const double rep_oh = input.replication_overhead_sec;
+    auto cap = [&](int j) { return j == M - 1 ? 1 : R; };
+    std::vector<std::vector<double>> row(
+        static_cast<std::size_t>(M),
+        std::vector<double>(static_cast<std::size_t>(R), kInf));
+    for (int r = 1; r <= cap(0); ++r) {
+      row[0][static_cast<std::size_t>(r - 1)] =
+          input.source_io_ops / replica_power(input.env.units[0], r) +
+          (r - 1) * rep_oh;
+    }
+    for (int j = 1; j < M; ++j) {
+      const Link& link = input.env.links[static_cast<std::size_t>(j - 1)];
+      for (int r = 1; r <= cap(j); ++r) {
+        double best = kInf;
+        for (int rp = 1; rp <= cap(j - 1); ++rp) {
+          double prev = row[static_cast<std::size_t>(j - 1)]
+                           [static_cast<std::size_t>(rp - 1)];
+          if (prev >= kInf) continue;
+          best = std::min(best, prev + cost_comm(link, input.input_bytes) +
+                                    link_oh + (r - 1) * rep_oh);
+        }
+        row[static_cast<std::size_t>(j)][static_cast<std::size_t>(r - 1)] =
+            best;
+      }
+    }
+    for (int i = 1; i <= F; ++i) {
+      const double task = input.task_ops[static_cast<std::size_t>(i - 1)];
+      const double vol = input.boundary_bytes[static_cast<std::size_t>(i - 1)];
+      const bool parallel = filter_parallel(input, i - 1);
+      for (int j = 0; j < M; ++j) {
+        const ComputeUnit& unit = input.env.units[static_cast<std::size_t>(j)];
+        for (int r = 1; r <= cap(j); ++r) {
+          double via_comp = kInf;
+          if (r == 1 || parallel) {
+            double prev = row[static_cast<std::size_t>(j)]
+                             [static_cast<std::size_t>(r - 1)];
+            if (prev < kInf) via_comp = prev + task / replica_power(unit, r);
+          }
+          double via_comm = kInf;
+          if (j > 0) {
+            const Link& link =
+                input.env.links[static_cast<std::size_t>(j - 1)];
+            for (int rp = 1; rp <= cap(j - 1); ++rp) {
+              // row[j-1] already holds T[i][j-1][*] (updated this sweep).
+              double prev = row[static_cast<std::size_t>(j - 1)]
+                               [static_cast<std::size_t>(rp - 1)];
+              if (prev >= kInf) continue;
+              via_comm = std::min(via_comm, prev + cost_comm(link, vol) +
+                                                link_oh + (r - 1) * rep_oh);
+            }
+          }
+          row[static_cast<std::size_t>(j)][static_cast<std::size_t>(r - 1)] =
+              std::min(via_comp, via_comm);
+        }
+      }
+    }
+    return row[static_cast<std::size_t>(M - 1)][0];
+  }
   const int F = input.filter_count();
   const int M = input.env.stages();
   // Rolling row: O(m) live cells (§4.4 closing remark).
@@ -185,12 +396,26 @@ void placement_times(const DecompositionInput& input,
   const int M = input.env.stages();
   unit_times.assign(static_cast<std::size_t>(M), 0.0);
   link_times.assign(static_cast<std::size_t>(M - 1), 0.0);
-  unit_times[0] = cost_comp(input.env.units[0], input.source_io_ops);
+  // A replica plan overrides the environment's copies knob: stage s serves
+  // packets at replica_power(unit, r_s) and pays the per-packet replication
+  // overhead for every extra copy.
+  const bool planned = !placement.replicas.empty();
+  auto stage_power = [&](int s) {
+    const ComputeUnit& unit = input.env.units[static_cast<std::size_t>(s)];
+    return planned ? replica_power(unit, placement.replicas_of(s))
+                   : unit.effective_power();
+  };
+  unit_times[0] = input.source_io_ops / stage_power(0);
   for (std::size_t i = 0; i < placement.unit_of_filter.size(); ++i) {
     int unit = placement.unit_of_filter[i];
     unit_times[static_cast<std::size_t>(unit)] +=
-        cost_comp(input.env.units[static_cast<std::size_t>(unit)],
-                  input.task_ops[i]);
+        input.task_ops[i] / stage_power(unit);
+  }
+  if (planned) {
+    for (int s = 0; s < M; ++s) {
+      unit_times[static_cast<std::size_t>(s)] +=
+          (placement.replicas_of(s) - 1) * input.replication_overhead_sec;
+    }
   }
   std::vector<int> cut = placement.cuts(M);
   const double link_oh = per_packet_batch_overhead(input) +
@@ -231,14 +456,19 @@ double reduction_epilogue_time(const DecompositionInput& input,
   }
   if (last_stage < 0) return 0.0;
   const int m = input.env.stages();
+  const bool planned = !placement.replicas.empty();
   double total = 0.0;
   for (int k = last_stage; k < m - 1; ++k) {
-    const int copies = input.env.units[static_cast<std::size_t>(k)].copies;
+    const int copies =
+        planned ? placement.replicas_of(k)
+                : input.env.units[static_cast<std::size_t>(k)].copies;
     const Link& link = input.env.links[static_cast<std::size_t>(k)];
     total += copies * (link.latency_sec +
                        input.replica_payload_bytes / link.effective_bandwidth());
+    const ComputeUnit& sink = input.env.units[static_cast<std::size_t>(k + 1)];
     total += copies * input.replica_merge_ops /
-             input.env.units[static_cast<std::size_t>(k + 1)].effective_power();
+             (planned ? replica_power(sink, placement.replicas_of(k + 1))
+                      : sink.effective_power());
   }
   return total;
 }
@@ -268,9 +498,12 @@ DecompositionResult decompose_bruteforce(const DecompositionInput& input,
   best.cost = kInf;
   Placement current;
   current.unit_of_filter.assign(static_cast<std::size_t>(F), 0);
+  const int R = std::max(1, input.max_replicas);
+  const bool replicate = R > 1;
+  if (replicate)
+    current.replicas.assign(static_cast<std::size_t>(M), 1);
   std::size_t evaluated = 0;
 
-  // Enumerate all non-decreasing assignments of F filters to M stages.
   auto evaluate = [&]() {
     ++evaluated;
     double cost = objective == Objective::PerPacketLatency
@@ -281,9 +514,44 @@ DecompositionResult decompose_bruteforce(const DecompositionInput& input,
       best.placement = current;
     }
   };
+  // For a fixed stage assignment, enumerate every per-stage replica count
+  // within the unit budget. A stage may exceed one copy only when it hosts
+  // at least one filter, every hosted filter is classifier-approved, and it
+  // is not the result stage (the final bindings land on one view node).
+  auto enumerate_replicas = [&]() {
+    if (!replicate) {
+      evaluate();
+      return;
+    }
+    std::vector<int> caps(static_cast<std::size_t>(M), 1);
+    for (int s = 0; s + 1 < M; ++s) {
+      // The data host's packet read is round-robin-replicable work even
+      // when no filter lands on stage 0 (mirrors the DP's T[0][0][r]).
+      bool has_filter = s == 0 && input.source_io_ops > 0.0;
+      bool all_parallel = true;
+      for (int i = 0; i < F; ++i) {
+        if (current.unit_of_filter[static_cast<std::size_t>(i)] != s) continue;
+        has_filter = true;
+        all_parallel = all_parallel && filter_parallel(input, i);
+      }
+      if (has_filter && all_parallel) caps[static_cast<std::size_t>(s)] = R;
+    }
+    std::function<void(int)> recurse_r = [&](int stage) {
+      if (stage == M) {
+        evaluate();
+        return;
+      }
+      for (int r = 1; r <= caps[static_cast<std::size_t>(stage)]; ++r) {
+        current.replicas[static_cast<std::size_t>(stage)] = r;
+        recurse_r(stage + 1);
+      }
+    };
+    recurse_r(0);
+  };
+  // Enumerate all non-decreasing assignments of F filters to M stages.
   std::function<void(int, int)> recurse = [&](int index, int min_stage) {
     if (index == F) {
-      evaluate();
+      enumerate_replicas();
       return;
     }
     for (int stage = min_stage; stage < M; ++stage) {

@@ -59,6 +59,17 @@ struct DecompositionInput {
   /// model exactly (no checkpoint term).
   double checkpoint_snapshot_sec = 0.0;
   double checkpoint_interval = 0.0;
+  /// Stage replication (ROADMAP item 1, PS-DSWP-style): per-filter flags
+  /// from the stage classifier (1 = the filter tolerates transparent
+  /// replication; empty = classify everything sequential), the per-stage
+  /// replica budget, and the fixed per-packet cost of each extra replica
+  /// on a stage (demux/competitive-pop contention plus replica-merge
+  /// bookkeeping). max_replicas <= 1 reproduces the unreplicated model
+  /// exactly; a replicated stage's per-packet time becomes
+  ///   Task / (P(C_j) * r) + (r - 1) * replication_overhead_sec.
+  std::vector<char> parallelizable;
+  int max_replicas = 1;
+  double replication_overhead_sec = 0.0;
   EnvironmentSpec env;
 
   int filter_count() const { return static_cast<int>(task_ops.size()); }
@@ -72,15 +83,38 @@ struct DecompositionInput {
 /// Non-decreasing by construction.
 struct Placement {
   std::vector<int> unit_of_filter;
+  /// Replica plan chosen by the replication-aware decomposition: replicas[s]
+  /// = transparent copies of stage s. Empty = no plan (legacy behavior: the
+  /// runtime falls back to the environment's per-unit `copies` knob).
+  std::vector<int> replicas;
 
   /// Boundary index (0-based, "after filter b") cut by link k; filters
   /// 0..cut[k] run on units 0..k. cut[k] == -1 means link k is crossed
   /// before any filter ran (raw input forwarded).
   std::vector<int> cuts(int stages) const;
 
+  /// Replica count of stage s under this plan (1 when no plan is present —
+  /// callers wanting the legacy env fallback must consult the environment).
+  int replicas_of(int stage) const {
+    return replicas.empty() ? 1 : replicas[static_cast<std::size_t>(stage)];
+  }
+  bool replicated() const {
+    for (int r : replicas)
+      if (r > 1) return true;
+    return false;
+  }
+
   std::string to_string() const;
   bool operator==(const Placement& o) const {
-    return unit_of_filter == o.unit_of_filter;
+    if (unit_of_filter != o.unit_of_filter) return false;
+    // An absent plan and an all-ones plan describe the same execution.
+    std::size_t n = std::max(replicas.size(), o.replicas.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      int a = s < replicas.size() ? replicas[s] : 1;
+      int b = s < o.replicas.size() ? o.replicas[s] : 1;
+      if (a != b) return false;
+    }
+    return true;
   }
 };
 
@@ -91,12 +125,18 @@ struct DecompositionResult {
 };
 
 /// Figure 3 dynamic program; O(n·m) time, O(n·m) space (keeps the full
-/// table for backtracking the placement).
+/// table for backtracking the placement). With max_replicas > 1 the DP
+/// state gains a replica dimension — T[i][j][r] = minimum amortized
+/// per-packet cost with f_i resident on C_j running r transparent copies —
+/// and the result's placement carries the chosen per-stage replica plan
+/// (DESIGN.md §6). r > 1 is only feasible on stages whose filters are all
+/// flagged parallelizable, and the result stage C_m keeps r = 1. With
+/// max_replicas <= 1 the legacy table is computed bit-for-bit.
 DecompositionResult decompose_dp(const DecompositionInput& input);
 
-/// Space-optimized variant described at the end of §4.4: O(m) live cells.
-/// Returns the optimal cost only (no placement backtrack is possible
-/// without the table).
+/// Space-optimized variant described at the end of §4.4: O(m) live cells
+/// (O(m·R) when replication is enabled). Returns the optimal cost only (no
+/// placement backtrack is possible without the table).
 double decompose_dp_cost_only(const DecompositionInput& input);
 
 enum class Objective {

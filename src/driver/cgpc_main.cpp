@@ -38,7 +38,18 @@
 //                        running (requires --checkpoint-interval; stage
 //                        copies must be 1)
 //   --resume=FILE        restart an aborted run from the last consistent
-//                        cut in FILE (see docs/ROBUSTNESS.md)
+//                        cut in FILE (see docs/ROBUSTNESS.md); rejects any
+//                        replicated configuration up front (run-level
+//                        checkpoints require one copy per stage)
+//   --max-replicas=N     let the decomposition replicate classifier-
+//                        approved parallel stages up to N transparent
+//                        copies each (default 1 = unreplicated; the
+//                        report then shows the per-stage replica plan);
+//                        requires --width 1
+//   --copies=N           explicit global override: run every non-result
+//                        stage at N transparent copies, discarding the
+//                        DP's replica plan (prints a warning; bypasses
+//                        the stage classifier)
 //   --default            use the Default placement instead of Decomp
 //   --no-fission         disable loop fission
 #include <cstdint>
@@ -65,8 +76,8 @@ void usage() {
                "[--trace=<file>] [--fault-policy=P] [--fault-inject=SPEC] "
                "[--fault-seed=N] [--stage-timeout=S] [--stream-capacity=N] "
                "[--batch-size=N] [--checkpoint-interval=N] "
-               "[--checkpoint=FILE] [--resume=FILE] [--default] "
-               "[--no-fission]\n");
+               "[--checkpoint=FILE] [--resume=FILE] [--max-replicas=N] "
+               "[--copies=N] [--default] [--no-fission]\n");
 }
 
 bool parse_kv(const char* arg, std::string& name, std::int64_t& value) {
@@ -92,6 +103,8 @@ int main(int argc, char** argv) {
   bool analysis = false;
   bool run = false;
   bool use_default = false;
+  int max_replicas = 1;
+  int copies_override = 0;  // 0 = not given
   std::string trace_path;
   std::string resume_path;
   dc::FaultPolicy fault_policy;
@@ -200,6 +213,14 @@ int main(int argc, char** argv) {
       resume_path = arg + 9;
     } else if (std::strcmp(arg, "--resume") == 0) {
       resume_path = next();
+    } else if (std::strncmp(arg, "--max-replicas=", 15) == 0) {
+      max_replicas = std::atoi(arg + 15);
+    } else if (std::strcmp(arg, "--max-replicas") == 0) {
+      max_replicas = std::atoi(next());
+    } else if (std::strncmp(arg, "--copies=", 9) == 0) {
+      copies_override = std::atoi(arg + 9);
+    } else if (std::strcmp(arg, "--copies") == 0) {
+      copies_override = std::atoi(next());
     } else if (std::strcmp(arg, "--default") == 0) {
       use_default = true;
     } else if (std::strcmp(arg, "--no-fission") == 0) {
@@ -240,6 +261,22 @@ int main(int argc, char** argv) {
   if (transport.checkpoint_interval > 0 && !options.env.links.empty()) {
     options.checkpoint_interval = transport.checkpoint_interval;
     options.checkpoint_snapshot_sec = options.env.links.front().latency_sec;
+  }
+  if (max_replicas > 1) {
+    if (width > 1) {
+      std::fprintf(stderr,
+                   "cgpc: --max-replicas=%d requires --width 1 (a replica "
+                   "plan supersedes the environment's copies knob; combining "
+                   "them would double-count parallelism)\n",
+                   max_replicas);
+      return 2;
+    }
+    options.max_replicas = max_replicas;
+    // Same pattern again: the per-packet fan-out/merge overhead of a
+    // replicated stage has no measured value at compile time, so the
+    // links' configured latency stands in as its scale.
+    if (!options.env.links.empty())
+      options.replication_overhead_sec = options.env.links.front().latency_sec;
   }
   if (!resume_path.empty()) {
     try {
@@ -285,9 +322,46 @@ int main(int argc, char** argv) {
                 result.decomp_input.input_bytes);
   }
 
-  const Placement& placement =
+  Placement placement =
       use_default ? result.baseline : result.decomposition.placement;
+  if (copies_override >= 1) {
+    if (placement.replicated()) {
+      std::fprintf(stderr,
+                   "cgpc: warning: --copies=%d overrides the decomposition's "
+                   "replica plan %s\n",
+                   copies_override, placement.to_string().c_str());
+    }
+    placement.replicas.clear();
+    if (copies_override > 1) {
+      std::fprintf(stderr,
+                   "cgpc: warning: --copies=%d bypasses the stage classifier; "
+                   "sequential stages may race loop-carried state\n",
+                   copies_override);
+      placement.replicas.assign(options.env.units.size(), copies_override);
+      placement.replicas.back() = 1;  // the result stage merges replicas
+    }
+  }
+  if (transport.resume &&
+      (placement.replicated() || copies_override > 1 || width > 1)) {
+    std::fprintf(stderr,
+                 "cgpc: --resume requires one copy per stage (run-level "
+                 "consistent cuts are recorded per copy); rerun with "
+                 "--max-replicas=1 and without --copies/--width\n");
+    return 2;
+  }
+  if (analysis || options.max_replicas > 1) {
+    std::printf("stage classification:\n%s",
+                result.classification.to_string().c_str());
+  }
   std::printf("placement: %s\n", placement.to_string().c_str());
+  if (placement.replicated()) {
+    for (std::size_t s = 0; s < options.env.units.size(); ++s) {
+      std::printf("  stage %zu: %d transparent cop%s\n", s,
+                  placement.replicas_of(static_cast<int>(s)),
+                  placement.replicas_of(static_cast<int>(s)) == 1 ? "y"
+                                                                  : "ies");
+    }
+  }
   std::printf("predicted total time (%lld packets): %.6f s\n",
               static_cast<long long>(options.n_packets),
               full_pipeline_time(result.decomp_input, placement,

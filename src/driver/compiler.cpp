@@ -33,6 +33,9 @@ DecompositionInput make_decomposition_input(const PipelineModel& model,
   input.batch_size = static_cast<double>(options.batch_size == 0 ? 1 : options.batch_size);
   input.checkpoint_snapshot_sec = options.checkpoint_snapshot_sec;
   input.checkpoint_interval = static_cast<double>(options.checkpoint_interval);
+  input.max_replicas = options.max_replicas;
+  input.replication_overhead_sec = options.replication_overhead_sec;
+  input.parallelizable = classify_filters(model).parallel_flags();
 
   // Reduction-epilogue estimate: replica wire size and per-replica merge
   // cost, so the placement optimizer sees the end-of-run handoff.
@@ -100,6 +103,7 @@ CompileResult compile_pipeline(std::string_view source,
   result.diagnostics = diags.render();
   if (diags.has_errors() || result.model.filters.empty()) return result;
 
+  result.classification = classify_filters(result.model);
   result.decomp_input =
       make_decomposition_input(result.model, options.env, options);
   result.dp_figure3 = decompose_dp(result.decomp_input);

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "analysis/pipeline_model.h"
+#include "analysis/stage_class.h"
 #include "codegen/compiled_pipeline.h"
 #include "cost/opcount.h"
 #include "decomp/decompose.h"
@@ -40,12 +41,24 @@ struct CompileOptions {
   /// reproduce the paper's model exactly.
   double checkpoint_snapshot_sec = 0.0;
   std::size_t checkpoint_interval = 0;
+  /// Stage-replication budget (ROADMAP item 1): with max_replicas > 1 the
+  /// decomposition may run each classifier-approved stage on up to this
+  /// many transparent copies, charging replication_overhead_sec per packet
+  /// for every extra copy (see DESIGN.md). The defaults reproduce the
+  /// unreplicated decomposition exactly. Replica plans assume a width-1
+  /// environment: combining max_replicas > 1 with env copies > 1 would
+  /// double-count parallelism.
+  int max_replicas = 1;
+  double replication_overhead_sec = 0.0;
   OpCountOptions opcount;
 };
 
 struct CompileResult {
   std::unique_ptr<Program> program;  // owns the AST the model points into
   PipelineModel model;
+  /// Sequential/parallel verdict per atomic filter (the replication DP's
+  /// feasibility input; also printed by the decomposition report).
+  PipelineClassification classification;
   DecompositionInput decomp_input;
   /// Placement minimizing total pipeline time (§4.3 formulas (1)/(2) with
   /// the configured packet count) — the compiler's chosen decomposition.

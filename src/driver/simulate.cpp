@@ -7,8 +7,24 @@
 
 namespace cgp {
 
+namespace {
+/// The environment the run actually executed under: the measured per-stage
+/// replica counts (trace v4) supersede the spec's copies knob, so a replica
+/// plan chosen by the decomposition simulates at its true width. A run
+/// without the v4 surface leaves the spec untouched.
+EnvironmentSpec measured_env(const PipelineRunResult& run,
+                             EnvironmentSpec env) {
+  for (std::size_t i = 0;
+       i < run.stage_replicas.size() && i < env.units.size(); ++i) {
+    env.units[i].copies = run.stage_replicas[i];
+  }
+  return env;
+}
+}  // namespace
+
 SimEpilogue make_epilogue(const PipelineRunResult& run,
-                          const EnvironmentSpec& env) {
+                          const EnvironmentSpec& env_spec) {
+  const EnvironmentSpec env = measured_env(run, env_spec);
   SimEpilogue epilogue;
   for (std::size_t i = 0; i < run.stage_replica_ops.size(); ++i) {
     const int copies = env.units[i].copies;
@@ -24,7 +40,8 @@ SimEpilogue make_epilogue(const PipelineRunResult& run,
 }
 
 SimResult simulate_run_full(const PipelineRunResult& run,
-                            const EnvironmentSpec& env) {
+                            const EnvironmentSpec& env_spec) {
+  const EnvironmentSpec env = measured_env(run, env_spec);
   SimEpilogue epilogue = make_epilogue(run, env);
   return simulate_pipeline(env,
                            uniform_trace(run.packets, run.mean_stage_ops(),

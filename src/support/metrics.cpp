@@ -220,7 +220,7 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     checkpoints.push_back(std::move(jc));
   }
   Json root{Json::Object{}};
-  root.set("schema", Json("cgpipe-trace-v3"));
+  root.set("schema", Json("cgpipe-trace-v4"));
   root.set("wall_seconds", Json(trace.wall_seconds));
   root.set("packets", Json(trace.packets));
   root.set("completed", Json(trace.completed));
@@ -235,6 +235,10 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
                                       .name)
                            : Json(nullptr));
   root.set("batch_size", Json(trace.batch_size));
+  Json::Array stage_replicas;
+  for (int r : trace.stage_replicas)
+    stage_replicas.push_back(Json(static_cast<std::int64_t>(r)));
+  root.set("stage_replicas", Json(std::move(stage_replicas)));
   Json pool{Json::Object{}};
   pool.set("acquires", Json(trace.pool.acquires));
   pool.set("hits", Json(trace.pool.hits));
@@ -257,7 +261,7 @@ PipelineTrace trace_from_json(const std::string& text) {
     throw std::runtime_error("trace: unknown schema");
   const std::string& schema = root.at("schema").as_string();
   if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2" &&
-      schema != "cgpipe-trace-v3")
+      schema != "cgpipe-trace-v3" && schema != "cgpipe-trace-v4")
     throw std::runtime_error("trace: unknown schema");
   PipelineTrace trace;
   trace.wall_seconds = root.at("wall_seconds").as_number();
@@ -293,6 +297,11 @@ PipelineTrace trace_from_json(const std::string& text) {
   // Transport counters; absent in documents written before batching/pooling.
   if (root.contains("batch_size"))
     trace.batch_size = root.at("batch_size").as_int();
+  // v4 replica plan; absent in v1-v3 documents.
+  if (root.contains("stage_replicas")) {
+    for (const Json& jr : root.at("stage_replicas").as_array())
+      trace.stage_replicas.push_back(static_cast<int>(jr.as_int()));
+  }
   if (root.contains("pool")) {
     const Json& jp = root.at("pool");
     trace.pool.acquires = jp.at("acquires").as_int();

@@ -156,6 +156,10 @@ struct PipelineTrace {
   /// counters (all zero when the run predates pooling or disabled it).
   std::int64_t batch_size = 1;
   PoolMetrics pool;
+  /// Replica plan in force (trace v4): transparent copies each stage ran
+  /// with, whether chosen by the decomposition DP or by the environment's
+  /// copies knob. Empty in documents written before replication support.
+  std::vector<int> stage_replicas;
   /// Fault-tolerance surface (trace v2): every fault the supervisor saw,
   /// the policy in force, and whether the pipeline ran to normal EOS.
   std::vector<FaultRecord> faults;
@@ -171,14 +175,14 @@ struct PipelineTrace {
   int bottleneck_filter() const;
 };
 
-/// Serializes to the cgpipe-trace-v3 schema documented in
+/// Serializes to the cgpipe-trace-v4 schema documented in
 /// docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 
 /// Reloads a serialized trace; accepts cgpipe-trace-v1 (fault fields
 /// default to their zero values), v2 (checkpoint fields default to their
-/// zero values), and v3. Throws std::runtime_error on malformed or
-/// schema-incompatible input.
+/// zero values), v3 (stage_replicas defaults to empty), and v4. Throws
+/// std::runtime_error on malformed or schema-incompatible input.
 PipelineTrace trace_from_json(const std::string& text);
 
 }  // namespace cgp::support

@@ -44,12 +44,16 @@ Oracle run_sequential(const apps::AppConfig& config, const std::string& cls) {
   return Oracle{env.flatten()};
 }
 
-CompileResult compile_app(const apps::AppConfig& config, int width) {
+CompileResult compile_app(const apps::AppConfig& config, int width,
+                          int max_replicas = 1) {
   CompileOptions options;
   options.env = EnvironmentSpec::paper_cluster(width);
   options.runtime_constants = config.runtime_constants;
   options.size_bindings = config.size_bindings;
   options.n_packets = config.n_packets;
+  options.max_replicas = max_replicas;
+  if (max_replicas > 1)
+    options.replication_overhead_sec = options.env.links.front().latency_sec;
   CompileResult result = compile_pipeline(config.source, options);
   EXPECT_TRUE(result.ok) << config.name << ": " << result.diagnostics;
   return result;
@@ -207,6 +211,74 @@ void run_recovery_matrix(const apps::AppConfig& config, const std::string& cls,
   }
 }
 
+/// Replica-plan matrix (ROADMAP item 1): compile with a replication budget
+/// at width 1 and run whatever per-stage replica plan the decomposition DP
+/// emits across the transport matrix, checking finals against the oracle.
+/// The DP is free to keep r = 1 at these scaled-down sizes, so a second
+/// pass forces the budget onto every classifier-approved stage — the
+/// runtime's replicated path (round-robin sources, competitive pops,
+/// replica merges) is exercised either way. Replicated execution may
+/// reorder float accumulation, so comparisons are structural at 1e-9.
+void run_replica_plan_matrix(const apps::AppConfig& config,
+                             const std::string& cls,
+                             const std::vector<std::string>& result_keys,
+                             const std::vector<std::string>& stage_local = {}) {
+  const Oracle oracle = run_sequential(config, cls);
+  ASSERT_FALSE(oracle.values.empty());
+  const int budget = 4;
+  CompileResult result = compile_app(config, /*width=*/1, budget);
+  if (!result.ok) return;
+  const EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+  const std::vector<char> flags = result.classification.parallel_flags();
+
+  // The forced plan: every non-sink stage whose filters are all
+  // classifier-approved (the filterless source stage counts) runs at the
+  // full budget.
+  Placement forced = result.decomposition.placement;
+  const std::size_t stages = env.units.size();
+  forced.replicas.assign(stages, 1);
+  for (std::size_t s = 0; s + 1 < stages; ++s) {
+    bool parallel = true;
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+      if (forced.unit_of_filter[i] == static_cast<int>(s) && !flags[i])
+        parallel = false;
+    }
+    if (parallel) forced.replicas[s] = budget;
+  }
+
+  struct Path {
+    const char* name;
+    const Placement* placement;
+  };
+  const Path paths[] = {
+      {"dp-plan", &result.decomposition.placement},
+      {"forced-plan", &forced},
+  };
+  for (const Path& path : paths) {
+    const double tol = path.placement->replicated() ? 1e-9 : 0.0;
+    for (std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+      for (std::size_t capacity : {std::size_t{1}, std::size_t{16}}) {
+        dc::RunnerConfig transport;
+        transport.stream_capacity = capacity;
+        transport.batch_size = batch;
+        PipelineRunResult run =
+            result.make_runner(*path.placement, env, {}, transport).run();
+        const std::string what = config.name + " " + path.name + " " +
+                                 path.placement->to_string() +
+                                 " batch=" + std::to_string(batch) +
+                                 " cap=" + std::to_string(capacity);
+        expect_conformant(oracle, run, tol, result_keys, stage_local, what);
+        // The trace must report the widths the plan asked for.
+        for (std::size_t s = 0; s < run.stage_replicas.size(); ++s) {
+          EXPECT_EQ(run.stage_replicas[s],
+                    path.placement->replicas_of(static_cast<int>(s)))
+              << what;
+        }
+      }
+    }
+  }
+}
+
 TEST(Conformance, Tiny) {
   run_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
 }
@@ -253,6 +325,30 @@ TEST(Conformance, KnnRecovery) {
 TEST(Conformance, VmscopeRecovery) {
   run_recovery_matrix(apps::vmscope_config(false), "VMScope",
                       {"total", "filled"});
+}
+
+TEST(Conformance, TinyReplicaPlan) {
+  run_replica_plan_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
+}
+
+TEST(Conformance, IsosurfaceZBufferReplicaPlan) {
+  run_replica_plan_matrix(apps::isosurface_zbuffer_config(false), "IsoZBuffer",
+                          {"checksum", "lit"});
+}
+
+TEST(Conformance, IsosurfaceActivePixelsReplicaPlan) {
+  run_replica_plan_matrix(apps::isosurface_active_pixels_config(false),
+                          "IsoActivePixels", {"checksum", "lit"});
+}
+
+TEST(Conformance, KnnReplicaPlan) {
+  run_replica_plan_matrix(apps::knn_config(3), "Knn", {"kth", "dsum"},
+                          {"seed"});
+}
+
+TEST(Conformance, VmscopeReplicaPlan) {
+  run_replica_plan_matrix(apps::vmscope_config(false), "VMScope",
+                          {"total", "filled"});
 }
 
 }  // namespace

@@ -173,6 +173,170 @@ TEST(Decomp, DefaultPlacementAllOnCompute) {
   for (int unit : def.unit_of_filter) EXPECT_EQ(unit, 1);
 }
 
+// --- stage replication (ROADMAP item 1) ---
+
+// Random instance with a replication surface: per-filter parallel flags,
+// a replica budget, and a small per-replica overhead.
+DecompositionInput make_replicated_input(Rng& rng, int max_replicas) {
+  int n_filters = static_cast<int>(rng.next_int(1, 6));
+  int stages = static_cast<int>(rng.next_int(2, 4));
+  std::vector<double> tasks;
+  std::vector<double> volumes;
+  std::vector<char> flags;
+  for (int i = 0; i < n_filters; ++i) {
+    tasks.push_back(rng.next_double(1.0, 500.0));
+    volumes.push_back(rng.next_double(1.0, 500.0));
+    flags.push_back(rng.next_int(0, 2) != 0 ? 1 : 0);
+  }
+  DecompositionInput input =
+      make_input(tasks, volumes, rng.next_double(1.0, 500.0), stages);
+  input.parallelizable = std::move(flags);
+  input.max_replicas = max_replicas;
+  input.replication_overhead_sec = rng.next_double(0.0, 0.5);
+  input.source_io_ops = rng.next_double(0.0, 200.0);
+  return input;
+}
+
+TEST(Decomp, ReplicaPlanRespectsBudgetAndClassifier) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int budget = static_cast<int>(rng.next_int(2, 5));
+    DecompositionInput input = make_replicated_input(rng, budget);
+    DecompositionResult result = decompose_dp(input);
+    const int stages = static_cast<int>(input.env.units.size());
+    ASSERT_EQ(result.placement.replicas.size(),
+              static_cast<std::size_t>(stages))
+        << "trial " << trial;
+    for (int s = 0; s < stages; ++s) {
+      const int r = result.placement.replicas_of(s);
+      EXPECT_GE(r, 1) << "trial " << trial;
+      EXPECT_LE(r, budget) << "trial " << trial;
+    }
+    // The result stage merges replicas and stays singular.
+    EXPECT_EQ(result.placement.replicas_of(stages - 1), 1)
+        << "trial " << trial;
+    // A stage hosting any sequential filter keeps one copy.
+    for (std::size_t i = 0; i < input.task_ops.size(); ++i) {
+      if (input.parallelizable[i]) continue;
+      EXPECT_EQ(result.placement.replicas_of(
+                    result.placement.unit_of_filter[i]),
+                1)
+          << "trial " << trial << " filter " << i;
+    }
+  }
+}
+
+TEST(Decomp, MaxReplicasOneReproducesLegacyExactly) {
+  // With the budget at 1 the replicated code path must not even engage:
+  // identical placement, bit-identical cost, and no replica plan.
+  Rng rng(515);
+  for (int trial = 0; trial < 60; ++trial) {
+    DecompositionInput replicated = make_replicated_input(rng, 1);
+    DecompositionInput legacy = replicated;
+    legacy.parallelizable.clear();
+    legacy.max_replicas = 1;
+    legacy.replication_overhead_sec = 0.0;
+    DecompositionResult a = decompose_dp(replicated);
+    DecompositionResult b = decompose_dp(legacy);
+    EXPECT_EQ(a.placement.unit_of_filter, b.placement.unit_of_filter)
+        << "trial " << trial;
+    EXPECT_EQ(a.cost, b.cost) << "trial " << trial;  // bit-for-bit
+    EXPECT_TRUE(a.placement.replicas.empty()) << "trial " << trial;
+    EXPECT_TRUE(a.placement == b.placement) << "trial " << trial;
+  }
+}
+
+TEST(Decomp, ReplicatedDpMatchesBruteForceOnLatency) {
+  Rng rng(8080);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int budget = static_cast<int>(rng.next_int(2, 4));
+    DecompositionInput input = make_replicated_input(rng, budget);
+    DecompositionResult dp = decompose_dp(input);
+    DecompositionResult brute =
+        decompose_bruteforce(input, Objective::PerPacketLatency);
+    EXPECT_NEAR(dp.cost, brute.cost, 1e-9 * std::max(1.0, brute.cost))
+        << "trial " << trial << " dp=" << dp.placement.to_string()
+        << " brute=" << brute.placement.to_string();
+    EXPECT_NEAR(placement_latency(input, dp.placement), dp.cost,
+                1e-9 * std::max(1.0, dp.cost))
+        << "trial " << trial;
+  }
+}
+
+TEST(Decomp, ReplicatedRollingVariantMatchesFullTable) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int budget = static_cast<int>(rng.next_int(2, 5));
+    DecompositionInput input = make_replicated_input(rng, budget);
+    EXPECT_NEAR(decompose_dp(input).cost, decompose_dp_cost_only(input), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Decomp, ReplicationBudgetNeverWorsensTheOptimum) {
+  // r = 1 everywhere is always in the enlarged search space, so the
+  // replicated optimum can only match or beat the legacy one.
+  Rng rng(31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    DecompositionInput input = make_replicated_input(rng, 4);
+    DecompositionInput legacy = input;
+    legacy.max_replicas = 1;
+    EXPECT_LE(decompose_dp(input).cost,
+              decompose_dp(legacy).cost + 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(Decomp, HotStatelessStageGetsReplicated) {
+  // One heavy parallel filter dominates the pipeline; with cheap links and
+  // negligible replication overhead the DP must spend the budget on it.
+  DecompositionInput input = make_input(/*tasks=*/{10.0, 2000.0, 10.0},
+                                        /*volumes=*/{8.0, 8.0, 8.0},
+                                        /*input=*/8.0, /*stages=*/3,
+                                        /*power=*/100.0,
+                                        /*bandwidth=*/1e9);
+  input.parallelizable = {1, 1, 1};
+  input.max_replicas = 4;
+  input.replication_overhead_sec = 1e-6;
+  DecompositionResult result = decompose_dp(input);
+  bool replicated = false;
+  for (std::size_t i = 0; i < input.task_ops.size(); ++i) {
+    if (input.task_ops[i] < 1000.0) continue;
+    replicated = result.placement.replicas_of(
+                     result.placement.unit_of_filter[i]) > 1;
+  }
+  EXPECT_TRUE(replicated) << result.placement.to_string();
+  EXPECT_LT(result.cost, decompose_dp([&] {
+              DecompositionInput one = input;
+              one.max_replicas = 1;
+              return one;
+            }()).cost);
+}
+
+TEST(Decomp, ReplicatedBruteForceAgreesOnTotalObjective) {
+  // The total-time objective (what the compiler ships) also enumerates
+  // replica plans; its optimum is never worse than the unreplicated one
+  // and respects the classifier.
+  Rng rng(2718);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int budget = static_cast<int>(rng.next_int(2, 4));
+    DecompositionInput input = make_replicated_input(rng, budget);
+    DecompositionInput legacy = input;
+    legacy.max_replicas = 1;
+    DecompositionResult best =
+        decompose_bruteforce(input, Objective::PipelineTotal, 64);
+    DecompositionResult base =
+        decompose_bruteforce(legacy, Objective::PipelineTotal, 64);
+    EXPECT_LE(best.cost, base.cost + 1e-12) << "trial " << trial;
+    for (std::size_t i = 0; i < input.task_ops.size(); ++i) {
+      if (input.parallelizable[i]) continue;
+      EXPECT_EQ(best.placement.replicas_of(best.placement.unit_of_filter[i]),
+                1)
+          << "trial " << trial;
+    }
+  }
+}
+
 TEST(Decomp, SingleStagePipeline) {
   DecompositionInput input = make_input({5.0, 5.0}, {1.0, 1.0}, 1.0, 1);
   // m = 1: everything on the only unit; no links.

@@ -178,8 +178,39 @@ TEST(Trace, BottleneckIsLargestBusyFilter) {
 
 TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
   const Json j = Json::parse(trace_to_json(sample_trace()));
-  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v3");
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v4");
   EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
+}
+
+TEST(Trace, RoundTripPreservesReplicaPlan) {
+  PipelineTrace trace = sample_trace();
+  trace.stage_replicas = {1, 4, 1};
+
+  const std::string json = trace_to_json(trace);
+  const PipelineTrace back = trace_from_json(json);
+  ASSERT_EQ(back.stage_replicas.size(), 3u);
+  EXPECT_EQ(back.stage_replicas[0], 1);
+  EXPECT_EQ(back.stage_replicas[1], 4);
+  EXPECT_EQ(back.stage_replicas[2], 1);
+  EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, ReadsV3DocumentsWithEmptyReplicaPlan) {
+  // A v3 trace predates per-stage replica counts; it still loads, with the
+  // v4 field at its benign default.
+  PipelineTrace trace = sample_trace();
+  trace.stage_replicas = {2, 2, 1};
+  std::string json = trace_to_json(trace);
+  const std::size_t pos = json.find("cgpipe-trace-v4");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 15, "cgpipe-trace-v3");
+  const std::size_t field = json.find("\"stage_replicas\"");
+  ASSERT_NE(field, std::string::npos);
+  const std::size_t close = json.find(']', field);
+  ASSERT_NE(close, std::string::npos);
+  json.erase(field, close - field + 2);  // drop the field + trailing comma
+  const PipelineTrace back = trace_from_json(json);
+  EXPECT_TRUE(back.stage_replicas.empty());
 }
 
 TEST(Trace, FromJsonRejectsForeignDocuments) {
@@ -260,7 +291,7 @@ TEST(Trace, ReadsV2DocumentsWithZeroCheckpointSurface) {
   // every v3 field at its benign default.
   PipelineTrace trace = sample_trace();
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v3");
+  const std::size_t pos = json.find("cgpipe-trace-v4");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v2");
   const PipelineTrace back = trace_from_json(json);

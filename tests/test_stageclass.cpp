@@ -1,0 +1,209 @@
+// Stage-classification tests (ROADMAP item 1): which filters tolerate
+// transparent replication. Covers the three verdict families — carried
+// scalars (sequential), reduction replicas (parallel), pure maps
+// (parallel) — plus the conservative alias/call fallbacks.
+#include <gtest/gtest.h>
+
+#include "analysis/stage_class.h"
+#include "apps/app_configs.h"
+#include "parser/parser.h"
+
+namespace cgp {
+namespace {
+
+struct Classified {
+  std::unique_ptr<Program> program;  // owns the AST the model points into
+  PipelineModel model;
+  PipelineClassification classification;
+};
+
+Classified classify(std::string_view source) {
+  Classified out;
+  DiagnosticEngine diags;
+  out.program = Parser::parse(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  out.model = build_pipeline_model(*out.program, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  out.classification = classify_filters(out.model);
+  EXPECT_EQ(out.classification.filters.size(), out.model.filters.size());
+  return out;
+}
+
+constexpr const char* kPrologue = R"dialect(
+interface Reducinterface { }
+
+class App {
+  void main() {
+    int n = runtime_define_num_items;
+    int npackets = runtime_define_num_packets;
+    int psize = n / npackets;
+    double[] data = new double[n];
+    foreach (i in [0 : n - 1]) {
+      data[i] = i * 0.5;
+    }
+)dialect";
+
+TEST(StageClass, CarriedScalarIsSequential) {
+  // `carry` is declared before the loop and assigned every packet without
+  // a Reduce interface: replicating its filter would race the updates.
+  std::string source = std::string(kPrologue) + R"dialect(
+    double carry = 0.0;
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      double[] sq = new double[psize];
+      foreach (i in [base : base + psize - 1]) {
+        sq[i - base] = data[i] * data[i];
+      }
+      foreach (j in [0 : psize - 1]) {
+        carry = carry + sq[j];
+      }
+    }
+    double result = carry;
+  }
+}
+)dialect";
+  Classified c = classify(source);
+  ASSERT_EQ(c.classification.filters.size(), 3u);
+  EXPECT_TRUE(c.classification.filters[0].parallel());  // base + sq decls
+  EXPECT_TRUE(c.classification.filters[1].parallel());  // writes sq only
+  const FilterClassification& acc = c.classification.filters[2];
+  EXPECT_EQ(acc.cls, StageClass::kSequential);
+  EXPECT_TRUE(acc.carried_writes.count("carry")) << acc.reason;
+  EXPECT_NE(acc.reason.find("carries"), std::string::npos) << acc.reason;
+}
+
+TEST(StageClass, ReductionReplicaIsParallel) {
+  // The tiny app's accumulator implements Reducinterface: the runtime
+  // replicates it per copy and merges at end of stream, so the updating
+  // filter stays parallel.
+  apps::AppConfig config = apps::tiny_config(64, 4);
+  Classified c = classify(config.source);
+  ASSERT_EQ(c.classification.filters.size(), 3u);
+  for (const FilterClassification& f : c.classification.filters) {
+    EXPECT_TRUE(f.parallel()) << f.reason;
+    EXPECT_TRUE(f.carried_writes.empty()) << f.reason;
+  }
+  const FilterClassification& acc = c.classification.filters[2];
+  EXPECT_TRUE(acc.reduction_writes.count("acc")) << acc.reason;
+  EXPECT_NE(acc.reason.find("reductions"), std::string::npos) << acc.reason;
+  std::vector<char> flags = c.classification.parallel_flags();
+  EXPECT_EQ(flags, (std::vector<char>{1, 1, 1}));
+}
+
+TEST(StageClass, PureMapIsParallel) {
+  // Every mutated location is declared inside the loop body (per-packet):
+  // copies touch disjoint state.
+  std::string source = std::string(kPrologue) + R"dialect(
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      double[] sq = new double[psize];
+      foreach (i in [base : base + psize - 1]) {
+        sq[i - base] = data[i] * 2.0;
+      }
+      double[] shifted = new double[psize];
+      foreach (j in [0 : psize - 1]) {
+        shifted[j] = sq[j] + 1.0;
+      }
+    }
+  }
+}
+)dialect";
+  Classified c = classify(source);
+  ASSERT_GE(c.classification.filters.size(), 2u);
+  for (const FilterClassification& f : c.classification.filters) {
+    EXPECT_TRUE(f.parallel()) << f.reason;
+    EXPECT_NE(f.reason.find("stateless"), std::string::npos) << f.reason;
+  }
+}
+
+TEST(StageClass, WriteThroughAliasCarriesTheAliasedCollection) {
+  // `Box b = boxes[j]` binds a reference to a pre-loop object; a write
+  // through b mutates loop-carried state and must be attributed to
+  // `boxes`, not to the loop-local name.
+  std::string source = R"dialect(
+interface Reducinterface { }
+
+class Box {
+  double v;
+}
+
+class App {
+  void main() {
+    int n = runtime_define_num_items;
+    int npackets = runtime_define_num_packets;
+    int psize = n / npackets;
+    Box[] boxes = new Box[n];
+    foreach (i in [0 : n - 1]) {
+      Box b = new Box();
+      b.v = i * 0.5;
+      boxes[i] = b;
+    }
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      double[] sq = new double[psize];
+      foreach (i in [base : base + psize - 1]) {
+        sq[i - base] = base * 1.0;
+      }
+      foreach (j in [0 : psize - 1]) {
+        Box b = boxes[base + j];
+        b.v = sq[j];
+      }
+    }
+  }
+}
+)dialect";
+  Classified c = classify(source);
+  ASSERT_EQ(c.classification.filters.size(), 3u);
+  const FilterClassification& writer = c.classification.filters[2];
+  EXPECT_EQ(writer.cls, StageClass::kSequential);
+  EXPECT_TRUE(writer.carried_writes.count("boxes")) << writer.reason;
+}
+
+TEST(StageClass, UnboundedCallForcesSequential) {
+  // The active-pixels projection filter calls a same-class helper
+  // (projectPix); the classifier cannot bound its effects and must fall
+  // back to sequential.
+  apps::AppConfig config = apps::isosurface_active_pixels_config(false);
+  Classified c = classify(config.source);
+  ASSERT_EQ(c.classification.filters.size(), 7u);
+  EXPECT_EQ(c.classification.filters[4].cls, StageClass::kSequential);
+  EXPECT_NE(c.classification.filters[4].reason.find("unbounded"),
+            std::string::npos)
+      << c.classification.filters[4].reason;
+  // The surrounding filters stay parallel; the final z-buffer update is a
+  // reduction.
+  EXPECT_TRUE(c.classification.filters[0].parallel());
+  EXPECT_TRUE(c.classification.filters[6].parallel());
+  EXPECT_TRUE(c.classification.filters[6].reduction_writes.count("zbuf"));
+}
+
+TEST(StageClass, AllFourAppsClassify) {
+  // Regression net over the evaluation applications: reduction-updating
+  // tails are parallel, and only the active-pixels helper-call filter is
+  // sequential anywhere.
+  struct Case {
+    apps::AppConfig config;
+    int expected_sequential;
+  };
+  const Case cases[] = {
+      {apps::isosurface_zbuffer_config(false), 0},
+      {apps::isosurface_active_pixels_config(false), 1},
+      {apps::knn_config(3), 0},
+      {apps::vmscope_config(false), 0},
+  };
+  for (const Case& test_case : cases) {
+    Classified c = classify(test_case.config.source);
+    int sequential = 0;
+    for (const FilterClassification& f : c.classification.filters) {
+      if (!f.parallel()) ++sequential;
+    }
+    EXPECT_EQ(sequential, test_case.expected_sequential)
+        << test_case.config.name << "\n"
+        << c.classification.to_string();
+    EXPECT_TRUE(c.classification.filters.back().parallel())
+        << test_case.config.name;
+  }
+}
+
+}  // namespace
+}  // namespace cgp
