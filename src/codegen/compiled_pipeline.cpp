@@ -819,6 +819,7 @@ PipelineRunResult PipelineCompiler::run() {
   dc::PipelineRunner runner(std::move(groups), config_, policy_);
   if (hook_) runner.set_packet_hook(hook_);
   if (checkpoint_hook_) runner.set_checkpoint_hook(checkpoint_hook_);
+  if (marker_hook_) runner.set_marker_hook(marker_hook_);
   dc::RunOutcome outcome = runner.run_supervised();
   if (outcome.error && policy_.action == dc::FaultAction::kFailFast)
     std::rethrow_exception(outcome.error);

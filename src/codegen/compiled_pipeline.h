@@ -123,6 +123,9 @@ class PipelineCompiler {
   void set_checkpoint_hook(dc::CheckpointHook hook) {
     checkpoint_hook_ = std::move(hook);
   }
+  /// Run-level marker fault-injection hook forwarded to the runner (the
+  /// @markN trigger; see support/faultinject.h).
+  void set_marker_hook(dc::MarkerHook hook) { marker_hook_ = std::move(hook); }
   /// Transport tuning forwarded to the generated pipeline's runner: stream
   /// capacity, packet batching, buffer pooling.
   void set_runner_config(const dc::RunnerConfig& config) { config_ = config; }
@@ -150,6 +153,7 @@ class PipelineCompiler {
   dc::RunnerConfig config_;
   dc::PacketHook hook_;
   dc::CheckpointHook checkpoint_hook_;
+  dc::MarkerHook marker_hook_;
   std::vector<StagePlan> plans_;
 };
 

@@ -105,7 +105,7 @@ class FilterContext {
       } else if (batch_size_ > 1) {
         if (runtime_)
           runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
-        input_->pop_batch(incoming_, batch_size_);
+        input_->pop_batch(incoming_, batch_size_, copy_index_);
         if (runtime_)
           runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
         if (!incoming_.empty()) {
@@ -119,7 +119,7 @@ class FilterContext {
       } else {
         if (runtime_)
           runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
-        buffer = input_->pop();
+        buffer = input_->pop(copy_index_);
         if (runtime_)
           runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -277,16 +277,16 @@ class FilterContext {
   }
   /// Cut id the next injected marker will carry (carried across restarts).
   std::int64_t next_marker_id() const { return marker_seq_; }
-  /// Pushes a checkpoint marker downstream, bypassing the pending batch
-  /// (callers flush first) and the delivery ledger: markers are transport
-  /// control traffic, not packets.
+  /// Registers this copy's arrival at cut marker `id` on the output
+  /// stream, bypassing the pending batch (callers flush first) and the
+  /// delivery ledger: markers are transport control traffic, not packets.
+  /// Blocks in the stream's producer barrier until every sibling copy has
+  /// arrived (or closed), which is what keeps this copy's post-cut output
+  /// behind the merged marker; the wait is watchdog-exempt.
   void push_marker(std::int64_t id) {
     if (!output_) return;
-    Buffer marker;
-    marker.set_tag(kCheckpointMarkerTag);
-    marker.write<std::int64_t>(id);
     if (runtime_) runtime_->waiting.fetch_add(1, std::memory_order_relaxed);
-    output_->push(std::move(marker));
+    output_->push_marker(id);
     if (runtime_) runtime_->waiting.fetch_sub(1, std::memory_order_relaxed);
   }
   /// Pristine copies of the packets consumed since the last committed

@@ -8,9 +8,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "datacutter/checkpoint.h"
 
@@ -22,6 +24,92 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Validates a resume checkpoint against the pipeline's stage list and
+/// replica counts. Returns an empty string on match; otherwise a
+/// side-by-side diff of expected vs. checkpointed stages × replicas,
+/// ready to be thrown.
+std::string resume_mismatch_diff(const std::vector<FilterGroup>& groups,
+                                 const RunCheckpoint& cut) {
+  const std::size_t n_groups = groups.size();
+  bool ok = true;
+  if (cut.source_copies.size() != static_cast<std::size_t>(groups[0].copies))
+    ok = false;
+  if (!cut.group_copies.empty()) {
+    if (cut.group_copies.size() != n_groups) ok = false;
+    for (std::size_t gi = 0; ok && gi < n_groups; ++gi)
+      if (cut.group_copies[gi] != groups[gi].copies) ok = false;
+  }
+  // The file must hold exactly one part per (consuming group, copy).
+  std::map<std::string, std::set<int>> parts;
+  std::vector<std::string> file_order;  // first-appearance order
+  for (const StageSnapshot& s : cut.stages) {
+    if (parts.find(s.group) == parts.end()) file_order.push_back(s.group);
+    if (!parts[s.group].insert(s.copy).second) ok = false;  // duplicate part
+  }
+  if (file_order.size() != n_groups - 1) ok = false;
+  for (std::size_t gi = 1; gi < n_groups; ++gi) {
+    const auto it = parts.find(groups[gi].name);
+    if (it == parts.end()) {
+      ok = false;
+      continue;
+    }
+    if (it->second.size() != static_cast<std::size_t>(groups[gi].copies)) {
+      ok = false;
+      continue;
+    }
+    for (int c = 0; c < groups[gi].copies; ++c)
+      if (it->second.count(c) == 0) ok = false;
+  }
+  if (ok) return {};
+
+  // Side-by-side diff: one row per stage, expected on the left, the
+  // checkpoint's record on the right, mismatching rows flagged.
+  const auto row_label = [](const std::string& name, std::size_t copies) {
+    return name + " x" + std::to_string(copies);
+  };
+  std::vector<std::string> left, right;
+  std::vector<bool> bad;
+  const std::size_t rows = std::max(n_groups, file_order.size() + 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::string l = "(missing)";
+    std::string rr = "(missing)";
+    bool mismatch = false;
+    if (r < n_groups)
+      l = row_label(groups[r].name,
+                    static_cast<std::size_t>(groups[r].copies));
+    if (r == 0) {
+      rr = row_label("(source)", cut.source_copies.size());
+      mismatch = cut.source_copies.size() !=
+                 static_cast<std::size_t>(groups[0].copies);
+    } else if (r - 1 < file_order.size()) {
+      const std::string& name = file_order[r - 1];
+      rr = row_label(name, parts[name].size());
+      mismatch = r >= n_groups || name != groups[r].name ||
+                 parts[name].size() !=
+                     static_cast<std::size_t>(groups[r].copies);
+    } else {
+      mismatch = true;
+    }
+    if (r >= n_groups) mismatch = true;
+    left.push_back(std::move(l));
+    right.push_back(std::move(rr));
+    bad.push_back(mismatch);
+  }
+  std::size_t width = std::string("pipeline").size();
+  for (const std::string& l : left) width = std::max(width, l.size());
+  std::ostringstream msg;
+  msg << "PipelineRunner: resume checkpoint does not match the pipeline "
+         "(stages x replicas):\n";
+  msg << "     " << "pipeline" << std::string(width - 8 + 4, ' ')
+      << "checkpoint";
+  for (std::size_t r = 0; r < rows; ++r) {
+    msg << '\n'
+        << (bad[r] ? "  != " : "     ") << left[r]
+        << std::string(width - left[r].size() + 4, ' ') << right[r];
+  }
+  return msg.str();
 }
 
 }  // namespace
@@ -107,8 +195,9 @@ RunStats PipelineRunner::run() {
 RunOutcome PipelineRunner::run_supervised() {
   const std::size_t n_groups = groups_.size();
   // Run-level checkpointing captures a consistent cut via markers on the
-  // FIFO chain; that protocol assumes exactly one copy per group (a marker
-  // covers the whole stream prefix only when one consumer drains it).
+  // FIFO chain. The streams barrier-merge each marker across producer
+  // copies and broadcast it to consumer copies, so the cut stays aligned
+  // on the same prefix even when stages are transparently replicated.
   const bool run_ckpt =
       !config_.checkpoint_path.empty() || config_.resume != nullptr;
   if (run_ckpt) {
@@ -116,26 +205,9 @@ RunOutcome PipelineRunner::run_supervised() {
       throw std::invalid_argument(
           "PipelineRunner: run-level checkpointing requires a checkpoint "
           "interval > 0");
-    for (const FilterGroup& g : groups_)
-      if (g.copies != 1)
-        throw std::invalid_argument(
-            "PipelineRunner: run-level checkpointing requires one copy per "
-            "group (group '" +
-            g.name + "' has " + std::to_string(g.copies) + ")");
     if (config_.resume) {
-      if (config_.resume->stages.size() != n_groups - 1)
-        throw std::invalid_argument(
-            "PipelineRunner: resume checkpoint has " +
-            std::to_string(config_.resume->stages.size()) +
-            " stage snapshots for a pipeline with " +
-            std::to_string(n_groups - 1) + " consuming groups");
-      for (std::size_t i = 0; i + 1 < n_groups; ++i)
-        if (config_.resume->stages[i].group != groups_[i + 1].name)
-          throw std::invalid_argument(
-              "PipelineRunner: resume checkpoint group '" +
-              config_.resume->stages[i].group +
-              "' does not match pipeline group '" + groups_[i + 1].name +
-              "'");
+      const std::string diff = resume_mismatch_diff(groups_, *config_.resume);
+      if (!diff.empty()) throw std::invalid_argument(diff);
     }
   }
   std::vector<std::unique_ptr<Stream>> streams;
@@ -143,6 +215,7 @@ RunOutcome PipelineRunner::run_supervised() {
   for (std::size_t i = 0; i + 1 < n_groups; ++i) {
     auto stream = std::make_unique<Stream>(config_.stream_capacity);
     stream->set_producers(groups_[i].copies);
+    stream->set_consumers(groups_[i + 1].copies);
     streams.push_back(std::move(stream));
   }
   // One pool per run, shared by every copy: storage released downstream is
@@ -206,67 +279,153 @@ RunOutcome PipelineRunner::run_supervised() {
   std::vector<std::atomic<bool>> warned_no_snapshot(n_groups);
 
   // ---- run-level cut collector -------------------------------------------
-  // Each marker id accumulates one part per group: the source registers the
-  // delivered mark at injection, every consumer adds its state snapshot as
-  // the marker passes. When all parts are in, the cut is consistent (FIFO
-  // streams deliver the marker behind exactly the packets it covers) and is
-  // persisted atomically.
+  // Each marker id accumulates one part per copy of every group: each
+  // source copy registers its own delivered mark at injection, and every
+  // consumer copy adds its state snapshot as the merged marker passes it.
+  // When all parts are in, the cut is consistent — the stream barrier
+  // enqueues the marker behind exactly the packets it covers on every
+  // link, and the broadcast hands it to every consumer copy — and it is
+  // persisted atomically. A copy that finishes early or dies registers a
+  // terminal record that stands in for its part on this and every later
+  // cut (usable with the final delivered count for sources, unusable for
+  // dead consumers, whose aligned state is unrecoverable).
+  std::size_t consuming_parts = 0;
+  std::vector<std::size_t> stage_slot(n_groups, 0);
+  for (std::size_t gi = 1; gi < n_groups; ++gi) {
+    stage_slot[gi] = consuming_parts;
+    consuming_parts += static_cast<std::size_t>(groups_[gi].copies);
+  }
+  const std::size_t total_parts =
+      consuming_parts + static_cast<std::size_t>(groups_[0].copies);
   struct PendingCut {
     RunCheckpoint cut;
-    std::size_t parts = 0;
-    double injected_at = 0.0;
+    std::set<std::pair<std::size_t, int>> have;
+    double injected_at = -1.0;
     bool usable = true;
+  };
+  struct Terminal {
+    bool usable = true;
+    std::int64_t delivered = 0;
   };
   std::mutex cut_mutex;
   std::map<std::int64_t, PendingCut> pending_cuts;
-  auto submit_cut = [&](std::int64_t id, std::size_t gi,
-                        std::vector<std::byte> state, bool usable,
-                        std::int64_t source_delivered) {
-    std::optional<support::CheckpointRecord> record;
-    {
-      std::lock_guard lock(cut_mutex);
-      PendingCut& pc = pending_cuts[id];
-      if (pc.cut.stages.empty() && n_groups > 1)
-        pc.cut.stages.resize(n_groups - 1);
-      if (gi == 0) {
-        pc.cut.id = id;
-        pc.cut.source_delivered = source_delivered;
-        pc.injected_at = seconds_since(start);
-      } else {
-        StageSnapshot& slot = pc.cut.stages[gi - 1];
+  std::map<std::pair<std::size_t, int>, Terminal> terminals;
+  auto init_cut_locked = [&](PendingCut& pc, std::int64_t id) {
+    pc.cut.id = id;
+    pc.cut.source_copies.assign(
+        static_cast<std::size_t>(groups_[0].copies), 0);
+    for (std::size_t gi = 0; gi < n_groups; ++gi)
+      pc.cut.group_copies.push_back(groups_[gi].copies);
+    pc.cut.stages.resize(consuming_parts);
+    for (std::size_t gi = 1; gi < n_groups; ++gi)
+      for (int c = 0; c < groups_[gi].copies; ++c) {
+        StageSnapshot& slot = pc.cut.stages[stage_slot[gi] + c];
         slot.group = groups_[gi].name;
-        slot.state = std::move(state);
+        slot.copy = c;
       }
-      if (!usable) pc.usable = false;
-      pc.parts += 1;
-      if (pc.parts == n_groups) {
-        const double now = seconds_since(start);
-        pc.cut.at_seconds = now;
-        support::CheckpointRecord rec;
-        rec.id = id;
-        rec.group = "run";
-        rec.copy = -1;
-        rec.packet_index = pc.cut.source_delivered;
-        for (const StageSnapshot& s : pc.cut.stages)
-          rec.snapshot_bytes += static_cast<std::int64_t>(s.state.size());
-        rec.quiesce_seconds = now - pc.injected_at;
-        rec.at_seconds = now;
-        if (pc.usable && !config_.checkpoint_path.empty()) {
-          try {
-            save_checkpoint(pc.cut, config_.checkpoint_path);
-          } catch (const std::exception& e) {
-            std::fprintf(stderr,
-                         "cgpipe: warning: checkpoint write failed: %s\n",
-                         e.what());
-          }
-        }
-        record = rec;
-        pending_cuts.erase(id);
+    // Copies that already finished or died stand in for their parts.
+    for (const auto& [key, t] : terminals) {
+      pc.have.insert(key);
+      if (key.first == 0)
+        pc.cut.source_copies[static_cast<std::size_t>(key.second)] =
+            t.delivered;
+      if (!t.usable) pc.usable = false;
+    }
+  };
+  auto apply_part_locked = [&](PendingCut& pc, std::size_t gi, int copy,
+                               std::vector<std::byte>&& state, bool usable,
+                               std::int64_t delivered) {
+    if (!pc.have.insert({gi, copy}).second) return;
+    if (gi == 0) {
+      pc.cut.source_copies[static_cast<std::size_t>(copy)] = delivered;
+      if (pc.injected_at < 0) pc.injected_at = seconds_since(start);
+    } else {
+      pc.cut.stages[stage_slot[gi] + static_cast<std::size_t>(copy)].state =
+          std::move(state);
+    }
+    if (!usable) pc.usable = false;
+  };
+  // Completes the cut if every part is in; erases it from pending_cuts and
+  // returns the trace record (requires cut_mutex).
+  auto complete_locked =
+      [&](std::int64_t id,
+          PendingCut& pc) -> std::optional<support::CheckpointRecord> {
+    if (pc.have.size() < total_parts) return std::nullopt;
+    const double now = seconds_since(start);
+    pc.cut.at_seconds = now;
+    pc.cut.source_delivered = 0;
+    for (const std::int64_t d : pc.cut.source_copies)
+      pc.cut.source_delivered += d;
+    support::CheckpointRecord rec;
+    rec.id = id;
+    rec.group = "run";
+    rec.copy = -1;
+    rec.packet_index = pc.cut.source_delivered;
+    rec.parts = static_cast<std::int64_t>(consuming_parts);
+    for (const StageSnapshot& s : pc.cut.stages)
+      rec.snapshot_bytes += static_cast<std::int64_t>(s.state.size());
+    rec.quiesce_seconds = pc.injected_at < 0 ? 0.0 : now - pc.injected_at;
+    rec.at_seconds = now;
+    if (pc.usable && !config_.checkpoint_path.empty()) {
+      try {
+        save_checkpoint(pc.cut, config_.checkpoint_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "cgpipe: warning: checkpoint write failed: %s\n",
+                     e.what());
       }
     }
-    if (record) {
+    pending_cuts.erase(id);
+    return rec;
+  };
+  /// A live part from a running copy: a source copy's delivered mark
+  /// (gi == 0) or a consumer copy's snapshot. Consumer parts additionally
+  /// emit a per-copy trace record (cgpipe-trace-v5).
+  auto submit_part = [&](std::int64_t id, std::size_t gi, int copy,
+                         std::vector<std::byte> state, bool usable,
+                         std::int64_t delivered) {
+    std::vector<support::CheckpointRecord> records;
+    {
+      std::lock_guard lock(cut_mutex);
+      auto [it, fresh] = pending_cuts.try_emplace(id);
+      PendingCut& pc = it->second;
+      if (fresh) init_cut_locked(pc, id);
+      if (gi > 0 && pc.have.count({gi, copy}) == 0) {
+        support::CheckpointRecord rec;
+        rec.id = id;
+        rec.group = groups_[gi].name;
+        rec.copy = copy;
+        rec.packet_index = -1;  // a part covers a copy, not a source count
+        rec.snapshot_bytes = static_cast<std::int64_t>(state.size());
+        rec.at_seconds = seconds_since(start);
+        records.push_back(std::move(rec));
+      }
+      apply_part_locked(pc, gi, copy, std::move(state), usable, delivered);
+      if (auto rec = complete_locked(id, pc)) records.push_back(*rec);
+    }
+    if (!records.empty()) {
       std::lock_guard lock(state_mutex);
-      stats.checkpoints.push_back(*record);
+      for (auto& rec : records) stats.checkpoints.push_back(std::move(rec));
+    }
+  };
+  /// A copy will contribute no further live parts (it finished its share
+  /// or died): fill its slot in every pending and future cut.
+  auto register_terminal = [&](std::size_t gi, int copy, bool usable,
+                               std::int64_t delivered) {
+    std::vector<support::CheckpointRecord> records;
+    {
+      std::lock_guard lock(cut_mutex);
+      terminals[{gi, copy}] = Terminal{usable, delivered};
+      for (auto it = pending_cuts.begin(); it != pending_cuts.end();) {
+        auto cur = it++;
+        apply_part_locked(cur->second, gi, copy, {}, usable, delivered);
+        if (auto rec = complete_locked(cur->first, cur->second))
+          records.push_back(*rec);
+      }
+    }
+    if (!records.empty()) {
+      std::lock_guard lock(state_mutex);
+      for (auto& rec : records) stats.checkpoints.push_back(std::move(rec));
     }
   };
 
@@ -374,15 +533,27 @@ RunOutcome PipelineRunner::run_supervised() {
         std::vector<Buffer> master_log;
         std::int64_t ckpt_ordinal = 0;
         std::int64_t next_marker_id = 0;
+        // Marker progress of this copy, for restart gap repair: a failed
+        // attempt may have taken a marker off the stream (seen) without
+        // registering its part (submitted) or passing it on (forwarded);
+        // the transport never redelivers a taken marker, so the fresh
+        // attempt must close those gaps itself.
+        std::int64_t last_marker_seen = -1;
+        std::int64_t last_marker_submitted = -1;
+        std::int64_t last_marker_forwarded = -1;
         if (config_.resume) {
           if (!input) {
-            // The cut covers this many source packets: skip_emits below
-            // suppresses their re-computation and numbering continues.
-            delivered_total = config_.resume->source_delivered;
+            // The cut covers this many packets of this copy's round-robin
+            // share: skip_emits below suppresses their re-computation and
+            // numbering continues.
+            const auto& sc = config_.resume->source_copies;
+            delivered_total = static_cast<std::size_t>(copy) < sc.size()
+                                  ? sc[static_cast<std::size_t>(copy)]
+                                  : 0;
             next_marker_id = config_.resume->id + 1;
           } else {
             for (const StageSnapshot& s : config_.resume->stages) {
-              if (s.group != group_name) continue;
+              if (s.group != group_name || s.copy != copy) continue;
               snapshot.write_bytes(s.state.data(), s.state.size());
               have_snapshot = true;
               break;
@@ -480,10 +651,15 @@ RunOutcome PipelineRunner::run_supervised() {
                   });
             }
             if (run_ckpt && input) {
-              // Run-level cut: snapshot as the marker passes, register the
-              // part, and forward the marker down the FIFO chain.
+              // Run-level cut: snapshot as the merged marker reaches this
+              // copy, register the per-copy part, and forward the marker
+              // down the FIFO chain (a barrier arrival on the output
+              // stream when this stage is replicated).
               ctx.set_marker_handler([&](std::int64_t id) {
+                last_marker_seen = id;
                 const std::int64_t ordinal = ckpt_ordinal++;
+                if (marker_hook_)
+                  marker_hook_(group_name, copy, attempt, id);
                 if (checkpoint_hook_)
                   checkpoint_hook_(group_name, copy, attempt, ordinal);
                 Buffer snap;
@@ -500,8 +676,10 @@ RunOutcome PipelineRunner::run_supervised() {
                     copy_metrics.checkpoints += 1;
                   }
                 }
-                submit_cut(id, gi, std::move(state), ok, 0);
+                submit_part(id, gi, copy, std::move(state), ok, 0);
+                last_marker_submitted = id;
                 if (output) ctx.push_marker(id);
+                last_marker_forwarded = id;
               });
             } else if (run_ckpt && !input &&
                        !config_.checkpoint_path.empty()) {
@@ -509,9 +687,36 @@ RunOutcome PipelineRunner::run_supervised() {
                   static_cast<std::int64_t>(config_.checkpoint_interval),
                   next_marker_id);
               ctx.set_marker_handler([&](std::int64_t id) {
-                submit_cut(id, gi, {}, true,
-                           delivered_total + ctx.delivered());
+                last_marker_seen = id;
+                if (marker_hook_)
+                  marker_hook_(group_name, copy, attempt, id);
+                submit_part(id, gi, copy, {}, true,
+                            delivered_total + ctx.delivered());
+                last_marker_submitted = id;
+                // emit() pushes the marker right after this handler
+                // returns and that push cannot throw, so the barrier
+                // arrival is as good as done.
+                last_marker_forwarded = id;
               });
+            }
+            if (run_ckpt && last_marker_seen >= 0) {
+              // Restart gap repair: markers a failed attempt took but
+              // never registered or forwarded. The part's aligned state
+              // died with the attempt (unusable); the forward must happen
+              // before any new data so downstream cuts stay aligned —
+              // replayed pre-cut packets only regenerate emissions that
+              // skip_emits suppresses, so nothing can slip ahead of it.
+              for (std::int64_t id = last_marker_submitted + 1;
+                   id <= last_marker_seen; ++id)
+                submit_part(id, gi, copy, {}, input == nullptr,
+                            input == nullptr ? delivered_total : 0);
+              last_marker_submitted =
+                  std::max(last_marker_submitted, last_marker_seen);
+              for (std::int64_t id = last_marker_forwarded + 1;
+                   id <= last_marker_seen; ++id)
+                if (output) ctx.push_marker(id);
+              last_marker_forwarded =
+                  std::max(last_marker_forwarded, last_marker_seen);
             }
             filter->process(ctx);
             filter->finalize(ctx);
@@ -643,6 +848,23 @@ RunOutcome PipelineRunner::run_supervised() {
           copy_metrics.dropped_packets +=
               static_cast<std::int64_t>(unread.size());
           unread.clear();
+        }
+        if (run_ckpt) {
+          // Stand in for this copy's parts on cuts it will no longer
+          // reach. A source copy's deliveries all precede any marker
+          // merged after its close, so its final count is exact and
+          // usable even when the copy died mid-share. A dead consumer
+          // copy's aligned state is unrecoverable: later cuts complete
+          // but are unusable (not persisted).
+          if (!input) {
+            register_terminal(0, copy, true, delivered_total);
+          } else if (copy_dead) {
+            register_terminal(gi, copy, false, 0);
+          }
+        }
+        if (copy_dead && input) {
+          // Stop marker broadcasts from waiting on this consumer index.
+          input->retire_consumer();
         }
         // Every exit path closes the output so downstream drains to EOS
         // gracefully instead of waiting for buffers that will never come.

@@ -72,6 +72,15 @@ using CheckpointHook = std::function<void(const std::string& group, int copy,
                                           int attempt,
                                           std::int64_t checkpoint)>;
 
+/// Run-level marker fault-injection hook: invoked on a specific copy the
+/// moment a cut marker reaches it (consumers) or is injected by it
+/// (sources), with the marker's cut id. Throwing models a fault exactly at
+/// the cut boundary — the supervisor must still register the copy's part
+/// (unusable) and forward the marker so neither the cut collector nor
+/// downstream copies wedge. See support/faultinject.h (`group:throw@markN`).
+using MarkerHook = std::function<void(const std::string& group, int copy,
+                                      int attempt, std::int64_t marker_id)>;
+
 struct RunCheckpoint;  // datacutter/checkpoint.h
 
 /// Transport configuration for one runner (docs/PERFORMANCE.md): stream
@@ -95,14 +104,21 @@ struct RunnerConfig {
   /// recovery only).
   std::size_t checkpoint_interval = 0;
   /// Run-level checkpointing: when non-empty, a consistent cut of the
-  /// whole pipeline (source progress + every stage snapshot) is persisted
-  /// to this file every checkpoint_interval source packets, atomically.
-  /// Requires checkpoint_interval > 0 and a single copy per group.
+  /// whole pipeline (per-source-copy progress + a snapshot part from every
+  /// copy of every consuming stage) is persisted to this file, atomically
+  /// and durably, each time a source copy has delivered
+  /// checkpoint_interval packets of its share. Replicated stages are fully
+  /// supported: markers are barrier-merged across producer copies and
+  /// broadcast to consumer copies, so every part aligns on the same
+  /// marker. Requires checkpoint_interval > 0.
   std::string checkpoint_path;
   /// Resume an aborted run from this previously saved cut (see
-  /// load_checkpoint): the source skips the packets the cut covers and
-  /// every consuming stage starts from its recorded state. Borrowed
-  /// pointer; must outlive the run. Requires a single copy per group.
+  /// load_checkpoint): each source copy skips the packets the cut covers
+  /// for it, and every consuming copy starts from its recorded per-copy
+  /// state, so the resumed run's delivered multiset matches an
+  /// uninterrupted one exactly. The pipeline's stage names and replica
+  /// counts must match the checkpoint's (validated with a side-by-side
+  /// diff on mismatch). Borrowed pointer; must outlive the run.
   const RunCheckpoint* resume = nullptr;
 };
 
@@ -171,6 +187,8 @@ class PipelineRunner {
   void set_checkpoint_hook(CheckpointHook hook) {
     checkpoint_hook_ = std::move(hook);
   }
+  /// Installs a run-level marker fault-injection hook (see MarkerHook).
+  void set_marker_hook(MarkerHook hook) { marker_hook_ = std::move(hook); }
 
   /// Runs the pipeline to completion on real threads; throws the first
   /// fatal error (fail-fast fault, all copies of a stage dead, watchdog),
@@ -188,6 +206,7 @@ class PipelineRunner {
   FaultPolicy policy_;
   PacketHook hook_;
   CheckpointHook checkpoint_hook_;
+  MarkerHook marker_hook_;
 };
 
 }  // namespace cgp::dc

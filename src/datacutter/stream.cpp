@@ -16,6 +16,70 @@ std::int64_t ns_since(Clock::time_point start) {
 
 }  // namespace
 
+void Stream::set_consumers(int n) {
+  std::unique_lock lock(mutex_);
+  consumers_ = n < 1 ? 1 : n;
+  retired_consumers_ = 0;
+  seen_.assign(static_cast<std::size_t>(consumers_), -1);
+}
+
+void Stream::retire_consumer() {
+  std::unique_lock lock(mutex_);
+  ++retired_consumers_;
+  // Markers every surviving consumer has already taken will never be taken
+  // again; release them so they stop occupying the queue.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->is_marker && it->takes + retired_consumers_ >= consumers_)
+      it = queue_.erase(it);
+    else
+      ++it;
+  }
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+std::size_t Stream::find_eligible(int consumer) const {
+  const auto c = static_cast<std::size_t>(consumer);
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Entry& e = queue_[i];
+    if (e.is_marker && c < seen_.size() && e.marker_id <= seen_[c]) continue;
+    return i;
+  }
+  return kNone;
+}
+
+void Stream::enqueue_marker_locked(std::int64_t id) {
+  marker_arrivals_.erase(id);
+  // Nobody left to take it: completing the barrier is all that matters.
+  if (retired_consumers_ < consumers_) {
+    Entry entry;
+    entry.is_marker = true;
+    entry.marker_id = id;
+    entry.buffer.set_tag(kCheckpointMarkerTag);
+    entry.buffer.write<std::int64_t>(id);
+    // Markers bypass the capacity bound: a cut must never deadlock against
+    // backpressure, and the overshoot is bounded by the pending-marker count.
+    queue_.push_back(std::move(entry));
+    note_occupancy_locked();
+  }
+  can_pop_.notify_all();
+  barrier_cv_.notify_all();
+}
+
+void Stream::merge_ready_markers_locked() {
+  // Ascending id order (map iteration order) so consumers observe markers
+  // monotonically even when one close() completes several barriers at once.
+  std::vector<std::int64_t> ready;
+  for (const auto& [id, arrived] : marker_arrivals_)
+    if (arrived + closed_producers_ >= producers_) ready.push_back(id);
+  for (const std::int64_t id : ready) enqueue_marker_locked(id);
+}
+
+void Stream::note_occupancy_locked() {
+  if (queue_.size() > occupancy_high_water_.load(std::memory_order_relaxed))
+    occupancy_high_water_.store(queue_.size(), std::memory_order_relaxed);
+}
+
 bool Stream::push(Buffer&& buffer) {
   std::unique_lock lock(mutex_);
   if (queue_.size() >= capacity_ && !aborted_) {
@@ -32,9 +96,10 @@ bool Stream::push(Buffer&& buffer) {
   bytes_pushed_.fetch_add(static_cast<std::int64_t>(buffer.size()),
                           std::memory_order_relaxed);
   batches_pushed_.fetch_add(1, std::memory_order_relaxed);
-  queue_.push_back(std::move(buffer));
-  if (queue_.size() > occupancy_high_water_.load(std::memory_order_relaxed))
-    occupancy_high_water_.store(queue_.size(), std::memory_order_relaxed);
+  Entry entry;
+  entry.buffer = std::move(buffer);
+  queue_.push_back(std::move(entry));
+  note_occupancy_locked();
   can_pop_.notify_one();
   return true;
 }
@@ -62,7 +127,9 @@ std::size_t Stream::push_batch(std::vector<Buffer>& batch) {
   std::int64_t bytes = 0;
   for (Buffer& buffer : batch) {
     bytes += static_cast<std::int64_t>(buffer.size());
-    queue_.push_back(std::move(buffer));
+    Entry entry;
+    entry.buffer = std::move(buffer);
+    queue_.push_back(std::move(entry));
   }
   const std::size_t accepted = batch.size();
   batch.clear();
@@ -70,37 +137,70 @@ std::size_t Stream::push_batch(std::vector<Buffer>& batch) {
                             std::memory_order_relaxed);
   bytes_pushed_.fetch_add(bytes, std::memory_order_relaxed);
   batches_pushed_.fetch_add(1, std::memory_order_relaxed);
-  if (queue_.size() > occupancy_high_water_.load(std::memory_order_relaxed))
-    occupancy_high_water_.store(queue_.size(), std::memory_order_relaxed);
+  note_occupancy_locked();
   // One wakeup for the whole batch; notify_all because several starved
   // consumers may be able to make progress on it.
   can_pop_.notify_all();
   return accepted;
 }
 
-std::optional<Buffer> Stream::pop() {
+bool Stream::push_marker(std::int64_t id) {
+  std::unique_lock lock(mutex_);
+  if (aborted_) return false;
+  const int arrived = ++marker_arrivals_[id];
+  if (arrived + closed_producers_ >= producers_) {
+    enqueue_marker_locked(id);
+    return true;
+  }
+  // Barrier: park until the last producer arrives (or closes). Post-cut
+  // data from this producer therefore cannot precede the merged marker.
+  const Clock::time_point start = Clock::now();
+  barrier_cv_.wait(
+      lock, [&] { return marker_arrivals_.count(id) == 0 || aborted_; });
+  producer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
+  return !aborted_;
+}
+
+std::optional<Buffer> Stream::pop(int consumer) {
   std::unique_lock lock(mutex_);
   const auto ready = [&] {
-    return !queue_.empty() || closed_producers_ >= producers_ || aborted_;
+    return find_eligible(consumer) != kNone ||
+           closed_producers_ >= producers_ || aborted_;
   };
   if (!ready()) {
     const Clock::time_point start = Clock::now();
     can_pop_.wait(lock, ready);
     consumer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
   }
-  if (queue_.empty()) return std::nullopt;
-  Buffer buffer = std::move(queue_.front());
-  queue_.pop_front();
+  const std::size_t i = find_eligible(consumer);
+  if (i == kNone) return std::nullopt;
+  Entry& entry = queue_[i];
+  if (entry.is_marker) {
+    if (static_cast<std::size_t>(consumer) < seen_.size())
+      seen_[static_cast<std::size_t>(consumer)] = entry.marker_id;
+    Buffer buffer;
+    if (++entry.takes + retired_consumers_ >= consumers_) {
+      buffer = std::move(entry.buffer);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      can_push_.notify_one();
+    } else {
+      buffer = entry.buffer;  // broadcast: later consumers still take it
+    }
+    return buffer;
+  }
+  Buffer buffer = std::move(entry.buffer);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
   can_push_.notify_one();
   return buffer;
 }
 
 std::size_t Stream::pop_batch(std::vector<Buffer>& out,
-                              std::size_t max_buffers) {
+                              std::size_t max_buffers, int consumer) {
   if (max_buffers == 0) return 0;
   std::unique_lock lock(mutex_);
   const auto ready = [&] {
-    return !queue_.empty() || closed_producers_ >= producers_ || aborted_;
+    return find_eligible(consumer) != kNone ||
+           closed_producers_ >= producers_ || aborted_;
   };
   if (!ready()) {
     const Clock::time_point start = Clock::now();
@@ -108,9 +208,29 @@ std::size_t Stream::pop_batch(std::vector<Buffer>& out,
     consumer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
   }
   std::size_t moved = 0;
-  while (moved < max_buffers && !queue_.empty()) {
-    out.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+  while (moved < max_buffers) {
+    const std::size_t i = find_eligible(consumer);
+    if (i == kNone) break;
+    Entry& entry = queue_[i];
+    if (entry.is_marker) {
+      // A marker is never mixed into a data batch: data already gathered
+      // ends the batch here; otherwise deliver the marker alone.
+      if (moved == 0) {
+        if (static_cast<std::size_t>(consumer) < seen_.size())
+          seen_[static_cast<std::size_t>(consumer)] = entry.marker_id;
+        if (++entry.takes + retired_consumers_ >= consumers_) {
+          out.push_back(std::move(entry.buffer));
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+          can_push_.notify_one();
+        } else {
+          out.push_back(entry.buffer);
+        }
+        ++moved;
+      }
+      break;
+    }
+    out.push_back(std::move(entry.buffer));
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
     ++moved;
   }
   if (moved > 1) {
@@ -124,6 +244,10 @@ std::size_t Stream::pop_batch(std::vector<Buffer>& out,
 void Stream::close() {
   std::unique_lock lock(mutex_);
   ++closed_producers_;
+  // A closed producer counts as arrived at every pending and future
+  // barrier: an early-finishing (or dead, supervisor-closed) copy must
+  // never wedge a cut its peers are still waiting on.
+  merge_ready_markers_locked();
   if (closed_producers_ >= producers_) can_pop_.notify_all();
 }
 
@@ -132,20 +256,40 @@ void Stream::abort() {
   aborted_ = true;
   // Queued buffers will never reach a consumer: count them as dropped and
   // release their storage, keeping pushed == popped + dropped exact.
-  if (!queue_.empty()) {
-    dropped_buffers_.fetch_add(static_cast<std::int64_t>(queue_.size()),
-                               std::memory_order_relaxed);
-    queue_.clear();
-  }
+  // Markers are control traffic — discarded without counting.
+  std::int64_t data = 0;
+  for (const Entry& entry : queue_)
+    if (!entry.is_marker) ++data;
+  if (data > 0) dropped_buffers_.fetch_add(data, std::memory_order_relaxed);
+  queue_.clear();
+  marker_arrivals_.clear();
   can_push_.notify_all();
   can_pop_.notify_all();
+  barrier_cv_.notify_all();
 }
 
 std::int64_t Stream::drain() {
   std::int64_t discarded = 0;
-  while (pop().has_value()) {
-    dropped_buffers_.fetch_add(1, std::memory_order_relaxed);
-    ++discarded;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const auto ready = [&] {
+      return !queue_.empty() || closed_producers_ >= producers_ || aborted_;
+    };
+    if (!ready()) {
+      const Clock::time_point start = Clock::now();
+      can_pop_.wait(lock, ready);
+      consumer_block_ns_.fetch_add(ns_since(start),
+                                   std::memory_order_relaxed);
+    }
+    if (queue_.empty()) break;
+    while (!queue_.empty()) {
+      if (!queue_.front().is_marker) {
+        dropped_buffers_.fetch_add(1, std::memory_order_relaxed);
+        ++discarded;
+      }
+      queue_.pop_front();
+    }
+    can_push_.notify_all();
   }
   return discarded;
 }

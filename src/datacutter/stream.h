@@ -4,12 +4,24 @@
 // MPMC queue of buffers with producer-count close semantics. Instrumented:
 // occupancy high-water mark and cumulative producer/consumer blocked time
 // feed the observability layer (support/metrics.h).
+//
+// Checkpoint markers (docs/ROBUSTNESS.md): the queue is marker-aware so
+// run-level consistent cuts survive transparent copies on both sides.
+// push_marker() is a producer-side barrier — one merged marker entry is
+// enqueued only when every live producer has arrived with the same id, so
+// no producer's post-cut data can precede the marker. On the consumer side
+// a marker is broadcast: every live consumer copy takes it exactly once
+// (per-consumer seen cursors), data stays competitive, and per-consumer
+// FIFO order is preserved. Markers bypass the capacity bound (bounded
+// overshoot) and are control traffic — they never appear in the
+// buffer/byte/batch telemetry.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -21,11 +33,22 @@ namespace cgp::dc {
 
 class Stream {
  public:
-  explicit Stream(std::size_t capacity = 16) : capacity_(capacity) {}
+  explicit Stream(std::size_t capacity = 16) : capacity_(capacity) {
+    seen_.assign(1, -1);
+  }
 
   /// Declares the number of producer instances; the stream closes when all
   /// of them have called close().
   void set_producers(int n) { producers_ = n; }
+  /// Declares the number of consumer instances (transparent copies of the
+  /// downstream group). Data buffers stay competitive across them; marker
+  /// entries are broadcast — each consumer index takes every marker exactly
+  /// once. Call before any pop; resets the per-consumer marker cursors.
+  void set_consumers(int n);
+  /// One consumer instance is permanently gone (its copy died): markers no
+  /// longer wait for it. Queued markers every surviving consumer has
+  /// already taken are released immediately.
+  void retire_consumer();
 
   /// Enqueues a buffer (blocking on backpressure). Returns false when the
   /// buffer was dropped instead — the stream was aborted — so producers
@@ -41,26 +64,44 @@ class Stream {
   /// counted as dropped — a torn-down pipeline delivers nothing partial).
   /// The batch vector is left empty either way.
   std::size_t push_batch(std::vector<Buffer>& batch);
+  /// Producer-side cut barrier: registers this producer's arrival at
+  /// marker `id` and blocks until every live producer has arrived (a
+  /// producer that close()d counts toward every barrier). The last arrival
+  /// enqueues ONE merged marker entry — behind all pre-cut data, ahead of
+  /// all post-cut data, since every producer is parked here until the
+  /// merge. Returns false when the stream was aborted instead.
+  bool push_marker(std::int64_t id);
   /// Blocks until a buffer is available or the stream is closed and
-  /// drained; nullopt signals end-of-stream.
-  std::optional<Buffer> pop();
+  /// drained; nullopt signals end-of-stream. `consumer` is this caller's
+  /// consumer index (the downstream copy index): data is served
+  /// competitively, markers once per consumer, and end-of-stream is only
+  /// reported once this consumer has taken every queued marker.
+  std::optional<Buffer> pop(int consumer = 0);
   /// Consumer-side batch pop: blocks like pop(), then moves up to
   /// `max_buffers` queued buffers into `out` (appending) under one lock
-  /// acquisition. Returns the number moved; 0 signals end-of-stream.
-  std::size_t pop_batch(std::vector<Buffer>& out, std::size_t max_buffers);
+  /// acquisition. Returns the number moved; 0 signals end-of-stream. A
+  /// marker is never mixed into a data batch: it either ends the batch
+  /// early or, when it is the first eligible entry, is delivered alone.
+  std::size_t pop_batch(std::vector<Buffer>& out, std::size_t max_buffers,
+                        int consumer = 0);
   /// One producer instance is done; the last close wakes all consumers.
+  /// Also re-checks pending marker barriers: a closed producer counts as
+  /// arrived at every marker, so an early-finishing copy never wedges a
+  /// cut.
   void close();
   /// Emergency teardown (a filter failed): unblocks every producer and
   /// consumer; subsequent pushes are dropped, pops return end-of-stream.
   /// Buffers still queued are discarded and counted as dropped — they
   /// never reached a consumer — so `pushed == popped + dropped` holds
-  /// exactly at all times. Blocked threads still account their wait.
+  /// exactly at all times (markers are control traffic and never counted).
+  /// Blocked threads still account their wait.
   void abort();
   /// Consumes and discards everything until end-of-stream, counting each
-  /// discarded buffer as dropped. Used when the last copy of a stage dies:
-  /// draining keeps upstream producers from blocking forever on
-  /// backpressure while recording that their output went nowhere. Returns
-  /// the number of buffers discarded.
+  /// discarded data buffer as dropped (markers are discarded silently).
+  /// Used when the last copy of a stage dies: draining keeps upstream
+  /// producers from blocking forever on backpressure while recording that
+  /// their output went nowhere. Bypasses the per-consumer marker cursors.
+  /// Returns the number of buffers discarded.
   std::int64_t drain();
 
   std::int64_t buffers_pushed() const {
@@ -98,14 +139,44 @@ class Stream {
   support::LinkMetrics metrics() const;
 
  private:
+  /// One queue slot: a data buffer, or a merged checkpoint marker that is
+  /// broadcast (`takes` counts the consumers that already took it).
+  struct Entry {
+    Buffer buffer;
+    bool is_marker = false;
+    std::int64_t marker_id = -1;
+    int takes = 0;
+  };
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// First entry this consumer may take: data is always eligible, a marker
+  /// only when this consumer has not taken it yet (requires mutex_).
+  std::size_t find_eligible(int consumer) const;
+  /// Enqueues the merged marker entry for `id` and releases the barrier
+  /// (requires mutex_). Skipped entirely when no live consumer remains.
+  void enqueue_marker_locked(std::int64_t id);
+  /// Merges every pending barrier the current closed-producer count
+  /// completes, in ascending id order (requires mutex_).
+  void merge_ready_markers_locked();
+  void note_occupancy_locked();
+
   std::mutex mutex_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
-  std::deque<Buffer> queue_;
+  std::condition_variable barrier_cv_;
+  std::deque<Entry> queue_;
   std::size_t capacity_;
   int producers_ = 1;
   int closed_producers_ = 0;
+  int consumers_ = 1;
+  int retired_consumers_ = 0;
   bool aborted_ = false;
+  /// Marker id of the last marker each consumer index has taken (-1 before
+  /// any); monotone because merged markers enter in increasing id order.
+  std::vector<std::int64_t> seen_;
+  /// Pending producer barriers: marker id -> producers arrived so far.
+  std::map<std::int64_t, int> marker_arrivals_;
   std::atomic<std::int64_t> buffers_pushed_{0};
   std::atomic<std::int64_t> bytes_pushed_{0};
   std::atomic<std::int64_t> batches_pushed_{0};

@@ -35,12 +35,14 @@
 //                        stateful stages; also feeds the cost model's
 //                        checkpoint-overhead term (0 = disabled)
 //   --checkpoint=FILE    persist run-level consistent cuts to FILE while
-//                        running (requires --checkpoint-interval; stage
-//                        copies must be 1)
+//                        running (requires --checkpoint-interval);
+//                        replicated stages contribute one snapshot part
+//                        per transparent copy, all aligned on one marker
 //   --resume=FILE        restart an aborted run from the last consistent
-//                        cut in FILE (see docs/ROBUSTNESS.md); rejects any
-//                        replicated configuration up front (run-level
-//                        checkpoints require one copy per stage)
+//                        cut in FILE (see docs/ROBUSTNESS.md); the
+//                        pipeline's stages and replica counts must match
+//                        the checkpoint's (a side-by-side diff is printed
+//                        on mismatch)
 //   --max-replicas=N     let the decomposition replicate classifier-
 //                        approved parallel stages up to N transparent
 //                        copies each (default 1 = unreplicated; the
@@ -52,6 +54,7 @@
 //                        the stage classifier)
 //   --default            use the Default placement instead of Decomp
 //   --no-fission         disable loop fission
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -78,6 +81,22 @@ void usage() {
                "[--batch-size=N] [--checkpoint-interval=N] "
                "[--checkpoint=FILE] [--resume=FILE] [--max-replicas=N] "
                "[--copies=N] [--default] [--no-fission]\n");
+}
+
+/// Strict integer flag parsing: the whole argument must be a base-10
+/// integer >= min_value, otherwise exit with a clear diagnostic — atoi's
+/// silent 0 turned "--copies=two" into a valid configuration.
+std::int64_t parse_count(const char* text, const char* flag,
+                         std::int64_t min_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min_value) {
+    std::fprintf(stderr, "cgpc: %s expects an integer >= %lld, got '%s'\n",
+                 flag, static_cast<long long>(min_value), text);
+    std::exit(2);
+  }
+  return value;
 }
 
 bool parse_kv(const char* arg, std::string& name, std::int64_t& value) {
@@ -138,11 +157,11 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--width") == 0) {
-      width = std::atoi(next());
+      width = static_cast<int>(parse_count(next(), "--width", 1));
     } else if (std::strcmp(arg, "--stages") == 0) {
-      stages = std::atoi(next());
+      stages = static_cast<int>(parse_count(next(), "--stages", 1));
     } else if (std::strcmp(arg, "--packets") == 0) {
-      options.n_packets = std::atoll(next());
+      options.n_packets = parse_count(next(), "--packets", 1);
     } else if (std::strcmp(arg, "--define") == 0) {
       std::string name;
       std::int64_t value;
@@ -188,23 +207,23 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--stage-timeout") == 0) {
       fault_policy.stage_timeout_seconds = std::strtod(next(), nullptr);
     } else if (std::strncmp(arg, "--stream-capacity=", 18) == 0) {
-      transport.stream_capacity =
-          static_cast<std::size_t>(std::strtoull(arg + 18, nullptr, 10));
+      transport.stream_capacity = static_cast<std::size_t>(
+          parse_count(arg + 18, "--stream-capacity", 1));
     } else if (std::strcmp(arg, "--stream-capacity") == 0) {
-      transport.stream_capacity =
-          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      transport.stream_capacity = static_cast<std::size_t>(
+          parse_count(next(), "--stream-capacity", 1));
     } else if (std::strncmp(arg, "--batch-size=", 13) == 0) {
       transport.batch_size =
-          static_cast<std::size_t>(std::strtoull(arg + 13, nullptr, 10));
+          static_cast<std::size_t>(parse_count(arg + 13, "--batch-size", 1));
     } else if (std::strcmp(arg, "--batch-size") == 0) {
       transport.batch_size =
-          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+          static_cast<std::size_t>(parse_count(next(), "--batch-size", 1));
     } else if (std::strncmp(arg, "--checkpoint-interval=", 22) == 0) {
-      transport.checkpoint_interval =
-          static_cast<std::size_t>(std::strtoull(arg + 22, nullptr, 10));
+      transport.checkpoint_interval = static_cast<std::size_t>(
+          parse_count(arg + 22, "--checkpoint-interval", 0));
     } else if (std::strcmp(arg, "--checkpoint-interval") == 0) {
-      transport.checkpoint_interval =
-          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      transport.checkpoint_interval = static_cast<std::size_t>(
+          parse_count(next(), "--checkpoint-interval", 0));
     } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
       transport.checkpoint_path = arg + 13;
     } else if (std::strcmp(arg, "--checkpoint") == 0) {
@@ -214,13 +233,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--resume") == 0) {
       resume_path = next();
     } else if (std::strncmp(arg, "--max-replicas=", 15) == 0) {
-      max_replicas = std::atoi(arg + 15);
+      max_replicas =
+          static_cast<int>(parse_count(arg + 15, "--max-replicas", 1));
     } else if (std::strcmp(arg, "--max-replicas") == 0) {
-      max_replicas = std::atoi(next());
+      max_replicas =
+          static_cast<int>(parse_count(next(), "--max-replicas", 1));
     } else if (std::strncmp(arg, "--copies=", 9) == 0) {
-      copies_override = std::atoi(arg + 9);
+      copies_override = static_cast<int>(parse_count(arg + 9, "--copies", 1));
     } else if (std::strcmp(arg, "--copies") == 0) {
-      copies_override = std::atoi(next());
+      copies_override = static_cast<int>(parse_count(next(), "--copies", 1));
     } else if (std::strcmp(arg, "--default") == 0) {
       use_default = true;
     } else if (std::strcmp(arg, "--no-fission") == 0) {
@@ -341,14 +362,6 @@ int main(int argc, char** argv) {
       placement.replicas.back() = 1;  // the result stage merges replicas
     }
   }
-  if (transport.resume &&
-      (placement.replicated() || copies_override > 1 || width > 1)) {
-    std::fprintf(stderr,
-                 "cgpc: --resume requires one copy per stage (run-level "
-                 "consistent cuts are recorded per copy); rerun with "
-                 "--max-replicas=1 and without --copies/--width\n");
-    return 2;
-  }
   if (analysis || options.max_replicas > 1) {
     std::printf("stage classification:\n%s",
                 result.classification.to_string().c_str());
@@ -387,6 +400,8 @@ int main(int argc, char** argv) {
       if (!fault_plan.empty()) {
         compiler.set_checkpoint_hook(
             support::make_checkpoint_fault_hook(fault_plan));
+        compiler.set_marker_hook(
+            support::make_marker_fault_hook(fault_plan));
         compiler.set_packet_hook(
             support::make_fault_hook(std::move(fault_plan)));
       }
@@ -454,14 +469,23 @@ int main(int argc, char** argv) {
                       f.what.c_str());
         }
       }
-      if (!outcome.checkpoints.empty()) {
-        const support::CheckpointRecord& last = outcome.checkpoints.back();
+      // Since trace v5 the checkpoint surface interleaves per-copy part
+      // records with the "run" cut summaries; report on the summaries.
+      std::size_t n_cuts = 0;
+      const support::CheckpointRecord* last_cut = nullptr;
+      for (const support::CheckpointRecord& c : outcome.checkpoints) {
+        if (c.group != "run") continue;
+        ++n_cuts;
+        last_cut = &c;
+      }
+      if (last_cut != nullptr) {
         std::printf(
             "checkpoints: %zu consistent cut(s), last covers %lld source "
-            "packet(s) (%lld bytes, quiesce %.4f s)%s%s\n",
-            outcome.checkpoints.size(),
-            static_cast<long long>(last.packet_index),
-            static_cast<long long>(last.snapshot_bytes), last.quiesce_seconds,
+            "packet(s) across %lld part(s) (%lld bytes, quiesce %.4f s)%s%s\n",
+            n_cuts, static_cast<long long>(last_cut->packet_index),
+            static_cast<long long>(last_cut->parts),
+            static_cast<long long>(last_cut->snapshot_bytes),
+            last_cut->quiesce_seconds,
             transport.checkpoint_path.empty() ? "" : ", written to ",
             transport.checkpoint_path.c_str());
       }

@@ -129,6 +129,12 @@ FaultSpec parse_spec(std::string_view token) {
     // instead of its packets ("stage1:throw@ckpt" = first snapshot).
     spec.at_checkpoint = true;
     trigger = trigger.substr(4);
+  } else if (trigger.substr(0, 4) == "mark") {
+    // Cut-marker trigger: the ordinal indexes the run-level cut id the
+    // marker carries ("stage2:throw@mark1" = the copy faults the instant
+    // cut 1's marker reaches it).
+    spec.at_marker = true;
+    trigger = trigger.substr(4);
   }
   if (!trigger.empty() && trigger.back() == '!') {
     spec.refire = true;
@@ -142,7 +148,7 @@ FaultSpec parse_spec(std::string_view token) {
       fail_parse(token, "repeat stride must be positive");
     trigger = trigger.substr(0, plus);
   }
-  if (trigger.empty() && spec.at_checkpoint)
+  if (trigger.empty() && (spec.at_checkpoint || spec.at_marker))
     spec.nth_packet = 0;
   else
     spec.nth_packet =
@@ -182,6 +188,7 @@ const FaultSpec* FaultPlan::match(std::string_view group, int copy,
   if (packet < 0) return nullptr;
   for (const FaultSpec& spec : specs) {
     if (spec.at_checkpoint) continue;  // fires via match_checkpoint only
+    if (spec.at_marker) continue;      // fires via match_marker only
     if (spec.group != group) continue;
     if (spec.copy >= 0 && spec.copy != copy) continue;
     if (spec.nth_packet >= 0) {
@@ -207,6 +214,19 @@ const FaultSpec* FaultPlan::match_checkpoint(std::string_view group, int copy,
     if (spec.group != group) continue;
     if (spec.copy >= 0 && spec.copy != copy) continue;
     if (deterministic_fires(spec, attempt, checkpoint)) return &spec;
+  }
+  return nullptr;
+}
+
+const FaultSpec* FaultPlan::match_marker(std::string_view group, int copy,
+                                         int attempt,
+                                         std::int64_t marker_id) const {
+  if (marker_id < 0) return nullptr;
+  for (const FaultSpec& spec : specs) {
+    if (!spec.at_marker) continue;
+    if (spec.group != group) continue;
+    if (spec.copy >= 0 && spec.copy != copy) continue;
+    if (deterministic_fires(spec, attempt, marker_id)) return &spec;
   }
   return nullptr;
 }

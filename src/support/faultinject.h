@@ -57,6 +57,10 @@ struct FaultSpec {
   /// CheckpointHook) instead of per-packet; nth_packet then indexes the
   /// copy's checkpoint ordinal. Such specs never match packets.
   bool at_checkpoint = false;
+  /// @mark trigger: the spec fires the moment a run-level cut marker
+  /// reaches the copy (via the runner's MarkerHook); nth_packet then
+  /// indexes the marker/cut id. Such specs never match packets.
+  bool at_marker = false;
   std::string message;  // what() text; parse fills it with the spec token
 };
 
@@ -76,6 +80,11 @@ struct FaultPlan {
   const FaultSpec* match_checkpoint(std::string_view group, int copy,
                                     int attempt,
                                     std::int64_t checkpoint) const;
+  /// First @mark spec that fires for this (group, copy, attempt, marker
+  /// id), or nullptr — deterministic-trigger semantics indexed by the
+  /// run-level cut id the marker carries.
+  const FaultSpec* match_marker(std::string_view group, int copy, int attempt,
+                                std::int64_t marker_id) const;
 };
 
 /// Parses a --fault-inject plan: comma-separated specs of the form
@@ -84,9 +93,11 @@ struct FaultPlan {
 ///   N[+M][!]      — packet N (then every M), '!' = refire on restarts
 ///   ~P            — probability P per packet
 ///   ckpt[N][+M][!] — mid-snapshot at checkpoint N (default 0)
+///   mark[N][+M][!] — at run-level cut marker N (default 0)
 /// e.g. "stage1:throw@5", "stage1:throw@0!", "decomp#1:sleep@3=0.2",
-/// "link:drop@~0.05", "stage2:corrupt@2+4", "stage1:throw@ckpt1". Throws
-/// std::invalid_argument on malformed input.
+/// "link:drop@~0.05", "stage2:corrupt@2+4", "stage1:throw@ckpt1",
+/// "stage2#1:throw@mark2". Throws std::invalid_argument on malformed
+/// input.
 FaultPlan parse_fault_plan(std::string_view text, std::uint64_t seed = 0);
 
 /// Human-readable one-line summary of the plan (spec tokens + seed).
@@ -145,6 +156,20 @@ inline dc::CheckpointHook make_checkpoint_fault_hook(FaultPlan plan) {
                                   int attempt, std::int64_t checkpoint) {
     if (const FaultSpec* spec =
             plan.match_checkpoint(group, copy, attempt, checkpoint))
+      fire_fault(*spec, nullptr);
+  };
+}
+
+/// Binds a plan into the runner-level marker hook
+/// (PipelineRunner::set_marker_hook): @mark specs fire the instant a cut
+/// marker reaches the copy, before its part is snapshotted — the
+/// supervisor's gap repair must still register the part and forward the
+/// marker so neither the cut collector nor downstream copies wedge.
+inline dc::MarkerHook make_marker_fault_hook(FaultPlan plan) {
+  return [plan = std::move(plan)](const std::string& group, int copy,
+                                  int attempt, std::int64_t marker_id) {
+    if (const FaultSpec* spec =
+            plan.match_marker(group, copy, attempt, marker_id))
       fire_fault(*spec, nullptr);
   };
 }

@@ -215,12 +215,13 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     jc.set("copy", Json(c.copy));
     jc.set("packet_index", Json(c.packet_index));
     jc.set("snapshot_bytes", Json(c.snapshot_bytes));
+    jc.set("parts", Json(c.parts));
     jc.set("quiesce_seconds", Json(c.quiesce_seconds));
     jc.set("at_seconds", Json(c.at_seconds));
     checkpoints.push_back(std::move(jc));
   }
   Json root{Json::Object{}};
-  root.set("schema", Json("cgpipe-trace-v4"));
+  root.set("schema", Json("cgpipe-trace-v5"));
   root.set("wall_seconds", Json(trace.wall_seconds));
   root.set("packets", Json(trace.packets));
   root.set("completed", Json(trace.completed));
@@ -261,7 +262,8 @@ PipelineTrace trace_from_json(const std::string& text) {
     throw std::runtime_error("trace: unknown schema");
   const std::string& schema = root.at("schema").as_string();
   if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2" &&
-      schema != "cgpipe-trace-v3" && schema != "cgpipe-trace-v4")
+      schema != "cgpipe-trace-v3" && schema != "cgpipe-trace-v4" &&
+      schema != "cgpipe-trace-v5")
     throw std::runtime_error("trace: unknown schema");
   PipelineTrace trace;
   trace.wall_seconds = root.at("wall_seconds").as_number();
@@ -346,6 +348,8 @@ PipelineTrace trace_from_json(const std::string& text) {
       c.copy = static_cast<int>(jc.at("copy").as_int());
       c.packet_index = jc.at("packet_index").as_int();
       c.snapshot_bytes = jc.at("snapshot_bytes").as_int();
+      // v5 per-copy part count; absent in v3/v4 documents.
+      if (jc.contains("parts")) c.parts = jc.at("parts").as_int();
       c.quiesce_seconds = jc.at("quiesce_seconds").as_number();
       c.at_seconds = jc.at("at_seconds").as_number();
       trace.checkpoints.push_back(std::move(c));

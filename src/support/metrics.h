@@ -132,15 +132,19 @@ struct FaultRecord {
   double at_seconds = 0.0;  // offset from run start
 };
 
-/// One committed checkpoint (trace v3): a run-level consistent cut (group
-/// "run", copy -1) with the total snapshot payload and the quiesce time —
-/// how long the cut marker took to travel the whole pipeline.
+/// One checkpoint event (trace v3, extended in v5). Two shapes share the
+/// record: a run-level consistent cut summary (group "run", copy -1,
+/// `parts` = per-copy parts it aggregated, `packet_index` = source packets
+/// covered), and — new in v5 — one per-copy part record per consuming
+/// copy that contributed a snapshot to a cut (group = stage name,
+/// copy >= 0, `snapshot_bytes` = that copy's state size, packet_index -1).
 struct CheckpointRecord {
   std::int64_t id = 0;
   std::string group;
   int copy = -1;
   std::int64_t packet_index = 0;     // source packets the cut covers
   std::int64_t snapshot_bytes = 0;   // serialized state across stages
+  std::int64_t parts = 0;            // per-copy parts in a "run" summary
   double quiesce_seconds = 0.0;      // marker injection -> cut complete
   double at_seconds = 0.0;           // offset from run start
 };
@@ -165,7 +169,8 @@ struct PipelineTrace {
   std::vector<FaultRecord> faults;
   std::string fault_policy;  // "fail-fast" | "restart-copy" | "drop-packet"
   /// Checkpoint surface (trace v3): run-level consistent cuts completed
-  /// during the run.
+  /// during the run, interleaved (since v5) with the per-copy part
+  /// records each cut aggregated.
   std::vector<CheckpointRecord> checkpoints;
   bool completed = true;
   std::string error;  // first fatal condition; empty on success
@@ -175,13 +180,14 @@ struct PipelineTrace {
   int bottleneck_filter() const;
 };
 
-/// Serializes to the cgpipe-trace-v4 schema documented in
+/// Serializes to the cgpipe-trace-v5 schema documented in
 /// docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 
 /// Reloads a serialized trace; accepts cgpipe-trace-v1 (fault fields
 /// default to their zero values), v2 (checkpoint fields default to their
-/// zero values), v3 (stage_replicas defaults to empty), and v4. Throws
+/// zero values), v3 (stage_replicas defaults to empty), v4 (per-copy
+/// checkpoint part records absent, `parts` defaults to 0), and v5. Throws
 /// std::runtime_error on malformed or schema-incompatible input.
 PipelineTrace trace_from_json(const std::string& text);
 

@@ -1,0 +1,344 @@
+// Chaos soak for replica-aware exactly-once recovery (docs/ROBUSTNESS.md):
+// seeded random kill/resume/fault storms over replicated, checkpointed
+// pipelines, compared against the fault-free oracle. Each scenario draws
+// its shape (replica counts, batch size, checkpoint interval, storm
+// schedule) from a deterministic RNG so every failure is replayable from
+// its seed, and the whole suite is re-seedable via the CHAOS_SOAK_SEED
+// environment variable (the CI chaos-soak job runs three distinct seeds
+// under TSan, repeated until-fail).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datacutter/buffer.h"
+#include "datacutter/checkpoint.h"
+#include "datacutter/runner.h"
+#include "support/faultinject.h"
+#include "support/rng.h"
+
+namespace cgp::dc {
+namespace {
+
+std::uint64_t soak_seed() {
+  if (const char* env = std::getenv("CHAOS_SOAK_SEED"))
+    return std::strtoull(env, nullptr, 10);
+  return 20260808ull;
+}
+
+// --- The soak pipeline: integer packets whose delivered multiset is an
+// --- exact, order-independent fingerprint of the run.
+
+class SoakSource : public Filter {
+ public:
+  explicit SoakSource(int n) : n_(n) {}
+  void process(FilterContext& ctx) override {
+    for (int i = 0; i < n_; ++i) {
+      if (i % ctx.copy_count() != ctx.copy_index()) continue;
+      Buffer b;
+      b.write<std::int64_t>(i);
+      ctx.emit(std::move(b));
+    }
+  }
+
+ private:
+  int n_;
+};
+
+// Stateful middle stage: forwards v+1 and carries a per-copy running sum
+// that only snapshot/restore keeps exact across restarts.
+class SoakAdder : public Filter {
+ public:
+  void process(FilterContext& ctx) override {
+    while (auto b = ctx.read()) {
+      const std::int64_t v = b->read<std::int64_t>();
+      carried_ += v;
+      Buffer out;
+      out.write<std::int64_t>(v + 1);
+      ctx.emit(std::move(out));
+    }
+  }
+  bool snapshot_state(Buffer& out) override {
+    out.write<std::int64_t>(carried_);
+    return true;
+  }
+  void restore_state(Buffer& in) override {
+    carried_ = in.read<std::int64_t>();
+  }
+
+ private:
+  std::int64_t carried_ = 0;
+};
+
+struct SoakState {
+  std::mutex mutex;
+  std::multiset<std::int64_t> values;
+};
+
+// Stateful sink: the delivered multiset lives inside the filter (published
+// to the shared state only at finalize) so exactness depends entirely on
+// snapshot/restore + replay dedup doing their jobs.
+class SoakSink : public Filter {
+ public:
+  explicit SoakSink(std::shared_ptr<SoakState> state)
+      : state_(std::move(state)) {}
+  void process(FilterContext& ctx) override {
+    while (auto b = ctx.read()) local_.insert(b->read<std::int64_t>());
+  }
+  void finalize(FilterContext&) override {
+    std::lock_guard lock(state_->mutex);
+    for (const std::int64_t v : local_) state_->values.insert(v);
+  }
+  bool snapshot_state(Buffer& out) override {
+    out.write<std::int64_t>(static_cast<std::int64_t>(local_.size()));
+    for (const std::int64_t v : local_) out.write<std::int64_t>(v);
+    return true;
+  }
+  void restore_state(Buffer& in) override {
+    const std::int64_t n = in.read<std::int64_t>();
+    local_.clear();
+    for (std::int64_t i = 0; i < n; ++i)
+      local_.insert(in.read<std::int64_t>());
+  }
+
+ private:
+  std::shared_ptr<SoakState> state_;
+  std::multiset<std::int64_t> local_;
+};
+
+struct SoakShape {
+  int packets = 64;
+  int src_copies = 1;
+  int mid_copies = 1;
+  int sink_copies = 1;
+  std::size_t interval = 4;
+  std::size_t batch = 1;
+  std::size_t capacity = 8;
+};
+
+std::vector<FilterGroup> soak_groups(const SoakShape& shape,
+                                     std::shared_ptr<SoakState> state) {
+  std::vector<FilterGroup> groups;
+  groups.push_back(
+      {"src", [n = shape.packets] { return std::make_unique<SoakSource>(n); },
+       shape.src_copies, 0});
+  groups.push_back({"mid", [] { return std::make_unique<SoakAdder>(); },
+                    shape.mid_copies, 1});
+  groups.push_back(
+      {"sink", [state] { return std::make_unique<SoakSink>(state); },
+       shape.sink_copies, 2});
+  return groups;
+}
+
+RunnerConfig soak_config(const SoakShape& shape) {
+  RunnerConfig config;
+  config.stream_capacity = shape.capacity;
+  config.batch_size = shape.batch;
+  config.checkpoint_interval = shape.interval;
+  return config;
+}
+
+// The fault-free oracle: every source value shifted once by the adder.
+std::multiset<std::int64_t> oracle(int packets) {
+  std::multiset<std::int64_t> out;
+  for (int i = 0; i < packets; ++i) out.insert(i + 1);
+  return out;
+}
+
+SoakShape draw_shape(Rng& rng) {
+  SoakShape shape;
+  shape.packets = 48 + static_cast<int>(rng.next_below(5)) * 16;  // 48..112
+  const int copy_choices[] = {1, 2, 4};
+  shape.src_copies = copy_choices[rng.next_below(3)];
+  shape.mid_copies = copy_choices[rng.next_below(3)];
+  shape.sink_copies = copy_choices[rng.next_below(2)];  // 1 or 2
+  shape.interval = 2 + static_cast<std::size_t>(rng.next_below(7));  // 2..8
+  shape.batch = rng.next_below(2) == 0 ? 1 : 4;
+  shape.capacity = rng.next_below(2) == 0 ? 4 : 16;
+  return shape;
+}
+
+std::string shape_str(const SoakShape& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "packets=%d copies=%d/%d/%d interval=%zu batch=%zu cap=%zu",
+                s.packets, s.src_copies, s.mid_copies, s.sink_copies,
+                s.interval, s.batch, s.capacity);
+  return buf;
+}
+
+FaultPolicy soak_policy(int max_retries = 3) {
+  FaultPolicy policy;
+  policy.action = FaultAction::kRestartCopy;
+  policy.max_retries = max_retries;
+  policy.backoff_initial_seconds = 1e-4;
+  policy.backoff_max_seconds = 1e-3;
+  return policy;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+// ---------------------------------------------------------------------------
+// Storm 1: transient fault storms (throws on data packets and on cut
+// markers, every stage, random shapes) — the delivered multiset must equal
+// the oracle on every drawn shape.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, TransientFaultStormsKeepDeliveryExact) {
+  Rng rng(soak_seed() ^ 0xf157ull);
+  for (int round = 0; round < 6; ++round) {
+    const SoakShape shape = draw_shape(rng);
+    auto state = std::make_shared<SoakState>();
+    PipelineRunner runner(soak_groups(shape, state), soak_config(shape),
+                          soak_policy());
+    // Transient storms: per-packet throws on the stateful stages plus a
+    // marker-aligned throw every other round (first attempt only, so the
+    // restarted instance gets through).
+    std::string plan = "mid:throw@3,sink:throw@5";
+    if (round % 2 == 0) plan += ",mid:throw@mark1";
+    const support::FaultPlan parsed =
+        support::parse_fault_plan(plan, rng.next_u64());
+    runner.set_packet_hook(support::make_fault_hook(parsed));
+    runner.set_marker_hook(support::make_marker_fault_hook(parsed));
+    RunOutcome outcome = runner.run_supervised();
+    ASSERT_TRUE(outcome.ok())
+        << shape_str(shape) << ": " << outcome.stats.error;
+    EXPECT_EQ(state->values, oracle(shape.packets)) << shape_str(shape);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storm 2: kill/resume storms — persistent (refiring) faults repeatedly
+// kill whole stages mid-run; each casualty leaves its last usable cut on
+// disk and the next attempt resumes from it. The final, fault-free attempt
+// must deliver exactly the oracle multiset, whatever trail of corpses and
+// partial cuts the storm left behind.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, KillResumeStormsConvergeToTheOracle) {
+  Rng rng(soak_seed() ^ 0x4c11ull);
+  for (int round = 0; round < 4; ++round) {
+    const SoakShape shape = draw_shape(rng);
+    const std::string path = "cgp_chaos_soak_" + std::to_string(round) +
+                             "_" + std::to_string(soak_seed()) + ".json";
+    std::remove(path.c_str());
+    const int kills = 1 + static_cast<int>(rng.next_below(3));  // 1..3
+    std::multiset<std::int64_t> final_values;
+    bool completed = false;
+    for (int attempt = 0; attempt <= kills && !completed; ++attempt) {
+      auto state = std::make_shared<SoakState>();
+      RunnerConfig config = soak_config(shape);
+      config.checkpoint_path = path;
+      std::optional<RunCheckpoint> cut;
+      if (file_exists(path)) {
+        cut = load_checkpoint(path);
+        config.resume = &*cut;
+      }
+      PipelineRunner runner(soak_groups(shape, state), config,
+                            soak_policy(/*max_retries=*/1));
+      if (attempt < kills) {
+        // A persistent fault every restarted instance re-hits: with the
+        // retry budget at 1 it kills every copy of the stage that reaches
+        // the ordinal, usually tearing the run down mid-flight.
+        const char* stage = rng.next_below(2) == 0 ? "mid" : "sink";
+        const std::string plan = std::string(stage) + ":throw@" +
+                                 std::to_string(1 + rng.next_below(4)) + "!";
+        runner.set_packet_hook(
+            support::make_fault_hook(support::parse_fault_plan(plan)));
+      }
+      RunOutcome outcome = runner.run_supervised();
+      if (attempt >= kills) {
+        ASSERT_TRUE(outcome.ok())
+            << shape_str(shape) << ": " << outcome.stats.error;
+      }
+      // A killed attempt's partial delivery is discarded; only a clean,
+      // fault-free completion is trusted (a run that limped to EOS with a
+      // dead copy may legitimately have dropped its in-flight packet).
+      if (outcome.ok() && outcome.stats.faults.empty()) {
+        final_values = state->values;
+        completed = true;
+      }
+    }
+    std::remove(path.c_str());
+    ASSERT_TRUE(completed) << shape_str(shape);
+    EXPECT_EQ(final_values, oracle(shape.packets)) << shape_str(shape);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storm 3: probabilistic soak — low-probability throws sprinkled across
+// every copy of every stage, generous retry budget, random shapes.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, ProbabilisticFaultSoakKeepsDeliveryExact) {
+  Rng rng(soak_seed() ^ 0x9b0bull);
+  for (int round = 0; round < 4; ++round) {
+    const SoakShape shape = draw_shape(rng);
+    auto state = std::make_shared<SoakState>();
+    PipelineRunner runner(soak_groups(shape, state), soak_config(shape),
+                          soak_policy(/*max_retries=*/10));
+    runner.set_packet_hook(support::make_fault_hook(support::parse_fault_plan(
+        "src:throw@~0.02,mid:throw@~0.03,sink:throw@~0.03", rng.next_u64())));
+    RunOutcome outcome = runner.run_supervised();
+    ASSERT_TRUE(outcome.ok())
+        << shape_str(shape) << ": " << outcome.stats.error;
+    EXPECT_EQ(state->values, oracle(shape.packets)) << shape_str(shape);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storm 4: torn checkpoint mid-storm — resuming from a truncated file must
+// fail loudly, and a fresh (non-resumed) run still converges.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, TornCheckpointFailsLoudlyAndFreshRunConverges) {
+  Rng rng(soak_seed() ^ 0x70a2ull);
+  SoakShape shape = draw_shape(rng);
+  shape.mid_copies = 2;  // keep the replicated path in play
+  const std::string path = "cgp_chaos_soak_torn.json";
+  std::remove(path.c_str());
+  // Kill a run mid-flight so a real cut lands on disk.
+  {
+    auto state = std::make_shared<SoakState>();
+    RunnerConfig config = soak_config(shape);
+    config.checkpoint_path = path;
+    PipelineRunner runner(soak_groups(shape, state), config,
+                          soak_policy(/*max_retries=*/1));
+    runner.set_packet_hook(
+        support::make_fault_hook(support::parse_fault_plan("sink:throw@2!")));
+    (void)runner.run_supervised();
+  }
+  ASSERT_TRUE(file_exists(path));
+  // Tear the file the way a crashed host without the fsync dance would.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, text.size() * 2 / 3);
+  }
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+  // The operator falls back to a fresh run; it must still be exact.
+  auto state = std::make_shared<SoakState>();
+  PipelineRunner runner(soak_groups(shape, state), soak_config(shape),
+                        soak_policy());
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->values, oracle(shape.packets));
+}
+
+}  // namespace
+}  // namespace cgp::dc

@@ -14,13 +14,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "apps/app_configs.h"
 #include "codegen/interp.h"
 #include "codegen/serialize.h"
+#include "datacutter/checkpoint.h"
 #include "driver/compiler.h"
 #include "parser/parser.h"
 #include "sema/sema.h"
@@ -279,6 +282,82 @@ void run_replica_plan_matrix(const apps::AppConfig& config,
   }
 }
 
+/// Kill+resume matrix (the replica-aware exactly-once tentpole): compile
+/// with a forced replica budget, enable run-level checkpointing, kill every
+/// copy of the first consuming stage at cut marker 2 (refiring fault, retry
+/// budget 1, so restarted instances re-die and the whole stage goes down),
+/// then resume a fresh runner from the last usable cut on disk and compare
+/// the finals against the sequential oracle. Replicated execution may
+/// reorder float accumulation, so the comparison is structural at 1e-9
+/// when the plan is replicated and byte-exact otherwise.
+void run_kill_resume_matrix(const apps::AppConfig& config,
+                            const std::string& cls,
+                            const std::vector<std::string>& result_keys,
+                            const std::vector<std::string>& stage_local = {}) {
+  const Oracle oracle = run_sequential(config, cls);
+  ASSERT_FALSE(oracle.values.empty());
+  const int budget = 4;
+  CompileResult result = compile_app(config, /*width=*/1, budget);
+  if (!result.ok) return;
+  const EnvironmentSpec env = EnvironmentSpec::paper_cluster(1);
+  const std::vector<char> flags = result.classification.parallel_flags();
+
+  Placement forced = result.decomposition.placement;
+  const std::size_t stages = env.units.size();
+  forced.replicas.assign(stages, 1);
+  for (std::size_t s = 0; s + 1 < stages; ++s) {
+    bool parallel = true;
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+      if (forced.unit_of_filter[i] == static_cast<int>(s) && !flags[i])
+        parallel = false;
+    }
+    if (parallel) forced.replicas[s] = budget;
+  }
+  const double tol = forced.replicated() ? 1e-9 : 0.0;
+
+  dc::FaultPolicy policy;
+  policy.action = dc::FaultAction::kRestartCopy;
+  policy.max_retries = 1;
+  policy.backoff_initial_seconds = 1e-4;
+  policy.backoff_max_seconds = 1e-3;
+
+  for (std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+    const std::string path = "cgp_conf_resume_" + config.name + "_" +
+                             std::to_string(batch) + ".json";
+    std::remove(path.c_str());
+    const std::string what = config.name + " kill-resume " +
+                             forced.to_string() +
+                             " batch=" + std::to_string(batch);
+    // Kill attempts: cut 0 commits well before marker 2 reaches the
+    // consuming stage, so a usable checkpoint lands on disk before the
+    // stage dies. A run that somehow leaves no cut (it raced to EOS) is
+    // simply retried — the storm is about what survives on disk.
+    dc::RunnerConfig transport;
+    transport.batch_size = batch;
+    transport.stream_capacity = 16;
+    transport.checkpoint_interval = 2;
+    transport.checkpoint_path = path;
+    for (int attempt = 0; attempt < 3 && !std::ifstream(path).good();
+         ++attempt) {
+      PipelineCompiler killer = result.make_runner(forced, env, {}, transport);
+      killer.set_fault_policy(policy);
+      killer.set_marker_hook(support::make_marker_fault_hook(
+          support::parse_fault_plan("stage1:throw@mark2!")));
+      (void)killer.run();
+    }
+    ASSERT_TRUE(std::ifstream(path).good()) << what << ": no cut committed";
+    // Resume from the surviving cut, fault-free; the delivered result must
+    // match the uninterrupted oracle.
+    const dc::RunCheckpoint cut = dc::load_checkpoint(path);
+    EXPECT_GT(cut.source_copies.size(), 0u) << what;
+    dc::RunnerConfig resumed = transport;
+    resumed.resume = &cut;
+    PipelineRunResult run = result.make_runner(forced, env, {}, resumed).run();
+    expect_conformant(oracle, run, tol, result_keys, stage_local, what);
+    std::remove(path.c_str());
+  }
+}
+
 TEST(Conformance, Tiny) {
   run_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
 }
@@ -349,6 +428,30 @@ TEST(Conformance, KnnReplicaPlan) {
 TEST(Conformance, VmscopeReplicaPlan) {
   run_replica_plan_matrix(apps::vmscope_config(false), "VMScope",
                           {"total", "filled"});
+}
+
+TEST(Conformance, TinyKillResume) {
+  run_kill_resume_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
+}
+
+TEST(Conformance, IsosurfaceZBufferKillResume) {
+  run_kill_resume_matrix(apps::isosurface_zbuffer_config(false), "IsoZBuffer",
+                         {"checksum", "lit"});
+}
+
+TEST(Conformance, IsosurfaceActivePixelsKillResume) {
+  run_kill_resume_matrix(apps::isosurface_active_pixels_config(false),
+                         "IsoActivePixels", {"checksum", "lit"});
+}
+
+TEST(Conformance, KnnKillResume) {
+  run_kill_resume_matrix(apps::knn_config(3), "Knn", {"kth", "dsum"},
+                         {"seed"});
+}
+
+TEST(Conformance, VmscopeKillResume) {
+  run_kill_resume_matrix(apps::vmscope_config(false), "VMScope",
+                         {"total", "filled"});
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <optional>
+#include <set>
 #include <thread>
 
 #include "datacutter/buffer.h"
@@ -574,6 +577,155 @@ TEST(Stream, DrainCountsDiscardedBuffers) {
   EXPECT_EQ(stream.dropped_buffers(), 3);
   EXPECT_EQ(stream.buffers_pushed(), 3);  // they were genuinely sent
   EXPECT_FALSE(stream.pop().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint markers: producer-side barrier merge, consumer-side broadcast
+// ---------------------------------------------------------------------------
+
+namespace {
+bool is_marker(const Buffer& b, std::int64_t id) {
+  if (b.tag() != kCheckpointMarkerTag) return false;
+  Buffer copy = b;
+  copy.seek(0);
+  return copy.read<std::int64_t>() == id;
+}
+
+Buffer data_buffer(std::int64_t v) {
+  Buffer b;
+  b.write<std::int64_t>(v);
+  return b;
+}
+
+std::int64_t data_value(Buffer b) {
+  b.seek(0);
+  return b.read<std::int64_t>();
+}
+}  // namespace
+
+TEST(StreamMarker, BarrierMergesAcrossProducersBehindPreCutData) {
+  // Two producers; the fast one parks at the barrier, so its post-cut data
+  // cannot precede the merged marker in the queue.
+  Stream stream(8);
+  stream.set_producers(2);
+  stream.set_consumers(1);
+  std::thread fast([&] {
+    stream.push(data_buffer(10));
+    stream.push_marker(0);  // blocks until the slow producer arrives
+    stream.push(data_buffer(11));
+    stream.close();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stream.push(data_buffer(20));
+  stream.push_marker(0);
+  stream.close();
+  fast.join();
+  std::multiset<std::int64_t> before;
+  std::optional<Buffer> b;
+  while ((b = stream.pop(0)) && !is_marker(*b, 0))
+    before.insert(data_value(std::move(*b)));
+  ASSERT_TRUE(b.has_value()) << "marker never delivered";
+  EXPECT_EQ(before, (std::multiset<std::int64_t>{10, 20}));
+  b = stream.pop(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(data_value(std::move(*b)), 11);  // post-cut data after the cut
+  EXPECT_FALSE(stream.pop(0).has_value());
+  // Markers are control traffic: never counted as data.
+  EXPECT_EQ(stream.buffers_pushed(), 3);
+}
+
+TEST(StreamMarker, BroadcastDeliversToEachConsumerExactlyOnce) {
+  Stream stream(8);
+  stream.set_producers(1);
+  stream.set_consumers(2);
+  stream.push(data_buffer(1));
+  stream.push_marker(0);
+  stream.push(data_buffer(2));
+  stream.close();
+  // Consumer 0 takes the first data entry; consumer 1's first eligible
+  // entry is the marker (data behind it stays competitive afterwards).
+  auto b = stream.pop(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(data_value(std::move(*b)), 1);
+  b = stream.pop(1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(is_marker(*b, 0));
+  b = stream.pop(1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(data_value(std::move(*b)), 2);
+  // Consumer 0 still gets its own copy of the marker before end-of-stream.
+  b = stream.pop(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(is_marker(*b, 0));
+  EXPECT_FALSE(stream.pop(0).has_value());
+  EXPECT_FALSE(stream.pop(1).has_value());
+  EXPECT_EQ(stream.buffers_pushed(), 2);
+}
+
+TEST(StreamMarker, PopBatchNeverMixesMarkerWithData) {
+  Stream stream(8);
+  stream.set_producers(1);
+  stream.set_consumers(1);
+  stream.push(data_buffer(1));
+  stream.push(data_buffer(2));
+  stream.push_marker(0);
+  stream.push(data_buffer(3));
+  stream.push(data_buffer(4));
+  stream.close();
+  std::vector<Buffer> out;
+  // The marker ends the first batch early...
+  EXPECT_EQ(stream.pop_batch(out, 10, 0), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(data_value(std::move(out[0])), 1);
+  EXPECT_EQ(data_value(std::move(out[1])), 2);
+  // ...then travels alone...
+  out.clear();
+  EXPECT_EQ(stream.pop_batch(out, 10, 0), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(is_marker(out[0], 0));
+  // ...and the post-cut data follows in order.
+  out.clear();
+  EXPECT_EQ(stream.pop_batch(out, 10, 0), 2u);
+  out.clear();
+  EXPECT_EQ(stream.pop_batch(out, 10, 0), 0u);
+}
+
+TEST(StreamMarker, ClosedProducerCountsTowardEveryBarrier) {
+  // A copy that finished early must not wedge the cut: its close() counts
+  // as arrival at every current and future marker.
+  Stream stream(8);
+  stream.set_producers(2);
+  stream.set_consumers(1);
+  stream.push(data_buffer(1));
+  stream.close();  // producer A done for good
+  EXPECT_TRUE(stream.push_marker(0));  // producer B merges alone
+  stream.push(data_buffer(2));
+  stream.close();
+  auto b = stream.pop(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(data_value(std::move(*b)), 1);
+  b = stream.pop(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(is_marker(*b, 0));
+  b = stream.pop(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(data_value(std::move(*b)), 2);
+  EXPECT_FALSE(stream.pop(0).has_value());
+}
+
+TEST(StreamMarker, RetiredConsumerReleasesPendingMarkers) {
+  // When a consumer copy dies, queued markers it would have taken are
+  // released as soon as every surviving consumer has taken them.
+  Stream stream(8);
+  stream.set_producers(1);
+  stream.set_consumers(2);
+  stream.push_marker(0);
+  auto b = stream.pop(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(is_marker(*b, 0));
+  stream.retire_consumer();  // consumer 1 is gone; the marker is released
+  stream.close();
+  EXPECT_FALSE(stream.pop(0).has_value());
 }
 
 // ---------------------------------------------------------------------------

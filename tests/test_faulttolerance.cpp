@@ -11,9 +11,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -106,12 +108,12 @@ FilterGroup addone_group(const char* name, int copies, int stage) {
   return {name, [] { return std::make_unique<AddOne>(); }, copies, stage};
 }
 FilterGroup sink_group(const char* name, std::shared_ptr<SinkState> state,
-                       int stage, bool validate = false) {
+                       int stage, bool validate = false, int copies = 1) {
   return {name,
           [state, validate] {
             return std::make_unique<CollectingSink>(state, validate);
           },
-          1, stage};
+          copies, stage};
 }
 
 std::multiset<std::int64_t> expected_values(int n, std::int64_t offset) {
@@ -175,12 +177,12 @@ class SummingSink : public Filter {
 
 FilterGroup summing_group(const char* name, std::shared_ptr<TotalState> state,
                           int stage, std::int64_t poison = -1,
-                          bool snapshottable = true) {
+                          bool snapshottable = true, int copies = 1) {
   return {name,
           [state, poison, snapshottable] {
             return std::make_unique<SummingSink>(state, poison, snapshottable);
           },
-          1, stage};
+          copies, stage};
 }
 
 // Sum of the values an AddOne chain delivers to the sink: the source emits
@@ -937,8 +939,11 @@ TEST(RunCheckpointFile, SaveLoadRoundTrip) {
   ckpt.id = 7;
   ckpt.source_delivered = 112;
   ckpt.at_seconds = 1.25;
-  ckpt.stages.push_back({"mid", {std::byte{0x00}, std::byte{0xfe}}});
-  ckpt.stages.push_back({"sink", {}});
+  ckpt.source_copies = {60, 52};
+  ckpt.group_copies = {2, 2, 1};
+  ckpt.stages.push_back({"mid", 0, {std::byte{0x00}, std::byte{0xfe}}});
+  ckpt.stages.push_back({"mid", 1, {std::byte{0x7f}}});
+  ckpt.stages.push_back({"sink", 0, {}});
   const std::string path = "cgp_ckpt_roundtrip_test.json";
   save_checkpoint(ckpt, path);
   const RunCheckpoint loaded = load_checkpoint(path);
@@ -946,14 +951,107 @@ TEST(RunCheckpointFile, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded.id, 7);
   EXPECT_EQ(loaded.source_delivered, 112);
   EXPECT_DOUBLE_EQ(loaded.at_seconds, 1.25);
-  ASSERT_EQ(loaded.stages.size(), 2u);
+  EXPECT_EQ(loaded.source_copies, (std::vector<std::int64_t>{60, 52}));
+  EXPECT_EQ(loaded.group_copies, (std::vector<int>{2, 2, 1}));
+  ASSERT_EQ(loaded.stages.size(), 3u);
   EXPECT_EQ(loaded.stages[0].group, "mid");
+  EXPECT_EQ(loaded.stages[0].copy, 0);
   EXPECT_EQ(loaded.stages[0].state,
             (std::vector<std::byte>{std::byte{0x00}, std::byte{0xfe}}));
-  EXPECT_EQ(loaded.stages[1].group, "sink");
-  EXPECT_TRUE(loaded.stages[1].state.empty());
+  EXPECT_EQ(loaded.stages[1].group, "mid");
+  EXPECT_EQ(loaded.stages[1].copy, 1);
+  EXPECT_EQ(loaded.stages[2].group, "sink");
+  EXPECT_EQ(loaded.stages[2].copy, 0);
+  EXPECT_TRUE(loaded.stages[2].state.empty());
   EXPECT_THROW(load_checkpoint("cgp_no_such_checkpoint.json"),
                std::runtime_error);
+}
+
+TEST(RunCheckpointFile, LoadRejectsCorruptTruncatedEmptyFiles) {
+  RunCheckpoint ckpt;
+  ckpt.id = 3;
+  ckpt.source_delivered = 24;
+  ckpt.source_copies = {24};
+  ckpt.group_copies = {1, 1};
+  ckpt.stages.push_back({"sum", 0, {std::byte{0x2a}, std::byte{0x2a}}});
+  const std::string path = "cgp_ckpt_corrupt_test.json";
+  save_checkpoint(ckpt, path);
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  auto write_file = [&](const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  };
+  // A single flipped bit in the snapshot payload must fail the checksum
+  // with a diagnostic, never hand back a cut with silently different state.
+  {
+    std::string flipped = text;
+    const std::size_t pos = flipped.find("2a2a");
+    ASSERT_NE(pos, std::string::npos);
+    flipped[pos] = '2' == flipped[pos] ? 'b' : '2';
+    write_file(flipped);
+    try {
+      load_checkpoint(path);
+      FAIL() << "bit-flipped checkpoint loaded";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+          << e.what();
+    }
+  }
+  // A torn write (truncated JSON) must fail as corrupt/truncated.
+  write_file(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  // So must an empty file.
+  write_file("");
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  // And a file missing its checksum field entirely (v2 requires it).
+  {
+    std::string stripped = text;
+    const std::size_t pos = stripped.find("\"checksum\"");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t end = stripped.find('\n', pos);
+    stripped.erase(pos, end - pos + 1);
+    // Remove the dangling comma on the previous line if present.
+    write_file(stripped);
+    EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RunCheckpointFile, LoadsLegacyV1Files) {
+  // Files written before replication support: no checksum, no per-copy
+  // arrays. They must still load, with source_copies defaulting to the
+  // single implicit source cursor.
+  const std::string path = "cgp_ckpt_legacy_v1_test.json";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "{\n"
+           "  \"schema\": \"cgpipe-checkpoint-v1\",\n"
+           "  \"id\": 2,\n"
+           "  \"source_delivered\": 12,\n"
+           "  \"at_seconds\": 0.5,\n"
+           "  \"stages\": [\n"
+           "    {\"group\": \"mid\", \"state\": \"\"},\n"
+           "    {\"group\": \"sum\", \"state\": \"0a00\"}\n"
+           "  ]\n"
+           "}\n";
+  }
+  const RunCheckpoint loaded = load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.id, 2);
+  EXPECT_EQ(loaded.source_delivered, 12);
+  EXPECT_EQ(loaded.source_copies, (std::vector<std::int64_t>{12}));
+  EXPECT_TRUE(loaded.group_copies.empty());
+  ASSERT_EQ(loaded.stages.size(), 2u);
+  EXPECT_EQ(loaded.stages[0].copy, 0);
+  EXPECT_EQ(loaded.stages[1].group, "sum");
+  EXPECT_EQ(loaded.stages[1].state,
+            (std::vector<std::byte>{std::byte{0x0a}, std::byte{0x00}}));
 }
 
 TEST(RunLevelCheckpoint, HealthyRunWritesConsistentCuts) {
@@ -990,28 +1088,114 @@ TEST(RunLevelCheckpoint, HealthyRunWritesConsistentCuts) {
 }
 
 TEST(RunLevelCheckpoint, RejectsInvalidConfigurations) {
-  // The marker protocol needs one copy per group and a positive interval.
+  // The marker protocol needs a positive interval to pace injections.
+  auto state = std::make_shared<SinkState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 8, 1, 0));
+  groups.push_back(sink_group("sink", state, 1));
+  RunnerConfig config;  // interval 0
+  config.checkpoint_path = "cgp_ckpt_invalid_test.json";
+  PipelineRunner runner(std::move(groups), config);
+  EXPECT_THROW(runner.run_supervised(), std::invalid_argument);
+}
+
+TEST(RunLevelCheckpoint, ReplicatedStagesWriteConsistentCuts) {
+  // The lifted restriction: every copy of every stage contributes a part
+  // and the committed file records per-copy source cursors, per-copy
+  // snapshots, and the replica plan.
+  const std::string path = "cgp_ckpt_replicated_test.json";
+  auto state = std::make_shared<TotalState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 32, 2, 0));
+  groups.push_back(addone_group("mid", 2, 1));
+  groups.push_back(summing_group("sum", state, 2, -1, true, 2));
+  RunnerConfig config = checkpointed_config(4);
+  config.checkpoint_path = path;
+  PipelineRunner runner(std::move(groups), config,
+                        policy_for(FaultAction::kRestartCopy));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->total, expected_total(32, 1));
+  EXPECT_EQ(state->count, 32);
+  // The run surface ends on a completed cut summary whose parts cover
+  // every consuming copy (2x mid + 2x sum), preceded by per-copy part
+  // records.
+  ASSERT_FALSE(outcome.stats.checkpoints.empty());
+  const support::CheckpointRecord& last = outcome.stats.checkpoints.back();
+  EXPECT_EQ(last.group, "run");
+  EXPECT_EQ(last.copy, -1);
+  EXPECT_EQ(last.parts, 4);
+  bool saw_part = false;
+  for (const support::CheckpointRecord& c : outcome.stats.checkpoints)
+    if (c.group == "mid" && c.copy == 1) saw_part = true;
+  EXPECT_TRUE(saw_part);
+  // The committed file is a fully replicated cut: aligned per-copy source
+  // cursors, the replica plan, and one part per (stage, copy).
+  const RunCheckpoint cut = load_checkpoint(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(cut.source_copies.size(), 2u);
+  EXPECT_EQ(cut.source_copies[0] + cut.source_copies[1],
+            cut.source_delivered);
+  EXPECT_EQ(cut.group_copies, (std::vector<int>{2, 2, 2}));
+  ASSERT_EQ(cut.stages.size(), 4u);
+  EXPECT_EQ(cut.stages[0].group, "mid");
+  EXPECT_EQ(cut.stages[0].copy, 0);
+  EXPECT_EQ(cut.stages[1].group, "mid");
+  EXPECT_EQ(cut.stages[1].copy, 1);
+  EXPECT_EQ(cut.stages[2].group, "sum");
+  EXPECT_EQ(cut.stages[2].copy, 0);
+  EXPECT_EQ(cut.stages[3].group, "sum");
+  EXPECT_EQ(cut.stages[3].copy, 1);
+  // At least one summing copy accumulated state by the last cut.
+  EXPECT_FALSE(cut.stages[2].state.empty() && cut.stages[3].state.empty());
+}
+
+TEST(RunLevelCheckpoint, ReplicatedResumeAfterFatalFaultCompletesExactly) {
+  const std::string path = "cgp_ckpt_replicated_resume_test.json";
+  // Run 1: replicated source and mid stages; the single summing copy
+  // rejects value 14 on sight, dies, and the run fails. Cuts completed
+  // before the poison survive on disk.
   {
-    auto state = std::make_shared<SinkState>();
+    auto state = std::make_shared<TotalState>();
     std::vector<FilterGroup> groups;
-    groups.push_back(source_group("src", 8, 1, 0));
+    groups.push_back(source_group("src", 32, 2, 0));
     groups.push_back(addone_group("mid", 2, 1));
-    groups.push_back(sink_group("sink", state, 2));
+    groups.push_back(summing_group("sum", state, 2, /*poison=*/14));
     RunnerConfig config = checkpointed_config(4);
-    config.checkpoint_path = "cgp_ckpt_invalid_test.json";
+    config.checkpoint_path = path;
+    PipelineRunner runner(std::move(groups), config,
+                          policy_for(FaultAction::kRestartCopy, 2));
+    RunOutcome outcome = runner.run_supervised();
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.stats.faults.back().resolution,
+              support::FaultResolution::kCopyDead);
+  }
+  RunCheckpoint cut = load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_GT(cut.source_delivered, 0);
+  ASSERT_EQ(cut.source_copies.size(), 2u);
+  EXPECT_EQ(cut.group_copies, (std::vector<int>{2, 2, 1}));
+  // Run 2: same shape, poison gone, resumed copy-by-copy. Each source copy
+  // skips exactly the packets the cut covers for it, so the delivered
+  // multiset — and therefore the total — matches an uninterrupted run.
+  {
+    auto state = std::make_shared<TotalState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 32, 2, 0));
+    groups.push_back(addone_group("mid", 2, 1));
+    groups.push_back(summing_group("sum", state, 2));
+    RunnerConfig config = checkpointed_config(4);
+    config.resume = &cut;
     PipelineRunner runner(std::move(groups), config,
                           policy_for(FaultAction::kRestartCopy));
-    EXPECT_THROW(runner.run_supervised(), std::invalid_argument);
-  }
-  {
-    auto state = std::make_shared<SinkState>();
-    std::vector<FilterGroup> groups;
-    groups.push_back(source_group("src", 8, 1, 0));
-    groups.push_back(sink_group("sink", state, 1));
-    RunnerConfig config;  // interval 0
-    config.checkpoint_path = "cgp_ckpt_invalid_test.json";
-    PipelineRunner runner(std::move(groups), config);
-    EXPECT_THROW(runner.run_supervised(), std::invalid_argument);
+    RunOutcome outcome = runner.run_supervised();
+    ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+    EXPECT_TRUE(outcome.stats.faults.empty());
+    EXPECT_EQ(state->total, expected_total(32, 1));
+    EXPECT_EQ(state->count, 32);
+    // Only the uncovered suffix was re-emitted.
+    EXPECT_EQ(outcome.stats.group_metrics[0].packets_out,
+              32 - cut.source_delivered);
   }
 }
 
@@ -1071,18 +1255,118 @@ TEST(RunLevelCheckpoint, ResumeAfterFatalFaultCompletesExactly) {
 }
 
 TEST(RunLevelCheckpoint, ResumeRejectsMismatchedPipeline) {
-  RunCheckpoint cut;
-  cut.id = 0;
-  cut.source_delivered = 4;
-  cut.stages.push_back({"other", {}});
-  auto state = std::make_shared<SinkState>();
+  // Wrong stage name: rejected with a side-by-side diff naming both sides.
+  {
+    RunCheckpoint cut;
+    cut.id = 0;
+    cut.source_delivered = 4;
+    cut.source_copies = {4};
+    cut.group_copies = {1, 1};
+    cut.stages.push_back({"other", 0, {}});
+    auto state = std::make_shared<SinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 8, 1, 0));
+    groups.push_back(sink_group("sink", state, 1));
+    RunnerConfig config;
+    config.resume = &cut;
+    PipelineRunner runner(std::move(groups), config);
+    try {
+      runner.run_supervised();
+      FAIL() << "mismatched resume accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("does not match"), std::string::npos) << what;
+      EXPECT_NE(what.find("sink"), std::string::npos) << what;
+      EXPECT_NE(what.find("other"), std::string::npos) << what;
+    }
+  }
+  // Right stage names, wrong replica counts: also a diff, naming the
+  // counts on both sides.
+  {
+    RunCheckpoint cut;
+    cut.id = 0;
+    cut.source_delivered = 4;
+    cut.source_copies = {4};
+    cut.group_copies = {1, 2};
+    cut.stages.push_back({"sink", 0, {}});
+    cut.stages.push_back({"sink", 1, {}});
+    auto state = std::make_shared<SinkState>();
+    std::vector<FilterGroup> groups;
+    groups.push_back(source_group("src", 8, 1, 0));
+    groups.push_back(sink_group("sink", state, 1));
+    RunnerConfig config;
+    config.resume = &cut;
+    PipelineRunner runner(std::move(groups), config);
+    try {
+      runner.run_supervised();
+      FAIL() << "replica-mismatched resume accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("sink x1"), std::string::npos) << what;
+      EXPECT_NE(what.find("sink x2"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(RunLevelCheckpoint, MarkerFaultOnConsumerCopyDoesNotWedgeTheCut) {
+  // @mark fires the instant cut 0's marker reaches mid copy 1. The
+  // supervisor's gap repair registers the failed copy's part (unusable)
+  // and forwards the marker on restart, so neither the cut collector nor
+  // the downstream stage wedges, and later cuts commit to disk normally.
+  const std::string path = "cgp_ckpt_marker_fault_test.json";
+  auto state = std::make_shared<TotalState>();
   std::vector<FilterGroup> groups;
-  groups.push_back(source_group("src", 8, 1, 0));
-  groups.push_back(sink_group("sink", state, 1));
-  RunnerConfig config;
-  config.resume = &cut;
-  PipelineRunner runner(std::move(groups), config);
-  EXPECT_THROW(runner.run_supervised(), std::invalid_argument);
+  groups.push_back(source_group("src", 32, 2, 0));
+  groups.push_back(addone_group("mid", 2, 1));
+  groups.push_back(summing_group("sum", state, 2, -1, true, 2));
+  RunnerConfig config = checkpointed_config(4);
+  config.checkpoint_path = path;
+  PipelineRunner runner(std::move(groups), config,
+                        policy_for(FaultAction::kRestartCopy));
+  runner.set_marker_hook(support::make_marker_fault_hook(
+      support::parse_fault_plan("mid#1:throw@mark0")));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->total, expected_total(32, 1));
+  EXPECT_EQ(state->count, 32);
+  ASSERT_EQ(outcome.stats.faults.size(), 1u);
+  EXPECT_EQ(outcome.stats.faults[0].group, "mid");
+  EXPECT_EQ(outcome.stats.faults[0].copy, 1);
+  // A later cut (unaffected by the fault) still reached the file with a
+  // full complement of per-copy parts.
+  const RunCheckpoint cut = load_checkpoint(path);
+  std::remove(path.c_str());
+  EXPECT_GT(cut.id, 0);
+  ASSERT_EQ(cut.stages.size(), 4u);
+}
+
+TEST(RunLevelCheckpoint, MarkerFaultOnSourceCopyStaysExact) {
+  // The source-side variant: the hook throws between marker injection and
+  // the copy's progress-part submission. Gap repair submits the cursor and
+  // forwards the marker on restart; replay dedup keeps delivery exact.
+  const std::string path = "cgp_ckpt_marker_src_fault_test.json";
+  auto state = std::make_shared<TotalState>();
+  std::vector<FilterGroup> groups;
+  groups.push_back(source_group("src", 32, 2, 0));
+  groups.push_back(addone_group("mid", 1, 1));
+  groups.push_back(summing_group("sum", state, 2));
+  RunnerConfig config = checkpointed_config(4);
+  config.checkpoint_path = path;
+  PipelineRunner runner(std::move(groups), config,
+                        policy_for(FaultAction::kRestartCopy));
+  runner.set_marker_hook(support::make_marker_fault_hook(
+      support::parse_fault_plan("src#0:throw@mark1")));
+  RunOutcome outcome = runner.run_supervised();
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(state->total, expected_total(32, 1));
+  EXPECT_EQ(state->count, 32);
+  ASSERT_EQ(outcome.stats.faults.size(), 1u);
+  EXPECT_EQ(outcome.stats.faults[0].group, "src");
+  const RunCheckpoint cut = load_checkpoint(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(cut.source_copies.size(), 2u);
+  EXPECT_EQ(cut.source_copies[0] + cut.source_copies[1],
+            cut.source_delivered);
 }
 
 // ---------------------------------------------------------------------------
@@ -1185,6 +1469,29 @@ TEST(FaultPlan, CheckpointTriggersMatchOnlyCheckpoints) {
   EXPECT_EQ(plan.match_checkpoint("g", 0, 1, 1), nullptr);
   const support::FaultPlan refire = support::parse_fault_plan("g:throw@ckpt!");
   EXPECT_NE(refire.match_checkpoint("g", 0, 3, 0), nullptr);
+}
+
+TEST(FaultPlan, ParsesAndMatchesMarkerTriggers) {
+  const support::FaultPlan plan =
+      support::parse_fault_plan("a:throw@mark,b#1:throw@mark2,b:throw@4");
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_TRUE(plan.specs[0].at_marker);
+  EXPECT_EQ(plan.specs[0].nth_packet, 0);  // bare "mark" = first cut
+  EXPECT_TRUE(plan.specs[1].at_marker);
+  EXPECT_EQ(plan.specs[1].nth_packet, 2);
+  EXPECT_EQ(plan.specs[1].copy, 1);
+  // @mark specs are invisible to the packet and checkpoint matchers, and
+  // match only the named copy at the named cut id, first attempt only.
+  EXPECT_EQ(plan.match("a", 0, 0, 0), nullptr);
+  EXPECT_EQ(plan.match_checkpoint("a", 0, 0, 0), nullptr);
+  EXPECT_NE(plan.match_marker("a", 0, 0, 0), nullptr);
+  EXPECT_EQ(plan.match_marker("a", 0, 0, 1), nullptr);
+  EXPECT_NE(plan.match_marker("b", 1, 0, 2), nullptr);
+  EXPECT_EQ(plan.match_marker("b", 0, 0, 2), nullptr);
+  EXPECT_EQ(plan.match_marker("b", 1, 1, 2), nullptr);
+  EXPECT_EQ(plan.match_marker("b", 1, 0, 4), nullptr);  // @4 is per-packet
+  EXPECT_THROW(support::parse_fault_plan("g:throw@markx"),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

@@ -178,7 +178,7 @@ TEST(Trace, BottleneckIsLargestBusyFilter) {
 
 TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
   const Json j = Json::parse(trace_to_json(sample_trace()));
-  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v4");
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v5");
   EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
 }
 
@@ -201,7 +201,7 @@ TEST(Trace, ReadsV3DocumentsWithEmptyReplicaPlan) {
   PipelineTrace trace = sample_trace();
   trace.stage_replicas = {2, 2, 1};
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v4");
+  const std::size_t pos = json.find("cgpipe-trace-v5");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v3");
   const std::size_t field = json.find("\"stage_replicas\"");
@@ -268,22 +268,61 @@ TEST(Trace, RoundTripPreservesCheckpointSurface) {
   cut.copy = -1;
   cut.packet_index = 48;
   cut.snapshot_bytes = 1024;
+  cut.parts = 4;
   cut.quiesce_seconds = 0.01;
   cut.at_seconds = 0.5;
   trace.checkpoints.push_back(cut);
+  // v5 interleaves per-copy part records with the "run" summaries.
+  CheckpointRecord part;
+  part.id = 2;
+  part.group = "stage1";
+  part.copy = 1;
+  part.packet_index = -1;
+  part.snapshot_bytes = 256;
+  part.at_seconds = 0.49;
+  trace.checkpoints.push_back(part);
 
   const std::string json = trace_to_json(trace);
   const PipelineTrace back = trace_from_json(json);
   EXPECT_EQ(back.filters[1].checkpoints, 3);
-  ASSERT_EQ(back.checkpoints.size(), 1u);
+  ASSERT_EQ(back.checkpoints.size(), 2u);
   EXPECT_EQ(back.checkpoints[0].id, 2);
   EXPECT_EQ(back.checkpoints[0].group, "run");
   EXPECT_EQ(back.checkpoints[0].copy, -1);
   EXPECT_EQ(back.checkpoints[0].packet_index, 48);
   EXPECT_EQ(back.checkpoints[0].snapshot_bytes, 1024);
+  EXPECT_EQ(back.checkpoints[0].parts, 4);
   EXPECT_DOUBLE_EQ(back.checkpoints[0].quiesce_seconds, 0.01);
   EXPECT_DOUBLE_EQ(back.checkpoints[0].at_seconds, 0.5);
+  EXPECT_EQ(back.checkpoints[1].group, "stage1");
+  EXPECT_EQ(back.checkpoints[1].copy, 1);
+  EXPECT_EQ(back.checkpoints[1].packet_index, -1);
+  EXPECT_EQ(back.checkpoints[1].snapshot_bytes, 256);
   EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, ReadsV4CheckpointRecordsWithoutParts) {
+  // A v4 document's checkpoint records predate the per-copy `parts`
+  // field; they still load with it at its benign default.
+  PipelineTrace trace = sample_trace();
+  CheckpointRecord cut;
+  cut.id = 0;
+  cut.group = "run";
+  cut.packet_index = 16;
+  trace.checkpoints.push_back(cut);
+  std::string json = trace_to_json(trace);
+  const std::size_t pos = json.find("cgpipe-trace-v5");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 15, "cgpipe-trace-v4");
+  const std::size_t field = json.find("\"parts\"");
+  ASSERT_NE(field, std::string::npos);
+  const std::size_t comma = json.find(',', field);
+  ASSERT_NE(comma, std::string::npos);
+  json.erase(field, comma - field + 1);
+  const PipelineTrace back = trace_from_json(json);
+  ASSERT_EQ(back.checkpoints.size(), 1u);
+  EXPECT_EQ(back.checkpoints[0].parts, 0);
+  EXPECT_EQ(back.checkpoints[0].packet_index, 16);
 }
 
 TEST(Trace, ReadsV2DocumentsWithZeroCheckpointSurface) {
@@ -291,7 +330,7 @@ TEST(Trace, ReadsV2DocumentsWithZeroCheckpointSurface) {
   // every v3 field at its benign default.
   PipelineTrace trace = sample_trace();
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v4");
+  const std::size_t pos = json.find("cgpipe-trace-v5");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v2");
   const PipelineTrace back = trace_from_json(json);
