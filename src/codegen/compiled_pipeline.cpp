@@ -151,6 +151,125 @@ void collect_var_refs(const Expr& expr, std::set<std::string>& out) {
   }
 }
 
+/// Collects every base name mentioned below an expression, whatever the
+/// position (read, write, call receiver/argument, allocation length).
+/// Unlike collect_var_refs this walks all node kinds — passthrough
+/// eligibility must prove a collection is untouched, so a missed mention
+/// would be unsound, not just imprecise.
+void collect_all_refs(const Expr& expr, std::set<std::string>& out) {
+  switch (expr.kind) {
+    case NodeKind::VarRef:
+      out.insert(static_cast<const VarRef&>(expr).name);
+      return;
+    case NodeKind::FieldAccess:
+      collect_all_refs(*static_cast<const FieldAccess&>(expr).base, out);
+      return;
+    case NodeKind::Index: {
+      const auto& index = static_cast<const IndexExpr&>(expr);
+      collect_all_refs(*index.base, out);
+      for (const ExprPtr& i : index.indices) collect_all_refs(*i, out);
+      return;
+    }
+    case NodeKind::Unary:
+      collect_all_refs(*static_cast<const UnaryExpr&>(expr).operand, out);
+      return;
+    case NodeKind::Binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      collect_all_refs(*binary.lhs, out);
+      collect_all_refs(*binary.rhs, out);
+      return;
+    }
+    case NodeKind::Assign: {
+      const auto& assign = static_cast<const AssignExpr&>(expr);
+      collect_all_refs(*assign.target, out);
+      collect_all_refs(*assign.value, out);
+      return;
+    }
+    case NodeKind::Call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      if (call.base) collect_all_refs(*call.base, out);
+      for (const ExprPtr& a : call.args) collect_all_refs(*a, out);
+      return;
+    }
+    case NodeKind::NewObject: {
+      const auto& alloc = static_cast<const NewObjectExpr&>(expr);
+      for (const ExprPtr& a : alloc.args) collect_all_refs(*a, out);
+      return;
+    }
+    case NodeKind::NewArray:
+      collect_all_refs(*static_cast<const NewArrayExpr&>(expr).length, out);
+      return;
+    case NodeKind::RectdomainLit: {
+      const auto& dom = static_cast<const RectdomainLit&>(expr);
+      for (const RectdomainLit::Dim& d : dom.dims) {
+        collect_all_refs(*d.lo, out);
+        collect_all_refs(*d.hi, out);
+      }
+      return;
+    }
+    case NodeKind::Conditional: {
+      const auto& cond = static_cast<const ConditionalExpr&>(expr);
+      collect_all_refs(*cond.cond, out);
+      collect_all_refs(*cond.then_value, out);
+      collect_all_refs(*cond.else_value, out);
+      return;
+    }
+    default:
+      return;  // literals
+  }
+}
+
+void collect_all_refs(const Stmt& stmt, std::set<std::string>& out) {
+  switch (stmt.kind) {
+    case NodeKind::VarDeclStmt: {
+      const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+      if (decl.init) collect_all_refs(*decl.init, out);
+      return;
+    }
+    case NodeKind::ExprStmt:
+      collect_all_refs(*static_cast<const ExprStmt&>(stmt).expr, out);
+      return;
+    case NodeKind::Block:
+      for (const StmtPtr& s : static_cast<const BlockStmt&>(stmt).statements)
+        collect_all_refs(*s, out);
+      return;
+    case NodeKind::IfStmt: {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      collect_all_refs(*if_stmt.cond, out);
+      collect_all_refs(*if_stmt.then_branch, out);
+      if (if_stmt.else_branch) collect_all_refs(*if_stmt.else_branch, out);
+      return;
+    }
+    case NodeKind::WhileStmt: {
+      const auto& loop = static_cast<const WhileStmt&>(stmt);
+      collect_all_refs(*loop.cond, out);
+      collect_all_refs(*loop.body, out);
+      return;
+    }
+    case NodeKind::ForStmt: {
+      const auto& loop = static_cast<const ForStmt&>(stmt);
+      if (loop.init) collect_all_refs(*loop.init, out);
+      if (loop.cond) collect_all_refs(*loop.cond, out);
+      if (loop.step) collect_all_refs(*loop.step, out);
+      collect_all_refs(*loop.body, out);
+      return;
+    }
+    case NodeKind::ForeachStmt: {
+      const auto& loop = static_cast<const ForeachStmt&>(stmt);
+      collect_all_refs(*loop.domain, out);
+      collect_all_refs(*loop.body, out);
+      return;
+    }
+    case NodeKind::ReturnStmt: {
+      const auto& ret = static_cast<const ReturnStmt&>(stmt);
+      if (ret.value) collect_all_refs(*ret.value, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
 /// True for expressions free of calls/allocations/writes.
 bool scalar_pure(const Expr& expr) {
   switch (expr.kind) {
@@ -304,7 +423,15 @@ class StageFilter : public dc::Filter {
         n_stages_(n_stages),
         shared_(std::move(shared)),
         interp_(model.registry, runtime_constants),
-        codec_(model.registry, plan.output_layout) {}
+        codec_(model.registry, plan.output_layout) {
+    route_of_out_.assign(plan_.output_layout.groups.size(), -1);
+    for (std::size_t r = 0; r < plan_.passthrough.size(); ++r) {
+      const StagePlan::PassthroughRoute& route = plan_.passthrough[r];
+      route_of_out_[static_cast<std::size_t>(route.out_group)] =
+          static_cast<int>(r);
+      route_of_in_[route.in_group] = static_cast<int>(r);
+    }
+  }
 
   void init(dc::FilterContext& ctx) override;
   void process(dc::FilterContext& ctx) override;
@@ -320,7 +447,8 @@ class StageFilter : public dc::Filter {
   bool is_source() const { return plan_.stage == 0; }
   bool is_sink() const { return plan_.stage == n_stages_ - 1; }
 
-  void emit_packet(dc::FilterContext& ctx, Env& env);
+  void emit_packet(dc::FilterContext& ctx, Env& env,
+                   const std::vector<PackedView>* views = nullptr);
   void handle_replica_buffer(dc::Buffer& in, dc::FilterContext& ctx);
   SymbolResolver make_resolver(Env& env, std::int64_t packet);
 
@@ -342,6 +470,10 @@ class StageFilter : public dc::Filter {
   std::int64_t sent_replica_bytes_ = 0;
   std::int64_t packets_seen_ = 0;
   std::size_t last_packet_capacity_ = 0;  // pool size hint for emit_packet
+  /// Passthrough route tables (built from plan_.passthrough): per output
+  /// group the route index or -1; per routed input group the route index.
+  std::vector<int> route_of_out_;
+  std::map<int, int> route_of_in_;
 };
 
 void StageFilter::init(dc::FilterContext& ctx) {
@@ -413,17 +545,46 @@ SymbolResolver StageFilter::make_resolver(Env& env, std::int64_t packet) {
   };
 }
 
-void StageFilter::emit_packet(dc::FilterContext& ctx, Env& env) {
+void StageFilter::emit_packet(dc::FilterContext& ctx, Env& env,
+                              const std::vector<PackedView>* views) {
   // Recycled storage sized by the largest packet this stage has produced:
   // a monotone hint keeps every acquire in one size class, so the same
   // storage cycles through the pool instead of migrating between classes
   // as per-packet selectivity varies.
   dc::Buffer out = ctx.acquire_buffer(last_packet_capacity_);
   out.write<std::uint8_t>(static_cast<std::uint8_t>(BufferKind::Packet));
-  codec_.pack(env, make_resolver(env, current_packet_), out);
-  const double pack_ops = pack_cost_.ops_per_buffer +
-                          pack_cost_.ops_per_byte *
-                              static_cast<double>(out.size());
+  std::size_t routed_bytes = 0;
+  if (views && !plan_.passthrough.empty()) {
+    // Passthrough-aware pack: header and non-routed groups go through the
+    // codec; routed groups are copied verbatim from the arriving buffer
+    // (flag byte patched when the boundaries disagree on layout).
+    const PackingLayout& layout = codec_.layout();
+    codec_.pack_header(env, out);
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(layout.groups.size()));
+    const SymbolResolver resolve = make_resolver(env, current_packet_);
+    for (std::size_t og = 0; og < layout.groups.size(); ++og) {
+      const int route = route_of_out_[og];
+      if (route < 0) {
+        codec_.pack_group(og, env, resolve, out);
+        continue;
+      }
+      const std::size_t before = out.size();
+      const PackedView& view = (*views)[static_cast<std::size_t>(route)];
+      const bool patch =
+          plan_.passthrough[static_cast<std::size_t>(route)].patch_flag;
+      view.append_to(out, patch ? std::optional<bool>(
+                                      layout.groups[og].instancewise)
+                                : std::nullopt);
+      routed_bytes += out.size() - before;
+    }
+  } else {
+    codec_.pack(env, make_resolver(env, current_packet_), out);
+  }
+  const double pack_ops =
+      pack_cost_.ops_per_buffer +
+      pack_cost_.ops_per_byte *
+          static_cast<double>(out.size() - routed_bytes) +
+      pack_cost_.passthrough_ops_per_byte * static_cast<double>(routed_bytes);
   interp_.add_external_ops(pack_ops);
   sent_packet_bytes_ += static_cast<std::int64_t>(out.size());
   last_packet_capacity_ = std::max(last_packet_capacity_, out.capacity());
@@ -504,13 +665,38 @@ void StageFilter::process(dc::FilterContext& ctx) {
       continue;
     }
     ++packets_seen_;
-    interp_.add_external_ops(pack_cost_.ops_per_buffer +
-                             pack_cost_.ops_per_byte *
-                                 static_cast<double>(in_size));
     env_.push();
     // The upstream codec for OUR input is the upstream stage's output
-    // codec; decode with our input layout.
-    input_codec_->unpack(in, env_);
+    // codec; decode with our input layout. Routed groups stay packed: a
+    // PackedView records where each one sits in the arriving buffer so
+    // emit_packet can forward it verbatim.
+    std::vector<PackedView> views(plan_.passthrough.size());
+    std::size_t routed_bytes = 0;
+    if (plan_.passthrough.empty()) {
+      input_codec_->unpack(in, env_);
+    } else {
+      const PackingLayout& in_layout = input_codec_->layout();
+      input_codec_->unpack_header(in, env_);
+      const std::uint32_t n_groups = in.read<std::uint32_t>();
+      if (n_groups != in_layout.groups.size())
+        throw std::runtime_error("unpack: group arity mismatch");
+      for (std::size_t gi = 0; gi < in_layout.groups.size(); ++gi) {
+        const auto route = route_of_in_.find(static_cast<int>(gi));
+        if (route == route_of_in_.end()) {
+          input_codec_->unpack_group(gi, in, env_);
+          continue;
+        }
+        PackedView view = PackedView::parse(in, in.read_pos());
+        in.seek(view.end_offset());
+        routed_bytes += sizeof(std::uint64_t) + view.block_size();
+        views[static_cast<std::size_t>(route->second)] = std::move(view);
+      }
+    }
+    interp_.add_external_ops(
+        pack_cost_.ops_per_buffer +
+        pack_cost_.ops_per_byte * static_cast<double>(in_size - routed_bytes) +
+        pack_cost_.passthrough_ops_per_byte *
+            static_cast<double>(routed_bytes));
     // Bind the packet id when transmitted.
     if (env_.has(model_.loop_var)) {
       const Value& v = env_.get(model_.loop_var);
@@ -534,11 +720,18 @@ void StageFilter::process(dc::FilterContext& ctx) {
                              Interpreter::default_value(alloc.element_type));
       }
     }
-    // The packet is fully decoded into env_: its backing storage can go
-    // straight back to the pool for the next packet somebody packs.
-    ctx.recycle(std::move(in));
+    // Without passthrough the packet is fully decoded into env_ and its
+    // backing storage can go straight back to the pool for the next packet
+    // somebody packs. With passthrough the views alias the buffer, so the
+    // recycle waits until the outgoing packet has copied them out.
+    const bool views_alive = !plan_.passthrough.empty();
+    if (!views_alive) ctx.recycle(std::move(in));
     interp_.exec_stmts(plan_.stmts, env_);
-    if (ctx.has_output()) emit_packet(ctx, env_);
+    if (ctx.has_output()) emit_packet(ctx, env_, views_alive ? &views : nullptr);
+    if (views_alive) {
+      views.clear();
+      ctx.recycle(std::move(in));
+    }
     if (is_sink()) {
       // Persist values the post-loop code needs.
       for (const std::string& name : plan_.carry) {
@@ -764,6 +957,62 @@ PipelineCompiler::PipelineCompiler(
             plan.stmts.end())
           continue;
         plan.materialize.push_back(decl);
+      }
+    }
+  }
+
+  // Passthrough routing: an output group whose collection the stage never
+  // mentions, carrying the same item list and section expression as an
+  // input group, is forwarded verbatim (StagePlan::PassthroughRoute).
+  // Forwarding the arrived block is a superset of repacking it: a repack
+  // re-resolves the (equal) section against this stage's environment and
+  // can only intersect down to the arrived slice, so every element the
+  // repack path would ship rides along in the copy, and downstream's
+  // unpack tolerates the wider coverage.
+  for (int s = 1; s < m - 1; ++s) {
+    StagePlan& plan = plans_[static_cast<std::size_t>(s)];
+    if (plan.relay) continue;
+    const PackingLayout& in_layout =
+        plans_[static_cast<std::size_t>(s - 1)].output_layout;
+    const PackingLayout& out_layout = plan.output_layout;
+    std::set<std::string> touched;
+    for (const Stmt* stmt : plan.stmts) collect_all_refs(*stmt, touched);
+    for (const VarDeclStmt* decl : plan.materialize) {
+      touched.insert(decl->name);
+      if (decl->init) collect_all_refs(*decl->init, touched);
+    }
+    std::set<std::size_t> routed_inputs;  // each input group feeds one route
+    for (std::size_t og = 0; og < out_layout.groups.size(); ++og) {
+      const PackGroup& out_group = out_layout.groups[og];
+      std::string base = out_group.collection;
+      const std::size_t dot = base.find('.');
+      if (dot != std::string::npos) base = base.substr(0, dot);
+      if (touched.count(base)) continue;
+      for (std::size_t gi = 0; gi < in_layout.groups.size(); ++gi) {
+        const PackGroup& in_group = in_layout.groups[gi];
+        if (routed_inputs.count(gi)) continue;
+        if (in_group.collection != out_group.collection) continue;
+        if (in_group.section != out_group.section) continue;
+        if (in_group.items.size() != out_group.items.size()) continue;
+        bool same_items = true;
+        for (std::size_t k = 0; k < in_group.items.size(); ++k) {
+          const PackedItem& a = in_group.items[k];
+          const PackedItem& b = out_group.items[k];
+          if (!(a.id == b.id) || !same_type(a.type, b.type)) {
+            same_items = false;
+            break;
+          }
+        }
+        if (!same_items) continue;
+        const bool flags_match = in_group.instancewise == out_group.instancewise;
+        if (!flags_match && in_group.items.size() != 1) continue;
+        StagePlan::PassthroughRoute route;
+        route.out_group = static_cast<int>(og);
+        route.in_group = static_cast<int>(gi);
+        route.patch_flag = !flags_match;
+        plan.passthrough.push_back(route);
+        routed_inputs.insert(gi);
+        break;
       }
     }
   }

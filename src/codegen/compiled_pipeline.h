@@ -49,6 +49,20 @@ struct StagePlan {
   /// regenerated (dead-in), so ReqComm rightly does not ship their
   /// contents — only the allocation must be recreated locally.
   std::vector<const VarDeclStmt*> materialize;
+  /// An output group the stage forwards verbatim from the arriving packet
+  /// (zero-copy passthrough): same collection and item list on both
+  /// boundaries, no sections, and the stage never touches the collection.
+  /// The group block is copied bytes-for-bytes instead of being unpacked
+  /// into Values and repacked; `patch_flag` rewrites the single layout
+  /// flag byte when the boundaries disagree on instance-wise vs field-wise
+  /// (legal only for single-item groups, whose two serializations are
+  /// otherwise identical).
+  struct PassthroughRoute {
+    int out_group = 0;  // index into output_layout.groups
+    int in_group = 0;   // index into the upstream layout's groups
+    bool patch_flag = false;
+  };
+  std::vector<PassthroughRoute> passthrough;
   bool relay = false;                  // no filters: forward buffers
 };
 
@@ -97,6 +111,11 @@ struct PipelineRunResult {
 struct PackCost {
   double ops_per_byte = 0.25;
   double ops_per_buffer = 400.0;
+  /// Rate for bytes a stage forwards verbatim (StagePlan::passthrough):
+  /// a bulk memcpy of the group block instead of per-element unpack and
+  /// repack, so it undercuts ops_per_byte by ~5x on both sides of the
+  /// stage (docs/DESIGN.md, packing cost model).
+  double passthrough_ops_per_byte = 0.05;
   /// Per-packet storage-read work charged to the source stage (disk read
   /// of the raw input), in abstract ops.
   double source_io_ops = 0.0;

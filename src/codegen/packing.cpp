@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -237,6 +238,155 @@ PackingLayout plan_packing(const ValueSet& req_comm,
 }
 
 // ---------------------------------------------------------------------------
+// Compiled group plans
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t leaf_width(PrimKind kind) {
+  switch (kind) {
+    case PrimKind::Int:
+    case PrimKind::Float:
+      return 4;
+    case PrimKind::Long:
+    case PrimKind::Double:
+      return 8;
+    case PrimKind::Boolean:
+    case PrimKind::Byte:
+      return 1;
+    case PrimKind::Void:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+GroupPlan compile_group_plan(const ClassRegistry& registry,
+                             const PackGroup& group,
+                             const std::string& elem_class) {
+  GroupPlan plan;
+  if (elem_class.empty()) return plan;
+  plan.leaves.reserve(group.items.size());
+  std::size_t offset = 0;
+  for (const PackedItem& item : group.items) {
+    if (!item.type || !item.type->is_primitive() ||
+        item.type->prim() == PrimKind::Void)
+      return GroupPlan{};  // reference / whole-value leaf: interpreted path
+    std::vector<std::string> fields;
+    {
+      std::string coll_unused;
+      split_elementwise(item.id, coll_unused, fields);
+    }
+    if (fields.empty()) return GroupPlan{};  // whole element, tagged
+    PlanLeaf leaf;
+    leaf.kind = item.type->prim();
+    leaf.width = leaf_width(leaf.kind);
+    leaf.offset = offset;
+    const ClassInfo* cls = registry.find(elem_class);
+    for (std::size_t s = 0; s < fields.size(); ++s) {
+      const FieldInfo* field = cls ? cls->find_field(fields[s]) : nullptr;
+      if (!field) return GroupPlan{};  // unresolved: interpreted path
+      leaf.chain.push_back(field->index);
+      if (s + 1 < fields.size()) {
+        if (!field->type || !field->type->is_class()) return GroupPlan{};
+        const ClassInfo* next = registry.find(field->type->class_name());
+        if (!next) return GroupPlan{};
+        leaf.nested.push_back(next);
+        leaf.nested_types.push_back(field->type);
+        cls = next;
+      }
+    }
+    offset += leaf.width;
+    plan.leaves.push_back(std::move(leaf));
+  }
+  plan.stride = offset;
+  plan.eligible = plan.stride > 0;
+  return plan;
+}
+
+const GroupPlan& PacketCodec::plan_for(const PackGroup& group,
+                                       const std::string& elem_class) const {
+  std::lock_guard lock(plans_mutex_);
+  const auto key = std::make_pair(&group, elem_class);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    it = plans_.emplace(key, compile_group_plan(*registry_, group, elem_class))
+             .first;
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Packed views
+// ---------------------------------------------------------------------------
+
+PackedView PackedView::parse(const dc::Buffer& in, std::size_t slot_offset) {
+  PackedView view;
+  view.buffer_ = &in;
+  view.slot_offset_ = slot_offset;
+  view.block_size_ =
+      static_cast<std::size_t>(in.peek_at<std::uint64_t>(slot_offset));
+  view.data_offset_ = slot_offset + sizeof(std::uint64_t);
+  std::size_t pos = view.data_offset_;
+  auto read_str = [&](std::string& s) {
+    const std::uint32_t n = in.peek_at<std::uint32_t>(pos);
+    pos += sizeof(std::uint32_t);
+    s.assign(reinterpret_cast<const char*>(in.span(pos, n)), n);
+    pos += n;
+  };
+  read_str(view.collection_);
+  read_str(view.elem_class_);
+  view.instancewise_ = in.peek_at<std::uint8_t>(pos) != 0;
+  pos += sizeof(std::uint8_t);
+  view.lo_ = in.peek_at<std::int64_t>(pos);
+  pos += sizeof(std::int64_t);
+  view.count_ = in.peek_at<std::int64_t>(pos);
+  pos += sizeof(std::int64_t);
+  view.n_items_ = in.peek_at<std::uint32_t>(pos);
+  pos += sizeof(std::uint32_t);
+  view.payload_offset_ = pos;
+  if (view.end_offset() < pos)
+    throw std::runtime_error("PackedView: group size slot smaller than header");
+  return view;
+}
+
+const std::byte* PackedView::field_ptr(
+    std::size_t item, std::int64_t index,
+    const std::vector<std::size_t>& widths) const {
+  if (item >= widths.size() || index < lo_ || index >= lo_ + count_)
+    throw std::out_of_range("PackedView::field_ptr out of range");
+  const std::size_t i = static_cast<std::size_t>(index - lo_);
+  std::size_t offset = 0;
+  if (instancewise_) {
+    std::size_t stride = 0;
+    for (std::size_t w : widths) stride += w;
+    offset = i * stride;
+    for (std::size_t j = 0; j < item; ++j) offset += widths[j];
+  } else {
+    for (std::size_t j = 0; j < item; ++j)
+      offset += widths[j] * static_cast<std::size_t>(count_);
+    offset += i * widths[item];
+  }
+  return buffer_->span(payload_offset_ + offset, widths[item]);
+}
+
+void PackedView::append_to(dc::Buffer& out,
+                           std::optional<bool> force_instancewise) const {
+  out.write<std::uint64_t>(static_cast<std::uint64_t>(block_size_));
+  const std::size_t copy_start = out.size();
+  out.write_bytes(buffer_->span(data_offset_, block_size_), block_size_);
+  if (force_instancewise && *force_instancewise != instancewise_) {
+    // The flag byte sits after the two length-prefixed strings; everything
+    // else of a single-item group is layout-invariant.
+    const std::size_t flag_offset =
+        copy_start + 2 * sizeof(std::uint32_t) + collection_.size() +
+        elem_class_.size();
+    out.patch_slot<std::uint8_t>(flag_offset, *force_instancewise ? 1 : 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Codec
 // ---------------------------------------------------------------------------
 
@@ -371,60 +521,218 @@ void parse_path(const std::string& path, std::string& base,
 
 }  // namespace
 
-void PacketCodec::pack(Env& env, const SymbolResolver& resolve,
-                       dc::Buffer& out) const {
-  // ---- header ------------------------------------------------------------
+namespace {
+
+/// Walks a compiled leaf's field-index chain below an element object.
+/// Returns nullptr (triggering the interpreted fallback) when the element
+/// or a nested object is absent or of a class other than the plan's — the
+/// interpreted path resolves fields by name per object, so a class
+/// mismatch means the precomputed indices may not apply.
+const Value* walk_leaf(const Object& root, const PlanLeaf& leaf) {
+  const Object* o = &root;
+  for (std::size_t k = 0; k + 1 < leaf.chain.size(); ++k) {
+    const Value& f = o->fields[static_cast<std::size_t>(leaf.chain[k])];
+    const auto* nested = std::get_if<std::shared_ptr<Object>>(&f);
+    if (!nested || !*nested) return nullptr;
+    o = nested->get();
+    if (o->class_name != leaf.nested[k]->name) return nullptr;
+  }
+  return &o->fields[static_cast<std::size_t>(leaf.chain.back())];
+}
+
+/// Scatters one leaf value to `dst`, with the exact coercions of the
+/// interpreted write_leaf (same as_int/as_double narrowing, so the wire
+/// bytes are identical).
+void write_leaf_raw(std::byte* dst, PrimKind kind, const Value& v) {
+  switch (kind) {
+    case PrimKind::Int: {
+      const std::int32_t x = static_cast<std::int32_t>(as_int(v));
+      std::memcpy(dst, &x, sizeof(x));
+      return;
+    }
+    case PrimKind::Long: {
+      const std::int64_t x = as_int(v);
+      std::memcpy(dst, &x, sizeof(x));
+      return;
+    }
+    case PrimKind::Float: {
+      const float x = static_cast<float>(as_double(v));
+      std::memcpy(dst, &x, sizeof(x));
+      return;
+    }
+    case PrimKind::Double: {
+      const double x = as_double(v);
+      std::memcpy(dst, &x, sizeof(x));
+      return;
+    }
+    case PrimKind::Boolean: {
+      const std::uint8_t x = as_bool(v) ? 1 : 0;
+      std::memcpy(dst, &x, sizeof(x));
+      return;
+    }
+    case PrimKind::Byte: {
+      const std::int8_t x = static_cast<std::int8_t>(as_int(v));
+      std::memcpy(dst, &x, sizeof(x));
+      return;
+    }
+    case PrimKind::Void:
+      return;
+  }
+}
+
+/// Gathers one leaf value from `src` with the exact widenings of the
+/// interpreted read_leaf.
+Value read_leaf_raw(const std::byte* src, PrimKind kind) {
+  switch (kind) {
+    case PrimKind::Int: {
+      std::int32_t x;
+      std::memcpy(&x, src, sizeof(x));
+      return static_cast<std::int64_t>(x);
+    }
+    case PrimKind::Long: {
+      std::int64_t x;
+      std::memcpy(&x, src, sizeof(x));
+      return x;
+    }
+    case PrimKind::Float: {
+      float x;
+      std::memcpy(&x, src, sizeof(x));
+      return static_cast<double>(x);
+    }
+    case PrimKind::Double: {
+      double x;
+      std::memcpy(&x, src, sizeof(x));
+      return x;
+    }
+    case PrimKind::Boolean: {
+      std::uint8_t x;
+      std::memcpy(&x, src, sizeof(x));
+      return x != 0;
+    }
+    case PrimKind::Byte: {
+      std::int8_t x;
+      std::memcpy(&x, src, sizeof(x));
+      return static_cast<std::int64_t>(x);
+    }
+    case PrimKind::Void:
+      return std::monostate{};
+  }
+  return std::monostate{};
+}
+
+/// Bulk gather: the steady-state compiled pack loop. Returns false when an
+/// element breaks a plan precondition (null / foreign class), in which
+/// case the caller truncates and reruns the interpreted loop.
+bool pack_group_compiled(const GroupPlan& plan, bool instancewise,
+                         const ArrayVal& arr, std::int64_t lo,
+                         std::int64_t count, const std::string& elem_class,
+                         std::byte* dst) {
+  const std::size_t first = static_cast<std::size_t>(lo - arr.base_index);
+  const std::size_t n = static_cast<std::size_t>(count);
+  if (instancewise) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto* obj =
+          std::get_if<std::shared_ptr<Object>>(&arr.elems[first + i]);
+      if (!obj || !*obj || (*obj)->class_name != elem_class) return false;
+      std::byte* rec = dst + i * plan.stride;
+      for (const PlanLeaf& leaf : plan.leaves) {
+        const Value* v = walk_leaf(**obj, leaf);
+        if (!v) return false;
+        write_leaf_raw(rec + leaf.offset, leaf.kind, *v);
+      }
+    }
+  } else {
+    for (const PlanLeaf& leaf : plan.leaves) {
+      // Field-wise: one contiguous run per leaf (count * prefix widths in).
+      std::byte* run = dst + n * leaf.offset;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto* obj =
+            std::get_if<std::shared_ptr<Object>>(&arr.elems[first + i]);
+        if (!obj || !*obj || (*obj)->class_name != elem_class) return false;
+        const Value* v = walk_leaf(**obj, leaf);
+        if (!v) return false;
+        write_leaf_raw(run + i * leaf.width, leaf.kind, *v);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void PacketCodec::pack_header(Env& env, dc::Buffer& out) const {
   out.write<std::uint32_t>(static_cast<std::uint32_t>(layout_.header.size()));
   for (const PackedItem& item : layout_.header) {
     Value v = read_path(env, item.id, -1);
     write_value(out, v);  // tagged: whole values / scalars
   }
-  // ---- element groups ------------------------------------------------------
-  out.write<std::uint32_t>(static_cast<std::uint32_t>(layout_.groups.size()));
-  for (const PackGroup& group : layout_.groups) {
-    // Resolve the element range.
-    std::string base_name;
-    std::vector<std::string> steps;
-    parse_path(group.collection, base_name, steps);
-    ValueId coll_id{base_name, steps};
-    Value coll = read_path(env, coll_id, -1);
-    auto* arr = std::get_if<std::shared_ptr<ArrayVal>>(&coll);
-    if (!arr || !*arr)
-      throw std::runtime_error("pack: collection '" + group.collection +
-                               "' is not an array");
-    std::int64_t lo = (*arr)->base_index;
-    std::int64_t hi = lo + static_cast<std::int64_t>((*arr)->elems.size()) - 1;
-    if (group.section) {
-      auto range = eval_section(*group.section, resolve);
-      if (range) {
-        lo = std::max(lo, range->first);
-        hi = std::min(hi, range->second);
+}
+
+void PacketCodec::pack_group_impl(const PackGroup& group, Env& env,
+                                  const SymbolResolver& resolve,
+                                  dc::Buffer& out, bool compiled) const {
+  // Resolve the element range.
+  std::string base_name;
+  std::vector<std::string> steps;
+  parse_path(group.collection, base_name, steps);
+  ValueId coll_id{base_name, steps};
+  Value coll = read_path(env, coll_id, -1);
+  auto* arr = std::get_if<std::shared_ptr<ArrayVal>>(&coll);
+  if (!arr || !*arr)
+    throw std::runtime_error("pack: collection '" + group.collection +
+                             "' is not an array");
+  std::int64_t lo = (*arr)->base_index;
+  std::int64_t hi = lo + static_cast<std::int64_t>((*arr)->elems.size()) - 1;
+  if (group.section) {
+    auto range = eval_section(*group.section, resolve);
+    if (range) {
+      lo = std::max(lo, range->first);
+      hi = std::min(hi, range->second);
+    }
+  }
+  const std::int64_t count = hi >= lo ? hi - lo + 1 : 0;
+
+  // Element class name: from the first element (reduced-object recreation
+  // on the receiving side).
+  std::string elem_class;
+  if (count > 0) {
+    const Value& first =
+        (*arr)->elems[static_cast<std::size_t>(lo - (*arr)->base_index)];
+    if (const auto* obj = std::get_if<std::shared_ptr<Object>>(&first)) {
+      if (*obj) elem_class = (*obj)->class_name;
+    }
+  }
+
+  // Group header, preceded by a byte-size slot (the paper's unpacking
+  // offset: a receiver can skip a group it does not consume).
+  std::size_t size_slot = out.reserve_slot<std::uint64_t>();
+  const std::size_t group_start = out.size();
+  write_string(out, group.collection);
+  write_string(out, elem_class);
+  out.write<std::uint8_t>(group.instancewise ? 1 : 0);
+  out.write<std::int64_t>(lo);
+  out.write<std::int64_t>(count);
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(group.items.size()));
+
+  bool wrote = false;
+  if (compiled && count > 0) {
+    const GroupPlan& plan = plan_for(group, elem_class);
+    if (plan.eligible) {
+      // One allocation check for the whole group, then raw-pointer
+      // gather/scatter over the contiguous primitive runs.
+      const std::size_t total =
+          static_cast<std::size_t>(count) * plan.stride;
+      const std::size_t data_start = out.size();
+      std::byte* dst = out.append(total);
+      if (pack_group_compiled(plan, group.instancewise, **arr, lo, count,
+                              elem_class, dst)) {
+        wrote = true;
+      } else {
+        out.truncate(data_start);  // fall back to the interpreted loop
       }
     }
-    const std::int64_t count = hi >= lo ? hi - lo + 1 : 0;
-
-    // Element class name: from the first element (reduced-object recreation
-    // on the receiving side).
-    std::string elem_class;
-    if (count > 0) {
-      const Value& first =
-          (*arr)->elems[static_cast<std::size_t>(lo - (*arr)->base_index)];
-      if (const auto* obj = std::get_if<std::shared_ptr<Object>>(&first)) {
-        if (*obj) elem_class = (*obj)->class_name;
-      }
-    }
-
-    // Group header, preceded by a byte-size slot (the paper's unpacking
-    // offset: a receiver can skip a group it does not consume).
-    std::size_t size_slot = out.reserve_slot<std::uint64_t>();
-    const std::size_t group_start = out.size();
-    write_string(out, group.collection);
-    write_string(out, elem_class);
-    out.write<std::uint8_t>(group.instancewise ? 1 : 0);
-    out.write<std::int64_t>(lo);
-    out.write<std::int64_t>(count);
-    out.write<std::uint32_t>(static_cast<std::uint32_t>(group.items.size()));
-
+  }
+  if (!wrote) {
     if (group.instancewise) {
       for (std::int64_t i = lo; i < lo + count; ++i) {
         for (const PackedItem& item : group.items) {
@@ -438,14 +746,34 @@ void PacketCodec::pack(Env& env, const SymbolResolver& resolve,
         }
       }
     }
-    out.patch_slot<std::uint64_t>(size_slot,
-                                  static_cast<std::uint64_t>(out.size() -
-                                                             group_start));
   }
+  out.patch_slot<std::uint64_t>(
+      size_slot, static_cast<std::uint64_t>(out.size() - group_start));
 }
 
-void PacketCodec::unpack(dc::Buffer& in, Env& env) const {
-  // ---- header ------------------------------------------------------------
+void PacketCodec::pack_group(std::size_t gi, Env& env,
+                             const SymbolResolver& resolve,
+                             dc::Buffer& out) const {
+  pack_group_impl(layout_.groups[gi], env, resolve, out, true);
+}
+
+void PacketCodec::pack(Env& env, const SymbolResolver& resolve,
+                       dc::Buffer& out) const {
+  pack_header(env, out);
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(layout_.groups.size()));
+  for (const PackGroup& group : layout_.groups)
+    pack_group_impl(group, env, resolve, out, true);
+}
+
+void PacketCodec::pack_interpreted(Env& env, const SymbolResolver& resolve,
+                                   dc::Buffer& out) const {
+  pack_header(env, out);
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(layout_.groups.size()));
+  for (const PackGroup& group : layout_.groups)
+    pack_group_impl(group, env, resolve, out, false);
+}
+
+void PacketCodec::unpack_header(dc::Buffer& in, Env& env) const {
   std::uint32_t n_header = in.read<std::uint32_t>();
   if (n_header != layout_.header.size())
     throw std::runtime_error("unpack: header arity mismatch");
@@ -488,142 +816,232 @@ void PacketCodec::unpack(dc::Buffer& in, Env& env) const {
       (*obj)->fields[static_cast<std::size_t>(field->index)] = std::move(v);
     }
   }
+}
 
-  // ---- element groups -----------------------------------------------------
-  std::uint32_t n_groups = in.read<std::uint32_t>();
-  if (n_groups != layout_.groups.size())
-    throw std::runtime_error("unpack: group arity mismatch");
-  for (const PackGroup& group : layout_.groups) {
-    in.read<std::uint64_t>();  // group byte size (skip offset)
-    std::string collection = read_string(in);
-    std::string elem_class = read_string(in);
-    std::uint8_t instancewise = in.read<std::uint8_t>();
-    std::int64_t lo = in.read<std::int64_t>();
-    std::int64_t count = in.read<std::int64_t>();
-    std::uint32_t n_items = in.read<std::uint32_t>();
-    if (collection != group.collection ||
-        n_items != group.items.size() ||
-        (instancewise != 0) != group.instancewise)
-      throw std::runtime_error("unpack: layout mismatch for group '" +
-                               group.collection + "'");
+void PacketCodec::unpack_group_impl(const PackGroup& group, dc::Buffer& in,
+                                    Env& env, bool compiled) const {
+  const std::uint64_t block_size =
+      in.read<std::uint64_t>();  // group byte size (skip offset)
+  const std::size_t group_start = in.read_pos();
+  std::string collection = read_string(in);
+  std::string elem_class = read_string(in);
+  std::uint8_t instancewise = in.read<std::uint8_t>();
+  std::int64_t lo = in.read<std::int64_t>();
+  std::int64_t count = in.read<std::int64_t>();
+  std::uint32_t n_items = in.read<std::uint32_t>();
+  if (collection != group.collection ||
+      n_items != group.items.size() ||
+      (instancewise != 0) != group.instancewise)
+    throw std::runtime_error("unpack: layout mismatch for group '" +
+                             group.collection + "'");
 
-    // Get or create the (possibly reduced-element) collection binding.
-    std::string base_name;
-    std::vector<std::string> steps;
-    parse_path(group.collection, base_name, steps);
-    if (!steps.empty())
-      throw std::runtime_error(
-          "unpack: nested collection paths are packed as whole roots");
-    std::shared_ptr<ArrayVal> arr;
-    if (env.has(base_name)) {
-      if (auto* existing =
-              std::get_if<std::shared_ptr<ArrayVal>>(&env.slot(base_name))) {
-        arr = *existing;
+  // Get or create the (possibly reduced-element) collection binding.
+  std::string base_name;
+  std::vector<std::string> steps;
+  parse_path(group.collection, base_name, steps);
+  if (!steps.empty())
+    throw std::runtime_error(
+        "unpack: nested collection paths are packed as whole roots");
+  std::shared_ptr<ArrayVal> arr;
+  if (env.has(base_name)) {
+    if (auto* existing =
+            std::get_if<std::shared_ptr<ArrayVal>>(&env.slot(base_name))) {
+      arr = *existing;
+    }
+  }
+  if (!arr) {
+    arr = std::make_shared<ArrayVal>();
+    arr->base_index = lo;
+    env.declare(base_name, arr);
+  }
+  // Extend coverage if this group's range exceeds the current array.
+  std::int64_t cur_lo = arr->base_index;
+  std::int64_t cur_hi =
+      cur_lo + static_cast<std::int64_t>(arr->elems.size()) - 1;
+  std::int64_t new_lo = arr->elems.empty() ? lo : std::min(cur_lo, lo);
+  std::int64_t new_hi =
+      arr->elems.empty() ? lo + count - 1 : std::max(cur_hi, lo + count - 1);
+  if (new_lo != cur_lo ||
+      new_hi - new_lo + 1 != static_cast<std::int64_t>(arr->elems.size())) {
+    std::vector<Value> resized(
+        static_cast<std::size_t>(std::max<std::int64_t>(0, new_hi - new_lo + 1)));
+    for (std::size_t i = 0; i < arr->elems.size(); ++i) {
+      resized[static_cast<std::size_t>(cur_lo - new_lo) + i] =
+          std::move(arr->elems[i]);
+    }
+    arr->elems = std::move(resized);
+    arr->base_index = new_lo;
+  }
+  // Materialize reduced element objects.
+  auto element_at = [&](std::int64_t index) -> std::shared_ptr<Object> {
+    Value& slot =
+        arr->elems[static_cast<std::size_t>(index - arr->base_index)];
+    if (auto* obj = std::get_if<std::shared_ptr<Object>>(&slot)) {
+      if (*obj) return *obj;
+    }
+    auto obj = std::make_shared<Object>();
+    obj->class_name = elem_class;
+    if (const ClassInfo* cls = registry_->find(elem_class)) {
+      obj->fields.resize(cls->fields.size());
+      for (const FieldInfo& f : cls->fields) {
+        obj->fields[static_cast<std::size_t>(f.index)] =
+            Interpreter::default_value(f.type);
       }
     }
-    if (!arr) {
-      arr = std::make_shared<ArrayVal>();
-      arr->base_index = lo;
-      env.declare(base_name, arr);
+    slot = obj;
+    return obj;
+  };
+  auto set_field = [&](std::int64_t index, const PackedItem& item, Value v) {
+    // Field path after the "[]" step.
+    std::vector<std::string> fields;
+    {
+      std::string coll_path_unused;
+      split_elementwise(item.id, coll_path_unused, fields);
     }
-    // Extend coverage if this group's range exceeds the current array.
-    std::int64_t cur_lo = arr->base_index;
-    std::int64_t cur_hi =
-        cur_lo + static_cast<std::int64_t>(arr->elems.size()) - 1;
-    std::int64_t new_lo = arr->elems.empty() ? lo : std::min(cur_lo, lo);
-    std::int64_t new_hi =
-        arr->elems.empty() ? lo + count - 1 : std::max(cur_hi, lo + count - 1);
-    if (new_lo != cur_lo ||
-        new_hi - new_lo + 1 != static_cast<std::int64_t>(arr->elems.size())) {
-      std::vector<Value> resized(
-          static_cast<std::size_t>(std::max<std::int64_t>(0, new_hi - new_lo + 1)));
-      for (std::size_t i = 0; i < arr->elems.size(); ++i) {
-        resized[static_cast<std::size_t>(cur_lo - new_lo) + i] =
-            std::move(arr->elems[i]);
-      }
-      arr->elems = std::move(resized);
-      arr->base_index = new_lo;
+    if (fields.empty()) {
+      // Whole element transmitted (tagged).
+      arr->elems[static_cast<std::size_t>(index - arr->base_index)] =
+          std::move(v);
+      return;
     }
-    // Materialize reduced element objects.
-    auto element_at = [&](std::int64_t index) -> std::shared_ptr<Object> {
-      Value& slot =
-          arr->elems[static_cast<std::size_t>(index - arr->base_index)];
-      if (auto* obj = std::get_if<std::shared_ptr<Object>>(&slot)) {
-        if (*obj) return *obj;
-      }
-      auto obj = std::make_shared<Object>();
-      obj->class_name = elem_class;
-      if (const ClassInfo* cls = registry_->find(elem_class)) {
-        obj->fields.resize(cls->fields.size());
-        for (const FieldInfo& f : cls->fields) {
-          obj->fields[static_cast<std::size_t>(f.index)] =
-              Interpreter::default_value(f.type);
+    std::shared_ptr<Object> obj = element_at(index);
+    Value* current_slot = nullptr;
+    std::shared_ptr<Object> current_obj = obj;
+    for (std::size_t s = 0; s < fields.size(); ++s) {
+      const ClassInfo* cls = registry_->find(current_obj->class_name);
+      const FieldInfo* field = cls ? cls->find_field(fields[s]) : nullptr;
+      if (!field)
+        throw std::runtime_error("unpack: bad element field '" + fields[s] +
+                                 "'");
+      current_slot =
+          &current_obj->fields[static_cast<std::size_t>(field->index)];
+      if (s + 1 < fields.size()) {
+        auto* next = std::get_if<std::shared_ptr<Object>>(current_slot);
+        if (!next || !*next) {
+          // Materialize nested skeleton.
+          auto nested = std::make_shared<Object>();
+          nested->class_name = field->type->class_name();
+          if (const ClassInfo* ncls = registry_->find(nested->class_name)) {
+            nested->fields.resize(ncls->fields.size());
+            for (const FieldInfo& f : ncls->fields) {
+              nested->fields[static_cast<std::size_t>(f.index)] =
+                  Interpreter::default_value(f.type);
+            }
+          }
+          *current_slot = nested;
+          current_obj = nested;
+        } else {
+          current_obj = *next;
         }
       }
-      slot = obj;
-      return obj;
-    };
-    auto set_field = [&](std::int64_t index, const PackedItem& item, Value v) {
-      // Field path after the "[]" step.
-      std::vector<std::string> fields;
-      {
-        std::string coll_path_unused;
-        split_elementwise(item.id, coll_path_unused, fields);
+    }
+    *current_slot = std::move(v);
+  };
+
+  // ---- compiled scatter --------------------------------------------------
+  const std::size_t data_start = in.read_pos();
+  const std::size_t header_bytes = data_start - group_start;
+  if (compiled && count > 0) {
+    const GroupPlan& plan = plan_for(group, elem_class);
+    const std::size_t total = static_cast<std::size_t>(count) * plan.stride;
+    // The wire-size guard rejects packets written by a codec whose leaf
+    // widths differ from the plan's (e.g. a tagged reference leaf).
+    if (plan.eligible &&
+        static_cast<std::size_t>(block_size) == header_bytes + total) {
+      const std::byte* src = in.span(data_start, total);
+      bool ok = true;
+      const std::size_t first =
+          static_cast<std::size_t>(lo - arr->base_index);
+      const std::size_t n = static_cast<std::size_t>(count);
+      for (std::size_t i = 0; ok && i < n; ++i) {
+        std::shared_ptr<Object> obj = element_at(lo + static_cast<std::int64_t>(i));
+        if (obj->class_name != elem_class) {
+          ok = false;  // pre-existing foreign element: interpreted path
+          break;
+        }
+        for (std::size_t j = 0; j < plan.leaves.size(); ++j) {
+          const PlanLeaf& leaf = plan.leaves[j];
+          const std::byte* p =
+              (instancewise != 0)
+                  ? src + i * plan.stride + leaf.offset
+                  : src + n * leaf.offset + i * leaf.width;
+          Object* o = obj.get();
+          bool walked = true;
+          for (std::size_t k = 0; k + 1 < leaf.chain.size(); ++k) {
+            Value& slot = o->fields[static_cast<std::size_t>(leaf.chain[k])];
+            auto* next = std::get_if<std::shared_ptr<Object>>(&slot);
+            if (next && *next) {
+              if ((*next)->class_name != leaf.nested[k]->name) {
+                walked = false;
+                break;
+              }
+              o = next->get();
+              continue;
+            }
+            // Materialize the nested skeleton exactly as set_field does.
+            auto nested = std::make_shared<Object>();
+            nested->class_name = leaf.nested_types[k]->class_name();
+            nested->fields.resize(leaf.nested[k]->fields.size());
+            for (const FieldInfo& f : leaf.nested[k]->fields) {
+              nested->fields[static_cast<std::size_t>(f.index)] =
+                  Interpreter::default_value(f.type);
+            }
+            o = nested.get();
+            slot = std::move(nested);
+          }
+          if (!walked) {
+            ok = false;
+            break;
+          }
+          o->fields[static_cast<std::size_t>(leaf.chain.back())] =
+              read_leaf_raw(p, leaf.kind);
+        }
       }
-      if (fields.empty()) {
-        // Whole element transmitted (tagged).
-        arr->elems[static_cast<std::size_t>(index - arr->base_index)] =
-            std::move(v);
+      (void)first;
+      if (ok) {
+        in.skip(total);
         return;
       }
-      std::shared_ptr<Object> obj = element_at(index);
-      Value* current_slot = nullptr;
-      std::shared_ptr<Object> current_obj = obj;
-      for (std::size_t s = 0; s < fields.size(); ++s) {
-        const ClassInfo* cls = registry_->find(current_obj->class_name);
-        const FieldInfo* field = cls ? cls->find_field(fields[s]) : nullptr;
-        if (!field)
-          throw std::runtime_error("unpack: bad element field '" + fields[s] +
-                                   "'");
-        current_slot =
-            &current_obj->fields[static_cast<std::size_t>(field->index)];
-        if (s + 1 < fields.size()) {
-          auto* next = std::get_if<std::shared_ptr<Object>>(current_slot);
-          if (!next || !*next) {
-            // Materialize nested skeleton.
-            auto nested = std::make_shared<Object>();
-            nested->class_name = field->type->class_name();
-            if (const ClassInfo* ncls = registry_->find(nested->class_name)) {
-              nested->fields.resize(ncls->fields.size());
-              for (const FieldInfo& f : ncls->fields) {
-                nested->fields[static_cast<std::size_t>(f.index)] =
-                    Interpreter::default_value(f.type);
-              }
-            }
-            *current_slot = nested;
-            current_obj = nested;
-          } else {
-            current_obj = *next;
-          }
-        }
-      }
-      *current_slot = std::move(v);
-    };
+      in.seek(data_start);  // rewind; rerun through the interpreted loop
+    }
+  }
 
-    if (group.instancewise) {
-      for (std::int64_t i = lo; i < lo + count; ++i) {
-        for (const PackedItem& item : group.items) {
-          set_field(i, item, read_leaf(in, item.type));
-        }
-      }
-    } else {
+  if (group.instancewise) {
+    for (std::int64_t i = lo; i < lo + count; ++i) {
       for (const PackedItem& item : group.items) {
-        for (std::int64_t i = lo; i < lo + count; ++i) {
-          set_field(i, item, read_leaf(in, item.type));
-        }
+        set_field(i, item, read_leaf(in, item.type));
+      }
+    }
+  } else {
+    for (const PackedItem& item : group.items) {
+      for (std::int64_t i = lo; i < lo + count; ++i) {
+        set_field(i, item, read_leaf(in, item.type));
       }
     }
   }
+}
+
+void PacketCodec::unpack_group(std::size_t gi, dc::Buffer& in,
+                               Env& env) const {
+  unpack_group_impl(layout_.groups[gi], in, env, true);
+}
+
+void PacketCodec::unpack(dc::Buffer& in, Env& env) const {
+  unpack_header(in, env);
+  std::uint32_t n_groups = in.read<std::uint32_t>();
+  if (n_groups != layout_.groups.size())
+    throw std::runtime_error("unpack: group arity mismatch");
+  for (const PackGroup& group : layout_.groups)
+    unpack_group_impl(group, in, env, true);
+}
+
+void PacketCodec::unpack_interpreted(dc::Buffer& in, Env& env) const {
+  unpack_header(in, env);
+  std::uint32_t n_groups = in.read<std::uint32_t>();
+  if (n_groups != layout_.groups.size())
+    throw std::runtime_error("unpack: group arity mismatch");
+  for (const PackGroup& group : layout_.groups)
+    unpack_group_impl(group, in, env, false);
 }
 
 }  // namespace cgp

@@ -44,8 +44,11 @@ class Buffer {
   }
   /// Surrenders the backing storage (the buffer becomes empty). The
   /// returned vector keeps its capacity and can back a future packet.
+  /// Every logical field resets: a recycled-then-reused buffer carrying a
+  /// stale tag would masquerade as a checkpoint marker downstream.
   std::vector<std::byte> release_storage() {
     read_pos_ = 0;
+    tag_ = 0;
     return std::move(data_);
   }
 
@@ -75,6 +78,22 @@ class Buffer {
       throw std::out_of_range("Buffer::patch_slot past end");
     std::memcpy(data_.data() + offset, &value, sizeof(T));
   }
+  /// Grows the buffer by `n` bytes in one resize and returns a pointer to
+  /// the fresh region — the bulk-write primitive of the compiled pack
+  /// plans (one allocation check per group instead of one per leaf). The
+  /// pointer is invalidated by any subsequent write.
+  std::byte* append(std::size_t n) {
+    const std::size_t offset = data_.size();
+    data_.resize(offset + n);
+    return data_.data() + offset;
+  }
+  /// Drops everything past `n` bytes (capacity kept). Lets a compiled pack
+  /// plan abandon a partially written group and rewrite it through the
+  /// interpreted fallback path.
+  void truncate(std::size_t n) {
+    if (n > data_.size()) throw std::out_of_range("Buffer::truncate past end");
+    data_.resize(n);
+  }
 
   // ---- reading -----------------------------------------------------------
   template <typename T>
@@ -102,6 +121,21 @@ class Buffer {
   void seek(std::size_t pos) {
     if (pos > data_.size()) throw std::out_of_range("Buffer::seek past end");
     read_pos_ = pos;
+  }
+  /// Advances the read cursor without copying (the §5 unpacking offset:
+  /// a receiver skips a group it does not consume).
+  void skip(std::size_t n) {
+    if (read_pos_ + n > data_.size())
+      throw std::out_of_range("Buffer::skip past end");
+    read_pos_ += n;
+  }
+  /// Bounds-checked span over the payload: the in-place read primitive of
+  /// zero-copy packed views. Valid until the buffer is written to, moved,
+  /// or recycled (docs/PERFORMANCE.md, view lifetime rules).
+  const std::byte* span(std::size_t offset, std::size_t n) const {
+    if (offset + n > data_.size())
+      throw std::out_of_range("Buffer::span past end");
+    return data_.data() + offset;
   }
   std::size_t remaining() const { return data_.size() - read_pos_; }
   bool exhausted() const { return read_pos_ >= data_.size(); }

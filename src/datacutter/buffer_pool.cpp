@@ -11,6 +11,22 @@ std::size_t BufferPool::class_of(std::size_t bytes) {
   return c;
 }
 
+void BufferPool::set_geometry(std::size_t links, std::size_t stream_capacity,
+                              std::size_t batch_size, std::size_t max_copies) {
+  if (links == 0) return;
+  if (batch_size == 0) batch_size = 1;
+  if (max_copies == 0) max_copies = 1;
+  // Circulating working set per link: the stream itself holds up to
+  // capacity + (batch-1) buffers (a flush may overshoot the capacity by one
+  // batch), the producer side holds a pending batch per copy, and the
+  // consumer side holds a popped-but-unread batch per copy. All of a
+  // pipeline's links share the payload size in the common case, so the
+  // whole set can land in one size class; retain it all.
+  const std::size_t per_link =
+      stream_capacity + (batch_size - 1) + 2 * batch_size * max_copies;
+  retention_per_class_ = std::max(max_per_class_, links * per_link);
+}
+
 Buffer BufferPool::acquire(std::size_t reserve_bytes) {
   acquires_.fetch_add(1, std::memory_order_relaxed);
   // Recycled storage is binned by floor-log2 of its capacity, so a class-c
@@ -23,6 +39,7 @@ Buffer BufferPool::acquire(std::size_t reserve_bytes) {
   const std::size_t limit = reserve_bytes == 0 ? kClasses : floor_class + 4;
   {
     std::lock_guard lock(mutex_);
+    counters_[floor_class].acquires += 1;
     for (std::size_t c = floor_class; c < limit && c < kClasses; ++c) {
       std::vector<std::vector<std::byte>>& bin = classes_[c];
       if (c == floor_class &&
@@ -32,6 +49,7 @@ Buffer BufferPool::acquire(std::size_t reserve_bytes) {
           std::vector<std::byte> storage = std::move(*it);
           bin.erase(std::next(it).base());
           hits_.fetch_add(1, std::memory_order_relaxed);
+          counters_[floor_class].hits += 1;
           return Buffer::adopt(std::move(storage));
         }
         continue;
@@ -40,6 +58,7 @@ Buffer BufferPool::acquire(std::size_t reserve_bytes) {
       std::vector<std::byte> storage = std::move(bin.back());
       bin.pop_back();
       hits_.fetch_add(1, std::memory_order_relaxed);
+      counters_[floor_class].hits += 1;
       return Buffer::adopt(std::move(storage));
     }
   }
@@ -48,8 +67,7 @@ Buffer BufferPool::acquire(std::size_t reserve_bytes) {
   // odd-sized requests converge on a single class instead of seeding the
   // pool with capacities just below every boundary.
   std::size_t rounded = static_cast<std::size_t>(1) << floor_class;
-  if (rounded < reserve_bytes && floor_class + 1 < kClasses)
-    rounded <<= 1;
+  if (rounded < reserve_bytes && floor_class + 1 < kClasses) rounded <<= 1;
   return Buffer(std::max(reserve_bytes, rounded));
 }
 
@@ -58,13 +76,19 @@ void BufferPool::recycle(Buffer&& buffer) {
   if (storage.capacity() == 0) return;  // nothing worth keeping
   recycles_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t c = class_of(storage.capacity());
+  const std::size_t cap = std::max(retention_per_class_, max_per_class_);
   {
     std::lock_guard lock(mutex_);
-    if (classes_[c].size() < max_per_class_) {
+    counters_[c].recycles += 1;
+    if (classes_[c].size() < cap) {
       storage.clear();
       classes_[c].push_back(std::move(storage));
+      counters_[c].high_water =
+          std::max(counters_[c].high_water,
+                   static_cast<std::int64_t>(classes_[c].size()));
       return;
     }
+    counters_[c].discarded += 1;
   }
   discarded_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -76,6 +100,21 @@ support::PoolMetrics BufferPool::metrics() const {
   m.misses = misses();
   m.recycles = recycles();
   m.discarded = discarded();
+  std::lock_guard lock(mutex_);
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    const ClassCounters& k = counters_[c];
+    if (k.acquires == 0 && k.recycles == 0) continue;
+    support::PoolClassMetrics cm;
+    cm.class_index = static_cast<int>(c);
+    cm.class_bytes = static_cast<std::int64_t>(1) << c;
+    cm.acquires = k.acquires;
+    cm.hits = k.hits;
+    cm.misses = k.acquires - k.hits;
+    cm.recycles = k.recycles;
+    cm.discarded = k.discarded;
+    cm.high_water = k.high_water;
+    m.classes.push_back(cm);
+  }
   return m;
 }
 

@@ -6,10 +6,17 @@
 // handful of vectors cycles around the pipeline.
 //
 // Storage is binned by power-of-two capacity class. acquire() searches the
-// requested class and the next two larger ones (a slightly-roomier vector
+// requested class and the next few larger ones (a slightly-roomier vector
 // is still a win); recycle() bins by floor-log2(capacity) so everything in
 // class c can serve a request of up to 2^c bytes. Each class is capped to
-// bound worst-case retention on irregular traffic.
+// bound worst-case retention on irregular traffic — but the cap must
+// cover the run's *circulating working set*, which packet batching
+// multiplies: with batch size B every copy holds up to B pending buffers,
+// B popped-but-unread buffers, and the stream itself holds capacity + B-1
+// overshoot. A cap sized for unbatched traffic discards burst recycles
+// and every discarded vector becomes a later allocation miss (hit rate
+// sagged to ~75-80% at batch >= 16 before set_geometry existed).
+// set_geometry() raises the retention floor to that working set.
 #pragma once
 
 #include <atomic>
@@ -26,6 +33,15 @@ class BufferPool {
  public:
   explicit BufferPool(std::size_t max_per_class = 64)
       : max_per_class_(max_per_class) {}
+
+  /// Aligns per-class retention to the run's batch geometry: each of the
+  /// `links` streams can hold `capacity + batch - 1` buffers, and every
+  /// copy on either end holds up to two batches in its pending/unread
+  /// hands. The per-class cap becomes max(configured cap, that working
+  /// set), so batched recycle bursts are retained instead of discarded.
+  /// Call before the run starts (not thread-safe against acquire/recycle).
+  void set_geometry(std::size_t links, std::size_t stream_capacity,
+                    std::size_t batch_size, std::size_t max_copies);
 
   /// Returns a logically empty buffer whose backing capacity is at least
   /// `reserve_bytes` when a recycled vector of that class is available
@@ -52,8 +68,11 @@ class BufferPool {
     const std::int64_t n = acquires();
     return n > 0 ? static_cast<double>(hits()) / static_cast<double>(n) : 0.0;
   }
+  /// Effective per-class retention cap after geometry alignment.
+  std::size_t retention_per_class() const { return retention_per_class_; }
 
-  /// Snapshot for the run trace.
+  /// Snapshot for the run trace, including the sparse per-class breakdown
+  /// (trace v6).
   support::PoolMetrics metrics() const;
 
  private:
@@ -62,9 +81,21 @@ class BufferPool {
   static constexpr std::size_t kClasses = 27;
   static std::size_t class_of(std::size_t bytes);
 
+  /// Per-class counters, guarded by mutex_ (the run trace reads them once
+  /// after the threads joined).
+  struct ClassCounters {
+    std::int64_t acquires = 0;
+    std::int64_t hits = 0;
+    std::int64_t recycles = 0;
+    std::int64_t discarded = 0;
+    std::int64_t high_water = 0;
+  };
+
   const std::size_t max_per_class_;
-  std::mutex mutex_;
+  std::size_t retention_per_class_ = 0;  // 0 = max_per_class_
+  mutable std::mutex mutex_;
   std::vector<std::vector<std::byte>> classes_[kClasses];
+  ClassCounters counters_[kClasses];
   std::atomic<std::int64_t> acquires_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> recycles_{0};

@@ -222,8 +222,18 @@ RunOutcome PipelineRunner::run_supervised() {
   // recycled into the batches upstream builds next. Threads join before the
   // pool goes out of scope.
   std::optional<BufferPool> pool;
-  if (config_.pool_buffers_per_class > 0)
+  if (config_.pool_buffers_per_class > 0) {
     pool.emplace(config_.pool_buffers_per_class);
+    // Align retention to this run's batch geometry so batched recycle
+    // bursts stay in the freelists instead of being discarded (and then
+    // miss-allocated moments later). The runner knows the whole shape:
+    // links, stream capacity, batch size, and the widest replica fan.
+    int max_copies = 1;
+    for (const FilterGroup& g : groups_) max_copies = std::max(max_copies, g.copies);
+    pool->set_geometry(n_groups > 0 ? n_groups - 1 : 0,
+                       config_.stream_capacity, config_.batch_size,
+                       static_cast<std::size_t>(max_copies));
+  }
 
   RunOutcome outcome;
   RunStats& stats = outcome.stats;
@@ -380,7 +390,7 @@ RunOutcome PipelineRunner::run_supervised() {
   };
   /// A live part from a running copy: a source copy's delivered mark
   /// (gi == 0) or a consumer copy's snapshot. Consumer parts additionally
-  /// emit a per-copy trace record (cgpipe-trace-v5).
+  /// emit a per-copy trace record (cgpipe-trace-v6).
   auto submit_part = [&](std::int64_t id, std::size_t gi, int copy,
                          std::vector<std::byte> state, bool usable,
                          std::int64_t delivered) {

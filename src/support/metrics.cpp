@@ -80,12 +80,32 @@ void FilterMetrics::merge(const FilterMetrics& other) {
   latency.merge(other.latency);
 }
 
+void PoolClassMetrics::merge(const PoolClassMetrics& other) {
+  acquires += other.acquires;
+  hits += other.hits;
+  misses += other.misses;
+  recycles += other.recycles;
+  discarded += other.discarded;
+  high_water = std::max(high_water, other.high_water);
+}
+
 void PoolMetrics::merge(const PoolMetrics& other) {
   acquires += other.acquires;
   hits += other.hits;
   misses += other.misses;
   recycles += other.recycles;
   discarded += other.discarded;
+  for (const PoolClassMetrics& c : other.classes) {
+    auto it = std::find_if(classes.begin(), classes.end(),
+                           [&](const PoolClassMetrics& mine) {
+                             return mine.class_index == c.class_index;
+                           });
+    if (it == classes.end()) {
+      classes.push_back(c);
+    } else {
+      it->merge(c);
+    }
+  }
 }
 
 const char* fault_resolution_name(FaultResolution r) {
@@ -221,7 +241,7 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     checkpoints.push_back(std::move(jc));
   }
   Json root{Json::Object{}};
-  root.set("schema", Json("cgpipe-trace-v5"));
+  root.set("schema", Json("cgpipe-trace-v6"));
   root.set("wall_seconds", Json(trace.wall_seconds));
   root.set("packets", Json(trace.packets));
   root.set("completed", Json(trace.completed));
@@ -246,6 +266,21 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
   pool.set("misses", Json(trace.pool.misses));
   pool.set("recycles", Json(trace.pool.recycles));
   pool.set("discarded", Json(trace.pool.discarded));
+  // v6 per-size-class breakdown, sparse over active classes.
+  Json::Array pool_classes;
+  for (const PoolClassMetrics& c : trace.pool.classes) {
+    Json jc{Json::Object{}};
+    jc.set("class_index", Json(static_cast<std::int64_t>(c.class_index)));
+    jc.set("class_bytes", Json(c.class_bytes));
+    jc.set("acquires", Json(c.acquires));
+    jc.set("hits", Json(c.hits));
+    jc.set("misses", Json(c.misses));
+    jc.set("recycles", Json(c.recycles));
+    jc.set("discarded", Json(c.discarded));
+    jc.set("high_water", Json(c.high_water));
+    pool_classes.push_back(std::move(jc));
+  }
+  pool.set("classes", Json(std::move(pool_classes)));
   pool.set("hit_rate", Json(trace.pool.hit_rate()));
   root.set("pool", std::move(pool));
   root.set("filters", Json(std::move(filters)));
@@ -263,7 +298,7 @@ PipelineTrace trace_from_json(const std::string& text) {
   const std::string& schema = root.at("schema").as_string();
   if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2" &&
       schema != "cgpipe-trace-v3" && schema != "cgpipe-trace-v4" &&
-      schema != "cgpipe-trace-v5")
+      schema != "cgpipe-trace-v5" && schema != "cgpipe-trace-v6")
     throw std::runtime_error("trace: unknown schema");
   PipelineTrace trace;
   trace.wall_seconds = root.at("wall_seconds").as_number();
@@ -311,6 +346,21 @@ PipelineTrace trace_from_json(const std::string& text) {
     trace.pool.misses = jp.at("misses").as_int();
     trace.pool.recycles = jp.at("recycles").as_int();
     trace.pool.discarded = jp.at("discarded").as_int();
+    // v6 per-class breakdown; absent in v1-v5 documents.
+    if (jp.contains("classes")) {
+      for (const Json& jc : jp.at("classes").as_array()) {
+        PoolClassMetrics c;
+        c.class_index = static_cast<int>(jc.at("class_index").as_int());
+        c.class_bytes = jc.at("class_bytes").as_int();
+        c.acquires = jc.at("acquires").as_int();
+        c.hits = jc.at("hits").as_int();
+        c.misses = jc.at("misses").as_int();
+        c.recycles = jc.at("recycles").as_int();
+        c.discarded = jc.at("discarded").as_int();
+        c.high_water = jc.at("high_water").as_int();
+        trace.pool.classes.push_back(c);
+      }
+    }
   }
   for (const Json& jl : root.at("links").as_array()) {
     LinkMetrics l;

@@ -89,6 +89,22 @@ struct LinkMetrics {
   double consumer_block_seconds = 0.0;
 };
 
+/// Per-size-class buffer-pool counters (trace v6): activity of one
+/// power-of-two freelist class, so a sagging hit rate can be attributed
+/// to the class that is miss-allocating (e.g. batched packets overflowing
+/// a retention cap sized for unbatched traffic).
+struct PoolClassMetrics {
+  int class_index = 0;           // floor-log2 of the capacities binned here
+  std::int64_t class_bytes = 0;  // 1 << class_index
+  std::int64_t acquires = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t recycles = 0;
+  std::int64_t discarded = 0;
+  std::int64_t high_water = 0;  // deepest the freelist got
+  void merge(const PoolClassMetrics& other);
+};
+
 /// Buffer-pool counters for one pipeline run (see dc::BufferPool): how
 /// often packet storage was served from the freelists instead of the
 /// allocator. hit_rate ~1 in steady state means transport allocation cost
@@ -99,6 +115,9 @@ struct PoolMetrics {
   std::int64_t misses = 0;
   std::int64_t recycles = 0;
   std::int64_t discarded = 0;
+  /// Per-size-class breakdown, sparse: only classes that saw activity
+  /// (trace v6; empty in documents written before schema v6).
+  std::vector<PoolClassMetrics> classes;
 
   double hit_rate() const {
     return acquires > 0
@@ -180,15 +199,16 @@ struct PipelineTrace {
   int bottleneck_filter() const;
 };
 
-/// Serializes to the cgpipe-trace-v5 schema documented in
+/// Serializes to the cgpipe-trace-v6 schema documented in
 /// docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 
 /// Reloads a serialized trace; accepts cgpipe-trace-v1 (fault fields
 /// default to their zero values), v2 (checkpoint fields default to their
 /// zero values), v3 (stage_replicas defaults to empty), v4 (per-copy
-/// checkpoint part records absent, `parts` defaults to 0), and v5. Throws
-/// std::runtime_error on malformed or schema-incompatible input.
+/// checkpoint part records absent, `parts` defaults to 0), v5
+/// (pool.classes defaults to empty), and v6. Throws std::runtime_error on
+/// malformed or schema-incompatible input.
 PipelineTrace trace_from_json(const std::string& text);
 
 }  // namespace cgp::support

@@ -350,6 +350,61 @@ TEST(BufferPool, MetricsSnapshotMatchesCounters) {
   EXPECT_DOUBLE_EQ(m.hit_rate(), 0.5);
 }
 
+TEST(Buffer, ReleaseStorageResetsTag) {
+  // Regression: recycled storage must not carry the checkpoint-marker tag
+  // into its next life — a pooled data packet would otherwise be eaten by
+  // FilterContext::read()'s marker interception downstream.
+  Buffer buffer(64);
+  buffer.write<std::int32_t>(1);
+  buffer.set_tag(kCheckpointMarkerTag);
+  std::vector<std::byte> storage = buffer.release_storage();
+  EXPECT_EQ(buffer.tag(), 0u);
+  Buffer reborn = Buffer::adopt(std::move(storage));
+  EXPECT_EQ(reborn.tag(), 0u);
+}
+
+TEST(BufferPool, GeometryRaisesRetentionAboveDefaultCap) {
+  // With the default cap a batch-sized recycle burst overflows the class
+  // and the storage is lost; set_geometry retains enough copies per class
+  // for capacity + batch + in-flight replicas, so the burst survives.
+  BufferPool capped(/*max_per_class=*/2);
+  BufferPool sized(/*max_per_class=*/2);
+  sized.set_geometry(/*links=*/1, /*stream_capacity=*/4, /*batch_size=*/8,
+                     /*max_copies=*/1);
+  EXPECT_GE(sized.retention_per_class(), 4u + 7u + 2u * 8u);
+  for (int i = 0; i < 16; ++i) {
+    capped.recycle(Buffer(512));
+    sized.recycle(Buffer(512));
+  }
+  EXPECT_EQ(capped.discarded(), 14);
+  EXPECT_EQ(sized.discarded(), 0);
+  for (int i = 0; i < 16; ++i) (void)sized.acquire(512);
+  EXPECT_EQ(sized.hits(), 16);
+}
+
+TEST(BufferPool, PerClassCountersTrackTraffic) {
+  BufferPool pool;
+  // Two size classes: 512B (class 9) and 60000B (floor class 15).
+  pool.recycle(Buffer(512));
+  (void)pool.acquire(512);    // hit in class 9
+  (void)pool.acquire(512);    // miss in class 9
+  (void)pool.acquire(60000);  // miss in class 15
+  support::PoolMetrics m = pool.metrics();
+  ASSERT_EQ(m.classes.size(), 2u);
+  const support::PoolClassMetrics& small = m.classes[0];
+  EXPECT_EQ(small.class_index, 9);
+  EXPECT_EQ(small.class_bytes, 512);
+  EXPECT_EQ(small.acquires, 2);
+  EXPECT_EQ(small.hits, 1);
+  EXPECT_EQ(small.misses, 1);
+  EXPECT_EQ(small.recycles, 1);
+  EXPECT_EQ(small.high_water, 1);
+  const support::PoolClassMetrics& large = m.classes[1];
+  EXPECT_EQ(large.class_index, 15);
+  EXPECT_EQ(large.acquires, 1);
+  EXPECT_EQ(large.hits, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Packet batching
 // ---------------------------------------------------------------------------

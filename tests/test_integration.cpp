@@ -3,6 +3,7 @@
 // fission interacting with end-to-end execution, failure injection.
 #include <gtest/gtest.h>
 
+#include "codegen/emitter.h"
 #include "codegen/interp.h"
 #include "driver/compiler.h"
 #include "support/faultinject.h"
@@ -438,6 +439,99 @@ class App {
   const support::PipelineTrace trace = run.trace();
   EXPECT_TRUE(trace.completed);
   ASSERT_EQ(trace.faults.size(), 1u);
+}
+
+TEST(Integration, PassthroughForwardsUntouchedCollectionVerbatim) {
+  // A middle stage that consumes `sq` but merely relays `raw` to a later
+  // consumer: the compiler must plan a passthrough route for `raw` (copied
+  // bytes-for-bytes, never unpacked into Values) and the run must still
+  // match the sequential oracle exactly. The boundary into the forwarding
+  // stage packs `raw` field-wise (later consumer) while the boundary out
+  // of it packs instance-wise (immediate consumer), so this also exercises
+  // the single-item flag-byte patch.
+  const std::string source = R"(
+interface Reducinterface { }
+class Acc implements Reducinterface {
+  double total;
+  Acc() { total = 0.0; }
+  void add(double v) { total = total + v; }
+  void merge(Acc other) { total = total + other.total; }
+}
+class App {
+  void main() {
+    int n = runtime_define_num_items;
+    int npackets = runtime_define_num_packets;
+    int psize = n / npackets;
+    double[] data = new double[n];
+    foreach (i in [0 : n - 1]) {
+      data[i] = i * 0.5;
+    }
+    Acc acc = new Acc();
+    Acc acc2 = new Acc();
+    PipelinedLoop (p in [0 : npackets - 1]) {
+      int base = p * psize;
+      double[] sq = new double[psize];
+      double[] raw = new double[psize];
+      foreach (i in [base : base + psize - 1]) {
+        sq[i - base] = data[i] * data[i];
+        raw[i - base] = data[i] + 1.0;
+      }
+      foreach (j in [0 : psize - 1]) {
+        acc.add(sq[j]);
+      }
+      foreach (j in [0 : psize - 1]) {
+        acc2.add(raw[j]);
+      }
+    }
+    double result = acc.total + acc2.total;
+  }
+}
+)";
+  std::map<std::string, std::int64_t> constants = {
+      {"runtime_define_num_items", 4096},
+      {"runtime_define_num_packets", 16}};
+  auto oracle = run_sequential(source, constants, "App");
+  CompileOptions options;
+  options.env = EnvironmentSpec::paper_cluster(4);
+  options.runtime_constants = constants;
+  options.size_bindings = {{"n", 4096},        {"npackets", 16},
+                           {"psize", 256},     {"base", 0},
+                           {"len(data)", 4096}, {"len(sq)", 256},
+                           {"len(raw)", 256}};
+  options.n_packets = 16;
+  CompileResult result = compile_ok(source, options);
+
+  // Spread the consumers over the middle stages: the sq-consumer on stage
+  // 1 sees raw pass through, the raw-consumer on stage 2 drains it.
+  Placement placement = result.decomposition.placement;
+  const int n_filters = static_cast<int>(result.model.filters.size());
+  ASSERT_GE(n_filters, 3);
+  placement.unit_of_filter.assign(static_cast<std::size_t>(n_filters), 0);
+  placement.unit_of_filter[static_cast<std::size_t>(n_filters - 2)] = 1;
+  placement.unit_of_filter[static_cast<std::size_t>(n_filters - 1)] = 2;
+  placement.replicas.clear();
+
+  PipelineCompiler runner = result.make_runner(placement, options.env);
+  const StagePlan& forwarder = runner.plans()[1];
+  ASSERT_EQ(forwarder.passthrough.size(), 1u);
+  const StagePlan::PassthroughRoute& route = forwarder.passthrough[0];
+  EXPECT_EQ(forwarder.output_layout
+                .groups[static_cast<std::size_t>(route.out_group)]
+                .collection,
+            "raw");
+  EXPECT_TRUE(route.patch_flag);  // field-wise in, instance-wise out
+
+  // The emitted DataCutter source documents the route instead of a repack.
+  const std::string code = emit_datacutter_source(result.model, runner.plans());
+  EXPECT_NE(code.find("zero-copy passthrough for 'raw'"), std::string::npos);
+  EXPECT_NE(code.find("layout flag byte patched"), std::string::npos);
+  EXPECT_NE(code.find("PackedView::parse"), std::string::npos);
+
+  PipelineRunResult run = runner.run();
+  // Exact equality: single-copy execution is deterministic and the
+  // passthrough bytes are the sender's bytes.
+  EXPECT_EQ(as_double(run.finals.at("result")),
+            as_double(oracle.at("result")));
 }
 
 }  // namespace

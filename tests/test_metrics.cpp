@@ -178,7 +178,7 @@ TEST(Trace, BottleneckIsLargestBusyFilter) {
 
 TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
   const Json j = Json::parse(trace_to_json(sample_trace()));
-  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v5");
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v6");
   EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
 }
 
@@ -201,7 +201,7 @@ TEST(Trace, ReadsV3DocumentsWithEmptyReplicaPlan) {
   PipelineTrace trace = sample_trace();
   trace.stage_replicas = {2, 2, 1};
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v5");
+  const std::size_t pos = json.find("cgpipe-trace-v6");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v3");
   const std::size_t field = json.find("\"stage_replicas\"");
@@ -311,7 +311,7 @@ TEST(Trace, ReadsV4CheckpointRecordsWithoutParts) {
   cut.packet_index = 16;
   trace.checkpoints.push_back(cut);
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v5");
+  const std::size_t pos = json.find("cgpipe-trace-v6");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v4");
   const std::size_t field = json.find("\"parts\"");
@@ -330,7 +330,7 @@ TEST(Trace, ReadsV2DocumentsWithZeroCheckpointSurface) {
   // every v3 field at its benign default.
   PipelineTrace trace = sample_trace();
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v5");
+  const std::size_t pos = json.find("cgpipe-trace-v6");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v2");
   const PipelineTrace back = trace_from_json(json);
@@ -351,6 +351,86 @@ TEST(Trace, ReadsV1DocumentsWithZeroFaultSurface) {
   EXPECT_TRUE(trace.faults.empty());
   EXPECT_TRUE(trace.error.empty());
   EXPECT_TRUE(trace.fault_policy.empty());
+}
+
+TEST(Trace, RoundTripPreservesPoolClassBreakdown) {
+  PipelineTrace trace = sample_trace();
+  trace.pool.acquires = 100;
+  trace.pool.hits = 90;
+  trace.pool.misses = 10;
+  trace.pool.recycles = 95;
+  trace.pool.discarded = 5;
+  PoolClassMetrics c;
+  c.class_index = 6;
+  c.class_bytes = 64;
+  c.acquires = 100;
+  c.hits = 90;
+  c.misses = 10;
+  c.recycles = 95;
+  c.discarded = 5;
+  c.high_water = 12;
+  trace.pool.classes.push_back(c);
+
+  const std::string json = trace_to_json(trace);
+  const PipelineTrace back = trace_from_json(json);
+  ASSERT_EQ(back.pool.classes.size(), 1u);
+  EXPECT_EQ(back.pool.classes[0].class_index, 6);
+  EXPECT_EQ(back.pool.classes[0].class_bytes, 64);
+  EXPECT_EQ(back.pool.classes[0].acquires, 100);
+  EXPECT_EQ(back.pool.classes[0].hits, 90);
+  EXPECT_EQ(back.pool.classes[0].misses, 10);
+  EXPECT_EQ(back.pool.classes[0].recycles, 95);
+  EXPECT_EQ(back.pool.classes[0].discarded, 5);
+  EXPECT_EQ(back.pool.classes[0].high_water, 12);
+  EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, ReadsV5DocumentsWithoutPoolClasses) {
+  // A v5 trace predates the per-size-class pool breakdown; it still loads
+  // with the v6 field empty.
+  PipelineTrace trace = sample_trace();
+  trace.pool.acquires = 10;
+  trace.pool.hits = 8;
+  trace.pool.misses = 2;
+  std::string json = trace_to_json(trace);
+  const std::size_t pos = json.find("cgpipe-trace-v6");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 15, "cgpipe-trace-v5");
+  const std::size_t field = json.find("\"classes\"");
+  ASSERT_NE(field, std::string::npos);
+  const std::size_t close = json.find(']', field);
+  ASSERT_NE(close, std::string::npos);
+  json.erase(field, close - field + 2);  // drop the field + trailing comma
+  const PipelineTrace back = trace_from_json(json);
+  EXPECT_EQ(back.pool.acquires, 10);
+  EXPECT_EQ(back.pool.hits, 8);
+  EXPECT_TRUE(back.pool.classes.empty());
+}
+
+TEST(PoolMetrics, MergeCombinesClassesByIndex) {
+  PoolMetrics a;
+  PoolClassMetrics c6;
+  c6.class_index = 6;
+  c6.acquires = 10;
+  c6.hits = 8;
+  c6.high_water = 4;
+  a.classes.push_back(c6);
+  PoolMetrics b;
+  PoolClassMetrics c6b = c6;
+  c6b.high_water = 7;
+  b.classes.push_back(c6b);
+  PoolClassMetrics c9;
+  c9.class_index = 9;
+  c9.acquires = 3;
+  b.classes.push_back(c9);
+  a.merge(b);
+  ASSERT_EQ(a.classes.size(), 2u);
+  EXPECT_EQ(a.classes[0].class_index, 6);
+  EXPECT_EQ(a.classes[0].acquires, 20);
+  EXPECT_EQ(a.classes[0].hits, 16);
+  EXPECT_EQ(a.classes[0].high_water, 7);  // max, not sum
+  EXPECT_EQ(a.classes[1].class_index, 9);
+  EXPECT_EQ(a.classes[1].acquires, 3);
 }
 
 TEST(FaultResolutionNames, RoundTripAndReject) {
