@@ -1,6 +1,7 @@
 #include "codegen/compiled_pipeline.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "codegen/serialize.h"
@@ -1069,6 +1070,72 @@ PipelineRunResult PipelineCompiler::run() {
   if (hook_) runner.set_packet_hook(hook_);
   if (checkpoint_hook_) runner.set_checkpoint_hook(checkpoint_hook_);
   if (marker_hook_) runner.set_marker_hook(marker_hook_);
+  // Multi-process backends: each StageFilter publishes its telemetry into
+  // the Shared of its own process, so the worker-side slice (stage ops,
+  // link bytes, source packet count) must cross the control plane or the
+  // supervisor's result would report zeros for every forked group. The
+  // exporter runs in the worker after its group finalizes; the importer
+  // folds each blob back here. Fixed little-endian layout:
+  // [f64 stage_ops][f64 stage_replica_ops][i64 link_packet_bytes]
+  // [i64 link_replica_bytes][i64 packets], unused fields zero.
+  runner.set_group_state_codec(
+      [shared](std::size_t gi) {
+        std::lock_guard lock(shared->mutex);
+        const PipelineRunResult& r = shared->result;
+        double ops = 0.0, replica_ops = 0.0;
+        std::int64_t link_bytes = 0, replica_bytes = 0, packets = 0;
+        if (gi < r.stage_ops.size()) {
+          ops = r.stage_ops[gi];
+          replica_ops = r.stage_replica_ops[gi];
+        }
+        if (gi < r.link_packet_bytes.size()) {
+          link_bytes = r.link_packet_bytes[gi];
+          replica_bytes = r.link_replica_bytes[gi];
+        }
+        if (gi == 0) packets = r.packets;
+        std::vector<std::byte> blob(2 * sizeof(double) +
+                                    3 * sizeof(std::int64_t));
+        std::byte* p = blob.data();
+        std::memcpy(p, &ops, sizeof ops);
+        p += sizeof ops;
+        std::memcpy(p, &replica_ops, sizeof replica_ops);
+        p += sizeof replica_ops;
+        std::memcpy(p, &link_bytes, sizeof link_bytes);
+        p += sizeof link_bytes;
+        std::memcpy(p, &replica_bytes, sizeof replica_bytes);
+        p += sizeof replica_bytes;
+        std::memcpy(p, &packets, sizeof packets);
+        return blob;
+      },
+      [shared](std::size_t gi, const std::vector<std::byte>& blob) {
+        if (blob.size() != 2 * sizeof(double) + 3 * sizeof(std::int64_t))
+          throw std::runtime_error(
+              "compiled pipeline: malformed group-state blob for group " +
+              std::to_string(gi));
+        double ops = 0.0, replica_ops = 0.0;
+        std::int64_t link_bytes = 0, replica_bytes = 0, packets = 0;
+        const std::byte* p = blob.data();
+        std::memcpy(&ops, p, sizeof ops);
+        p += sizeof ops;
+        std::memcpy(&replica_ops, p, sizeof replica_ops);
+        p += sizeof replica_ops;
+        std::memcpy(&link_bytes, p, sizeof link_bytes);
+        p += sizeof link_bytes;
+        std::memcpy(&replica_bytes, p, sizeof replica_bytes);
+        p += sizeof replica_bytes;
+        std::memcpy(&packets, p, sizeof packets);
+        std::lock_guard lock(shared->mutex);
+        PipelineRunResult& r = shared->result;
+        if (gi < r.stage_ops.size()) {
+          r.stage_ops[gi] += ops;
+          r.stage_replica_ops[gi] += replica_ops;
+        }
+        if (gi < r.link_packet_bytes.size()) {
+          r.link_packet_bytes[gi] += link_bytes;
+          r.link_replica_bytes[gi] += replica_bytes;
+        }
+        if (gi == 0) r.packets += packets;
+      });
   dc::RunOutcome outcome = runner.run_supervised();
   if (outcome.error && policy_.action == dc::FaultAction::kFailFast)
     std::rethrow_exception(outcome.error);

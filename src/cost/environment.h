@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cgp {
@@ -76,5 +77,26 @@ inline double replica_power(const ComputeUnit& unit, int replicas) {
 double pipeline_total_time(std::int64_t n_packets,
                            const std::vector<double>& unit_times,
                            const std::vector<double>& link_times);
+
+/// Per-backend transport cost constants (docs/PERFORMANCE.md, backend
+/// selection). The execution substrate adds work the paper's link model
+/// does not know about: every packet crossing a process boundary is
+/// serialized by the sender and deserialized by the receiver
+/// (ops_per_byte, charged at each endpoint's power), and every enqueue
+/// pays a fixed framing-plus-wakeup cost (ops_per_frame per endpoint,
+/// amortized over the transport batch size). The thread backend moves
+/// owning pointers through an in-process queue: both terms are zero and
+/// the paper's model is reproduced exactly.
+struct TransportCostSpec {
+  double ops_per_byte = 0.0;   // memcpy through the substrate, per endpoint
+  double ops_per_frame = 0.0;  // framing + wakeup per enqueue, per endpoint
+};
+
+/// Spec for a backend name ("thread" | "proc" | "tcp"); unknown names get
+/// the thread (zero-cost) spec so cost queries never throw.
+///   proc: two memcpys through a shared-memory ring plus a futex wakeup;
+///   tcp:  kernel socket copies and loopback TCP/IP stack traversal per
+///         frame — strictly costlier than proc in both terms.
+TransportCostSpec transport_cost_spec(std::string_view backend);
 
 }  // namespace cgp

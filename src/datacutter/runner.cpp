@@ -4,7 +4,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,16 +14,14 @@
 #include <utility>
 
 #include "datacutter/checkpoint.h"
+#include "datacutter/runner_internal.h"
 
 namespace cgp::dc {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+using detail::Clock;
+using detail::seconds_since;
 
 /// Validates a resume checkpoint against the pipeline's stage list and
 /// replica counts. Returns an empty string on match; otherwise a
@@ -193,7 +190,6 @@ RunStats PipelineRunner::run() {
 }
 
 RunOutcome PipelineRunner::run_supervised() {
-  const std::size_t n_groups = groups_.size();
   // Run-level checkpointing captures a consistent cut via markers on the
   // FIFO chain. The streams barrier-merge each marker across producer
   // copies and broadcast it to consumer copies, so the cut stays aligned
@@ -210,6 +206,21 @@ RunOutcome PipelineRunner::run_supervised() {
       if (!diff.empty()) throw std::invalid_argument(diff);
     }
   }
+  if (config_.backend != TransportBackend::kThread) {
+    if (policy_.stage_timeout_seconds > 0.0)
+      throw std::invalid_argument(
+          "PipelineRunner: the no-progress watchdog (stage timeout) is "
+          "thread-backend-only — it samples per-copy progress counters "
+          "that live inside worker processes the supervisor cannot see");
+    // A single-group pipeline has no cross-group links: nothing to put a
+    // process boundary on, so it runs in-process under every backend.
+    if (groups_.size() > 1) return run_multiprocess(run_ckpt);
+  }
+  return run_threaded(run_ckpt);
+}
+
+RunOutcome PipelineRunner::run_threaded(bool run_ckpt) {
+  const std::size_t n_groups = groups_.size();
   std::vector<std::unique_ptr<Stream>> streams;
   streams.reserve(n_groups - 1);
   for (std::size_t i = 0; i + 1 < n_groups; ++i) {
@@ -288,155 +299,28 @@ RunOutcome PipelineRunner::run_supervised() {
   // group's filter cannot snapshot its state.
   std::vector<std::atomic<bool>> warned_no_snapshot(n_groups);
 
-  // ---- run-level cut collector -------------------------------------------
-  // Each marker id accumulates one part per copy of every group: each
-  // source copy registers its own delivered mark at injection, and every
-  // consumer copy adds its state snapshot as the merged marker passes it.
-  // When all parts are in, the cut is consistent — the stream barrier
-  // enqueues the marker behind exactly the packets it covers on every
-  // link, and the broadcast hands it to every consumer copy — and it is
-  // persisted atomically. A copy that finishes early or dies registers a
-  // terminal record that stands in for its part on this and every later
-  // cut (usable with the final delivered count for sources, unusable for
-  // dead consumers, whose aligned state is unrecoverable).
-  std::size_t consuming_parts = 0;
-  std::vector<std::size_t> stage_slot(n_groups, 0);
-  for (std::size_t gi = 1; gi < n_groups; ++gi) {
-    stage_slot[gi] = consuming_parts;
-    consuming_parts += static_cast<std::size_t>(groups_[gi].copies);
-  }
-  const std::size_t total_parts =
-      consuming_parts + static_cast<std::size_t>(groups_[0].copies);
-  struct PendingCut {
-    RunCheckpoint cut;
-    std::set<std::pair<std::size_t, int>> have;
-    double injected_at = -1.0;
-    bool usable = true;
+  // ---- run-level cut collector (detail::CutCollector) --------------------
+  // Each marker id accumulates one part per copy of every group; completed
+  // cuts are persisted atomically and surfaced as trace records. The
+  // collector drains into stats promptly so a torn-down run still carries
+  // every record of the cuts it finished.
+  detail::CutCollector collector(groups_, config_.checkpoint_path, start);
+  auto drain_cut_records = [&] {
+    std::vector<support::CheckpointRecord> records = collector.take_records();
+    if (records.empty()) return;
+    std::lock_guard lock(state_mutex);
+    for (auto& rec : records) stats.checkpoints.push_back(std::move(rec));
   };
-  struct Terminal {
-    bool usable = true;
-    std::int64_t delivered = 0;
-  };
-  std::mutex cut_mutex;
-  std::map<std::int64_t, PendingCut> pending_cuts;
-  std::map<std::pair<std::size_t, int>, Terminal> terminals;
-  auto init_cut_locked = [&](PendingCut& pc, std::int64_t id) {
-    pc.cut.id = id;
-    pc.cut.source_copies.assign(
-        static_cast<std::size_t>(groups_[0].copies), 0);
-    for (std::size_t gi = 0; gi < n_groups; ++gi)
-      pc.cut.group_copies.push_back(groups_[gi].copies);
-    pc.cut.stages.resize(consuming_parts);
-    for (std::size_t gi = 1; gi < n_groups; ++gi)
-      for (int c = 0; c < groups_[gi].copies; ++c) {
-        StageSnapshot& slot = pc.cut.stages[stage_slot[gi] + c];
-        slot.group = groups_[gi].name;
-        slot.copy = c;
-      }
-    // Copies that already finished or died stand in for their parts.
-    for (const auto& [key, t] : terminals) {
-      pc.have.insert(key);
-      if (key.first == 0)
-        pc.cut.source_copies[static_cast<std::size_t>(key.second)] =
-            t.delivered;
-      if (!t.usable) pc.usable = false;
-    }
-  };
-  auto apply_part_locked = [&](PendingCut& pc, std::size_t gi, int copy,
-                               std::vector<std::byte>&& state, bool usable,
-                               std::int64_t delivered) {
-    if (!pc.have.insert({gi, copy}).second) return;
-    if (gi == 0) {
-      pc.cut.source_copies[static_cast<std::size_t>(copy)] = delivered;
-      if (pc.injected_at < 0) pc.injected_at = seconds_since(start);
-    } else {
-      pc.cut.stages[stage_slot[gi] + static_cast<std::size_t>(copy)].state =
-          std::move(state);
-    }
-    if (!usable) pc.usable = false;
-  };
-  // Completes the cut if every part is in; erases it from pending_cuts and
-  // returns the trace record (requires cut_mutex).
-  auto complete_locked =
-      [&](std::int64_t id,
-          PendingCut& pc) -> std::optional<support::CheckpointRecord> {
-    if (pc.have.size() < total_parts) return std::nullopt;
-    const double now = seconds_since(start);
-    pc.cut.at_seconds = now;
-    pc.cut.source_delivered = 0;
-    for (const std::int64_t d : pc.cut.source_copies)
-      pc.cut.source_delivered += d;
-    support::CheckpointRecord rec;
-    rec.id = id;
-    rec.group = "run";
-    rec.copy = -1;
-    rec.packet_index = pc.cut.source_delivered;
-    rec.parts = static_cast<std::int64_t>(consuming_parts);
-    for (const StageSnapshot& s : pc.cut.stages)
-      rec.snapshot_bytes += static_cast<std::int64_t>(s.state.size());
-    rec.quiesce_seconds = pc.injected_at < 0 ? 0.0 : now - pc.injected_at;
-    rec.at_seconds = now;
-    if (pc.usable && !config_.checkpoint_path.empty()) {
-      try {
-        save_checkpoint(pc.cut, config_.checkpoint_path);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr,
-                     "cgpipe: warning: checkpoint write failed: %s\n",
-                     e.what());
-      }
-    }
-    pending_cuts.erase(id);
-    return rec;
-  };
-  /// A live part from a running copy: a source copy's delivered mark
-  /// (gi == 0) or a consumer copy's snapshot. Consumer parts additionally
-  /// emit a per-copy trace record (cgpipe-trace-v6).
   auto submit_part = [&](std::int64_t id, std::size_t gi, int copy,
                          std::vector<std::byte> state, bool usable,
                          std::int64_t delivered) {
-    std::vector<support::CheckpointRecord> records;
-    {
-      std::lock_guard lock(cut_mutex);
-      auto [it, fresh] = pending_cuts.try_emplace(id);
-      PendingCut& pc = it->second;
-      if (fresh) init_cut_locked(pc, id);
-      if (gi > 0 && pc.have.count({gi, copy}) == 0) {
-        support::CheckpointRecord rec;
-        rec.id = id;
-        rec.group = groups_[gi].name;
-        rec.copy = copy;
-        rec.packet_index = -1;  // a part covers a copy, not a source count
-        rec.snapshot_bytes = static_cast<std::int64_t>(state.size());
-        rec.at_seconds = seconds_since(start);
-        records.push_back(std::move(rec));
-      }
-      apply_part_locked(pc, gi, copy, std::move(state), usable, delivered);
-      if (auto rec = complete_locked(id, pc)) records.push_back(*rec);
-    }
-    if (!records.empty()) {
-      std::lock_guard lock(state_mutex);
-      for (auto& rec : records) stats.checkpoints.push_back(std::move(rec));
-    }
+    collector.submit_part(id, gi, copy, std::move(state), usable, delivered);
+    drain_cut_records();
   };
-  /// A copy will contribute no further live parts (it finished its share
-  /// or died): fill its slot in every pending and future cut.
   auto register_terminal = [&](std::size_t gi, int copy, bool usable,
                                std::int64_t delivered) {
-    std::vector<support::CheckpointRecord> records;
-    {
-      std::lock_guard lock(cut_mutex);
-      terminals[{gi, copy}] = Terminal{usable, delivered};
-      for (auto it = pending_cuts.begin(); it != pending_cuts.end();) {
-        auto cur = it++;
-        apply_part_locked(cur->second, gi, copy, {}, usable, delivered);
-        if (auto rec = complete_locked(cur->first, cur->second))
-          records.push_back(*rec);
-      }
-    }
-    if (!records.empty()) {
-      std::lock_guard lock(state_mutex);
-      for (auto& rec : records) stats.checkpoints.push_back(std::move(rec));
-    }
+    collector.register_terminal(gi, copy, usable, delivered);
+    drain_cut_records();
   };
 
   // ---- watchdog ----------------------------------------------------------
@@ -510,396 +394,50 @@ RunOutcome PipelineRunner::run_supervised() {
     });
   }
 
-  // ---- supervised copies -------------------------------------------------
+  // ---- supervised copies (detail::run_copy) ------------------------------
+  std::vector<detail::CopyWorld> worlds(n_groups);
+  for (std::size_t gi = 0; gi < n_groups; ++gi) {
+    detail::CopyWorld& world = worlds[gi];
+    world.config = &config_;
+    world.policy = &policy_;
+    world.group = &groups_[gi];
+    world.gi = gi;
+    world.run_ckpt = run_ckpt;
+    world.start = start;
+    world.packet_hook = &hook_;
+    world.checkpoint_hook = &checkpoint_hook_;
+    world.marker_hook = &marker_hook_;
+    world.pool = pool ? &*pool : nullptr;
+    world.runtime = &runtimes[gi];
+    world.live = &live[gi];
+    world.warned_no_snapshot = &warned_no_snapshot[gi];
+    world.add_ops = [&, gi](double ops) {
+      std::lock_guard lock(state_mutex);
+      stats.group_ops[gi] += ops;
+    };
+    world.merge_metrics = [&, gi](const support::FilterMetrics& m) {
+      std::lock_guard lock(state_mutex);
+      stats.group_metrics[gi].merge(m);
+    };
+    world.record_fault = record_fault;
+    world.set_error = set_error;
+    world.abort_all = abort_all;
+    world.signal_teardown = signal_teardown;
+    world.backoff_wait = [&](double seconds) {
+      std::unique_lock lock(teardown_mutex);
+      teardown_cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [&] { return teardown; });
+    };
+    world.submit_part = submit_part;
+    world.register_terminal = register_terminal;
+  }
   std::vector<std::thread> threads;
   for (std::size_t gi = 0; gi < n_groups; ++gi) {
     for (int copy = 0; copy < groups_[gi].copies; ++copy) {
       threads.emplace_back([&, gi, copy] {
         Stream* input = gi == 0 ? nullptr : streams[gi - 1].get();
         Stream* output = gi + 1 < n_groups ? streams[gi].get() : nullptr;
-        const auto copy_start = Clock::now();
-        const std::string& group_name = groups_[gi].name;
-        support::FilterMetrics copy_metrics;
-        std::optional<Buffer> replay;
-        std::vector<Buffer> unread;  // popped by a dead instance, not read
-        std::int64_t delivered_total = 0;
-        int consecutive = 0;  // fruitless restarts in a row
-        int attempt = 0;      // total restarts (for hook/fault context)
-        double backoff = policy_.backoff_initial_seconds;
-        bool copy_dead = false;
-        std::string last_what;
-        // Exactly-once checkpointed recovery (restart-copy with a
-        // checkpoint interval): the last committed snapshot, the delivered
-        // mark it covers, and the pristine packets consumed since it — the
-        // replay log a restarted instance consumes after restoring.
-        const bool want_ckpt =
-            policy_.action == FaultAction::kRestartCopy &&
-            config_.checkpoint_interval > 0 && input != nullptr;
-        bool ckpt_supported = true;  // until the first probe says otherwise
-        bool attempt_ckpt = false;
-        Buffer snapshot;
-        bool have_snapshot = false;
-        std::int64_t snap_delivered = 0;
-        std::vector<Buffer> master_log;
-        std::int64_t ckpt_ordinal = 0;
-        std::int64_t next_marker_id = 0;
-        // Marker progress of this copy, for restart gap repair: a failed
-        // attempt may have taken a marker off the stream (seen) without
-        // registering its part (submitted) or passing it on (forwarded);
-        // the transport never redelivers a taken marker, so the fresh
-        // attempt must close those gaps itself.
-        std::int64_t last_marker_seen = -1;
-        std::int64_t last_marker_submitted = -1;
-        std::int64_t last_marker_forwarded = -1;
-        if (config_.resume) {
-          if (!input) {
-            // The cut covers this many packets of this copy's round-robin
-            // share: skip_emits below suppresses their re-computation and
-            // numbering continues.
-            const auto& sc = config_.resume->source_copies;
-            delivered_total = static_cast<std::size_t>(copy) < sc.size()
-                                  ? sc[static_cast<std::size_t>(copy)]
-                                  : 0;
-            next_marker_id = config_.resume->id + 1;
-          } else {
-            for (const StageSnapshot& s : config_.resume->stages) {
-              if (s.group != group_name || s.copy != copy) continue;
-              snapshot.write_bytes(s.state.data(), s.state.size());
-              have_snapshot = true;
-              break;
-            }
-          }
-        }
-        for (;;) {
-          FilterContext ctx(input, output, copy, groups_[gi].copies);
-          ctx.attach_runtime(&runtimes[gi]);
-          ctx.set_batch_size(config_.batch_size);
-          if (pool) ctx.set_pool(&*pool);
-          attempt_ckpt = want_ckpt && ckpt_supported;
-          if (policy_.action == FaultAction::kRestartCopy && !attempt_ckpt)
-            ctx.set_capture_inflight(true);
-          if (replay) {
-            ctx.arm_replay(std::move(*replay));
-            replay.reset();
-          }
-          if (!unread.empty()) ctx.arm_unread(std::move(unread));
-          unread.clear();
-          if (!input) ctx.set_skip_emits(delivered_total);
-          if (hook_) {
-            ctx.set_packet_hook(
-                [this, &group_name, copy, attempt](std::int64_t packet,
-                                                   Buffer* buffer) {
-                  hook_(group_name, copy, attempt, packet, buffer);
-                });
-          }
-          bool failed = false;
-          std::exception_ptr error;
-          std::string what;
-          std::unique_ptr<Filter> filter;
-          // Snapshot commit, shared by the interval trigger and the
-          // run-level marker handler: record the filter state and the
-          // delivered mark it covers, then restart the replay log.
-          auto commit_snapshot = [&]() -> bool {
-            Buffer snap;
-            if (!filter->snapshot_state(snap)) return false;
-            snapshot = std::move(snap);
-            have_snapshot = true;
-            snap_delivered = delivered_total + ctx.delivered();
-            master_log.clear();
-            ctx.checkpoint_committed();
-            copy_metrics.checkpoints += 1;
-            return true;
-          };
-          try {
-            filter = groups_[gi].factory();
-            filter->init(ctx);
-            if (attempt_ckpt && !have_snapshot) {
-              // Probe: the initial snapshot doubles as support detection
-              // and covers faults before the first interval commit.
-              Buffer probe;
-              if (filter->snapshot_state(probe)) {
-                snapshot = std::move(probe);
-                have_snapshot = true;
-                snap_delivered = delivered_total;
-              } else {
-                ckpt_supported = false;
-                attempt_ckpt = false;
-                ctx.set_capture_inflight(true);
-                if (!warned_no_snapshot[gi].exchange(true))
-                  std::fprintf(
-                      stderr,
-                      "cgpipe: warning: group '%s' does not implement "
-                      "snapshot_state; restart-copy replays the in-flight "
-                      "packet only and accumulated state is lost on restart "
-                      "(see docs/ROBUSTNESS.md)\n",
-                      group_name.c_str());
-              }
-            } else if (input && have_snapshot) {
-              Buffer snap = snapshot;  // restore consumes the read cursor
-              snap.seek(0);
-              filter->restore_state(snap);
-            }
-            if (attempt_ckpt) {
-              ctx.set_skip_emits(delivered_total - snap_delivered);
-              if (!master_log.empty()) {
-                std::deque<Buffer> queue(master_log.begin(),
-                                         master_log.end());
-                ctx.arm_checkpoint_replay(std::move(queue));
-              }
-              ctx.set_checkpoint(
-                  static_cast<std::int64_t>(config_.checkpoint_interval),
-                  [&] {
-                    const std::int64_t ordinal = ckpt_ordinal++;
-                    if (checkpoint_hook_)
-                      checkpoint_hook_(group_name, copy, attempt, ordinal);
-                    if (!commit_snapshot() &&
-                        !warned_no_snapshot[gi].exchange(true))
-                      std::fprintf(stderr,
-                                   "cgpipe: warning: group '%s' stopped "
-                                   "snapshotting its state\n",
-                                   group_name.c_str());
-                  });
-            }
-            if (run_ckpt && input) {
-              // Run-level cut: snapshot as the merged marker reaches this
-              // copy, register the per-copy part, and forward the marker
-              // down the FIFO chain (a barrier arrival on the output
-              // stream when this stage is replicated).
-              ctx.set_marker_handler([&](std::int64_t id) {
-                last_marker_seen = id;
-                const std::int64_t ordinal = ckpt_ordinal++;
-                if (marker_hook_)
-                  marker_hook_(group_name, copy, attempt, id);
-                if (checkpoint_hook_)
-                  checkpoint_hook_(group_name, copy, attempt, ordinal);
-                Buffer snap;
-                const bool ok = filter->snapshot_state(snap);
-                std::vector<std::byte> state;
-                if (ok) {
-                  state.assign(snap.data(), snap.data() + snap.size());
-                  if (attempt_ckpt) {
-                    snapshot = std::move(snap);
-                    have_snapshot = true;
-                    snap_delivered = delivered_total + ctx.delivered();
-                    master_log.clear();
-                    ctx.checkpoint_committed();
-                    copy_metrics.checkpoints += 1;
-                  }
-                }
-                submit_part(id, gi, copy, std::move(state), ok, 0);
-                last_marker_submitted = id;
-                if (output) ctx.push_marker(id);
-                last_marker_forwarded = id;
-              });
-            } else if (run_ckpt && !input &&
-                       !config_.checkpoint_path.empty()) {
-              ctx.set_marker_injection(
-                  static_cast<std::int64_t>(config_.checkpoint_interval),
-                  next_marker_id);
-              ctx.set_marker_handler([&](std::int64_t id) {
-                last_marker_seen = id;
-                if (marker_hook_)
-                  marker_hook_(group_name, copy, attempt, id);
-                submit_part(id, gi, copy, {}, true,
-                            delivered_total + ctx.delivered());
-                last_marker_submitted = id;
-                // emit() pushes the marker right after this handler
-                // returns and that push cannot throw, so the barrier
-                // arrival is as good as done.
-                last_marker_forwarded = id;
-              });
-            }
-            if (run_ckpt && last_marker_seen >= 0) {
-              // Restart gap repair: markers a failed attempt took but
-              // never registered or forwarded. The part's aligned state
-              // died with the attempt (unusable); the forward must happen
-              // before any new data so downstream cuts stay aligned —
-              // replayed pre-cut packets only regenerate emissions that
-              // skip_emits suppresses, so nothing can slip ahead of it.
-              for (std::int64_t id = last_marker_submitted + 1;
-                   id <= last_marker_seen; ++id)
-                submit_part(id, gi, copy, {}, input == nullptr,
-                            input == nullptr ? delivered_total : 0);
-              last_marker_submitted =
-                  std::max(last_marker_submitted, last_marker_seen);
-              for (std::int64_t id = last_marker_forwarded + 1;
-                   id <= last_marker_seen; ++id)
-                if (output) ctx.push_marker(id);
-              last_marker_forwarded =
-                  std::max(last_marker_forwarded, last_marker_seen);
-            }
-            filter->process(ctx);
-            filter->finalize(ctx);
-          } catch (const std::exception& e) {
-            failed = true;
-            error = std::current_exception();
-            what = e.what();
-          } catch (...) {
-            failed = true;
-            error = std::current_exception();
-            what = "unknown exception";
-          }
-          // Flush coalesced output on every exit — success or failure —
-          // before reading delivered(): packets the attempt emitted must
-          // reach downstream (or be counted dropped by an aborted stream)
-          // so exactly-once replay accounting stays exact under batching.
-          ctx.flush_output();
-          // Buffers pop_batch moved out of the stream that read() never
-          // served carry over to the next attempt of this copy.
-          unread = ctx.take_unread();
-          // Harvest the attempt's counters either way: partial progress of
-          // a failed instance is real traffic that must stay visible.
-          support::FilterMetrics attempt_metrics = ctx.metrics();
-          attempt_metrics.copies = 0;  // the copy is counted once, at exit
-          copy_metrics.merge(attempt_metrics);
-          delivered_total += ctx.delivered();
-          if (!input) next_marker_id = ctx.next_marker_id();
-          {
-            std::lock_guard lock(state_mutex);
-            stats.group_ops[gi] += ctx.ops();
-          }
-          if (!failed) break;
-
-          last_what = what;
-          copy_metrics.faults += 1;
-          support::FaultRecord fault;
-          fault.group = groups_[gi].name;
-          fault.copy = copy;
-          fault.packet_index = ctx.current_packet();
-          fault.what = what;
-          fault.at_seconds = seconds_since(start);
-
-          if (policy_.action == FaultAction::kFailFast) {
-            fault.resolution = support::FaultResolution::kFatal;
-            fault.attempt = consecutive;
-            record_fault(std::move(fault));
-            set_error(std::move(error), what);
-            // Tear down every stream so no peer blocks on backpressure or
-            // waits for buffers that will never come.
-            abort_all();
-            copy_dead = true;
-            break;
-          }
-          // Bounded *consecutive* failures: an attempt that got past at
-          // least one packet resets the count (the fault is fresh, not the
-          // same position failing over and over). The faulting packet
-          // itself was popped before it blew up, so popping exactly one
-          // packet and delivering nothing is not progress.
-          const bool progressed =
-              attempt_metrics.packets_in > 1 || ctx.delivered() > 0;
-          consecutive = progressed ? 1 : consecutive + 1;
-          fault.attempt = consecutive;
-          if (consecutive > policy_.max_retries) {
-            fault.resolution = support::FaultResolution::kCopyDead;
-            record_fault(std::move(fault));
-            if (input && attempt_ckpt && have_snapshot) {
-              // Packets consumed past the snapshot whose outputs were
-              // never delivered die with the copy: count them so the
-              // pushed == delivered + dropped ledger stays exact.
-              std::vector<Buffer> log = ctx.take_checkpoint_log();
-              const std::int64_t undelivered =
-                  static_cast<std::int64_t>(master_log.size() + log.size()) -
-                  (delivered_total - snap_delivered);
-              if (undelivered > 0)
-                copy_metrics.dropped_packets += undelivered;
-            } else if (input && ctx.current_packet() >= 0) {
-              // The in-flight packet dies with the copy: count it so the
-              // pushed == delivered + dropped ledger stays exact.
-              copy_metrics.dropped_packets += 1;
-            }
-            copy_dead = true;
-            break;
-          }
-          copy_metrics.retries += 1;
-          if (policy_.action == FaultAction::kRestartCopy &&
-              attempt_ckpt && have_snapshot) {
-            // Checkpointed recovery: fold this attempt's consumed packets
-            // into the replay log; the fresh instance restores the
-            // snapshot and replays exactly the packets after it.
-            std::vector<Buffer> log = ctx.take_checkpoint_log();
-            for (Buffer& b : log) master_log.push_back(std::move(b));
-            fault.resolution = support::FaultResolution::kRestoredCheckpoint;
-          } else if (policy_.action == FaultAction::kRestartCopy) {
-            replay = ctx.take_inflight();
-            fault.resolution = support::FaultResolution::kRetried;
-          } else if (input && ctx.current_packet() >= 0) {
-            // drop-packet: the poisoned packet dies with the failed
-            // instance; the fresh one resumes at the next packet.
-            copy_metrics.dropped_packets += 1;
-            fault.resolution = support::FaultResolution::kDroppedPacket;
-          } else {
-            // A source has no input packet to drop: the faulting emission
-            // is simply retried (skip_emits keeps delivery exactly-once).
-            fault.resolution = support::FaultResolution::kRetried;
-          }
-          record_fault(std::move(fault));
-          ++attempt;
-          if (backoff > 0.0) {
-            // Interruptible backoff: run teardown wakes the copy instead
-            // of letting a parked retry delay whole-stage drain. The
-            // waiting count exempts the wait from the no-progress
-            // watchdog, exactly like a blocked stream wait.
-            runtimes[gi].waiting.fetch_add(1, std::memory_order_relaxed);
-            {
-              std::unique_lock lock(teardown_mutex);
-              teardown_cv.wait_for(lock,
-                                   std::chrono::duration<double>(backoff),
-                                   [&] { return teardown; });
-            }
-            runtimes[gi].waiting.fetch_sub(1, std::memory_order_relaxed);
-          }
-          backoff = std::min(backoff * policy_.backoff_multiplier,
-                             policy_.backoff_max_seconds);
-        }
-        if (copy_dead && !unread.empty()) {
-          // Packets this copy popped but never processed die with it:
-          // surface them as consumer-side drops so no packet vanishes
-          // from the accounting.
-          copy_metrics.dropped_packets +=
-              static_cast<std::int64_t>(unread.size());
-          unread.clear();
-        }
-        if (run_ckpt) {
-          // Stand in for this copy's parts on cuts it will no longer
-          // reach. A source copy's deliveries all precede any marker
-          // merged after its close, so its final count is exact and
-          // usable even when the copy died mid-share. A dead consumer
-          // copy's aligned state is unrecoverable: later cuts complete
-          // but are unusable (not persisted).
-          if (!input) {
-            register_terminal(0, copy, true, delivered_total);
-          } else if (copy_dead) {
-            register_terminal(gi, copy, false, 0);
-          }
-        }
-        if (copy_dead && input) {
-          // Stop marker broadcasts from waiting on this consumer index.
-          input->retire_consumer();
-        }
-        // Every exit path closes the output so downstream drains to EOS
-        // gracefully instead of waiting for buffers that will never come.
-        if (output) output->close();
-        const bool last_exit =
-            live[gi].fetch_sub(1, std::memory_order_acq_rel) == 1;
-        if (copy_dead && last_exit &&
-            policy_.action != FaultAction::kFailFast) {
-          // The whole stage is down. Surface the loss as the run error and
-          // drain the stage's input so upstream copies finish instead of
-          // blocking forever on backpressure (their buffers are counted as
-          // dropped by the stream).
-          std::ostringstream msg;
-          msg << "group '" << groups_[gi].name << "': all "
-              << groups_[gi].copies << " copies dead after bounded retries";
-          if (!last_what.empty()) msg << "; last error: " << last_what;
-          set_error(std::make_exception_ptr(std::runtime_error(msg.str())),
-                    msg.str());
-          if (input) input->drain();
-          signal_teardown();  // wake peers parked in retry backoff
-        }
-        copy_metrics.total_seconds = seconds_since(copy_start);
-        copy_metrics.copies = 1;
-        std::lock_guard lock(state_mutex);
-        stats.group_metrics[gi].merge(copy_metrics);
+        detail::run_copy(worlds[gi], copy, input, output);
       });
     }
   }
@@ -917,7 +455,9 @@ RunOutcome PipelineRunner::run_supervised() {
   for (const auto& stream : streams) {
     stats.link_buffers.push_back(stream->buffers_pushed());
     stats.link_bytes.push_back(stream->bytes_pushed());
-    stats.link_metrics.push_back(stream->metrics());
+    support::LinkMetrics lm = stream->metrics();
+    lm.transport = "thread";  // v7: in-process queue, nothing on a wire
+    stats.link_metrics.push_back(lm);
   }
   stats.batch_size = static_cast<std::int64_t>(config_.batch_size);
   if (pool) stats.pool = pool->metrics();

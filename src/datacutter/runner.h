@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "datacutter/filter.h"
+#include "datacutter/transport.h"
 
 namespace cgp::dc {
 
@@ -120,6 +121,21 @@ struct RunnerConfig {
   /// counts must match the checkpoint's (validated with a side-by-side
   /// diff on mismatch). Borrowed pointer; must outlive the run.
   const RunCheckpoint* resume = nullptr;
+  /// Execution substrate (docs/PERFORMANCE.md, backend selection):
+  /// kThread runs every stage group as threads of this process over
+  /// in-process queues; kProc and kTcp fork one worker process per
+  /// non-sink stage group and move packets through shared-memory rings or
+  /// loopback TCP sockets. The sink group always runs in the supervisor
+  /// process (its finals are in-memory results). A single-group pipeline
+  /// has no links and runs in-process under every backend. Markers,
+  /// checkpoint cuts, fault policies, and run telemetry flow through all
+  /// three; the no-progress watchdog (stage_timeout_seconds) is
+  /// thread-backend-only and is rejected otherwise.
+  TransportBackend backend = TransportBackend::kThread;
+  /// Per-link shared-memory ring capacity in bytes (proc backend). Frames
+  /// larger than the ring stream through in chunks; the ring bounds
+  /// memory, not frame size.
+  std::size_t ring_bytes = 1 << 20;
 };
 
 struct RunStats {
@@ -189,6 +205,27 @@ class PipelineRunner {
   }
   /// Installs a run-level marker fault-injection hook (see MarkerHook).
   void set_marker_hook(MarkerHook hook) { marker_hook_ = std::move(hook); }
+  /// Observer of worker processes the multi-process backends fork: called
+  /// in the supervisor with (group index, pid) right after each launch.
+  /// Lets harnesses (chaos tests) target a specific worker with signals.
+  using ProcessHook = std::function<void(std::size_t group_index, long pid)>;
+  void set_process_hook(ProcessHook hook) { process_hook_ = std::move(hook); }
+  /// Group-state codec for the multi-process backends: after a worker's
+  /// group finishes, `exporter(gi)` serializes whatever run state the
+  /// filters accumulated in that process (e.g. compiled-pipeline stage
+  /// telemetry), and the supervisor folds each blob back with
+  /// `importer(gi, blob)`. Unused on the thread backend, where all state
+  /// already lives in one address space.
+  using GroupStateExport =
+      std::function<std::vector<std::byte>(std::size_t group_index)>;
+  using GroupStateImport =
+      std::function<void(std::size_t group_index,
+                         const std::vector<std::byte>& blob)>;
+  void set_group_state_codec(GroupStateExport exporter,
+                             GroupStateImport importer) {
+    group_export_ = std::move(exporter);
+    group_import_ = std::move(importer);
+  }
 
   /// Runs the pipeline to completion on real threads; throws the first
   /// fatal error (fail-fast fault, all copies of a stage dead, watchdog),
@@ -201,12 +238,22 @@ class PipelineRunner {
   RunOutcome run_supervised();
 
  private:
+  /// Thread backend: every group as threads of this process (historical
+  /// path; also serves single-group pipelines under any backend).
+  RunOutcome run_threaded(bool run_ckpt);
+  /// proc/tcp backends: one worker process per non-sink group, the sink
+  /// and the cut collector in this process (runner_proc.cpp).
+  RunOutcome run_multiprocess(bool run_ckpt);
+
   std::vector<FilterGroup> groups_;
   RunnerConfig config_;
   FaultPolicy policy_;
   PacketHook hook_;
   CheckpointHook checkpoint_hook_;
   MarkerHook marker_hook_;
+  ProcessHook process_hook_;
+  GroupStateExport group_export_;
+  GroupStateImport group_import_;
 };
 
 }  // namespace cgp::dc

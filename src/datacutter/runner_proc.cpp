@@ -1,0 +1,1110 @@
+// Multi-process backends of the pipeline runner (proc: shared-memory
+// rings; tcp: loopback sockets). Topology: one worker process per
+// non-sink stage group, forked BEFORE the supervisor creates any thread;
+// the sink group and the run-level cut collector stay in the supervisor
+// process, because the sink's finals are in-memory results.
+//
+// Each cross-process link is bridged by a pump pair around the worker's
+// local Stream: the producer side pops (batched) from its local output
+// stream and sends frames, the consumer side receives frames and pushes
+// into its local input stream — so every copy runs the exact same
+// detail::run_copy() supervisor the thread backend runs, and the Stream
+// invariants (marker barriers, batch atomicity, close/abort semantics)
+// hold unchanged inside every process.
+//
+// Control plane: per worker, one status pipe (worker -> supervisor) and
+// one command pipe (supervisor -> worker), carrying the same frame codec
+// as the data links; the Buffer tag names the message. The handshake
+// sends each worker its plan (stage name, replica count, batch/pool
+// geometry, stage-to-endpoint map) which the worker validates against
+// its fork-inherited configuration before ACKing. During the run the
+// worker streams cut parts, terminals, faults, and fatal errors; at exit
+// it sends its telemetry (stage metrics, producer-side link metrics,
+// transport counters, pool counters) and its group-state blob.
+//
+// Teardown discipline: a fatal fault aborts the failing worker's channel
+// ends, and every pump that observes an aborted or truncated channel
+// aborts its own worker's other end — the abort cascades along the chain
+// in both directions, reproducing the thread backend's abort-everything
+// semantics without a central coordinator. A worker that dies without a
+// word (SIGKILL) is caught by the supervisor's reaper, which aborts the
+// rings it retained handles to, aborts the sink channel, and broadcasts
+// abort commands, so no survivor blocks forever on a peer that is gone.
+#include <errno.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datacutter/runner.h"
+#include "datacutter/runner_internal.h"
+#include "datacutter/shm_ring.h"
+#include "datacutter/tcp_channel.h"
+#include "datacutter/transport.h"
+
+namespace cgp::dc {
+
+namespace {
+
+using detail::Clock;
+using detail::seconds_since;
+
+// ---- control-plane messages -----------------------------------------------
+// Each message is one kData frame whose Buffer tag is the message type.
+enum ControlTag : std::uint32_t {
+  kMsgPlan = 1,        // supervisor -> worker: handshake plan
+  kMsgAck = 2,         // worker -> supervisor: plan accepted
+  kMsgPart = 3,        // worker -> supervisor: one cut part
+  kMsgTerminal = 4,    // worker -> supervisor: copy contributes no more
+  kMsgFault = 5,       // worker -> supervisor: one FaultRecord
+  kMsgFatal = 6,       // worker -> supervisor: first fatal error text
+  kMsgStats = 7,       // worker -> supervisor: end-of-run telemetry
+  kMsgGroupState = 8,  // worker -> supervisor: group-state codec blob
+  kMsgAbort = 9,       // supervisor -> worker: tear the run down
+};
+
+void put_string(Buffer& b, const std::string& s) {
+  b.write<std::uint64_t>(s.size());
+  if (!s.empty()) b.write_bytes(s.data(), s.size());
+}
+
+std::string get_string(Buffer& b) {
+  const auto n = static_cast<std::size_t>(b.read<std::uint64_t>());
+  std::string s(n, '\0');
+  if (n > 0) b.read_bytes(s.data(), n);
+  return s;
+}
+
+void put_blob(Buffer& b, const std::vector<std::byte>& bytes) {
+  b.write<std::uint64_t>(bytes.size());
+  if (!bytes.empty()) b.write_bytes(bytes.data(), bytes.size());
+}
+
+std::vector<std::byte> get_blob(Buffer& b) {
+  const auto n = static_cast<std::size_t>(b.read<std::uint64_t>());
+  std::vector<std::byte> bytes(n);
+  if (n > 0) b.read_bytes(bytes.data(), n);
+  return bytes;
+}
+
+void put_filter_metrics(Buffer& b, const support::FilterMetrics& m) {
+  put_string(b, m.name);
+  b.write<std::int64_t>(m.copies);
+  b.write<std::int64_t>(m.packets_in);
+  b.write<std::int64_t>(m.packets_out);
+  b.write<std::int64_t>(m.bytes_in);
+  b.write<std::int64_t>(m.bytes_out);
+  b.write<double>(m.total_seconds);
+  b.write<double>(m.stall_input_seconds);
+  b.write<double>(m.stall_output_seconds);
+  b.write<std::int64_t>(m.faults);
+  b.write<std::int64_t>(m.retries);
+  b.write<std::int64_t>(m.dropped_packets);
+  b.write<std::int64_t>(m.checkpoints);
+  b.write<std::int64_t>(m.latency.count);
+  b.write<double>(m.latency.min_seconds);
+  b.write<double>(m.latency.max_seconds);
+  b.write<double>(m.latency.sum_seconds);
+  for (const std::int64_t c : m.latency.histogram.counts)
+    b.write<std::int64_t>(c);
+}
+
+support::FilterMetrics get_filter_metrics(Buffer& b) {
+  support::FilterMetrics m;
+  m.name = get_string(b);
+  m.copies = static_cast<int>(b.read<std::int64_t>());
+  m.packets_in = b.read<std::int64_t>();
+  m.packets_out = b.read<std::int64_t>();
+  m.bytes_in = b.read<std::int64_t>();
+  m.bytes_out = b.read<std::int64_t>();
+  m.total_seconds = b.read<double>();
+  m.stall_input_seconds = b.read<double>();
+  m.stall_output_seconds = b.read<double>();
+  m.faults = b.read<std::int64_t>();
+  m.retries = b.read<std::int64_t>();
+  m.dropped_packets = b.read<std::int64_t>();
+  m.checkpoints = b.read<std::int64_t>();
+  m.latency.count = b.read<std::int64_t>();
+  m.latency.min_seconds = b.read<double>();
+  m.latency.max_seconds = b.read<double>();
+  m.latency.sum_seconds = b.read<double>();
+  for (std::int64_t& c : m.latency.histogram.counts)
+    c = b.read<std::int64_t>();
+  return m;
+}
+
+// Stream-side link counters only; the v7 transport fields are composed by
+// the supervisor from the endpoint TransportCounters.
+void put_link_metrics(Buffer& b, const support::LinkMetrics& m) {
+  b.write<std::int64_t>(m.buffers);
+  b.write<std::int64_t>(m.bytes);
+  b.write<std::int64_t>(m.batches);
+  b.write<std::int64_t>(m.capacity);
+  b.write<std::int64_t>(m.occupancy_high_water);
+  b.write<std::int64_t>(m.dropped_buffers);
+  b.write<double>(m.producer_block_seconds);
+  b.write<double>(m.consumer_block_seconds);
+}
+
+support::LinkMetrics get_link_metrics(Buffer& b) {
+  support::LinkMetrics m;
+  m.buffers = b.read<std::int64_t>();
+  m.bytes = b.read<std::int64_t>();
+  m.batches = b.read<std::int64_t>();
+  m.capacity = b.read<std::int64_t>();
+  m.occupancy_high_water = b.read<std::int64_t>();
+  m.dropped_buffers = b.read<std::int64_t>();
+  m.producer_block_seconds = b.read<double>();
+  m.consumer_block_seconds = b.read<double>();
+  return m;
+}
+
+void put_counters(Buffer& b, const TransportCounters& c) {
+  b.write<std::int64_t>(c.frames);
+  b.write<std::int64_t>(c.wire_bytes);
+  b.write<double>(c.send_wait_seconds);
+  b.write<double>(c.recv_wait_seconds);
+}
+
+TransportCounters get_counters(Buffer& b) {
+  TransportCounters c;
+  c.frames = b.read<std::int64_t>();
+  c.wire_bytes = b.read<std::int64_t>();
+  c.send_wait_seconds = b.read<double>();
+  c.recv_wait_seconds = b.read<double>();
+  return c;
+}
+
+void put_pool_metrics(Buffer& b, const support::PoolMetrics& p) {
+  b.write<std::int64_t>(p.acquires);
+  b.write<std::int64_t>(p.hits);
+  b.write<std::int64_t>(p.misses);
+  b.write<std::int64_t>(p.recycles);
+  b.write<std::int64_t>(p.discarded);
+  b.write<std::uint64_t>(p.classes.size());
+  for (const support::PoolClassMetrics& c : p.classes) {
+    b.write<std::int64_t>(c.class_index);
+    b.write<std::int64_t>(c.class_bytes);
+    b.write<std::int64_t>(c.acquires);
+    b.write<std::int64_t>(c.hits);
+    b.write<std::int64_t>(c.misses);
+    b.write<std::int64_t>(c.recycles);
+    b.write<std::int64_t>(c.discarded);
+    b.write<std::int64_t>(c.high_water);
+  }
+}
+
+support::PoolMetrics get_pool_metrics(Buffer& b) {
+  support::PoolMetrics p;
+  p.acquires = b.read<std::int64_t>();
+  p.hits = b.read<std::int64_t>();
+  p.misses = b.read<std::int64_t>();
+  p.recycles = b.read<std::int64_t>();
+  p.discarded = b.read<std::int64_t>();
+  const auto n = static_cast<std::size_t>(b.read<std::uint64_t>());
+  p.classes.resize(n);
+  for (support::PoolClassMetrics& c : p.classes) {
+    c.class_index = static_cast<int>(b.read<std::int64_t>());
+    c.class_bytes = b.read<std::int64_t>();
+    c.acquires = b.read<std::int64_t>();
+    c.hits = b.read<std::int64_t>();
+    c.misses = b.read<std::int64_t>();
+    c.recycles = b.read<std::int64_t>();
+    c.discarded = b.read<std::int64_t>();
+    c.high_water = b.read<std::int64_t>();
+  }
+  return p;
+}
+
+// ---- handshake plan -------------------------------------------------------
+// What the supervisor tells each worker it is: the stage plan (name,
+// replica count), the transport geometry (stream capacity, batch size,
+// pool depth, ring bytes), and the stage-to-endpoint map (loopback ports
+// on tcp; rings are inherited mappings on proc). The worker validates
+// every field against its fork-inherited configuration: a mismatch means
+// the supervisor and worker disagree about the run and the worker
+// refuses to start.
+struct WorkerPlan {
+  std::uint64_t gi = 0;
+  std::uint64_t n_groups = 0;
+  std::string group_name;
+  std::int64_t copies = 0;
+  std::uint64_t stream_capacity = 0;
+  std::uint64_t batch_size = 0;
+  std::uint64_t pool_buffers_per_class = 0;
+  std::uint64_t checkpoint_interval = 0;
+  std::uint64_t ring_bytes = 0;
+  std::uint8_t backend = 0;
+  std::uint8_t run_ckpt = 0;
+  std::int64_t in_port = -1;   // tcp: link gi-1 (accepted on inherited fd)
+  std::int64_t out_port = -1;  // tcp: link gi (worker connects)
+};
+
+Buffer encode_plan(const WorkerPlan& p) {
+  Buffer b;
+  b.write<std::uint64_t>(p.gi);
+  b.write<std::uint64_t>(p.n_groups);
+  put_string(b, p.group_name);
+  b.write<std::int64_t>(p.copies);
+  b.write<std::uint64_t>(p.stream_capacity);
+  b.write<std::uint64_t>(p.batch_size);
+  b.write<std::uint64_t>(p.pool_buffers_per_class);
+  b.write<std::uint64_t>(p.checkpoint_interval);
+  b.write<std::uint64_t>(p.ring_bytes);
+  b.write<std::uint8_t>(p.backend);
+  b.write<std::uint8_t>(p.run_ckpt);
+  b.write<std::int64_t>(p.in_port);
+  b.write<std::int64_t>(p.out_port);
+  return b;
+}
+
+WorkerPlan decode_plan(Buffer& b) {
+  WorkerPlan p;
+  p.gi = b.read<std::uint64_t>();
+  p.n_groups = b.read<std::uint64_t>();
+  p.group_name = get_string(b);
+  p.copies = b.read<std::int64_t>();
+  p.stream_capacity = b.read<std::uint64_t>();
+  p.batch_size = b.read<std::uint64_t>();
+  p.pool_buffers_per_class = b.read<std::uint64_t>();
+  p.checkpoint_interval = b.read<std::uint64_t>();
+  p.ring_bytes = b.read<std::uint64_t>();
+  p.backend = b.read<std::uint8_t>();
+  p.run_ckpt = b.read<std::uint8_t>();
+  p.in_port = b.read<std::int64_t>();
+  p.out_port = b.read<std::int64_t>();
+  return p;
+}
+
+// Mutex-serialized control sender: copies, pumps, and the epilogue all
+// write messages to the same channel.
+class ControlWriter {
+ public:
+  explicit ControlWriter(std::shared_ptr<ByteChannel> channel)
+      : link_(std::move(channel)) {}
+
+  bool send(std::uint32_t tag, Buffer&& body) {
+    body.set_tag(tag);
+    std::lock_guard lock(mutex_);
+    return link_.send(Frame::data(std::move(body)));
+  }
+  void close_write() {
+    std::lock_guard lock(mutex_);
+    link_.close_write();
+  }
+
+ private:
+  std::mutex mutex_;
+  FrameLink link_;
+};
+
+// Receives one link's frames into a local Stream, enforcing the wire
+// protocol (markers arrive alone; Close closes). Returns true on a clean
+// Close; false when the link ended without one (peer aborted or died) —
+// the stream is then aborted so local consumers never wait on data that
+// cannot come.
+bool pump_link_into_stream(FrameLink& link, Stream& stream) {
+  bool saw_close = false;
+  for (;;) {
+    std::optional<Frame> frame = link.recv();
+    if (!frame) break;
+    switch (frame->kind) {
+      case FrameKind::kData:
+        stream.push(std::move(frame->buffers.front()));
+        break;
+      case FrameKind::kBatch:
+        stream.push_batch(frame->buffers);
+        break;
+      case FrameKind::kMarker:
+        stream.push_marker(frame->marker_id);
+        break;
+      case FrameKind::kClose:
+        saw_close = true;
+        stream.close();
+        break;
+    }
+  }
+  if (!saw_close) stream.abort();
+  return saw_close;
+}
+
+// Sends a local output Stream's traffic over a link: data popped in
+// batches of the configured coalescing factor (one frame per batch),
+// markers — which pop_batch always delivers alone — as Marker frames,
+// end-of-stream as a Close frame. Sent buffers' storage is recycled into
+// the worker's pool so upstream packing stays allocation-free. A failed
+// send means the peer is gone or the run is tearing down: the caller's
+// abort callback cascades the teardown.
+template <typename AbortFn>
+void pump_stream_into_link(Stream& stream, FrameLink& link,
+                           std::size_t batch_size, BufferPool* pool,
+                           const AbortFn& abort_all) {
+  std::vector<Buffer> batch;
+  for (;;) {
+    batch.clear();
+    const std::size_t n = stream.pop_batch(batch, batch_size, 0);
+    if (n == 0) break;  // closed and drained, or aborted
+    bool ok;
+    if (n == 1 && batch.front().tag() == kCheckpointMarkerTag) {
+      ok = link.send(Frame::marker(batch.front().peek_at<std::int64_t>(0)));
+    } else {
+      Frame frame = n == 1 ? Frame::data(std::move(batch.front()))
+                           : Frame::batch(std::move(batch));
+      ok = link.send(frame);
+      if (pool)
+        for (Buffer& b : frame.buffers) pool->recycle(std::move(b));
+    }
+    if (!ok) {
+      abort_all();
+      break;
+    }
+  }
+  link.send(Frame::close());
+  link.close_write();
+}
+
+// ---- worker process -------------------------------------------------------
+
+struct WorkerSetup {
+  std::size_t gi = 0;
+  const std::vector<FilterGroup>* groups = nullptr;
+  const RunnerConfig* config = nullptr;
+  const FaultPolicy* policy = nullptr;
+  const PacketHook* packet_hook = nullptr;
+  const CheckpointHook* checkpoint_hook = nullptr;
+  const MarkerHook* marker_hook = nullptr;
+  const PipelineRunner::GroupStateExport* group_export = nullptr;
+  bool run_ckpt = false;
+  std::shared_ptr<ByteChannel> in_chan;   // proc: ring (null for gi == 0)
+  std::shared_ptr<ByteChannel> out_chan;  // proc: ring; tcp: set after plan
+  TcpListener* in_listener = nullptr;     // tcp, gi > 0: accept here
+  std::shared_ptr<FdChannel> status_chan;
+  std::shared_ptr<FdChannel> command_chan;
+};
+
+[[noreturn]] void worker_main(WorkerSetup setup) {
+  const std::size_t gi = setup.gi;
+  const FilterGroup& group = (*setup.groups)[gi];
+  const RunnerConfig& config = *setup.config;
+  ControlWriter status(setup.status_chan);
+
+  const auto fatal_exit = [&](const std::string& message, int code) {
+    Buffer b;
+    put_string(b, message);
+    status.send(kMsgFatal, std::move(b));
+    status.close_write();
+    ::_exit(code);
+  };
+
+  try {
+    // Handshake: receive and validate the plan, then ACK.
+    FrameLink command(setup.command_chan);
+    std::optional<Frame> hello = command.recv();
+    if (!hello || hello->kind != FrameKind::kData ||
+        hello->buffers.front().tag() != kMsgPlan)
+      fatal_exit("worker '" + group.name + "': handshake carried no plan", 3);
+    WorkerPlan plan = decode_plan(hello->buffers.front());
+    {
+      std::ostringstream mismatch;
+      if (plan.gi != gi) mismatch << " group-index";
+      if (plan.n_groups != setup.groups->size()) mismatch << " pipeline-size";
+      if (plan.group_name != group.name) mismatch << " stage-name";
+      if (plan.copies != group.copies) mismatch << " replica-count";
+      if (plan.stream_capacity != config.stream_capacity)
+        mismatch << " stream-capacity";
+      if (plan.batch_size != config.batch_size) mismatch << " batch-size";
+      if (plan.pool_buffers_per_class != config.pool_buffers_per_class)
+        mismatch << " pool-depth";
+      if (plan.checkpoint_interval != config.checkpoint_interval)
+        mismatch << " checkpoint-interval";
+      if (plan.ring_bytes != config.ring_bytes) mismatch << " ring-bytes";
+      if (plan.backend != static_cast<std::uint8_t>(config.backend))
+        mismatch << " backend";
+      if ((plan.run_ckpt != 0) != setup.run_ckpt) mismatch << " run-ckpt";
+      const std::string bad = mismatch.str();
+      if (!bad.empty())
+        fatal_exit("worker '" + group.name +
+                       "': plan disagrees with inherited configuration on:" +
+                       bad,
+                   3);
+    }
+    {
+      Buffer ack;
+      ack.write<std::uint64_t>(gi);
+      status.send(kMsgAck, std::move(ack));
+    }
+
+    // Data endpoints: on tcp, connect the output first (the listener was
+    // bound before fork, so the connection queues even before the
+    // consumer accepts), then accept the input on the inherited listener.
+    if (config.backend == TransportBackend::kTcp) {
+      if (plan.out_port >= 0)
+        setup.out_chan = tcp_connect_loopback(static_cast<int>(plan.out_port));
+      if (gi > 0) setup.in_chan = setup.in_listener->accept_one();
+    }
+    std::optional<FrameLink> in_link;
+    if (gi > 0) in_link.emplace(setup.in_chan);
+    FrameLink out_link(setup.out_chan);
+
+    // Local streams around the process boundary: the recv pump is the
+    // single producer of the input stream, the send pump the single
+    // consumer of the output stream; the group's copies sit in between
+    // exactly as they would in the thread backend.
+    std::optional<Stream> local_in;
+    if (gi > 0) {
+      local_in.emplace(config.stream_capacity);
+      local_in->set_producers(1);
+      local_in->set_consumers(group.copies);
+    }
+    Stream local_out(config.stream_capacity);
+    local_out.set_producers(group.copies);
+    local_out.set_consumers(1);
+
+    std::optional<BufferPool> pool;
+    if (config.pool_buffers_per_class > 0) {
+      pool.emplace(config.pool_buffers_per_class);
+      pool->set_geometry(gi > 0 ? 2 : 1, config.stream_capacity,
+                         config.batch_size,
+                         static_cast<std::size_t>(group.copies));
+    }
+
+    const auto start = Clock::now();
+    std::mutex state_mutex;
+    double group_ops = 0.0;
+    support::FilterMetrics metrics;
+    metrics.name = group.name;
+    bool error_recorded = false;
+
+    std::mutex teardown_mutex;
+    std::condition_variable teardown_cv;
+    bool teardown = false;
+    const auto signal_teardown = [&] {
+      {
+        std::lock_guard lock(teardown_mutex);
+        teardown = true;
+      }
+      teardown_cv.notify_all();
+    };
+    const auto abort_all = [&] {
+      if (local_in) local_in->abort();
+      local_out.abort();
+      if (in_link) in_link->abort();
+      out_link.abort();
+      signal_teardown();
+    };
+    const auto set_error = [&](std::exception_ptr, const std::string& what) {
+      bool report = false;
+      {
+        std::lock_guard lock(state_mutex);
+        if (!error_recorded) {
+          error_recorded = true;
+          report = true;
+        }
+      }
+      if (report) {
+        Buffer b;
+        put_string(b, what);
+        status.send(kMsgFatal, std::move(b));
+      }
+    };
+
+    GroupRuntime runtime;
+    std::atomic<int> live{group.copies};
+    std::atomic<bool> warned_no_snapshot{false};
+
+    detail::CopyWorld world;
+    world.config = &config;
+    world.policy = setup.policy;
+    world.group = &group;
+    world.gi = gi;
+    world.run_ckpt = setup.run_ckpt;
+    world.start = start;
+    world.packet_hook = setup.packet_hook;
+    world.checkpoint_hook = setup.checkpoint_hook;
+    world.marker_hook = setup.marker_hook;
+    world.pool = pool ? &*pool : nullptr;
+    world.runtime = &runtime;
+    world.live = &live;
+    world.warned_no_snapshot = &warned_no_snapshot;
+    world.add_ops = [&](double ops) {
+      std::lock_guard lock(state_mutex);
+      group_ops += ops;
+    };
+    world.merge_metrics = [&](const support::FilterMetrics& m) {
+      std::lock_guard lock(state_mutex);
+      metrics.merge(m);
+    };
+    world.record_fault = [&](support::FaultRecord fault) {
+      Buffer b;
+      put_string(b, fault.group);
+      b.write<std::int64_t>(fault.copy);
+      b.write<std::int64_t>(fault.packet_index);
+      put_string(b, fault.what);
+      b.write<std::int64_t>(fault.attempt);
+      b.write<std::uint8_t>(static_cast<std::uint8_t>(fault.resolution));
+      b.write<double>(fault.at_seconds);
+      status.send(kMsgFault, std::move(b));
+    };
+    world.set_error = set_error;
+    world.abort_all = abort_all;
+    world.signal_teardown = signal_teardown;
+    world.backoff_wait = [&](double seconds) {
+      std::unique_lock lock(teardown_mutex);
+      teardown_cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [&] { return teardown; });
+    };
+    world.submit_part = [&](std::int64_t id, std::size_t pgi, int copy,
+                            std::vector<std::byte> state, bool usable,
+                            std::int64_t delivered) {
+      Buffer b;
+      b.write<std::int64_t>(id);
+      b.write<std::uint64_t>(pgi);
+      b.write<std::int64_t>(copy);
+      b.write<std::uint8_t>(usable ? 1 : 0);
+      b.write<std::int64_t>(delivered);
+      put_blob(b, state);
+      status.send(kMsgPart, std::move(b));
+    };
+    world.register_terminal = [&](std::size_t pgi, int copy, bool usable,
+                                  std::int64_t delivered) {
+      Buffer b;
+      b.write<std::uint64_t>(pgi);
+      b.write<std::int64_t>(copy);
+      b.write<std::uint8_t>(usable ? 1 : 0);
+      b.write<std::int64_t>(delivered);
+      status.send(kMsgTerminal, std::move(b));
+    };
+
+    std::thread recv_pump;
+    if (gi > 0)
+      recv_pump = std::thread([&] {
+        const bool clean = pump_link_into_stream(*in_link, *local_in);
+        if (!in_link->error().empty())
+          set_error(std::make_exception_ptr(
+                        std::runtime_error(in_link->error())),
+                    in_link->error());
+        // Ended without a Close: the upstream aborted or died. Cascade so
+        // our own downstream does not wait for data that cannot come.
+        if (!clean) abort_all();
+      });
+    std::thread send_pump([&] {
+      pump_stream_into_link(local_out, out_link, config.batch_size,
+                            pool ? &*pool : nullptr, abort_all);
+    });
+    std::thread command_reader([&] {
+      for (;;) {
+        std::optional<Frame> frame = command.recv();
+        if (!frame) break;
+        if (frame->kind == FrameKind::kData &&
+            frame->buffers.front().tag() == kMsgAbort)
+          abort_all();
+      }
+    });
+
+    std::vector<std::thread> copies;
+    for (int copy = 0; copy < group.copies; ++copy)
+      copies.emplace_back([&, copy] {
+        detail::run_copy(world, copy, local_in ? &*local_in : nullptr,
+                         &local_out);
+      });
+    for (std::thread& t : copies) t.join();
+    send_pump.join();
+    if (recv_pump.joinable()) recv_pump.join();
+
+    // End-of-run telemetry: stage metrics, the producer-side view of the
+    // output link, the transport counters of both endpoints this worker
+    // owns, and the pool counters.
+    {
+      Buffer b;
+      {
+        std::lock_guard lock(state_mutex);
+        b.write<double>(group_ops);
+        put_filter_metrics(b, metrics);
+      }
+      put_link_metrics(b, local_out.metrics());
+      put_counters(b, out_link.counters());
+      TransportCounters in_counters;
+      if (in_link) in_counters = in_link->counters();
+      put_counters(b, in_counters);
+      support::PoolMetrics pool_metrics;
+      if (pool) pool_metrics = pool->metrics();
+      put_pool_metrics(b, pool_metrics);
+      status.send(kMsgStats, std::move(b));
+    }
+    if (setup.group_export && *setup.group_export) {
+      Buffer b;
+      put_blob(b, (*setup.group_export)(gi));
+      status.send(kMsgGroupState, std::move(b));
+    }
+    status.close_write();
+    // _exit: the command reader may still be parked in a read, and gtest
+    // in the forked image must not re-run exit handlers.
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    fatal_exit(std::string("worker '") + group.name + "': " + e.what(), 1);
+  } catch (...) {
+    fatal_exit("worker '" + group.name + "': unknown fatal error", 1);
+  }
+  ::_exit(1);  // unreachable; fatal_exit never returns
+}
+
+}  // namespace
+
+// ---- supervisor -----------------------------------------------------------
+
+RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
+  // A dead peer must surface as EPIPE / a failed write, never a signal.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const std::size_t n_groups = groups_.size();  // >= 2 (dispatch guarantees)
+  const std::size_t n_workers = n_groups - 1;
+  const std::size_t n_links = n_groups - 1;
+  const std::size_t sink_gi = n_groups - 1;
+
+  // Link endpoints, created before any fork so both endpoint processes
+  // inherit them: rings as shared mappings, listeners as bound sockets.
+  std::vector<std::shared_ptr<ShmRing>> rings(n_links);
+  std::vector<std::unique_ptr<TcpListener>> listeners(n_links);
+  for (std::size_t i = 0; i < n_links; ++i) {
+    if (config_.backend == TransportBackend::kProc)
+      rings[i] = ShmRing::create(config_.ring_bytes);
+    else
+      listeners[i] = std::make_unique<TcpListener>();
+  }
+
+  struct WorkerHandle {
+    pid_t pid = -1;
+    bool reaped = false;
+    std::shared_ptr<FdChannel> status_chan;   // worker -> supervisor
+    std::unique_ptr<ControlWriter> command;   // supervisor -> worker
+    std::unique_ptr<FrameLink> status;
+  };
+  std::vector<WorkerHandle> workers(n_workers);
+
+  const auto kill_all_forked = [&] {
+    for (WorkerHandle& w : workers)
+      if (w.pid > 0 && !w.reaped) {
+        ::kill(w.pid, SIGKILL);
+        int st = 0;
+        while (::waitpid(w.pid, &st, 0) < 0 && errno == EINTR) {
+        }
+        w.reaped = true;
+      }
+  };
+
+  // Fork every worker before this process creates a single thread (fork
+  // in a multithreaded supervisor is undefined enough that TSan rejects
+  // it outright). Children never return from worker_main.
+  for (std::size_t wi = 0; wi < n_workers; ++wi) {
+    int status_pipe[2];
+    int command_pipe[2];
+    if (::pipe(status_pipe) != 0 || ::pipe(command_pipe) != 0) {
+      kill_all_forked();
+      throw std::system_error(errno, std::generic_category(),
+                              "run_multiprocess: pipe");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      kill_all_forked();
+      throw std::system_error(errno, std::generic_category(),
+                              "run_multiprocess: fork");
+    }
+    if (pid == 0) {
+      ::close(status_pipe[0]);
+      ::close(command_pipe[1]);
+      WorkerSetup setup;
+      setup.gi = wi;
+      setup.groups = &groups_;
+      setup.config = &config_;
+      setup.policy = &policy_;
+      setup.packet_hook = &hook_;
+      setup.checkpoint_hook = &checkpoint_hook_;
+      setup.marker_hook = &marker_hook_;
+      setup.group_export = &group_export_;
+      setup.run_ckpt = run_ckpt;
+      if (config_.backend == TransportBackend::kProc) {
+        if (wi > 0) setup.in_chan = rings[wi - 1];
+        setup.out_chan = rings[wi];
+      } else if (wi > 0) {
+        setup.in_listener = listeners[wi - 1].get();
+      }
+      setup.status_chan = std::make_shared<FdChannel>(
+          status_pipe[1], FdChannel::Kind::kPipe);
+      setup.command_chan = std::make_shared<FdChannel>(
+          command_pipe[0], FdChannel::Kind::kPipe);
+      worker_main(std::move(setup));  // never returns
+    }
+    ::close(status_pipe[1]);
+    ::close(command_pipe[0]);
+    WorkerHandle& w = workers[wi];
+    w.pid = pid;
+    w.status_chan = std::make_shared<FdChannel>(status_pipe[0],
+                                                FdChannel::Kind::kPipe);
+    w.status = std::make_unique<FrameLink>(w.status_chan);
+    w.command = std::make_unique<ControlWriter>(std::make_shared<FdChannel>(
+        command_pipe[1], FdChannel::Kind::kPipe));
+    if (process_hook_) process_hook_(wi, static_cast<long>(pid));
+  }
+
+  RunOutcome outcome;
+  RunStats& stats = outcome.stats;
+  stats.group_ops.assign(n_groups, 0.0);
+  stats.group_metrics.resize(n_groups);
+  stats.fault_policy = FaultPolicy::action_name(policy_.action);
+  for (std::size_t gi = 0; gi < n_groups; ++gi) {
+    stats.group_names.push_back(groups_[gi].name);
+    stats.group_copies.push_back(groups_[gi].copies);
+    stats.group_metrics[gi].name = groups_[gi].name;
+  }
+
+  const auto fail_startup = [&](const std::string& message) {
+    kill_all_forked();
+    stats.error = message;
+    stats.completed = false;
+    outcome.error =
+        std::make_exception_ptr(std::runtime_error(message));
+    return std::move(outcome);
+  };
+
+  // Handshake, still single-threaded: plans out, ACKs back.
+  for (std::size_t wi = 0; wi < n_workers; ++wi) {
+    WorkerPlan plan;
+    plan.gi = wi;
+    plan.n_groups = n_groups;
+    plan.group_name = groups_[wi].name;
+    plan.copies = groups_[wi].copies;
+    plan.stream_capacity = config_.stream_capacity;
+    plan.batch_size = config_.batch_size;
+    plan.pool_buffers_per_class = config_.pool_buffers_per_class;
+    plan.checkpoint_interval = config_.checkpoint_interval;
+    plan.ring_bytes = config_.ring_bytes;
+    plan.backend = static_cast<std::uint8_t>(config_.backend);
+    plan.run_ckpt = run_ckpt ? 1 : 0;
+    if (config_.backend == TransportBackend::kTcp) {
+      if (wi > 0) plan.in_port = listeners[wi - 1]->port();
+      plan.out_port = listeners[wi]->port();
+    }
+    if (!workers[wi].command->send(kMsgPlan, encode_plan(plan)))
+      return fail_startup("run_multiprocess: worker for stage '" +
+                          groups_[wi].name + "' rejected the plan pipe");
+  }
+  for (std::size_t wi = 0; wi < n_workers; ++wi) {
+    std::optional<Frame> ack = workers[wi].status->recv();
+    if (!ack || ack->kind != FrameKind::kData ||
+        ack->buffers.front().tag() != kMsgAck)
+      return fail_startup("run_multiprocess: worker for stage '" +
+                          groups_[wi].name +
+                          "' did not acknowledge its plan");
+  }
+
+  // The supervisor's own data endpoint: the consumer end of the last
+  // link, feeding the in-process sink group.
+  std::shared_ptr<ByteChannel> sink_chan;
+  if (config_.backend == TransportBackend::kProc)
+    sink_chan = rings[n_links - 1];
+  else
+    sink_chan = listeners[n_links - 1]->accept_one();
+  FrameLink sink_link(sink_chan);
+
+  Stream sink_stream(config_.stream_capacity);
+  sink_stream.set_producers(1);
+  sink_stream.set_consumers(groups_[sink_gi].copies);
+
+  std::optional<BufferPool> pool;
+  if (config_.pool_buffers_per_class > 0) {
+    pool.emplace(config_.pool_buffers_per_class);
+    pool->set_geometry(1, config_.stream_capacity, config_.batch_size,
+                       static_cast<std::size_t>(groups_[sink_gi].copies));
+  }
+
+  const auto start = Clock::now();
+  std::mutex state_mutex;
+  std::exception_ptr first_error;
+  std::mutex teardown_mutex;
+  std::condition_variable teardown_cv;
+  bool teardown = false;
+  const auto signal_teardown = [&] {
+    {
+      std::lock_guard lock(teardown_mutex);
+      teardown = true;
+    }
+    teardown_cv.notify_all();
+  };
+  const auto set_error = [&](std::exception_ptr error,
+                             const std::string& message) {
+    std::lock_guard lock(state_mutex);
+    if (!first_error) {
+      first_error = std::move(error);
+      stats.error = message;
+    }
+  };
+  // Whole-run teardown, used when a worker dies without a word: silent
+  // death cannot cascade through the data plane on its own (a SIGKILLed
+  // ring endpoint leaves the ring open), so the supervisor aborts the
+  // rings it retained, its own sink channel, the sink stream, and
+  // broadcasts abort commands for the socket links it holds no end of.
+  std::atomic<bool> abort_broadcast{false};
+  const auto global_abort = [&] {
+    if (abort_broadcast.exchange(true)) return;
+    for (const std::shared_ptr<ShmRing>& ring : rings)
+      if (ring) ring->abort();
+    sink_chan->abort();
+    for (WorkerHandle& w : workers) w.command->send(kMsgAbort, Buffer());
+    sink_stream.abort();
+    signal_teardown();
+  };
+  const auto record_fault = [&](support::FaultRecord fault) {
+    std::lock_guard lock(state_mutex);
+    stats.faults.push_back(std::move(fault));
+  };
+
+  detail::CutCollector collector(groups_, config_.checkpoint_path, start);
+  const auto drain_cut_records = [&] {
+    std::vector<support::CheckpointRecord> records = collector.take_records();
+    if (records.empty()) return;
+    std::lock_guard lock(state_mutex);
+    for (auto& rec : records) stats.checkpoints.push_back(std::move(rec));
+  };
+  const auto submit_part = [&](std::int64_t id, std::size_t gi, int copy,
+                               std::vector<std::byte> state, bool usable,
+                               std::int64_t delivered) {
+    collector.submit_part(id, gi, copy, std::move(state), usable, delivered);
+    drain_cut_records();
+  };
+  const auto register_terminal = [&](std::size_t gi, int copy, bool usable,
+                                     std::int64_t delivered) {
+    collector.register_terminal(gi, copy, usable, delivered);
+    drain_cut_records();
+  };
+
+  // Per-worker end-of-run telemetry, filled by that worker's control
+  // reader thread and consumed only after the reader joined.
+  struct WorkerReport {
+    bool have_stats = false;
+    double ops = 0.0;
+    support::FilterMetrics metrics;
+    support::LinkMetrics out_link;
+    TransportCounters out_counters;
+    TransportCounters in_counters;
+    support::PoolMetrics pool;
+    bool have_state = false;
+    std::vector<std::byte> group_state;
+  };
+  std::vector<WorkerReport> reports(n_workers);
+
+  // ---- threads: control readers, reaper, sink pump, sink copies ----------
+  std::vector<std::thread> control_readers;
+  for (std::size_t wi = 0; wi < n_workers; ++wi)
+    control_readers.emplace_back([&, wi] {
+      WorkerReport& report = reports[wi];
+      for (;;) {
+        std::optional<Frame> frame = workers[wi].status->recv();
+        if (!frame) break;
+        if (frame->kind != FrameKind::kData) continue;
+        Buffer& body = frame->buffers.front();
+        switch (body.tag()) {
+          case kMsgPart: {
+            const std::int64_t id = body.read<std::int64_t>();
+            const auto gi =
+                static_cast<std::size_t>(body.read<std::uint64_t>());
+            const int copy = static_cast<int>(body.read<std::int64_t>());
+            const bool usable = body.read<std::uint8_t>() != 0;
+            const std::int64_t delivered = body.read<std::int64_t>();
+            submit_part(id, gi, copy, get_blob(body), usable, delivered);
+            break;
+          }
+          case kMsgTerminal: {
+            const auto gi =
+                static_cast<std::size_t>(body.read<std::uint64_t>());
+            const int copy = static_cast<int>(body.read<std::int64_t>());
+            const bool usable = body.read<std::uint8_t>() != 0;
+            const std::int64_t delivered = body.read<std::int64_t>();
+            register_terminal(gi, copy, usable, delivered);
+            break;
+          }
+          case kMsgFault: {
+            support::FaultRecord fault;
+            fault.group = get_string(body);
+            fault.copy = static_cast<int>(body.read<std::int64_t>());
+            fault.packet_index = body.read<std::int64_t>();
+            fault.what = get_string(body);
+            fault.attempt = static_cast<int>(body.read<std::int64_t>());
+            fault.resolution = static_cast<support::FaultResolution>(
+                body.read<std::uint8_t>());
+            fault.at_seconds = body.read<double>();
+            record_fault(std::move(fault));
+            break;
+          }
+          case kMsgFatal: {
+            const std::string what = get_string(body);
+            set_error(std::make_exception_ptr(std::runtime_error(what)),
+                      what);
+            break;
+          }
+          case kMsgStats: {
+            report.ops = body.read<double>();
+            report.metrics = get_filter_metrics(body);
+            report.out_link = get_link_metrics(body);
+            report.out_counters = get_counters(body);
+            report.in_counters = get_counters(body);
+            report.pool = get_pool_metrics(body);
+            report.have_stats = true;
+            break;
+          }
+          case kMsgGroupState: {
+            report.group_state = get_blob(body);
+            report.have_state = true;
+            break;
+          }
+          default:
+            break;  // unknown control message: skip, never wedge
+        }
+      }
+    });
+
+  // Reaper: polls (never waitpid(-1): the host process may own unrelated
+  // children) so an out-of-order death is noticed within milliseconds.
+  std::thread reaper([&] {
+    std::size_t remaining = n_workers;
+    while (remaining > 0) {
+      bool progress = false;
+      for (std::size_t wi = 0; wi < n_workers; ++wi) {
+        WorkerHandle& w = workers[wi];
+        if (w.reaped) continue;
+        int st = 0;
+        const pid_t r = ::waitpid(w.pid, &st, WNOHANG);
+        if (r != w.pid) continue;
+        w.reaped = true;
+        --remaining;
+        progress = true;
+        if (WIFSIGNALED(st)) {
+          std::ostringstream msg;
+          msg << "worker process for stage '" << groups_[wi].name
+              << "' died (signal " << WTERMSIG(st) << ")";
+          set_error(std::make_exception_ptr(std::runtime_error(msg.str())),
+                    msg.str());
+          global_abort();
+        } else if (WIFEXITED(st) && WEXITSTATUS(st) != 0) {
+          std::ostringstream msg;
+          msg << "worker process for stage '" << groups_[wi].name
+              << "' exited with status " << WEXITSTATUS(st);
+          set_error(std::make_exception_ptr(std::runtime_error(msg.str())),
+                    msg.str());
+          global_abort();
+        }
+      }
+      if (!progress)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::thread sink_pump([&] {
+    const bool clean = pump_link_into_stream(sink_link, sink_stream);
+    if (!sink_link.error().empty()) {
+      set_error(std::make_exception_ptr(
+                    std::runtime_error(sink_link.error())),
+                sink_link.error());
+      global_abort();
+    }
+    (void)clean;  // !clean already aborted the sink stream in the pump
+  });
+
+  GroupRuntime sink_runtime;
+  std::atomic<int> sink_live{groups_[sink_gi].copies};
+  std::atomic<bool> sink_warned{false};
+
+  detail::CopyWorld sink_world;
+  sink_world.config = &config_;
+  sink_world.policy = &policy_;
+  sink_world.group = &groups_[sink_gi];
+  sink_world.gi = sink_gi;
+  sink_world.run_ckpt = run_ckpt;
+  sink_world.start = start;
+  sink_world.packet_hook = &hook_;
+  sink_world.checkpoint_hook = &checkpoint_hook_;
+  sink_world.marker_hook = &marker_hook_;
+  sink_world.pool = pool ? &*pool : nullptr;
+  sink_world.runtime = &sink_runtime;
+  sink_world.live = &sink_live;
+  sink_world.warned_no_snapshot = &sink_warned;
+  sink_world.add_ops = [&](double ops) {
+    std::lock_guard lock(state_mutex);
+    stats.group_ops[sink_gi] += ops;
+  };
+  sink_world.merge_metrics = [&](const support::FilterMetrics& m) {
+    std::lock_guard lock(state_mutex);
+    stats.group_metrics[sink_gi].merge(m);
+  };
+  sink_world.record_fault = record_fault;
+  sink_world.set_error = set_error;
+  sink_world.abort_all = global_abort;
+  sink_world.signal_teardown = signal_teardown;
+  sink_world.backoff_wait = [&](double seconds) {
+    std::unique_lock lock(teardown_mutex);
+    teardown_cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                         [&] { return teardown; });
+  };
+  sink_world.submit_part = submit_part;
+  sink_world.register_terminal = register_terminal;
+
+  std::vector<std::thread> sink_copies;
+  for (int copy = 0; copy < groups_[sink_gi].copies; ++copy)
+    sink_copies.emplace_back([&, copy] {
+      detail::run_copy(sink_world, copy, &sink_stream, nullptr);
+    });
+
+  for (std::thread& t : sink_copies) t.join();
+  sink_pump.join();
+  reaper.join();
+  for (std::thread& t : control_readers) t.join();
+  drain_cut_records();
+
+  // ---- assemble the run's stats ------------------------------------------
+  stats.wall_seconds = seconds_since(start);
+  for (std::size_t wi = 0; wi < n_workers; ++wi) {
+    const WorkerReport& report = reports[wi];
+    if (report.have_stats) {
+      stats.group_ops[wi] += report.ops;
+      stats.group_metrics[wi].merge(report.metrics);
+      stats.pool.merge(report.pool);
+    }
+    support::LinkMetrics link = report.out_link;
+    link.transport = backend_name(config_.backend);
+    link.frames = report.out_counters.frames;
+    link.wire_bytes = report.out_counters.wire_bytes;
+    link.send_wait_seconds = report.out_counters.send_wait_seconds;
+    link.recv_wait_seconds =
+        wi + 1 < n_workers ? reports[wi + 1].in_counters.recv_wait_seconds
+                           : sink_link.counters().recv_wait_seconds;
+    stats.link_buffers.push_back(link.buffers);
+    stats.link_bytes.push_back(link.bytes);
+    stats.link_metrics.push_back(link);
+    if (group_import_ && report.have_state)
+      group_import_(wi, report.group_state);
+  }
+  stats.batch_size = static_cast<std::int64_t>(config_.batch_size);
+  if (pool) stats.pool.merge(pool->metrics());
+  {
+    std::lock_guard lock(state_mutex);
+    outcome.error = first_error;
+    stats.completed = !first_error;
+  }
+  return outcome;
+}
+
+}  // namespace cgp::dc

@@ -1,0 +1,189 @@
+#include "datacutter/shm_ring.h"
+
+#include <errno.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <system_error>
+
+namespace cgp::dc {
+
+struct ShmRing::Header {
+  pthread_mutex_t mutex;
+  pthread_cond_t readable;
+  pthread_cond_t writable;
+  std::uint64_t head;      // absolute bytes consumed
+  std::uint64_t tail;      // absolute bytes produced
+  std::uint64_t capacity;  // payload bytes in the ring
+  std::uint32_t writer_closed;
+  std::uint32_t aborted;
+};
+
+namespace {
+
+/// Bounded wait so a waiter re-checks liveness even if the peer process
+/// died between its state update and its signal (a condvar signal from a
+/// SIGKILLed process never arrives; the state in shared memory survives).
+constexpr long kWaitNs = 50 * 1000 * 1000;  // 50 ms
+
+void timed_wait(pthread_cond_t* cv, pthread_mutex_t* mutex) {
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_nsec += kWaitNs;
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_nsec -= 1000000000L;
+    deadline.tv_sec += 1;
+  }
+  const int rc = pthread_cond_timedwait(cv, mutex, &deadline);
+  if (rc != 0 && rc != ETIMEDOUT && rc != EOWNERDEAD)
+    throw std::system_error(rc, std::generic_category(),
+                            "ShmRing: pthread_cond_timedwait");
+}
+
+}  // namespace
+
+std::shared_ptr<ShmRing> ShmRing::create(std::size_t capacity_bytes) {
+  if (capacity_bytes == 0) capacity_bytes = 1;
+  const std::size_t map_len = sizeof(Header) + capacity_bytes;
+  void* map = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (map == MAP_FAILED)
+    throw std::system_error(errno, std::generic_category(), "ShmRing: mmap");
+  Header* header = new (map) Header{};
+  header->capacity = capacity_bytes;
+
+  pthread_mutexattr_t mattr;
+  pthread_mutexattr_init(&mattr);
+  pthread_mutexattr_setpshared(&mattr, PTHREAD_PROCESS_SHARED);
+  pthread_mutexattr_setrobust(&mattr, PTHREAD_MUTEX_ROBUST);
+  pthread_mutex_init(&header->mutex, &mattr);
+  pthread_mutexattr_destroy(&mattr);
+
+  pthread_condattr_t cattr;
+  pthread_condattr_init(&cattr);
+  pthread_condattr_setpshared(&cattr, PTHREAD_PROCESS_SHARED);
+  pthread_condattr_setclock(&cattr, CLOCK_MONOTONIC);
+  pthread_cond_init(&header->readable, &cattr);
+  pthread_cond_init(&header->writable, &cattr);
+  pthread_condattr_destroy(&cattr);
+
+  std::byte* data = reinterpret_cast<std::byte*>(map) + sizeof(Header);
+  return std::shared_ptr<ShmRing>(new ShmRing(header, data, map_len));
+}
+
+ShmRing::ShmRing(Header* header, std::byte* data, std::size_t map_len)
+    : header_(header), data_(data), map_len_(map_len) {}
+
+ShmRing::~ShmRing() {
+  // Each process unmaps its own view; the kernel frees the pages when the
+  // last mapping goes. The pthread objects live inside the mapping and are
+  // deliberately never destroyed — the peer process may still hold a view.
+  ::munmap(header_, map_len_);
+}
+
+void ShmRing::lock() const {
+  const int rc = pthread_mutex_lock(&header_->mutex);
+  if (rc == EOWNERDEAD) {
+    // The previous owner died holding the lock (SIGKILL mid-update). Its
+    // byte ledger may be torn: poison the ring rather than trust it.
+    header_->aborted = 1;
+    pthread_mutex_consistent(&header_->mutex);
+    pthread_cond_broadcast(&header_->readable);
+    pthread_cond_broadcast(&header_->writable);
+    return;
+  }
+  if (rc != 0)
+    throw std::system_error(rc, std::generic_category(),
+                            "ShmRing: pthread_mutex_lock");
+}
+
+std::size_t ShmRing::capacity() const {
+  return static_cast<std::size_t>(header_->capacity);
+}
+
+bool ShmRing::aborted() const {
+  lock();
+  const bool a = header_->aborted != 0;
+  pthread_mutex_unlock(&header_->mutex);
+  return a;
+}
+
+bool ShmRing::write_all(const std::byte* src, std::size_t n) {
+  const std::uint64_t cap = header_->capacity;
+  while (n > 0) {
+    lock();
+    std::uint64_t free_bytes;
+    for (;;) {
+      if (header_->aborted) {
+        pthread_mutex_unlock(&header_->mutex);
+        return false;
+      }
+      free_bytes = cap - (header_->tail - header_->head);
+      if (free_bytes > 0) break;
+      timed_wait(&header_->writable, &header_->mutex);
+    }
+    const std::size_t chunk =
+        std::min(n, static_cast<std::size_t>(free_bytes));
+    const std::size_t at = static_cast<std::size_t>(header_->tail % cap);
+    const std::size_t run = std::min(chunk, static_cast<std::size_t>(cap) - at);
+    std::memcpy(data_ + at, src, run);
+    if (run < chunk) std::memcpy(data_, src + run, chunk - run);
+    header_->tail += chunk;
+    pthread_cond_signal(&header_->readable);
+    pthread_mutex_unlock(&header_->mutex);
+    src += chunk;
+    n -= chunk;
+  }
+  return true;
+}
+
+std::ptrdiff_t ShmRing::read_some(std::byte* dst, std::size_t n) {
+  if (n == 0) return 0;
+  const std::uint64_t cap = header_->capacity;
+  lock();
+  std::uint64_t avail;
+  for (;;) {
+    if (header_->aborted) {
+      pthread_mutex_unlock(&header_->mutex);
+      return -1;
+    }
+    avail = header_->tail - header_->head;
+    if (avail > 0) break;
+    if (header_->writer_closed) {
+      pthread_mutex_unlock(&header_->mutex);
+      return 0;
+    }
+    timed_wait(&header_->readable, &header_->mutex);
+  }
+  const std::size_t chunk = std::min(n, static_cast<std::size_t>(avail));
+  const std::size_t at = static_cast<std::size_t>(header_->head % cap);
+  const std::size_t run = std::min(chunk, static_cast<std::size_t>(cap) - at);
+  std::memcpy(dst, data_ + at, run);
+  if (run < chunk) std::memcpy(dst + run, data_, chunk - run);
+  header_->head += chunk;
+  pthread_cond_signal(&header_->writable);
+  pthread_mutex_unlock(&header_->mutex);
+  return static_cast<std::ptrdiff_t>(chunk);
+}
+
+void ShmRing::close_write() {
+  lock();
+  header_->writer_closed = 1;
+  pthread_cond_broadcast(&header_->readable);
+  pthread_mutex_unlock(&header_->mutex);
+}
+
+void ShmRing::abort() {
+  lock();
+  header_->aborted = 1;
+  pthread_cond_broadcast(&header_->readable);
+  pthread_cond_broadcast(&header_->writable);
+  pthread_mutex_unlock(&header_->mutex);
+}
+
+}  // namespace cgp::dc

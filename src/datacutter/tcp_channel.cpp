@@ -1,0 +1,144 @@
+#include "datacutter/tcp_channel.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <system_error>
+#include <thread>
+
+namespace cgp::dc {
+
+FdChannel::FdChannel(int fd, Kind kind) : fd_(fd), kind_(kind) {}
+
+FdChannel::~FdChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FdChannel::write_all(const std::byte* src, std::size_t n) {
+  while (n > 0) {
+    if (aborted_.load(std::memory_order_relaxed)) return false;
+    ssize_t written;
+    if (kind_ == Kind::kSocket) {
+      // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
+      // process — the supervisor handles peer death, not a signal.
+      written = ::send(fd_, src, n, MSG_NOSIGNAL);
+    } else {
+      written = ::write(fd_, src, n);
+    }
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE / ECONNRESET / EBADF after abort: peer gone
+    }
+    src += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+std::ptrdiff_t FdChannel::read_some(std::byte* dst, std::size_t n) {
+  for (;;) {
+    if (aborted_.load(std::memory_order_relaxed)) return -1;
+    const ssize_t got = kind_ == Kind::kSocket ? ::recv(fd_, dst, n, 0)
+                                               : ::read(fd_, dst, n);
+    if (got >= 0) return got;
+    if (errno == EINTR) continue;
+    // ECONNRESET and friends read as end-of-stream; a consumer that was
+    // mid-frame surfaces the truncation through the frame decoder.
+    return aborted_.load(std::memory_order_relaxed) ? -1 : 0;
+  }
+}
+
+void FdChannel::close_write() {
+  if (write_closed_.exchange(true)) return;
+  if (kind_ == Kind::kSocket) {
+    ::shutdown(fd_, SHUT_WR);
+  } else {
+    // A pipe descriptor is unidirectional; closing it is the EOF.
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FdChannel::abort() {
+  if (aborted_.exchange(true)) return;
+  if (kind_ == Kind::kSocket && fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpListener::TcpListener() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "TcpListener: socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned ephemeral port
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "TcpListener: bind");
+  if (::listen(fd_, 8) != 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "TcpListener: listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "TcpListener: getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::shared_ptr<FdChannel> TcpListener::accept_one() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_shared<FdChannel>(fd, FdChannel::Kind::kSocket);
+    }
+    if (errno == EINTR) continue;
+    throw std::system_error(errno, std::generic_category(),
+                            "TcpListener: accept");
+  }
+}
+
+std::shared_ptr<FdChannel> tcp_connect_loopback(int port) {
+  int last_errno = 0;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+      throw std::system_error(errno, std::generic_category(),
+                              "tcp_connect_loopback: socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_shared<FdChannel>(fd, FdChannel::Kind::kSocket);
+    }
+    last_errno = errno;
+    ::close(fd);
+    if (last_errno != ECONNREFUSED && last_errno != EINTR) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  throw std::system_error(last_errno, std::generic_category(),
+                          "tcp_connect_loopback: connect");
+}
+
+}  // namespace cgp::dc

@@ -1,0 +1,67 @@
+// Socket and pipe byte channels for the tcp backend and the worker control
+// plane. FdChannel wraps one file descriptor behind the ByteChannel
+// interface with full short-write/short-read handling (a send may accept
+// fewer bytes than asked; a recv may return any prefix — framing above
+// must tolerate both). TcpListener binds a loopback ephemeral port before
+// fork so the consumer child can accept on the inherited descriptor while
+// the producer child connects by port number.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "datacutter/transport.h"
+
+namespace cgp::dc {
+
+class FdChannel : public ByteChannel {
+ public:
+  enum class Kind { kSocket, kPipe };
+
+  FdChannel(int fd, Kind kind);
+  ~FdChannel() override;
+  FdChannel(const FdChannel&) = delete;
+  FdChannel& operator=(const FdChannel&) = delete;
+
+  bool write_all(const std::byte* src, std::size_t n) override;
+  std::ptrdiff_t read_some(std::byte* dst, std::size_t n) override;
+  /// Sockets: shutdown(SHUT_WR) so the peer drains to a clean EOF. Pipes:
+  /// closes the descriptor (one direction per pipe end).
+  void close_write() override;
+  /// Sockets: shutdown both directions, waking any blocked peer thread.
+  void abort() override;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  Kind kind_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> write_closed_{false};
+};
+
+class TcpListener {
+ public:
+  /// Binds 127.0.0.1:0 and listens; port() reports the kernel's choice.
+  TcpListener();
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int port() const { return port_; }
+  int fd() const { return fd_; }
+  /// Blocking accept of exactly one connection.
+  std::shared_ptr<FdChannel> accept_one();
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`, retrying briefly while the listener's
+/// process is still coming up. Throws std::system_error on failure.
+std::shared_ptr<FdChannel> tcp_connect_loopback(int port);
+
+}  // namespace cgp::dc

@@ -1,0 +1,276 @@
+#include "datacutter/transport.h"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace cgp::dc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(v));
+  std::memcpy(out.data() + offset, &v, sizeof(v));
+}
+
+void put_i64(std::vector<std::byte>& out, std::int64_t v) {
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(v));
+  std::memcpy(out.data() + offset, &v, sizeof(v));
+}
+
+template <typename T>
+T get(const std::byte* src) {
+  T v;
+  std::memcpy(&v, src, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+const char* backend_name(TransportBackend backend) {
+  switch (backend) {
+    case TransportBackend::kThread:
+      return "thread";
+    case TransportBackend::kProc:
+      return "proc";
+    case TransportBackend::kTcp:
+      return "tcp";
+  }
+  return "thread";
+}
+
+std::optional<TransportBackend> parse_backend(std::string_view name) {
+  if (name == "thread") return TransportBackend::kThread;
+  if (name == "proc") return TransportBackend::kProc;
+  if (name == "tcp") return TransportBackend::kTcp;
+  return std::nullopt;
+}
+
+std::vector<std::string> transport_flag_conflicts(TransportBackend backend,
+                                                  bool fault_injection,
+                                                  bool stage_timeout) {
+  std::vector<std::string> conflicts;
+  if (backend == TransportBackend::kThread) return conflicts;
+  const std::string with =
+      std::string("--backend=") + backend_name(backend);
+  if (fault_injection)
+    conflicts.push_back(
+        "--fault-inject/--fault-seed cannot be combined with " + with +
+        ": injection hooks are process-local, so a seeded plan would draw "
+        "independently in every worker process instead of honoring one "
+        "deterministic sequence");
+  if (stage_timeout)
+    conflicts.push_back(
+        "--stage-timeout cannot be combined with " + with +
+        ": the no-progress watchdog samples per-copy progress counters "
+        "that live inside worker processes the supervisor cannot see");
+  return conflicts;
+}
+
+void TransportCounters::merge(const TransportCounters& other) {
+  frames += other.frames;
+  wire_bytes += other.wire_bytes;
+  send_wait_seconds += other.send_wait_seconds;
+  recv_wait_seconds += other.recv_wait_seconds;
+}
+
+Frame Frame::data(Buffer&& buffer) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.buffers.push_back(std::move(buffer));
+  return f;
+}
+
+Frame Frame::batch(std::vector<Buffer>&& buffers) {
+  Frame f;
+  f.kind = FrameKind::kBatch;
+  f.buffers = std::move(buffers);
+  return f;
+}
+
+Frame Frame::marker(std::int64_t id) {
+  Frame f;
+  f.kind = FrameKind::kMarker;
+  f.marker_id = id;
+  return f;
+}
+
+Frame Frame::close() {
+  Frame f;
+  f.kind = FrameKind::kClose;
+  return f;
+}
+
+void encode_frame(const Frame& frame, std::vector<std::byte>& out) {
+  const std::size_t length_slot = out.size();
+  put_u32(out, 0);  // patched below
+  out.push_back(static_cast<std::byte>(frame.kind));
+  const std::size_t payload_start = out.size();
+  switch (frame.kind) {
+    case FrameKind::kData: {
+      if (frame.buffers.size() != 1)
+        throw std::logic_error("encode_frame: data frame needs one buffer");
+      const Buffer& b = frame.buffers.front();
+      put_u32(out, b.tag());
+      const std::size_t offset = out.size();
+      out.resize(offset + b.size());
+      std::memcpy(out.data() + offset, b.data(), b.size());
+      break;
+    }
+    case FrameKind::kBatch: {
+      put_u32(out, static_cast<std::uint32_t>(frame.buffers.size()));
+      for (const Buffer& b : frame.buffers) {
+        put_u32(out, b.tag());
+        put_u32(out, static_cast<std::uint32_t>(b.size()));
+        const std::size_t offset = out.size();
+        out.resize(offset + b.size());
+        std::memcpy(out.data() + offset, b.data(), b.size());
+      }
+      break;
+    }
+    case FrameKind::kMarker:
+      put_i64(out, frame.marker_id);
+      break;
+    case FrameKind::kClose:
+      break;
+  }
+  const std::size_t payload = out.size() - payload_start;
+  if (payload > kMaxFramePayload)
+    throw std::length_error("encode_frame: payload exceeds kMaxFramePayload");
+  const std::uint32_t length = static_cast<std::uint32_t>(payload);
+  std::memcpy(out.data() + length_slot, &length, sizeof(length));
+}
+
+void FrameDecoder::feed(const std::byte* src, std::size_t n) {
+  // Compact consumed bytes before appending so the staging buffer stays
+  // bounded by one frame plus one read's worth of tail.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (1u << 16) && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), src, src + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t have = buf_.size() - pos_;
+  if (have < sizeof(std::uint32_t) + 1) return std::nullopt;
+  const std::byte* p = buf_.data() + pos_;
+  const std::uint32_t length = get<std::uint32_t>(p);
+  const std::uint8_t kind_byte = static_cast<std::uint8_t>(p[4]);
+  if (length > kMaxFramePayload)
+    throw std::runtime_error(
+        "transport: frame length prefix " + std::to_string(length) +
+        " exceeds the frame bound — torn or corrupt stream");
+  if (kind_byte < static_cast<std::uint8_t>(FrameKind::kData) ||
+      kind_byte > static_cast<std::uint8_t>(FrameKind::kClose))
+    throw std::runtime_error("transport: unknown frame kind " +
+                             std::to_string(kind_byte));
+  if (have < sizeof(std::uint32_t) + 1 + length) return std::nullopt;
+  const std::byte* payload = p + sizeof(std::uint32_t) + 1;
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(kind_byte);
+  switch (frame.kind) {
+    case FrameKind::kData: {
+      if (length < sizeof(std::uint32_t))
+        throw std::runtime_error("transport: data frame shorter than a tag");
+      Buffer b;
+      b.set_tag(get<std::uint32_t>(payload));
+      b.write_bytes(payload + sizeof(std::uint32_t),
+                    length - sizeof(std::uint32_t));
+      frame.buffers.push_back(std::move(b));
+      break;
+    }
+    case FrameKind::kBatch: {
+      if (length < sizeof(std::uint32_t))
+        throw std::runtime_error("transport: batch frame missing its count");
+      const std::uint32_t count = get<std::uint32_t>(payload);
+      std::size_t at = sizeof(std::uint32_t);
+      frame.buffers.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (at + 2 * sizeof(std::uint32_t) > length)
+          throw std::runtime_error("transport: batch frame truncated");
+        const std::uint32_t tag = get<std::uint32_t>(payload + at);
+        const std::uint32_t size =
+            get<std::uint32_t>(payload + at + sizeof(std::uint32_t));
+        at += 2 * sizeof(std::uint32_t);
+        if (at + size > length)
+          throw std::runtime_error("transport: batch entry overruns frame");
+        Buffer b;
+        b.set_tag(tag);
+        b.write_bytes(payload + at, size);
+        at += size;
+        frame.buffers.push_back(std::move(b));
+      }
+      if (at != length)
+        throw std::runtime_error("transport: batch frame has trailing bytes");
+      break;
+    }
+    case FrameKind::kMarker:
+      if (length != sizeof(std::int64_t))
+        throw std::runtime_error("transport: marker frame has wrong size");
+      frame.marker_id = get<std::int64_t>(payload);
+      break;
+    case FrameKind::kClose:
+      if (length != 0)
+        throw std::runtime_error("transport: close frame carries payload");
+      break;
+  }
+  pos_ += sizeof(std::uint32_t) + 1 + length;
+  return frame;
+}
+
+bool FrameLink::send(const Frame& frame) {
+  scratch_.clear();
+  encode_frame(frame, scratch_);
+  const Clock::time_point start = Clock::now();
+  const bool ok = channel_->write_all(scratch_.data(), scratch_.size());
+  counters_.send_wait_seconds += seconds_between(start, Clock::now());
+  if (ok) {
+    counters_.frames += 1;
+    counters_.wire_bytes += static_cast<std::int64_t>(scratch_.size());
+  }
+  return ok;
+}
+
+std::optional<Frame> FrameLink::recv() {
+  try {
+    for (;;) {
+      if (std::optional<Frame> frame = decoder_.next()) {
+        counters_.frames += 1;
+        return frame;
+      }
+      std::byte chunk[16 * 1024];
+      const Clock::time_point start = Clock::now();
+      const std::ptrdiff_t n = channel_->read_some(chunk, sizeof(chunk));
+      counters_.recv_wait_seconds += seconds_between(start, Clock::now());
+      if (n < 0) return std::nullopt;  // aborted: not an error of this link
+      if (n == 0) {
+        if (!decoder_.idle()) {
+          error_ = "transport: stream truncated mid-frame";
+          channel_->abort();
+        }
+        return std::nullopt;
+      }
+      counters_.wire_bytes += n;
+      decoder_.feed(chunk, static_cast<std::size_t>(n));
+    }
+  } catch (const std::exception& e) {
+    error_ = e.what();
+    channel_->abort();
+    return std::nullopt;
+  }
+}
+
+}  // namespace cgp::dc

@@ -23,6 +23,13 @@
 //   --fault-seed=N       seed for probabilistic fault specs (~P triggers)
 //   --stage-timeout=S    watchdog: abort if a live stage moves no buffer
 //                        for S seconds (0 = disabled)
+//   --backend=B          execution substrate: thread (in-process queues,
+//                        default), proc (worker processes + shared-memory
+//                        rings), or tcp (worker processes + loopback TCP
+//                        sockets); see docs/PERFORMANCE.md. Also feeds the
+//                        cost model's per-link transport terms. The
+//                        process backends reject --fault-inject and
+//                        --stage-timeout (see docs/ROBUSTNESS.md)
 //   --stream-capacity=N  bounded depth of every inter-stage stream
 //                        (backpressure window, default 16)
 //   --batch-size=N       producer-side packet coalescing: enqueue up to N
@@ -62,6 +69,8 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "datacutter/checkpoint.h"
 #include "driver/compiler.h"
@@ -77,7 +86,8 @@ void usage() {
                "[--define NAME=VALUE]... [--bind NAME=VALUE]... "
                "[--packets N] [--emit] [--analysis] [--run] "
                "[--trace=<file>] [--fault-policy=P] [--fault-inject=SPEC] "
-               "[--fault-seed=N] [--stage-timeout=S] [--stream-capacity=N] "
+               "[--fault-seed=N] [--stage-timeout=S] [--backend=B] "
+               "[--stream-capacity=N] "
                "[--batch-size=N] [--checkpoint-interval=N] "
                "[--checkpoint=FILE] [--resume=FILE] [--max-replicas=N] "
                "[--copies=N] [--default] [--no-fission]\n");
@@ -147,6 +157,18 @@ int main(int argc, char** argv) {
     fault_policy.action = *action;
   };
 
+  auto parse_backend_flag = [&](const char* name) {
+    const std::optional<dc::TransportBackend> backend =
+        dc::parse_backend(name);
+    if (!backend) {
+      std::fprintf(stderr,
+                   "cgpc: unknown backend '%s' (thread | proc | tcp)\n",
+                   name);
+      std::exit(2);
+    }
+    transport.backend = *backend;
+  };
+
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto next = [&]() -> const char* {
@@ -206,6 +228,10 @@ int main(int argc, char** argv) {
       fault_policy.stage_timeout_seconds = std::strtod(arg + 16, nullptr);
     } else if (std::strcmp(arg, "--stage-timeout") == 0) {
       fault_policy.stage_timeout_seconds = std::strtod(next(), nullptr);
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      parse_backend_flag(arg + 10);
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      parse_backend_flag(next());
     } else if (std::strncmp(arg, "--stream-capacity=", 18) == 0) {
       transport.stream_capacity = static_cast<std::size_t>(
           parse_count(arg + 18, "--stream-capacity", 1));
@@ -258,6 +284,18 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // The process backends cannot honor every thread-backend knob; reject the
+  // combinations up front with one diagnostic per conflict (the runner
+  // would throw the first anyway, but cgpc users deserve the full list).
+  const std::vector<std::string> conflicts = dc::transport_flag_conflicts(
+      transport.backend, !fault_inject.empty(),
+      fault_policy.stage_timeout_seconds > 0.0);
+  if (!conflicts.empty()) {
+    for (const std::string& conflict : conflicts)
+      std::fprintf(stderr, "cgpc: %s\n", conflict.c_str());
+    return 2;
+  }
+  options.backend = dc::backend_name(transport.backend);
 
   std::ifstream file(path);
   if (!file) {

@@ -31,6 +31,29 @@ DecompositionInput make_decomposition_input(const PipelineModel& model,
   input.source_io_ops = options.io_ops_per_byte * sizes.bytes_of(model.input_req);
   input.link_batch_overhead_sec = options.link_batch_overhead_sec;
   input.batch_size = static_cast<double>(options.batch_size == 0 ? 1 : options.batch_size);
+
+  // Backend transport costs (docs/PERFORMANCE.md, backend selection): when
+  // the pipeline will run across process boundaries, every crossed link
+  // serializes at the sender and deserializes at the receiver. Fold the
+  // per-byte term into each link's effective bandwidth
+  // (1/bw' = 1/bw + ops_per_byte * (1/P_send + 1/P_recv)) and the
+  // per-frame term, amortized over the transport batch, into its latency,
+  // so cost_comm needs no new parameters and the thread spec (all zero)
+  // leaves the paper's model bit-for-bit intact.
+  const TransportCostSpec transport = transport_cost_spec(options.backend);
+  if (transport.ops_per_byte > 0.0 || transport.ops_per_frame > 0.0) {
+    for (std::size_t k = 0; k < input.env.links.size(); ++k) {
+      Link& link = input.env.links[k];
+      const double endpoint_secs_per_op =
+          1.0 / input.env.units[k].power_ops_per_sec +
+          1.0 / input.env.units[k + 1].power_ops_per_sec;
+      link.bandwidth_bytes_per_sec =
+          1.0 / (1.0 / link.bandwidth_bytes_per_sec +
+                 transport.ops_per_byte * endpoint_secs_per_op);
+      link.latency_sec +=
+          transport.ops_per_frame * endpoint_secs_per_op / input.batch_size;
+    }
+  }
   input.checkpoint_snapshot_sec = options.checkpoint_snapshot_sec;
   input.checkpoint_interval = static_cast<double>(options.checkpoint_interval);
   input.max_replicas = options.max_replicas;

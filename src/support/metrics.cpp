@@ -213,6 +213,13 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     jl.set("dropped_buffers", Json(l.dropped_buffers));
     jl.set("producer_block_seconds", Json(l.producer_block_seconds));
     jl.set("consumer_block_seconds", Json(l.consumer_block_seconds));
+    // v7 transport surface.
+    jl.set("transport",
+           l.transport.empty() ? Json(nullptr) : Json(l.transport));
+    jl.set("frames", Json(l.frames));
+    jl.set("wire_bytes", Json(l.wire_bytes));
+    jl.set("send_wait_seconds", Json(l.send_wait_seconds));
+    jl.set("recv_wait_seconds", Json(l.recv_wait_seconds));
     links.push_back(std::move(jl));
   }
   Json::Array faults;
@@ -241,7 +248,7 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     checkpoints.push_back(std::move(jc));
   }
   Json root{Json::Object{}};
-  root.set("schema", Json("cgpipe-trace-v6"));
+  root.set("schema", Json("cgpipe-trace-v7"));
   root.set("wall_seconds", Json(trace.wall_seconds));
   root.set("packets", Json(trace.packets));
   root.set("completed", Json(trace.completed));
@@ -298,7 +305,8 @@ PipelineTrace trace_from_json(const std::string& text) {
   const std::string& schema = root.at("schema").as_string();
   if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2" &&
       schema != "cgpipe-trace-v3" && schema != "cgpipe-trace-v4" &&
-      schema != "cgpipe-trace-v5" && schema != "cgpipe-trace-v6")
+      schema != "cgpipe-trace-v5" && schema != "cgpipe-trace-v6" &&
+      schema != "cgpipe-trace-v7")
     throw std::runtime_error("trace: unknown schema");
   PipelineTrace trace;
   trace.wall_seconds = root.at("wall_seconds").as_number();
@@ -373,6 +381,15 @@ PipelineTrace trace_from_json(const std::string& text) {
       l.dropped_buffers = jl.at("dropped_buffers").as_int();
     l.producer_block_seconds = jl.at("producer_block_seconds").as_number();
     l.consumer_block_seconds = jl.at("consumer_block_seconds").as_number();
+    // v7 transport surface; absent (or null) in older documents.
+    if (jl.contains("transport") && jl.at("transport").is_string())
+      l.transport = jl.at("transport").as_string();
+    if (jl.contains("frames")) l.frames = jl.at("frames").as_int();
+    if (jl.contains("wire_bytes")) l.wire_bytes = jl.at("wire_bytes").as_int();
+    if (jl.contains("send_wait_seconds"))
+      l.send_wait_seconds = jl.at("send_wait_seconds").as_number();
+    if (jl.contains("recv_wait_seconds"))
+      l.recv_wait_seconds = jl.at("recv_wait_seconds").as_number();
     trace.links.push_back(l);
   }
   if (root.contains("faults")) {

@@ -87,6 +87,17 @@ struct LinkMetrics {
   /// spent blocked on an empty queue, summed over threads.
   double producer_block_seconds = 0.0;
   double consumer_block_seconds = 0.0;
+  /// Transport substrate of this link (trace v7): "thread" | "proc" |
+  /// "tcp". Empty in documents written before backend support.
+  std::string transport;
+  /// Wire telemetry (trace v7), all zero on the thread backend where
+  /// nothing is serialized: frames and raw bytes the sender put on the
+  /// channel, time the sender spent inside blocking transport writes, and
+  /// time the receiver spent inside blocking transport reads.
+  std::int64_t frames = 0;
+  std::int64_t wire_bytes = 0;
+  double send_wait_seconds = 0.0;
+  double recv_wait_seconds = 0.0;
 };
 
 /// Per-size-class buffer-pool counters (trace v6): activity of one
@@ -199,7 +210,7 @@ struct PipelineTrace {
   int bottleneck_filter() const;
 };
 
-/// Serializes to the cgpipe-trace-v6 schema documented in
+/// Serializes to the cgpipe-trace-v7 schema documented in
 /// docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 
@@ -207,8 +218,9 @@ std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 /// default to their zero values), v2 (checkpoint fields default to their
 /// zero values), v3 (stage_replicas defaults to empty), v4 (per-copy
 /// checkpoint part records absent, `parts` defaults to 0), v5
-/// (pool.classes defaults to empty), and v6. Throws std::runtime_error on
-/// malformed or schema-incompatible input.
+/// (pool.classes defaults to empty), v6 (per-link transport fields
+/// default to their zero values, transport to ""), and v7. Throws
+/// std::runtime_error on malformed or schema-incompatible input.
 PipelineTrace trace_from_json(const std::string& text);
 
 }  // namespace cgp::support

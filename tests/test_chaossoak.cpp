@@ -7,7 +7,11 @@
 // environment variable (the CI chaos-soak job runs three distinct seeds
 // under TSan, repeated until-fail).
 #include <gtest/gtest.h>
+#include <signal.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datacutter/buffer.h"
@@ -338,6 +343,142 @@ TEST(ChaosSoak, TornCheckpointFailsLoudlyAndFreshRunConverges) {
   RunOutcome outcome = runner.run_supervised();
   ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
   EXPECT_EQ(state->values, oracle(shape.packets));
+}
+
+// ---------------------------------------------------------------------------
+// Storm 5: worker-process kill storm on the proc backend — a sniper thread
+// SIGKILLs a randomly chosen worker process mid-run (no unwind, no signal
+// handler: the frame it was sending is torn off mid-batch), the supervisor's
+// reaper detects the silent death and aborts, and the next attempt resumes
+// from the last consistent cut on disk. The final clean completion must
+// deliver exactly the oracle multiset: nothing the dead worker had in
+// flight may be lost or double-counted.
+// ---------------------------------------------------------------------------
+
+/// SoakAdder with a per-packet stall, so runs are long enough that a
+/// SIGKILL lands mid-stream rather than racing end-of-stream.
+class SlowSoakAdder : public Filter {
+ public:
+  void process(FilterContext& ctx) override {
+    while (auto b = ctx.read()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      const std::int64_t v = b->read<std::int64_t>();
+      carried_ += v;
+      Buffer out;
+      out.write<std::int64_t>(v + 1);
+      ctx.emit(std::move(out));
+    }
+  }
+  bool snapshot_state(Buffer& out) override {
+    out.write<std::int64_t>(carried_);
+    return true;
+  }
+  void restore_state(Buffer& in) override {
+    carried_ = in.read<std::int64_t>();
+  }
+
+ private:
+  std::int64_t carried_ = 0;
+};
+
+TEST(ChaosSoak, ProcWorkerKillStormIsExactlyOnceAfterResume) {
+  Rng rng(soak_seed() ^ 0x51a9ull);
+  for (int round = 0; round < 3; ++round) {
+    SoakShape shape = draw_shape(rng);
+    shape.packets = 96 + static_cast<int>(rng.next_below(3)) * 32;
+    shape.interval = 2 + static_cast<std::size_t>(rng.next_below(3));
+    const std::string path = "cgp_chaos_proc_kill_" + std::to_string(round) +
+                             "_" + std::to_string(soak_seed()) + ".json";
+    std::remove(path.c_str());
+    const int kills = 1 + static_cast<int>(rng.next_below(2));  // 1..2
+    int casualties = 0;
+    std::multiset<std::int64_t> final_values;
+    bool completed = false;
+    for (int attempt = 0; attempt < kills + 6 && !completed; ++attempt) {
+      auto state = std::make_shared<SoakState>();
+      std::vector<FilterGroup> groups;
+      groups.push_back({"src",
+                        [n = shape.packets] {
+                          return std::make_unique<SoakSource>(n);
+                        },
+                        shape.src_copies, 0});
+      groups.push_back({"mid", [] { return std::make_unique<SlowSoakAdder>(); },
+                        shape.mid_copies, 1});
+      groups.push_back(
+          {"sink", [state] { return std::make_unique<SoakSink>(state); },
+           shape.sink_copies, 2});
+      RunnerConfig config = soak_config(shape);
+      config.backend = TransportBackend::kProc;
+      config.checkpoint_path = path;
+      std::optional<RunCheckpoint> cut;
+      if (file_exists(path)) {
+        cut = load_checkpoint(path);
+        config.resume = &*cut;
+      }
+      PipelineRunner runner(std::move(groups), config, soak_policy());
+      // The sniper: armed on the storm attempts, targeting one of the two
+      // worker groups (src or mid — the sink lives in the supervisor). It
+      // is spawned from the process hook only once the LAST worker has
+      // forked, so the supervisor is still single-threaded at every fork
+      // (the multi-process backends rely on that), then fires as soon as a
+      // consistent cut has landed on disk.
+      // Stay armed until the storm has claimed its quota: a sniper can
+      // miss (its victim finished and exited before the shot), in which
+      // case the attempt completed cleanly, left a cut on disk, and the
+      // next armed attempt fires near-instantly into live workers.
+      const bool armed = casualties < kills;
+      const std::size_t victim_gi = rng.next_below(2);
+      std::mutex pid_mutex;
+      std::array<long, 2> pids = {0, 0};
+      std::atomic<bool> stop{false};
+      std::thread sniper;
+      if (armed) {
+        runner.set_process_hook([&](std::size_t gi, long pid) {
+          std::lock_guard lock(pid_mutex);
+          if (gi < pids.size()) pids[gi] = pid;
+          if (gi != 1) return;  // both workers forked: release the sniper
+          sniper = std::thread([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+              if (file_exists(path)) {
+                long target, other;
+                {
+                  std::lock_guard pid_lock(pid_mutex);
+                  target = pids[victim_gi];
+                  other = pids[1 - victim_gi];
+                }
+                // If the drawn victim is already gone (ESRCH), shoot the
+                // other worker instead of wasting the round.
+                if (target <= 0 ||
+                    ::kill(static_cast<pid_t>(target), SIGKILL) != 0) {
+                  if (other > 0) ::kill(static_cast<pid_t>(other), SIGKILL);
+                }
+                return;
+              }
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+          });
+        });
+      }
+      RunOutcome outcome = runner.run_supervised();
+      stop.store(true, std::memory_order_release);
+      if (sniper.joinable()) sniper.join();
+      if (armed && !outcome.ok()) ++casualties;
+      // Only a clean, fault-free, unarmed completion is trusted; a killed
+      // attempt's partial delivery is discarded along with its SoakState,
+      // and an armed attempt that outran its sniper is retried.
+      if (!armed && outcome.ok() && outcome.stats.faults.empty()) {
+        final_values = state->values;
+        completed = true;
+      }
+    }
+    std::remove(path.c_str());
+    ASSERT_TRUE(completed) << shape_str(shape);
+    // The storm must actually have drawn blood: every round runs long
+    // enough (per-packet stall in the adder) that at least one armed
+    // attempt dies to the sniper instead of racing to end-of-stream.
+    EXPECT_GE(casualties, 1) << shape_str(shape);
+    EXPECT_EQ(final_values, oracle(shape.packets)) << shape_str(shape);
+  }
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -358,6 +359,71 @@ void run_kill_resume_matrix(const apps::AppConfig& config,
   }
 }
 
+/// Cross-backend matrix (ISSUE: multi-process transport): the same compiled
+/// pipeline under the Decomp placement on every execution substrate —
+/// in-process queues, forked workers over shared-memory rings, and forked
+/// workers over loopback TCP — across batch x capacity x replicas, each
+/// cell checked against the sequential oracle. Single-copy cells are
+/// byte-exact on every backend: crossing a process boundary must not
+/// perturb one bit of the delivered result. Multi-group cells on the
+/// process backends must also report wire telemetry (cgpipe-trace-v7) for
+/// the backend they actually ran on.
+/// CI splits the backend matrix by sanitizer lane: setting
+/// CGP_BACKEND_MATRIX="thread,proc" restricts which backends the
+/// *Backends tests cover (the TSan lane skips the tcp loopback cells,
+/// which run in the plain Release lane). Unset or empty covers all.
+bool backend_enabled(dc::TransportBackend backend) {
+  const char* filter = std::getenv("CGP_BACKEND_MATRIX");
+  if (!filter || !*filter) return true;
+  const std::string list = std::string(",") + filter + ",";
+  const std::string needle =
+      std::string(",") + dc::backend_name(backend) + ",";
+  return list.find(needle) != std::string::npos;
+}
+
+void run_backend_matrix(const apps::AppConfig& config, const std::string& cls,
+                        const std::vector<std::string>& result_keys,
+                        const std::vector<std::string>& stage_local = {}) {
+  const Oracle oracle = run_sequential(config, cls);
+  ASSERT_FALSE(oracle.values.empty());
+  for (int copies : {1, 3}) {
+    CompileResult result = compile_app(config, copies);
+    if (!result.ok) continue;  // compile_app already recorded the failure
+    const EnvironmentSpec env = EnvironmentSpec::paper_cluster(copies);
+    const double tol = copies == 1 ? 0.0 : 1e-9;
+    for (dc::TransportBackend backend :
+         {dc::TransportBackend::kThread, dc::TransportBackend::kProc,
+          dc::TransportBackend::kTcp}) {
+      if (!backend_enabled(backend)) continue;
+      for (std::size_t batch : {std::size_t{1}, std::size_t{16}}) {
+        for (std::size_t capacity : {std::size_t{1}, std::size_t{16}}) {
+          dc::RunnerConfig transport;
+          transport.backend = backend;
+          transport.stream_capacity = capacity;
+          transport.batch_size = batch;
+          PipelineRunResult run =
+              result.make_runner(result.decomposition.placement, env, {},
+                                 transport)
+                  .run();
+          const std::string what =
+              config.name + " backend=" + dc::backend_name(backend) +
+              " copies=" + std::to_string(copies) +
+              " batch=" + std::to_string(batch) +
+              " cap=" + std::to_string(capacity);
+          expect_conformant(oracle, run, tol, result_keys, stage_local, what);
+          if (backend != dc::TransportBackend::kThread) {
+            for (const support::LinkMetrics& link : run.link_metrics) {
+              EXPECT_EQ(link.transport, dc::backend_name(backend)) << what;
+              EXPECT_GT(link.frames, 0) << what;
+              EXPECT_GT(link.wire_bytes, 0) << what;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(Conformance, Tiny) {
   run_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
 }
@@ -428,6 +494,29 @@ TEST(Conformance, KnnReplicaPlan) {
 TEST(Conformance, VmscopeReplicaPlan) {
   run_replica_plan_matrix(apps::vmscope_config(false), "VMScope",
                           {"total", "filled"});
+}
+
+TEST(Conformance, TinyBackends) {
+  run_backend_matrix(apps::tiny_config(256, 8), "Tiny", {"result"});
+}
+
+TEST(Conformance, IsosurfaceZBufferBackends) {
+  run_backend_matrix(apps::isosurface_zbuffer_config(false), "IsoZBuffer",
+                     {"checksum", "lit"});
+}
+
+TEST(Conformance, IsosurfaceActivePixelsBackends) {
+  run_backend_matrix(apps::isosurface_active_pixels_config(false),
+                     "IsoActivePixels", {"checksum", "lit"});
+}
+
+TEST(Conformance, KnnBackends) {
+  run_backend_matrix(apps::knn_config(3), "Knn", {"kth", "dsum"}, {"seed"});
+}
+
+TEST(Conformance, VmscopeBackends) {
+  run_backend_matrix(apps::vmscope_config(false), "VMScope",
+                     {"total", "filled"});
 }
 
 TEST(Conformance, TinyKillResume) {

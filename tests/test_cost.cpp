@@ -1,9 +1,13 @@
-// Cost model tests (§4.3): volumes, op counts, pipeline time formulas.
+// Cost model tests (§4.3): volumes, op counts, pipeline time formulas,
+// and the per-backend transport cost fold (docs/PERFORMANCE.md).
 #include <gtest/gtest.h>
 
+#include "apps/app_configs.h"
 #include "cost/environment.h"
 #include "cost/opcount.h"
 #include "cost/volume.h"
+#include "decomp/decompose.h"
+#include "driver/compiler.h"
 #include "parser/parser.h"
 #include "sema/sema.h"
 
@@ -223,6 +227,94 @@ TEST(OpCount, ConditionalWeightedBySelectivity) {
   OpCounts c_tenth =
       OpCounter(f.registry, sizes, tenth).count_stmts(stmts_of(f));
   EXPECT_GT(c_half.total(), c_tenth.total());
+}
+
+TEST(TransportCost, SpecOrderingAcrossBackends) {
+  const TransportCostSpec thread = transport_cost_spec("thread");
+  const TransportCostSpec proc = transport_cost_spec("proc");
+  const TransportCostSpec tcp = transport_cost_spec("tcp");
+  // The thread backend moves pointers: the paper's free-link model.
+  EXPECT_EQ(thread.ops_per_byte, 0.0);
+  EXPECT_EQ(thread.ops_per_frame, 0.0);
+  // Crossing a process boundary costs real work, and sockets cost
+  // strictly more than shared memory in both terms.
+  EXPECT_GT(proc.ops_per_byte, 0.0);
+  EXPECT_GT(proc.ops_per_frame, 0.0);
+  EXPECT_GT(tcp.ops_per_byte, proc.ops_per_byte);
+  EXPECT_GT(tcp.ops_per_frame, proc.ops_per_frame);
+  // Unknown names degrade to the zero-cost spec instead of throwing.
+  EXPECT_EQ(transport_cost_spec("mpi").ops_per_byte, 0.0);
+}
+
+TEST(TransportCost, BackendFoldsIntoLinkModel) {
+  const apps::AppConfig config = apps::tiny_config(256, 8);
+  CompileOptions options;
+  options.env = EnvironmentSpec::paper_cluster(1);
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.n_packets = config.n_packets;
+  CompileResult compiled = compile_pipeline(config.source, options);
+  ASSERT_TRUE(compiled.ok) << compiled.diagnostics;
+
+  DecompositionInput inputs[3];
+  const char* backends[3] = {"thread", "proc", "tcp"};
+  for (int i = 0; i < 3; ++i) {
+    options.backend = backends[i];
+    inputs[i] =
+        make_decomposition_input(compiled.model, options.env, options);
+  }
+  // thread leaves the environment untouched; proc degrades every link's
+  // effective bandwidth and adds latency; tcp degrades both further.
+  for (std::size_t k = 0; k < inputs[0].env.links.size(); ++k) {
+    EXPECT_DOUBLE_EQ(inputs[0].env.links[k].bandwidth_bytes_per_sec,
+                     options.env.links[k].bandwidth_bytes_per_sec);
+    EXPECT_DOUBLE_EQ(inputs[0].env.links[k].latency_sec,
+                     options.env.links[k].latency_sec);
+    EXPECT_LT(inputs[1].env.links[k].bandwidth_bytes_per_sec,
+              inputs[0].env.links[k].bandwidth_bytes_per_sec);
+    EXPECT_GT(inputs[1].env.links[k].latency_sec,
+              inputs[0].env.links[k].latency_sec);
+    EXPECT_LT(inputs[2].env.links[k].bandwidth_bytes_per_sec,
+              inputs[1].env.links[k].bandwidth_bytes_per_sec);
+    EXPECT_GT(inputs[2].env.links[k].latency_sec,
+              inputs[1].env.links[k].latency_sec);
+  }
+  // A placement that crosses links therefore costs monotonically more as
+  // the substrate gets heavier: thread < proc < tcp.
+  const Placement baseline = default_placement(inputs[0]);
+  const double t_thread =
+      full_pipeline_time(inputs[0], baseline, options.n_packets);
+  const double t_proc =
+      full_pipeline_time(inputs[1], baseline, options.n_packets);
+  const double t_tcp =
+      full_pipeline_time(inputs[2], baseline, options.n_packets);
+  EXPECT_LT(t_thread, t_proc);
+  EXPECT_LT(t_proc, t_tcp);
+}
+
+TEST(TransportCost, BatchingAmortizesFrameOverhead) {
+  const apps::AppConfig config = apps::tiny_config(256, 8);
+  CompileOptions options;
+  options.env = EnvironmentSpec::paper_cluster(1);
+  options.runtime_constants = config.runtime_constants;
+  options.size_bindings = config.size_bindings;
+  options.backend = "tcp";
+  CompileResult compiled = compile_pipeline(config.source, options);
+  ASSERT_TRUE(compiled.ok) << compiled.diagnostics;
+  options.batch_size = 1;
+  const DecompositionInput unbatched =
+      make_decomposition_input(compiled.model, options.env, options);
+  options.batch_size = 16;
+  const DecompositionInput batched =
+      make_decomposition_input(compiled.model, options.env, options);
+  for (std::size_t k = 0; k < unbatched.env.links.size(); ++k) {
+    // The per-frame term is per enqueue: coalescing 16 packets into one
+    // frame divides it by 16. The per-byte term is batch-invariant.
+    EXPECT_LT(batched.env.links[k].latency_sec,
+              unbatched.env.links[k].latency_sec);
+    EXPECT_DOUBLE_EQ(batched.env.links[k].bandwidth_bytes_per_sec,
+                     unbatched.env.links[k].bandwidth_bytes_per_sec);
+  }
 }
 
 TEST(OpCount, CallsCountedInterprocedurally) {

@@ -1,6 +1,11 @@
 // Driver facade tests: full compile flow, diagnostics, decomposition
-// artifacts, simulate bridge, failure injection.
+// artifacts, simulate bridge, failure injection — plus CLI-surface tests
+// that spawn the real cgpc binary (CGPC_BINARY, injected by CMake).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
 
 #include "apps/app_configs.h"
 #include "driver/compiler.h"
@@ -141,6 +146,98 @@ TEST(Driver, WiderEnvironmentSimulatesFaster) {
     EXPECT_LT(t, previous * 1.02) << "width " << width;  // monotone-ish
     previous = t;
   }
+}
+
+// ---- cgpc CLI surface -----------------------------------------------------
+
+struct CliResult {
+  int status = -1;        // process exit code, or -1 on abnormal exit
+  std::string output;     // stdout + stderr, interleaved
+};
+
+/// Runs the real cgpc binary with `args` appended, capturing both output
+/// streams and the exit code.
+CliResult run_cgpc(const std::string& args) {
+  CliResult result;
+  const std::string command = std::string(CGPC_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (!pipe) return result;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, pipe)) > 0)
+    result.output.append(chunk, n);
+  const int raw = pclose(pipe);
+  if (raw >= 0 && WIFEXITED(raw)) result.status = WEXITSTATUS(raw);
+  return result;
+}
+
+class CgpcCli : public ::testing::Test {
+ protected:
+  static constexpr const char* kSourcePath = "cgp_driver_cli_tiny.cgp";
+
+  static void SetUpTestSuite() {
+    std::ofstream out(kSourcePath);
+    out << apps::tiny_config(64, 8).source;
+  }
+  static void TearDownTestSuite() { std::remove(kSourcePath); }
+
+  /// --define/--bind arguments matching the tiny app's configuration.
+  static std::string binding_args() {
+    const apps::AppConfig config = apps::tiny_config(64, 8);
+    std::string args;
+    // Quoted: binding names like "len(values)" are shell metacharacters.
+    for (const auto& [name, value] : config.runtime_constants)
+      args += " --define '" + name + "=" + std::to_string(value) + "'";
+    for (const auto& [name, value] : config.size_bindings)
+      args += " --bind '" + name + "=" + std::to_string(value) + "'";
+    return args;
+  }
+};
+
+TEST_F(CgpcCli, UnknownBackendRejected) {
+  const CliResult r = run_cgpc(std::string(kSourcePath) + " --backend=mpi");
+  EXPECT_EQ(r.status, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown backend 'mpi'"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CgpcCli, ProcBackendRejectsFaultInject) {
+  const CliResult r = run_cgpc(std::string(kSourcePath) +
+                               " --backend=proc --fault-inject=stage1:throw@5");
+  EXPECT_EQ(r.status, 2) << r.output;
+  EXPECT_NE(r.output.find("--fault-inject"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("--backend=proc"), std::string::npos) << r.output;
+}
+
+TEST_F(CgpcCli, TcpBackendRejectsStageTimeout) {
+  const CliResult r = run_cgpc(std::string(kSourcePath) +
+                               " --backend=tcp --stage-timeout=2");
+  EXPECT_EQ(r.status, 2) << r.output;
+  EXPECT_NE(r.output.find("--stage-timeout"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("--backend=tcp"), std::string::npos) << r.output;
+}
+
+TEST_F(CgpcCli, BothConflictsReportedTogether) {
+  const CliResult r = run_cgpc(std::string(kSourcePath) +
+                               " --backend=tcp --fault-inject=stage0:throw@1 "
+                               "--stage-timeout=2");
+  EXPECT_EQ(r.status, 2) << r.output;
+  // One diagnostic per conflicting option, not just the first.
+  EXPECT_NE(r.output.find("--fault-inject"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("--stage-timeout"), std::string::npos) << r.output;
+}
+
+TEST_F(CgpcCli, ProcBackendRunsPipelineEndToEnd) {
+  const CliResult r = run_cgpc(std::string(kSourcePath) + binding_args() +
+                               " --backend=proc --run --packets 8");
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("ran 8 packets"), std::string::npos) << r.output;
+  // The group-state codec must fold worker-side telemetry back into the
+  // supervisor's result: a zero byte count on the first link would mean
+  // the forked source's counters were dropped.
+  EXPECT_NE(r.output.find("link 0:"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("link 0: 0 packet bytes"), std::string::npos)
+      << r.output;
 }
 
 }  // namespace

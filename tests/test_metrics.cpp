@@ -178,7 +178,7 @@ TEST(Trace, BottleneckIsLargestBusyFilter) {
 
 TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
   const Json j = Json::parse(trace_to_json(sample_trace()));
-  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v6");
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v7");
   EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
 }
 
@@ -201,7 +201,7 @@ TEST(Trace, ReadsV3DocumentsWithEmptyReplicaPlan) {
   PipelineTrace trace = sample_trace();
   trace.stage_replicas = {2, 2, 1};
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v6");
+  const std::size_t pos = json.find("cgpipe-trace-v7");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v3");
   const std::size_t field = json.find("\"stage_replicas\"");
@@ -311,7 +311,7 @@ TEST(Trace, ReadsV4CheckpointRecordsWithoutParts) {
   cut.packet_index = 16;
   trace.checkpoints.push_back(cut);
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v6");
+  const std::size_t pos = json.find("cgpipe-trace-v7");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v4");
   const std::size_t field = json.find("\"parts\"");
@@ -330,7 +330,7 @@ TEST(Trace, ReadsV2DocumentsWithZeroCheckpointSurface) {
   // every v3 field at its benign default.
   PipelineTrace trace = sample_trace();
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v6");
+  const std::size_t pos = json.find("cgpipe-trace-v7");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v2");
   const PipelineTrace back = trace_from_json(json);
@@ -385,6 +385,43 @@ TEST(Trace, RoundTripPreservesPoolClassBreakdown) {
   EXPECT_EQ(trace_to_json(back), json);
 }
 
+TEST(Trace, RoundTripPreservesLinkTransportSurface) {
+  PipelineTrace trace = sample_trace();
+  trace.links[0].transport = "proc";
+  trace.links[0].frames = 128;
+  trace.links[0].wire_bytes = 65536;
+  trace.links[0].send_wait_seconds = 0.25;
+  trace.links[0].recv_wait_seconds = 0.125;
+
+  const std::string json = trace_to_json(trace);
+  const PipelineTrace back = trace_from_json(json);
+  ASSERT_EQ(back.links.size(), trace.links.size());
+  EXPECT_EQ(back.links[0].transport, "proc");
+  EXPECT_EQ(back.links[0].frames, 128);
+  EXPECT_EQ(back.links[0].wire_bytes, 65536);
+  EXPECT_DOUBLE_EQ(back.links[0].send_wait_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(back.links[0].recv_wait_seconds, 0.125);
+  EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, ReadsV6DocumentsWithoutTransportSurface) {
+  // A v6 trace predates the per-link transport fields; it still loads
+  // with the v7 fields at their benign defaults.
+  const std::string v6 =
+      R"({"schema":"cgpipe-trace-v6","wall_seconds":0.5,"packets":4,)"
+      R"("bottleneck_filter":null,"filters":[],"links":[{)"
+      R"("buffers":7,"bytes":512,"capacity":4,"occupancy_high_water":3,)"
+      R"("producer_block_seconds":0.0,"consumer_block_seconds":0.0}]})";
+  const PipelineTrace back = trace_from_json(v6);
+  ASSERT_EQ(back.links.size(), 1u);
+  EXPECT_EQ(back.links[0].buffers, 7);
+  EXPECT_TRUE(back.links[0].transport.empty());
+  EXPECT_EQ(back.links[0].frames, 0);
+  EXPECT_EQ(back.links[0].wire_bytes, 0);
+  EXPECT_DOUBLE_EQ(back.links[0].send_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(back.links[0].recv_wait_seconds, 0.0);
+}
+
 TEST(Trace, ReadsV5DocumentsWithoutPoolClasses) {
   // A v5 trace predates the per-size-class pool breakdown; it still loads
   // with the v6 field empty.
@@ -393,7 +430,7 @@ TEST(Trace, ReadsV5DocumentsWithoutPoolClasses) {
   trace.pool.hits = 8;
   trace.pool.misses = 2;
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v6");
+  const std::size_t pos = json.find("cgpipe-trace-v7");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v5");
   const std::size_t field = json.find("\"classes\"");
