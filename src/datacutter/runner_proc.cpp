@@ -380,6 +380,32 @@ void pump_stream_into_link(Stream& stream, FrameLink& link,
 
 // ---- worker process -------------------------------------------------------
 
+// Ignores SIGPIPE for the duration of the run and restores the caller's
+// disposition afterwards: a dead peer must surface as EPIPE / a failed
+// write, never a signal, but library code must not permanently rewrite an
+// embedding application's signal handling. Sockets already use
+// MSG_NOSIGNAL; this covers the control-plane pipes. Workers inherit the
+// ignore across fork — which is what they need — and _exit before the
+// guard unwinds.
+class ScopedIgnoreSigpipe {
+ public:
+  ScopedIgnoreSigpipe() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    installed_ = ::sigaction(SIGPIPE, &ignore, &saved_) == 0;
+  }
+  ~ScopedIgnoreSigpipe() {
+    if (installed_) ::sigaction(SIGPIPE, &saved_, nullptr);
+  }
+  ScopedIgnoreSigpipe(const ScopedIgnoreSigpipe&) = delete;
+  ScopedIgnoreSigpipe& operator=(const ScopedIgnoreSigpipe&) = delete;
+
+ private:
+  struct sigaction saved_ {};
+  bool installed_ = false;
+};
+
 struct WorkerSetup {
   std::size_t gi = 0;
   const std::vector<FilterGroup>* groups = nullptr;
@@ -452,10 +478,21 @@ struct WorkerSetup {
     // Data endpoints: on tcp, connect the output first (the listener was
     // bound before fork, so the connection queues even before the
     // consumer accepts), then accept the input on the inherited listener.
+    // The accept watches the command pipe: if the upstream worker dies
+    // before connecting, the supervisor's abort broadcast (or its own
+    // death closing the pipe) is the only wakeup this worker will get —
+    // the command reader thread does not exist yet.
     if (config.backend == TransportBackend::kTcp) {
       if (plan.out_port >= 0)
         setup.out_chan = tcp_connect_loopback(static_cast<int>(plan.out_port));
-      if (gi > 0) setup.in_chan = setup.in_listener->accept_one();
+      if (gi > 0) {
+        setup.in_chan =
+            setup.in_listener->accept_one(setup.command_chan->fd());
+        if (!setup.in_chan)
+          fatal_exit("worker '" + group.name +
+                         "': run aborted before its input connected",
+                     4);
+      }
     }
     std::optional<FrameLink> in_link;
     if (gi > 0) in_link.emplace(setup.in_chan);
@@ -668,8 +705,7 @@ struct WorkerSetup {
 // ---- supervisor -----------------------------------------------------------
 
 RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
-  // A dead peer must surface as EPIPE / a failed write, never a signal.
-  ::signal(SIGPIPE, SIG_IGN);
+  ScopedIgnoreSigpipe sigpipe_guard;
 
   const std::size_t n_groups = groups_.size();  // >= 2 (dispatch guarantees)
   const std::size_t n_workers = n_groups - 1;
@@ -710,6 +746,7 @@ RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
   // Fork every worker before this process creates a single thread (fork
   // in a multithreaded supervisor is undefined enough that TSan rejects
   // it outright). Children never return from worker_main.
+  std::vector<int> parent_fds;  // supervisor pipe ends forked so far
   for (std::size_t wi = 0; wi < n_workers; ++wi) {
     int status_pipe[2];
     int command_pipe[2];
@@ -727,6 +764,20 @@ RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
     if (pid == 0) {
       ::close(status_pipe[0]);
       ::close(command_pipe[1]);
+      // Supervisor-side ends of earlier workers' pipes: holding duplicate
+      // command-pipe write ends would keep a sibling's EOF from ever
+      // firing until this whole cohort exits, and the descriptors are
+      // dead weight in every worker.
+      for (const int fd : parent_fds) ::close(fd);
+      // Link endpoints this worker is not a party to: it reads link
+      // gi-1 and writes link gi (by port number on tcp — only the
+      // input-side listener descriptor is used after fork).
+      for (std::size_t li = 0; li < n_links; ++li) {
+        if (rings[li] && li != wi && !(wi > 0 && li == wi - 1))
+          rings[li].reset();
+        if (listeners[li] && !(wi > 0 && li == wi - 1))
+          listeners[li]->close();
+      }
       WorkerSetup setup;
       setup.gi = wi;
       setup.groups = &groups_;
@@ -751,6 +802,8 @@ RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
     }
     ::close(status_pipe[1]);
     ::close(command_pipe[0]);
+    parent_fds.push_back(status_pipe[0]);
+    parent_fds.push_back(command_pipe[1]);
     WorkerHandle& w = workers[wi];
     w.pid = pid;
     w.status_chan = std::make_shared<FdChannel>(status_pipe[0],
@@ -813,12 +866,49 @@ RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
   }
 
   // The supervisor's own data endpoint: the consumer end of the last
-  // link, feeding the in-process sink group.
+  // link, feeding the in-process sink group. On tcp the accept runs
+  // before the reaper thread exists, so it probes worker liveness itself:
+  // a worker that dies before the last worker's connect arrives must fail
+  // the run, not wedge this thread on a connection that will never come.
   std::shared_ptr<ByteChannel> sink_chan;
-  if (config_.backend == TransportBackend::kProc)
+  if (config_.backend == TransportBackend::kProc) {
     sink_chan = rings[n_links - 1];
-  else
-    sink_chan = listeners[n_links - 1]->accept_one();
+  } else {
+    std::string abnormal_death;
+    std::string peer_gone;
+    const auto worker_died = [&] {
+      for (std::size_t wi = 0; wi < n_workers; ++wi) {
+        WorkerHandle& w = workers[wi];
+        if (w.reaped) continue;
+        int st = 0;
+        if (::waitpid(w.pid, &st, WNOHANG) != w.pid) continue;
+        w.reaped = true;
+        if (WIFSIGNALED(st)) {
+          abnormal_death = "worker process for stage '" + groups_[wi].name +
+                           "' died (signal " +
+                           std::to_string(WTERMSIG(st)) +
+                           ") before the pipeline connected";
+        } else if (WIFEXITED(st) && WEXITSTATUS(st) != 0) {
+          abnormal_death = "worker process for stage '" + groups_[wi].name +
+                           "' exited with status " +
+                           std::to_string(WEXITSTATUS(st)) +
+                           " before the pipeline connected";
+        } else if (wi + 1 == n_workers) {
+          // The peer that must connect here is gone. If its connection is
+          // already queued it exited after a (tiny) complete run and the
+          // accept's final poll picks it up; otherwise nothing ever will.
+          peer_gone = "worker process for stage '" + groups_[wi].name +
+                      "' exited before connecting its output";
+        }
+      }
+      return !abnormal_death.empty() || !peer_gone.empty();
+    };
+    sink_chan = listeners[n_links - 1]->accept_one(-1, worker_died);
+    if (!abnormal_death.empty())
+      return fail_startup("run_multiprocess: " + abnormal_death);
+    if (!sink_chan)
+      return fail_startup("run_multiprocess: " + peer_gone);
+  }
   FrameLink sink_link(sink_chan);
 
   Stream sink_stream(config_.stream_capacity);
@@ -979,8 +1069,15 @@ RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
 
   // Reaper: polls (never waitpid(-1): the host process may own unrelated
   // children) so an out-of-order death is noticed within milliseconds.
+  // Once an abort has been broadcast, workers that still have not exited
+  // after a grace period are SIGKILLed: a worker wedged mid-teardown must
+  // never keep the reaper — and with it the whole run — from converging.
   std::thread reaper([&] {
-    std::size_t remaining = n_workers;
+    std::size_t remaining = 0;
+    for (const WorkerHandle& w : workers)
+      if (!w.reaped) ++remaining;
+    bool escalation_armed = false;
+    Clock::time_point abort_seen{};
     while (remaining > 0) {
       bool progress = false;
       for (std::size_t wi = 0; wi < n_workers; ++wi) {
@@ -1008,8 +1105,18 @@ RunOutcome PipelineRunner::run_multiprocess(bool run_ckpt) {
           global_abort();
         }
       }
-      if (!progress)
+      if (!progress) {
+        if (abort_broadcast.load(std::memory_order_relaxed)) {
+          if (!escalation_armed) {
+            escalation_armed = true;
+            abort_seen = Clock::now();
+          } else if (seconds_since(abort_seen) > 2.0) {
+            for (const WorkerHandle& w : workers)
+              if (!w.reaped) ::kill(w.pid, SIGKILL);
+          }
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
     }
   });
 

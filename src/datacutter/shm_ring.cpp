@@ -31,20 +31,6 @@ namespace {
 /// SIGKILLed process never arrives; the state in shared memory survives).
 constexpr long kWaitNs = 50 * 1000 * 1000;  // 50 ms
 
-void timed_wait(pthread_cond_t* cv, pthread_mutex_t* mutex) {
-  timespec deadline;
-  clock_gettime(CLOCK_MONOTONIC, &deadline);
-  deadline.tv_nsec += kWaitNs;
-  if (deadline.tv_nsec >= 1000000000L) {
-    deadline.tv_nsec -= 1000000000L;
-    deadline.tv_sec += 1;
-  }
-  const int rc = pthread_cond_timedwait(cv, mutex, &deadline);
-  if (rc != 0 && rc != ETIMEDOUT && rc != EOWNERDEAD)
-    throw std::system_error(rc, std::generic_category(),
-                            "ShmRing: pthread_cond_timedwait");
-}
-
 }  // namespace
 
 std::shared_ptr<ShmRing> ShmRing::create(std::size_t capacity_bytes) {
@@ -86,8 +72,9 @@ ShmRing::~ShmRing() {
   ::munmap(header_, map_len_);
 }
 
-void ShmRing::lock() const {
+bool ShmRing::lock() const {
   const int rc = pthread_mutex_lock(&header_->mutex);
+  if (rc == 0) return true;
   if (rc == EOWNERDEAD) {
     // The previous owner died holding the lock (SIGKILL mid-update). Its
     // byte ledger may be torn: poison the ring rather than trust it.
@@ -95,11 +82,53 @@ void ShmRing::lock() const {
     pthread_mutex_consistent(&header_->mutex);
     pthread_cond_broadcast(&header_->readable);
     pthread_cond_broadcast(&header_->writable);
-    return;
+    return true;
   }
-  if (rc != 0)
-    throw std::system_error(rc, std::generic_category(),
-                            "ShmRing: pthread_mutex_lock");
+  if (rc == ENOTRECOVERABLE) {
+    // An owner died and nobody made the mutex consistent before unlocking:
+    // the lock is gone for good. The ring is equally dead — record that
+    // without the lock (the flag only ever moves 0 -> 1, and every reader
+    // of it is already on a teardown path) and wake any parked peers.
+    header_->aborted = 1;
+    pthread_cond_broadcast(&header_->readable);
+    pthread_cond_broadcast(&header_->writable);
+    return false;
+  }
+  throw std::system_error(rc, std::generic_category(),
+                          "ShmRing: pthread_mutex_lock");
+}
+
+bool ShmRing::timed_wait(pthread_cond_t* cv) const {
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_nsec += kWaitNs;
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_nsec -= 1000000000L;
+    deadline.tv_sec += 1;
+  }
+  const int rc = pthread_cond_timedwait(cv, &header_->mutex, &deadline);
+  if (rc == 0 || rc == ETIMEDOUT) return true;
+  if (rc == EOWNERDEAD) {
+    // The peer died holding the mutex while we were parked; the wakeup
+    // re-acquired it in inconsistent state. Same recovery as lock():
+    // poison the ring, make the mutex consistent so the eventual unlock
+    // does not render it permanently unusable, wake both sides.
+    header_->aborted = 1;
+    pthread_mutex_consistent(&header_->mutex);
+    pthread_cond_broadcast(&header_->readable);
+    pthread_cond_broadcast(&header_->writable);
+    return true;
+  }
+  if (rc == ENOTRECOVERABLE) {
+    // The mutex died while we were parked and was never recovered; the
+    // wait returns without holding it. Same no-lock poisoning as lock().
+    header_->aborted = 1;
+    pthread_cond_broadcast(&header_->readable);
+    pthread_cond_broadcast(&header_->writable);
+    return false;
+  }
+  throw std::system_error(rc, std::generic_category(),
+                          "ShmRing: pthread_cond_timedwait");
 }
 
 std::size_t ShmRing::capacity() const {
@@ -107,7 +136,7 @@ std::size_t ShmRing::capacity() const {
 }
 
 bool ShmRing::aborted() const {
-  lock();
+  if (!lock()) return true;
   const bool a = header_->aborted != 0;
   pthread_mutex_unlock(&header_->mutex);
   return a;
@@ -116,7 +145,7 @@ bool ShmRing::aborted() const {
 bool ShmRing::write_all(const std::byte* src, std::size_t n) {
   const std::uint64_t cap = header_->capacity;
   while (n > 0) {
-    lock();
+    if (!lock()) return false;
     std::uint64_t free_bytes;
     for (;;) {
       if (header_->aborted) {
@@ -125,7 +154,7 @@ bool ShmRing::write_all(const std::byte* src, std::size_t n) {
       }
       free_bytes = cap - (header_->tail - header_->head);
       if (free_bytes > 0) break;
-      timed_wait(&header_->writable, &header_->mutex);
+      if (!timed_wait(&header_->writable)) return false;  // mutex gone
     }
     const std::size_t chunk =
         std::min(n, static_cast<std::size_t>(free_bytes));
@@ -145,7 +174,7 @@ bool ShmRing::write_all(const std::byte* src, std::size_t n) {
 std::ptrdiff_t ShmRing::read_some(std::byte* dst, std::size_t n) {
   if (n == 0) return 0;
   const std::uint64_t cap = header_->capacity;
-  lock();
+  if (!lock()) return -1;
   std::uint64_t avail;
   for (;;) {
     if (header_->aborted) {
@@ -158,7 +187,7 @@ std::ptrdiff_t ShmRing::read_some(std::byte* dst, std::size_t n) {
       pthread_mutex_unlock(&header_->mutex);
       return 0;
     }
-    timed_wait(&header_->readable, &header_->mutex);
+    if (!timed_wait(&header_->readable)) return -1;  // mutex gone
   }
   const std::size_t chunk = std::min(n, static_cast<std::size_t>(avail));
   const std::size_t at = static_cast<std::size_t>(header_->head % cap);
@@ -172,14 +201,14 @@ std::ptrdiff_t ShmRing::read_some(std::byte* dst, std::size_t n) {
 }
 
 void ShmRing::close_write() {
-  lock();
+  if (!lock()) return;  // ring already poisoned; readers see the abort
   header_->writer_closed = 1;
   pthread_cond_broadcast(&header_->readable);
   pthread_mutex_unlock(&header_->mutex);
 }
 
 void ShmRing::abort() {
-  lock();
+  if (!lock()) return;  // lock() already marked the ring aborted
   header_->aborted = 1;
   pthread_cond_broadcast(&header_->readable);
   pthread_cond_broadcast(&header_->writable);

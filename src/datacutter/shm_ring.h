@@ -46,8 +46,16 @@ class ShmRing : public ByteChannel {
   ShmRing(Header* header, std::byte* data, std::size_t map_len);
 
   /// Locks the ring mutex, recovering it if the previous owner died (the
-  /// ring is then marked aborted). Always returns with the lock held.
-  void lock() const;
+  /// ring is then marked aborted). Returns true with the lock held; false
+  /// when the mutex is beyond recovery (ENOTRECOVERABLE) — the ring is
+  /// then marked aborted and the caller must not unlock.
+  bool lock() const;
+
+  /// Bounded condvar wait under the ring mutex, with the same died-owner
+  /// recovery as lock(). Returns true with the mutex re-acquired; false
+  /// when re-acquisition failed beyond recovery (ring aborted, mutex not
+  /// held).
+  bool timed_wait(pthread_cond_t* cv) const;
 
   Header* header_;
   std::byte* data_;

@@ -4,6 +4,7 @@
 #include <errno.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -101,17 +102,38 @@ void TcpListener::close() {
   fd_ = -1;
 }
 
-std::shared_ptr<FdChannel> TcpListener::accept_one() {
+std::shared_ptr<FdChannel> TcpListener::accept_one(
+    int cancel_fd, const std::function<bool()>& cancelled) {
+  bool last_look = false;  // cancelled, but give a queued connection one poll
   for (;;) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
-    if (fd >= 0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return std::make_shared<FdChannel>(fd, FdChannel::Kind::kSocket);
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {cancel_fd, POLLIN, 0};
+    const nfds_t nfds = cancel_fd >= 0 ? 2 : 1;
+    const int timeout_ms = last_look ? 0 : (cancelled ? 20 : -1);
+    const int ready = ::poll(fds, nfds, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "TcpListener: poll");
     }
-    if (errno == EINTR) continue;
-    throw std::system_error(errno, std::generic_category(),
-                            "TcpListener: accept");
+    if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+      const int fd = ::accept(fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return std::make_shared<FdChannel>(fd, FdChannel::Kind::kSocket);
+      }
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "TcpListener: accept");
+    }
+    if (last_look) return nullptr;
+    if (nfds == 2 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP)))
+      return nullptr;
+    if (cancelled && cancelled()) last_look = true;
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 
 #include "datacutter/transport.h"
@@ -51,8 +52,17 @@ class TcpListener {
 
   int port() const { return port_; }
   int fd() const { return fd_; }
-  /// Blocking accept of exactly one connection.
-  std::shared_ptr<FdChannel> accept_one();
+  /// Blocking accept of exactly one connection, with two optional ways to
+  /// give up (both return nullptr; a connection already queued always wins
+  /// over a simultaneous cancellation):
+  ///   * `cancel_fd` >= 0: abandon the accept when that descriptor becomes
+  ///     readable or hangs up — a worker passes its command pipe so an
+  ///     abort broadcast (or the supervisor dying) unblocks it;
+  ///   * `cancelled`: polled every ~20 ms; a true return abandons the
+  ///     accept — the supervisor passes a worker-liveness probe so a peer
+  ///     that died before connecting cannot wedge it.
+  std::shared_ptr<FdChannel> accept_one(
+      int cancel_fd = -1, const std::function<bool()>& cancelled = {});
   void close();
 
  private:

@@ -7,10 +7,15 @@
 // end-to-end multi-process pipeline runs on the proc and tcp backends —
 // the first execution environment of runner_proc.cpp. The Transport* and
 // *Backend* cases are the transport-conformance CI job's targets.
+#include <errno.h>
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -404,6 +409,48 @@ TEST(ShmRingTest, FrameLinkOverRingKeepsMarkersAlone) {
   EXPECT_EQ(frames[3].kind, FrameKind::kClose);
 }
 
+TEST(ShmRingTest, SurvivorRecoversWhenPeerKilledHoldingTheRing) {
+  // A peer SIGKILLed anywhere in the ring protocol — including while it
+  // holds the ring mutex mid-copy, leaving it for the survivor to recover
+  // via EOWNERDEAD — must end in a clean abort (read_some -> -1), never a
+  // thrown std::system_error out of the wait path or a permanent wedge.
+  // Several rounds with varied timing so some kills land inside the
+  // lock-held window.
+  for (int round = 0; round < 8; ++round) {
+    auto ring = ShmRing::create(4096);
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      std::vector<std::byte> chunk(1024, std::byte{0x7e});
+      while (ring->write_all(chunk.data(), chunk.size())) {
+      }
+      ::_exit(0);
+    }
+    std::atomic<std::ptrdiff_t> last{1};
+    std::thread reader([&] {
+      std::byte chunk[512];
+      std::ptrdiff_t n;
+      do {
+        n = ring->read_some(chunk, sizeof(chunk));
+      } while (n > 0);
+      last.store(n);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + round));
+    ::kill(child, SIGKILL);
+    int st = 0;
+    while (::waitpid(child, &st, 0) < 0 && errno == EINTR) {
+    }
+    // What the supervisor's reaper does on a silent death; if the child
+    // died holding the mutex, this (or the parked reader's own wakeup)
+    // takes the EOWNERDEAD recovery path instead.
+    ring->abort();
+    reader.join();
+    EXPECT_LE(last.load(), 0);
+    EXPECT_TRUE(ring->aborted());
+    EXPECT_FALSE(ring->write_all(reinterpret_cast<const std::byte*>("x"), 1));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // TCP loopback channels
 // ---------------------------------------------------------------------------
@@ -463,6 +510,51 @@ TEST(TcpChannelTest, AbortUnblocksBlockedReader) {
   EXPECT_LE(result.load(), 0);  // -1 (abort) or 0 (reset read as EOF)
   std::byte b{};
   EXPECT_FALSE(server->write_all(&b, 1));
+}
+
+TEST(TcpChannelTest, AcceptOneCancelFdUnblocksParkedAccept) {
+  // A worker parked in accept_one with nothing connecting must wake when
+  // its command pipe becomes readable (abort broadcast) or hangs up
+  // (supervisor died) — the wedge the startup window used to have.
+  for (const bool hang_up : {false, true}) {
+    TcpListener listener;
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::shared_ptr<FdChannel> got =
+        std::make_shared<FdChannel>(-1, FdChannel::Kind::kPipe);
+    std::thread acceptor([&] { got = listener.accept_one(fds[0]); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (hang_up) {
+      ::close(fds[1]);
+    } else {
+      const char poke = 'x';
+      ASSERT_EQ(::write(fds[1], &poke, 1), 1);
+    }
+    acceptor.join();
+    EXPECT_EQ(got, nullptr);
+    ::close(fds[0]);
+    if (!hang_up) ::close(fds[1]);
+  }
+}
+
+TEST(TcpChannelTest, QueuedConnectionBeatsCancellation) {
+  TcpListener listener;
+  // A connection already queued wins over a cancel fd that is already
+  // readable...
+  std::shared_ptr<FdChannel> first = tcp_connect_loopback(listener.port());
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char poke = 'x';
+  ASSERT_EQ(::write(fds[1], &poke, 1), 1);
+  EXPECT_NE(listener.accept_one(fds[0]), nullptr);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  // ...and over a predicate that is already reporting cancellation (the
+  // final zero-timeout poll drains it)...
+  std::shared_ptr<FdChannel> second = tcp_connect_loopback(listener.port());
+  EXPECT_NE(listener.accept_one(-1, [] { return true; }), nullptr);
+  // ...while with nothing queued the predicate abandons the accept.
+  EXPECT_EQ(listener.accept_one(-1, [] { return true; }), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -858,6 +950,73 @@ TEST(MultiprocessRunner, GroupStateCodecRoundTripsWorkerState) {
   ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
   // Both worker blobs were imported: src added 1000, mid added 2000.
   EXPECT_EQ(state->total, payload_total + 3000);
+}
+
+TEST(MultiprocessRunner, TcpWorkerDeathAtStartupNeverWedgesTheRun) {
+  // Regression: a worker SIGKILLed in its startup window (after its plan
+  // ACK, possibly before the tcp data plane connected) used to strand its
+  // downstream peer — or the supervisor's own sink accept — in a blocking
+  // accept() nothing could interrupt, hanging the run forever. Sweep kill
+  // delays across both workers so the shots land all over that window;
+  // every run must return.
+  for (const std::size_t victim_gi : {std::size_t{0}, std::size_t{1}}) {
+    for (const int delay_us : {0, 200, 800, 3000}) {
+      auto state = std::make_shared<SinkState>();
+      RunnerConfig config;
+      config.backend = TransportBackend::kTcp;
+      config.stream_capacity = 4;
+      PipelineRunner runner(three_stage(20000, 1, state), config);
+      std::mutex mutex;
+      std::array<long, 2> pids = {0, 0};
+      std::thread killer;
+      runner.set_process_hook([&](std::size_t gi, long pid) {
+        std::lock_guard lock(mutex);
+        if (gi < pids.size()) pids[gi] = pid;
+        if (gi != 1) return;
+        // Both workers forked — the supervisor is single-threaded until
+        // here (the multi-process backends rely on that), so only now may
+        // the killer thread exist.
+        killer = std::thread([&, delay_us, victim_gi] {
+          if (delay_us > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+          long target;
+          {
+            std::lock_guard pid_lock(mutex);
+            target = pids[victim_gi];
+          }
+          if (target > 0) ::kill(static_cast<pid_t>(target), SIGKILL);
+        });
+      });
+      RunOutcome outcome = runner.run_supervised();
+      if (killer.joinable()) killer.join();
+      // The shot usually lands mid-run and the death must be on record;
+      // with the longer delays the run may occasionally outrun it.
+      if (!outcome.ok()) {
+        EXPECT_FALSE(outcome.stats.error.empty())
+            << "victim=" << victim_gi << " delay=" << delay_us;
+      }
+    }
+  }
+}
+
+TEST(MultiprocessRunner, SigpipeDispositionRestoredAfterRun) {
+  // run_multiprocess ignores SIGPIPE for the duration of the run; an
+  // embedding application's own disposition must survive it.
+  struct sigaction custom {};
+  custom.sa_handler = [](int) {};
+  sigemptyset(&custom.sa_mask);
+  struct sigaction before {};
+  ASSERT_EQ(::sigaction(SIGPIPE, &custom, &before), 0);
+  auto state = std::make_shared<SinkState>();
+  RunnerConfig config;
+  config.backend = TransportBackend::kProc;
+  PipelineRunner runner(three_stage(16, 1, state), config);
+  RunOutcome outcome = runner.run_supervised();
+  struct sigaction after {};
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &after), 0);
+  ::sigaction(SIGPIPE, &before, nullptr);  // leave the test binary as found
+  ASSERT_TRUE(outcome.ok()) << outcome.stats.error;
+  EXPECT_EQ(after.sa_handler, custom.sa_handler);
 }
 
 }  // namespace
