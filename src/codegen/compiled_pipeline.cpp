@@ -382,6 +382,9 @@ support::PipelineTrace PipelineRunResult::trace() const {
   trace.pool = pool;
   trace.stage_replicas = stage_replicas;
   trace.checkpoints = checkpoints;
+  trace.respawns = respawns;
+  trace.heartbeats = heartbeats;
+  trace.degraded = degraded;
   trace.completed = completed;
   trace.error = error;
   return trace;
@@ -1148,6 +1151,9 @@ PipelineRunResult PipelineCompiler::run() {
   shared->result.batch_size = stats.batch_size;
   shared->result.pool = stats.pool;
   shared->result.checkpoints = std::move(stats.checkpoints);
+  shared->result.respawns = std::move(stats.respawns);
+  shared->result.heartbeats = std::move(stats.heartbeats);
+  shared->result.degraded = stats.degraded;
   shared->result.completed = stats.completed;
   shared->result.error = stats.error;
   return shared->result;

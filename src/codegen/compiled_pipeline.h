@@ -95,6 +95,14 @@ struct PipelineRunResult {
   /// Run-level consistent cuts completed during the run (empty unless
   /// run-level checkpointing was enabled; docs/ROBUSTNESS.md).
   std::vector<support::CheckpointRecord> checkpoints;
+  /// Self-healing surface (docs/ROBUSTNESS.md, self-healing runs): every
+  /// worker respawn with its MTTR, per-stage heartbeat telemetry, and
+  /// whether the run ended degraded (restart budget exhausted; `finals`
+  /// then hold the surviving stages' partial result and `error` names the
+  /// exhausted stage, but nothing is thrown).
+  std::vector<support::RespawnRecord> respawns;
+  std::vector<support::HeartbeatMetrics> heartbeats;
+  bool degraded = false;
   bool completed = true;
   std::string error;
 

@@ -32,12 +32,13 @@ int hex_nibble(char c) {
   if (c >= '0' && c <= '9') return c - '0';
   if (c >= 'a' && c <= 'f') return c - 'a' + 10;
   if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  throw std::runtime_error("checkpoint: invalid hex digit in state");
+  // Reason only: load_checkpoint prefixes the offending file path.
+  throw std::runtime_error("invalid hex digit in stage state");
 }
 
 std::vector<std::byte> hex_decode(const std::string& text) {
   if (text.size() % 2 != 0)
-    throw std::runtime_error("checkpoint: odd-length hex state");
+    throw std::runtime_error("odd-length hex stage state");
   std::vector<std::byte> out;
   out.reserve(text.size() / 2);
   for (std::size_t i = 0; i < text.size(); i += 2)
@@ -199,9 +200,10 @@ RunCheckpoint load_checkpoint(const std::string& path) {
       stage.state = hex_decode(js.at("state").as_string());
       checkpoint.stages.push_back(std::move(stage));
     }
-  } catch (const std::runtime_error&) {
-    throw;
   } catch (const std::exception& e) {
+    // Every rejection names the offending file and the reason: field and
+    // hex-state errors from the helpers above carry only the reason, so
+    // the path is grafted on here, once, for all of them.
     throw std::runtime_error("checkpoint: " + path + " is malformed: " +
                              e.what());
   }

@@ -154,6 +154,9 @@ support::PipelineTrace RunStats::trace() const {
   trace.pool = pool;
   trace.stage_replicas = group_copies;
   trace.checkpoints = checkpoints;
+  trace.respawns = respawns;
+  trace.heartbeats = heartbeats;
+  trace.degraded = degraded;
   trace.completed = completed;
   trace.error = error;
   if (!group_metrics.empty()) trace.packets = group_metrics.front().packets_out;
@@ -194,8 +197,12 @@ RunOutcome PipelineRunner::run_supervised() {
   // FIFO chain. The streams barrier-merge each marker across producer
   // copies and broadcast it to consumer copies, so the cut stays aligned
   // on the same prefix even when stages are transparently replicated.
+  // Self-healing restores from cuts the collector keeps in memory, so
+  // markers must flow even without a checkpoint file (with interval 0 a
+  // respawn restarts from scratch instead — legal, just slower).
   const bool run_ckpt =
-      !config_.checkpoint_path.empty() || config_.resume != nullptr;
+      !config_.checkpoint_path.empty() || config_.resume != nullptr ||
+      (config_.self_heal() && config_.checkpoint_interval > 0);
   if (run_ckpt) {
     if (!config_.checkpoint_path.empty() && config_.checkpoint_interval == 0)
       throw std::invalid_argument(
@@ -207,11 +214,14 @@ RunOutcome PipelineRunner::run_supervised() {
     }
   }
   if (config_.backend != TransportBackend::kThread) {
-    if (policy_.stage_timeout_seconds > 0.0)
+    if (policy_.stage_timeout_seconds > 0.0 &&
+        config_.heartbeat_seconds <= 0.0)
       throw std::invalid_argument(
-          "PipelineRunner: the no-progress watchdog (stage timeout) is "
-          "thread-backend-only — it samples per-copy progress counters "
-          "that live inside worker processes the supervisor cannot see");
+          "PipelineRunner: the no-progress watchdog (stage timeout) on a "
+          "process backend requires heartbeats — per-copy progress "
+          "counters live inside worker processes, so the supervisor can "
+          "only sample them from the heartbeat stream (set "
+          "heartbeat_seconds / --heartbeat-ms)");
     // A single-group pipeline has no cross-group links: nothing to put a
     // process boundary on, so it runs in-process under every backend.
     if (groups_.size() > 1) return run_multiprocess(run_ckpt);
@@ -463,6 +473,8 @@ RunOutcome PipelineRunner::run_threaded(bool run_ckpt) {
   if (pool) stats.pool = pool->metrics();
   outcome.error = first_error;
   stats.completed = !first_error;
+  outcome.disposition =
+      first_error ? RunOutcome::kFailed : RunOutcome::kComplete;
   return outcome;
 }
 

@@ -129,13 +129,41 @@ struct RunnerConfig {
   /// process (its finals are in-memory results). A single-group pipeline
   /// has no links and runs in-process under every backend. Markers,
   /// checkpoint cuts, fault policies, and run telemetry flow through all
-  /// three; the no-progress watchdog (stage_timeout_seconds) is
-  /// thread-backend-only and is rejected otherwise.
+  /// three; on the process backends the no-progress watchdog
+  /// (stage_timeout_seconds) additionally requires heartbeat_seconds > 0
+  /// so the supervisor can observe worker progress remotely.
   TransportBackend backend = TransportBackend::kThread;
   /// Per-link shared-memory ring capacity in bytes (proc backend). Frames
   /// larger than the ring stream through in chunks; the ring bounds
   /// memory, not frame size.
   std::size_t ring_bytes = 1 << 20;
+  /// Self-healing (docs/ROBUSTNESS.md, self-healing runs): on the process
+  /// backends, a worker that dies organically (SIGKILL, crash, or
+  /// supervisor liveness-kill after a heartbeat lapse) is respawned up to
+  /// this many times per worker, the whole topology rolling back to the
+  /// last in-run consistent cut held in memory by the collector (with
+  /// checkpoint_interval > 0; otherwise the respawn restarts the run from
+  /// scratch — still exactly-once, just slower). Budget exhausted means
+  /// the run ends degraded: surviving stages drain to a partial result.
+  /// 0 disables (a worker death is fatal, the pre-self-healing behavior).
+  /// Ignored on the thread backend. The supervisor re-invokes the process
+  /// hook with the respawned worker's fresh pid.
+  int worker_restarts = 0;
+  /// Liveness heartbeat interval: every worker sends a kHeartbeat frame on
+  /// its status channel this often, carrying its progress counters. The
+  /// supervisor SIGKILLs (and, under worker_restarts, respawns) a worker
+  /// silent for max(4x this, 50 ms). Also the sampling feed that makes
+  /// stage_timeout_seconds legal on process backends. 0 disables.
+  double heartbeat_seconds = 0.0;
+  /// Grace between an abort broadcast and the reaper's SIGKILL escalation
+  /// of workers that have not exited on their own.
+  std::int64_t teardown_grace_ms = 2000;
+
+  /// Whether worker death triggers in-run resurrection instead of run
+  /// failure (process backends with a restart budget).
+  bool self_heal() const {
+    return worker_restarts > 0 && backend != TransportBackend::kThread;
+  }
 };
 
 struct RunStats {
@@ -166,6 +194,13 @@ struct RunStats {
   /// Run-level consistent cuts completed during the run (empty unless
   /// run-level checkpointing was enabled).
   std::vector<support::CheckpointRecord> checkpoints;
+  /// Self-healing surface (trace v8): one record per worker resurrection
+  /// with its MTTR, heartbeat liveness telemetry per stage, and whether
+  /// the run ended degraded (restart budget exhausted; surviving stages
+  /// drained to a partial result).
+  std::vector<support::RespawnRecord> respawns;
+  std::vector<support::HeartbeatMetrics> heartbeats;
+  bool degraded = false;
   bool completed = true;
   std::string error;  // first fatal condition; empty on success
 
@@ -181,9 +216,17 @@ struct RunStats {
 /// metrics survive a failed run — and the first fatal error (if any) rides
 /// along instead of being thrown away.
 struct RunOutcome {
+  /// How the run ended. kDegraded is the self-healing middle ground: the
+  /// restart budget ran out, so the surviving stages drained to a partial
+  /// result instead of the run aborting — error stays null (the partial
+  /// result stands; nothing should be rethrown) but completed is false.
+  enum Disposition { kComplete, kDegraded, kFailed };
+
   RunStats stats;
-  std::exception_ptr error;  // null when the pipeline completed
+  std::exception_ptr error;  // null when the pipeline completed or degraded
+  Disposition disposition = kComplete;
   bool ok() const { return error == nullptr; }
+  bool degraded() const { return disposition == kDegraded; }
 };
 
 class PipelineRunner {

@@ -187,7 +187,11 @@ void run_copy(const CopyWorld& world, int copy, Stream* input,
           last_marker_forwarded = id;
         });
       } else if (world.run_ckpt && !input &&
-                 !config.checkpoint_path.empty()) {
+                 (!config.checkpoint_path.empty() ||
+                  (config.self_heal() && config.checkpoint_interval > 0))) {
+        // Sources inject markers when cuts have somewhere to go: a
+        // checkpoint file, or the in-memory retention self-healing
+        // restores from. A resume-only run injects none (status quo).
         ctx.set_marker_injection(
             static_cast<std::int64_t>(config.checkpoint_interval),
             next_marker_id);
@@ -389,10 +393,11 @@ void run_copy(const CopyWorld& world, int copy, Stream* input,
 
 CutCollector::CutCollector(const std::vector<FilterGroup>& groups,
                            std::string checkpoint_path,
-                           Clock::time_point start)
+                           Clock::time_point start, bool retain_cuts)
     : groups_(groups),
       checkpoint_path_(std::move(checkpoint_path)),
-      start_(start) {
+      start_(start),
+      retain_cuts_(retain_cuts) {
   const std::size_t n_groups = groups_.size();
   stage_slot_.assign(n_groups, 0);
   for (std::size_t gi = 1; gi < n_groups; ++gi) {
@@ -467,8 +472,19 @@ std::optional<support::CheckpointRecord> CutCollector::complete_locked(
                    e.what());
     }
   }
+  // In-memory retention for self-healing: the newest usable cut is the
+  // restore point a respawned topology rolls back to — no file needed.
+  // Cut ids ascend, but completion order can interleave; keep the max.
+  if (retain_cuts_ && pc.usable &&
+      (!latest_cut_ || pc.cut.id > latest_cut_->id))
+    latest_cut_ = std::move(pc.cut);
   pending_cuts_.erase(id);
   return rec;
+}
+
+std::optional<RunCheckpoint> CutCollector::take_latest_cut() {
+  std::lock_guard lock(mutex_);
+  return std::move(latest_cut_);
 }
 
 void CutCollector::submit_part(std::int64_t id, std::size_t gi, int copy,

@@ -81,8 +81,12 @@ void run_copy(const CopyWorld& world, int copy, Stream* input,
 /// control-channel messages from the workers).
 class CutCollector {
  public:
+  /// `retain_cuts` keeps the newest usable completed cut in memory (see
+  /// take_latest_cut) — the restore source for in-run worker resurrection,
+  /// which must work with no checkpoint file configured at all.
   CutCollector(const std::vector<FilterGroup>& groups,
-               std::string checkpoint_path, Clock::time_point start);
+               std::string checkpoint_path, Clock::time_point start,
+               bool retain_cuts = false);
 
   /// A live part: a source copy's delivered mark (gi == 0) or a consumer
   /// copy's state snapshot.
@@ -95,6 +99,9 @@ class CutCollector {
                          std::int64_t delivered);
   /// Drains the trace records of parts and completed cuts, in event order.
   std::vector<support::CheckpointRecord> take_records();
+  /// The newest usable completed cut (retain_cuts only); nullopt when no
+  /// usable cut completed. Moves it out — call once, at end of run.
+  std::optional<RunCheckpoint> take_latest_cut();
 
  private:
   struct PendingCut {
@@ -118,6 +125,8 @@ class CutCollector {
   const std::vector<FilterGroup>& groups_;
   const std::string checkpoint_path_;
   const Clock::time_point start_;
+  const bool retain_cuts_;
+  std::optional<RunCheckpoint> latest_cut_;
   std::size_t consuming_parts_ = 0;
   std::size_t total_parts_ = 0;
   std::vector<std::size_t> stage_slot_;

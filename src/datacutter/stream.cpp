@@ -82,13 +82,14 @@ void Stream::note_occupancy_locked() {
 
 bool Stream::push(Buffer&& buffer) {
   std::unique_lock lock(mutex_);
-  if (queue_.size() >= capacity_ && !aborted_) {
+  if (queue_.size() >= capacity_ && !aborted_ && !quiesced_) {
     const Clock::time_point start = Clock::now();
-    can_push_.wait(lock,
-                   [&] { return queue_.size() < capacity_ || aborted_; });
+    can_push_.wait(lock, [&] {
+      return queue_.size() < capacity_ || aborted_ || quiesced_;
+    });
     producer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
   }
-  if (aborted_) {  // dropped: the pipeline is tearing down
+  if (aborted_ || quiesced_) {  // dropped: the pipeline is tearing down
     dropped_buffers_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -112,13 +113,14 @@ std::size_t Stream::push_batch(std::vector<Buffer>& batch) {
     return accepted ? 1 : 0;
   }
   std::unique_lock lock(mutex_);
-  if (queue_.size() >= capacity_ && !aborted_) {
+  if (queue_.size() >= capacity_ && !aborted_ && !quiesced_) {
     const Clock::time_point start = Clock::now();
-    can_push_.wait(lock,
-                   [&] { return queue_.size() < capacity_ || aborted_; });
+    can_push_.wait(lock, [&] {
+      return queue_.size() < capacity_ || aborted_ || quiesced_;
+    });
     producer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
   }
-  if (aborted_) {
+  if (aborted_ || quiesced_) {
     dropped_buffers_.fetch_add(static_cast<std::int64_t>(batch.size()),
                                std::memory_order_relaxed);
     batch.clear();
@@ -146,7 +148,7 @@ std::size_t Stream::push_batch(std::vector<Buffer>& batch) {
 
 bool Stream::push_marker(std::int64_t id) {
   std::unique_lock lock(mutex_);
-  if (aborted_) return false;
+  if (aborted_ || quiesced_) return false;
   const int arrived = ++marker_arrivals_[id];
   if (arrived + closed_producers_ >= producers_) {
     enqueue_marker_locked(id);
@@ -155,17 +157,18 @@ bool Stream::push_marker(std::int64_t id) {
   // Barrier: park until the last producer arrives (or closes). Post-cut
   // data from this producer therefore cannot precede the merged marker.
   const Clock::time_point start = Clock::now();
-  barrier_cv_.wait(
-      lock, [&] { return marker_arrivals_.count(id) == 0 || aborted_; });
+  barrier_cv_.wait(lock, [&] {
+    return marker_arrivals_.count(id) == 0 || aborted_ || quiesced_;
+  });
   producer_block_ns_.fetch_add(ns_since(start), std::memory_order_relaxed);
-  return !aborted_;
+  return !aborted_ && !quiesced_;
 }
 
 std::optional<Buffer> Stream::pop(int consumer) {
   std::unique_lock lock(mutex_);
   const auto ready = [&] {
     return find_eligible(consumer) != kNone ||
-           closed_producers_ >= producers_ || aborted_;
+           closed_producers_ >= producers_ || aborted_ || quiesced_;
   };
   if (!ready()) {
     const Clock::time_point start = Clock::now();
@@ -200,7 +203,7 @@ std::size_t Stream::pop_batch(std::vector<Buffer>& out,
   std::unique_lock lock(mutex_);
   const auto ready = [&] {
     return find_eligible(consumer) != kNone ||
-           closed_producers_ >= producers_ || aborted_;
+           closed_producers_ >= producers_ || aborted_ || quiesced_;
   };
   if (!ready()) {
     const Clock::time_point start = Clock::now();
@@ -251,6 +254,25 @@ void Stream::close() {
   if (closed_producers_ >= producers_) can_pop_.notify_all();
 }
 
+void Stream::quiesce() {
+  std::unique_lock lock(mutex_);
+  if (aborted_ || quiesced_) return;
+  quiesced_ = true;
+  // Queued data stays deliverable — that is the whole point — but queued
+  // markers belong to cuts that can no longer complete; discard them so a
+  // draining consumer is not handed a cut the collector will never see.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->is_marker)
+      it = queue_.erase(it);
+    else
+      ++it;
+  }
+  marker_arrivals_.clear();
+  can_push_.notify_all();
+  can_pop_.notify_all();
+  barrier_cv_.notify_all();
+}
+
 void Stream::abort() {
   std::unique_lock lock(mutex_);
   aborted_ = true;
@@ -273,7 +295,8 @@ std::int64_t Stream::drain() {
   std::unique_lock lock(mutex_);
   for (;;) {
     const auto ready = [&] {
-      return !queue_.empty() || closed_producers_ >= producers_ || aborted_;
+      return !queue_.empty() || closed_producers_ >= producers_ ||
+             aborted_ || quiesced_;
     };
     if (!ready()) {
       const Clock::time_point start = Clock::now();

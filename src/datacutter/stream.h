@@ -96,6 +96,15 @@ class Stream {
   /// exactly at all times (markers are control traffic and never counted).
   /// Blocked threads still account their wait.
   void abort();
+  /// Graceful teardown that preserves delivered work (docs/ROBUSTNESS.md,
+  /// self-healing runs): stops intake — subsequent pushes are dropped and
+  /// counted exactly like after abort() — but buffers already queued stay
+  /// deliverable, so consumers drain them and then see end-of-stream.
+  /// Queued markers are discarded (the cut they belong to can no longer
+  /// complete) and blocked producers and barrier waiters are released.
+  /// Used on the sink link when a worker dies mid-run: the partial result
+  /// that physically arrived survives; an abort() would destroy it.
+  void quiesce();
   /// Consumes and discards everything until end-of-stream, counting each
   /// discarded data buffer as dropped (markers are discarded silently).
   /// Used when the last copy of a stage dies: draining keeps upstream
@@ -172,6 +181,7 @@ class Stream {
   int consumers_ = 1;
   int retired_consumers_ = 0;
   bool aborted_ = false;
+  bool quiesced_ = false;
   /// Marker id of the last marker each consumer index has taken (-1 before
   /// any); monotone because merged markers enter in increasing id order.
   std::vector<std::int64_t> seen_;

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <system_error>
@@ -138,8 +139,20 @@ std::shared_ptr<FdChannel> TcpListener::accept_one(
 }
 
 std::shared_ptr<FdChannel> tcp_connect_loopback(int port) {
+  // Retry with exponential backoff: a worker can race ahead of the peer
+  // whose listener it dials (startup) or of a respawned replacement
+  // (self-healing runs), and ECONNREFUSED just means "not listening yet".
+  // Start near-instant so the common a-few-ms race costs almost nothing,
+  // double up to a 40ms cap so a slow peer doesn't get hammered, and give
+  // up after a ~3s deadline so a peer that is truly gone fails the run
+  // promptly instead of wedging it.
+  using namespace std::chrono;
+  constexpr auto kDeadline = seconds(3);
+  constexpr auto kMaxStep = milliseconds(40);
+  const auto give_up_at = steady_clock::now() + kDeadline;
+  auto step = microseconds(500);
   int last_errno = 0;
-  for (int attempt = 0; attempt < 200; ++attempt) {
+  for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
       throw std::system_error(errno, std::generic_category(),
@@ -157,7 +170,9 @@ std::shared_ptr<FdChannel> tcp_connect_loopback(int port) {
     last_errno = errno;
     ::close(fd);
     if (last_errno != ECONNREFUSED && last_errno != EINTR) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (steady_clock::now() + step > give_up_at) break;
+    std::this_thread::sleep_for(step);
+    step = std::min(duration_cast<microseconds>(kMaxStep), step * 2);
   }
   throw std::system_error(last_errno, std::generic_category(),
                           "tcp_connect_loopback: connect");

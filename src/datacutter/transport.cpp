@@ -54,24 +54,21 @@ std::optional<TransportBackend> parse_backend(std::string_view name) {
   return std::nullopt;
 }
 
-std::vector<std::string> transport_flag_conflicts(TransportBackend backend,
-                                                  bool fault_injection,
-                                                  bool stage_timeout) {
+std::vector<std::string> transport_flag_conflicts(
+    TransportBackend backend,
+    const std::vector<std::string>& flags_in_order) {
   std::vector<std::string> conflicts;
   if (backend == TransportBackend::kThread) return conflicts;
   const std::string with =
       std::string("--backend=") + backend_name(backend);
-  if (fault_injection)
-    conflicts.push_back(
-        "--fault-inject/--fault-seed cannot be combined with " + with +
-        ": injection hooks are process-local, so a seeded plan would draw "
-        "independently in every worker process instead of honoring one "
-        "deterministic sequence");
-  if (stage_timeout)
-    conflicts.push_back(
-        "--stage-timeout cannot be combined with " + with +
-        ": the no-progress watchdog samples per-copy progress counters "
-        "that live inside worker processes the supervisor cannot see");
+  for (const std::string& flag : flags_in_order) {
+    if (flag == "--fault-inject" || flag == "--fault-seed")
+      conflicts.push_back(
+          flag + " cannot be combined with " + with +
+          ": injection hooks are process-local, so a seeded plan would draw "
+          "independently in every worker process instead of honoring one "
+          "deterministic sequence");
+  }
   return conflicts;
 }
 
@@ -109,6 +106,19 @@ Frame Frame::close() {
   return f;
 }
 
+Frame Frame::heartbeat(std::int64_t seq, std::int64_t send_ns,
+                       std::int64_t progress, std::int64_t waiting,
+                       std::int64_t live) {
+  Frame f;
+  f.kind = FrameKind::kHeartbeat;
+  f.hb_seq = seq;
+  f.hb_send_ns = send_ns;
+  f.hb_progress = progress;
+  f.hb_waiting = waiting;
+  f.hb_live = live;
+  return f;
+}
+
 void encode_frame(const Frame& frame, std::vector<std::byte>& out) {
   const std::size_t length_slot = out.size();
   put_u32(out, 0);  // patched below
@@ -140,6 +150,13 @@ void encode_frame(const Frame& frame, std::vector<std::byte>& out) {
       put_i64(out, frame.marker_id);
       break;
     case FrameKind::kClose:
+      break;
+    case FrameKind::kHeartbeat:
+      put_i64(out, frame.hb_seq);
+      put_i64(out, frame.hb_send_ns);
+      put_i64(out, frame.hb_progress);
+      put_i64(out, frame.hb_waiting);
+      put_i64(out, frame.hb_live);
       break;
   }
   const std::size_t payload = out.size() - payload_start;
@@ -174,7 +191,7 @@ std::optional<Frame> FrameDecoder::next() {
         "transport: frame length prefix " + std::to_string(length) +
         " exceeds the frame bound — torn or corrupt stream");
   if (kind_byte < static_cast<std::uint8_t>(FrameKind::kData) ||
-      kind_byte > static_cast<std::uint8_t>(FrameKind::kClose))
+      kind_byte > static_cast<std::uint8_t>(FrameKind::kHeartbeat))
     throw std::runtime_error("transport: unknown frame kind " +
                              std::to_string(kind_byte));
   if (have < sizeof(std::uint32_t) + 1 + length) return std::nullopt;
@@ -225,6 +242,15 @@ std::optional<Frame> FrameDecoder::next() {
     case FrameKind::kClose:
       if (length != 0)
         throw std::runtime_error("transport: close frame carries payload");
+      break;
+    case FrameKind::kHeartbeat:
+      if (length != 5 * sizeof(std::int64_t))
+        throw std::runtime_error("transport: heartbeat frame has wrong size");
+      frame.hb_seq = get<std::int64_t>(payload);
+      frame.hb_send_ns = get<std::int64_t>(payload + 8);
+      frame.hb_progress = get<std::int64_t>(payload + 16);
+      frame.hb_waiting = get<std::int64_t>(payload + 24);
+      frame.hb_live = get<std::int64_t>(payload + 32);
       break;
   }
   pos_ += sizeof(std::uint32_t) + 1 + length;

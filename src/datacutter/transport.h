@@ -40,17 +40,22 @@ const char* backend_name(TransportBackend backend);
 /// Parses "thread" | "proc" | "tcp".
 std::optional<TransportBackend> parse_backend(std::string_view name);
 
-/// Options the multi-process backends do not honor. Returns one diagnostic
-/// per conflicting option (empty for kThread or when nothing conflicts);
-/// cgpc prints each and exits 2, the runner throws the first.
+/// Options the multi-process backends do not honor. `flags_in_order`
+/// carries canonical flag names (e.g. "--fault-inject", "--fault-seed")
+/// in the order the caller encountered them on the command line; names
+/// that do not conflict are ignored. Returns one diagnostic per
+/// conflicting flag, in that same order (empty for kThread or when
+/// nothing conflicts); cgpc prints each and exits 2, the runner throws
+/// the first.
 ///   * fault injection hooks are per-process state: a seeded plan would
 ///     draw independently in every worker, breaking the single-seed
-///     deterministic contract;
-///   * the no-progress watchdog samples per-copy progress counters that
-///     live in worker address spaces the supervisor cannot see.
-std::vector<std::string> transport_flag_conflicts(TransportBackend backend,
-                                                  bool fault_injection,
-                                                  bool stage_timeout);
+///     deterministic contract.
+/// The historical --stage-timeout conflict is gone: with heartbeats
+/// enabled (RunnerConfig::heartbeat_seconds) the supervisor samples
+/// worker progress from the heartbeat stream, so the no-progress
+/// watchdog is legal on process backends (docs/ROBUSTNESS.md).
+std::vector<std::string> transport_flag_conflicts(
+    TransportBackend backend, const std::vector<std::string>& flags_in_order);
 
 /// Per-endpoint wire telemetry (cgpipe-trace-v7): frames and raw bytes
 /// that crossed the channel, and time spent inside blocking transport
@@ -95,6 +100,8 @@ enum class FrameKind : std::uint8_t {
                 // u32 size, bytes — data only, never a marker
   kMarker = 3,  // run-level cut marker: i64 cut id; always sent alone
   kClose = 4,   // producer end-of-stream; empty payload
+  kHeartbeat = 5,  // worker liveness beat: i64 seq, send_ns, progress,
+                   // waiting, live (docs/ROBUSTNESS.md, self-healing runs)
 };
 
 /// Upper bound on one frame's payload. A length prefix above this is a
@@ -107,11 +114,23 @@ struct Frame {
   FrameKind kind = FrameKind::kData;
   std::int64_t marker_id = -1;   // kMarker only
   std::vector<Buffer> buffers;   // kData: exactly one; kBatch: count
+  // kHeartbeat payload — five i64s, exact-size enforced by the decoder.
+  // send_ns is CLOCK_MONOTONIC at send time (comparable across processes
+  // on one host), so the receiver can derive one-way latency; progress /
+  // waiting / live mirror the thread-backend watchdog counters.
+  std::int64_t hb_seq = 0;
+  std::int64_t hb_send_ns = 0;
+  std::int64_t hb_progress = 0;
+  std::int64_t hb_waiting = 0;
+  std::int64_t hb_live = 0;
 
   static Frame data(Buffer&& buffer);
   static Frame batch(std::vector<Buffer>&& buffers);
   static Frame marker(std::int64_t id);
   static Frame close();
+  static Frame heartbeat(std::int64_t seq, std::int64_t send_ns,
+                         std::int64_t progress, std::int64_t waiting,
+                         std::int64_t live);
 };
 
 /// Appends the frame's wire form ([u32 length][u8 kind][payload]) to

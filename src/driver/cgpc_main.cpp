@@ -22,14 +22,30 @@
 //                        (stage groups are named stage0..stageN-1)
 //   --fault-seed=N       seed for probabilistic fault specs (~P triggers)
 //   --stage-timeout=S    watchdog: abort if a live stage moves no buffer
-//                        for S seconds (0 = disabled)
+//                        for S seconds (0 = disabled); on the process
+//                        backends this requires --heartbeat-ms, which is
+//                        how the supervisor samples worker progress
 //   --backend=B          execution substrate: thread (in-process queues,
 //                        default), proc (worker processes + shared-memory
 //                        rings), or tcp (worker processes + loopback TCP
 //                        sockets); see docs/PERFORMANCE.md. Also feeds the
 //                        cost model's per-link transport terms. The
 //                        process backends reject --fault-inject and
-//                        --stage-timeout (see docs/ROBUSTNESS.md)
+//                        --fault-seed (see docs/ROBUSTNESS.md)
+//   --worker-restarts=N  self-healing (process backends): respawn a dead
+//                        worker process up to N times, rolling the run
+//                        back to the last in-run consistent cut (enable
+//                        --checkpoint-interval to bound the replay);
+//                        budget exhausted => the surviving stages drain
+//                        to a partial result and cgpc exits 3
+//   --heartbeat-ms=M     worker liveness heartbeats every M milliseconds;
+//                        a worker silent for ~4 intervals is killed (and,
+//                        under --worker-restarts, respawned); makes
+//                        --stage-timeout legal on process backends
+//   --teardown-grace-ms=N
+//                        how long the supervisor waits for workers to
+//                        exit after an abort before SIGKILLing stragglers
+//                        (default 2000)
 //   --stream-capacity=N  bounded depth of every inter-stage stream
 //                        (backpressure window, default 16)
 //   --batch-size=N       producer-side packet coalescing: enqueue up to N
@@ -87,7 +103,8 @@ void usage() {
                "[--packets N] [--emit] [--analysis] [--run] "
                "[--trace=<file>] [--fault-policy=P] [--fault-inject=SPEC] "
                "[--fault-seed=N] [--stage-timeout=S] [--backend=B] "
-               "[--stream-capacity=N] "
+               "[--worker-restarts=N] [--heartbeat-ms=M] "
+               "[--teardown-grace-ms=N] [--stream-capacity=N] "
                "[--batch-size=N] [--checkpoint-interval=N] "
                "[--checkpoint=FILE] [--resume=FILE] [--max-replicas=N] "
                "[--copies=N] [--default] [--no-fission]\n");
@@ -139,6 +156,14 @@ int main(int argc, char** argv) {
   dc::FaultPolicy fault_policy;
   std::string fault_inject;
   std::uint64_t fault_seed = 0;
+  // Conflict-prone flags in first-occurrence command-line order, so the
+  // per-conflict diagnostics come out in the order the user typed them.
+  std::vector<std::string> conflict_flags;
+  auto note_conflict_flag = [&](const char* flag) {
+    for (const std::string& seen : conflict_flags)
+      if (seen == flag) return;
+    conflict_flags.emplace_back(flag);
+  };
   dc::RunnerConfig transport;
   std::optional<dc::RunCheckpoint> resume_ckpt;
   CompileOptions options;
@@ -218,12 +243,16 @@ int main(int argc, char** argv) {
       parse_policy(next());
     } else if (std::strncmp(arg, "--fault-inject=", 15) == 0) {
       fault_inject = arg + 15;
+      note_conflict_flag("--fault-inject");
     } else if (std::strcmp(arg, "--fault-inject") == 0) {
       fault_inject = next();
+      note_conflict_flag("--fault-inject");
     } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
       fault_seed = std::strtoull(arg + 13, nullptr, 10);
+      note_conflict_flag("--fault-seed");
     } else if (std::strcmp(arg, "--fault-seed") == 0) {
       fault_seed = std::strtoull(next(), nullptr, 10);
+      note_conflict_flag("--fault-seed");
     } else if (std::strncmp(arg, "--stage-timeout=", 16) == 0) {
       fault_policy.stage_timeout_seconds = std::strtod(arg + 16, nullptr);
     } else if (std::strcmp(arg, "--stage-timeout") == 0) {
@@ -232,6 +261,25 @@ int main(int argc, char** argv) {
       parse_backend_flag(arg + 10);
     } else if (std::strcmp(arg, "--backend") == 0) {
       parse_backend_flag(next());
+    } else if (std::strncmp(arg, "--worker-restarts=", 18) == 0) {
+      transport.worker_restarts =
+          static_cast<int>(parse_count(arg + 18, "--worker-restarts", 0));
+    } else if (std::strcmp(arg, "--worker-restarts") == 0) {
+      transport.worker_restarts =
+          static_cast<int>(parse_count(next(), "--worker-restarts", 0));
+    } else if (std::strncmp(arg, "--heartbeat-ms=", 15) == 0) {
+      transport.heartbeat_seconds =
+          static_cast<double>(parse_count(arg + 15, "--heartbeat-ms", 1)) /
+          1e3;
+    } else if (std::strcmp(arg, "--heartbeat-ms") == 0) {
+      transport.heartbeat_seconds =
+          static_cast<double>(parse_count(next(), "--heartbeat-ms", 1)) / 1e3;
+    } else if (std::strncmp(arg, "--teardown-grace-ms=", 20) == 0) {
+      transport.teardown_grace_ms =
+          parse_count(arg + 20, "--teardown-grace-ms", 0);
+    } else if (std::strcmp(arg, "--teardown-grace-ms") == 0) {
+      transport.teardown_grace_ms =
+          parse_count(next(), "--teardown-grace-ms", 0);
     } else if (std::strncmp(arg, "--stream-capacity=", 18) == 0) {
       transport.stream_capacity = static_cast<std::size_t>(
           parse_count(arg + 18, "--stream-capacity", 1));
@@ -285,14 +333,25 @@ int main(int argc, char** argv) {
     return 2;
   }
   // The process backends cannot honor every thread-backend knob; reject the
-  // combinations up front with one diagnostic per conflict (the runner
-  // would throw the first anyway, but cgpc users deserve the full list).
-  const std::vector<std::string> conflicts = dc::transport_flag_conflicts(
-      transport.backend, !fault_inject.empty(),
-      fault_policy.stage_timeout_seconds > 0.0);
+  // combinations up front with one diagnostic per conflict, emitted in the
+  // order the flags appeared (the runner would throw the first anyway, but
+  // cgpc users deserve the full list).
+  const std::vector<std::string> conflicts =
+      dc::transport_flag_conflicts(transport.backend, conflict_flags);
   if (!conflicts.empty()) {
     for (const std::string& conflict : conflicts)
       std::fprintf(stderr, "cgpc: %s\n", conflict.c_str());
+    return 2;
+  }
+  if (transport.backend != dc::TransportBackend::kThread &&
+      fault_policy.stage_timeout_seconds > 0.0 &&
+      transport.heartbeat_seconds <= 0.0) {
+    std::fprintf(stderr,
+                 "cgpc: --stage-timeout on --backend=%s requires "
+                 "--heartbeat-ms: per-copy progress counters live inside "
+                 "worker processes, so the supervisor can only sample them "
+                 "from the heartbeat stream\n",
+                 dc::backend_name(transport.backend));
     return 2;
   }
   options.backend = dc::backend_name(transport.backend);
@@ -527,11 +586,28 @@ int main(int argc, char** argv) {
             transport.checkpoint_path.empty() ? "" : ", written to ",
             transport.checkpoint_path.c_str());
       }
+      if (!outcome.respawns.empty()) {
+        std::printf("self-heal: %zu worker respawn(s)\n",
+                    outcome.respawns.size());
+        for (const support::RespawnRecord& r : outcome.respawns) {
+          std::printf(
+              "  respawn %s restart %d: %s; recovered in %.3f s (cut %lld)\n",
+              r.group.c_str(), r.restart, r.cause.c_str(), r.mttr_seconds,
+              static_cast<long long>(r.cut_id));
+        }
+      }
       if (!trace_path.empty()) {
         // Written even when the run failed: a partial trace is exactly
         // what post-mortem debugging needs.
         write_trace_json(outcome, trace_path);
         std::printf("trace written to %s\n", trace_path.c_str());
+      }
+      if (outcome.degraded) {
+        // Partial result: the finals above are the surviving stages'
+        // output. Exit 3 so scripts can tell "partial" from "failed".
+        std::fprintf(stderr, "cgpc: pipeline degraded: %s\n",
+                     outcome.error.c_str());
+        return 3;
       }
       if (!outcome.completed) {
         std::fprintf(stderr, "cgpc: pipeline failed: %s\n",

@@ -122,6 +122,8 @@ const char* fault_resolution_name(FaultResolution r) {
       return "watchdog";
     case FaultResolution::kRestoredCheckpoint:
       return "restored-checkpoint";
+    case FaultResolution::kRespawnedWorker:
+      return "respawned-worker";
   }
   return "fatal";
 }
@@ -134,7 +136,16 @@ FaultResolution fault_resolution_from_name(const std::string& name) {
   if (name == "watchdog") return FaultResolution::kWatchdog;
   if (name == "restored-checkpoint")
     return FaultResolution::kRestoredCheckpoint;
+  if (name == "respawned-worker") return FaultResolution::kRespawnedWorker;
   throw std::runtime_error("trace: unknown fault resolution '" + name + "'");
+}
+
+void HeartbeatMetrics::merge(const HeartbeatMetrics& other) {
+  if (group.empty()) group = other.group;
+  beats += other.beats;
+  max_latency_seconds = std::max(max_latency_seconds,
+                                 other.max_latency_seconds);
+  sum_latency_seconds += other.sum_latency_seconds;
 }
 
 int PipelineTrace::bottleneck_filter() const {
@@ -247,11 +258,35 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
     jc.set("at_seconds", Json(c.at_seconds));
     checkpoints.push_back(std::move(jc));
   }
+  // v8 self-healing surface: respawn incidents + heartbeat telemetry.
+  Json::Array respawns;
+  for (const RespawnRecord& r : trace.respawns) {
+    Json jr{Json::Object{}};
+    jr.set("group", Json(r.group));
+    jr.set("worker", Json(static_cast<std::int64_t>(r.worker)));
+    jr.set("restart", Json(static_cast<std::int64_t>(r.restart)));
+    jr.set("cut_id", Json(r.cut_id));
+    jr.set("mttr_seconds", Json(r.mttr_seconds));
+    jr.set("at_seconds", Json(r.at_seconds));
+    jr.set("cause", Json(r.cause));
+    respawns.push_back(std::move(jr));
+  }
+  Json::Array heartbeats;
+  for (const HeartbeatMetrics& h : trace.heartbeats) {
+    Json jh{Json::Object{}};
+    jh.set("group", Json(h.group));
+    jh.set("beats", Json(h.beats));
+    jh.set("max_latency_seconds", Json(h.max_latency_seconds));
+    jh.set("mean_latency_seconds", Json(h.mean_latency_seconds()));
+    jh.set("sum_latency_seconds", Json(h.sum_latency_seconds));
+    heartbeats.push_back(std::move(jh));
+  }
   Json root{Json::Object{}};
-  root.set("schema", Json("cgpipe-trace-v7"));
+  root.set("schema", Json("cgpipe-trace-v8"));
   root.set("wall_seconds", Json(trace.wall_seconds));
   root.set("packets", Json(trace.packets));
   root.set("completed", Json(trace.completed));
+  root.set("degraded", Json(trace.degraded));
   root.set("error", trace.error.empty() ? Json(nullptr) : Json(trace.error));
   root.set("fault_policy", trace.fault_policy.empty()
                                ? Json(nullptr)
@@ -294,6 +329,8 @@ std::string trace_to_json(const PipelineTrace& trace, int indent) {
   root.set("links", Json(std::move(links)));
   root.set("faults", Json(std::move(faults)));
   root.set("checkpoints", Json(std::move(checkpoints)));
+  root.set("respawns", Json(std::move(respawns)));
+  root.set("heartbeats", Json(std::move(heartbeats)));
   return root.dump(indent);
 }
 
@@ -306,7 +343,7 @@ PipelineTrace trace_from_json(const std::string& text) {
   if (schema != "cgpipe-trace-v1" && schema != "cgpipe-trace-v2" &&
       schema != "cgpipe-trace-v3" && schema != "cgpipe-trace-v4" &&
       schema != "cgpipe-trace-v5" && schema != "cgpipe-trace-v6" &&
-      schema != "cgpipe-trace-v7")
+      schema != "cgpipe-trace-v7" && schema != "cgpipe-trace-v8")
     throw std::runtime_error("trace: unknown schema");
   PipelineTrace trace;
   trace.wall_seconds = root.at("wall_seconds").as_number();
@@ -314,6 +351,9 @@ PipelineTrace trace_from_json(const std::string& text) {
   // v2 run-level fault surface; absent in v1 documents.
   if (root.contains("completed"))
     trace.completed = root.at("completed").as_bool();
+  // v8 degradation flag; absent in older documents.
+  if (root.contains("degraded"))
+    trace.degraded = root.at("degraded").as_bool();
   if (root.contains("error") && root.at("error").is_string())
     trace.error = root.at("error").as_string();
   if (root.contains("fault_policy") && root.at("fault_policy").is_string())
@@ -420,6 +460,30 @@ PipelineTrace trace_from_json(const std::string& text) {
       c.quiesce_seconds = jc.at("quiesce_seconds").as_number();
       c.at_seconds = jc.at("at_seconds").as_number();
       trace.checkpoints.push_back(std::move(c));
+    }
+  }
+  // v8 self-healing surface; absent in v1-v7 documents.
+  if (root.contains("respawns")) {
+    for (const Json& jr : root.at("respawns").as_array()) {
+      RespawnRecord r;
+      r.group = jr.at("group").as_string();
+      r.worker = static_cast<int>(jr.at("worker").as_int());
+      r.restart = static_cast<int>(jr.at("restart").as_int());
+      r.cut_id = jr.at("cut_id").as_int();
+      r.mttr_seconds = jr.at("mttr_seconds").as_number();
+      r.at_seconds = jr.at("at_seconds").as_number();
+      r.cause = jr.at("cause").as_string();
+      trace.respawns.push_back(std::move(r));
+    }
+  }
+  if (root.contains("heartbeats")) {
+    for (const Json& jh : root.at("heartbeats").as_array()) {
+      HeartbeatMetrics h;
+      h.group = jh.at("group").as_string();
+      h.beats = jh.at("beats").as_int();
+      h.max_latency_seconds = jh.at("max_latency_seconds").as_number();
+      h.sum_latency_seconds = jh.at("sum_latency_seconds").as_number();
+      trace.heartbeats.push_back(std::move(h));
     }
   }
   return trace;

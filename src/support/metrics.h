@@ -146,6 +146,8 @@ enum class FaultResolution {
   kCopyDead,       // bounded retries exhausted; the copy stayed down
   kWatchdog,       // no-progress timeout fired; the run was torn down
   kRestoredCheckpoint,  // restart-copy: snapshot restored, tail replayed
+  kRespawnedWorker,     // dead worker process relaunched from the last
+                        // in-run consistent cut (trace v8)
 };
 const char* fault_resolution_name(FaultResolution r);
 FaultResolution fault_resolution_from_name(const std::string& name);
@@ -179,6 +181,37 @@ struct CheckpointRecord {
   double at_seconds = 0.0;           // offset from run start
 };
 
+/// One worker-resurrection incident (trace v8): a proc/tcp worker process
+/// died organically (SIGKILL, crash, or supervisor liveness-kill after a
+/// heartbeat lapse) and the supervisor relaunched it from the last in-run
+/// consistent cut. MTTR spans reaper death detection to the respawned
+/// topology completing its plan handshake.
+struct RespawnRecord {
+  std::string group;          // stage the dead worker hosted
+  int worker = 0;             // worker index (== stage-group index)
+  int restart = 0;            // 1-based restart ordinal for this worker
+  std::int64_t cut_id = -1;   // cut restored from; -1 = from scratch
+  double mttr_seconds = 0.0;  // death detection -> handshake complete
+  double at_seconds = 0.0;    // death detection, offset from run start
+  std::string cause;          // e.g. "died (signal 9)", "heartbeat lapse"
+};
+
+/// Per-stage heartbeat liveness telemetry (trace v8): beats the supervisor
+/// received from that stage's worker and their one-way control-plane
+/// latency (send timestamp to supervisor receipt, same CLOCK_MONOTONIC).
+struct HeartbeatMetrics {
+  std::string group;
+  std::int64_t beats = 0;
+  double max_latency_seconds = 0.0;
+  double sum_latency_seconds = 0.0;
+
+  double mean_latency_seconds() const {
+    return beats > 0 ? sum_latency_seconds / static_cast<double>(beats)
+                     : 0.0;
+  }
+  void merge(const HeartbeatMetrics& other);
+};
+
 /// Complete observability record of one pipeline run.
 struct PipelineTrace {
   double wall_seconds = 0.0;
@@ -202,6 +235,13 @@ struct PipelineTrace {
   /// during the run, interleaved (since v5) with the per-copy part
   /// records each cut aggregated.
   std::vector<CheckpointRecord> checkpoints;
+  /// Self-healing surface (trace v8): one record per worker resurrection,
+  /// heartbeat liveness telemetry per stage, and whether the run ended
+  /// degraded (restart budget exhausted; surviving stages drained to a
+  /// partial result). All empty/false in pre-v8 documents.
+  std::vector<RespawnRecord> respawns;
+  std::vector<HeartbeatMetrics> heartbeats;
+  bool degraded = false;
   bool completed = true;
   std::string error;  // first fatal condition; empty on success
 
@@ -210,7 +250,7 @@ struct PipelineTrace {
   int bottleneck_filter() const;
 };
 
-/// Serializes to the cgpipe-trace-v7 schema documented in
+/// Serializes to the cgpipe-trace-v8 schema documented in
 /// docs/OBSERVABILITY.md and docs/ROBUSTNESS.md.
 std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 
@@ -219,8 +259,9 @@ std::string trace_to_json(const PipelineTrace& trace, int indent = 2);
 /// zero values), v3 (stage_replicas defaults to empty), v4 (per-copy
 /// checkpoint part records absent, `parts` defaults to 0), v5
 /// (pool.classes defaults to empty), v6 (per-link transport fields
-/// default to their zero values, transport to ""), and v7. Throws
-/// std::runtime_error on malformed or schema-incompatible input.
+/// default to their zero values, transport to ""), v7 (respawn records
+/// and heartbeat telemetry default to empty, degraded to false), and v8.
+/// Throws std::runtime_error on malformed or schema-incompatible input.
 PipelineTrace trace_from_json(const std::string& text);
 
 }  // namespace cgp::support

@@ -209,22 +209,62 @@ TEST_F(CgpcCli, ProcBackendRejectsFaultInject) {
   EXPECT_NE(r.output.find("--backend=proc"), std::string::npos) << r.output;
 }
 
-TEST_F(CgpcCli, TcpBackendRejectsStageTimeout) {
+TEST_F(CgpcCli, TcpStageTimeoutRequiresHeartbeat) {
+  // No longer a hard conflict: --stage-timeout is legal on process
+  // backends, but only with heartbeats (that is where the supervisor
+  // samples worker progress from). Without --heartbeat-ms it exits 2 with
+  // a diagnostic naming the cure.
   const CliResult r = run_cgpc(std::string(kSourcePath) +
                                " --backend=tcp --stage-timeout=2");
   EXPECT_EQ(r.status, 2) << r.output;
   EXPECT_NE(r.output.find("--stage-timeout"), std::string::npos) << r.output;
-  EXPECT_NE(r.output.find("--backend=tcp"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("--heartbeat-ms"), std::string::npos) << r.output;
 }
 
-TEST_F(CgpcCli, BothConflictsReportedTogether) {
+TEST_F(CgpcCli, ConflictsReportedTogetherInFlagOrder) {
   const CliResult r = run_cgpc(std::string(kSourcePath) +
-                               " --backend=tcp --fault-inject=stage0:throw@1 "
-                               "--stage-timeout=2");
+                               " --backend=tcp --fault-seed=7 "
+                               "--fault-inject=stage0:throw@1");
   EXPECT_EQ(r.status, 2) << r.output;
-  // One diagnostic per conflicting option, not just the first.
-  EXPECT_NE(r.output.find("--fault-inject"), std::string::npos) << r.output;
-  EXPECT_NE(r.output.find("--stage-timeout"), std::string::npos) << r.output;
+  // One diagnostic per conflicting option, in command-line order.
+  const std::size_t seed_at = r.output.find("--fault-seed");
+  const std::size_t inject_at = r.output.find("--fault-inject");
+  EXPECT_NE(seed_at, std::string::npos) << r.output;
+  EXPECT_NE(inject_at, std::string::npos) << r.output;
+  EXPECT_LT(seed_at, inject_at) << r.output;
+}
+
+TEST_F(CgpcCli, WorkerRestartsRejectsGarbage) {
+  for (const char* bad : {"--worker-restarts=two", "--worker-restarts=-1",
+                          "--worker-restarts="}) {
+    const CliResult r =
+        run_cgpc(std::string(kSourcePath) + " --backend=proc " + bad);
+    EXPECT_EQ(r.status, 2) << bad << ": " << r.output;
+    EXPECT_NE(r.output.find("--worker-restarts expects an integer"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST_F(CgpcCli, HeartbeatMsRejectsGarbage) {
+  for (const char* bad :
+       {"--heartbeat-ms=fast", "--heartbeat-ms=0", "--heartbeat-ms=2.5"}) {
+    const CliResult r =
+        run_cgpc(std::string(kSourcePath) + " --backend=tcp " + bad);
+    EXPECT_EQ(r.status, 2) << bad << ": " << r.output;
+    EXPECT_NE(r.output.find("--heartbeat-ms expects an integer"),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST_F(CgpcCli, TeardownGraceMsRejectsGarbage) {
+  const CliResult r = run_cgpc(std::string(kSourcePath) +
+                               " --backend=proc --teardown-grace-ms=-5");
+  EXPECT_EQ(r.status, 2) << r.output;
+  EXPECT_NE(r.output.find("--teardown-grace-ms expects an integer"),
+            std::string::npos)
+      << r.output;
 }
 
 TEST_F(CgpcCli, ProcBackendRunsPipelineEndToEnd) {

@@ -1023,6 +1023,56 @@ TEST(RunCheckpointFile, LoadRejectsCorruptTruncatedEmptyFiles) {
   std::remove(path.c_str());
 }
 
+TEST(RunCheckpointFile, EveryRejectionNamesThePathAndAReason) {
+  // Operators resume from checkpoints by path, often several per run
+  // directory: a rejection that does not say WHICH file failed and WHY is
+  // useless at 3am. Exercise every rejection class and require both.
+  const std::string path = "cgp_ckpt_diagnostics_test.json";
+  auto write_file = [&](const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  };
+  const auto expect_names_path = [&](const std::string& file,
+                                     const std::string& reason_word) {
+    try {
+      load_checkpoint(file);
+      FAIL() << "expected rejection mentioning '" << reason_word << "'";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(file), std::string::npos) << what;
+      EXPECT_NE(what.find(reason_word), std::string::npos) << what;
+    }
+  };
+  // Missing file.
+  expect_names_path("cgp_no_such_checkpoint.json", "cannot open");
+  // Unparseable JSON.
+  write_file("{ not json");
+  expect_names_path(path, "corrupt or truncated");
+  // Valid JSON, but not a checkpoint at all.
+  write_file("{\"hello\": 1}");
+  expect_names_path(path, "not a cgpipe checkpoint file");
+  // A schema from the future.
+  write_file("{\"schema\": \"cgpipe-checkpoint-v99\"}");
+  expect_names_path(path, "unknown schema");
+  // Structurally a checkpoint, but a field is the wrong shape.
+  write_file(
+      "{\"schema\": \"cgpipe-checkpoint-v2\", \"id\": \"three\", "
+      "\"source_delivered\": 0, \"at_seconds\": 0, \"stages\": []}");
+  expect_names_path(path, "is malformed");
+  // Bad hex in a stage snapshot is a malformed-field rejection too.
+  write_file(
+      "{\"schema\": \"cgpipe-checkpoint-v2\", \"id\": 1, "
+      "\"source_delivered\": 0, \"at_seconds\": 0, \"stages\": "
+      "[{\"group\": \"sum\", \"state\": \"zz\"}]}");
+  expect_names_path(path, "is malformed");
+  // Complete but missing the integrity checksum.
+  write_file(
+      "{\"schema\": \"cgpipe-checkpoint-v2\", \"id\": 1, "
+      "\"source_delivered\": 0, \"at_seconds\": 0, \"stages\": []}");
+  expect_names_path(path, "missing checksum");
+  std::remove(path.c_str());
+}
+
 TEST(RunCheckpointFile, LoadsLegacyV1Files) {
   // Files written before replication support: no checksum, no per-copy
   // arrays. They must still load, with source_copies defaulting to the

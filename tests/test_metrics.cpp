@@ -178,7 +178,7 @@ TEST(Trace, BottleneckIsLargestBusyFilter) {
 
 TEST(Trace, SerializerEmbedsBottleneckAndSchema) {
   const Json j = Json::parse(trace_to_json(sample_trace()));
-  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v7");
+  EXPECT_EQ(j.at("schema").as_string(), "cgpipe-trace-v8");
   EXPECT_EQ(j.at("bottleneck_filter").as_string(), "stage0");
 }
 
@@ -201,7 +201,7 @@ TEST(Trace, ReadsV3DocumentsWithEmptyReplicaPlan) {
   PipelineTrace trace = sample_trace();
   trace.stage_replicas = {2, 2, 1};
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v7");
+  const std::size_t pos = json.find("cgpipe-trace-v8");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v3");
   const std::size_t field = json.find("\"stage_replicas\"");
@@ -311,7 +311,7 @@ TEST(Trace, ReadsV4CheckpointRecordsWithoutParts) {
   cut.packet_index = 16;
   trace.checkpoints.push_back(cut);
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v7");
+  const std::size_t pos = json.find("cgpipe-trace-v8");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v4");
   const std::size_t field = json.find("\"parts\"");
@@ -330,7 +330,7 @@ TEST(Trace, ReadsV2DocumentsWithZeroCheckpointSurface) {
   // every v3 field at its benign default.
   PipelineTrace trace = sample_trace();
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v7");
+  const std::size_t pos = json.find("cgpipe-trace-v8");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v2");
   const PipelineTrace back = trace_from_json(json);
@@ -430,7 +430,7 @@ TEST(Trace, ReadsV5DocumentsWithoutPoolClasses) {
   trace.pool.hits = 8;
   trace.pool.misses = 2;
   std::string json = trace_to_json(trace);
-  const std::size_t pos = json.find("cgpipe-trace-v7");
+  const std::size_t pos = json.find("cgpipe-trace-v8");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 15, "cgpipe-trace-v5");
   const std::size_t field = json.find("\"classes\"");
@@ -442,6 +442,72 @@ TEST(Trace, ReadsV5DocumentsWithoutPoolClasses) {
   EXPECT_EQ(back.pool.acquires, 10);
   EXPECT_EQ(back.pool.hits, 8);
   EXPECT_TRUE(back.pool.classes.empty());
+}
+
+TEST(Trace, RoundTripPreservesSelfHealingSurface) {
+  PipelineTrace trace = sample_trace();
+  trace.degraded = true;
+  trace.completed = false;
+  trace.error = "self-heal: restart budget (2) exhausted for stage 'stage1'";
+  RespawnRecord r;
+  r.group = "stage1";
+  r.worker = 1;
+  r.restart = 2;
+  r.cut_id = 5;
+  r.mttr_seconds = 0.043;
+  r.at_seconds = 1.5;
+  r.cause = "died (signal 9)";
+  trace.respawns.push_back(r);
+  HeartbeatMetrics h;
+  h.group = "stage0";
+  h.beats = 120;
+  h.max_latency_seconds = 0.002;
+  h.sum_latency_seconds = 0.06;
+  trace.heartbeats.push_back(h);
+
+  const std::string json = trace_to_json(trace);
+  const PipelineTrace back = trace_from_json(json);
+  EXPECT_TRUE(back.degraded);
+  EXPECT_FALSE(back.completed);
+  ASSERT_EQ(back.respawns.size(), 1u);
+  EXPECT_EQ(back.respawns[0].group, "stage1");
+  EXPECT_EQ(back.respawns[0].worker, 1);
+  EXPECT_EQ(back.respawns[0].restart, 2);
+  EXPECT_EQ(back.respawns[0].cut_id, 5);
+  EXPECT_DOUBLE_EQ(back.respawns[0].mttr_seconds, 0.043);
+  EXPECT_DOUBLE_EQ(back.respawns[0].at_seconds, 1.5);
+  EXPECT_EQ(back.respawns[0].cause, "died (signal 9)");
+  ASSERT_EQ(back.heartbeats.size(), 1u);
+  EXPECT_EQ(back.heartbeats[0].group, "stage0");
+  EXPECT_EQ(back.heartbeats[0].beats, 120);
+  EXPECT_DOUBLE_EQ(back.heartbeats[0].max_latency_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(back.heartbeats[0].sum_latency_seconds, 0.06);
+  EXPECT_DOUBLE_EQ(back.heartbeats[0].mean_latency_seconds(), 0.0005);
+  // The self-healing surface survives a second round trip byte-identically.
+  EXPECT_EQ(trace_to_json(back), json);
+}
+
+TEST(Trace, ReadsV7DocumentsWithoutSelfHealingSurface) {
+  // A v7 trace predates respawn records, heartbeat telemetry, and the
+  // degradation flag; it still loads with every v8 field at its benign
+  // default.
+  PipelineTrace trace = sample_trace();
+  std::string json = trace_to_json(trace);
+  const std::size_t pos = json.find("cgpipe-trace-v8");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 15, "cgpipe-trace-v7");
+  const auto drop = [&json](const std::string& needle) {
+    const std::size_t at = json.find(needle);
+    ASSERT_NE(at, std::string::npos) << needle;
+    json.erase(at, needle.size());
+  };
+  drop("\"degraded\": false,");
+  drop(",\n  \"respawns\": []");
+  drop(",\n  \"heartbeats\": []");
+  const PipelineTrace back = trace_from_json(json);
+  EXPECT_FALSE(back.degraded);
+  EXPECT_TRUE(back.respawns.empty());
+  EXPECT_TRUE(back.heartbeats.empty());
 }
 
 TEST(PoolMetrics, MergeCombinesClassesByIndex) {

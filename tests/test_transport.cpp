@@ -53,21 +53,29 @@ TEST(TransportBackendNames, ParseAndNameRoundTrip) {
 
 TEST(TransportBackendNames, FlagConflicts) {
   // The thread backend honors everything.
-  EXPECT_TRUE(transport_flag_conflicts(TransportBackend::kThread, true, true)
+  EXPECT_TRUE(transport_flag_conflicts(TransportBackend::kThread,
+                                       {"--fault-inject", "--fault-seed"})
                   .empty());
   // Each unsupported option earns its own diagnostic, naming the backend.
   const std::vector<std::string> one =
-      transport_flag_conflicts(TransportBackend::kProc, true, false);
+      transport_flag_conflicts(TransportBackend::kProc, {"--fault-inject"});
   ASSERT_EQ(one.size(), 1u);
   EXPECT_NE(one[0].find("--fault-inject"), std::string::npos);
   EXPECT_NE(one[0].find("--backend=proc"), std::string::npos);
-  const std::vector<std::string> two =
-      transport_flag_conflicts(TransportBackend::kTcp, true, true);
+  // Diagnostics come out in the order the flags were given.
+  const std::vector<std::string> two = transport_flag_conflicts(
+      TransportBackend::kTcp, {"--fault-seed", "--fault-inject"});
   ASSERT_EQ(two.size(), 2u);
-  EXPECT_NE(two[1].find("--stage-timeout"), std::string::npos);
-  EXPECT_NE(two[1].find("--backend=tcp"), std::string::npos);
-  EXPECT_TRUE(transport_flag_conflicts(TransportBackend::kProc, false, false)
+  EXPECT_EQ(two[0].find("--fault-seed"), 0u);
+  EXPECT_EQ(two[1].find("--fault-inject"), 0u);
+  EXPECT_NE(two[0].find("--backend=tcp"), std::string::npos);
+  // --stage-timeout is no longer a conflict: heartbeats make the watchdog
+  // legal on process backends (the heartbeat requirement is validated by
+  // the runner, not here). Unknown flags are simply not conflicts.
+  EXPECT_TRUE(transport_flag_conflicts(TransportBackend::kTcp,
+                                       {"--stage-timeout", "--packets"})
                   .empty());
+  EXPECT_TRUE(transport_flag_conflicts(TransportBackend::kProc, {}).empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -217,6 +225,51 @@ TEST(FrameCodec, MarkerWithWrongPayloadSizeRejected) {
   FrameDecoder decoder;
   decoder.feed(wire.data(), wire.size());
   EXPECT_THROW(decoder.next(), std::runtime_error);
+}
+
+TEST(FrameCodec, HeartbeatRoundTrip) {
+  FrameDecoder decoder;
+  const std::vector<std::byte> wire =
+      encode(Frame::heartbeat(42, 123456789012345, 67890, 3, 4));
+  decoder.feed(wire.data(), wire.size());
+  std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, FrameKind::kHeartbeat);
+  EXPECT_TRUE(frame->buffers.empty());
+  EXPECT_EQ(frame->hb_seq, 42);
+  EXPECT_EQ(frame->hb_send_ns, 123456789012345);
+  EXPECT_EQ(frame->hb_progress, 67890);
+  EXPECT_EQ(frame->hb_waiting, 3);
+  EXPECT_EQ(frame->hb_live, 4);
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(FrameCodec, HeartbeatByteAtATimeReassembles) {
+  // A heartbeat can interleave with bulk traffic on the control pipe and
+  // arrive in arbitrarily small reads; the decoder must reassemble it.
+  const std::vector<std::byte> wire =
+      encode(Frame::heartbeat(1, -5, 0, 0, 1));
+  FrameDecoder decoder;
+  for (const std::byte b : wire) decoder.feed(&b, 1);
+  std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, FrameKind::kHeartbeat);
+  EXPECT_EQ(frame->hb_seq, 1);
+  EXPECT_EQ(frame->hb_send_ns, -5);
+  EXPECT_EQ(frame->hb_live, 1);
+}
+
+TEST(FrameCodec, HeartbeatWithWrongPayloadSizeRejected) {
+  // Torn (too short) and oversize heartbeat payloads are both structural
+  // corruption: the payload is exactly five 64-bit fields.
+  for (const std::uint32_t length : {8u, 32u, 48u}) {
+    std::vector<std::byte> wire(5 + length, std::byte{0});
+    std::memcpy(wire.data(), &length, sizeof(length));
+    wire[4] = static_cast<std::byte>(FrameKind::kHeartbeat);
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    EXPECT_THROW(decoder.next(), std::runtime_error) << length;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -892,7 +945,10 @@ TEST(MultiprocessRunner, SingleGroupRunsInProcess) {
   EXPECT_TRUE(outcome.stats.link_metrics.empty());
 }
 
-TEST(MultiprocessRunner, StageTimeoutRejectedOnProcessBackends) {
+TEST(MultiprocessRunner, StageTimeoutWithoutHeartbeatsRejected) {
+  // The watchdog needs worker progress samples, which on a process
+  // backend only the heartbeat stream provides; without heartbeats the
+  // combination is rejected up front, with a message that names the cure.
   for (TransportBackend backend :
        {TransportBackend::kProc, TransportBackend::kTcp}) {
     auto state = std::make_shared<SinkState>();
@@ -901,8 +957,14 @@ TEST(MultiprocessRunner, StageTimeoutRejectedOnProcessBackends) {
     RunnerConfig config;
     config.backend = backend;
     PipelineRunner runner(three_stage(8, 1, state), config, policy);
-    EXPECT_THROW(runner.run_supervised(), std::invalid_argument)
-        << backend_name(backend);
+    try {
+      runner.run_supervised();
+      FAIL() << backend_name(backend) << ": expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("heartbeat"),
+                std::string::npos)
+          << error.what();
+    }
   }
 }
 
